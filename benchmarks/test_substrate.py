@@ -1,0 +1,76 @@
+"""Microbenchmarks of the substrate: autograd, conv, attention, optimizer.
+
+These are classic pytest-benchmark targets (many rounds, statistics);
+they track the performance of the NumPy engine that all experiments
+stand on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, conv2d
+from repro.core import CDCLConfig, CDCLNetwork
+from repro.nn import TransformerEncoder
+from repro.optim import AdamW
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return np.random.default_rng(0)
+
+
+def test_bench_conv2d_forward_backward(benchmark, rng):
+    x = Tensor(rng.normal(size=(32, 3, 16, 16)), requires_grad=True)
+    w = Tensor(rng.normal(size=(32, 3, 3, 3)) * 0.1, requires_grad=True)
+
+    def step():
+        out = conv2d(x, w, padding=1)
+        out.sum().backward()
+        x.zero_grad()
+        w.zero_grad()
+
+    benchmark(step)
+
+
+def test_bench_transformer_forward(benchmark, rng):
+    encoder = TransformerEncoder(dim=64, depth=2, num_heads=4, rng=0)
+    x = Tensor(rng.normal(size=(32, 16, 64)))
+    benchmark(lambda: encoder(x))
+
+
+def test_bench_cdcl_training_step(benchmark, rng):
+    """One full CDCL forward+backward+update on a batch (the unit the
+    experiment wall-times are built from)."""
+    from repro.nn.functional import cross_entropy
+
+    config = CDCLConfig(embed_dim=48, depth=2, epochs=2, warmup_epochs=1)
+    net = CDCLNetwork(config, in_channels=1, image_size=16, rng=0)
+    net.add_task(2)
+    optimizer = AdamW(net.parameters(), lr=1e-4)
+    x = rng.normal(size=(32, 1, 16, 16))
+    y = rng.integers(0, 2, size=32)
+
+    def step():
+        feats = net.features(x, 0)
+        loss = cross_entropy(net.til_logits(feats, 0), y)
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+
+    benchmark(step)
+
+
+def test_bench_cross_attention_vs_self(benchmark, rng):
+    """Cost of the cross-attention path relative to self-attention."""
+    config = CDCLConfig(embed_dim=48, depth=2, epochs=2, warmup_epochs=1)
+    net = CDCLNetwork(config, in_channels=1, image_size=16, rng=0)
+    net.add_task(2)
+    x = rng.normal(size=(16, 1, 16, 16))
+    ctx = rng.normal(size=(16, 1, 16, 16))
+    from repro.autograd import no_grad
+
+    def step():
+        with no_grad():
+            net.features(x, 0, context=ctx)
+
+    benchmark(step)

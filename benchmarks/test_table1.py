@@ -1,0 +1,50 @@
+"""Bench: reproduce Table I (Office-31, MNIST<->USPS, VisDA-2017).
+
+Expected shape (paper Table I):
+* CDCL wins TIL on every column, by the largest margin on the digit
+  pairs (91.91 / 81.48 in the paper) and on D->W / W->D;
+* CDTrans collapses (no continual mechanism);
+* in CIL, CDCL is comparable to DER/DER++;
+* TVT (static, joint training) upper-bounds everyone.
+"""
+
+from repro.experiments import get_profile, render_table1, run_table1
+from benchmarks.conftest import full_sweep
+
+DEFAULT_COLUMNS = ("A->W", "MN->US", "VisDA-2017")
+# CDTrans-B is dropped from the default sweep: it duplicates CDTrans-S's
+# role (static-UDA collapse) at twice the cost; REPRO_FULL=1 restores it.
+DEFAULT_METHODS = ("DER", "DER++", "HAL", "MSL", "CDTrans-S", "CDCL")
+
+
+def test_table1(benchmark):
+    columns = None if full_sweep() else DEFAULT_COLUMNS
+    methods = None if full_sweep() else DEFAULT_METHODS
+    profile = get_profile()
+
+    kwargs = dict(columns=columns, profile=profile)
+    if methods is not None:
+        kwargs["methods"] = methods
+    result = benchmark.pedantic(
+        run_table1,
+        kwargs=kwargs,
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_table1(result))
+
+    # Shape assertions (qualitative reproduction claims).
+    from repro.continual import Scenario
+
+    for column, pair in result.pairs.items():
+        cdcl_til = pair.acc("CDCL", Scenario.TIL)
+        cdtrans_til = pair.acc("CDTrans-S", Scenario.TIL)
+        assert cdcl_til >= cdtrans_til - 0.05, (
+            f"{column}: CDCL ({cdcl_til:.2f}) should not lose to the "
+            f"static CDTrans-S ({cdtrans_til:.2f})"
+        )
+        if pair.tvt_acc:
+            assert pair.tvt_acc[Scenario.TIL] >= cdcl_til - 0.15, (
+                f"{column}: TVT static upper bound should dominate"
+            )

@@ -1,0 +1,33 @@
+"""Bench: reproduce Table III (DomainNet source x target matrix).
+
+Expected shape (paper Table III): on the hardest benchmark, CDCL is the
+only continual method whose TIL matrix shows a learning signal (paper:
+2-28% vs DER's uniform ~0.5%); CIL entries collapse for everyone.
+
+Default: a 2-domain sub-matrix with the scaled class count; REPRO_FULL=1
+runs a 3-domain matrix.
+"""
+
+from repro.experiments import get_profile, render_table3, run_table3
+from benchmarks.conftest import full_sweep
+
+
+def test_table3(benchmark):
+    domains = ("clp", "rel", "skt") if full_sweep() else ("clp", "skt")
+    profile = get_profile()
+
+    result = benchmark.pedantic(
+        run_table3,
+        kwargs=dict(domains=domains, profile=profile, methods=("DER", "CDCL")),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_table3(result, methods=("DER", "CDCL")))
+
+    from repro.continual import Scenario
+    import numpy as np
+
+    cdcl = np.mean(list(result.matrix("CDCL", Scenario.TIL).values()))
+    der = np.mean(list(result.matrix("DER", Scenario.TIL).values()))
+    print(f"\nmean TIL ACC: CDCL {cdcl:.3f} vs DER {der:.3f}")

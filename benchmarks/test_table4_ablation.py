@@ -1,0 +1,38 @@
+"""Bench: reproduce Table IV (loss-block and attention ablation).
+
+Expected shape (paper Table IV, MN->US / US->MN):
+* full CDCL is the best TIL configuration;
+* dropping L_TIL (variant B) hurts TIL the most;
+* dropping L_R (variant C) devastates CIL (19.59 / 15.83 in the paper);
+* "simple attention" loses the cross-domain alignment and lands near
+  the replay baselines.
+"""
+
+from repro.continual import Scenario
+from repro.experiments import get_profile, render_table4, run_table4
+from benchmarks.conftest import full_sweep
+
+
+def test_table4_ablation(benchmark):
+    directions = ("mnist->usps", "usps->mnist") if full_sweep() else ("mnist->usps",)
+    profile = get_profile()
+
+    result = benchmark.pedantic(
+        run_table4,
+        kwargs=dict(directions=directions, profile=profile),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_table4(result))
+
+    direction = directions[0]
+    full_til = result.acc("full", direction, Scenario.TIL)
+    no_rehearsal_cil = result.acc("C (-L_R)", direction, Scenario.CIL)
+    full_cil = result.acc("full", direction, Scenario.CIL)
+    # The rehearsal block is what keeps CIL alive (paper's strongest claim).
+    assert full_cil >= no_rehearsal_cil - 0.05, (
+        f"rehearsal ablation should not beat full CDCL in CIL: "
+        f"full={full_cil:.2f} vs -L_R={no_rehearsal_cil:.2f}"
+    )
+    assert full_til >= 0.0

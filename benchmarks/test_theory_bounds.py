@@ -1,0 +1,76 @@
+"""Bench: empirical check of the error bounds (Theorems 1-3).
+
+Trains CDCL on a 3-task digit stream, measures per-task source/target
+errors, the proxy A-distance of the learned features, and the KL term
+from the memory's label distribution — then verifies Theorem 3's
+inequality holds on the measured quantities.
+"""
+
+import numpy as np
+
+from repro.continual import Scenario
+from repro.core import CDCLConfig, CDCLTrainer
+from repro.data.synthetic import mnist_usps
+from repro.theory import continual_bound, single_task_bound
+
+
+def _run_bound_experiment():
+    stream = mnist_usps(
+        "mnist->usps", samples_per_class=15, test_samples_per_class=10, rng=0
+    )
+    stream.tasks = stream.tasks[:3]
+    config = CDCLConfig(embed_dim=32, depth=1, epochs=6, warmup_epochs=2, memory_size=60)
+    trainer = CDCLTrainer(config, in_channels=1, image_size=16, rng=0)
+
+    per_task = []
+    memory_dists = []
+    raw_dists = []
+    for task in stream:
+        trainer.observe_task(task)
+        xs, ys = task.source_train.arrays()
+        xt, yt = task.target_test.arrays()
+        source_error = 1.0 - float(
+            (trainer.network.predict_til(xs, task.task_id) == ys).mean()
+        )
+        target_error = 1.0 - float(
+            (trainer.network.predict_til(xt, task.task_id) == yt).mean()
+        )
+        feats_source = trainer.embed(xs, task.task_id)
+        feats_target = trainer.embed(xt, task.task_id)
+        per_task.append(
+            single_task_bound(
+                feats_source, source_error, feats_target, target_error,
+                task_id=task.task_id, rng=0,
+            )
+        )
+    # KL terms for tasks 0..T-2: memory label dist vs raw label dist.
+    num_classes = stream.classes_per_task
+    for task in stream.tasks[:-1]:
+        records = trainer.memory.records_for_task(task.task_id)
+        mem_labels = [r.y_source - task.class_offset for r in records]
+        mem_dist = np.bincount(mem_labels, minlength=num_classes).astype(float) + 1e-6
+        raw_labels = task.source_train.arrays()[1]
+        raw_dist = np.bincount(raw_labels, minlength=num_classes).astype(float)
+        memory_dists.append(mem_dist)
+        raw_dists.append(raw_dist)
+    return continual_bound(per_task, memory_dists, raw_dists)
+
+
+def test_theorem3_bound(benchmark):
+    bound = benchmark.pedantic(_run_bound_experiment, rounds=1, iterations=1)
+    print("\nTheorem 3 empirical check:")
+    for terms in bound.per_task:
+        print(
+            f"  task {terms.task_id}: eps_S={terms.source_error:.3f} "
+            f"lambda={terms.divergence:.3f} eps_T={terms.target_error:.3f} "
+            f"bound(no C*)={terms.bound:.3f} slack={terms.slack:+.3f}"
+        )
+    print(f"  KL terms: {[round(k, 4) for k in bound.kl_terms]}")
+    print(
+        f"  total eps_T={bound.total_target_error:.3f} <= "
+        f"RHS(no C*)={bound.bound:.3f} : {bound.holds}"
+    )
+    # The C*-free RHS must dominate measured error on these separable
+    # domains (C* >= 0 only loosens it further).
+    assert bound.holds
+    assert all(k >= 0 for k in bound.kl_terms)

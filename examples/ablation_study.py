@@ -1,0 +1,49 @@
+"""Ablation study: which CDCL component earns its keep?
+
+Re-runs the paper's Table IV logic at example scale on MN->US: full
+CDCL against dropping each loss block and against replacing the
+inter- intra-task cross-attention with plain self-attention.
+
+Run:  python examples/ablation_study.py
+"""
+
+from repro.continual import Scenario, run_continual_multi
+from repro.core import CDCLConfig, CDCLTrainer
+from repro.data.synthetic import mnist_usps
+
+VARIANTS = {
+    "full CDCL": {},
+    "- L_CIL (A)": {"use_cil_loss": False},
+    "- L_TIL (B)": {"use_til_loss": False},
+    "- L_R  (C)": {"use_rehearsal_loss": False},
+    "simple attention": {"use_cross_attention": False},
+}
+
+
+def main() -> None:
+    stream = mnist_usps(
+        "mnist->usps", samples_per_class=15, test_samples_per_class=10, rng=0
+    )
+    print(f"stream: {stream}\n")
+    print(f"{'variant':<20}{'TIL ACC':>10}{'CIL ACC':>10}")
+    for name, overrides in VARIANTS.items():
+        config = CDCLConfig(
+            embed_dim=32, depth=2, epochs=6, warmup_epochs=2, memory_size=100,
+            **overrides,
+        )
+        trainer = CDCLTrainer(config, in_channels=1, image_size=16, rng=0)
+        runs = run_continual_multi(trainer, stream, [Scenario.TIL, Scenario.CIL])
+        print(
+            f"{name:<20}"
+            f"{100 * runs[Scenario.TIL].acc:>9.2f}%"
+            f"{100 * runs[Scenario.CIL].acc:>9.2f}%"
+        )
+    print(
+        "\nexpected shape (paper Table IV): full > ablations in TIL; "
+        "dropping L_R hurts CIL the most; simple attention loses the "
+        "cross-domain alignment."
+    )
+
+
+if __name__ == "__main__":
+    main()

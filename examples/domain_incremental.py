@@ -1,0 +1,43 @@
+"""Domain-incremental learning (DIL): the paper's third scenario.
+
+Section II-B defines DIL — the task never changes but the input
+distribution does — and calls it the least-explored scenario; the paper
+evaluates only TIL and CIL.  This example runs the extension this
+library provides: a fixed 10-class label space whose *unlabeled target
+domain rotates* through Office-Home's Clipart, Product and Real-World
+domains while the labeled source stays Art.
+
+Run:  python examples/domain_incremental.py
+"""
+
+from repro.continual import Scenario, run_continual
+from repro.core import CDCLConfig, CDCLTrainer
+from repro.data.synthetic import office_home_dil
+
+
+def main() -> None:
+    stream = office_home_dil(
+        source="Ar",
+        targets=("Cl", "Pr", "Re"),
+        num_classes=5,
+        samples_per_class=12,
+        test_samples_per_class=8,
+        rng=0,
+    )
+    print(f"stream: {stream}")
+    print("label space is FIXED; each task brings a new target domain\n")
+
+    config = CDCLConfig(embed_dim=48, depth=2, epochs=10, warmup_epochs=4, memory_size=120)
+    trainer = CDCLTrainer(config, in_channels=3, image_size=16, rng=0)
+    result = run_continual(trainer, stream, Scenario.DIL, verbose=True)
+
+    print(f"\nDIL ACC {100 * result.acc:.2f}%  FGT {100 * result.fgt:.2f}%")
+    print(
+        "interpretation: each row of the R-matrix above scores ALL domains "
+        "seen so far with the latest task parameters — how well the newest "
+        "alignment transfers backwards to earlier target domains."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""repro: reproduction of "Towards Cross-Domain Continual Learning" (ICDE 2024).
+
+Layers (bottom-up):
+
+* :mod:`repro.autograd` — reverse-mode autodiff tensor engine (NumPy);
+* :mod:`repro.nn` — neural-network layers, losses and containers;
+* :mod:`repro.optim` — optimizers (AdamW et al.) and LR schedules;
+* :mod:`repro.data` — datasets, loaders and the synthetic benchmarks;
+* :mod:`repro.continual` — streams, scenarios, memory, ACC/FGT metrics;
+* :mod:`repro.core` — **CDCL**, the paper's method;
+* :mod:`repro.baselines` — DER, DER++, HAL, MSL, CDTrans, TVT;
+* :mod:`repro.theory` — divergence estimates and error bounds;
+* :mod:`repro.experiments` — runners for every table and figure.
+
+Quickstart::
+
+    from repro.core import CDCLConfig, CDCLTrainer
+    from repro.continual import run_continual, Scenario
+    from repro.data.synthetic import mnist_usps
+
+    stream = mnist_usps(rng=0)
+    trainer = CDCLTrainer(CDCLConfig.small(), in_channels=1, image_size=16)
+    result = run_continual(trainer, stream, Scenario.TIL)
+    print(result.acc, result.fgt)
+"""
+
+__version__ = "1.0.0"
+
+from repro.utils import set_seed, global_rng
+
+__all__ = ["set_seed", "global_rng", "__version__"]

@@ -1,0 +1,52 @@
+"""Reverse-mode automatic differentiation over NumPy arrays.
+
+This package is the lowest substrate of the reproduction: a tensor
+library with a dynamic computation graph, sufficient to train the
+convolutional transformer used by CDCL and all baselines.
+
+Public API
+----------
+``Tensor``
+    n-dimensional array with gradient tracking.
+``tensor``
+    convenience constructor mirroring ``numpy.asarray``.
+``no_grad``
+    context manager disabling graph construction.
+``is_grad_enabled``
+    query the global gradient-tracking flag.
+Functional ops are exposed both as ``Tensor`` methods and as module-level
+functions (``repro.autograd.ops``); convolution/pooling live in
+``repro.autograd.conv``.
+"""
+
+from repro.autograd.tensor import (
+    Tensor,
+    tensor,
+    no_grad,
+    is_grad_enabled,
+    zeros,
+    ones,
+    zeros_like,
+    ones_like,
+    arange,
+)
+from repro.autograd import ops
+from repro.autograd.conv import conv2d, max_pool2d, avg_pool2d
+from repro.autograd.grad_check import gradient_check
+
+__all__ = [
+    "Tensor",
+    "tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "zeros",
+    "ones",
+    "zeros_like",
+    "ones_like",
+    "arange",
+    "ops",
+    "conv2d",
+    "max_pool2d",
+    "avg_pool2d",
+    "gradient_check",
+]

@@ -1,0 +1,178 @@
+"""Differentiable 2-D convolution and pooling via im2col.
+
+Layout convention is NCHW: ``(batch, channels, height, width)``.
+The im2col transform turns convolution into a single matrix multiply,
+which is the standard CPU-efficient formulation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+__all__ = ["conv2d", "max_pool2d", "avg_pool2d", "im2col", "col2im"]
+
+
+def _pair(value) -> tuple[int, int]:
+    if isinstance(value, (tuple, list)):
+        return int(value[0]), int(value[1])
+    return int(value), int(value)
+
+
+def conv_output_shape(
+    height: int, width: int, kernel: tuple[int, int], stride: tuple[int, int], padding: tuple[int, int]
+) -> tuple[int, int]:
+    """Spatial output size of a convolution/pooling window sweep."""
+    out_h = (height + 2 * padding[0] - kernel[0]) // stride[0] + 1
+    out_w = (width + 2 * padding[1] - kernel[1]) // stride[1] + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError(
+            f"convolution window {kernel} with stride {stride} and padding {padding} "
+            f"does not fit input of size {(height, width)}"
+        )
+    return out_h, out_w
+
+
+def im2col(
+    x: np.ndarray, kernel: tuple[int, int], stride: tuple[int, int], padding: tuple[int, int]
+) -> np.ndarray:
+    """Unfold ``x`` (N,C,H,W) into columns (N, C*kh*kw, out_h*out_w)."""
+    n, c, h, w = x.shape
+    kh, kw = kernel
+    out_h, out_w = conv_output_shape(h, w, kernel, stride, padding)
+    if padding != (0, 0):
+        x = np.pad(x, ((0, 0), (0, 0), (padding[0], padding[0]), (padding[1], padding[1])))
+    # Strided sliding-window view: (N, C, out_h, out_w, kh, kw)
+    sn, sc, sh, sw = x.strides
+    view = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, out_h, out_w, kh, kw),
+        strides=(sn, sc, sh * stride[0], sw * stride[1], sh, sw),
+        writeable=False,
+    )
+    cols = view.transpose(0, 1, 4, 5, 2, 3).reshape(n, c * kh * kw, out_h * out_w)
+    return np.ascontiguousarray(cols)
+
+
+def col2im(
+    cols: np.ndarray,
+    input_shape: tuple[int, int, int, int],
+    kernel: tuple[int, int],
+    stride: tuple[int, int],
+    padding: tuple[int, int],
+) -> np.ndarray:
+    """Fold columns back into an image, summing overlapping windows.
+
+    This is the adjoint of :func:`im2col` and therefore the gradient
+    routing used by the convolution backward pass.
+    """
+    n, c, h, w = input_shape
+    kh, kw = kernel
+    out_h, out_w = conv_output_shape(h, w, kernel, stride, padding)
+    padded = np.zeros((n, c, h + 2 * padding[0], w + 2 * padding[1]), dtype=cols.dtype)
+    cols = cols.reshape(n, c, kh, kw, out_h, out_w)
+    for i in range(kh):
+        i_max = i + stride[0] * out_h
+        for j in range(kw):
+            j_max = j + stride[1] * out_w
+            padded[:, :, i:i_max : stride[0], j:j_max : stride[1]] += cols[:, :, i, j]
+    if padding == (0, 0):
+        return padded
+    return padded[:, :, padding[0] : padding[0] + h, padding[1] : padding[1] + w]
+
+
+def conv2d(x, weight, bias=None, stride=1, padding=0) -> Tensor:
+    """2-D convolution.
+
+    Parameters
+    ----------
+    x:
+        Input tensor of shape ``(N, C_in, H, W)``.
+    weight:
+        Filter tensor of shape ``(C_out, C_in, kh, kw)``.
+    bias:
+        Optional tensor of shape ``(C_out,)``.
+    """
+    if not isinstance(x, Tensor):
+        x = Tensor(x)
+    if not isinstance(weight, Tensor):
+        weight = Tensor(weight)
+    stride = _pair(stride)
+    padding = _pair(padding)
+    n, c_in, h, w = x.shape
+    c_out, c_in_w, kh, kw = weight.shape
+    if c_in != c_in_w:
+        raise ValueError(f"input has {c_in} channels but weight expects {c_in_w}")
+    out_h, out_w = conv_output_shape(h, w, (kh, kw), stride, padding)
+
+    cols = im2col(x.data, (kh, kw), stride, padding)  # (N, C*kh*kw, L)
+    w_mat = weight.data.reshape(c_out, -1)  # (C_out, C*kh*kw)
+    out = np.einsum("ok,nkl->nol", w_mat, cols)
+    if bias is not None:
+        out = out + bias.data.reshape(1, c_out, 1)
+    out = out.reshape(n, c_out, out_h, out_w)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(grad):
+        grad_mat = grad.reshape(n, c_out, -1)  # (N, C_out, L)
+        grad_w = np.einsum("nol,nkl->ok", grad_mat, cols).reshape(weight.shape)
+        grad_cols = np.einsum("ok,nol->nkl", w_mat, grad_mat)
+        grad_x = col2im(grad_cols, x.shape, (kh, kw), stride, padding)
+        if bias is None:
+            return grad_x, grad_w
+        grad_b = grad_mat.sum(axis=(0, 2))
+        return grad_x, grad_w, grad_b
+
+    return Tensor._make(out, parents, backward)
+
+
+def max_pool2d(x, kernel_size, stride=None, padding=0) -> Tensor:
+    """Max pooling over spatial windows (NCHW)."""
+    if not isinstance(x, Tensor):
+        x = Tensor(x)
+    kernel = _pair(kernel_size)
+    stride = kernel if stride is None else _pair(stride)
+    padding = _pair(padding)
+    n, c, h, w = x.shape
+    out_h, out_w = conv_output_shape(h, w, kernel, stride, padding)
+
+    cols = im2col(x.data, kernel, stride, padding)  # (N, C*kh*kw, L)
+    cols = cols.reshape(n, c, kernel[0] * kernel[1], out_h * out_w)
+    arg = cols.argmax(axis=2)  # (N, C, L)
+    out = np.take_along_axis(cols, arg[:, :, None, :], axis=2).squeeze(2)
+    out = out.reshape(n, c, out_h, out_w)
+
+    def backward(grad):
+        grad_flat = grad.reshape(n, c, -1)
+        grad_cols = np.zeros_like(cols)
+        np.put_along_axis(grad_cols, arg[:, :, None, :], grad_flat[:, :, None, :], axis=2)
+        grad_cols = grad_cols.reshape(n, c * kernel[0] * kernel[1], out_h * out_w)
+        return (col2im(grad_cols, x.shape, kernel, stride, padding),)
+
+    return Tensor._make(out, (x,), backward)
+
+
+def avg_pool2d(x, kernel_size, stride=None, padding=0) -> Tensor:
+    """Average pooling over spatial windows (NCHW)."""
+    if not isinstance(x, Tensor):
+        x = Tensor(x)
+    kernel = _pair(kernel_size)
+    stride = kernel if stride is None else _pair(stride)
+    padding = _pair(padding)
+    n, c, h, w = x.shape
+    out_h, out_w = conv_output_shape(h, w, kernel, stride, padding)
+    window = kernel[0] * kernel[1]
+
+    cols = im2col(x.data, kernel, stride, padding)
+    cols = cols.reshape(n, c, window, out_h * out_w)
+    out = cols.mean(axis=2).reshape(n, c, out_h, out_w)
+
+    def backward(grad):
+        grad_flat = grad.reshape(n, c, 1, -1) / window
+        grad_cols = np.broadcast_to(grad_flat, (n, c, window, out_h * out_w))
+        grad_cols = grad_cols.reshape(n, c * window, out_h * out_w)
+        return (col2im(np.ascontiguousarray(grad_cols), x.shape, kernel, stride, padding),)
+
+    return Tensor._make(out, (x,), backward)

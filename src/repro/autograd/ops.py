@@ -1,0 +1,534 @@
+"""Differentiable primitive operations on :class:`~repro.autograd.Tensor`.
+
+Each function computes the forward value with NumPy and registers a
+backward closure returning the gradient contribution for every parent
+(or ``None`` for non-differentiable parents).
+"""
+
+from __future__ import annotations
+
+import builtins
+from typing import Sequence
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+__all__ = [
+    "add",
+    "sub",
+    "mul",
+    "div",
+    "neg",
+    "pow",
+    "matmul",
+    "exp",
+    "log",
+    "sqrt",
+    "tanh",
+    "abs",
+    "relu",
+    "leaky_relu",
+    "gelu",
+    "sigmoid",
+    "sum",
+    "mean",
+    "var",
+    "max",
+    "min",
+    "maximum",
+    "minimum",
+    "clip",
+    "softmax",
+    "log_softmax",
+    "logsumexp",
+    "reshape",
+    "transpose",
+    "getitem",
+    "take_along_axis",
+    "concat",
+    "stack",
+    "pad",
+    "where",
+    "dropout_mask_apply",
+    "embedding_lookup",
+]
+
+
+def _wrap(value) -> Tensor:
+    return value if isinstance(value, Tensor) else Tensor(value)
+
+
+# ----------------------------------------------------------------------
+# Arithmetic
+# ----------------------------------------------------------------------
+def add(a, b) -> Tensor:
+    a, b = _wrap(a), _wrap(b)
+    out_data = a.data + b.data
+
+    def backward(grad):
+        return grad, grad
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+def sub(a, b) -> Tensor:
+    a, b = _wrap(a), _wrap(b)
+    out_data = a.data - b.data
+
+    def backward(grad):
+        return grad, -grad
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+def mul(a, b) -> Tensor:
+    a, b = _wrap(a), _wrap(b)
+    out_data = a.data * b.data
+
+    def backward(grad):
+        return grad * b.data, grad * a.data
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+def div(a, b) -> Tensor:
+    a, b = _wrap(a), _wrap(b)
+    out_data = a.data / b.data
+
+    def backward(grad):
+        return grad / b.data, -grad * a.data / (b.data * b.data)
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+def neg(a) -> Tensor:
+    a = _wrap(a)
+
+    def backward(grad):
+        return (-grad,)
+
+    return Tensor._make(-a.data, (a,), backward)
+
+
+def pow(a, exponent: float) -> Tensor:
+    """Element-wise power with a constant (non-tensor) exponent."""
+    a = _wrap(a)
+    if isinstance(exponent, Tensor):
+        raise TypeError("pow only supports constant exponents")
+    out_data = a.data**exponent
+
+    def backward(grad):
+        return (grad * exponent * a.data ** (exponent - 1),)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def matmul(a, b) -> Tensor:
+    """Matrix product supporting batched operands (NumPy semantics)."""
+    a, b = _wrap(a), _wrap(b)
+    out_data = a.data @ b.data
+
+    def backward(grad):
+        a_data, b_data = a.data, b.data
+        if a_data.ndim == 1 and b_data.ndim == 1:
+            return grad * b_data, grad * a_data
+        if a_data.ndim == 1:
+            # (k,) @ (..., k, n) -> (..., n)
+            grad_a = (grad[..., None, :] * b_data).sum(axis=-1)
+            grad_b = a_data[:, None] * grad[..., None, :]
+            return grad_a, grad_b
+        if b_data.ndim == 1:
+            # (..., m, k) @ (k,) -> (..., m)
+            grad_a = grad[..., :, None] * b_data
+            grad_b = (a_data * grad[..., :, None]).sum(axis=tuple(range(a_data.ndim - 1)))
+            return grad_a, grad_b
+        grad_a = grad @ np.swapaxes(b_data, -1, -2)
+        grad_b = np.swapaxes(a_data, -1, -2) @ grad
+        return grad_a, grad_b
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+# ----------------------------------------------------------------------
+# Element-wise nonlinearities
+# ----------------------------------------------------------------------
+def exp(a) -> Tensor:
+    a = _wrap(a)
+    out_data = np.exp(a.data)
+
+    def backward(grad):
+        return (grad * out_data,)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def log(a) -> Tensor:
+    a = _wrap(a)
+    out_data = np.log(a.data)
+
+    def backward(grad):
+        return (grad / a.data,)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def sqrt(a) -> Tensor:
+    a = _wrap(a)
+    out_data = np.sqrt(a.data)
+
+    def backward(grad):
+        return (grad * 0.5 / out_data,)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def tanh(a) -> Tensor:
+    a = _wrap(a)
+    out_data = np.tanh(a.data)
+
+    def backward(grad):
+        return (grad * (1.0 - out_data * out_data),)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def abs(a) -> Tensor:
+    a = _wrap(a)
+    out_data = np.abs(a.data)
+
+    def backward(grad):
+        return (grad * np.sign(a.data),)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def relu(a) -> Tensor:
+    a = _wrap(a)
+    mask = a.data > 0
+    out_data = np.where(mask, a.data, 0.0)
+
+    def backward(grad):
+        return (grad * mask,)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def leaky_relu(a, negative_slope: float = 0.01) -> Tensor:
+    a = _wrap(a)
+    mask = a.data > 0
+    out_data = np.where(mask, a.data, negative_slope * a.data)
+
+    def backward(grad):
+        return (grad * np.where(mask, 1.0, negative_slope),)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+_GELU_C = np.sqrt(2.0 / np.pi)
+
+
+def gelu(a) -> Tensor:
+    """Gaussian error linear unit (tanh approximation)."""
+    a = _wrap(a)
+    x = a.data
+    inner = _GELU_C * (x + 0.044715 * x**3)
+    t = np.tanh(inner)
+    out_data = 0.5 * x * (1.0 + t)
+
+    def backward(grad):
+        d_inner = _GELU_C * (1.0 + 3 * 0.044715 * x**2)
+        d = 0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * d_inner
+        return (grad * d,)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def sigmoid(a) -> Tensor:
+    a = _wrap(a)
+    out_data = 1.0 / (1.0 + np.exp(-a.data))
+
+    def backward(grad):
+        return (grad * out_data * (1.0 - out_data),)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+# ----------------------------------------------------------------------
+# Reductions
+# ----------------------------------------------------------------------
+def _expand_reduced(grad: np.ndarray, shape: tuple, axis, keepdims: bool) -> np.ndarray:
+    """Broadcast a reduced gradient back to ``shape``."""
+    if axis is None:
+        return np.broadcast_to(grad, shape).copy() if np.ndim(grad) == 0 else np.full(shape, grad)
+    if not keepdims:
+        axes = axis if isinstance(axis, tuple) else (axis,)
+        axes = tuple(a % len(shape) for a in axes)
+        for a in sorted(axes):
+            grad = np.expand_dims(grad, a)
+    return np.broadcast_to(grad, shape)
+
+
+def sum(a, axis=None, keepdims: bool = False) -> Tensor:
+    a = _wrap(a)
+    out_data = a.data.sum(axis=axis, keepdims=keepdims)
+
+    def backward(grad):
+        return (_expand_reduced(grad, a.shape, axis, keepdims),)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def mean(a, axis=None, keepdims: bool = False) -> Tensor:
+    a = _wrap(a)
+    out_data = a.data.mean(axis=axis, keepdims=keepdims)
+    count = a.data.size if axis is None else np.prod(
+        [a.shape[ax] for ax in (axis if isinstance(axis, tuple) else (axis,))]
+    )
+
+    def backward(grad):
+        return (_expand_reduced(grad, a.shape, axis, keepdims) / count,)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def var(a, axis=None, keepdims: bool = False) -> Tensor:
+    """Population variance (ddof=0), differentiable."""
+    a = _wrap(a)
+    centered = sub(a, mean(a, axis=axis, keepdims=True))
+    return mean(mul(centered, centered), axis=axis, keepdims=keepdims)
+
+
+def _extreme(a, axis, keepdims, fn) -> Tensor:
+    a = _wrap(a)
+    out_data = fn(a.data, axis=axis, keepdims=keepdims)
+
+    def backward(grad):
+        expanded = out_data if keepdims or axis is None else np.expand_dims(
+            out_data, axis if isinstance(axis, int) else tuple(axis)
+        )
+        mask = a.data == expanded
+        # Split gradient equally among ties for a well-defined subgradient.
+        counts = mask.sum(axis=axis, keepdims=True)
+        grad_full = _expand_reduced(grad, a.shape, axis, keepdims)
+        return (grad_full * mask / counts,)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def max(a, axis=None, keepdims: bool = False) -> Tensor:
+    return _extreme(a, axis, keepdims, np.max)
+
+
+def min(a, axis=None, keepdims: bool = False) -> Tensor:
+    return _extreme(a, axis, keepdims, np.min)
+
+
+def maximum(a, b) -> Tensor:
+    a, b = _wrap(a), _wrap(b)
+    out_data = np.maximum(a.data, b.data)
+
+    def backward(grad):
+        a_wins = a.data >= b.data
+        return grad * a_wins, grad * ~a_wins
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+def minimum(a, b) -> Tensor:
+    a, b = _wrap(a), _wrap(b)
+    out_data = np.minimum(a.data, b.data)
+
+    def backward(grad):
+        a_wins = a.data <= b.data
+        return grad * a_wins, grad * ~a_wins
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+def clip(a, low: float, high: float) -> Tensor:
+    a = _wrap(a)
+    out_data = np.clip(a.data, low, high)
+
+    def backward(grad):
+        mask = (a.data >= low) & (a.data <= high)
+        return (grad * mask,)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+# ----------------------------------------------------------------------
+# Softmax family
+# ----------------------------------------------------------------------
+def softmax(a, axis: int = -1) -> Tensor:
+    a = _wrap(a)
+    shifted = a.data - a.data.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    out_data = e / e.sum(axis=axis, keepdims=True)
+
+    def backward(grad):
+        dot = (grad * out_data).sum(axis=axis, keepdims=True)
+        return (out_data * (grad - dot),)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def log_softmax(a, axis: int = -1) -> Tensor:
+    a = _wrap(a)
+    shifted = a.data - a.data.max(axis=axis, keepdims=True)
+    lse = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out_data = shifted - lse
+    soft = np.exp(out_data)
+
+    def backward(grad):
+        return (grad - soft * grad.sum(axis=axis, keepdims=True),)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def logsumexp(a, axis: int = -1, keepdims: bool = False) -> Tensor:
+    a = _wrap(a)
+    m = a.data.max(axis=axis, keepdims=True)
+    e = np.exp(a.data - m)
+    s = e.sum(axis=axis, keepdims=True)
+    out_keep = m + np.log(s)
+    out_data = out_keep if keepdims else np.squeeze(out_keep, axis=axis)
+    soft = e / s
+
+    def backward(grad):
+        return (_expand_reduced(grad, a.shape, axis, keepdims) * soft,)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+# ----------------------------------------------------------------------
+# Shape manipulation
+# ----------------------------------------------------------------------
+def reshape(a, shape: tuple[int, ...]) -> Tensor:
+    a = _wrap(a)
+    out_data = a.data.reshape(shape)
+
+    def backward(grad):
+        return (grad.reshape(a.shape),)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def transpose(a, axes: tuple[int, ...] | None = None) -> Tensor:
+    a = _wrap(a)
+    out_data = a.data.transpose(axes)
+
+    def backward(grad):
+        if axes is None:
+            return (grad.transpose(),)
+        inverse = np.argsort(axes)
+        return (grad.transpose(inverse),)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def getitem(a, index) -> Tensor:
+    a = _wrap(a)
+    out_data = a.data[index]
+
+    def backward(grad):
+        full = np.zeros_like(a.data)
+        np.add.at(full, index, grad)
+        return (full,)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def take_along_axis(a, indices: np.ndarray, axis: int) -> Tensor:
+    """Differentiable ``np.take_along_axis`` (for label gathering)."""
+    a = _wrap(a)
+    indices = np.asarray(indices)
+    out_data = np.take_along_axis(a.data, indices, axis=axis)
+
+    def backward(grad):
+        full = np.zeros_like(a.data)
+        np.put_along_axis(full, indices, 0.0, axis=axis)  # ensure shape check
+        # Accumulate (put_along_axis overwrites, so use manual scatter-add).
+        it = np.nditer(indices, flags=["multi_index"])
+        for idx in it:
+            loc = list(it.multi_index)
+            loc[axis] = int(idx)
+            full[tuple(loc)] += grad[it.multi_index]
+        return (full,)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def concat(tensors: Sequence, axis: int = 0) -> Tensor:
+    tensors = [_wrap(t) for t in tensors]
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.shape[axis] for t in tensors]
+    splits = np.cumsum(sizes)[:-1]
+
+    def backward(grad):
+        return tuple(np.split(grad, splits, axis=axis))
+
+    return Tensor._make(out_data, tuple(tensors), backward)
+
+
+def stack(tensors: Sequence, axis: int = 0) -> Tensor:
+    tensors = [_wrap(t) for t in tensors]
+    out_data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad):
+        parts = np.split(grad, len(tensors), axis=axis)
+        return tuple(np.squeeze(p, axis=axis) for p in parts)
+
+    return Tensor._make(out_data, tuple(tensors), backward)
+
+
+def pad(a, pad_width, constant: float = 0.0) -> Tensor:
+    a = _wrap(a)
+    out_data = np.pad(a.data, pad_width, constant_values=constant)
+
+    def backward(grad):
+        slices = tuple(
+            slice(before, dim + before)
+            for (before, _after), dim in zip(pad_width, a.shape)
+        )
+        return (grad[slices],)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def where(condition, a, b) -> Tensor:
+    """Select from ``a`` where ``condition`` else ``b`` (condition constant)."""
+    cond = condition.data if isinstance(condition, Tensor) else np.asarray(condition)
+    cond = cond.astype(bool)
+    a, b = _wrap(a), _wrap(b)
+    out_data = np.where(cond, a.data, b.data)
+
+    def backward(grad):
+        return grad * cond, grad * ~cond
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+def dropout_mask_apply(a, mask: np.ndarray, scale: float) -> Tensor:
+    """Apply a precomputed dropout mask with inverse scaling."""
+    a = _wrap(a)
+    out_data = a.data * mask * scale
+
+    def backward(grad):
+        return (grad * mask * scale,)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def embedding_lookup(weight, indices: np.ndarray) -> Tensor:
+    """Row lookup into ``weight`` (differentiable w.r.t. weight)."""
+    weight = _wrap(weight)
+    indices = np.asarray(indices, dtype=np.int64)
+    out_data = weight.data[indices]
+
+    def backward(grad):
+        full = np.zeros_like(weight.data)
+        np.add.at(full, indices, grad)
+        return (full,)
+
+    return Tensor._make(out_data, (weight,), backward)

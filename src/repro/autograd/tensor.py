@@ -1,0 +1,446 @@
+"""The ``Tensor`` class: a NumPy array plus a dynamic autodiff graph.
+
+Every differentiable operation records its input tensors and a backward
+closure.  Calling :meth:`Tensor.backward` runs a topological sort of the
+graph and accumulates gradients into ``Tensor.grad`` for every tensor
+with ``requires_grad=True``.
+
+Design notes
+------------
+* Gradients are plain ``numpy.ndarray`` objects (no second-order autodiff).
+* Broadcasting is supported by summing gradients back to the input shape
+  (:func:`unbroadcast`).
+* Graph construction can be switched off globally with :func:`no_grad`,
+  which both saves memory during evaluation and freezes parameters.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Tensor",
+    "tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "unbroadcast",
+    "zeros",
+    "ones",
+    "zeros_like",
+    "ones_like",
+    "arange",
+]
+
+_GRAD_ENABLED = True
+
+DEFAULT_DTYPE = np.float64
+
+
+def is_grad_enabled() -> bool:
+    """Return True when operations currently record the autodiff graph."""
+    return _GRAD_ENABLED
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables graph construction.
+
+    Example
+    -------
+    >>> with no_grad():
+    ...     y = model(x)          # no backward graph is built
+    """
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape``, undoing NumPy broadcasting.
+
+    Broadcasting either prepends axes or stretches size-1 axes; the
+    gradient of a broadcast is the sum over the broadcast axes.
+    """
+    if grad.shape == shape:
+        return grad
+    # Remove prepended axes.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over stretched size-1 axes.
+    axes = tuple(i for i, n in enumerate(shape) if n == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """An n-dimensional array with reverse-mode gradient tracking.
+
+    Parameters
+    ----------
+    data:
+        Anything convertible by ``numpy.asarray``.
+    requires_grad:
+        When True, gradients are accumulated into :attr:`grad` on
+        :meth:`backward`.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+
+    def __init__(self, data, requires_grad: bool = False, name: str | None = None):
+        if isinstance(data, Tensor):
+            data = data.data
+        self.data = np.asarray(data, dtype=DEFAULT_DTYPE)
+        self.grad: np.ndarray | None = None
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self._backward: Callable[[np.ndarray], None] | None = None
+        self._parents: tuple[Tensor, ...] = ()
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Basic introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor({np.array2string(self.data, precision=4, threshold=16)}{grad_flag})"
+
+    def item(self) -> float:
+        return float(self.data.item())
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (no copy)."""
+        return self.data
+
+    def detach(self) -> "Tensor":
+        """A view of this tensor cut off from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def copy(self) -> "Tensor":
+        return Tensor(self.data.copy(), requires_grad=False)
+
+    # ------------------------------------------------------------------
+    # Graph plumbing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: Sequence["Tensor"],
+        backward: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        """Create an op output, wiring the graph only when needed."""
+        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires)
+        if requires:
+            out._parents = tuple(parents)
+            out._backward = backward
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if not self.requires_grad:
+            return
+        if self.grad is None:
+            self.grad = np.zeros_like(self.data)
+        self.grad += unbroadcast(np.asarray(grad, dtype=self.data.dtype), self.shape)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Backpropagate from this tensor.
+
+        Parameters
+        ----------
+        grad:
+            Upstream gradient.  Defaults to 1 for scalar outputs.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            if self.size != 1:
+                raise RuntimeError("grad must be provided for non-scalar outputs")
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=self.data.dtype)
+
+        # Topological order over the reachable graph.
+        order: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if parent.requires_grad and id(parent) not in visited:
+                    stack.append((parent, False))
+
+        grads: dict[int, np.ndarray] = {id(self): grad}
+        for node in reversed(order):
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node._backward is None or not node._parents:
+                # Leaf (parameter or input): store the gradient.
+                node._accumulate(node_grad)
+                continue
+            contributions = node._backward(node_grad)
+            if not isinstance(contributions, tuple):
+                contributions = (contributions,)
+            for parent, contribution in zip(node._parents, contributions):
+                if contribution is None or not parent.requires_grad:
+                    continue
+                contribution = unbroadcast(
+                    np.asarray(contribution, dtype=parent.data.dtype), parent.shape
+                )
+                key = id(parent)
+                if key in grads:
+                    grads[key] = grads[key] + contribution
+                else:
+                    grads[key] = contribution
+
+    # ------------------------------------------------------------------
+    # Operator overloads (implementations live in repro.autograd.ops)
+    # ------------------------------------------------------------------
+    def __add__(self, other):
+        from repro.autograd import ops
+
+        return ops.add(self, other)
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        from repro.autograd import ops
+
+        return ops.sub(self, other)
+
+    def __rsub__(self, other):
+        from repro.autograd import ops
+
+        return ops.sub(other, self)
+
+    def __mul__(self, other):
+        from repro.autograd import ops
+
+        return ops.mul(self, other)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        from repro.autograd import ops
+
+        return ops.div(self, other)
+
+    def __rtruediv__(self, other):
+        from repro.autograd import ops
+
+        return ops.div(other, self)
+
+    def __neg__(self):
+        from repro.autograd import ops
+
+        return ops.neg(self)
+
+    def __pow__(self, exponent):
+        from repro.autograd import ops
+
+        return ops.pow(self, exponent)
+
+    def __matmul__(self, other):
+        from repro.autograd import ops
+
+        return ops.matmul(self, other)
+
+    def __getitem__(self, index):
+        from repro.autograd import ops
+
+        return ops.getitem(self, index)
+
+    # Comparisons return plain boolean arrays (non-differentiable).
+    def __gt__(self, other):
+        return self.data > _as_array(other)
+
+    def __lt__(self, other):
+        return self.data < _as_array(other)
+
+    def __ge__(self, other):
+        return self.data >= _as_array(other)
+
+    def __le__(self, other):
+        return self.data <= _as_array(other)
+
+    def __eq__(self, other):  # type: ignore[override]
+        return self.data == _as_array(other)
+
+    def __ne__(self, other):  # type: ignore[override]
+        return self.data != _as_array(other)
+
+    def __hash__(self):
+        return id(self)
+
+    # ------------------------------------------------------------------
+    # Method mirrors of functional ops
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims=False):
+        from repro.autograd import ops
+
+        return ops.sum(self, axis=axis, keepdims=keepdims)
+
+    def mean(self, axis=None, keepdims=False):
+        from repro.autograd import ops
+
+        return ops.mean(self, axis=axis, keepdims=keepdims)
+
+    def max(self, axis=None, keepdims=False):
+        from repro.autograd import ops
+
+        return ops.max(self, axis=axis, keepdims=keepdims)
+
+    def min(self, axis=None, keepdims=False):
+        from repro.autograd import ops
+
+        return ops.min(self, axis=axis, keepdims=keepdims)
+
+    def var(self, axis=None, keepdims=False):
+        from repro.autograd import ops
+
+        return ops.var(self, axis=axis, keepdims=keepdims)
+
+    def reshape(self, *shape):
+        from repro.autograd import ops
+
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        return ops.reshape(self, shape)
+
+    def flatten(self, start_axis: int = 0):
+        new_shape = self.shape[:start_axis] + (-1,)
+        return self.reshape(new_shape)
+
+    def transpose(self, *axes):
+        from repro.autograd import ops
+
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        return ops.transpose(self, axes if axes else None)
+
+    def swapaxes(self, a: int, b: int):
+        axes = list(range(self.ndim))
+        axes[a], axes[b] = axes[b], axes[a]
+        return self.transpose(tuple(axes))
+
+    def exp(self):
+        from repro.autograd import ops
+
+        return ops.exp(self)
+
+    def log(self):
+        from repro.autograd import ops
+
+        return ops.log(self)
+
+    def sqrt(self):
+        from repro.autograd import ops
+
+        return ops.sqrt(self)
+
+    def tanh(self):
+        from repro.autograd import ops
+
+        return ops.tanh(self)
+
+    def relu(self):
+        from repro.autograd import ops
+
+        return ops.relu(self)
+
+    def sigmoid(self):
+        from repro.autograd import ops
+
+        return ops.sigmoid(self)
+
+    def softmax(self, axis=-1):
+        from repro.autograd import ops
+
+        return ops.softmax(self, axis=axis)
+
+    def log_softmax(self, axis=-1):
+        from repro.autograd import ops
+
+        return ops.log_softmax(self, axis=axis)
+
+    def clip(self, low, high):
+        from repro.autograd import ops
+
+        return ops.clip(self, low, high)
+
+    def argmax(self, axis=None) -> np.ndarray:
+        return self.data.argmax(axis=axis)
+
+
+def _as_array(value) -> np.ndarray:
+    if isinstance(value, Tensor):
+        return value.data
+    return np.asarray(value)
+
+
+# ----------------------------------------------------------------------
+# Constructors
+# ----------------------------------------------------------------------
+def tensor(data, requires_grad: bool = False) -> Tensor:
+    """Build a :class:`Tensor`, mirroring ``numpy.asarray`` semantics."""
+    return Tensor(data, requires_grad=requires_grad)
+
+
+def zeros(shape: int | Iterable[int], requires_grad: bool = False) -> Tensor:
+    return Tensor(np.zeros(shape, dtype=DEFAULT_DTYPE), requires_grad=requires_grad)
+
+
+def ones(shape: int | Iterable[int], requires_grad: bool = False) -> Tensor:
+    return Tensor(np.ones(shape, dtype=DEFAULT_DTYPE), requires_grad=requires_grad)
+
+
+def zeros_like(other: Tensor, requires_grad: bool = False) -> Tensor:
+    return Tensor(np.zeros_like(_as_array(other)), requires_grad=requires_grad)
+
+
+def ones_like(other: Tensor, requires_grad: bool = False) -> Tensor:
+    return Tensor(np.ones_like(_as_array(other)), requires_grad=requires_grad)
+
+
+def arange(*args, requires_grad: bool = False) -> Tensor:
+    return Tensor(np.arange(*args, dtype=DEFAULT_DTYPE), requires_grad=requires_grad)

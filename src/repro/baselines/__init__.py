@@ -1,0 +1,39 @@
+"""Baseline methods the paper compares against.
+
+* Continual baselines (source-supervised, no UDA): :class:`FineTune`,
+  :class:`DER`, :class:`DERpp`, :class:`HAL`, :class:`MSL`;
+* Static UDA baselines: :class:`CDTransS`/:class:`CDTransB` (no
+  continual mechanism, collapses on streams) and :class:`TVT` (joint
+  offline training, the upper bound).
+"""
+
+from repro.baselines.backbone import BackboneConfig, CompactTransformer
+from repro.baselines.base import BaselineConfig, BaselineTrainer
+from repro.baselines.finetune import FineTune
+from repro.baselines.der import DER, DERpp
+from repro.baselines.hal import HAL
+from repro.baselines.msl import MSL
+from repro.baselines.ewc import EWC
+from repro.baselines.si import SI
+from repro.baselines.agem import AGEM
+from repro.baselines.cdtrans import CDTrans, CDTransS, CDTransB
+from repro.baselines.tvt import TVT
+
+__all__ = [
+    "BackboneConfig",
+    "CompactTransformer",
+    "BaselineConfig",
+    "BaselineTrainer",
+    "FineTune",
+    "DER",
+    "DERpp",
+    "HAL",
+    "MSL",
+    "EWC",
+    "SI",
+    "AGEM",
+    "CDTrans",
+    "CDTransS",
+    "CDTransB",
+    "TVT",
+]

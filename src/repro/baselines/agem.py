@@ -1,0 +1,96 @@
+"""A-GEM: Averaged Gradient Episodic Memory (Chaudhry et al., ICLR 2019).
+
+The gradient-projection rehearsal method the paper cites ([9]).  Each
+update computes the loss gradient ``g`` on the current batch and a
+reference gradient ``g_ref`` on a memory batch; if they conflict
+(``g . g_ref < 0``) the update is projected onto the half-space that
+does not increase the memory loss:
+
+    g_tilde = g - (g . g_ref / ||g_ref||^2) * g_ref
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Tensor
+from repro.baselines.base import BaselineConfig, BaselineTrainer
+from repro.continual.memory import ReservoirMemory
+from repro.continual.stream import UDATask
+from repro.nn.functional import cross_entropy
+from repro.utils import spawn_rng
+
+__all__ = ["AGEM"]
+
+
+class AGEM(BaselineTrainer):
+    """Averaged GEM with reservoir episodic memory."""
+
+    name = "A-GEM"
+
+    def __init__(self, config: BaselineConfig, in_channels: int, image_size: int, rng=None):
+        super().__init__(config, in_channels, image_size, rng=rng)
+        self.memory = ReservoirMemory(config.memory_size, rng=spawn_rng(self._rng))
+        self.projections_applied = 0
+
+    def observe_task(self, task: UDATask) -> None:
+        self._add_heads(task.num_classes)
+        x_source, y_source = task.source_train.arrays()
+        for _epoch in range(self.config.epochs):
+            order = self._rng.permutation(len(x_source))
+            for start in range(0, len(order), self.config.batch_size):
+                idx = order[start : start + self.config.batch_size]
+                self._agem_step(task, x_source[idx], y_source[idx])
+        # Populate memory at task end (the A-GEM ring-buffer role).
+        with_logits = self._current_cil_logits_np(x_source)
+        self.memory.add_batch(
+            x_source, y_source + self.class_offset(task.task_id), with_logits, task.task_id
+        )
+        self.after_task(task, x_source, y_source)
+
+    def _agem_step(self, task: UDATask, xs: np.ndarray, ys: np.ndarray) -> None:
+        params = self._all_params()
+        # Current-batch gradient.
+        self.optimizer.zero_grad()
+        loss = self.batch_loss(task, xs, ys)
+        loss.backward()
+        grads = {id(p): (p.grad.copy() if p.grad is not None else None) for p in params}
+
+        reference = self._reference_gradient(params)
+        if reference is not None:
+            dot = 0.0
+            ref_sq = 0.0
+            for p in params:
+                g = grads[id(p)]
+                r = reference.get(id(p))
+                if g is None or r is None:
+                    continue
+                dot += float((g * r).sum())
+                ref_sq += float((r * r).sum())
+            if dot < 0 and ref_sq > 0:
+                scale = dot / ref_sq
+                for p in params:
+                    g = grads[id(p)]
+                    r = reference.get(id(p))
+                    if g is not None and r is not None:
+                        g -= scale * r
+                self.projections_applied += 1
+
+        # Apply the (possibly projected) gradient.
+        for p in params:
+            p.grad = grads[id(p)]
+        self.optimizer.step()
+
+    def _reference_gradient(self, params) -> dict[int, np.ndarray] | None:
+        sample = self.memory.sample(self.config.replay_batch)
+        if sample is None:
+            return None
+        x_mem, y_mem, _logits, _tasks, _widths = sample
+        self.optimizer.zero_grad()
+        ref_loss = cross_entropy(self.cil_logits(self.backbone(x_mem)), y_mem)
+        ref_loss.backward()
+        reference = {
+            id(p): (p.grad.copy() if p.grad is not None else None) for p in params
+        }
+        self.optimizer.zero_grad()
+        return reference

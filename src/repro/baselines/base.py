@@ -1,0 +1,170 @@
+"""Shared machinery for the continual baselines.
+
+:class:`BaselineTrainer` implements everything common to DER, DER++,
+HAL and MSL: the shared backbone, per-task TIL heads, a growing CIL
+head, the per-task epoch loop over labeled *source* data (none of the
+continual baselines is UDA-aware — exactly the gap the paper
+highlights), and TIL/CIL prediction.
+
+Subclasses customize one hook, :meth:`batch_loss`, and optionally
+:meth:`after_task`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.autograd import Tensor, no_grad, ops
+from repro.baselines.backbone import BackboneConfig, CompactTransformer
+from repro.continual.method import ContinualMethod
+from repro.continual.scenario import Scenario
+from repro.continual.stream import UDATask
+from repro.nn import Linear, ModuleList
+from repro.nn.functional import cross_entropy
+from repro.optim import Adam, clip_grad_norm
+from repro.utils import resolve_rng, spawn_rng
+
+__all__ = ["BaselineConfig", "BaselineTrainer"]
+
+
+@dataclass
+class BaselineConfig:
+    """Training hyper-parameters shared by the baseline methods."""
+
+    backbone: BackboneConfig = None  # type: ignore[assignment]
+    epochs: int = 10
+    batch_size: int = 32
+    lr: float = 1e-3
+    grad_clip: float = 5.0
+    memory_size: int = 200
+    replay_batch: int = 32
+    alpha: float = 0.5  # replay-loss weight (DER's alpha)
+    beta: float = 0.5  # second replay weight (DER++'s beta / HAL's anchors)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.backbone is None:
+            self.backbone = BackboneConfig()
+
+    @classmethod
+    def fast(cls, **overrides) -> "BaselineConfig":
+        base = dict(backbone=BackboneConfig.fast(), epochs=3, batch_size=16, memory_size=50)
+        base.update(overrides)
+        return cls(**base)
+
+
+class BaselineTrainer(ContinualMethod):
+    """Base class: multi-head continual classifier trained on source data."""
+
+    name = "baseline"
+
+    def __init__(
+        self, config: BaselineConfig, in_channels: int, image_size: int, rng=None
+    ):
+        rng = resolve_rng(rng if rng is not None else config.seed)
+        self.config = config
+        self.backbone = CompactTransformer(
+            config.backbone, in_channels, image_size, rng=spawn_rng(rng)
+        )
+        self.til_heads = ModuleList()
+        self.cil_heads = ModuleList()
+        self._task_classes: list[int] = []
+        self._rng = spawn_rng(rng)
+        self._head_rng = spawn_rng(rng)
+        self.optimizer = Adam(self.backbone.parameters(), lr=config.lr)
+
+    # ------------------------------------------------------------------
+    # Heads
+    # ------------------------------------------------------------------
+    @property
+    def tasks_seen(self) -> int:
+        return len(self.til_heads)
+
+    def _add_heads(self, num_classes: int) -> None:
+        til = Linear(self.backbone.embed_dim, num_classes, rng=spawn_rng(self._head_rng))
+        cil = Linear(self.backbone.embed_dim, num_classes, rng=spawn_rng(self._head_rng))
+        self.til_heads.append(til)
+        self.cil_heads.append(cil)
+        self._task_classes.append(num_classes)
+        self.optimizer.add_param_group(list(til.parameters()) + list(cil.parameters()))
+
+    def class_offset(self, task_id: int) -> int:
+        return int(np.sum(self._task_classes[:task_id]))
+
+    def til_logits(self, features: Tensor, task_id: int) -> Tensor:
+        return self.til_heads[task_id](features)
+
+    def cil_logits(self, features: Tensor, up_to_task: int | None = None) -> Tensor:
+        last = len(self.cil_heads) - 1 if up_to_task is None else up_to_task
+        segments = [self.cil_heads[i](features) for i in range(last + 1)]
+        if len(segments) == 1:
+            return segments[0]
+        return ops.concat(segments, axis=-1)
+
+    # ------------------------------------------------------------------
+    # ContinualMethod interface
+    # ------------------------------------------------------------------
+    def predict(self, images, task_id, scenario: Scenario) -> np.ndarray:
+        # TIL/DIL answer in the task-local space via the task's head
+        # (DIL receives the latest task id from the harness); CIL uses
+        # the global single head.
+        if scenario is not Scenario.CIL and task_id is not None:
+            with no_grad():
+                logits = self.til_logits(self.backbone(images), task_id)
+            return logits.data.argmax(axis=-1)
+        return self.predict_global(images, scenario)
+
+    def predict_global(self, images, scenario: Scenario) -> np.ndarray:
+        with no_grad():
+            logits = self.cil_logits(self.backbone(images))
+        return logits.data.argmax(axis=-1)
+
+    def observe_task(self, task: UDATask) -> None:
+        self._add_heads(task.num_classes)
+        x_source, y_source = task.source_train.arrays()
+        for _epoch in range(self.config.epochs):
+            order = self._rng.permutation(len(x_source))
+            for start in range(0, len(order), self.config.batch_size):
+                idx = order[start : start + self.config.batch_size]
+                loss = self.batch_loss(task, x_source[idx], y_source[idx])
+                self._step(loss)
+        self.after_task(task, x_source, y_source)
+
+    # ------------------------------------------------------------------
+    # Hooks
+    # ------------------------------------------------------------------
+    def batch_loss(self, task: UDATask, xs: np.ndarray, ys: np.ndarray) -> Tensor:
+        """Default: joint CE on the TIL head and the (global) CIL head."""
+        features = self.backbone(xs)
+        loss = cross_entropy(self.til_logits(features, task.task_id), ys)
+        global_labels = ys + self.class_offset(task.task_id)
+        loss = loss + cross_entropy(self.cil_logits(features), global_labels)
+        return loss
+
+    def after_task(self, task: UDATask, x_source: np.ndarray, y_source: np.ndarray) -> None:
+        """Post-task hook (memory population etc.); default no-op."""
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    def _step(self, loss: Tensor) -> float:
+        if not loss.requires_grad:
+            return float(loss.data)
+        self.optimizer.zero_grad()
+        loss.backward()
+        if self.config.grad_clip:
+            clip_grad_norm(self._all_params(), self.config.grad_clip)
+        self.optimizer.step()
+        return float(loss.data)
+
+    def _all_params(self):
+        params = list(self.backbone.parameters())
+        params += list(self.til_heads.parameters())
+        params += list(self.cil_heads.parameters())
+        return params
+
+    def _current_cil_logits_np(self, xs: np.ndarray) -> np.ndarray:
+        with no_grad():
+            return self.cil_logits(self.backbone(xs)).data

@@ -1,0 +1,191 @@
+"""CDTrans-S / CDTrans-B (Xu et al., 2021) — pure-UDA baselines.
+
+CDTrans is a three-branch cross-domain transformer: source and target
+self-attention branches plus a mixed cross-attention branch trained
+with center-aware pseudo-labels.  It is a *static* UDA method with no
+continual-learning mechanism: one shared backbone, one classifier head,
+no memory, no task-specific parameters.
+
+In the paper's continual protocol this is exactly why it collapses
+(Table I-III: near-zero accuracy): each new task's training overwrites
+the shared head and the aligned features of every previous task.  The
+reimplementation keeps that essential structure:
+
+* per task: source CE + pseudo-labeled target CE + mixed-branch
+  distillation (same loss shapes as CDCL but with *shared* attention);
+* the single head is resized/reinitialized when a task arrives (the
+  method has no notion of task identity), so earlier tasks are
+  evaluated with whatever the current head predicts.
+
+``CDTransS`` and ``CDTransB`` differ only in backbone size, mirroring
+the small/base ViT variants of the original.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Tensor, no_grad, ops
+from repro.baselines.backbone import BackboneConfig, CompactTransformer
+from repro.continual.method import ContinualMethod
+from repro.continual.scenario import Scenario
+from repro.continual.stream import UDATask
+from repro.core.pseudo_label import assign_pseudo_labels, build_pair_set, compute_centroids
+from repro.nn import Linear
+from repro.nn.functional import cross_entropy, soft_cross_entropy
+from repro.optim import Adam, clip_grad_norm
+from repro.utils import resolve_rng, spawn_rng
+
+__all__ = ["CDTrans", "CDTransS", "CDTransB"]
+
+
+class CDTrans(ContinualMethod):
+    """Cross-domain transformer without continual-learning machinery."""
+
+    name = "CDTrans"
+
+    def __init__(
+        self,
+        backbone_config: BackboneConfig,
+        in_channels: int,
+        image_size: int,
+        epochs: int = 10,
+        warmup_epochs: int = 3,
+        batch_size: int = 32,
+        lr: float = 1e-3,
+        grad_clip: float = 5.0,
+        rng=None,
+    ):
+        rng = resolve_rng(rng)
+        self.backbone = CompactTransformer(backbone_config, in_channels, image_size, rng=spawn_rng(rng))
+        self.head: Linear | None = None
+        self.epochs = epochs
+        self.warmup_epochs = warmup_epochs
+        self.batch_size = batch_size
+        self.grad_clip = grad_clip
+        self._lr = lr
+        self._rng = spawn_rng(rng)
+        self._head_rng = spawn_rng(rng)
+        self.optimizer = Adam(self.backbone.parameters(), lr=lr)
+        self._tasks_seen = 0
+        self._num_classes = 0
+        self._total_classes = 0
+
+    @property
+    def tasks_seen(self) -> int:
+        return self._tasks_seen
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def observe_task(self, task: UDATask) -> None:
+        # A static UDA method has a single head sized for "the" problem;
+        # a new task simply replaces it (no multi-head, no growth).
+        self.head = Linear(
+            self.backbone.embed_dim, task.num_classes, rng=spawn_rng(self._head_rng)
+        )
+        self.optimizer.add_param_group(list(self.head.parameters()))
+        self._num_classes = task.num_classes
+        self._total_classes += task.num_classes
+        x_source, y_source = task.source_train.arrays()
+        x_target, _hidden = task.target_train.arrays()
+
+        for epoch in range(self.epochs):
+            if epoch < self.warmup_epochs:
+                self._source_epoch(x_source, y_source)
+            else:
+                self._uda_epoch(x_source, y_source, x_target)
+        self._tasks_seen += 1
+
+    def _source_epoch(self, x_source: np.ndarray, y_source: np.ndarray) -> None:
+        for idx in self._batches(len(x_source)):
+            logits = self.head(self.backbone(x_source[idx]))
+            self._step(cross_entropy(logits, y_source[idx]))
+
+    def _uda_epoch(
+        self, x_source: np.ndarray, y_source: np.ndarray, x_target: np.ndarray
+    ) -> None:
+        feats_t = self._embed(x_target)
+        probs_t = self._probs(x_target)
+        centroids = compute_centroids(feats_t, probs_t)
+        pseudo = assign_pseudo_labels(feats_t, centroids)
+        pairs = build_pair_set(self._embed(x_source), y_source, feats_t, pseudo)
+        if len(pairs) == 0:
+            self._source_epoch(x_source, y_source)
+            return
+        for idx in self._batches(len(pairs)):
+            xs = x_source[pairs.source_idx[idx]]
+            xt = x_target[pairs.target_idx[idx]]
+            labels = pairs.labels[idx]
+            source_logits = self.head(self.backbone(xs))
+            target_logits = self.head(self.backbone(xt))
+            mixed_logits = self.head(self.backbone(xs, context=xt))
+            loss = cross_entropy(source_logits, labels)
+            loss = loss + cross_entropy(target_logits, labels)
+            teacher = ops.softmax(mixed_logits, axis=-1).detach()
+            loss = loss + soft_cross_entropy(target_logits, teacher)
+            self._step(loss)
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+    def predict(self, images, task_id, scenario: Scenario) -> np.ndarray:
+        with no_grad():
+            logits = self.head(self.backbone(images))
+        return logits.data.argmax(axis=-1)
+
+    def predict_global(self, images, scenario: Scenario) -> np.ndarray:
+        # No global head exists; the current head's local prediction is
+        # reported at the *latest* task's offset, so only the final task
+        # can ever be correct — the static-method collapse the paper shows.
+        local = self.predict(images, None, scenario)
+        offset = self._total_classes - self._num_classes
+        return local + offset
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _batches(self, n: int) -> list[np.ndarray]:
+        order = self._rng.permutation(n)
+        return [order[i : i + self.batch_size] for i in range(0, n, self.batch_size)]
+
+    def _embed(self, images: np.ndarray) -> np.ndarray:
+        chunks = []
+        with no_grad():
+            for start in range(0, len(images), self.batch_size):
+                chunks.append(self.backbone(images[start : start + self.batch_size]).data)
+        return np.concatenate(chunks)
+
+    def _probs(self, images: np.ndarray) -> np.ndarray:
+        chunks = []
+        with no_grad():
+            for start in range(0, len(images), self.batch_size):
+                logits = self.head(self.backbone(images[start : start + self.batch_size]))
+                chunks.append(ops.softmax(logits, axis=-1).data)
+        return np.concatenate(chunks)
+
+    def _step(self, loss: Tensor) -> None:
+        self.optimizer.zero_grad()
+        loss.backward()
+        if self.grad_clip:
+            params = list(self.backbone.parameters()) + list(self.head.parameters())
+            clip_grad_norm(params, self.grad_clip)
+        self.optimizer.step()
+
+
+class CDTransS(CDTrans):
+    """CDTrans small variant."""
+
+    name = "CDTrans-S"
+
+    def __init__(self, in_channels: int, image_size: int, rng=None, **kwargs):
+        super().__init__(BackboneConfig.small(), in_channels, image_size, rng=rng, **kwargs)
+
+
+class CDTransB(CDTrans):
+    """CDTrans base variant (wider/deeper)."""
+
+    name = "CDTrans-B"
+
+    def __init__(self, in_channels: int, image_size: int, rng=None, **kwargs):
+        super().__init__(BackboneConfig.base(), in_channels, image_size, rng=rng, **kwargs)

@@ -1,0 +1,74 @@
+"""DER and DER++ (Buzzega et al., NeurIPS 2020).
+
+Dark Experience Replay stores ``(x, y, logits)`` triples in a reservoir
+buffer while training and regularizes new-task updates with:
+
+* DER:   ``L = CE(batch) + alpha * MSE(f(x_mem), logits_mem)``
+* DER++: adds ``beta * CE(f(x_mem'), y_mem')`` on a second replay draw.
+
+The logit-matching term replays "dark knowledge" — the full response
+pattern of the network at the time the sample was seen.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Tensor
+from repro.baselines.base import BaselineConfig, BaselineTrainer
+from repro.continual.memory import ReservoirMemory
+from repro.continual.stream import UDATask
+from repro.nn.functional import cross_entropy, mse_loss
+from repro.utils import spawn_rng
+
+__all__ = ["DER", "DERpp"]
+
+
+class DER(BaselineTrainer):
+    """Dark Experience Replay."""
+
+    name = "DER"
+
+    def __init__(self, config: BaselineConfig, in_channels: int, image_size: int, rng=None):
+        super().__init__(config, in_channels, image_size, rng=rng)
+        self.memory = ReservoirMemory(config.memory_size, rng=spawn_rng(self._rng))
+
+    def batch_loss(self, task: UDATask, xs: np.ndarray, ys: np.ndarray) -> Tensor:
+        features = self.backbone(xs)
+        global_labels = ys + self.class_offset(task.task_id)
+        loss = cross_entropy(self.til_logits(features, task.task_id), ys)
+        loss = loss + cross_entropy(self.cil_logits(features), global_labels)
+        loss = loss + self._replay_loss()
+        # Insert the batch with the logits it currently produces.
+        self.memory.add_batch(xs, global_labels, self.cil_logits(features).data, task.task_id)
+        return loss
+
+    def _replay_loss(self) -> Tensor:
+        sample = self.memory.sample(self.config.replay_batch)
+        if sample is None:
+            return Tensor(0.0)
+        x_mem, _y_mem, logits_mem, _task_ids, widths = sample
+        max_width = logits_mem.shape[-1]
+        current = self.cil_logits(self.backbone(x_mem))[:, :max_width]
+        # Only each record's stored classes participate in the match.
+        mask = np.arange(max_width)[None, :] < widths[:, None]
+        squared = (current - Tensor(logits_mem)) * (current - Tensor(logits_mem))
+        per_record = (squared * Tensor(mask.astype(float))).sum(axis=-1) / Tensor(
+            widths.astype(float)
+        )
+        return self.config.alpha * per_record.mean()
+
+
+class DERpp(DER):
+    """DER++: adds a labeled replay cross-entropy term."""
+
+    name = "DER++"
+
+    def batch_loss(self, task: UDATask, xs: np.ndarray, ys: np.ndarray) -> Tensor:
+        loss = super().batch_loss(task, xs, ys)
+        sample = self.memory.sample(self.config.replay_batch)
+        if sample is None:
+            return loss
+        x_mem, y_mem, _logits_mem, _task_ids, _widths = sample
+        current = self.cil_logits(self.backbone(x_mem))
+        return loss + self.config.beta * cross_entropy(current, y_mem)

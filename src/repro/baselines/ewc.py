@@ -1,0 +1,92 @@
+"""EWC: Elastic Weight Consolidation (Kirkpatrick et al., PNAS 2017).
+
+The canonical regularization-based continual learner the paper's
+related-work section contrasts with (reference [21]): after each task,
+the diagonal of the Fisher information is estimated on the task's data
+and subsequent training pays a quadratic penalty
+
+    L_EWC = L_task + (lambda/2) * sum_k F_k (theta_k - theta*_k)^2
+
+for moving parameters that were important to earlier tasks.  No replay
+memory is used — the contrast with the rehearsal family in the tables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Tensor
+from repro.baselines.base import BaselineConfig, BaselineTrainer
+from repro.continual.stream import UDATask
+from repro.nn.functional import cross_entropy
+
+__all__ = ["EWC"]
+
+
+class EWC(BaselineTrainer):
+    """Elastic Weight Consolidation on the shared backbone."""
+
+    name = "EWC"
+
+    def __init__(
+        self,
+        config: BaselineConfig,
+        in_channels: int,
+        image_size: int,
+        ewc_lambda: float = 100.0,
+        fisher_samples: int = 64,
+        rng=None,
+    ):
+        super().__init__(config, in_channels, image_size, rng=rng)
+        self.ewc_lambda = ewc_lambda
+        self.fisher_samples = fisher_samples
+        # One consolidated (fisher, theta*) pair per finished task, keyed
+        # by parameter identity; only backbone parameters are anchored
+        # (heads are task-private by construction).
+        self._anchors: list[dict[int, tuple[np.ndarray, np.ndarray]]] = []
+
+    def batch_loss(self, task: UDATask, xs: np.ndarray, ys: np.ndarray) -> Tensor:
+        loss = super().batch_loss(task, xs, ys)
+        penalty = self._ewc_penalty()
+        if penalty is not None:
+            loss = loss + penalty
+        return loss
+
+    def _ewc_penalty(self) -> Tensor | None:
+        if not self._anchors:
+            return None
+        total = Tensor(0.0)
+        for anchor in self._anchors:
+            for param in self.backbone.parameters():
+                stored = anchor.get(id(param))
+                if stored is None:
+                    continue
+                fisher, theta_star = stored
+                diff = param - Tensor(theta_star)
+                total = total + (Tensor(fisher) * diff * diff).sum()
+        return (self.ewc_lambda / 2.0) * total
+
+    def after_task(self, task: UDATask, x_source: np.ndarray, y_source: np.ndarray) -> None:
+        """Estimate the diagonal Fisher on the finished task's data."""
+        n = min(self.fisher_samples, len(x_source))
+        idx = self._rng.choice(len(x_source), size=n, replace=False)
+        fisher: dict[int, np.ndarray] = {
+            id(p): np.zeros_like(p.data) for p in self.backbone.parameters()
+        }
+        for i in idx:
+            self.backbone.zero_grad()
+            for head in self.til_heads:
+                head.zero_grad()
+            features = self.backbone(x_source[i : i + 1])
+            logits = self.til_logits(features, task.task_id)
+            loss = cross_entropy(logits, y_source[i : i + 1])
+            loss.backward()
+            for param in self.backbone.parameters():
+                if param.grad is not None:
+                    fisher[id(param)] += param.grad**2
+        anchor = {
+            id(p): (fisher[id(p)] / n, p.data.copy())
+            for p in self.backbone.parameters()
+        }
+        self._anchors.append(anchor)
+        self.backbone.zero_grad()

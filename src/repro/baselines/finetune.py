@@ -1,0 +1,18 @@
+"""Naive fine-tuning: the no-mechanism lower bound.
+
+Trains on each task's source data with no memory, no regularization and
+no domain adaptation — the maximal-forgetting reference point used by
+ablation discussions.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import BaselineTrainer
+
+__all__ = ["FineTune"]
+
+
+class FineTune(BaselineTrainer):
+    """Sequential fine-tuning (catastrophic-forgetting lower bound)."""
+
+    name = "FineTune"

@@ -1,0 +1,96 @@
+"""HAL: Hindsight Anchor Learning (Chaudhry et al., 2020).
+
+HAL combines experience replay with *anchors*: one synthetic point per
+(task, class) chosen to be maximally affected by forgetting.  Updates
+are regularized so predictions on the anchors stay put:
+
+1. take a tentative gradient step on the current batch + replay;
+2. measure how the anchor predictions moved;
+3. apply the real update with an added penalty proportional to that
+   movement (the "hindsight" term).
+
+Faithful-but-scaled simplification: the paper learns anchors by
+maximizing forgetting with a preservation network; we approximate each
+anchor with the highest-loss training example of the class at task end
+(the same "hard, forgettable point" role) and use a first-order
+hindsight penalty.  The replay buffer is a reservoir as in the original.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Tensor, no_grad
+from repro.baselines.base import BaselineConfig, BaselineTrainer
+from repro.continual.memory import ReservoirMemory
+from repro.continual.stream import UDATask
+from repro.nn.functional import cross_entropy, mse_loss
+from repro.utils import spawn_rng
+
+__all__ = ["HAL"]
+
+
+class HAL(BaselineTrainer):
+    """Hindsight Anchor Learning with reservoir replay."""
+
+    name = "HAL"
+
+    def __init__(self, config: BaselineConfig, in_channels: int, image_size: int, rng=None):
+        super().__init__(config, in_channels, image_size, rng=rng)
+        self.memory = ReservoirMemory(config.memory_size, rng=spawn_rng(self._rng))
+        self._anchor_x: list[np.ndarray] = []
+        self._anchor_y: list[int] = []  # global labels
+        self._anchor_ref: np.ndarray | None = None  # logits snapshot at task end
+
+    def batch_loss(self, task: UDATask, xs: np.ndarray, ys: np.ndarray) -> Tensor:
+        features = self.backbone(xs)
+        global_labels = ys + self.class_offset(task.task_id)
+        loss = cross_entropy(self.til_logits(features, task.task_id), ys)
+        loss = loss + cross_entropy(self.cil_logits(features), global_labels)
+
+        sample = self.memory.sample(self.config.replay_batch)
+        if sample is not None:
+            x_mem, y_mem, _logits, _tasks, _widths = sample
+            loss = loss + self.config.alpha * cross_entropy(
+                self.cil_logits(self.backbone(x_mem)), y_mem
+            )
+        loss = loss + self._anchor_penalty()
+        self.memory.add_batch(xs, global_labels, self.cil_logits(features).data, task.task_id)
+        return loss
+
+    def _anchor_penalty(self) -> Tensor:
+        """Keep anchor outputs close to their end-of-task snapshots.
+
+        The reference logits were recorded right after the anchor's task
+        finished training — the moment the network still knew the task —
+        so drifting away from them is exactly measurable forgetting.
+        """
+        if self._anchor_ref is None or not self._anchor_x:
+            return Tensor(0.0)
+        anchors = np.stack(self._anchor_x)
+        width = self._anchor_ref.shape[-1]
+        current = self.cil_logits(self.backbone(anchors))[:, :width]
+        return self.config.beta * mse_loss(current, self._anchor_ref)
+
+    def after_task(self, task: UDATask, x_source: np.ndarray, y_source: np.ndarray) -> None:
+        """Select one hard anchor per class; refresh all reference logits."""
+        with no_grad():
+            logits = self.cil_logits(self.backbone(x_source)).data
+        global_labels = y_source + self.class_offset(task.task_id)
+        probs = _softmax(logits)
+        true_prob = probs[np.arange(len(global_labels)), global_labels]
+        for cls in np.unique(global_labels):
+            mask = np.flatnonzero(global_labels == cls)
+            hardest = mask[np.argmin(true_prob[mask])]
+            self._anchor_x.append(x_source[hardest])
+            self._anchor_y.append(int(cls))
+        with no_grad():
+            self._anchor_ref = self.cil_logits(
+                self.backbone(np.stack(self._anchor_x))
+            ).data
+
+
+def _softmax(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    e = np.exp(shifted)
+    return e / e.sum(axis=-1, keepdims=True)

@@ -1,0 +1,92 @@
+"""SI: Synaptic Intelligence (Zenke, Poole & Ganguli, ICML 2017).
+
+The second regularization-based method the paper cites ([52]).  Unlike
+EWC's post-hoc Fisher estimate, SI accumulates each parameter's
+*path-integral* contribution to loss decrease during training:
+
+    omega_k += -grad_k * delta_theta_k        (per update)
+
+and at a task boundary converts it into an importance
+
+    Omega_k += omega_k / ((theta_k - theta_k^start)^2 + xi)
+
+used in the same quadratic penalty form as EWC.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Tensor
+from repro.baselines.base import BaselineConfig, BaselineTrainer
+from repro.continual.stream import UDATask
+
+__all__ = ["SI"]
+
+
+class SI(BaselineTrainer):
+    """Synaptic Intelligence on the shared backbone."""
+
+    name = "SI"
+
+    def __init__(
+        self,
+        config: BaselineConfig,
+        in_channels: int,
+        image_size: int,
+        si_c: float = 1.0,
+        xi: float = 1e-3,
+        rng=None,
+    ):
+        super().__init__(config, in_channels, image_size, rng=rng)
+        self.si_c = si_c
+        self.xi = xi
+        params = list(self.backbone.parameters())
+        self._omega = {id(p): np.zeros_like(p.data) for p in params}
+        self._importance = {id(p): np.zeros_like(p.data) for p in params}
+        self._theta_task_start = {id(p): p.data.copy() for p in params}
+        self._theta_anchor = {id(p): p.data.copy() for p in params}
+        self._prev_theta: dict[int, np.ndarray] = {}
+
+    def batch_loss(self, task: UDATask, xs: np.ndarray, ys: np.ndarray) -> Tensor:
+        loss = super().batch_loss(task, xs, ys)
+        if self.tasks_seen > 1:  # heads for the current task already added
+            loss = loss + self._si_penalty()
+        return loss
+
+    def _si_penalty(self) -> Tensor:
+        total = Tensor(0.0)
+        for param in self.backbone.parameters():
+            importance = self._importance[id(param)]
+            anchor = self._theta_anchor[id(param)]
+            diff = param - Tensor(anchor)
+            total = total + (Tensor(importance) * diff * diff).sum()
+        return self.si_c * total
+
+    def _step(self, loss: Tensor) -> float:
+        """Wrap the optimizer step to accumulate the path integral."""
+        params = list(self.backbone.parameters())
+        before = {id(p): p.data.copy() for p in params}
+        grads = {}
+        value = super()._step(loss)
+        for param in params:
+            if param.grad is not None:
+                grads[id(param)] = param.grad.copy()
+        for param in params:
+            key = id(param)
+            if key in grads:
+                delta = param.data - before[key]
+                self._omega[key] += -grads[key] * delta
+        return value
+
+    def after_task(self, task: UDATask, x_source: np.ndarray, y_source: np.ndarray) -> None:
+        """Consolidate the accumulated path integral into importances."""
+        for param in self.backbone.parameters():
+            key = id(param)
+            displacement = param.data - self._theta_task_start[key]
+            self._importance[key] += np.maximum(
+                self._omega[key], 0.0
+            ) / (displacement**2 + self.xi)
+            self._omega[key] = np.zeros_like(param.data)
+            self._theta_task_start[key] = param.data.copy()
+            self._theta_anchor[key] = param.data.copy()

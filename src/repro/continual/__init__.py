@@ -1,0 +1,38 @@
+"""Continual-learning protocol layer: streams, scenarios, memory, metrics."""
+
+from repro.continual.stream import UDATask, TaskStream
+from repro.continual.scenario import Scenario
+from repro.continual.memory import MemoryRecord, RehearsalMemory, ReservoirMemory
+from repro.continual.metrics import (
+    RMatrix,
+    average_accuracy,
+    forgetting,
+    backward_transfer,
+    forward_transfer,
+)
+from repro.continual.method import ContinualMethod
+from repro.continual.evaluator import (
+    ContinualResult,
+    evaluate_task,
+    run_continual,
+    run_continual_multi,
+)
+
+__all__ = [
+    "UDATask",
+    "TaskStream",
+    "Scenario",
+    "MemoryRecord",
+    "RehearsalMemory",
+    "ReservoirMemory",
+    "RMatrix",
+    "average_accuracy",
+    "forgetting",
+    "backward_transfer",
+    "forward_transfer",
+    "ContinualMethod",
+    "ContinualResult",
+    "evaluate_task",
+    "run_continual",
+    "run_continual_multi",
+]

@@ -1,0 +1,147 @@
+"""The continual-learning evaluation protocol.
+
+Runs a :class:`~repro.continual.method.ContinualMethod` over a
+:class:`~repro.continual.stream.TaskStream`, filling an R-matrix: after
+each task, accuracy is measured on the target test set of every task
+seen so far (and forward entries if requested).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.continual.metrics import RMatrix
+from repro.continual.method import ContinualMethod
+from repro.continual.scenario import Scenario
+from repro.continual.stream import TaskStream, UDATask
+
+__all__ = ["ContinualResult", "evaluate_task", "run_continual", "run_continual_multi"]
+
+
+@dataclass
+class ContinualResult:
+    """Outcome of one continual run."""
+
+    method: str
+    stream: str
+    scenario: Scenario
+    r_matrix: RMatrix
+    history: list[dict] = field(default_factory=list)
+
+    @property
+    def acc(self) -> float:
+        """Average accuracy (Eq. 33), in [0, 1]."""
+        return self.r_matrix.average_accuracy()
+
+    @property
+    def fgt(self) -> float:
+        """Forgetting (Eq. 34), in [-1, 1]."""
+        return self.r_matrix.forgetting()
+
+    def summary(self) -> dict:
+        return {
+            "method": self.method,
+            "stream": self.stream,
+            "scenario": self.scenario.value,
+            "acc": self.acc,
+            "fgt": self.fgt if self.r_matrix.num_tasks > 1 else 0.0,
+        }
+
+
+def evaluate_task(
+    method: ContinualMethod, task: UDATask, scenario: Scenario
+) -> float:
+    """Accuracy of ``method`` on one task's target test set."""
+    images, labels = task.target_test.arrays()
+    if scenario is Scenario.TIL:
+        predictions = method.predict(images, task.task_id, scenario)
+        return float((np.asarray(predictions) == labels).mean())
+    if scenario is Scenario.DIL:
+        # Domain-incremental: the label space is shared across tasks, no
+        # task identity at test time — the method answers with its
+        # single most-recent head (latest task parameters).
+        predictions = method.predict(images, method.tasks_seen - 1, scenario)
+        return float((np.asarray(predictions) == labels).mean())
+    # CIL: predictions and labels compared in the global space.
+    predictions = method.predict_global(images, scenario)
+    global_labels = labels + task.class_offset
+    return float((np.asarray(predictions) == global_labels).mean())
+
+
+def run_continual(
+    method: ContinualMethod,
+    stream: TaskStream,
+    scenario: Scenario | str = Scenario.TIL,
+    verbose: bool = False,
+) -> ContinualResult:
+    """Run the full protocol and return the populated result.
+
+    After training task ``i``, rows ``R[i, 0..i]`` are filled with the
+    target-domain test accuracies of every task seen so far.
+    """
+    scenario = Scenario.parse(scenario)
+    r_matrix = RMatrix(len(stream))
+    result = ContinualResult(
+        method=method.name, stream=stream.name, scenario=scenario, r_matrix=r_matrix
+    )
+    for task in stream:
+        method.observe_task(task)
+        for seen in stream.tasks[: task.task_id + 1]:
+            accuracy = evaluate_task(method, seen, scenario)
+            r_matrix.record(task.task_id, seen.task_id, accuracy)
+        if verbose:
+            row = r_matrix.row(task.task_id)[: task.task_id + 1]
+            print(
+                f"[{method.name}/{scenario.value}] task {task.task_id}: "
+                + " ".join(f"{v:.3f}" for v in row)
+            )
+        result.history.append(
+            {
+                "task_id": task.task_id,
+                "row": r_matrix.row(task.task_id).copy(),
+            }
+        )
+    return result
+
+
+def run_continual_multi(
+    method: ContinualMethod,
+    stream: TaskStream,
+    scenarios: list[Scenario | str],
+    verbose: bool = False,
+) -> dict[Scenario, ContinualResult]:
+    """Train once, evaluate under several scenarios.
+
+    The paper scores the *same* trained model under both TIL and CIL;
+    training twice would waste the dominant cost, so this variant fills
+    one R-matrix per scenario from a single pass over the stream.
+    """
+    parsed = [Scenario.parse(s) for s in scenarios]
+    results = {
+        scenario: ContinualResult(
+            method=method.name,
+            stream=stream.name,
+            scenario=scenario,
+            r_matrix=RMatrix(len(stream)),
+        )
+        for scenario in parsed
+    }
+    for task in stream:
+        method.observe_task(task)
+        for scenario in parsed:
+            r_matrix = results[scenario].r_matrix
+            for seen in stream.tasks[: task.task_id + 1]:
+                accuracy = evaluate_task(method, seen, scenario)
+                r_matrix.record(task.task_id, seen.task_id, accuracy)
+            results[scenario].history.append(
+                {"task_id": task.task_id, "row": r_matrix.row(task.task_id).copy()}
+            )
+            if verbose:
+                row = r_matrix.row(task.task_id)[: task.task_id + 1]
+                print(
+                    f"[{method.name}/{scenario.value}] task {task.task_id}: "
+                    + " ".join(f"{v:.3f}" for v in row)
+                )
+    return results

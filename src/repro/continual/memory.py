@@ -1,0 +1,216 @@
+"""Rehearsal memory buffers.
+
+Two policies are provided:
+
+* :class:`RehearsalMemory` — the paper's buffer (Section IV-C): fixed
+  capacity ``|M|``; at the end of task ``t`` it stores the
+  ``floor(|M| / t)`` most *confident* records for the task, shrinking
+  earlier tasks' allocations to keep the total bounded.  Each record is
+  the tuple ``(x_S, x_T, y_S, logits_S, logits_T)``.
+* :class:`ReservoirMemory` — classic reservoir sampling over single
+  samples, used by the DER/DER++ baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils import resolve_rng
+
+__all__ = ["MemoryRecord", "RehearsalMemory", "ReservoirMemory"]
+
+
+@dataclass
+class MemoryRecord:
+    """One rehearsal record (paper footnote 2)."""
+
+    task_id: int
+    x_source: np.ndarray
+    x_target: np.ndarray
+    y_source: int
+    logits_source: np.ndarray
+    logits_target: np.ndarray
+    confidence: float
+
+
+class RehearsalMemory:
+    """Fixed-size, confidence-ranked, per-task-balanced memory."""
+
+    def __init__(self, capacity: int = 1000):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._records: dict[int, list[MemoryRecord]] = {}
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._records.values())
+
+    @property
+    def num_tasks(self) -> int:
+        return len(self._records)
+
+    def records_for_task(self, task_id: int) -> list[MemoryRecord]:
+        return list(self._records.get(task_id, []))
+
+    def all_records(self) -> list[MemoryRecord]:
+        out: list[MemoryRecord] = []
+        for task_id in sorted(self._records):
+            out.extend(self._records[task_id])
+        return out
+
+    def store_task(
+        self,
+        task_id: int,
+        x_source: np.ndarray,
+        x_target: np.ndarray,
+        y_source: np.ndarray,
+        logits_source: np.ndarray,
+        logits_target: np.ndarray,
+        confidence: np.ndarray,
+    ) -> int:
+        """Store the end-of-task selection and rebalance older tasks.
+
+        Keeps the ``floor(capacity / (task_id+1))`` highest-confidence
+        records for this task and trims previous tasks to the same
+        per-task budget (highest-confidence first), so the total never
+        exceeds ``capacity``.  Returns the number of records stored for
+        the new task.
+        """
+        n_tasks_after = task_id + 1
+        per_task = self.capacity // n_tasks_after
+        if per_task == 0:
+            per_task = 1
+        confidence = np.asarray(confidence, dtype=float)
+        order = np.argsort(-confidence)[:per_task]
+        self._records[task_id] = [
+            MemoryRecord(
+                task_id=task_id,
+                x_source=np.asarray(x_source[i]),
+                x_target=np.asarray(x_target[i]),
+                y_source=int(y_source[i]),
+                logits_source=np.asarray(logits_source[i]),
+                logits_target=np.asarray(logits_target[i]),
+                confidence=float(confidence[i]),
+            )
+            for i in order
+        ]
+        # Shrink earlier tasks to the new per-task budget.
+        for old_task in list(self._records):
+            if old_task == task_id:
+                continue
+            records = self._records[old_task]
+            if len(records) > per_task:
+                records.sort(key=lambda r: -r.confidence)
+                self._records[old_task] = records[:per_task]
+        return len(self._records[task_id])
+
+    def sample(self, batch_size: int, rng=None) -> list[MemoryRecord]:
+        """Uniform random batch over all stored records (with replacement
+        only if the memory is smaller than the batch)."""
+        rng = resolve_rng(rng)
+        records = self.all_records()
+        if not records:
+            return []
+        replace = len(records) < batch_size
+        idx = rng.choice(len(records), size=min(batch_size, len(records)) if not replace else batch_size, replace=replace)
+        return [records[int(i)] for i in np.atleast_1d(idx)]
+
+    def batch_arrays(
+        self, batch: list[MemoryRecord]
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Stack a record batch into arrays
+        (x_S, x_T, y_S, logits_S, logits_T, task_ids, logit_widths).
+
+        Records stored at different points of the stream carry CIL
+        logits of different widths (the single head grows per task);
+        logits are right-padded with zeros to the widest record and the
+        original width of each record is returned so callers can slice.
+        """
+        if not batch:
+            raise ValueError("empty memory batch")
+        widths = np.asarray([len(r.logits_source) for r in batch], dtype=np.int64)
+        max_width = int(widths.max())
+
+        def padded(rows: list[np.ndarray]) -> np.ndarray:
+            out = np.zeros((len(rows), max_width))
+            for i, row in enumerate(rows):
+                out[i, : len(row)] = row
+            return out
+
+        return (
+            np.stack([r.x_source for r in batch]),
+            np.stack([r.x_target for r in batch]),
+            np.asarray([r.y_source for r in batch], dtype=np.int64),
+            padded([r.logits_source for r in batch]),
+            padded([r.logits_target for r in batch]),
+            np.asarray([r.task_id for r in batch], dtype=np.int64),
+            widths,
+        )
+
+
+@dataclass
+class _ReservoirItem:
+    x: np.ndarray
+    y: int
+    logits: np.ndarray
+    task_id: int
+
+
+class ReservoirMemory:
+    """Reservoir sampling buffer (Vitter's algorithm R), DER-style.
+
+    Each item stores an input, its label, the logits the model produced
+    when the item was inserted ("dark knowledge"), and the task id.
+    """
+
+    def __init__(self, capacity: int = 1000, rng=None):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._items: list[_ReservoirItem] = []
+        self._seen = 0
+        self._rng = resolve_rng(rng)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def add(self, x: np.ndarray, y: int, logits: np.ndarray, task_id: int) -> None:
+        self._seen += 1
+        item = _ReservoirItem(np.asarray(x), int(y), np.asarray(logits), int(task_id))
+        if len(self._items) < self.capacity:
+            self._items.append(item)
+            return
+        slot = int(self._rng.integers(0, self._seen))
+        if slot < self.capacity:
+            self._items[slot] = item
+
+    def add_batch(self, xs: np.ndarray, ys: np.ndarray, logits: np.ndarray, task_id: int) -> None:
+        for i in range(len(xs)):
+            self.add(xs[i], ys[i], logits[i], task_id)
+
+    def sample(
+        self, batch_size: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray] | None:
+        """Random batch (x, y, logits, task_ids, logit_widths); None if empty.
+
+        Items inserted at different stream positions carry logits of
+        different widths (growing CIL head); logits are right-padded
+        with zeros and each item's true width is returned.
+        """
+        if not self._items:
+            return None
+        idx = self._rng.choice(len(self._items), size=min(batch_size, len(self._items)), replace=False)
+        batch = [self._items[int(i)] for i in idx]
+        widths = np.asarray([len(b.logits) for b in batch], dtype=np.int64)
+        logits = np.zeros((len(batch), int(widths.max())))
+        for i, b in enumerate(batch):
+            logits[i, : len(b.logits)] = b.logits
+        return (
+            np.stack([b.x for b in batch]),
+            np.asarray([b.y for b in batch], dtype=np.int64),
+            logits,
+            np.asarray([b.task_id for b in batch], dtype=np.int64),
+            widths,
+        )

@@ -1,0 +1,64 @@
+"""Abstract interface every continual learner implements.
+
+The evaluation harness (:mod:`repro.continual.evaluator`) drives any
+object satisfying this interface; CDCL and all baselines subclass it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.continual.scenario import Scenario
+from repro.continual.stream import UDATask
+
+__all__ = ["ContinualMethod"]
+
+
+class ContinualMethod:
+    """A learner that consumes a stream of UDA tasks.
+
+    Lifecycle: the harness calls :meth:`observe_task` once per task in
+    stream order, interleaved with :meth:`predict` calls on the test
+    sets of all tasks seen so far.
+    """
+
+    name: str = "method"
+
+    def observe_task(self, task: UDATask) -> None:
+        """Train on one task (source labeled + target unlabeled)."""
+        raise NotImplementedError
+
+    def predict(
+        self, images: np.ndarray, task_id: int | None, scenario: Scenario
+    ) -> np.ndarray:
+        """Predict task-local labels for a batch of target images.
+
+        Parameters
+        ----------
+        images:
+            Batch (N, C, H, W).
+        task_id:
+            The ground-truth task identity when ``scenario.task_id_at_test``
+            (TIL); None for CIL, where the method must infer the task.
+        scenario:
+            Which protocol is being evaluated.
+
+        Returns
+        -------
+        Task-local class ids (N,).  For CIL the harness compares against
+        global ids, so implementations should return
+        ``global_prediction - task.class_offset`` semantics via
+        :meth:`predict_global` instead; see its docstring.
+        """
+        raise NotImplementedError
+
+    def predict_global(self, images: np.ndarray, scenario: Scenario) -> np.ndarray:
+        """CIL prediction over the global (single-head) label space.
+
+        Default implementation raises; methods supporting CIL override.
+        """
+        raise NotImplementedError(f"{self.name} does not support CIL prediction")
+
+    @property
+    def tasks_seen(self) -> int:
+        raise NotImplementedError

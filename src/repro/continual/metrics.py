@@ -1,0 +1,136 @@
+"""Continual-learning metrics: the R-matrix, ACC and FGT.
+
+Following the paper's Section V-C (and Lopez-Paz & Ranzato / Chaudhry
+et al.): let ``R`` be a ``T x T`` matrix where ``R[i, j]`` is the test
+accuracy on task ``j`` measured *after* finishing training on task
+``i``.  Then
+
+* Average accuracy (Eq. 33):  ``ACC = mean_j R[T-1, j]`` (higher better)
+* Forgetting (Eq. 34):        ``FGT = mean_{j<T-1} ( max_{i<=T-1} R[i, j]
+  - R[T-1, j] )`` (lower better)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["RMatrix", "average_accuracy", "forgetting", "backward_transfer", "forward_transfer"]
+
+
+class RMatrix:
+    """Accumulates the task-accuracy matrix during a continual run.
+
+    Entries not yet measured are NaN; future-task columns typically stay
+    NaN unless the protocol evaluates forward transfer.
+    """
+
+    def __init__(self, num_tasks: int):
+        if num_tasks <= 0:
+            raise ValueError("num_tasks must be positive")
+        self.num_tasks = num_tasks
+        self.values = np.full((num_tasks, num_tasks), np.nan)
+
+    def record(self, after_task: int, on_task: int, accuracy: float) -> None:
+        """Store accuracy on ``on_task`` measured after training ``after_task``."""
+        if not 0 <= after_task < self.num_tasks:
+            raise IndexError(f"after_task {after_task} out of range")
+        if not 0 <= on_task < self.num_tasks:
+            raise IndexError(f"on_task {on_task} out of range")
+        if not 0.0 <= accuracy <= 1.0:
+            raise ValueError(f"accuracy must be in [0, 1], got {accuracy}")
+        self.values[after_task, on_task] = accuracy
+
+    def row(self, after_task: int) -> np.ndarray:
+        return self.values[after_task]
+
+    @property
+    def final_row(self) -> np.ndarray:
+        return self.values[-1]
+
+    def average_accuracy(self) -> float:
+        return average_accuracy(self.values)
+
+    def forgetting(self) -> float:
+        return forgetting(self.values)
+
+    def __repr__(self) -> str:
+        with np.printoptions(precision=3, suppress=True):
+            return f"RMatrix(\n{self.values}\n)"
+
+
+def _validate(r: np.ndarray) -> np.ndarray:
+    r = np.asarray(r, dtype=float)
+    if r.ndim != 2 or r.shape[0] != r.shape[1]:
+        raise ValueError(f"R must be square, got shape {r.shape}")
+    return r
+
+
+def average_accuracy(r: np.ndarray) -> float:
+    """Eq. 33: mean accuracy over all tasks after the final task."""
+    r = _validate(r)
+    final = r[-1]
+    if np.isnan(final).all():
+        raise ValueError("final row of R is empty")
+    return float(np.nanmean(final))
+
+
+def forgetting(r: np.ndarray) -> float:
+    """Eq. 34: average drop from each task's historical peak accuracy.
+
+    Returns 0 for single-task streams (no previous task to forget).
+    """
+    r = _validate(r)
+    t = r.shape[0]
+    if t == 1:
+        return 0.0
+    drops = []
+    for j in range(t - 1):
+        # Peak over measurements strictly before the final model (rows
+        # j..T-2); the final row is the reference being compared against,
+        # so improvements show up as negative forgetting.
+        past = r[j : t - 1, j]
+        past = past[~np.isnan(past)]
+        if past.size == 0:
+            continue
+        final = r[-1, j]
+        if np.isnan(final):
+            continue
+        drops.append(np.max(past) - final)
+    if not drops:
+        raise ValueError("R matrix has no measurable forgetting entries")
+    return float(np.mean(drops))
+
+
+def backward_transfer(r: np.ndarray) -> float:
+    """BWT = mean_j ( R[T-1, j] - R[j, j] ) for j < T-1 (GEM metric)."""
+    r = _validate(r)
+    t = r.shape[0]
+    if t == 1:
+        return 0.0
+    deltas = [
+        r[-1, j] - r[j, j]
+        for j in range(t - 1)
+        if not (np.isnan(r[-1, j]) or np.isnan(r[j, j]))
+    ]
+    if not deltas:
+        raise ValueError("R matrix has no measurable transfer entries")
+    return float(np.mean(deltas))
+
+
+def forward_transfer(r: np.ndarray, baseline: np.ndarray) -> float:
+    """FWT = mean_j ( R[j-1, j] - baseline[j] ) for j >= 1.
+
+    ``baseline[j]`` is the accuracy of an untrained/random model on task
+    ``j``.
+    """
+    r = _validate(r)
+    baseline = np.asarray(baseline, dtype=float)
+    t = r.shape[0]
+    deltas = [
+        r[j - 1, j] - baseline[j]
+        for j in range(1, t)
+        if not np.isnan(r[j - 1, j])
+    ]
+    if not deltas:
+        raise ValueError("R matrix has no forward-transfer entries")
+    return float(np.mean(deltas))

@@ -1,0 +1,42 @@
+"""Continual-learning evaluation scenarios (van de Ven & Tolias taxonomy).
+
+The paper evaluates two of the three standard scenarios:
+
+* **TIL** (task-incremental): the task identifier is available at test
+  time; methods use a multi-head output and predict among the task's
+  own classes.
+* **CIL** (class-incremental): no task identifier at test time; methods
+  use a single head over all classes seen so far.
+
+DIL (domain-incremental) is defined for completeness and used by some
+unit tests.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["Scenario"]
+
+
+class Scenario(enum.Enum):
+    TIL = "til"
+    CIL = "cil"
+    DIL = "dil"
+
+    @property
+    def task_id_at_test(self) -> bool:
+        """Whether the task identity is revealed during inference."""
+        return self is Scenario.TIL
+
+    @classmethod
+    def parse(cls, value: "Scenario | str") -> "Scenario":
+        if isinstance(value, Scenario):
+            return value
+        try:
+            return cls(value.lower())
+        except ValueError:
+            raise ValueError(
+                f"unknown scenario {value!r}; expected one of "
+                f"{[s.value for s in cls]}"
+            ) from None

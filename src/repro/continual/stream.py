@@ -1,0 +1,140 @@
+"""Task streams for cross-domain continual learning.
+
+A :class:`UDATask` bundles what arrives at step ``t_i`` of the paper's
+problem formulation (Section III): a *labeled* source-domain training
+set, an *unlabeled* target-domain training set, and a held-out labeled
+target test set used only for evaluation.
+
+A :class:`TaskStream` is the ordered sequence of such tasks; the total
+number of tasks is known to the evaluation harness but never used by
+the learners (matching "T unknown a priori").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator
+
+import numpy as np
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
+    from repro.data.dataset import ArrayDataset
+
+__all__ = ["UDATask", "TaskStream"]
+
+
+@dataclass
+class UDATask:
+    """One unsupervised domain-adaptation task in the stream.
+
+    Attributes
+    ----------
+    task_id:
+        Zero-based position in the stream.
+    classes:
+        Global class ids covered by this task (labels inside the
+        datasets are task-local: ``0 .. len(classes)-1``).
+    source_train:
+        Labeled source-domain data.
+    target_train:
+        Target-domain data; labels are present in the arrays for
+        bookkeeping but **must not** be used for training — use
+        :meth:`target_unlabeled` which strips them.
+    target_test:
+        Held-out labeled target data for evaluation.
+    """
+
+    task_id: int
+    classes: tuple[int, ...]
+    source_train: ArrayDataset
+    target_train: ArrayDataset
+    target_test: ArrayDataset
+
+    @property
+    def num_classes(self) -> int:
+        return len(self.classes)
+
+    @property
+    def class_offset(self) -> int:
+        """Offset of this task's classes in the CIL single-head output.
+
+        Valid for equal-sized tasks, which is how every benchmark in the
+        paper is constructed.
+        """
+        return self.task_id * self.num_classes
+
+    def target_unlabeled(self) -> "ArrayDataset":
+        """The target training set with labels replaced by -1."""
+        from repro.data.dataset import ArrayDataset
+
+        images, _ = self.target_train.arrays()
+        return ArrayDataset(images, np.full(len(images), -1, dtype=np.int64))
+
+    def global_labels(self, local_labels: np.ndarray) -> np.ndarray:
+        """Map task-local label ids to stream-global ids."""
+        local_labels = np.asarray(local_labels)
+        lookup = np.asarray(self.classes)
+        return lookup[local_labels]
+
+    def __repr__(self) -> str:
+        return (
+            f"UDATask(id={self.task_id}, classes={list(self.classes)}, "
+            f"|S|={len(self.source_train)}, |T|={len(self.target_train)}, "
+            f"|test|={len(self.target_test)})"
+        )
+
+
+@dataclass
+class TaskStream:
+    """Ordered sequence of UDA tasks plus benchmark metadata."""
+
+    name: str
+    source_domain: str
+    target_domain: str
+    tasks: list[UDATask] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def __iter__(self) -> Iterator[UDATask]:
+        return iter(self.tasks)
+
+    def __getitem__(self, index: int) -> UDATask:
+        return self.tasks[index]
+
+    @property
+    def classes_per_task(self) -> int:
+        if not self.tasks:
+            return 0
+        return self.tasks[0].num_classes
+
+    @property
+    def total_classes(self) -> int:
+        return sum(t.num_classes for t in self.tasks)
+
+    def validate(self, allow_shared_classes: bool = False) -> None:
+        """Sanity-check stream structure (equal task sizes, ordering).
+
+        ``allow_shared_classes`` permits the same classes in multiple
+        tasks — the *domain-incremental* (DIL) configuration, where the
+        label space is fixed and only the input domain changes.
+        """
+        for i, task in enumerate(self.tasks):
+            if task.task_id != i:
+                raise ValueError(f"task at position {i} has id {task.task_id}")
+            if task.num_classes != self.classes_per_task:
+                raise ValueError("all tasks must cover the same number of classes")
+        if allow_shared_classes:
+            return
+        seen: set[int] = set()
+        for task in self.tasks:
+            overlap = seen.intersection(task.classes)
+            if overlap:
+                raise ValueError(f"classes {sorted(overlap)} appear in multiple tasks")
+            seen.update(task.classes)
+
+    def __repr__(self) -> str:
+        return (
+            f"TaskStream({self.name!r}, {self.source_domain}->{self.target_domain}, "
+            f"{len(self.tasks)} tasks x {self.classes_per_task} classes)"
+        )

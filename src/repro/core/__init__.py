@@ -1,0 +1,50 @@
+"""CDCL: the paper's primary contribution.
+
+Public API:
+
+* :class:`CDCLConfig` — hyper-parameters;
+* :class:`CDCLNetwork` — tokenizer + task-conditioned encoder + heads;
+* :class:`CDCLTrainer` — Algorithm 1, a
+  :class:`~repro.continual.ContinualMethod` runnable by the evaluation
+  harness;
+* pseudo-labeling and loss primitives for finer-grained use.
+"""
+
+from repro.core.config import CDCLConfig
+from repro.core.tokenizer import ConvTokenizer
+from repro.core.attention import TaskConditionedAttention, CDCLEncoderLayer, CDCLEncoder
+from repro.core.pooling import SequencePool
+from repro.core.network import CDCLNetwork
+from repro.core.pseudo_label import (
+    PairSet,
+    compute_centroids,
+    assign_pseudo_labels,
+    build_pair_set,
+)
+from repro.core import losses
+from repro.core.trainer import CDCLTrainer, TaskLog
+from repro.core.complexity import ComplexityBreakdown, forward_cost, cost_from_config
+from repro.core.introspection import attention_maps, attention_entropy, task_key_similarity
+
+__all__ = [
+    "CDCLConfig",
+    "ConvTokenizer",
+    "TaskConditionedAttention",
+    "CDCLEncoderLayer",
+    "CDCLEncoder",
+    "SequencePool",
+    "CDCLNetwork",
+    "PairSet",
+    "compute_centroids",
+    "assign_pseudo_labels",
+    "build_pair_set",
+    "losses",
+    "CDCLTrainer",
+    "TaskLog",
+    "ComplexityBreakdown",
+    "forward_cost",
+    "cost_from_config",
+    "attention_maps",
+    "attention_entropy",
+    "task_key_similarity",
+]

@@ -1,0 +1,95 @@
+"""Forward-pass cost model (paper Section IV-D, Eq. 24).
+
+``O( n * Lc  +  (d n^2 + n d^2) * La )``
+
+where ``n`` is the token count, ``d`` the embedding width, ``Lc`` the
+tokenizer depth and ``La`` the attention depth.  The model below counts
+multiply-accumulate operations with explicit constants so the scaling
+behaviour can be verified empirically (benchmarks/test_complexity.py).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import CDCLConfig
+
+__all__ = ["ComplexityBreakdown", "forward_cost", "cost_from_config"]
+
+
+@dataclass
+class ComplexityBreakdown:
+    """MAC counts for one forward pass of a single image."""
+
+    tokenizer: int
+    attention_scores: int
+    attention_values: int
+    projections: int
+    feedforward: int
+
+    @property
+    def attention_total(self) -> int:
+        return self.attention_scores + self.attention_values + self.projections
+
+    @property
+    def total(self) -> int:
+        return self.tokenizer + self.attention_total + self.feedforward
+
+    def dominant_term(self) -> str:
+        """Which Eq. 24 term dominates: 'dn^2' (long sequences, the score
+        and value-aggregation cost) or 'nd^2' (wide models, the projection
+        and feed-forward cost)."""
+        dn2 = self.attention_scores + self.attention_values
+        nd2 = self.projections + self.feedforward
+        return "dn^2" if dn2 > nd2 else "nd^2"
+
+
+def forward_cost(
+    image_pixels: int,
+    seq_len: int,
+    embed_dim: int,
+    tokenizer_layers: int,
+    attention_layers: int,
+    kernel_size: int = 3,
+    in_channels: int = 3,
+    mlp_ratio: float = 2.0,
+) -> ComplexityBreakdown:
+    """MAC-count breakdown for the CDCL forward pass.
+
+    * Tokenizer: ``O(n_pixels)`` per layer with a ``k^2 * C`` constant.
+    * Scores ``QK^T``: ``d * n^2`` per layer (the Eq. 24 ``dn^2`` term).
+    * Value aggregation + Q/K/V/out projections: ``n * d^2`` terms.
+    """
+    k_sq = kernel_size * kernel_size
+    tokenizer = tokenizer_layers * image_pixels * k_sq * max(in_channels, embed_dim)
+    scores = attention_layers * embed_dim * seq_len * seq_len
+    values = attention_layers * embed_dim * seq_len * seq_len  # weights @ V
+    projections = attention_layers * 4 * seq_len * embed_dim * embed_dim
+    feedforward = attention_layers * int(2 * mlp_ratio * seq_len * embed_dim * embed_dim)
+    return ComplexityBreakdown(
+        tokenizer=int(tokenizer),
+        attention_scores=int(scores),
+        attention_values=int(values),
+        projections=int(projections),
+        feedforward=int(feedforward),
+    )
+
+
+def cost_from_config(
+    config: CDCLConfig, image_size: int, in_channels: int
+) -> ComplexityBreakdown:
+    """Cost model evaluated at a concrete CDCL configuration."""
+    side = image_size
+    for _ in range(config.tokenizer_layers):
+        side //= 2
+    seq_len = side * side
+    return forward_cost(
+        image_pixels=image_size * image_size,
+        seq_len=seq_len,
+        embed_dim=config.embed_dim,
+        tokenizer_layers=config.tokenizer_layers,
+        attention_layers=config.depth,
+        kernel_size=config.tokenizer_kernel,
+        in_channels=in_channels,
+        mlp_ratio=config.mlp_ratio,
+    )

@@ -1,0 +1,99 @@
+"""CDCL hyper-parameter configuration.
+
+Defaults are scaled-down from the paper (Section V-B) so continual runs
+complete on CPU; the paper-scale values are noted inline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["CDCLConfig"]
+
+
+@dataclass
+class CDCLConfig:
+    """All knobs of the CDCL model and trainer.
+
+    Paper values (large instance): 14 encoder layers, 2-layer tokenizer
+    with 7x7 kernels, 125 epochs (25 warm-up / 25 cool-down), memory of
+    1000 records, AdamW with warm-up lr 1e-5, peak 5e-5, floor 1e-6.
+    """
+
+    # Architecture
+    embed_dim: int = 64
+    depth: int = 2  # paper: 7 (small) / 14 (large)
+    num_heads: int = 4
+    mlp_ratio: float = 2.0
+    tokenizer_layers: int = 2
+    tokenizer_kernel: int = 3  # paper: 7 (on 224x224 inputs)
+    dropout: float = 0.0
+
+    # Optimization (paper Section V-B)
+    epochs: int = 10  # paper: 125
+    warmup_epochs: int = 3  # paper: 25
+    batch_size: int = 32
+    warmup_lr: float = 2e-4  # paper: 1e-5 (scaled up for the shorter schedule)
+    peak_lr: float = 1e-3  # paper: 5e-5
+    min_lr: float = 5e-5  # paper: 1e-6
+    weight_decay: float = 0.01
+    grad_clip: float = 5.0
+
+    # Continual learning
+    memory_size: int = 200  # paper: 1000
+    rehearsal_batch: int = 32
+    distance: str = "cosine"  # pseudo-label distance metric (Eq. 18)
+
+    # Loss toggles (for the Table IV ablation)
+    use_cil_loss: bool = True
+    use_til_loss: bool = True
+    use_rehearsal_loss: bool = True
+    use_cross_attention: bool = True  # False = "simple attention" ablation row
+
+    # Extension (paper future work): infer the task id at CIL test time
+    # from per-task-key confidence instead of using the latest K_T.
+    cil_task_inference: bool = False
+
+    # Reproducibility
+    seed: int = 0
+
+    extra: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.embed_dim % self.num_heads != 0:
+            raise ValueError(
+                f"embed_dim {self.embed_dim} must be divisible by num_heads {self.num_heads}"
+            )
+        if self.warmup_epochs >= self.epochs:
+            raise ValueError("warmup_epochs must be smaller than epochs")
+        if self.distance not in ("cosine", "euclidean"):
+            raise ValueError(f"unknown distance {self.distance!r}")
+
+    @classmethod
+    def small(cls, **overrides) -> "CDCLConfig":
+        """Configuration for the digit benchmarks (paper's small instance)."""
+        base = dict(embed_dim=48, depth=2, num_heads=4, epochs=10, warmup_epochs=3)
+        base.update(overrides)
+        return cls(**base)
+
+    @classmethod
+    def large(cls, **overrides) -> "CDCLConfig":
+        """Configuration for the object benchmarks (paper's large instance)."""
+        base = dict(embed_dim=64, depth=3, num_heads=4, epochs=12, warmup_epochs=4)
+        base.update(overrides)
+        return cls(**base)
+
+    @classmethod
+    def fast(cls, **overrides) -> "CDCLConfig":
+        """Minimal configuration for unit tests."""
+        base = dict(
+            embed_dim=16,
+            depth=1,
+            num_heads=2,
+            epochs=3,
+            warmup_epochs=1,
+            batch_size=16,
+            memory_size=50,
+        )
+        base.update(overrides)
+        return cls(**base)

@@ -1,0 +1,129 @@
+"""CDCL objective functions (paper Eqs. 9-16 and 20-23).
+
+Three loss blocks, combined as ``L = L_CIL + L_TIL + L_R`` (Alg. 1):
+
+* ``L_CIL`` — inter-task block on the single CIL head (Eqs. 9-11, 15)
+* ``L_TIL`` — intra-task block on the task's TIL head (Eqs. 12-14, 16)
+* ``L_R``  — rehearsal block on memory records (Eqs. 20-23)
+
+Each block has three terms:
+
+* ``*_S``: supervised cross-entropy of the source branch;
+* ``*_T``: cross-entropy of the target branch against the *source
+  label of its matched pair* (valid because the pair set P keeps only
+  pairs with ``y_S = pseudo-label``);
+* ``*_D``: a distillation term aligning the target branch with the
+  mixed source+target cross-attention branch.
+
+Sign convention: Eqs. 11/14/21 as printed lack the leading minus of a
+cross-entropy; we implement the standard distillation cross-entropy
+``-sum p_mixed * log p_target`` (matching the CDTrans objective they
+derive from), with the mixed branch treated as the teacher (detached).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Tensor, ops
+from repro.nn.functional import cross_entropy, soft_cross_entropy
+
+__all__ = [
+    "supervision_loss",
+    "pair_target_loss",
+    "distillation_loss",
+    "block_loss",
+    "rehearsal_st_loss",
+    "rehearsal_distill_loss",
+    "rehearsal_logit_loss",
+]
+
+_EPS = 1e-8
+
+
+def supervision_loss(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Eqs. 9/12: plain CE of the source branch against source labels."""
+    return cross_entropy(logits, labels)
+
+
+def pair_target_loss(target_logits: Tensor, pair_labels: np.ndarray) -> Tensor:
+    """Eqs. 10/13: CE of the target branch against the paired source label."""
+    return cross_entropy(target_logits, pair_labels)
+
+
+def distillation_loss(mixed_logits: Tensor, target_logits: Tensor) -> Tensor:
+    """Eqs. 11/14: align target branch with the (detached) mixed branch."""
+    teacher = ops.softmax(mixed_logits, axis=-1).detach()
+    return soft_cross_entropy(target_logits, teacher)
+
+
+def block_loss(
+    source_logits: Tensor,
+    labels: np.ndarray,
+    target_logits: Tensor | None = None,
+    mixed_logits: Tensor | None = None,
+) -> Tensor:
+    """One full block (Eq. 15 or 16): L_S + L_T + L_D.
+
+    During warm-up only the source term exists (pass None for the rest).
+    """
+    loss = supervision_loss(source_logits, labels)
+    if target_logits is not None:
+        loss = loss + pair_target_loss(target_logits, labels)
+        if mixed_logits is not None:
+            loss = loss + distillation_loss(mixed_logits, target_logits)
+    return loss
+
+
+# ----------------------------------------------------------------------
+# Rehearsal block (Section IV-C)
+# ----------------------------------------------------------------------
+def rehearsal_st_loss(
+    source_logits: Tensor, target_logits: Tensor, labels: np.ndarray
+) -> Tensor:
+    """Eq. 20: CE of the *product* of source/target softmax vs stored label.
+
+    ``-sum y_R log( f(x_S) * f(x_T) )`` decomposes into the sum of the
+    two branch cross-entropies; we compute it in that numerically-stable
+    form.
+    """
+    return cross_entropy(source_logits, labels) + cross_entropy(target_logits, labels)
+
+
+def rehearsal_distill_loss(mixed_logits: Tensor, target_logits: Tensor) -> Tensor:
+    """Eq. 21: mixed-branch -> target-branch distillation on memory pairs."""
+    return distillation_loss(mixed_logits, target_logits)
+
+
+def rehearsal_logit_loss(
+    stored_source_logits: np.ndarray,
+    stored_target_logits: np.ndarray,
+    current_source_logits: Tensor,
+    current_target_logits: Tensor,
+) -> Tensor:
+    """Eq. 22: logit replay.
+
+    ``sum y^R_S log( (y^R_T / f(x^R_T)) * (y^R_S / f(x^R_S)) )``
+
+    with stored (softmaxed) logits ``y^R`` acting as fixed references.
+    Expanding the log, this is a pair of KL-style terms weighted by the
+    stored source distribution; minimizing it drives the current
+    network's outputs on memory samples back toward the recorded ones
+    (the DER-style "dark knowledge" replay the paper adopts).
+    """
+    p_source = _stable_softmax(stored_source_logits)
+    p_target = _stable_softmax(stored_target_logits)
+    log_q_source = ops.log_softmax(current_source_logits, axis=-1)
+    log_q_target = ops.log_softmax(current_target_logits, axis=-1)
+    weight = Tensor(p_source)
+    ratio_target = Tensor(np.log(p_target + _EPS)) - log_q_target
+    ratio_source = Tensor(np.log(p_source + _EPS)) - log_q_source
+    per_sample = (weight * (ratio_target + ratio_source)).sum(axis=-1)
+    return per_sample.mean()
+
+
+def _stable_softmax(logits: np.ndarray) -> np.ndarray:
+    logits = np.asarray(logits, dtype=float)
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    e = np.exp(shifted)
+    return e / e.sum(axis=-1, keepdims=True)

@@ -1,0 +1,196 @@
+"""The CDCL network: tokenizer + task-conditioned encoder + heads.
+
+Figure 1 of the paper: a convolutional tokenizer feeds an encoder whose
+attention carries per-task keys/biases; sequence pooling produces the
+feature ``z = a(x)``; two classifier families consume ``z``:
+
+* ``f_TIL``: one linear head per task (multi-head, task id given);
+* ``f_CIL``: a single head over every class seen so far (grown by
+  concatenating per-task segments, which is equivalent to widening one
+  linear layer).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Tensor, no_grad, ops
+from repro.core.attention import CDCLEncoder
+from repro.core.config import CDCLConfig
+from repro.core.pooling import SequencePool
+from repro.core.tokenizer import ConvTokenizer
+from repro.nn import Linear, Module, ModuleList, Parameter
+from repro.utils import resolve_rng, spawn_rng
+
+__all__ = ["CDCLNetwork"]
+
+
+class CDCLNetwork(Module):
+    """Complete CDCL model for a stream of equally-sized tasks.
+
+    Parameters
+    ----------
+    config:
+        Hyper-parameters (:class:`~repro.core.config.CDCLConfig`).
+    in_channels, image_size:
+        Input geometry.
+    """
+
+    def __init__(self, config: CDCLConfig, in_channels: int, image_size: int, rng=None):
+        super().__init__()
+        rng = resolve_rng(rng)
+        self.config = config
+        self.tokenizer = ConvTokenizer(
+            in_channels,
+            config.embed_dim,
+            num_layers=config.tokenizer_layers,
+            kernel_size=config.tokenizer_kernel,
+            image_size=image_size,
+            rng=spawn_rng(rng),
+        )
+        self.encoder = CDCLEncoder(
+            config.embed_dim,
+            config.depth,
+            config.num_heads,
+            self.tokenizer.seq_len,
+            mlp_ratio=config.mlp_ratio,
+            rng=spawn_rng(rng),
+        )
+        self.pool = SequencePool(config.embed_dim, rng=spawn_rng(rng))
+        self.til_heads = ModuleList()
+        self.cil_heads = ModuleList()
+        self._head_rng = spawn_rng(rng)
+        self._task_classes: list[int] = []
+
+    # ------------------------------------------------------------------
+    # Task management
+    # ------------------------------------------------------------------
+    @property
+    def num_tasks(self) -> int:
+        return len(self.til_heads)
+
+    @property
+    def total_classes(self) -> int:
+        return int(np.sum(self._task_classes)) if self._task_classes else 0
+
+    def add_task(self, num_classes: int) -> int:
+        """Instantiate per-task parameters for a new task.
+
+        Creates the encoder's (K_i, b_i) pair, a fresh TIL head and a
+        new CIL segment.  Returns the task index.
+        """
+        task_id = self.encoder.add_task()
+        self.til_heads.append(
+            Linear(self.config.embed_dim, num_classes, rng=spawn_rng(self._head_rng))
+        )
+        self.cil_heads.append(
+            Linear(self.config.embed_dim, num_classes, rng=spawn_rng(self._head_rng))
+        )
+        self._task_classes.append(num_classes)
+        return task_id
+
+    def new_task_parameters(self, task_id: int) -> list[Parameter]:
+        """Parameters created for ``task_id`` (to register with the optimizer)."""
+        params = self.encoder.task_parameters(task_id)
+        params.extend(self.til_heads[task_id].parameters())
+        params.extend(self.cil_heads[task_id].parameters())
+        return params
+
+    def _check_task(self, task_id: int) -> None:
+        if not 0 <= task_id < self.num_tasks:
+            raise IndexError(f"task {task_id} not instantiated (have {self.num_tasks})")
+
+    # ------------------------------------------------------------------
+    # Forward paths
+    # ------------------------------------------------------------------
+    def features(self, x, task_id: int, context=None) -> Tensor:
+        """The paper's ``a(x)``: tokenize, encode (self- or cross-
+        attention for task ``task_id``), pool.
+
+        ``context`` (target images) switches on cross-attention; used
+        for the mixed source+target signal ``a(x_S, x_T)``.
+        """
+        self._check_task(task_id)
+        x = x if isinstance(x, Tensor) else Tensor(np.asarray(x))
+        tokens = self.tokenizer(x)
+        if context is not None and self.config.use_cross_attention:
+            context = context if isinstance(context, Tensor) else Tensor(np.asarray(context))
+            context_tokens = self.tokenizer(context)
+        elif context is not None:
+            # "Simple attention" ablation: ignore the pair, self-attend.
+            context_tokens = None
+        else:
+            context_tokens = None
+        encoded = self.encoder(tokens, task_id, context_tokens)
+        return self.pool(encoded)
+
+    def til_logits(self, features: Tensor, task_id: int) -> Tensor:
+        """Intra-task (multi-head) logits for one task (Eq. 7)."""
+        self._check_task(task_id)
+        return self.til_heads[task_id](features)
+
+    def cil_logits(self, features: Tensor, up_to_task: int | None = None) -> Tensor:
+        """Inter-task (single-head) logits over all classes seen (Eq. 8).
+
+        ``up_to_task`` truncates to the first ``up_to_task + 1`` segments
+        (used when replaying logits recorded with a narrower head).
+        """
+        last = self.num_tasks - 1 if up_to_task is None else up_to_task
+        self._check_task(last)
+        segments = [self.cil_heads[i](features) for i in range(last + 1)]
+        if len(segments) == 1:
+            return segments[0]
+        return ops.concat(segments, axis=-1)
+
+    def predict_til(self, images: np.ndarray, task_id: int) -> np.ndarray:
+        """Task-local predictions under the TIL protocol."""
+        with no_grad():
+            feats = self.features(images, task_id)
+            logits = self.til_logits(feats, task_id)
+        return logits.data.argmax(axis=-1)
+
+    def predict_cil(self, images: np.ndarray) -> np.ndarray:
+        """Global-class predictions under the CIL protocol.
+
+        Per the paper (Fig. 1 caption) the latest task's K_T/b_T is used
+        since the task identity is unknown at inference.
+        """
+        with no_grad():
+            feats = self.features(images, self.num_tasks - 1)
+            logits = self.cil_logits(feats)
+        return logits.data.argmax(axis=-1)
+
+    def predict_cil_inferred(self, images: np.ndarray) -> np.ndarray:
+        """CIL prediction with per-task-key task inference (extension).
+
+        The paper's conclusion names fully class-incremental learning as
+        future work; this implements the natural next step its
+        architecture suggests: since every task owns a frozen (K_i, b_i)
+        pair, run the input through *each* task's attention, score the
+        task by its TIL head's max-softmax confidence, and answer with
+        the most confident task's prediction mapped to the global label
+        space.  Cost is ``num_tasks`` forward passes per batch.
+        """
+        with no_grad():
+            best_conf = None
+            best_global = None
+            for task_id in range(self.num_tasks):
+                feats = self.features(images, task_id)
+                logits = self.til_logits(feats, task_id)
+                probs = ops.softmax(logits, axis=-1).data
+                conf = probs.max(axis=-1)
+                local = probs.argmax(axis=-1)
+                global_ids = local + self.class_offset(task_id)
+                if best_conf is None:
+                    best_conf = conf
+                    best_global = global_ids
+                else:
+                    better = conf > best_conf
+                    best_conf = np.where(better, conf, best_conf)
+                    best_global = np.where(better, global_ids, best_global)
+        return best_global
+
+    def class_offset(self, task_id: int) -> int:
+        """Index of task ``task_id``'s first class in the CIL output."""
+        self._check_task(task_id)
+        return int(np.sum(self._task_classes[:task_id]))

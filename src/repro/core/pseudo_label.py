@@ -1,0 +1,152 @@
+"""Intra-task center-aware pseudo-labeling (paper Section IV-B).
+
+After the warm-up stage of each task:
+
+1. **Centroids** (Eq. 17): per-class centroids of the *target* features
+   are built by weighting each target feature with the intra-task (TIL)
+   classifier's predicted probability of that class — only information
+   from the current task is used ("intra-task"), unlike the source-
+   hypothesis-transfer original that pools across everything.
+2. **Pseudo-labels** (Eq. 18): nearest-centroid assignment under cosine
+   or Euclidean distance.
+3. **Pair set P** (Eq. 19): each target sample is paired with its
+   nearest *source* sample whose ground-truth label equals the target's
+   pseudo-label; targets whose neighbourhood disagrees are discarded as
+   noise.
+
+Centroids are recreated at every training epoch (paper footnote 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.functional import cosine_similarity, pairwise_sq_distances
+
+__all__ = ["PairSet", "compute_centroids", "assign_pseudo_labels", "build_pair_set"]
+
+
+@dataclass
+class PairSet:
+    """Matched (source, target) training pairs for one epoch.
+
+    Attributes
+    ----------
+    source_idx, target_idx:
+        Parallel index arrays into the task's source/target datasets.
+    labels:
+        The shared label of each pair (= source label = pseudo-label).
+    pseudo_labels:
+        Pseudo-labels for *all* target samples (before filtering), kept
+        for diagnostics and tests.
+    """
+
+    source_idx: np.ndarray
+    target_idx: np.ndarray
+    labels: np.ndarray
+    pseudo_labels: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.target_idx)
+
+    @property
+    def keep_ratio(self) -> float:
+        """Fraction of target samples that survived noise filtering."""
+        if self.pseudo_labels.size == 0:
+            return 0.0
+        return len(self.target_idx) / len(self.pseudo_labels)
+
+
+def compute_centroids(
+    target_features: np.ndarray, target_probs: np.ndarray, eps: float = 1e-8
+) -> np.ndarray:
+    """Eq. 17: probability-weighted class centroids of target features.
+
+    Parameters
+    ----------
+    target_features:
+        ``a(x_T)`` for every target sample, shape (N, d).
+    target_probs:
+        Intra-task softmax predictions ``y^TIL_T``, shape (N, K).
+
+    Returns
+    -------
+    Centroid matrix of shape (K, d).  Classes with (near-)zero total
+    probability get a zero centroid.
+    """
+    target_features = np.asarray(target_features, dtype=float)
+    target_probs = np.asarray(target_probs, dtype=float)
+    if len(target_features) != len(target_probs):
+        raise ValueError("features and probabilities must align")
+    weights = target_probs.T  # (K, N)
+    totals = weights.sum(axis=1, keepdims=True)  # (K, 1)
+    centroids = weights @ target_features / np.maximum(totals, eps)
+    return centroids
+
+
+def assign_pseudo_labels(
+    target_features: np.ndarray, centroids: np.ndarray, distance: str = "cosine"
+) -> np.ndarray:
+    """Eq. 18: nearest-centroid pseudo-labels for the target samples."""
+    target_features = np.asarray(target_features, dtype=float)
+    centroids = np.asarray(centroids, dtype=float)
+    if distance == "cosine":
+        # Nearest under cosine distance = largest cosine similarity.
+        similarity = cosine_similarity(target_features, centroids)
+        return similarity.argmax(axis=1)
+    if distance == "euclidean":
+        distances = pairwise_sq_distances(target_features, centroids)
+        return distances.argmin(axis=1)
+    raise ValueError(f"unknown distance {distance!r}")
+
+
+def build_pair_set(
+    source_features: np.ndarray,
+    source_labels: np.ndarray,
+    target_features: np.ndarray,
+    pseudo_labels: np.ndarray,
+    distance: str = "cosine",
+) -> PairSet:
+    """Eq. 19: pair each target with the nearest same-class source sample.
+
+    Only target samples whose pseudo-label has at least one source
+    sample are paired (always true when the source covers every class);
+    the match constraint ``y_S = y_hat_T`` discards noisy alignments by
+    construction.
+    """
+    source_features = np.asarray(source_features, dtype=float)
+    source_labels = np.asarray(source_labels)
+    target_features = np.asarray(target_features, dtype=float)
+    pseudo_labels = np.asarray(pseudo_labels)
+
+    if distance == "cosine":
+        affinity = cosine_similarity(target_features, source_features)
+        pick = lambda row, candidates: candidates[np.argmax(row[candidates])]
+    elif distance == "euclidean":
+        affinity = -pairwise_sq_distances(target_features, source_features)
+        pick = lambda row, candidates: candidates[np.argmax(row[candidates])]
+    else:
+        raise ValueError(f"unknown distance {distance!r}")
+
+    source_idx: list[int] = []
+    target_idx: list[int] = []
+    labels: list[int] = []
+    class_to_sources = {
+        int(c): np.flatnonzero(source_labels == c) for c in np.unique(source_labels)
+    }
+    for t, pseudo in enumerate(pseudo_labels):
+        candidates = class_to_sources.get(int(pseudo))
+        if candidates is None or candidates.size == 0:
+            continue
+        s = pick(affinity[t], candidates)
+        source_idx.append(int(s))
+        target_idx.append(t)
+        labels.append(int(pseudo))
+    return PairSet(
+        source_idx=np.asarray(source_idx, dtype=np.int64),
+        target_idx=np.asarray(target_idx, dtype=np.int64),
+        labels=np.asarray(labels, dtype=np.int64),
+        pseudo_labels=pseudo_labels,
+    )

@@ -1,0 +1,365 @@
+"""CDCL training procedure (paper Algorithm 1).
+
+Per task:
+
+1. Instantiate per-task parameters (K_i, b_i, heads) and register them
+   with the optimizer; previous task keys are frozen.
+2. **Warm-up epochs**: train both heads on labeled source data only.
+3. **Adaptation epochs**: each epoch, rebuild the target centroids
+   (Eq. 17), pseudo-labels (Eq. 18) and the pair set P (Eq. 19); then
+   minibatch over P optimizing ``L_CIL + L_TIL`` (Eqs. 15-16), adding
+   the rehearsal block ``L_R`` (Eq. 23) from the second task onward.
+4. Store the ``floor(|M| / t)`` most confident pair records in memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.autograd import Tensor, no_grad, ops
+from repro.continual.memory import RehearsalMemory
+from repro.continual.method import ContinualMethod
+from repro.continual.scenario import Scenario
+from repro.continual.stream import UDATask
+from repro.core.config import CDCLConfig
+from repro.core.losses import (
+    block_loss,
+    rehearsal_distill_loss,
+    rehearsal_logit_loss,
+    rehearsal_st_loss,
+)
+from repro.core.network import CDCLNetwork
+from repro.core.pseudo_label import (
+    PairSet,
+    assign_pseudo_labels,
+    build_pair_set,
+    compute_centroids,
+)
+from repro.optim import AdamW, WarmupCosineSchedule, clip_grad_norm
+from repro.utils import resolve_rng, spawn_rng
+
+__all__ = ["CDCLTrainer", "TaskLog"]
+
+
+@dataclass
+class TaskLog:
+    """Diagnostics collected while learning one task."""
+
+    task_id: int
+    epoch_losses: list[float] = field(default_factory=list)
+    pair_keep_ratio: list[float] = field(default_factory=list)
+    pseudo_label_accuracy: list[float] = field(default_factory=list)
+    memory_stored: int = 0
+
+
+class CDCLTrainer(ContinualMethod):
+    """Cross-Domain Continual Learning (the paper's proposed method)."""
+
+    name = "CDCL"
+
+    def __init__(self, config: CDCLConfig, in_channels: int, image_size: int, rng=None):
+        rng = resolve_rng(rng if rng is not None else config.seed)
+        self.config = config
+        self.network = CDCLNetwork(config, in_channels, image_size, rng=spawn_rng(rng))
+        self.memory = RehearsalMemory(config.memory_size)
+        self.optimizer: AdamW | None = None
+        self.logs: list[TaskLog] = []
+        self._rng = spawn_rng(rng)
+
+    # ------------------------------------------------------------------
+    # ContinualMethod interface
+    # ------------------------------------------------------------------
+    @property
+    def tasks_seen(self) -> int:
+        return self.network.num_tasks
+
+    def predict(self, images, task_id, scenario: Scenario) -> np.ndarray:
+        # TIL: the given task's head.  DIL: the harness passes the
+        # latest task id and labels are task-local, so the TIL head is
+        # also the right answer space.  CIL (or no id): global head.
+        if scenario is not Scenario.CIL and task_id is not None:
+            return self.network.predict_til(images, task_id)
+        return self.network.predict_cil(images)
+
+    def predict_global(self, images, scenario: Scenario) -> np.ndarray:
+        if self.config.cil_task_inference:
+            return self.network.predict_cil_inferred(images)
+        return self.network.predict_cil(images)
+
+    def embed(self, images: np.ndarray, task_id: int) -> np.ndarray:
+        """Public feature extraction: ``a(x)`` for a full array (no grad).
+
+        Used by analysis code (e.g. divergence measurement in
+        ``examples/theory_bounds.py``) that needs the latent features a
+        trained model assigns under a given task's attention.
+        """
+        return self._embed(task_id, images)
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def observe_task(self, task: UDATask) -> None:
+        config = self.config
+        task_id = self.network.add_task(task.num_classes)
+        log = TaskLog(task_id=task_id)
+        self.logs.append(log)
+        self._register_new_parameters(task_id)
+        scheduler = WarmupCosineSchedule(
+            self.optimizer,
+            warmup_epochs=config.warmup_epochs,
+            total_epochs=config.epochs,
+            warmup_lr=config.warmup_lr,
+            peak_lr=config.peak_lr,
+            min_lr=config.min_lr,
+        )
+
+        x_source, y_source = task.source_train.arrays()
+        x_target, y_target_hidden = task.target_train.arrays()
+        pair_set: PairSet | None = None
+
+        for epoch in range(config.epochs):
+            if epoch < config.warmup_epochs:
+                epoch_loss = self._run_warmup_epoch(task_id, task, x_source, y_source)
+            else:
+                pair_set = self._build_pairs(task_id, x_source, y_source, x_target)
+                log.pair_keep_ratio.append(pair_set.keep_ratio)
+                log.pseudo_label_accuracy.append(
+                    float((pair_set.pseudo_labels == y_target_hidden).mean())
+                )
+                epoch_loss = self._run_adaptation_epoch(
+                    task_id, task, x_source, y_source, x_target, pair_set
+                )
+            log.epoch_losses.append(epoch_loss)
+            scheduler.step()
+
+        log.memory_stored = self._store_memory(
+            task_id, task, x_source, y_source, x_target, pair_set
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _register_new_parameters(self, task_id: int) -> None:
+        if self.optimizer is None:
+            self.optimizer = AdamW(
+                self.network.parameters(),
+                lr=self.config.warmup_lr,
+                weight_decay=self.config.weight_decay,
+            )
+        else:
+            self.optimizer.add_param_group(self.network.new_task_parameters(task_id))
+
+    def _global_labels(self, task: UDATask, local_labels: np.ndarray) -> np.ndarray:
+        return np.asarray(local_labels) + self.network.class_offset(task.task_id)
+
+    def _minibatch_indices(self, n: int) -> list[np.ndarray]:
+        order = self._rng.permutation(n)
+        size = self.config.batch_size
+        return [order[i : i + size] for i in range(0, n, size)]
+
+    def _run_warmup_epoch(
+        self, task_id: int, task: UDATask, x_source: np.ndarray, y_source: np.ndarray
+    ) -> float:
+        """Source-only supervision (Alg. 1 lines 7-9)."""
+        config = self.config
+        losses = []
+        for idx in self._minibatch_indices(len(x_source)):
+            feats = self.network.features(x_source[idx], task_id)
+            loss = Tensor(0.0)
+            if config.use_cil_loss:
+                cil = self.network.cil_logits(feats)
+                loss = loss + block_loss(cil, self._global_labels(task, y_source[idx]))
+            if config.use_til_loss:
+                til = self.network.til_logits(feats, task_id)
+                loss = loss + block_loss(til, y_source[idx])
+            losses.append(self._step(loss))
+        return float(np.mean(losses)) if losses else 0.0
+
+    def _embed(self, task_id: int, images: np.ndarray) -> np.ndarray:
+        """Features a(x) for a full array, in evaluation mode batches."""
+        chunks = []
+        with no_grad():
+            for start in range(0, len(images), self.config.batch_size):
+                feats = self.network.features(
+                    images[start : start + self.config.batch_size], task_id
+                )
+                chunks.append(feats.data)
+        return np.concatenate(chunks) if chunks else np.empty((0, self.config.embed_dim))
+
+    def _target_probs(self, task_id: int, images: np.ndarray) -> np.ndarray:
+        chunks = []
+        with no_grad():
+            for start in range(0, len(images), self.config.batch_size):
+                feats = self.network.features(
+                    images[start : start + self.config.batch_size], task_id
+                )
+                logits = self.network.til_logits(feats, task_id)
+                chunks.append(ops.softmax(logits, axis=-1).data)
+        return np.concatenate(chunks)
+
+    def _build_pairs(
+        self,
+        task_id: int,
+        x_source: np.ndarray,
+        y_source: np.ndarray,
+        x_target: np.ndarray,
+    ) -> PairSet:
+        """Centroids -> pseudo-labels -> pair set (Alg. 1 lines 11-12)."""
+        target_feats = self._embed(task_id, x_target)
+        target_probs = self._target_probs(task_id, x_target)
+        centroids = compute_centroids(target_feats, target_probs)
+        pseudo = assign_pseudo_labels(target_feats, centroids, self.config.distance)
+        source_feats = self._embed(task_id, x_source)
+        return build_pair_set(
+            source_feats, y_source, target_feats, pseudo, self.config.distance
+        )
+
+    def _run_adaptation_epoch(
+        self,
+        task_id: int,
+        task: UDATask,
+        x_source: np.ndarray,
+        y_source: np.ndarray,
+        x_target: np.ndarray,
+        pair_set: PairSet,
+    ) -> float:
+        """Paired source/target optimization (Alg. 1 lines 13-17)."""
+        config = self.config
+        losses = []
+        if len(pair_set) == 0:
+            # Degenerate pseudo-labeling: fall back to source-only.
+            return self._run_warmup_epoch(task_id, task, x_source, y_source)
+        for idx in self._minibatch_indices(len(pair_set)):
+            xs = x_source[pair_set.source_idx[idx]]
+            ys = pair_set.labels[idx]
+            xt = x_target[pair_set.target_idx[idx]]
+
+            feats_source = self.network.features(xs, task_id)
+            if config.use_cross_attention:
+                feats_target = self.network.features(xt, task_id)
+                feats_mixed = self.network.features(xs, task_id, context=xt)
+            else:
+                # "Simple attention" ablation (Table IV): a standard
+                # attention network trained on the source domain only —
+                # no pair alignment, no mixed branch (paper Section V-E).
+                feats_target = None
+                feats_mixed = None
+
+            loss = Tensor(0.0)
+            if config.use_cil_loss:
+                loss = loss + block_loss(
+                    self.network.cil_logits(feats_source),
+                    self._global_labels(task, ys),
+                    self.network.cil_logits(feats_target) if feats_target is not None else None,
+                    self.network.cil_logits(feats_mixed) if feats_mixed is not None else None,
+                )
+            if config.use_til_loss:
+                loss = loss + block_loss(
+                    self.network.til_logits(feats_source, task_id),
+                    ys,
+                    self.network.til_logits(feats_target, task_id) if feats_target is not None else None,
+                    self.network.til_logits(feats_mixed, task_id) if feats_mixed is not None else None,
+                )
+            if config.use_rehearsal_loss and task_id > 0 and len(self.memory) > 0:
+                loss = loss + self._rehearsal_loss()
+            losses.append(self._step(loss))
+        return float(np.mean(losses))
+
+    def _rehearsal_loss(self) -> Tensor:
+        """The L_R block (Eqs. 20-23) over one memory batch."""
+        batch = self.memory.sample(self.config.rehearsal_batch, rng=self._rng)
+        xs, xt, ys, logits_s, logits_t, task_ids, widths = self.memory.batch_arrays(batch)
+        loss = Tensor(0.0)
+        # Group by originating task so each record uses its own K_i/b_i.
+        for old_task in np.unique(task_ids):
+            mask = task_ids == old_task
+            stored_width = int(widths[mask][0])
+            up_to = self._width_to_task(stored_width)
+            feats_s = self.network.features(xs[mask], int(old_task))
+            feats_t = self.network.features(xt[mask], int(old_task))
+            feats_mix = self.network.features(xs[mask], int(old_task), context=xt[mask])
+            cur_s_full = self.network.cil_logits(feats_s)
+            cur_t_full = self.network.cil_logits(feats_t)
+            cur_mix_full = self.network.cil_logits(feats_mix)
+            loss = loss + rehearsal_st_loss(cur_s_full, cur_t_full, ys[mask])
+            loss = loss + rehearsal_distill_loss(cur_mix_full, cur_t_full)
+            cur_s = self.network.cil_logits(feats_s, up_to_task=up_to)
+            cur_t = self.network.cil_logits(feats_t, up_to_task=up_to)
+            loss = loss + rehearsal_logit_loss(
+                logits_s[mask][:, :stored_width],
+                logits_t[mask][:, :stored_width],
+                cur_s,
+                cur_t,
+            )
+        return loss
+
+    def _width_to_task(self, width: int) -> int:
+        """Map a stored CIL logit width back to the last task it covered."""
+        total = 0
+        for task_id, classes in enumerate(self.network._task_classes):
+            total += classes
+            if total == width:
+                return task_id
+        raise ValueError(f"stored logit width {width} does not match any task prefix")
+
+    def _step(self, loss: Tensor) -> float:
+        if not loss.requires_grad:
+            # All loss blocks disabled (degenerate ablation): nothing to do.
+            return float(loss.data)
+        self.optimizer.zero_grad()
+        loss.backward()
+        if self.config.grad_clip:
+            clip_grad_norm(self.network.parameters(), self.config.grad_clip)
+        self.optimizer.step()
+        return float(loss.data)
+
+    def _store_memory(
+        self,
+        task_id: int,
+        task: UDATask,
+        x_source: np.ndarray,
+        y_source: np.ndarray,
+        x_target: np.ndarray,
+        pair_set: PairSet | None,
+    ) -> int:
+        """End-of-task selection (Alg. 1 line 19, Section IV-C)."""
+        if pair_set is None or len(pair_set) == 0:
+            # Warm-up-only runs: pair source/target by index order.
+            n = min(len(x_source), len(x_target))
+            source_idx = np.arange(n)
+            target_idx = np.arange(n)
+            labels = y_source[:n]
+        else:
+            source_idx = pair_set.source_idx
+            target_idx = pair_set.target_idx
+            labels = pair_set.labels
+
+        xs = x_source[source_idx]
+        xt = x_target[target_idx]
+        global_labels = self._global_labels(task, labels)
+
+        with no_grad():
+            feats_s = Tensor(self._embed_batchwise(task_id, xs))
+            feats_t = Tensor(self._embed_batchwise(task_id, xt))
+            cil_s = self.network.cil_logits(feats_s).data
+            cil_t = self.network.cil_logits(feats_t).data
+            til_s = self.network.til_logits(feats_s, task_id).data
+            til_t = self.network.til_logits(feats_t, task_id).data
+        probs_s = _softmax(til_s)
+        probs_t = _softmax(til_t)
+        # Intra-task confidence: max(y_TIL_S) v max(y_TIL_T).
+        confidence = np.maximum(probs_s.max(axis=-1), probs_t.max(axis=-1))
+        return self.memory.store_task(
+            task_id, xs, xt, global_labels, cil_s, cil_t, confidence
+        )
+
+    def _embed_batchwise(self, task_id: int, images: np.ndarray) -> np.ndarray:
+        return self._embed(task_id, images)
+
+
+def _softmax(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    e = np.exp(shifted)
+    return e / e.sum(axis=-1, keepdims=True)

@@ -1,0 +1,17 @@
+"""Data substrate: datasets, loaders, transforms and synthetic benchmarks."""
+
+from repro.data.dataset import Dataset, ArrayDataset, Subset, ConcatDataset
+from repro.data.dataloader import DataLoader, paired_batches
+from repro.data import transforms
+from repro.data import synthetic
+
+__all__ = [
+    "Dataset",
+    "ArrayDataset",
+    "Subset",
+    "ConcatDataset",
+    "DataLoader",
+    "paired_batches",
+    "transforms",
+    "synthetic",
+]

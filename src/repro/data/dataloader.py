@@ -1,0 +1,90 @@
+"""Mini-batch iteration over datasets."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.utils import resolve_rng
+
+__all__ = ["DataLoader", "paired_batches"]
+
+
+class DataLoader:
+    """Iterate over (images, labels) mini-batches.
+
+    Parameters
+    ----------
+    dataset:
+        Source dataset.
+    batch_size:
+        Samples per batch.
+    shuffle:
+        Reshuffle at the start of every epoch.
+    drop_last:
+        Drop the final incomplete batch.
+    rng:
+        Seed/generator for shuffling (deterministic given a seed).
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        batch_size: int = 32,
+        shuffle: bool = False,
+        drop_last: bool = False,
+        rng=None,
+    ):
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self._rng = resolve_rng(rng)
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        n = len(self.dataset)
+        order = np.arange(n)
+        if self.shuffle:
+            self._rng.shuffle(order)
+        for start in range(0, n, self.batch_size):
+            idx = order[start : start + self.batch_size]
+            if self.drop_last and len(idx) < self.batch_size:
+                return
+            xs, ys = zip(*(self.dataset[int(i)] for i in idx))
+            yield np.stack(xs), np.asarray(ys, dtype=np.int64)
+
+
+def paired_batches(
+    source: DataLoader, target: DataLoader
+) -> Iterator[tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """Zip source and target loaders, cycling the shorter one.
+
+    UDA training consumes (x_source, y_source, x_target) triples; the
+    two domains rarely have the same size, so the smaller loader is
+    restarted until the larger is exhausted.
+    """
+    longer = max(len(source), len(target))
+    source_it = iter(source)
+    target_it = iter(target)
+    for _ in range(longer):
+        try:
+            xs, ys = next(source_it)
+        except StopIteration:
+            source_it = iter(source)
+            xs, ys = next(source_it)
+        try:
+            xt, _ = next(target_it)
+        except StopIteration:
+            target_it = iter(target)
+            xt, _ = next(target_it)
+        yield xs, ys, xt

@@ -1,0 +1,110 @@
+"""Dataset abstractions.
+
+A ``Dataset`` is an indexable collection of ``(x, y)`` samples where
+``x`` is an image array (C, H, W) and ``y`` an integer label (or -1 for
+unlabeled target-domain data).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["Dataset", "ArrayDataset", "Subset", "ConcatDataset"]
+
+
+class Dataset:
+    """Abstract indexable dataset."""
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def __getitem__(self, index: int) -> tuple[np.ndarray, int]:
+        raise NotImplementedError
+
+    def arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Materialize the full dataset as (X, y) arrays."""
+        xs, ys = zip(*(self[i] for i in range(len(self))))
+        return np.stack(xs), np.asarray(ys)
+
+
+class ArrayDataset(Dataset):
+    """Dataset backed by in-memory arrays.
+
+    Parameters
+    ----------
+    images:
+        Array of shape (N, C, H, W).
+    labels:
+        Integer array of shape (N,); use -1 for unlabeled samples.
+    """
+
+    def __init__(self, images: np.ndarray, labels: np.ndarray):
+        images = np.asarray(images)
+        labels = np.asarray(labels, dtype=np.int64)
+        if images.ndim != 4:
+            raise ValueError(f"images must be (N, C, H, W), got shape {images.shape}")
+        if len(images) != len(labels):
+            raise ValueError(
+                f"images ({len(images)}) and labels ({len(labels)}) length mismatch"
+            )
+        self.images = images
+        self.labels = labels
+
+    def __len__(self) -> int:
+        return len(self.images)
+
+    def __getitem__(self, index: int) -> tuple[np.ndarray, int]:
+        return self.images[index], int(self.labels[index])
+
+    def arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        return self.images, self.labels
+
+    @property
+    def classes(self) -> np.ndarray:
+        """Sorted unique labels present (excluding the unlabeled marker)."""
+        return np.unique(self.labels[self.labels >= 0])
+
+    def filter_classes(self, classes: Sequence[int]) -> "ArrayDataset":
+        """Subset containing only the given classes."""
+        mask = np.isin(self.labels, np.asarray(classes))
+        return ArrayDataset(self.images[mask], self.labels[mask])
+
+    def relabel(self, mapping: dict[int, int]) -> "ArrayDataset":
+        """Return a copy with labels remapped (e.g. to task-local ids)."""
+        new_labels = np.array([mapping.get(int(l), -1) for l in self.labels], dtype=np.int64)
+        return ArrayDataset(self.images, new_labels)
+
+
+class Subset(Dataset):
+    """View of a dataset restricted to the given indices."""
+
+    def __init__(self, dataset: Dataset, indices: Sequence[int]):
+        self.dataset = dataset
+        self.indices = np.asarray(indices, dtype=np.int64)
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+    def __getitem__(self, index: int) -> tuple[np.ndarray, int]:
+        return self.dataset[int(self.indices[index])]
+
+
+class ConcatDataset(Dataset):
+    """Concatenation of several datasets."""
+
+    def __init__(self, datasets: Sequence[Dataset]):
+        if not datasets:
+            raise ValueError("ConcatDataset needs at least one dataset")
+        self.datasets = list(datasets)
+        self._offsets = np.cumsum([0] + [len(d) for d in self.datasets])
+
+    def __len__(self) -> int:
+        return int(self._offsets[-1])
+
+    def __getitem__(self, index: int) -> tuple[np.ndarray, int]:
+        if index < 0:
+            index += len(self)
+        which = int(np.searchsorted(self._offsets, index, side="right") - 1)
+        return self.datasets[which][index - int(self._offsets[which])]

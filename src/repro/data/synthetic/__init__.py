@@ -1,0 +1,38 @@
+"""Procedural domain-shifted datasets emulating the paper's benchmarks."""
+
+from repro.data.synthetic.digits import DigitsDomain, render_digit, DIGIT_GLYPHS
+from repro.data.synthetic.objects import ObjectDomain, class_prototype
+from repro.data.synthetic.benchmarks import (
+    mnist_usps,
+    visda2017,
+    office31,
+    office_home,
+    office_home_dil,
+    domainnet,
+    make_stream,
+    make_task,
+    OFFICE31_DOMAINS,
+    OFFICE_HOME_DOMAINS,
+    DOMAINNET_DOMAINS,
+    VISDA_DOMAINS,
+)
+
+__all__ = [
+    "DigitsDomain",
+    "render_digit",
+    "DIGIT_GLYPHS",
+    "ObjectDomain",
+    "class_prototype",
+    "mnist_usps",
+    "visda2017",
+    "office31",
+    "office_home",
+    "office_home_dil",
+    "domainnet",
+    "make_stream",
+    "make_task",
+    "OFFICE31_DOMAINS",
+    "OFFICE_HOME_DOMAINS",
+    "DOMAINNET_DOMAINS",
+    "VISDA_DOMAINS",
+]

@@ -1,0 +1,162 @@
+"""Synthetic object-recognition domains (VisDA / Office / DomainNet stand-ins).
+
+The object benchmarks have many classes (12-345) across photographic
+and rendered domains.  We emulate them with a *prototype + style*
+construction:
+
+* **Class content**: each class id deterministically seeds a smooth
+  3-channel prototype image (low-frequency Gaussian random field plus a
+  class-specific geometric blob).  Prototypes are shared by every
+  domain, so class semantics transfer across domains.
+* **Instance variation**: additive high-frequency noise, random spatial
+  shift, and intensity scaling per sample.
+* **Domain identity**: a fixed per-domain pipeline — channel mixing,
+  style field, blur/contrast/occlusion — seeded by the domain name, so
+  e.g. ``"clipart"`` always looks the same.  ``domain_gap`` scales how
+  far apart the domain marginals are.
+
+This preserves exactly what the paper's algorithms interact with:
+shared ``P(Y|X)``, shifted ``P(X)``, and a configurable difficulty knob.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+from scipy import ndimage
+
+from repro.data.dataset import ArrayDataset
+from repro.data import transforms as T
+from repro.utils import resolve_rng
+
+__all__ = ["class_prototype", "ObjectDomain"]
+
+IMAGE_SIZE = 16
+CHANNELS = 3
+
+
+def _stable_seed(*parts) -> int:
+    """Deterministic 63-bit seed from arbitrary string/int parts."""
+    joined = "|".join(str(p) for p in parts)
+    digest = hashlib.sha256(joined.encode()).digest()
+    return int.from_bytes(digest[:8], "little") % (2**63)
+
+
+def class_prototype(
+    class_id: int, size: int = IMAGE_SIZE, channels: int = CHANNELS, benchmark: str = ""
+) -> np.ndarray:
+    """Deterministic prototype image for a class (shared across domains).
+
+    The prototype combines a smooth random field (texture identity) with
+    a geometric blob whose position/scale depend on the class id (shape
+    identity), giving CNN-learnable class structure.
+    """
+    rng = np.random.default_rng(_stable_seed("class", benchmark, class_id))
+    field = rng.normal(size=(channels, size, size))
+    field = ndimage.gaussian_filter(field, sigma=[0, size / 8, size / 8])
+    field = (field - field.min()) / (field.max() - field.min() + 1e-12)
+
+    # Geometric component: an ellipse at a class-dependent location.
+    yy, xx = np.mgrid[0:size, 0:size]
+    cy = size * (0.3 + 0.4 * rng.random())
+    cx = size * (0.3 + 0.4 * rng.random())
+    ry = size * (0.15 + 0.2 * rng.random())
+    rx = size * (0.15 + 0.2 * rng.random())
+    angle = rng.random() * np.pi
+    y0 = (yy - cy) * np.cos(angle) + (xx - cx) * np.sin(angle)
+    x0 = -(yy - cy) * np.sin(angle) + (xx - cx) * np.cos(angle)
+    blob = ((y0 / ry) ** 2 + (x0 / rx) ** 2 <= 1.0).astype(float)
+    blob = ndimage.gaussian_filter(blob, sigma=0.7)
+    tint = rng.uniform(0.3, 1.0, size=(channels, 1, 1))
+
+    proto = 0.5 * field + 0.5 * blob[None] * tint
+    return np.clip(proto, 0.0, 1.0)
+
+
+class ObjectDomain:
+    """Sampler for one synthetic object-recognition domain.
+
+    Parameters
+    ----------
+    name:
+        Domain label (e.g. ``"amazon"``, ``"clipart"``); seeds the fixed
+        domain transform.
+    benchmark:
+        Benchmark label (e.g. ``"office31"``); namespaces the class
+        prototypes so class 0 of Office-31 differs from class 0 of VisDA.
+    domain_gap:
+        Strength of the marginal shift this domain applies (0 disables).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        benchmark: str,
+        domain_gap: float = 1.0,
+        size: int = IMAGE_SIZE,
+        channels: int = CHANNELS,
+    ):
+        self.name = name
+        self.benchmark = benchmark
+        self.domain_gap = float(domain_gap)
+        self.size = size
+        self.channels = channels
+        self._pipeline = self._build_pipeline()
+
+    def _build_pipeline(self) -> T.Compose:
+        """Deterministic domain transform seeded by (benchmark, name)."""
+        rng = np.random.default_rng(_stable_seed("domain", self.benchmark, self.name))
+        g = self.domain_gap
+        stages = [
+            T.ChannelMix.random(self.channels, strength=0.6 * g, rng=rng),
+            T.StyleField((self.channels, self.size, self.size), strength=0.35 * g, rng=rng),
+            T.Contrast(1.0 + g * float(rng.uniform(-0.4, 0.4))),
+            T.Brightness(g * float(rng.uniform(-0.15, 0.15))),
+        ]
+        if rng.random() < 0.5:
+            stages.append(T.GaussianBlur(sigma=0.6 * g))
+        return T.Compose(stages)
+
+    def _prototypes(self, classes) -> np.ndarray:
+        return np.stack(
+            [
+                class_prototype(int(c), self.size, self.channels, benchmark=self.benchmark)
+                for c in classes
+            ]
+        )
+
+    def sample(
+        self,
+        classes,
+        samples_per_class: int,
+        rng=None,
+        relabel: bool = True,
+        instance_noise: float = 0.12,
+    ) -> ArrayDataset:
+        """Draw a labeled dataset for the given global class ids.
+
+        Labels are task-local when ``relabel`` is True.
+        """
+        rng = resolve_rng(rng)
+        protos = self._prototypes(classes)
+        images = []
+        labels = []
+        jitter = T.ElasticJitter(max_shift=2)
+        for local_id, proto in enumerate(protos):
+            base = np.broadcast_to(proto, (samples_per_class, *proto.shape)).copy()
+            base = jitter(base, rng)
+            base = base * rng.uniform(0.8, 1.1, size=(samples_per_class, 1, 1, 1))
+            base = base + rng.normal(0.0, instance_noise, size=base.shape)
+            images.append(base)
+            labels.extend([local_id if relabel else int(classes[local_id])] * samples_per_class)
+        batch = np.concatenate(images)
+        batch = self._pipeline(batch, rng)
+        batch = np.clip(batch, -0.5, 1.5)
+        return ArrayDataset(batch, np.asarray(labels))
+
+    def __repr__(self) -> str:
+        return (
+            f"ObjectDomain({self.name!r}, benchmark={self.benchmark!r}, "
+            f"gap={self.domain_gap})"
+        )

@@ -1,0 +1,213 @@
+"""Image transforms: the domain-shift operators.
+
+The synthetic benchmarks express *domain identity* as a fixed,
+deterministic composition of these operators: a domain is literally a
+marginal distribution shift ``P(X)`` applied on top of class-conditional
+content, which leaves ``P(Y|X)`` aligned across domains — the standard
+covariate-shift assumption the paper formalizes in Section III.
+
+All transforms operate on float images shaped (..., C, H, W) in [0, 1]
+and are pure functions of (image, rng).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import ndimage
+
+from repro.utils import resolve_rng
+
+__all__ = [
+    "Compose",
+    "Normalize",
+    "GaussianNoise",
+    "GaussianBlur",
+    "Contrast",
+    "Brightness",
+    "Invert",
+    "ChannelMix",
+    "Occlusion",
+    "StyleField",
+    "ElasticJitter",
+]
+
+
+class Compose:
+    """Apply transforms in sequence."""
+
+    def __init__(self, transforms):
+        self.transforms = list(transforms)
+
+    def __call__(self, images: np.ndarray, rng=None) -> np.ndarray:
+        rng = resolve_rng(rng)
+        for transform in self.transforms:
+            images = transform(images, rng)
+        return images
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(t) for t in self.transforms)
+        return f"Compose([{inner}])"
+
+
+class Normalize:
+    """Shift/scale to the given mean and std."""
+
+    def __init__(self, mean: float = 0.5, std: float = 0.5):
+        self.mean = mean
+        self.std = std
+
+    def __call__(self, images: np.ndarray, rng=None) -> np.ndarray:
+        return (images - self.mean) / self.std
+
+    def __repr__(self) -> str:
+        return f"Normalize(mean={self.mean}, std={self.std})"
+
+
+class GaussianNoise:
+    """Additive iid Gaussian noise."""
+
+    def __init__(self, std: float = 0.05):
+        self.std = std
+
+    def __call__(self, images: np.ndarray, rng=None) -> np.ndarray:
+        rng = resolve_rng(rng)
+        return images + rng.normal(0.0, self.std, size=images.shape)
+
+    def __repr__(self) -> str:
+        return f"GaussianNoise(std={self.std})"
+
+
+class GaussianBlur:
+    """Gaussian smoothing along the spatial axes."""
+
+    def __init__(self, sigma: float = 0.8):
+        self.sigma = sigma
+
+    def __call__(self, images: np.ndarray, rng=None) -> np.ndarray:
+        sigma = [0.0] * (images.ndim - 2) + [self.sigma, self.sigma]
+        return ndimage.gaussian_filter(images, sigma=sigma)
+
+    def __repr__(self) -> str:
+        return f"GaussianBlur(sigma={self.sigma})"
+
+
+class Contrast:
+    """Scale contrast around 0.5."""
+
+    def __init__(self, factor: float = 1.5):
+        self.factor = factor
+
+    def __call__(self, images: np.ndarray, rng=None) -> np.ndarray:
+        return (images - 0.5) * self.factor + 0.5
+
+    def __repr__(self) -> str:
+        return f"Contrast(factor={self.factor})"
+
+
+class Brightness:
+    """Additive brightness offset."""
+
+    def __init__(self, offset: float = 0.1):
+        self.offset = offset
+
+    def __call__(self, images: np.ndarray, rng=None) -> np.ndarray:
+        return images + self.offset
+
+    def __repr__(self) -> str:
+        return f"Brightness(offset={self.offset})"
+
+
+class Invert:
+    """Photometric inversion (1 - x), e.g. white-on-black digits."""
+
+    def __call__(self, images: np.ndarray, rng=None) -> np.ndarray:
+        return 1.0 - images
+
+    def __repr__(self) -> str:
+        return "Invert()"
+
+
+class ChannelMix:
+    """Fixed linear recombination of the channel axis.
+
+    A deterministic per-domain mixing matrix models global colour/style
+    differences between domains (e.g. Clipart vs Real)."""
+
+    def __init__(self, matrix: np.ndarray):
+        self.matrix = np.asarray(matrix, dtype=float)
+
+    @classmethod
+    def random(cls, channels: int, strength: float = 0.5, rng=None) -> "ChannelMix":
+        rng = resolve_rng(rng)
+        mix = np.eye(channels) + strength * rng.normal(size=(channels, channels)) / np.sqrt(channels)
+        return cls(mix)
+
+    def __call__(self, images: np.ndarray, rng=None) -> np.ndarray:
+        # (..., C, H, W): contract the channel axis with the mix matrix.
+        return np.einsum("dc,...chw->...dhw", self.matrix, images)
+
+    def __repr__(self) -> str:
+        return f"ChannelMix(shape={self.matrix.shape})"
+
+
+class Occlusion:
+    """Zero out a random square patch per image."""
+
+    def __init__(self, size: int = 4, value: float = 0.0):
+        self.size = size
+        self.value = value
+
+    def __call__(self, images: np.ndarray, rng=None) -> np.ndarray:
+        rng = resolve_rng(rng)
+        out = images.copy()
+        h, w = images.shape[-2:]
+        flat = out.reshape(-1, *images.shape[-3:])
+        for img in flat:
+            top = rng.integers(0, max(h - self.size, 1))
+            left = rng.integers(0, max(w - self.size, 1))
+            img[:, top : top + self.size, left : left + self.size] = self.value
+        return flat.reshape(images.shape)
+
+    def __repr__(self) -> str:
+        return f"Occlusion(size={self.size})"
+
+
+class StyleField:
+    """Add a fixed smooth low-frequency field: a domain's 'texture style'.
+
+    The field is sampled once at construction (seeded), so all images of
+    the domain share the same stylistic bias — mimicking how e.g. all
+    infograph images share rendering characteristics.
+    """
+
+    def __init__(self, shape: tuple[int, int, int], strength: float = 0.3, rng=None):
+        rng = resolve_rng(rng)
+        noise = rng.normal(size=shape)
+        smooth = ndimage.gaussian_filter(noise, sigma=[0, shape[1] / 6, shape[2] / 6])
+        denom = np.abs(smooth).max() + 1e-12
+        self.field = strength * smooth / denom
+
+    def __call__(self, images: np.ndarray, rng=None) -> np.ndarray:
+        return images + self.field
+
+    def __repr__(self) -> str:
+        return f"StyleField(shape={self.field.shape})"
+
+
+class ElasticJitter:
+    """Small random spatial shift per image (instance-level variation)."""
+
+    def __init__(self, max_shift: int = 2):
+        self.max_shift = max_shift
+
+    def __call__(self, images: np.ndarray, rng=None) -> np.ndarray:
+        rng = resolve_rng(rng)
+        out = images.reshape(-1, *images.shape[-3:]).copy()
+        for i in range(len(out)):
+            dy = int(rng.integers(-self.max_shift, self.max_shift + 1))
+            dx = int(rng.integers(-self.max_shift, self.max_shift + 1))
+            out[i] = np.roll(np.roll(out[i], dy, axis=-2), dx, axis=-1)
+        return out.reshape(images.shape)
+
+    def __repr__(self) -> str:
+        return f"ElasticJitter(max_shift={self.max_shift})"

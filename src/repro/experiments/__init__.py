@@ -1,0 +1,72 @@
+"""Experiment runners reproducing the paper's tables and figures.
+
+Each sub-module maps to one evaluation artifact:
+
+* :mod:`repro.experiments.table1` — Office-31 / digits / VisDA (Table I)
+* :mod:`repro.experiments.table2` — Office-Home (Table II)
+* :mod:`repro.experiments.table3` — DomainNet matrix (Table III)
+* :mod:`repro.experiments.table4` — loss/attention ablation (Table IV)
+* :mod:`repro.experiments.figure2` — VisDA ACC evolution (Figure 2)
+
+Workload sizes come from :func:`repro.experiments.common.get_profile`
+(env var ``REPRO_PROFILE``: smoke / scaled / full).
+"""
+
+from repro.experiments.common import (
+    ExperimentProfile,
+    get_profile,
+    build_method,
+    run_pair,
+    fit_tvt,
+    PairResult,
+    CONTINUAL_METHODS,
+    format_percent,
+)
+from repro.experiments.table1 import run_table1, render_table1, TABLE1_COLUMNS, Table1Result
+from repro.experiments.table2 import run_table2, render_table2, TABLE2_COLUMNS, Table2Result
+from repro.experiments.table3 import run_table3, render_table3, Table3Result
+from repro.experiments.table4 import run_table4, render_table4, ABLATION_VARIANTS, Table4Result
+from repro.experiments.figure2 import run_figure2, render_figure2, Figure2Result
+from repro.experiments.multiseed import run_multi_seed, MultiSeedResult, SeedStatistics
+from repro.experiments.reporting import (
+    pair_result_to_dict,
+    save_results,
+    load_results,
+    markdown_table,
+)
+
+__all__ = [
+    "ExperimentProfile",
+    "get_profile",
+    "build_method",
+    "run_pair",
+    "fit_tvt",
+    "PairResult",
+    "CONTINUAL_METHODS",
+    "format_percent",
+    "run_table1",
+    "render_table1",
+    "TABLE1_COLUMNS",
+    "Table1Result",
+    "run_table2",
+    "render_table2",
+    "TABLE2_COLUMNS",
+    "Table2Result",
+    "run_table3",
+    "render_table3",
+    "Table3Result",
+    "run_table4",
+    "render_table4",
+    "ABLATION_VARIANTS",
+    "Table4Result",
+    "run_figure2",
+    "render_figure2",
+    "Figure2Result",
+    "run_multi_seed",
+    "MultiSeedResult",
+    "SeedStatistics",
+    "pair_result_to_dict",
+    "save_results",
+    "load_results",
+    "markdown_table",
+]

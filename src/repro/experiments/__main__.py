@@ -1,0 +1,83 @@
+"""Command-line entry point for the experiment runners.
+
+Usage::
+
+    python -m repro.experiments table1 --columns "MN->US" "A->W"
+    python -m repro.experiments table2 --columns "Ar->Cl"
+    python -m repro.experiments table3 --domains clp skt
+    python -m repro.experiments table4
+    python -m repro.experiments figure2
+    python -m repro.experiments --profile smoke table1
+
+Prints the requested artifact in the paper's layout.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments import (
+    get_profile,
+    render_figure2,
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+    run_figure2,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "--profile",
+        choices=("smoke", "scaled", "full"),
+        default=None,
+        help="workload profile (default: env REPRO_PROFILE or 'scaled')",
+    )
+    parser.add_argument("--verbose", action="store_true")
+    sub = parser.add_subparsers(dest="artifact", required=True)
+
+    p1 = sub.add_parser("table1", help="Office-31 / digits / VisDA")
+    p1.add_argument("--columns", nargs="*", default=None)
+    p2 = sub.add_parser("table2", help="Office-Home")
+    p2.add_argument("--columns", nargs="*", default=None)
+    p3 = sub.add_parser("table3", help="DomainNet matrix")
+    p3.add_argument("--domains", nargs="*", default=("clp", "skt"))
+    sub.add_parser("table4", help="loss/attention ablation")
+    sub.add_parser("figure2", help="VisDA ACC evolution")
+
+    args = parser.parse_args(argv)
+    profile = get_profile(args.profile)
+
+    if args.artifact == "table1":
+        columns = tuple(args.columns) if args.columns else ("MN->US",)
+        result = run_table1(columns=columns, profile=profile, verbose=args.verbose)
+        print(render_table1(result))
+    elif args.artifact == "table2":
+        columns = tuple(args.columns) if args.columns else ("Ar->Cl",)
+        result = run_table2(columns=columns, profile=profile, verbose=args.verbose)
+        print(render_table2(result))
+    elif args.artifact == "table3":
+        result = run_table3(
+            domains=tuple(args.domains), profile=profile, verbose=args.verbose
+        )
+        print(render_table3(result))
+    elif args.artifact == "table4":
+        result = run_table4(profile=profile, verbose=args.verbose)
+        print(render_table4(result))
+    elif args.artifact == "figure2":
+        result = run_figure2(profile=profile, verbose=args.verbose)
+        print(render_figure2(result))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

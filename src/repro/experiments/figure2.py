@@ -1,0 +1,78 @@
+"""Figure 2: evolution of CDCL's ACC on VisDA-2017, TIL vs CIL.
+
+The figure plots, after each task ``t``, the mean accuracy over the
+tasks seen so far (with a band of +/- one standard deviation across
+those tasks) — visualizing how TIL stays roughly flat while CIL decays
+as the single head accumulates classes.
+
+This module computes the series; the bench target prints them as rows
+(one per training step) so the curve can be re-plotted from text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.continual import Scenario, run_continual_multi
+from repro.core import CDCLTrainer
+from repro.data.synthetic import visda2017
+from repro.experiments.common import ExperimentProfile, format_percent, get_profile
+
+__all__ = ["Figure2Series", "Figure2Result", "run_figure2", "render_figure2"]
+
+
+@dataclass
+class Figure2Series:
+    """Mean/std accuracy over seen tasks, per training step."""
+
+    scenario: Scenario
+    mean: list[float] = field(default_factory=list)
+    std: list[float] = field(default_factory=list)
+
+
+@dataclass
+class Figure2Result:
+    profile: str
+    series: dict[Scenario, Figure2Series] = field(default_factory=dict)
+
+
+def run_figure2(
+    profile: ExperimentProfile | None = None, verbose: bool = False
+) -> Figure2Result:
+    """Train CDCL on the VisDA stream and extract the figure's series."""
+    profile = profile or get_profile()
+    stream = visda2017(
+        samples_per_class=profile.samples_per_class,
+        test_samples_per_class=profile.test_samples_per_class,
+        rng=profile.seed,
+    )
+    trainer = CDCLTrainer(
+        profile.cdcl_config(), in_channels=3, image_size=16, rng=profile.seed
+    )
+    runs = run_continual_multi(
+        trainer, stream, [Scenario.TIL, Scenario.CIL], verbose=verbose
+    )
+    result = Figure2Result(profile=profile.name)
+    for scenario, run in runs.items():
+        series = Figure2Series(scenario=scenario)
+        for step in range(len(stream)):
+            row = run.r_matrix.row(step)[: step + 1]
+            series.mean.append(float(np.mean(row)))
+            series.std.append(float(np.std(row)))
+        result.series[scenario] = series
+    return result
+
+
+def render_figure2(result: Figure2Result) -> str:
+    lines = [f"Figure 2 series (profile={result.profile})"]
+    lines.append(f"{'step':>4}  {'TIL mean':>9} {'TIL std':>8}  {'CIL mean':>9} {'CIL std':>8}")
+    til = result.series[Scenario.TIL]
+    cil = result.series[Scenario.CIL]
+    for step in range(len(til.mean)):
+        lines.append(
+            f"{step:>4}  {format_percent(til.mean[step]):>9} {format_percent(til.std[step]):>8}"
+            f"  {format_percent(cil.mean[step]):>9} {format_percent(cil.std[step]):>8}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,110 @@
+"""Multi-seed experiment aggregation.
+
+Single-seed numbers from small synthetic benchmarks are noisy; this
+module repeats a continual run across seeds and reports mean +/- std of
+ACC/FGT — the statistics the paper's Figure 2 band visualizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.continual import ContinualResult, Scenario, TaskStream, run_continual_multi
+from repro.continual.method import ContinualMethod
+
+__all__ = ["SeedStatistics", "MultiSeedResult", "run_multi_seed"]
+
+
+@dataclass
+class SeedStatistics:
+    """Mean/std/raw values of one metric across seeds."""
+
+    values: list[float] = field(default_factory=list)
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.values)) if self.values else float("nan")
+
+    @property
+    def std(self) -> float:
+        return float(np.std(self.values)) if self.values else float("nan")
+
+    @property
+    def n(self) -> int:
+        return len(self.values)
+
+    def __repr__(self) -> str:
+        return f"{self.mean:.4f} +/- {self.std:.4f} (n={self.n})"
+
+
+@dataclass
+class MultiSeedResult:
+    """ACC/FGT statistics per scenario over a set of seeds."""
+
+    method: str
+    stream: str
+    seeds: tuple[int, ...]
+    acc: dict[Scenario, SeedStatistics] = field(default_factory=dict)
+    fgt: dict[Scenario, SeedStatistics] = field(default_factory=dict)
+    runs: list[dict[Scenario, ContinualResult]] = field(default_factory=list)
+
+    def summary(self) -> dict:
+        return {
+            "method": self.method,
+            "stream": self.stream,
+            "seeds": list(self.seeds),
+            **{
+                f"acc_{s.value}": (stat.mean, stat.std)
+                for s, stat in self.acc.items()
+            },
+            **{
+                f"fgt_{s.value}": (stat.mean, stat.std)
+                for s, stat in self.fgt.items()
+            },
+        }
+
+
+def run_multi_seed(
+    method_factory: Callable[[int], ContinualMethod],
+    stream_factory: Callable[[int], TaskStream],
+    seeds: Sequence[int],
+    scenarios: Sequence[Scenario | str] = (Scenario.TIL, Scenario.CIL),
+    keep_runs: bool = False,
+) -> MultiSeedResult:
+    """Repeat (build stream, build method, run protocol) per seed.
+
+    Parameters
+    ----------
+    method_factory / stream_factory:
+        Callables taking the seed; both data and initialization vary
+        per repetition, so the statistics cover the full pipeline.
+    keep_runs:
+        Retain the individual :class:`ContinualResult` objects (memory
+        cost grows with the number of seeds).
+    """
+    if not seeds:
+        raise ValueError("at least one seed is required")
+    parsed = [Scenario.parse(s) for s in scenarios]
+    result: MultiSeedResult | None = None
+    for seed in seeds:
+        stream = stream_factory(seed)
+        method = method_factory(seed)
+        runs = run_continual_multi(method, stream, list(parsed))
+        if result is None:
+            result = MultiSeedResult(
+                method=method.name,
+                stream=stream.name,
+                seeds=tuple(seeds),
+                acc={s: SeedStatistics() for s in parsed},
+                fgt={s: SeedStatistics() for s in parsed},
+            )
+        for scenario in parsed:
+            result.acc[scenario].values.append(runs[scenario].acc)
+            result.fgt[scenario].values.append(runs[scenario].fgt)
+        if keep_runs:
+            result.runs.append(runs)
+    assert result is not None
+    return result

@@ -1,0 +1,95 @@
+"""Result persistence and rendering.
+
+Experiment outputs (PairResult / MultiSeedResult) are plain dataclasses;
+this module serializes them to JSON for archival and renders markdown
+tables for reports — the glue a downstream user needs to track their
+own reproduction numbers over time.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.continual import Scenario
+from repro.experiments.common import PairResult
+from repro.experiments.multiseed import MultiSeedResult
+
+__all__ = ["pair_result_to_dict", "save_results", "load_results", "markdown_table"]
+
+
+def pair_result_to_dict(pair: PairResult) -> dict:
+    """Flatten a PairResult into JSON-serializable primitives."""
+    out: dict = {"stream": pair.stream_name, "methods": {}}
+    for method, runs in pair.results.items():
+        out["methods"][method] = {
+            scenario.value: {
+                "acc": run.acc,
+                "fgt": run.fgt if run.r_matrix.num_tasks > 1 else 0.0,
+                "r_matrix": _matrix_to_list(run.r_matrix.values),
+            }
+            for scenario, run in runs.items()
+        }
+    if pair.tvt_acc:
+        out["tvt"] = {s.value: v for s, v in pair.tvt_acc.items()}
+    return out
+
+
+def save_results(results: dict | list, path: str | Path) -> Path:
+    """Write results (dicts from ``pair_result_to_dict`` / summaries) to JSON."""
+    path = Path(path)
+    path.write_text(json.dumps(results, indent=2, default=_json_default))
+    return path
+
+
+def load_results(path: str | Path) -> dict | list:
+    return json.loads(Path(path).read_text())
+
+
+def markdown_table(
+    rows: dict[str, dict[str, float]], value_format: str = "{:.2f}"
+) -> str:
+    """Render ``{row_label: {column: value}}`` as a GitHub markdown table."""
+    if not rows:
+        return ""
+    columns = list(next(iter(rows.values())))
+    lines = ["| method | " + " | ".join(columns) + " |"]
+    lines.append("|---" * (len(columns) + 1) + "|")
+    for label, cells in rows.items():
+        rendered = [
+            value_format.format(cells[c]) if c in cells and cells[c] == cells[c] else "-"
+            for c in columns
+        ]
+        lines.append(f"| {label} | " + " | ".join(rendered) + " |")
+    return "\n".join(lines)
+
+
+def multiseed_markdown(results: list[MultiSeedResult]) -> str:
+    """Render a mean +/- std table over several multi-seed results."""
+    rows = {}
+    for result in results:
+        cells = {}
+        for scenario, stat in result.acc.items():
+            cells[f"ACC {scenario.value.upper()}"] = stat.mean
+            cells[f"±{scenario.value.upper()}"] = stat.std
+        rows[result.method] = cells
+    return markdown_table(rows, value_format="{:.3f}")
+
+
+def _matrix_to_list(values: np.ndarray) -> list:
+    out = []
+    for row in values:
+        out.append([None if np.isnan(v) else float(v) for v in row])
+    return out
+
+
+def _json_default(obj):
+    if isinstance(obj, Scenario):
+        return obj.value
+    if isinstance(obj, (np.floating, np.integer)):
+        return obj.item()
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    raise TypeError(f"not JSON serializable: {type(obj)}")

@@ -1,0 +1,140 @@
+"""Table I: Office-31 pairs, MNIST<->USPS and VisDA-2017.
+
+Reproduces the paper's first results table: the ACC of DER / DER++ /
+HAL / MSL / CDTrans-S / CDTrans-B and CDCL (plus CDCL's FGT and the TVT
+static upper bound) under both TIL and CIL, over
+
+* the six Office-31 direction pairs (A/D/W),
+* MN->US and US->MN,
+* VisDA-2017 synthetic->real.
+
+``columns`` selects a subset of the nine columns; the default bench
+target runs a representative subset (the full sweep is hours on CPU —
+set ``columns=None``/``REPRO_FULL=1`` for everything).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.continual import Scenario
+from repro.data.synthetic import mnist_usps, office31, visda2017
+from repro.experiments.common import (
+    CONTINUAL_METHODS,
+    ExperimentProfile,
+    PairResult,
+    format_percent,
+    get_profile,
+    run_pair,
+)
+
+__all__ = ["TABLE1_COLUMNS", "Table1Result", "run_table1", "render_table1"]
+
+#: Column order of the paper's Table I.
+TABLE1_COLUMNS = (
+    "A->D",
+    "A->W",
+    "D->A",
+    "D->W",
+    "W->A",
+    "W->D",
+    "MN->US",
+    "US->MN",
+    "VisDA-2017",
+)
+
+_DIGITS = {"MN->US": "mnist->usps", "US->MN": "usps->mnist"}
+
+
+def _make_stream(column: str, profile: ExperimentProfile):
+    if column in _DIGITS:
+        return mnist_usps(
+            _DIGITS[column],
+            samples_per_class=profile.samples_per_class,
+            test_samples_per_class=profile.test_samples_per_class,
+            rng=profile.seed,
+        )
+    if column == "VisDA-2017":
+        return visda2017(
+            samples_per_class=profile.samples_per_class,
+            test_samples_per_class=profile.test_samples_per_class,
+            rng=profile.seed,
+        )
+    source, target = column.split("->")
+    return office31(
+        source,
+        target,
+        samples_per_class=profile.samples_per_class,
+        test_samples_per_class=profile.test_samples_per_class,
+        rng=profile.seed,
+    )
+
+
+@dataclass
+class Table1Result:
+    """Per-column pair results keyed by Table I column name."""
+
+    profile: str
+    pairs: dict[str, PairResult] = field(default_factory=dict)
+
+    def row(self, method: str, scenario: Scenario) -> dict[str, float]:
+        return {
+            column: pair.acc(method, scenario) for column, pair in self.pairs.items()
+        }
+
+
+def run_table1(
+    columns=("A->W", "D->W", "MN->US", "US->MN", "VisDA-2017"),
+    profile: ExperimentProfile | None = None,
+    methods=CONTINUAL_METHODS,
+    include_tvt: bool = True,
+    verbose: bool = False,
+) -> Table1Result:
+    """Run Table I over the requested columns.
+
+    Parameters
+    ----------
+    columns:
+        Subset of :data:`TABLE1_COLUMNS`; None means all nine.
+    """
+    profile = profile or get_profile()
+    columns = TABLE1_COLUMNS if columns is None else tuple(columns)
+    unknown = set(columns) - set(TABLE1_COLUMNS)
+    if unknown:
+        raise ValueError(f"unknown Table I columns: {sorted(unknown)}")
+    result = Table1Result(profile=profile.name)
+    for column in columns:
+        stream = _make_stream(column, profile)
+        result.pairs[column] = run_pair(
+            stream, profile, methods=methods, include_tvt=include_tvt, verbose=verbose
+        )
+    return result
+
+
+def render_table1(result: Table1Result, methods=CONTINUAL_METHODS) -> str:
+    """Format results in the paper's row layout (percentages)."""
+    columns = list(result.pairs)
+    lines = [
+        f"Table I (profile={result.profile})",
+        "Method          " + "  ".join(f"{c:>10}" for c in columns),
+    ]
+    for scenario in (Scenario.TIL, Scenario.CIL):
+        lines.append(f"-- {scenario.value.upper()} --")
+        for method in methods:
+            accs = [result.pairs[c].acc(method, scenario) for c in columns]
+            label = f"{method} (ACC)" if method == "CDCL" else method
+            lines.append(
+                f"{label:<16}" + "  ".join(f"{format_percent(a):>10}" for a in accs)
+            )
+            if method == "CDCL":
+                fgts = [result.pairs[c].fgt(method, scenario) for c in columns]
+                lines.append(
+                    f"{'CDCL (FGT)':<16}"
+                    + "  ".join(f"{format_percent(f):>10}" for f in fgts)
+                )
+    tvt = [result.pairs[c].tvt_acc.get(Scenario.TIL) for c in columns]
+    if all(v is not None for v in tvt):
+        lines.append(
+            f"{'TVT (static)':<16}" + "  ".join(f"{format_percent(v):>10}" for v in tvt)
+        )
+    return "\n".join(lines)

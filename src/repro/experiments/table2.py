@@ -1,0 +1,94 @@
+"""Table II: Office-Home, all twelve direction pairs.
+
+Same method set and layout as Table I, over the 4-domain Office-Home
+benchmark (65 classes, 13 tasks x 5 classes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import permutations
+
+from repro.continual import Scenario
+from repro.data.synthetic import office_home
+from repro.experiments.common import (
+    CONTINUAL_METHODS,
+    ExperimentProfile,
+    PairResult,
+    format_percent,
+    get_profile,
+    run_pair,
+)
+
+__all__ = ["TABLE2_COLUMNS", "Table2Result", "run_table2", "render_table2"]
+
+_DOMAINS = ("Ar", "Cl", "Pr", "Re")
+
+#: All 12 direction pairs, in the paper's column order.
+TABLE2_COLUMNS = tuple(f"{s}->{t}" for s, t in permutations(_DOMAINS, 2))
+
+
+@dataclass
+class Table2Result:
+    profile: str
+    pairs: dict[str, PairResult] = field(default_factory=dict)
+
+    def row(self, method: str, scenario: Scenario) -> dict[str, float]:
+        return {c: p.acc(method, scenario) for c, p in self.pairs.items()}
+
+
+def run_table2(
+    columns=("Ar->Cl", "Cl->Pr"),
+    profile: ExperimentProfile | None = None,
+    methods=CONTINUAL_METHODS,
+    include_tvt: bool = True,
+    verbose: bool = False,
+) -> Table2Result:
+    """Run Table II over the requested direction pairs (None = all 12)."""
+    profile = profile or get_profile()
+    columns = TABLE2_COLUMNS if columns is None else tuple(columns)
+    unknown = set(columns) - set(TABLE2_COLUMNS)
+    if unknown:
+        raise ValueError(f"unknown Office-Home pairs: {sorted(unknown)}")
+    result = Table2Result(profile=profile.name)
+    for column in columns:
+        source, target = column.split("->")
+        stream = office_home(
+            source,
+            target,
+            samples_per_class=profile.samples_per_class,
+            test_samples_per_class=profile.test_samples_per_class,
+            rng=profile.seed,
+        )
+        result.pairs[column] = run_pair(
+            stream, profile, methods=methods, include_tvt=include_tvt, verbose=verbose
+        )
+    return result
+
+
+def render_table2(result: Table2Result, methods=CONTINUAL_METHODS) -> str:
+    columns = list(result.pairs)
+    lines = [
+        f"Table II (profile={result.profile})",
+        "Method          " + "  ".join(f"{c:>8}" for c in columns),
+    ]
+    for scenario in (Scenario.TIL, Scenario.CIL):
+        lines.append(f"-- {scenario.value.upper()} --")
+        for method in methods:
+            accs = [result.pairs[c].acc(method, scenario) for c in columns]
+            label = f"{method} (ACC)" if method == "CDCL" else method
+            lines.append(
+                f"{label:<16}" + "  ".join(f"{format_percent(a):>8}" for a in accs)
+            )
+            if method == "CDCL":
+                fgts = [result.pairs[c].fgt(method, scenario) for c in columns]
+                lines.append(
+                    f"{'CDCL (FGT)':<16}"
+                    + "  ".join(f"{format_percent(f):>8}" for f in fgts)
+                )
+    tvt = [result.pairs[c].tvt_acc.get(Scenario.TIL) for c in columns]
+    if all(v is not None for v in tvt):
+        lines.append(
+            f"{'TVT (static)':<16}" + "  ".join(f"{format_percent(v):>8}" for v in tvt)
+        )
+    return "\n".join(lines)

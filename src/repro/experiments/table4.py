@@ -1,0 +1,92 @@
+"""Table IV: ablation of CDCL's loss blocks and cross-attention.
+
+Five variants on MN->US and US->MN, both scenarios:
+
+* full CDCL (all three loss blocks, cross-attention);
+* A: drop ``L_CIL``;
+* B: drop ``L_TIL``  (also disables the pseudo-label machinery's
+  training signal, the paper's most damaging ablation);
+* C: drop ``L_R``   (no rehearsal — CIL collapses);
+* "simple attention": keep all losses but replace the inter- intra-task
+  cross-attention with plain self-attention on the source only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.continual import Scenario, run_continual_multi
+from repro.core import CDCLTrainer
+from repro.data.synthetic import mnist_usps
+from repro.experiments.common import ExperimentProfile, format_percent, get_profile
+
+__all__ = ["ABLATION_VARIANTS", "Table4Result", "run_table4", "render_table4"]
+
+#: Variant name -> CDCLConfig overrides.
+ABLATION_VARIANTS = {
+    "full": {},
+    "A (-L_CIL)": {"use_cil_loss": False},
+    "B (-L_TIL)": {"use_til_loss": False},
+    "C (-L_R)": {"use_rehearsal_loss": False},
+    "simple attention": {"use_cross_attention": False},
+}
+
+
+@dataclass
+class Table4Result:
+    profile: str
+    #: variant -> direction -> scenario -> ACC
+    accs: dict[str, dict[str, dict[Scenario, float]]] = field(default_factory=dict)
+
+    def acc(self, variant: str, direction: str, scenario: Scenario) -> float:
+        return self.accs[variant][direction][scenario]
+
+
+def run_table4(
+    directions=("mnist->usps", "usps->mnist"),
+    variants=tuple(ABLATION_VARIANTS),
+    profile: ExperimentProfile | None = None,
+    verbose: bool = False,
+) -> Table4Result:
+    """Run the loss/attention ablation grid."""
+    profile = profile or get_profile()
+    unknown = set(variants) - set(ABLATION_VARIANTS)
+    if unknown:
+        raise ValueError(f"unknown ablation variants: {sorted(unknown)}")
+    result = Table4Result(profile=profile.name)
+    for variant in variants:
+        overrides = ABLATION_VARIANTS[variant]
+        result.accs[variant] = {}
+        for direction in directions:
+            stream = mnist_usps(
+                direction,
+                samples_per_class=profile.samples_per_class,
+                test_samples_per_class=profile.test_samples_per_class,
+                rng=profile.seed,
+            )
+            config = profile.cdcl_config(**overrides)
+            trainer = CDCLTrainer(config, in_channels=1, image_size=16, rng=profile.seed)
+            runs = run_continual_multi(
+                trainer, stream, [Scenario.TIL, Scenario.CIL], verbose=verbose
+            )
+            result.accs[variant][direction] = {
+                scenario: run.acc for scenario, run in runs.items()
+            }
+    return result
+
+
+def render_table4(result: Table4Result) -> str:
+    directions = list(next(iter(result.accs.values())))
+    lines = [f"Table IV ablation (profile={result.profile})"]
+    header = f"{'Variant':<20}"
+    for direction in directions:
+        header += f"{direction + ' TIL':>16}{direction + ' CIL':>16}"
+    lines.append(header)
+    for variant, per_direction in result.accs.items():
+        row = f"{variant:<20}"
+        for direction in directions:
+            til = per_direction[direction][Scenario.TIL]
+            cil = per_direction[direction][Scenario.CIL]
+            row += f"{format_percent(til):>16}{format_percent(cil):>16}"
+        lines.append(row)
+    return "\n".join(lines)

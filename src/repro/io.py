@@ -1,0 +1,101 @@
+"""Checkpoint serialization for trained models.
+
+State dicts are plain ``{dotted.name: ndarray}`` mappings, so any
+module tree round-trips through a single ``.npz`` file.  CDCL trainers
+additionally carry per-task structure (how many tasks/classes were
+instantiated), stored alongside the weights so a checkpoint can be
+restored into a freshly-constructed trainer.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.config import CDCLConfig
+from repro.core.trainer import CDCLTrainer
+from repro.nn.module import Module
+
+__all__ = ["save_module", "load_module", "save_cdcl", "load_cdcl"]
+
+_META_KEY = "__meta_json__"
+
+
+def save_module(module: Module, path: str | Path) -> Path:
+    """Serialize a module's state dict to ``path`` (.npz)."""
+    path = Path(path)
+    state = module.state_dict()
+    np.savez(path, **state)
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_module(module: Module, path: str | Path, strict: bool = True) -> Module:
+    """Restore a module's parameters from a ``save_module`` checkpoint."""
+    with np.load(_resolve(path)) as data:
+        state = {name: data[name] for name in data.files if name != _META_KEY}
+    module.load_state_dict(state, strict=strict)
+    return module
+
+
+def save_cdcl(trainer: CDCLTrainer, path: str | Path) -> Path:
+    """Serialize a CDCL trainer: weights + task structure + config."""
+    path = Path(path)
+    state = trainer.network.state_dict()
+    meta = {
+        "task_classes": list(trainer.network._task_classes),
+        "in_channels": trainer.network.tokenizer.blocks[0].in_channels,
+        "image_size": _infer_image_size(trainer),
+        "config": _config_to_dict(trainer.config),
+    }
+    state[_META_KEY] = np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)
+    np.savez(path, **state)
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_cdcl(path: str | Path, rng=0) -> CDCLTrainer:
+    """Reconstruct a CDCL trainer from a ``save_cdcl`` checkpoint.
+
+    The returned trainer has the saved architecture, task heads and
+    weights; optimizer state and rehearsal memory are not persisted
+    (checkpoints capture the *model*, matching common practice).
+    """
+    with np.load(_resolve(path)) as data:
+        if _META_KEY not in data.files:
+            raise ValueError(f"{path} is not a CDCL checkpoint (missing metadata)")
+        meta = json.loads(bytes(data[_META_KEY]).decode())
+        state = {name: data[name] for name in data.files if name != _META_KEY}
+    config = CDCLConfig(**meta["config"])
+    trainer = CDCLTrainer(
+        config, in_channels=meta["in_channels"], image_size=meta["image_size"], rng=rng
+    )
+    for num_classes in meta["task_classes"]:
+        trainer.network.add_task(int(num_classes))
+    trainer.network.load_state_dict(state)
+    return trainer
+
+
+def _resolve(path: str | Path) -> Path:
+    path = Path(path)
+    if path.exists():
+        return path
+    candidate = path.with_suffix(path.suffix + ".npz")
+    if candidate.exists():
+        return candidate
+    raise FileNotFoundError(path)
+
+
+def _infer_image_size(trainer: CDCLTrainer) -> int:
+    side = trainer.network.tokenizer.grid_side
+    for _ in range(trainer.config.tokenizer_layers):
+        side *= 2
+    return side
+
+
+def _config_to_dict(config: CDCLConfig) -> dict:
+    from dataclasses import asdict
+
+    data = asdict(config)
+    data.pop("extra", None)
+    return data

@@ -1,0 +1,49 @@
+"""Neural-network layers built on :mod:`repro.autograd`.
+
+The design mirrors ``torch.nn`` at small scale: a :class:`Module` tree
+with automatically-discovered :class:`Parameter` leaves, containers,
+standard layers and functional losses.
+"""
+
+from repro.nn.module import Module, Parameter
+from repro.nn.linear import Linear, Bilinear
+from repro.nn.conv import Conv2d, MaxPool2d, AvgPool2d
+from repro.nn.norm import LayerNorm, BatchNorm1d
+from repro.nn.activation import ReLU, GELU, Tanh, Sigmoid, LeakyReLU, Softmax
+from repro.nn.dropout import Dropout
+from repro.nn.container import Sequential, ModuleList, ModuleDict
+from repro.nn.attention import MultiHeadSelfAttention, scaled_dot_product_attention
+from repro.nn.transformer import FeedForward, TransformerEncoderLayer, TransformerEncoder
+from repro.nn.embedding import Embedding
+from repro.nn import functional
+from repro.nn import init
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Linear",
+    "Bilinear",
+    "Conv2d",
+    "MaxPool2d",
+    "AvgPool2d",
+    "LayerNorm",
+    "BatchNorm1d",
+    "ReLU",
+    "GELU",
+    "Tanh",
+    "Sigmoid",
+    "LeakyReLU",
+    "Softmax",
+    "Dropout",
+    "Sequential",
+    "ModuleList",
+    "ModuleDict",
+    "MultiHeadSelfAttention",
+    "scaled_dot_product_attention",
+    "FeedForward",
+    "TransformerEncoderLayer",
+    "TransformerEncoder",
+    "Embedding",
+    "functional",
+    "init",
+]

@@ -1,0 +1,64 @@
+"""Activation modules (thin wrappers over functional ops)."""
+
+from __future__ import annotations
+
+from repro.autograd import Tensor, ops
+from repro.nn.module import Module
+
+__all__ = ["ReLU", "GELU", "Tanh", "Sigmoid", "LeakyReLU", "Softmax"]
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.relu(x)
+
+    def __repr__(self) -> str:
+        return "ReLU()"
+
+
+class GELU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.gelu(x)
+
+    def __repr__(self) -> str:
+        return "GELU()"
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.tanh(x)
+
+    def __repr__(self) -> str:
+        return "Tanh()"
+
+
+class Sigmoid(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.sigmoid(x)
+
+    def __repr__(self) -> str:
+        return "Sigmoid()"
+
+
+class LeakyReLU(Module):
+    def __init__(self, negative_slope: float = 0.01):
+        super().__init__()
+        self.negative_slope = negative_slope
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.leaky_relu(x, self.negative_slope)
+
+    def __repr__(self) -> str:
+        return f"LeakyReLU({self.negative_slope})"
+
+
+class Softmax(Module):
+    def __init__(self, axis: int = -1):
+        super().__init__()
+        self.axis = axis
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.softmax(x, axis=self.axis)
+
+    def __repr__(self) -> str:
+        return f"Softmax(axis={self.axis})"

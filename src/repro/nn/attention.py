@@ -1,0 +1,71 @@
+"""Standard multi-head self-attention.
+
+This is the *baseline* attention used by CDTrans/TVT reimplementations
+and by the "simple attention" ablation row of Table IV.  CDCL's
+task-conditioned inter- intra-task cross-attention lives in
+``repro.core.attention``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Tensor, ops
+from repro.nn.dropout import Dropout
+from repro.nn.linear import Linear
+from repro.nn.module import Module
+from repro.utils import resolve_rng
+
+__all__ = ["MultiHeadSelfAttention", "scaled_dot_product_attention"]
+
+
+def scaled_dot_product_attention(q: Tensor, k: Tensor, v: Tensor) -> Tensor:
+    """Attention(Q, K, V) = softmax(QK^T / sqrt(d)) V.
+
+    Inputs are (batch, heads, seq, head_dim).
+    """
+    d = q.shape[-1]
+    scores = ops.matmul(q, k.transpose((0, 1, 3, 2))) * (1.0 / np.sqrt(d))
+    weights = ops.softmax(scores, axis=-1)
+    return ops.matmul(weights, v)
+
+
+class MultiHeadSelfAttention(Module):
+    """Multi-head attention with fused QKV projection.
+
+    Supports cross-attention by passing a separate ``context`` sequence:
+    queries come from ``x``, keys/values from ``context``.
+    """
+
+    def __init__(self, dim: int, num_heads: int, dropout: float = 0.0, rng=None):
+        super().__init__()
+        if dim % num_heads != 0:
+            raise ValueError(f"dim {dim} not divisible by num_heads {num_heads}")
+        rng = resolve_rng(rng)
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.q_proj = Linear(dim, dim, rng=rng)
+        self.k_proj = Linear(dim, dim, rng=rng)
+        self.v_proj = Linear(dim, dim, rng=rng)
+        self.out_proj = Linear(dim, dim, rng=rng)
+        self.dropout = Dropout(dropout, rng=rng)
+
+    def _split_heads(self, x: Tensor) -> Tensor:
+        b, n, _ = x.shape
+        return x.reshape((b, n, self.num_heads, self.head_dim)).transpose((0, 2, 1, 3))
+
+    def _merge_heads(self, x: Tensor) -> Tensor:
+        b, _h, n, _d = x.shape
+        return x.transpose((0, 2, 1, 3)).reshape((b, n, self.dim))
+
+    def forward(self, x: Tensor, context: Tensor | None = None) -> Tensor:
+        context = x if context is None else context
+        q = self._split_heads(self.q_proj(x))
+        k = self._split_heads(self.k_proj(context))
+        v = self._split_heads(self.v_proj(context))
+        attended = scaled_dot_product_attention(q, k, v)
+        return self.dropout(self.out_proj(self._merge_heads(attended)))
+
+    def __repr__(self) -> str:
+        return f"MultiHeadSelfAttention(dim={self.dim}, heads={self.num_heads})"

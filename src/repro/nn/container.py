@@ -1,0 +1,95 @@
+"""Module containers."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.nn.module import Module
+
+__all__ = ["Sequential", "ModuleList", "ModuleDict"]
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        for i, module in enumerate(modules):
+            self.add_module(str(i), module)
+
+    def forward(self, x):
+        for module in self._modules.values():
+            x = module(x)
+        return x
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._modules.values())
+
+    def __len__(self) -> int:
+        return len(self._modules)
+
+    def __getitem__(self, index: int) -> Module:
+        return list(self._modules.values())[index]
+
+    def append(self, module: Module) -> "Sequential":
+        self.add_module(str(len(self._modules)), module)
+        return self
+
+
+class ModuleList(Module):
+    """List of modules registered for parameter discovery.
+
+    Unlike :class:`Sequential`, calling a ModuleList is undefined; it is
+    a storage container (e.g. per-task heads).
+    """
+
+    def __init__(self, modules: Iterable[Module] = ()):
+        super().__init__()
+        for module in modules:
+            self.append(module)
+
+    def append(self, module: Module) -> "ModuleList":
+        self.add_module(str(len(self._modules)), module)
+        return self
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._modules.values())
+
+    def __len__(self) -> int:
+        return len(self._modules)
+
+    def __getitem__(self, index: int) -> Module:
+        if index < 0:
+            index += len(self)
+        return self._modules[str(index)]
+
+
+class ModuleDict(Module):
+    """String-keyed module container."""
+
+    def __init__(self, modules: dict[str, Module] | None = None):
+        super().__init__()
+        if modules:
+            for name, module in modules.items():
+                self.add_module(name, module)
+
+    def __setitem__(self, name: str, module: Module) -> None:
+        self.add_module(name, module)
+
+    def __getitem__(self, name: str) -> Module:
+        return self._modules[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._modules
+
+    def __len__(self) -> int:
+        return len(self._modules)
+
+    def keys(self):
+        return self._modules.keys()
+
+    def values(self):
+        return self._modules.values()
+
+    def items(self):
+        return self._modules.items()

@@ -1,0 +1,93 @@
+"""Convolution and pooling modules (NCHW layout)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Tensor, conv2d, max_pool2d, avg_pool2d
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.utils import resolve_rng
+
+__all__ = ["Conv2d", "MaxPool2d", "AvgPool2d"]
+
+
+class Conv2d(Module):
+    """2-D convolution layer.
+
+    Parameters
+    ----------
+    in_channels, out_channels:
+        Channel counts.
+    kernel_size, stride, padding:
+        Int or (h, w) pairs.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size,
+        stride=1,
+        padding=0,
+        bias: bool = True,
+        rng=None,
+    ):
+        super().__init__()
+        rng = resolve_rng(rng)
+        ks = kernel_size if isinstance(kernel_size, tuple) else (kernel_size, kernel_size)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = ks
+        self.stride = stride
+        self.padding = padding
+        self.weight = Parameter(
+            init.kaiming_uniform((out_channels, in_channels, ks[0], ks[1]), rng=rng)
+        )
+        if bias:
+            fan_in = in_channels * ks[0] * ks[1]
+            bound = 1.0 / np.sqrt(fan_in)
+            self.bias = Parameter(init.uniform((out_channels,), -bound, bound, rng=rng))
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return conv2d(x, self.weight, self.bias, stride=self.stride, padding=self.padding)
+
+    def __repr__(self) -> str:
+        return (
+            f"Conv2d({self.in_channels}, {self.out_channels}, "
+            f"kernel_size={self.kernel_size}, stride={self.stride}, padding={self.padding})"
+        )
+
+
+class MaxPool2d(Module):
+    """Max pooling module."""
+
+    def __init__(self, kernel_size, stride=None, padding=0):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+
+    def forward(self, x: Tensor) -> Tensor:
+        return max_pool2d(x, self.kernel_size, self.stride, self.padding)
+
+    def __repr__(self) -> str:
+        return f"MaxPool2d(kernel_size={self.kernel_size}, stride={self.stride})"
+
+
+class AvgPool2d(Module):
+    """Average pooling module."""
+
+    def __init__(self, kernel_size, stride=None, padding=0):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+
+    def forward(self, x: Tensor) -> Tensor:
+        return avg_pool2d(x, self.kernel_size, self.stride, self.padding)
+
+    def __repr__(self) -> str:
+        return f"AvgPool2d(kernel_size={self.kernel_size}, stride={self.stride})"

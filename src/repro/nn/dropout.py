@@ -1,0 +1,35 @@
+"""Dropout regularization."""
+
+from __future__ import annotations
+
+from repro.autograd import Tensor, ops
+from repro.nn.module import Module
+from repro.utils import resolve_rng
+
+__all__ = ["Dropout"]
+
+
+class Dropout(Module):
+    """Inverted dropout: active only in training mode.
+
+    Each forward pass in training mode zeroes activations independently
+    with probability ``p`` and rescales survivors by ``1/(1-p)`` so the
+    expected activation is unchanged.
+    """
+
+    def __init__(self, p: float = 0.1, rng=None):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self._rng = resolve_rng(rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return x
+        keep = 1.0 - self.p
+        mask = self._rng.random(x.shape) < keep
+        return ops.dropout_mask_apply(x, mask, 1.0 / keep)
+
+    def __repr__(self) -> str:
+        return f"Dropout(p={self.p})"

@@ -1,0 +1,133 @@
+"""Functional losses and helpers shared by CDCL and the baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Tensor, ops
+
+__all__ = [
+    "one_hot",
+    "cross_entropy",
+    "soft_cross_entropy",
+    "nll_loss",
+    "kl_divergence",
+    "mse_loss",
+    "l1_loss",
+    "cosine_similarity",
+    "pairwise_sq_distances",
+    "accuracy",
+]
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Dense one-hot encoding of integer labels."""
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.size and (labels.min() < 0 or labels.max() >= num_classes):
+        raise ValueError(
+            f"labels out of range [0, {num_classes}): min={labels.min()}, max={labels.max()}"
+        )
+    out = np.zeros((labels.shape[0], num_classes))
+    out[np.arange(labels.shape[0]), labels] = 1.0
+    return out
+
+
+def cross_entropy(logits: Tensor, labels: np.ndarray, reduction: str = "mean") -> Tensor:
+    """Cross-entropy with integer labels (softmax applied internally)."""
+    log_probs = ops.log_softmax(logits, axis=-1)
+    targets = one_hot(labels, logits.shape[-1])
+    per_sample = -(log_probs * Tensor(targets)).sum(axis=-1)
+    return _reduce(per_sample, reduction)
+
+
+def soft_cross_entropy(logits: Tensor, target_probs, reduction: str = "mean") -> Tensor:
+    """Cross-entropy against a probability (or soft-label) distribution.
+
+    This is the form used throughout the CDCL objectives (Eqs. 9-14),
+    where the target may be a pseudo-label distribution or another
+    head's softmax output.
+    """
+    log_probs = ops.log_softmax(logits, axis=-1)
+    if isinstance(target_probs, Tensor):
+        target = target_probs
+    else:
+        target = Tensor(np.asarray(target_probs))
+    per_sample = -(log_probs * target).sum(axis=-1)
+    return _reduce(per_sample, reduction)
+
+
+def nll_loss(log_probs: Tensor, labels: np.ndarray, reduction: str = "mean") -> Tensor:
+    targets = one_hot(labels, log_probs.shape[-1])
+    per_sample = -(log_probs * Tensor(targets)).sum(axis=-1)
+    return _reduce(per_sample, reduction)
+
+
+def kl_divergence(p_logits: Tensor, q_logits: Tensor, reduction: str = "mean") -> Tensor:
+    """KL(p || q) between two softmax distributions given their logits.
+
+    Gradients flow into both arguments; detach one side explicitly when
+    a one-way distillation is desired.
+    """
+    p_log = ops.log_softmax(p_logits, axis=-1)
+    q_log = ops.log_softmax(q_logits, axis=-1)
+    p = ops.exp(p_log)
+    per_sample = (p * (p_log - q_log)).sum(axis=-1)
+    return _reduce(per_sample, reduction)
+
+
+def mse_loss(prediction: Tensor, target, reduction: str = "mean") -> Tensor:
+    target = target if isinstance(target, Tensor) else Tensor(np.asarray(target))
+    diff = prediction - target
+    per_element = diff * diff
+    if reduction == "none":
+        return per_element
+    if reduction == "sum":
+        return per_element.sum()
+    return per_element.mean()
+
+
+def l1_loss(prediction: Tensor, target, reduction: str = "mean") -> Tensor:
+    target = target if isinstance(target, Tensor) else Tensor(np.asarray(target))
+    per_element = ops.abs(prediction - target)
+    if reduction == "none":
+        return per_element
+    if reduction == "sum":
+        return per_element.sum()
+    return per_element.mean()
+
+
+def cosine_similarity(a: np.ndarray, b: np.ndarray, eps: float = 1e-12) -> np.ndarray:
+    """Row-wise cosine similarity between two matrices (NumPy, no grad)."""
+    a = np.asarray(a)
+    b = np.asarray(b)
+    a_norm = a / (np.linalg.norm(a, axis=-1, keepdims=True) + eps)
+    b_norm = b / (np.linalg.norm(b, axis=-1, keepdims=True) + eps)
+    return a_norm @ b_norm.T
+
+
+def pairwise_sq_distances(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distances between rows of ``a`` and rows of ``b``."""
+    a = np.asarray(a)
+    b = np.asarray(b)
+    a_sq = (a * a).sum(axis=1)[:, None]
+    b_sq = (b * b).sum(axis=1)[None, :]
+    return np.maximum(a_sq + b_sq - 2.0 * (a @ b.T), 0.0)
+
+
+def accuracy(logits, labels: np.ndarray) -> float:
+    """Top-1 accuracy; accepts Tensor or ndarray logits."""
+    scores = logits.data if isinstance(logits, Tensor) else np.asarray(logits)
+    labels = np.asarray(labels)
+    if labels.size == 0:
+        return 0.0
+    return float((scores.argmax(axis=-1) == labels).mean())
+
+
+def _reduce(per_sample: Tensor, reduction: str) -> Tensor:
+    if reduction == "none":
+        return per_sample
+    if reduction == "sum":
+        return per_sample.sum()
+    if reduction == "mean":
+        return per_sample.mean()
+    raise ValueError(f"unknown reduction {reduction!r}")

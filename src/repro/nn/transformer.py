@@ -1,0 +1,90 @@
+"""Transformer encoder blocks (pre-norm) used by baseline models."""
+
+from __future__ import annotations
+
+from repro.autograd import Tensor
+from repro.nn.activation import GELU
+from repro.nn.attention import MultiHeadSelfAttention
+from repro.nn.container import ModuleList, Sequential
+from repro.nn.dropout import Dropout
+from repro.nn.linear import Linear
+from repro.nn.module import Module
+from repro.nn.norm import LayerNorm
+from repro.utils import resolve_rng, spawn_rng
+
+__all__ = ["FeedForward", "TransformerEncoderLayer", "TransformerEncoder"]
+
+
+class FeedForward(Module):
+    """Two-layer MLP with GELU, the transformer position-wise block."""
+
+    def __init__(self, dim: int, hidden_dim: int, dropout: float = 0.0, rng=None):
+        super().__init__()
+        rng = resolve_rng(rng)
+        self.net = Sequential(
+            Linear(dim, hidden_dim, rng=rng),
+            GELU(),
+            Dropout(dropout, rng=rng),
+            Linear(hidden_dim, dim, rng=rng),
+            Dropout(dropout, rng=rng),
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.net(x)
+
+
+class TransformerEncoderLayer(Module):
+    """Pre-norm encoder layer: x + attn(LN(x)); x + ff(LN(x)).
+
+    ``context`` switches the attention into cross-attention mode (queries
+    from ``x``, keys/values from ``context``).
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        num_heads: int,
+        mlp_ratio: float = 2.0,
+        dropout: float = 0.0,
+        rng=None,
+    ):
+        super().__init__()
+        rng = resolve_rng(rng)
+        self.norm1 = LayerNorm(dim)
+        self.attn = MultiHeadSelfAttention(dim, num_heads, dropout=dropout, rng=rng)
+        self.norm2 = LayerNorm(dim)
+        self.ff = FeedForward(dim, int(dim * mlp_ratio), dropout=dropout, rng=rng)
+
+    def forward(self, x: Tensor, context: Tensor | None = None) -> Tensor:
+        normed_context = self.norm1(context) if context is not None else None
+        x = x + self.attn(self.norm1(x), normed_context)
+        x = x + self.ff(self.norm2(x))
+        return x
+
+
+class TransformerEncoder(Module):
+    """Stack of encoder layers with a final LayerNorm."""
+
+    def __init__(
+        self,
+        dim: int,
+        depth: int,
+        num_heads: int,
+        mlp_ratio: float = 2.0,
+        dropout: float = 0.0,
+        rng=None,
+    ):
+        super().__init__()
+        rng = resolve_rng(rng)
+        self.layers = ModuleList(
+            TransformerEncoderLayer(
+                dim, num_heads, mlp_ratio=mlp_ratio, dropout=dropout, rng=spawn_rng(rng)
+            )
+            for _ in range(depth)
+        )
+        self.norm = LayerNorm(dim)
+
+    def forward(self, x: Tensor, context: Tensor | None = None) -> Tensor:
+        for layer in self.layers:
+            x = layer(x, context)
+        return self.norm(x)

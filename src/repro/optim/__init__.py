@@ -1,0 +1,27 @@
+"""Gradient-based optimizers and learning-rate schedulers."""
+
+from repro.optim.optimizer import Optimizer
+from repro.optim.sgd import SGD
+from repro.optim.adam import Adam
+from repro.optim.adamw import AdamW
+from repro.optim.scheduler import (
+    LRScheduler,
+    LambdaLR,
+    StepLR,
+    CosineAnnealingLR,
+    WarmupCosineSchedule,
+)
+from repro.optim.clip import clip_grad_norm
+
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "AdamW",
+    "LRScheduler",
+    "LambdaLR",
+    "StepLR",
+    "CosineAnnealingLR",
+    "WarmupCosineSchedule",
+    "clip_grad_norm",
+]

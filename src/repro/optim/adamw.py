@@ -1,0 +1,48 @@
+"""AdamW: Adam with decoupled weight decay (Loshchilov & Hutter, 2019).
+
+This is the optimizer the CDCL paper uses (Section V-B).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Parameter
+from repro.optim.optimizer import Optimizer
+
+__all__ = ["AdamW"]
+
+
+class AdamW(Optimizer):
+    """AdamW with decay applied directly to the weights, scaled by lr."""
+
+    def __init__(
+        self,
+        params,
+        lr: float = 5e-5,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.01,
+    ):
+        super().__init__(params, lr)
+        if not 0.0 <= betas[0] < 1.0 or not 0.0 <= betas[1] < 1.0:
+            raise ValueError(f"betas must be in [0, 1), got {betas}")
+        self.betas = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+
+    def _update(self, param: Parameter, grad: np.ndarray) -> None:
+        state = self._param_state(param)
+        m = state.get("m")
+        v = state.get("v")
+        t = state.get("t", 0) + 1
+        beta1, beta2 = self.betas
+        m = grad * (1 - beta1) if m is None else beta1 * m + (1 - beta1) * grad
+        v = grad**2 * (1 - beta2) if v is None else beta2 * v + (1 - beta2) * grad**2
+        state.update(m=m, v=v, t=t)
+        m_hat = m / (1 - beta1**t)
+        v_hat = v / (1 - beta2**t)
+        # Decoupled decay: shrink weights before the adaptive step.
+        if self.weight_decay:
+            param.data -= self.lr * self.weight_decay * param.data
+        param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

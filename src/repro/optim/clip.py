@@ -1,0 +1,23 @@
+"""Gradient clipping."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["clip_grad_norm"]
+
+
+def clip_grad_norm(params, max_norm: float) -> float:
+    """Scale all gradients so their joint L2 norm is at most ``max_norm``.
+
+    Returns the pre-clip norm (useful for logging/divergence detection).
+    """
+    grads = [p.grad for p in params if p.grad is not None]
+    if not grads:
+        return 0.0
+    total = float(np.sqrt(sum(float((g * g).sum()) for g in grads)))
+    if total > max_norm and total > 0:
+        scale = max_norm / total
+        for g in grads:
+            g *= scale
+    return total

@@ -1,0 +1,60 @@
+"""Optimizer base class."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+__all__ = ["Optimizer"]
+
+
+class Optimizer:
+    """Base class holding the parameter list and shared bookkeeping.
+
+    Subclasses implement :meth:`_update` for a single parameter given
+    its gradient; per-parameter state is kept in ``self.state`` keyed by
+    parameter identity.
+    """
+
+    def __init__(self, params: Iterable[Parameter], lr: float):
+        self.params: list[Parameter] = list(params)
+        if not self.params:
+            raise ValueError("optimizer constructed with an empty parameter list")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = float(lr)
+        self.state: dict[int, dict] = {}
+        self.step_count = 0
+
+    def zero_grad(self) -> None:
+        for param in self.params:
+            param.zero_grad()
+
+    def add_param_group(self, params: Iterable[Parameter]) -> None:
+        """Register additional parameters (e.g. a newly created task head)."""
+        existing = {id(p) for p in self.params}
+        for param in params:
+            if id(param) not in existing:
+                self.params.append(param)
+                existing.add(id(param))
+
+    def step(self) -> None:
+        """Apply one update to every parameter with a gradient."""
+        self.step_count += 1
+        for param in self.params:
+            if param.grad is None or not param.requires_grad:
+                continue
+            grad = param.grad
+            if not np.all(np.isfinite(grad)):
+                # Skip non-finite updates rather than corrupting weights.
+                continue
+            self._update(param, grad)
+
+    def _update(self, param: Parameter, grad: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def _param_state(self, param: Parameter) -> dict:
+        return self.state.setdefault(id(param), {})

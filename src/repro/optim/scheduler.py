@@ -1,0 +1,133 @@
+"""Learning-rate schedulers.
+
+Schedulers mutate ``optimizer.lr`` in place; call :meth:`step` once per
+epoch (or per iteration, the unit is up to the caller).
+
+:class:`WarmupCosineSchedule` reproduces the paper's setup (Section
+V-B): a linear ramp from the warm-up learning rate to the peak, then
+cosine annealing down to a floor.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from repro.optim.optimizer import Optimizer
+
+__all__ = [
+    "LRScheduler",
+    "LambdaLR",
+    "StepLR",
+    "CosineAnnealingLR",
+    "WarmupCosineSchedule",
+]
+
+
+class LRScheduler:
+    """Base scheduler: remembers the base lr and a step counter."""
+
+    def __init__(self, optimizer: Optimizer):
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def get_lr(self) -> float:
+        raise NotImplementedError
+
+    def step(self) -> float:
+        """Advance one unit and apply the new learning rate."""
+        self.epoch += 1
+        lr = self.get_lr()
+        self.optimizer.lr = lr
+        return lr
+
+    @property
+    def current_lr(self) -> float:
+        return self.optimizer.lr
+
+
+class LambdaLR(LRScheduler):
+    """lr = base_lr * fn(epoch)."""
+
+    def __init__(self, optimizer: Optimizer, fn: Callable[[int], float]):
+        super().__init__(optimizer)
+        self.fn = fn
+
+    def get_lr(self) -> float:
+        return self.base_lr * self.fn(self.epoch)
+
+
+class StepLR(LRScheduler):
+    """Decay by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1):
+        super().__init__(optimizer)
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def get_lr(self) -> float:
+        return self.base_lr * self.gamma ** (self.epoch // self.step_size)
+
+
+class CosineAnnealingLR(LRScheduler):
+    """Cosine decay from base_lr to eta_min over t_max epochs."""
+
+    def __init__(self, optimizer: Optimizer, t_max: int, eta_min: float = 0.0):
+        super().__init__(optimizer)
+        if t_max <= 0:
+            raise ValueError("t_max must be positive")
+        self.t_max = t_max
+        self.eta_min = eta_min
+
+    def get_lr(self) -> float:
+        progress = min(self.epoch, self.t_max) / self.t_max
+        return self.eta_min + 0.5 * (self.base_lr - self.eta_min) * (
+            1.0 + math.cos(math.pi * progress)
+        )
+
+
+class WarmupCosineSchedule(LRScheduler):
+    """Linear warm-up followed by cosine annealing (paper Section V-B).
+
+    Parameters
+    ----------
+    warmup_epochs:
+        Epochs ramping linearly from ``warmup_lr`` to ``peak_lr``.
+    total_epochs:
+        Total schedule length; the cosine phase spans
+        ``total_epochs - warmup_epochs``.
+    warmup_lr, peak_lr, min_lr:
+        The paper uses 1e-5, 5e-5 and 1e-6 respectively.
+    """
+
+    def __init__(
+        self,
+        optimizer: Optimizer,
+        warmup_epochs: int,
+        total_epochs: int,
+        warmup_lr: float = 1e-5,
+        peak_lr: float = 5e-5,
+        min_lr: float = 1e-6,
+    ):
+        if total_epochs <= warmup_epochs:
+            raise ValueError("total_epochs must exceed warmup_epochs")
+        super().__init__(optimizer)
+        self.warmup_epochs = warmup_epochs
+        self.total_epochs = total_epochs
+        self.warmup_lr = warmup_lr
+        self.peak_lr = peak_lr
+        self.min_lr = min_lr
+        optimizer.lr = warmup_lr if warmup_epochs > 0 else peak_lr
+
+    def get_lr(self) -> float:
+        if self.epoch < self.warmup_epochs:
+            frac = self.epoch / max(self.warmup_epochs, 1)
+            return self.warmup_lr + frac * (self.peak_lr - self.warmup_lr)
+        span = self.total_epochs - self.warmup_epochs
+        progress = min(self.epoch - self.warmup_epochs, span) / span
+        return self.min_lr + 0.5 * (self.peak_lr - self.min_lr) * (
+            1.0 + math.cos(math.pi * progress)
+        )

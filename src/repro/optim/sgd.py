@@ -1,0 +1,43 @@
+"""Stochastic gradient descent with optional momentum."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Parameter
+from repro.optim.optimizer import Optimizer
+
+__all__ = ["SGD"]
+
+
+class SGD(Optimizer):
+    """SGD with momentum, Nesterov acceleration and L2 weight decay."""
+
+    def __init__(
+        self,
+        params,
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        nesterov: bool = False,
+    ):
+        super().__init__(params, lr)
+        if nesterov and momentum <= 0:
+            raise ValueError("nesterov momentum requires momentum > 0")
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.nesterov = nesterov
+
+    def _update(self, param: Parameter, grad: np.ndarray) -> None:
+        if self.weight_decay:
+            grad = grad + self.weight_decay * param.data
+        if self.momentum:
+            state = self._param_state(param)
+            buf = state.get("momentum")
+            if buf is None:
+                buf = grad.copy()
+            else:
+                buf = self.momentum * buf + grad
+            state["momentum"] = buf
+            grad = grad + self.momentum * buf if self.nesterov else buf
+        param.data -= self.lr * grad

@@ -1,0 +1,23 @@
+"""Theoretical-analysis utilities (paper Section IV-E)."""
+
+from repro.theory.divergence import (
+    proxy_a_distance,
+    kl_divergence_discrete,
+    feature_domain_gap,
+)
+from repro.theory.bounds import (
+    TaskBoundTerms,
+    ContinualBound,
+    single_task_bound,
+    continual_bound,
+)
+
+__all__ = [
+    "proxy_a_distance",
+    "kl_divergence_discrete",
+    "feature_domain_gap",
+    "TaskBoundTerms",
+    "ContinualBound",
+    "single_task_bound",
+    "continual_bound",
+]

@@ -1,0 +1,116 @@
+"""Empirical evaluation of the paper's error bounds (Theorems 1-3).
+
+Theorem 1 (Ben-David):   eps_T <= eps_S + d_HdH(X_S, X_T) + C*
+Theorem 2 (per task):    eps_Ti <= eps_Si + lambda_i + C*_i
+Theorem 3 (continual):   eps_T <= sum_i (eps_Si + lambda_i)
+                                  + sum_{i<t} KL(P_Mi || P_Ri) + C*
+
+These are *upper bounds*; the functions below compute every term from a
+trained model and a task stream so tests/benchmarks can verify the
+inequality holds and measure its tightness.  ``C*`` (the joint optimal
+error) is not computable exactly; following standard practice we report
+the bound without it (any positive C* only loosens the bound) and also
+expose an estimate from a jointly-trained reference when available.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.theory.divergence import kl_divergence_discrete, proxy_a_distance
+
+__all__ = ["TaskBoundTerms", "ContinualBound", "single_task_bound", "continual_bound"]
+
+
+@dataclass
+class TaskBoundTerms:
+    """All measurable terms of Theorem 2 for one task."""
+
+    task_id: int
+    source_error: float
+    target_error: float
+    divergence: float  # lambda_i = d_HdH(z_Si, z_Ti)
+
+    @property
+    def bound(self) -> float:
+        """Right-hand side of Theorem 2 without C* (>= target_error - C*)."""
+        return self.source_error + self.divergence
+
+    @property
+    def slack(self) -> float:
+        """bound - target_error; a lower bound on -C* (can be negative
+        only if C* > 0 absorbs the difference)."""
+        return self.bound - self.target_error
+
+
+@dataclass
+class ContinualBound:
+    """Theorem 3 terms accumulated over a stream."""
+
+    per_task: list[TaskBoundTerms] = field(default_factory=list)
+    kl_terms: list[float] = field(default_factory=list)
+
+    @property
+    def total_target_error(self) -> float:
+        return float(np.sum([t.target_error for t in self.per_task]))
+
+    @property
+    def bound(self) -> float:
+        """RHS of Theorem 3 without C*."""
+        source_and_div = np.sum([t.source_error + t.divergence for t in self.per_task])
+        return float(source_and_div + np.sum(self.kl_terms))
+
+    @property
+    def holds(self) -> bool:
+        """Whether the (C*-free) bound already dominates the error.
+
+        C* >= 0, so ``total_target_error <= bound + C*`` is implied
+        whenever ``total_target_error <= bound``; when this is False the
+        gap must be attributed to C*.
+        """
+        return self.total_target_error <= self.bound + 1e-9
+
+
+def single_task_bound(
+    source_features: np.ndarray,
+    source_errors: float,
+    target_features: np.ndarray,
+    target_errors: float,
+    task_id: int = 0,
+    rng=None,
+) -> TaskBoundTerms:
+    """Measure Theorem 2's terms from features and observed errors."""
+    divergence = proxy_a_distance(source_features, target_features, rng=rng)
+    return TaskBoundTerms(
+        task_id=task_id,
+        source_error=float(source_errors),
+        target_error=float(target_errors),
+        divergence=divergence,
+    )
+
+
+def continual_bound(
+    task_terms: list[TaskBoundTerms],
+    memory_label_dists: list[np.ndarray],
+    raw_label_dists: list[np.ndarray],
+) -> ContinualBound:
+    """Assemble Theorem 3 from per-task terms and label distributions.
+
+    Parameters
+    ----------
+    task_terms:
+        One :class:`TaskBoundTerms` per task (Theorem 2 measurements).
+    memory_label_dists, raw_label_dists:
+        For each *past* task ``i < t``: the label distribution of the
+        samples retained in memory (``P_Mi``) and of the raw task data
+        (``P_Ri``); their KL divergence is Theorem 3's replay-bias term.
+    """
+    if len(memory_label_dists) != len(raw_label_dists):
+        raise ValueError("memory and raw distribution lists must align")
+    kl_terms = [
+        kl_divergence_discrete(p_memory, p_raw)
+        for p_memory, p_raw in zip(memory_label_dists, raw_label_dists)
+    ]
+    return ContinualBound(per_task=list(task_terms), kl_terms=kl_terms)

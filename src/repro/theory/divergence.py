@@ -1,0 +1,97 @@
+"""Empirical domain-divergence estimation.
+
+The error bounds of Section IV-E rest on the H-delta-H divergence
+(Ben-David et al., 2010, Eq. 25):
+
+    d_HdH(X_S, X_T) = 2 sup_eta | P[eta(X_S)=1] - P[eta(X_T)=1] |
+
+The standard empirical estimator is the *proxy A-distance*: train a
+domain classifier to separate source from target features and convert
+its test error ``eps`` into ``d_A = 2 (1 - 2 eps)``.  A domain
+classifier that cannot beat chance (eps = 0.5) gives divergence 0; a
+perfect separator gives 2 — the theoretical maximum of Eq. 25.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils import resolve_rng
+
+__all__ = ["proxy_a_distance", "kl_divergence_discrete", "feature_domain_gap"]
+
+
+def proxy_a_distance(
+    source_features: np.ndarray,
+    target_features: np.ndarray,
+    epochs: int = 200,
+    lr: float = 0.05,
+    test_fraction: float = 0.3,
+    rng=None,
+) -> float:
+    """Proxy A-distance between two feature samples in [0, 2].
+
+    A logistic-regression domain classifier (trained by full-batch
+    gradient descent on standardized features) stands in for the
+    hypothesis class H.  Larger values mean more separable domains.
+    """
+    rng = resolve_rng(rng)
+    source_features = np.asarray(source_features, dtype=float)
+    target_features = np.asarray(target_features, dtype=float)
+    if source_features.ndim != 2 or target_features.ndim != 2:
+        raise ValueError("features must be 2-D (N, d)")
+
+    x = np.concatenate([source_features, target_features])
+    y = np.concatenate(
+        [np.zeros(len(source_features)), np.ones(len(target_features))]
+    )
+    order = rng.permutation(len(x))
+    x, y = x[order], y[order]
+    n_test = max(1, int(test_fraction * len(x)))
+    x_test, y_test = x[:n_test], y[:n_test]
+    x_train, y_train = x[n_test:], y[n_test:]
+
+    mu = x_train.mean(axis=0)
+    sigma = x_train.std(axis=0) + 1e-8
+    x_train = (x_train - mu) / sigma
+    x_test = (x_test - mu) / sigma
+
+    w = np.zeros(x.shape[1])
+    b = 0.0
+    for _ in range(epochs):
+        z = x_train @ w + b
+        p = 1.0 / (1.0 + np.exp(-z))
+        grad_z = (p - y_train) / len(y_train)
+        w -= lr * (x_train.T @ grad_z + 1e-4 * w)
+        b -= lr * grad_z.sum()
+
+    p_test = 1.0 / (1.0 + np.exp(-(x_test @ w + b)))
+    error = float((np.round(p_test) != y_test).mean())
+    return max(0.0, 2.0 * (1.0 - 2.0 * error))
+
+
+def kl_divergence_discrete(p: np.ndarray, q: np.ndarray, eps: float = 1e-12) -> float:
+    """KL(p || q) between two discrete distributions (Theorem 3's term)."""
+    p = np.asarray(p, dtype=float)
+    q = np.asarray(q, dtype=float)
+    if p.shape != q.shape:
+        raise ValueError("distributions must have identical shape")
+    p = p / max(p.sum(), eps)
+    q = q / max(q.sum(), eps)
+    mask = p > 0
+    return float(np.sum(p[mask] * np.log(p[mask] / np.maximum(q[mask], eps))))
+
+
+def feature_domain_gap(
+    source_features: np.ndarray, target_features: np.ndarray
+) -> dict[str, float]:
+    """Cheap moment-based gap diagnostics to complement the A-distance."""
+    source_features = np.asarray(source_features, dtype=float)
+    target_features = np.asarray(target_features, dtype=float)
+    mean_gap = float(
+        np.linalg.norm(source_features.mean(axis=0) - target_features.mean(axis=0))
+    )
+    cov_s = np.cov(source_features, rowvar=False)
+    cov_t = np.cov(target_features, rowvar=False)
+    cov_gap = float(np.linalg.norm(cov_s - cov_t, ord="fro"))
+    return {"mean_gap": mean_gap, "cov_gap": cov_gap}

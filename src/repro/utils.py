@@ -1,0 +1,42 @@
+"""Shared utilities: deterministic random-number management.
+
+All stochastic components in the library (parameter init, data
+generation, shuffling, dropout) draw from ``numpy.random.Generator``
+objects threaded through explicitly, falling back to a process-global
+generator controlled by :func:`set_seed`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["set_seed", "global_rng", "resolve_rng", "spawn_rng"]
+
+_GLOBAL_RNG = np.random.default_rng(0)
+
+
+def set_seed(seed: int) -> None:
+    """Reset the process-global generator used as the default RNG."""
+    global _GLOBAL_RNG
+    _GLOBAL_RNG = np.random.default_rng(seed)
+
+
+def global_rng() -> np.random.Generator:
+    """Return the process-global generator."""
+    return _GLOBAL_RNG
+
+
+def resolve_rng(rng: np.random.Generator | int | None) -> np.random.Generator:
+    """Normalize ``rng`` arguments: Generator passes through, int seeds
+    a fresh generator, None falls back to the global generator."""
+    if rng is None:
+        return _GLOBAL_RNG
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def spawn_rng(rng: np.random.Generator | int | None) -> np.random.Generator:
+    """Derive an independent child generator (for parallel components)."""
+    base = resolve_rng(rng)
+    return np.random.default_rng(base.integers(0, 2**63 - 1))

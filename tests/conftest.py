@@ -1,0 +1,32 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import mnist_usps
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture(scope="session")
+def tiny_stream():
+    """A 2-task digit stream small enough for per-test training."""
+    stream = mnist_usps(
+        "mnist->usps", samples_per_class=8, test_samples_per_class=4, rng=0
+    )
+    stream.tasks = stream.tasks[:2]
+    return stream
+
+
+@pytest.fixture(scope="session")
+def digit_stream_3tasks():
+    stream = mnist_usps(
+        "mnist->usps", samples_per_class=8, test_samples_per_class=4, rng=1
+    )
+    stream.tasks = stream.tasks[:3]
+    return stream

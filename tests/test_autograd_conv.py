@@ -1,0 +1,133 @@
+"""Tests for convolution and pooling primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autograd import Tensor, avg_pool2d, conv2d, gradient_check, max_pool2d
+from repro.autograd.conv import col2im, conv_output_shape, im2col
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestShapes:
+    def test_output_shape_basic(self):
+        assert conv_output_shape(8, 8, (3, 3), (1, 1), (0, 0)) == (6, 6)
+
+    def test_output_shape_stride_padding(self):
+        assert conv_output_shape(8, 8, (3, 3), (2, 2), (1, 1)) == (4, 4)
+
+    def test_window_too_large_raises(self):
+        with pytest.raises(ValueError):
+            conv_output_shape(2, 2, (5, 5), (1, 1), (0, 0))
+
+    def test_conv_channel_mismatch_raises(self, rng):
+        x = Tensor(rng.normal(size=(1, 3, 8, 8)))
+        w = Tensor(rng.normal(size=(2, 4, 3, 3)))
+        with pytest.raises(ValueError):
+            conv2d(x, w)
+
+    def test_conv_output_shape(self, rng):
+        x = Tensor(rng.normal(size=(2, 3, 8, 8)))
+        w = Tensor(rng.normal(size=(5, 3, 3, 3)))
+        assert conv2d(x, w, stride=2, padding=1).shape == (2, 5, 4, 4)
+
+    def test_pool_output_shapes(self, rng):
+        x = Tensor(rng.normal(size=(2, 3, 8, 8)))
+        assert max_pool2d(x, 2).shape == (2, 3, 4, 4)
+        assert avg_pool2d(x, 2, stride=1).shape == (2, 3, 7, 7)
+
+
+class TestCorrectness:
+    def test_conv_matches_manual_single_window(self, rng):
+        """3x3 conv on a 3x3 image = plain dot product with the filter."""
+        x = rng.normal(size=(1, 2, 3, 3))
+        w = rng.normal(size=(1, 2, 3, 3))
+        out = conv2d(Tensor(x), Tensor(w)).data
+        assert out.shape == (1, 1, 1, 1)
+        assert np.allclose(out[0, 0, 0, 0], (x * w).sum())
+
+    def test_conv_identity_kernel(self):
+        """A centered delta kernel reproduces the input."""
+        x = np.random.default_rng(0).normal(size=(1, 1, 5, 5))
+        w = np.zeros((1, 1, 3, 3))
+        w[0, 0, 1, 1] = 1.0
+        out = conv2d(Tensor(x), Tensor(w), padding=1).data
+        assert np.allclose(out, x)
+
+    def test_conv_bias_adds_constant(self, rng):
+        x = Tensor(rng.normal(size=(1, 1, 4, 4)))
+        w = Tensor(np.zeros((2, 1, 3, 3)))
+        b = Tensor(np.array([1.5, -2.0]))
+        out = conv2d(x, w, b, padding=1).data
+        assert np.allclose(out[0, 0], 1.5)
+        assert np.allclose(out[0, 1], -2.0)
+
+    def test_max_pool_values(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        out = max_pool2d(Tensor(x), 2).data
+        assert np.allclose(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_avg_pool_values(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        out = avg_pool2d(Tensor(x), 2).data
+        assert np.allclose(out[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+
+class TestGradients:
+    def test_conv_grad_all_inputs(self, rng):
+        x = Tensor(rng.normal(size=(2, 2, 6, 6)), requires_grad=True)
+        w = Tensor(rng.normal(size=(3, 2, 3, 3)) * 0.2, requires_grad=True)
+        b = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        gradient_check(lambda x, w, b: conv2d(x, w, b, padding=1), [x, w, b], eps=1e-5)
+
+    def test_conv_grad_strided(self, rng):
+        x = Tensor(rng.normal(size=(1, 2, 6, 6)), requires_grad=True)
+        w = Tensor(rng.normal(size=(2, 2, 3, 3)) * 0.2, requires_grad=True)
+        gradient_check(lambda x, w: conv2d(x, w, stride=2), [x, w], eps=1e-5)
+
+    def test_max_pool_grad(self, rng):
+        x = Tensor(rng.normal(size=(2, 2, 6, 6)), requires_grad=True)
+        gradient_check(lambda x: max_pool2d(x, 2), [x], eps=1e-5)
+
+    def test_max_pool_grad_overlapping(self, rng):
+        x = Tensor(rng.normal(size=(1, 1, 5, 5)), requires_grad=True)
+        gradient_check(lambda x: max_pool2d(x, 3, stride=1), [x], eps=1e-5)
+
+    def test_avg_pool_grad(self, rng):
+        x = Tensor(rng.normal(size=(2, 2, 6, 6)), requires_grad=True)
+        gradient_check(lambda x: avg_pool2d(x, 2), [x], eps=1e-5)
+
+
+class TestIm2colAdjoint:
+    """col2im must be the exact adjoint of im2col: <im2col(x), c> == <x, col2im(c)>."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        size=st.integers(4, 8),
+        kernel=st.integers(2, 3),
+        stride=st.integers(1, 2),
+        pad=st.integers(0, 1),
+        seed=st.integers(0, 10_000),
+    )
+    def test_adjoint_property(self, size, kernel, stride, pad, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(1, 2, size, size))
+        cols = im2col(x, (kernel, kernel), (stride, stride), (pad, pad))
+        c = rng.normal(size=cols.shape)
+        lhs = float((cols * c).sum())
+        back = col2im(c, x.shape, (kernel, kernel), (stride, stride), (pad, pad))
+        rhs = float((x * back).sum())
+        assert np.isclose(lhs, rhs, rtol=1e-10)
+
+    def test_roundtrip_counts_window_coverage(self):
+        """col2im(im2col(ones)) counts how many windows cover each pixel."""
+        x = np.ones((1, 1, 4, 4))
+        cols = im2col(x, (2, 2), (2, 2), (0, 0))
+        back = col2im(cols, x.shape, (2, 2), (2, 2), (0, 0))
+        # Non-overlapping stride=kernel: every pixel covered exactly once.
+        assert np.allclose(back, 1.0)

@@ -1,0 +1,154 @@
+"""Edge-case coverage for the autograd engine: shapes, stability, and
+behaviours not exercised by the main gradient-check suite."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, ops, zeros_like, ones_like
+from repro.autograd.grad_check import numerical_gradient
+
+
+class TestScalarAndEmptyShapes:
+    def test_scalar_tensor_ops(self):
+        x = Tensor(3.0, requires_grad=True)
+        y = x * x + 2 * x
+        y.backward()
+        assert np.allclose(x.grad, 8.0)
+
+    def test_zero_dim_reduction(self):
+        x = Tensor(5.0, requires_grad=True)
+        x.sum().backward()
+        assert np.allclose(x.grad, 1.0)
+
+    def test_zeros_ones_like(self):
+        x = Tensor(np.ones((2, 3)))
+        assert zeros_like(x).shape == (2, 3)
+        assert ones_like(x).data.sum() == 6
+
+
+class TestNumericalStability:
+    def test_log_softmax_large_logits(self):
+        x = Tensor(np.array([[1e4, -1e4, 0.0]]), requires_grad=True)
+        out = ops.log_softmax(x)
+        assert np.isfinite(out.data).all()
+        out.sum().backward()
+        assert np.isfinite(x.grad).all()
+
+    def test_logsumexp_keepdims(self):
+        x = Tensor(np.random.default_rng(0).normal(size=(3, 4)))
+        out = ops.logsumexp(x, axis=1, keepdims=True)
+        assert out.shape == (3, 1)
+
+    def test_exp_overflow_handling(self):
+        # exp of large values produces inf but must not crash backward.
+        x = Tensor(np.array([700.0]), requires_grad=True)
+        y = ops.exp(x)
+        assert np.isposinf(y.data).any() or y.data[0] > 1e300
+
+    def test_clip_exact_boundaries(self):
+        x = Tensor(np.array([-1.0, 0.0, 1.0]), requires_grad=True)
+        out = ops.clip(x, -1.0, 1.0)
+        out.sum().backward()
+        # Boundary values are inside the clip range (>= and <=).
+        assert np.allclose(x.grad, [1.0, 1.0, 1.0])
+
+
+class TestBroadcastingGradients:
+    @pytest.mark.parametrize(
+        "shape_a,shape_b",
+        [((3, 1), (1, 4)), ((1,), (5, 5)), ((2, 1, 3), (4, 1)), ((), (3, 3))],
+    )
+    def test_mul_broadcast_shapes(self, shape_a, shape_b):
+        rng = np.random.default_rng(0)
+        a = Tensor(rng.normal(size=shape_a), requires_grad=True)
+        b = Tensor(rng.normal(size=shape_b), requires_grad=True)
+        (a * b).sum().backward()
+        assert a.grad.shape == shape_a
+        assert b.grad.shape == shape_b
+
+    def test_broadcast_grad_values_match_numeric(self):
+        rng = np.random.default_rng(1)
+        a = Tensor(rng.normal(size=(3, 1)), requires_grad=True)
+        b = Tensor(rng.normal(size=(1, 4)), requires_grad=True)
+        (a * b).sum().backward()
+        analytic = a.grad.copy()
+        numeric = numerical_gradient(lambda a, b: a * b, [a, b], wrt=0)
+        assert np.allclose(analytic, numeric, atol=1e-5)
+
+
+class TestGraphBehaviours:
+    def test_shared_subexpression_counted_once_per_path(self):
+        x = Tensor([2.0], requires_grad=True)
+        shared = x * 3
+        y = shared + shared  # 6x -> grad 6
+        y.sum().backward()
+        assert np.allclose(x.grad, [6.0])
+
+    def test_long_fanout(self):
+        x = Tensor([1.0], requires_grad=True)
+        total = Tensor([0.0])
+        for _ in range(20):
+            total = total + x * 2
+        total.sum().backward()
+        assert np.allclose(x.grad, [40.0])
+
+    def test_backward_twice_rebuilds_graph(self):
+        x = Tensor([2.0], requires_grad=True)
+        y = x * x
+        y.sum().backward()
+        first = x.grad.copy()
+        y2 = x * x
+        y2.sum().backward()
+        assert np.allclose(x.grad, 2 * first)
+
+    def test_grad_dtype_matches_data(self):
+        x = Tensor(np.ones((2, 2)), requires_grad=True)
+        (x * 2).sum().backward()
+        assert x.grad.dtype == x.data.dtype
+
+
+class TestConcatStackEdges:
+    def test_concat_single_tensor(self):
+        x = Tensor(np.ones((2, 3)), requires_grad=True)
+        out = ops.concat([x], axis=0)
+        out.sum().backward()
+        assert np.allclose(x.grad, 1.0)
+
+    def test_concat_unequal_sizes(self):
+        a = Tensor(np.ones((1, 3)), requires_grad=True)
+        b = Tensor(np.ones((4, 3)), requires_grad=True)
+        out = ops.concat([a, b], axis=0)
+        assert out.shape == (5, 3)
+        out.sum().backward()
+        assert a.grad.shape == (1, 3)
+        assert b.grad.shape == (4, 3)
+
+    def test_stack_negative_axis(self):
+        a = Tensor(np.zeros((2, 3)))
+        b = Tensor(np.zeros((2, 3)))
+        assert ops.stack([a, b], axis=-1).shape == (2, 3, 2)
+
+    def test_pad_with_constant(self):
+        x = Tensor(np.zeros((2, 2)))
+        out = ops.pad(x, ((1, 1), (1, 1)), constant=7.0)
+        assert out.data[0, 0] == 7.0
+        assert out.shape == (4, 4)
+
+
+class TestWhereAndMasks:
+    def test_where_condition_tensor(self):
+        cond = Tensor(np.array([True, False]))
+        a = Tensor(np.array([1.0, 1.0]), requires_grad=True)
+        b = Tensor(np.array([2.0, 2.0]), requires_grad=True)
+        out = ops.where(cond, a, b)
+        assert np.allclose(out.data, [1.0, 2.0])
+        out.sum().backward()
+        assert np.allclose(a.grad, [1.0, 0.0])
+        assert np.allclose(b.grad, [0.0, 1.0])
+
+    def test_maximum_tie_break_goes_to_first(self):
+        a = Tensor(np.array([1.0]), requires_grad=True)
+        b = Tensor(np.array([1.0]), requires_grad=True)
+        ops.maximum(a, b).sum().backward()
+        assert np.allclose(a.grad, [1.0])
+        assert np.allclose(b.grad, [0.0])

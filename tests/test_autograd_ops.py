@@ -1,0 +1,250 @@
+"""Gradient checks and semantics for every autograd primitive."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autograd import Tensor, gradient_check, ops
+
+
+def _t(shape, rng, scale=1.0, positive=False):
+    data = rng.normal(size=shape) * scale
+    if positive:
+        data = np.abs(data) + 0.5
+    return Tensor(data, requires_grad=True)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestArithmeticGrads:
+    def test_add(self, rng):
+        gradient_check(ops.add, [_t((3, 4), rng), _t((3, 4), rng)])
+
+    def test_add_broadcast(self, rng):
+        gradient_check(ops.add, [_t((3, 4), rng), _t((4,), rng)])
+
+    def test_sub(self, rng):
+        gradient_check(ops.sub, [_t((3, 4), rng), _t((3, 4), rng)])
+
+    def test_mul(self, rng):
+        gradient_check(ops.mul, [_t((3, 4), rng), _t((3, 4), rng)])
+
+    def test_mul_broadcast_scalar(self, rng):
+        gradient_check(ops.mul, [_t((3, 4), rng), _t((), rng)])
+
+    def test_div(self, rng):
+        gradient_check(ops.div, [_t((3, 4), rng), _t((3, 4), rng, positive=True)])
+
+    def test_neg(self, rng):
+        gradient_check(ops.neg, [_t((5,), rng)])
+
+    def test_pow(self, rng):
+        gradient_check(lambda a: ops.pow(a, 3), [_t((4,), rng, positive=True)])
+
+    def test_pow_rejects_tensor_exponent(self, rng):
+        with pytest.raises(TypeError):
+            ops.pow(_t((2,), rng), _t((2,), rng))
+
+
+class TestMatmulGrads:
+    def test_2d(self, rng):
+        gradient_check(ops.matmul, [_t((3, 4), rng), _t((4, 5), rng)])
+
+    def test_batched(self, rng):
+        gradient_check(ops.matmul, [_t((2, 3, 4), rng), _t((2, 4, 5), rng)])
+
+    def test_4d_batched(self, rng):
+        gradient_check(ops.matmul, [_t((2, 2, 3, 4), rng), _t((2, 2, 4, 3), rng)])
+
+    def test_vec_vec(self, rng):
+        gradient_check(ops.matmul, [_t((4,), rng), _t((4,), rng)])
+
+    def test_mat_vec(self, rng):
+        gradient_check(ops.matmul, [_t((3, 4), rng), _t((4,), rng)])
+
+    def test_vec_mat(self, rng):
+        gradient_check(ops.matmul, [_t((3,), rng), _t((3, 4), rng)])
+
+
+class TestElementwiseGrads:
+    def test_exp(self, rng):
+        gradient_check(ops.exp, [_t((3, 3), rng)])
+
+    def test_log(self, rng):
+        gradient_check(ops.log, [_t((3, 3), rng, positive=True)])
+
+    def test_sqrt(self, rng):
+        gradient_check(ops.sqrt, [_t((3, 3), rng, positive=True)])
+
+    def test_tanh(self, rng):
+        gradient_check(ops.tanh, [_t((3, 3), rng)])
+
+    def test_abs(self, rng):
+        gradient_check(ops.abs, [_t((3, 3), rng)])
+
+    def test_relu(self, rng):
+        gradient_check(ops.relu, [_t((3, 3), rng)])
+
+    def test_leaky_relu(self, rng):
+        gradient_check(lambda a: ops.leaky_relu(a, 0.1), [_t((3, 3), rng)])
+
+    def test_gelu(self, rng):
+        gradient_check(ops.gelu, [_t((3, 3), rng)])
+
+    def test_sigmoid(self, rng):
+        gradient_check(ops.sigmoid, [_t((3, 3), rng)])
+
+    def test_clip(self, rng):
+        gradient_check(lambda a: ops.clip(a, -0.5, 0.5), [_t((4, 4), rng)])
+
+    def test_maximum(self, rng):
+        gradient_check(ops.maximum, [_t((3, 3), rng), _t((3, 3), rng)])
+
+    def test_minimum(self, rng):
+        gradient_check(ops.minimum, [_t((3, 3), rng), _t((3, 3), rng)])
+
+    def test_where(self, rng):
+        cond = rng.random((3, 3)) > 0.5
+        gradient_check(lambda a, b: ops.where(cond, a, b), [_t((3, 3), rng), _t((3, 3), rng)])
+
+
+class TestReductionGrads:
+    def test_sum_all(self, rng):
+        gradient_check(lambda a: ops.sum(a), [_t((3, 4), rng)])
+
+    def test_sum_axis(self, rng):
+        gradient_check(lambda a: ops.sum(a, axis=1), [_t((3, 4), rng)])
+
+    def test_sum_keepdims(self, rng):
+        gradient_check(lambda a: ops.sum(a, axis=0, keepdims=True), [_t((3, 4), rng)])
+
+    def test_mean_all(self, rng):
+        gradient_check(lambda a: ops.mean(a), [_t((3, 4), rng)])
+
+    def test_mean_axis_tuple(self, rng):
+        gradient_check(lambda a: ops.mean(a, axis=(0, 2)), [_t((2, 3, 4), rng)])
+
+    def test_var(self, rng):
+        gradient_check(lambda a: ops.var(a, axis=1), [_t((3, 4), rng)])
+
+    def test_max_axis(self, rng):
+        gradient_check(lambda a: ops.max(a, axis=1), [_t((3, 4), rng)])
+
+    def test_min_all(self, rng):
+        gradient_check(lambda a: ops.min(a), [_t((3, 4), rng)])
+
+    def test_max_tie_splits_gradient(self):
+        x = Tensor([[2.0, 2.0, 1.0]], requires_grad=True)
+        ops.max(x, axis=1).sum().backward()
+        assert np.allclose(x.grad, [[0.5, 0.5, 0.0]])
+
+
+class TestSoftmaxFamily:
+    def test_softmax_rows_sum_to_one(self, rng):
+        out = ops.softmax(_t((4, 6), rng))
+        assert np.allclose(out.data.sum(axis=-1), 1.0)
+
+    def test_softmax_grad(self, rng):
+        # Use a non-uniform downstream weighting, since sum(softmax)=const.
+        w = rng.normal(size=(4, 6))
+        gradient_check(lambda a: ops.softmax(a) * Tensor(w), [_t((4, 6), rng)])
+
+    def test_log_softmax_grad(self, rng):
+        w = rng.normal(size=(4, 6))
+        gradient_check(lambda a: ops.log_softmax(a) * Tensor(w), [_t((4, 6), rng)])
+
+    def test_log_softmax_matches_log_of_softmax(self, rng):
+        x = _t((3, 5), rng)
+        assert np.allclose(
+            ops.log_softmax(x).data, np.log(ops.softmax(x).data), atol=1e-10
+        )
+
+    def test_softmax_is_shift_invariant(self, rng):
+        x = rng.normal(size=(2, 5))
+        a = ops.softmax(Tensor(x)).data
+        b = ops.softmax(Tensor(x + 100.0)).data
+        assert np.allclose(a, b)
+
+    def test_softmax_extreme_values_stable(self):
+        x = Tensor([[1000.0, -1000.0]])
+        out = ops.softmax(x).data
+        assert np.isfinite(out).all()
+        assert np.allclose(out, [[1.0, 0.0]])
+
+    def test_logsumexp_grad(self, rng):
+        gradient_check(lambda a: ops.logsumexp(a, axis=1), [_t((3, 5), rng)])
+
+    def test_logsumexp_value(self, rng):
+        x = rng.normal(size=(3, 5))
+        expected = np.log(np.exp(x).sum(axis=1))
+        assert np.allclose(ops.logsumexp(Tensor(x), axis=1).data, expected)
+
+
+class TestShapeOpGrads:
+    def test_reshape(self, rng):
+        gradient_check(lambda a: ops.reshape(a, (4, 3)), [_t((3, 4), rng)])
+
+    def test_transpose(self, rng):
+        gradient_check(lambda a: ops.transpose(a, (2, 0, 1)), [_t((2, 3, 4), rng)])
+
+    def test_getitem_fancy(self, rng):
+        idx = np.array([0, 2, 2])
+        gradient_check(lambda a: ops.getitem(a, idx), [_t((4, 3), rng)])
+
+    def test_concat(self, rng):
+        gradient_check(
+            lambda a, b: ops.concat([a, b], axis=1), [_t((2, 3), rng), _t((2, 4), rng)]
+        )
+
+    def test_stack(self, rng):
+        gradient_check(
+            lambda a, b: ops.stack([a, b], axis=0), [_t((2, 3), rng), _t((2, 3), rng)]
+        )
+
+    def test_pad(self, rng):
+        gradient_check(lambda a: ops.pad(a, ((1, 1), (0, 2))), [_t((2, 3), rng)])
+
+    def test_embedding_lookup(self, rng):
+        idx = np.array([0, 1, 1, 3])
+        gradient_check(lambda w: ops.embedding_lookup(w, idx), [_t((5, 4), rng)])
+
+    def test_take_along_axis(self, rng):
+        idx = np.array([[0], [2], [1]])
+        gradient_check(lambda a: ops.take_along_axis(a, idx, axis=1), [_t((3, 4), rng)])
+
+    def test_dropout_mask_apply(self, rng):
+        mask = rng.random((3, 4)) > 0.5
+        gradient_check(lambda a: ops.dropout_mask_apply(a, mask, 2.0), [_t((3, 4), rng)])
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    rows=st.integers(1, 5),
+    cols=st.integers(1, 5),
+    seed=st.integers(0, 1000),
+)
+def test_property_mul_grad_is_other_operand(rows, cols, seed):
+    """d(sum(a*b))/da == b for any shapes (property test)."""
+    rng = np.random.default_rng(seed)
+    a = Tensor(rng.normal(size=(rows, cols)), requires_grad=True)
+    b = Tensor(rng.normal(size=(rows, cols)))
+    (a * b).sum().backward()
+    assert np.allclose(a.grad, b.data)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(1, 6),
+    seed=st.integers(0, 1000),
+)
+def test_property_softmax_simplex(n, seed):
+    """Softmax outputs lie on the probability simplex for any input."""
+    rng = np.random.default_rng(seed)
+    x = Tensor(rng.normal(size=(3, n)) * 10)
+    out = ops.softmax(x).data
+    assert np.all(out >= 0)
+    assert np.allclose(out.sum(axis=-1), 1.0)

@@ -1,0 +1,185 @@
+"""Unit tests for the Tensor class and graph machinery."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, arange, is_grad_enabled, no_grad, ones, tensor, zeros
+from repro.autograd.tensor import unbroadcast
+
+
+class TestConstruction:
+    def test_from_list(self):
+        t = tensor([1.0, 2.0, 3.0])
+        assert t.shape == (3,)
+        assert not t.requires_grad
+
+    def test_from_tensor_shares_data(self):
+        a = tensor([1.0])
+        b = Tensor(a)
+        assert b.data is a.data
+
+    def test_requires_grad_flag(self):
+        t = tensor([1.0], requires_grad=True)
+        assert t.requires_grad
+
+    def test_zeros_ones_arange(self):
+        assert zeros((2, 3)).data.sum() == 0
+        assert ones((2, 3)).data.sum() == 6
+        assert np.allclose(arange(4).data, [0, 1, 2, 3])
+
+    def test_item_and_len(self):
+        assert tensor([[5.0]]).item() == 5.0
+        assert len(tensor([1.0, 2.0])) == 2
+
+    def test_repr_mentions_grad(self):
+        assert "requires_grad" in repr(tensor([1.0], requires_grad=True))
+        assert "requires_grad" not in repr(tensor([1.0]))
+
+
+class TestBackward:
+    def test_scalar_backward_default_grad(self):
+        x = tensor([3.0], requires_grad=True)
+        y = (x * x).sum()
+        y.backward()
+        assert np.allclose(x.grad, [6.0])
+
+    def test_nonscalar_requires_grad_argument(self):
+        x = tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (x * 2).backward()
+
+    def test_backward_on_detached_raises(self):
+        x = tensor([1.0, 2.0])
+        with pytest.raises(RuntimeError):
+            x.backward()
+
+    def test_grad_accumulates_across_backward_calls(self):
+        x = tensor([2.0], requires_grad=True)
+        (x * 3).sum().backward()
+        (x * 3).sum().backward()
+        assert np.allclose(x.grad, [6.0])
+
+    def test_zero_grad(self):
+        x = tensor([2.0], requires_grad=True)
+        (x * 3).sum().backward()
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_diamond_graph(self):
+        # y = x*x + x uses x twice; gradient must sum both paths.
+        x = tensor([2.0], requires_grad=True)
+        y = x * x + x
+        y.sum().backward()
+        assert np.allclose(x.grad, [5.0])
+
+    def test_deep_chain(self):
+        x = tensor([1.0], requires_grad=True)
+        y = x
+        for _ in range(50):
+            y = y * 1.1
+        y.sum().backward()
+        assert np.allclose(x.grad, [1.1**50])
+
+    def test_branch_without_grad_is_ignored(self):
+        x = tensor([1.0], requires_grad=True)
+        c = tensor([5.0])  # constant
+        y = (x * c).sum()
+        y.backward()
+        assert np.allclose(x.grad, [5.0])
+        assert c.grad is None
+
+    def test_detach_cuts_graph(self):
+        x = tensor([2.0], requires_grad=True)
+        y = (x * x).detach() * x
+        y.sum().backward()
+        # Only the outer multiplication contributes: d(4*x)/dx = 4.
+        assert np.allclose(x.grad, [4.0])
+
+
+class TestNoGrad:
+    def test_no_grad_disables_graph(self):
+        x = tensor([1.0], requires_grad=True)
+        with no_grad():
+            y = x * 2
+        assert not y.requires_grad
+
+    def test_no_grad_restores_state(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_no_grad_restores_on_exception(self):
+        try:
+            with no_grad():
+                raise ValueError()
+        except ValueError:
+            pass
+        assert is_grad_enabled()
+
+
+class TestUnbroadcast:
+    def test_identity(self):
+        g = np.ones((2, 3))
+        assert unbroadcast(g, (2, 3)).shape == (2, 3)
+
+    def test_prepended_axes_summed(self):
+        g = np.ones((4, 2, 3))
+        out = unbroadcast(g, (2, 3))
+        assert out.shape == (2, 3)
+        assert np.all(out == 4)
+
+    def test_stretched_axis_summed(self):
+        g = np.ones((2, 3))
+        out = unbroadcast(g, (1, 3))
+        assert out.shape == (1, 3)
+        assert np.all(out == 2)
+
+    def test_scalar_target(self):
+        g = np.ones((2, 3))
+        out = unbroadcast(g, ())
+        assert out.shape == ()
+        assert out == 6
+
+    def test_broadcast_add_gradients(self):
+        a = tensor(np.ones((2, 3)), requires_grad=True)
+        b = tensor(np.ones((3,)), requires_grad=True)
+        (a + b).sum().backward()
+        assert a.grad.shape == (2, 3)
+        assert b.grad.shape == (3,)
+        assert np.all(b.grad == 2)
+
+
+class TestShapeMethods:
+    def test_reshape_and_flatten(self):
+        x = tensor(np.arange(6.0), requires_grad=True)
+        y = x.reshape(2, 3)
+        assert y.shape == (2, 3)
+        assert x.reshape((2, 3)).shape == (2, 3)
+        z = y.flatten()
+        assert z.shape == (6,)
+
+    def test_transpose_default_and_axes(self):
+        x = tensor(np.zeros((2, 3, 4)))
+        assert x.transpose().shape == (4, 3, 2)
+        assert x.transpose((1, 0, 2)).shape == (3, 2, 4)
+        assert x.T.shape == (4, 3, 2)
+
+    def test_swapaxes(self):
+        x = tensor(np.zeros((2, 3, 4)))
+        assert x.swapaxes(0, 2).shape == (4, 3, 2)
+
+    def test_getitem_grad(self):
+        x = tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        y = x[0]
+        y.sum().backward()
+        assert np.allclose(x.grad, [[1, 1, 1], [0, 0, 0]])
+
+    def test_comparison_returns_ndarray(self):
+        x = tensor([1.0, 2.0])
+        assert isinstance(x > 1.5, np.ndarray)
+        assert (x > 1.5).tolist() == [False, True]
+
+    def test_argmax(self):
+        x = tensor([[1.0, 5.0], [7.0, 2.0]])
+        assert x.argmax(axis=1).tolist() == [1, 0]

@@ -1,0 +1,164 @@
+"""Tests for the baseline methods."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BackboneConfig,
+    BaselineConfig,
+    CDTransS,
+    CompactTransformer,
+    DER,
+    DERpp,
+    FineTune,
+    HAL,
+    MSL,
+    TVT,
+)
+from repro.continual import Scenario, run_continual
+from repro.continual.evaluator import evaluate_task
+
+
+@pytest.fixture()
+def config():
+    return BaselineConfig.fast()
+
+
+class TestBackbone:
+    def test_feature_shape(self):
+        backbone = CompactTransformer(BackboneConfig.fast(), 1, 16, rng=0)
+        rng = np.random.default_rng(0)
+        out = backbone(rng.normal(size=(3, 1, 16, 16)))
+        assert out.shape == (3, backbone.embed_dim)
+
+    def test_cross_attention_context(self):
+        backbone = CompactTransformer(BackboneConfig.fast(), 1, 16, rng=0)
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(2, 1, 16, 16))
+        ctx = rng.normal(size=(2, 1, 16, 16))
+        assert not np.allclose(backbone(x).data, backbone(x, context=ctx).data)
+
+    def test_presets_differ(self):
+        assert BackboneConfig.small().embed_dim != BackboneConfig.base().embed_dim
+
+
+@pytest.mark.parametrize("cls", [FineTune, DER, DERpp, HAL, MSL])
+class TestContinualBaselines:
+    def test_runs_protocol(self, cls, config, tiny_stream):
+        method = cls(config, in_channels=1, image_size=16, rng=0)
+        result = run_continual(method, tiny_stream, Scenario.TIL)
+        assert 0.0 <= result.acc <= 1.0
+        assert method.tasks_seen == 2
+
+    def test_cil_predictions_in_global_range(self, cls, config, tiny_stream):
+        method = cls(config, in_channels=1, image_size=16, rng=0)
+        for task in tiny_stream:
+            method.observe_task(task)
+        images, _ = tiny_stream[1].target_test.arrays()
+        out = method.predict_global(images, Scenario.CIL)
+        assert out.max() < tiny_stream.total_classes
+
+    def test_heads_grow_per_task(self, cls, config, tiny_stream):
+        method = cls(config, in_channels=1, image_size=16, rng=0)
+        for task in tiny_stream:
+            method.observe_task(task)
+        assert len(method.til_heads) == 2
+        assert method.class_offset(1) == 2
+
+
+class TestDERSpecifics:
+    def test_memory_fills_during_training(self, config, tiny_stream):
+        der = DER(config, in_channels=1, image_size=16, rng=0)
+        der.observe_task(tiny_stream[0])
+        assert len(der.memory) > 0
+
+    def test_derpp_subclasses_der(self):
+        assert issubclass(DERpp, DER)
+        assert DERpp.name == "DER++"
+
+
+class TestHALSpecifics:
+    def test_anchors_created_per_class(self, config, tiny_stream):
+        hal = HAL(config, in_channels=1, image_size=16, rng=0)
+        hal.observe_task(tiny_stream[0])
+        assert len(hal._anchor_x) == tiny_stream[0].num_classes
+        assert hal._anchor_ref is not None
+
+    def test_anchor_refs_refresh_with_tasks(self, config, tiny_stream):
+        hal = HAL(config, in_channels=1, image_size=16, rng=0)
+        hal.observe_task(tiny_stream[0])
+        first_width = hal._anchor_ref.shape[-1]
+        hal.observe_task(tiny_stream[1])
+        assert hal._anchor_ref.shape[-1] > first_width
+        assert len(hal._anchor_x) == 4
+
+
+class TestMSLSpecifics:
+    def test_snapshot_created_after_task(self, config, tiny_stream):
+        msl = MSL(config, in_channels=1, image_size=16, rng=0)
+        msl.observe_task(tiny_stream[0])
+        assert msl._snapshot_model is not None
+        # Snapshot must be frozen.
+        assert all(not p.requires_grad for p in msl._snapshot_model.parameters())
+
+    def test_snapshot_matches_backbone_at_boundary(self, config, tiny_stream):
+        msl = MSL(config, in_channels=1, image_size=16, rng=0)
+        msl.observe_task(tiny_stream[0])
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(2, 1, 16, 16))
+        assert np.allclose(msl._snapshot_model(x).data, msl.backbone(x).data)
+
+
+class TestCDTrans:
+    def test_single_head_is_replaced_each_task(self, tiny_stream):
+        method = CDTransS(in_channels=1, image_size=16, rng=0, epochs=2, warmup_epochs=1)
+        method.observe_task(tiny_stream[0])
+        head0 = method.head
+        method.observe_task(tiny_stream[1])
+        assert method.head is not head0
+
+    def test_til_equals_cil_local_prediction(self, tiny_stream):
+        method = CDTransS(in_channels=1, image_size=16, rng=0, epochs=2, warmup_epochs=1)
+        method.observe_task(tiny_stream[0])
+        images, _ = tiny_stream[0].target_test.arrays()
+        til = method.predict(images, 0, Scenario.TIL)
+        assert til.max() < tiny_stream[0].num_classes
+
+    def test_global_prediction_offsets_to_latest(self, tiny_stream):
+        method = CDTransS(in_channels=1, image_size=16, rng=0, epochs=2, warmup_epochs=1)
+        for task in tiny_stream:
+            method.observe_task(task)
+        images, _ = tiny_stream[0].target_test.arrays()
+        out = method.predict_global(images, Scenario.CIL)
+        # All predictions land in the *latest* task's class block.
+        assert out.min() >= tiny_stream[1].class_offset
+
+
+class TestTVT:
+    def test_fit_then_predict(self, tiny_stream):
+        tvt = TVT(BackboneConfig.fast(), 1, 16, epochs=3, warmup_epochs=1, rng=0)
+        tvt.fit(tiny_stream)
+        acc = evaluate_task(tvt, tiny_stream[0], Scenario.TIL)
+        assert 0.0 <= acc <= 1.0
+
+    def test_predict_before_fit_raises(self, tiny_stream):
+        tvt = TVT(BackboneConfig.fast(), 1, 16, rng=0)
+        with pytest.raises(RuntimeError):
+            tvt.predict(np.zeros((1, 1, 16, 16)), 0, Scenario.TIL)
+
+    def test_observe_task_is_rejected(self, tiny_stream):
+        tvt = TVT(BackboneConfig.fast(), 1, 16, rng=0)
+        with pytest.raises(RuntimeError):
+            tvt.observe_task(tiny_stream[0])
+
+    def test_joint_training_beats_chance_on_source_domain(self, tiny_stream):
+        tvt = TVT(BackboneConfig.fast(), 1, 16, epochs=6, warmup_epochs=2, rng=0)
+        tvt.fit(tiny_stream)
+        hits = 0
+        total = 0
+        for task in tiny_stream:
+            images, labels = task.source_train.arrays()
+            predictions = tvt.predict(images, task.task_id, Scenario.TIL)
+            hits += (predictions == labels).sum()
+            total += len(labels)
+        assert hits / total > 0.6

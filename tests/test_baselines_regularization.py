@@ -1,0 +1,111 @@
+"""Tests for the regularization/projection baselines (EWC, SI, A-GEM)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import AGEM, BaselineConfig, EWC, SI
+from repro.continual import Scenario, run_continual
+
+
+@pytest.fixture()
+def config():
+    return BaselineConfig.fast(epochs=4)
+
+
+class TestEWC:
+    def test_runs_protocol(self, config, tiny_stream):
+        method = EWC(config, in_channels=1, image_size=16, rng=0)
+        result = run_continual(method, tiny_stream, Scenario.TIL)
+        assert 0.0 <= result.acc <= 1.0
+
+    def test_fisher_anchor_created(self, config, tiny_stream):
+        method = EWC(config, in_channels=1, image_size=16, rng=0)
+        method.observe_task(tiny_stream[0])
+        assert len(method._anchors) == 1
+        anchor = method._anchors[0]
+        # One entry per backbone parameter; fisher values non-negative.
+        assert len(anchor) == len(list(method.backbone.parameters()))
+        for fisher, theta in anchor.values():
+            assert np.all(fisher >= 0)
+            assert fisher.shape == theta.shape
+
+    def test_penalty_zero_at_anchor(self, config, tiny_stream):
+        method = EWC(config, in_channels=1, image_size=16, rng=0)
+        method.observe_task(tiny_stream[0])
+        # Parameters have not moved since the anchor snapshot.
+        penalty = method._ewc_penalty()
+        assert penalty.item() == pytest.approx(0.0, abs=1e-12)
+
+    def test_penalty_positive_after_drift(self, config, tiny_stream):
+        method = EWC(config, in_channels=1, image_size=16, rng=0)
+        method.observe_task(tiny_stream[0])
+        for param in method.backbone.parameters():
+            param.data += 0.1
+        assert method._ewc_penalty().item() > 0
+
+
+class TestSI:
+    def test_runs_protocol(self, config, tiny_stream):
+        method = SI(config, in_channels=1, image_size=16, rng=0)
+        result = run_continual(method, tiny_stream, Scenario.TIL)
+        assert 0.0 <= result.acc <= 1.0
+
+    def test_importance_accumulates(self, config, tiny_stream):
+        method = SI(config, in_channels=1, image_size=16, rng=0)
+        method.observe_task(tiny_stream[0])
+        total_importance = sum(
+            float(np.abs(v).sum()) for v in method._importance.values()
+        )
+        assert total_importance > 0
+
+    def test_omega_reset_at_boundary(self, config, tiny_stream):
+        method = SI(config, in_channels=1, image_size=16, rng=0)
+        method.observe_task(tiny_stream[0])
+        for omega in method._omega.values():
+            assert np.allclose(omega, 0.0)
+
+    def test_importance_nonnegative(self, config, tiny_stream):
+        method = SI(config, in_channels=1, image_size=16, rng=0)
+        method.observe_task(tiny_stream[0])
+        method.observe_task(tiny_stream[1])
+        for value in method._importance.values():
+            assert np.all(value >= 0)
+
+
+class TestAGEM:
+    def test_runs_protocol(self, config, tiny_stream):
+        method = AGEM(config, in_channels=1, image_size=16, rng=0)
+        result = run_continual(method, tiny_stream, Scenario.TIL)
+        assert 0.0 <= result.acc <= 1.0
+
+    def test_memory_populated_at_task_end(self, config, tiny_stream):
+        method = AGEM(config, in_channels=1, image_size=16, rng=0)
+        method.observe_task(tiny_stream[0])
+        assert len(method.memory) > 0
+
+    def test_projection_math(self):
+        """Projected gradient must have non-negative dot with reference."""
+        rng = np.random.default_rng(0)
+        g = rng.normal(size=50)
+        ref = rng.normal(size=50)
+        if g @ ref >= 0:
+            ref = -g + 0.01 * rng.normal(size=50)  # force a conflict
+        assert g @ ref < 0
+        projected = g - (g @ ref) / (ref @ ref) * ref
+        assert projected @ ref > -1e-10
+
+    def test_projections_counted_across_tasks(self, config, tiny_stream):
+        method = AGEM(config, in_channels=1, image_size=16, rng=0)
+        for task in tiny_stream:
+            method.observe_task(task)
+        # Conflicts are data-dependent; the counter must at least be valid.
+        assert method.projections_applied >= 0
+
+
+class TestExperimentRegistry:
+    @pytest.mark.parametrize("name", ["EWC", "SI", "A-GEM"])
+    def test_buildable_from_registry(self, name):
+        from repro.experiments import build_method, get_profile
+
+        method = build_method(name, get_profile("smoke"), in_channels=1, image_size=16)
+        assert method.name == name

@@ -1,0 +1,57 @@
+"""Tests for the CIL task-inference extension (paper future work)."""
+
+import numpy as np
+import pytest
+
+from repro.continual import Scenario, run_continual
+from repro.core import CDCLConfig, CDCLTrainer
+
+
+class TestPredictCilInferred:
+    @pytest.fixture(scope="class")
+    def trained(self, digit_stream_3tasks):
+        trainer = CDCLTrainer(
+            CDCLConfig.fast(epochs=4, warmup_epochs=1),
+            in_channels=1,
+            image_size=16,
+            rng=0,
+        )
+        for task in digit_stream_3tasks:
+            trainer.observe_task(task)
+        return trainer
+
+    def test_predictions_in_global_range(self, trained, digit_stream_3tasks):
+        images, _ = digit_stream_3tasks[1].target_test.arrays()
+        out = trained.network.predict_cil_inferred(images)
+        assert out.min() >= 0
+        assert out.max() < digit_stream_3tasks.total_classes
+
+    def test_shape_matches_input(self, trained, digit_stream_3tasks):
+        images, _ = digit_stream_3tasks[0].target_test.arrays()
+        assert trained.network.predict_cil_inferred(images).shape == (len(images),)
+
+    def test_single_task_reduces_to_til(self, tiny_stream):
+        trainer = CDCLTrainer(
+            CDCLConfig.fast(epochs=3, warmup_epochs=1), 1, 16, rng=0
+        )
+        trainer.observe_task(tiny_stream[0])
+        images, _ = tiny_stream[0].target_test.arrays()
+        inferred = trainer.network.predict_cil_inferred(images)
+        til = trainer.network.predict_til(images, 0)
+        assert np.array_equal(inferred, til)
+
+    def test_config_flag_switches_predict_global(self, tiny_stream):
+        config = CDCLConfig.fast(epochs=3, warmup_epochs=1, cil_task_inference=True)
+        trainer = CDCLTrainer(config, 1, 16, rng=0)
+        trainer.observe_task(tiny_stream[0])
+        trainer.observe_task(tiny_stream[1])
+        images, _ = tiny_stream[0].target_test.arrays()
+        flagged = trainer.predict_global(images, Scenario.CIL)
+        inferred = trainer.network.predict_cil_inferred(images)
+        assert np.array_equal(flagged, inferred)
+
+    def test_runs_full_cil_protocol(self, digit_stream_3tasks):
+        config = CDCLConfig.fast(epochs=3, warmup_epochs=1, cil_task_inference=True)
+        trainer = CDCLTrainer(config, 1, 16, rng=0)
+        result = run_continual(trainer, digit_stream_3tasks, Scenario.CIL)
+        assert 0.0 <= result.acc <= 1.0

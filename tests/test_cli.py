@@ -1,0 +1,33 @@
+"""Tests for the ``python -m repro.experiments`` command-line interface."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+class TestArgumentParsing:
+    def test_requires_artifact(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_rejects_unknown_artifact(self):
+        with pytest.raises(SystemExit):
+            main(["table9"])
+
+    def test_rejects_unknown_profile(self):
+        with pytest.raises(SystemExit):
+            main(["--profile", "huge", "table1"])
+
+
+class TestSmokeExecution:
+    def test_figure2_smoke(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "smoke")
+        assert main(["figure2"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 2" in out
+
+    def test_table3_smoke_tiny(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "smoke")
+        assert main(["table3", "--domains", "clp", "skt"]) == 0
+        out = capsys.readouterr().out
+        assert "Table III" in out

@@ -1,0 +1,80 @@
+"""Tests for the domain-incremental (DIL) scenario extension."""
+
+import numpy as np
+import pytest
+
+from repro.continual import Scenario, run_continual
+from repro.core import CDCLConfig, CDCLTrainer
+from repro.data.synthetic import office_home_dil
+
+
+@pytest.fixture(scope="module")
+def dil_stream():
+    return office_home_dil(
+        source="Ar",
+        targets=("Cl", "Pr"),
+        num_classes=3,
+        samples_per_class=6,
+        test_samples_per_class=4,
+        rng=0,
+    )
+
+
+class TestDILStream:
+    def test_shared_classes_across_tasks(self, dil_stream):
+        assert dil_stream[0].classes == dil_stream[1].classes
+
+    def test_validate_modes(self, dil_stream):
+        dil_stream.validate(allow_shared_classes=True)
+        with pytest.raises(ValueError):
+            dil_stream.validate()  # strict mode rejects shared classes
+
+    def test_target_domains_rotate(self, dil_stream):
+        a = dil_stream[0].target_train.arrays()[0]
+        b = dil_stream[1].target_train.arrays()[0]
+        # Same classes, different domain transforms -> different marginals.
+        assert not np.allclose(a.mean(), b.mean(), atol=1e-3) or not np.allclose(
+            a.std(), b.std(), atol=1e-3
+        )
+
+    def test_source_domain_fixed(self, dil_stream):
+        assert dil_stream.source_domain == "art"
+        assert "clipart" in dil_stream.target_domain or "+".join(
+            ("Cl", "Pr")
+        ) == dil_stream.target_domain
+
+
+class TestDILEvaluation:
+    def test_cdcl_runs_dil_protocol(self, dil_stream):
+        trainer = CDCLTrainer(CDCLConfig.fast(), in_channels=3, image_size=16, rng=0)
+        result = run_continual(trainer, dil_stream, Scenario.DIL)
+        assert 0.0 <= result.acc <= 1.0
+        assert result.r_matrix.values.shape == (2, 2)
+
+    def test_dil_uses_latest_head(self, dil_stream):
+        """DIL evaluation must query the most recent task parameters."""
+        calls = []
+
+        class Probe(CDCLTrainer):
+            def predict(self, images, task_id, scenario):
+                calls.append((task_id, scenario))
+                return super().predict(images, task_id, scenario)
+
+        trainer = Probe(CDCLConfig.fast(), in_channels=3, image_size=16, rng=0)
+        run_continual(trainer, dil_stream, Scenario.DIL)
+        assert all(s is Scenario.DIL for _t, s in calls)
+        # After the second task, every evaluation uses head index 1.
+        late_calls = [t for t, _s in calls[-2:]]
+        assert late_calls == [1, 1]
+
+    def test_scenario_flag(self):
+        assert not Scenario.DIL.task_id_at_test
+
+    def test_dil_answers_in_local_label_space(self, dil_stream):
+        """DIL predictions must be task-local ids, not global CIL ids."""
+        trainer = CDCLTrainer(CDCLConfig.fast(), in_channels=3, image_size=16, rng=0)
+        for task in dil_stream:
+            trainer.observe_task(task)
+        images, _ = dil_stream[0].target_test.arrays()
+        out = trainer.predict(images, trainer.tasks_seen - 1, Scenario.DIL)
+        assert out.max() < dil_stream.classes_per_task

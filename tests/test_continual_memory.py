@@ -1,0 +1,142 @@
+"""Tests for rehearsal memory buffers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.continual import RehearsalMemory, ReservoirMemory
+
+
+def store_fake_task(memory, task_id, n=20, num_classes=4, seed=0):
+    rng = np.random.default_rng(seed + task_id)
+    memory.store_task(
+        task_id,
+        x_source=rng.normal(size=(n, 1, 4, 4)),
+        x_target=rng.normal(size=(n, 1, 4, 4)),
+        y_source=rng.integers(0, num_classes, size=n),
+        logits_source=rng.normal(size=(n, num_classes * (task_id + 1))),
+        logits_target=rng.normal(size=(n, num_classes * (task_id + 1))),
+        confidence=rng.random(n),
+    )
+
+
+class TestRehearsalMemory:
+    def test_capacity_positive(self):
+        with pytest.raises(ValueError):
+            RehearsalMemory(0)
+
+    def test_per_task_budget(self):
+        memory = RehearsalMemory(capacity=10)
+        store_fake_task(memory, 0, n=30)
+        assert len(memory) == 10  # floor(10/1)
+        store_fake_task(memory, 1, n=30)
+        assert len(memory) == 10  # 5 + 5
+        assert len(memory.records_for_task(0)) == 5
+        assert len(memory.records_for_task(1)) == 5
+
+    def test_total_never_exceeds_capacity(self):
+        memory = RehearsalMemory(capacity=13)
+        for task in range(5):
+            store_fake_task(memory, task, n=40)
+            assert len(memory) <= 13
+
+    def test_keeps_highest_confidence(self):
+        memory = RehearsalMemory(capacity=2)
+        n = 10
+        confidence = np.arange(n, dtype=float)
+        memory.store_task(
+            0,
+            x_source=np.zeros((n, 1, 2, 2)),
+            x_target=np.zeros((n, 1, 2, 2)),
+            y_source=np.zeros(n, dtype=int),
+            logits_source=np.zeros((n, 2)),
+            logits_target=np.zeros((n, 2)),
+            confidence=confidence,
+        )
+        kept = {r.confidence for r in memory.records_for_task(0)}
+        assert kept == {9.0, 8.0}
+
+    def test_old_tasks_trimmed_by_confidence(self):
+        memory = RehearsalMemory(capacity=4)
+        store_fake_task(memory, 0, n=10, seed=1)
+        confidences_before = sorted(
+            (r.confidence for r in memory.records_for_task(0)), reverse=True
+        )
+        store_fake_task(memory, 1, n=10, seed=2)
+        kept = sorted((r.confidence for r in memory.records_for_task(0)), reverse=True)
+        assert kept == confidences_before[:2]
+
+    def test_sample_and_batch_arrays(self):
+        memory = RehearsalMemory(capacity=10)
+        store_fake_task(memory, 0, n=10)
+        store_fake_task(memory, 1, n=10)
+        batch = memory.sample(4, rng=0)
+        xs, xt, ys, ls, lt, task_ids, widths = memory.batch_arrays(batch)
+        assert xs.shape[0] == 4
+        assert ls.shape == lt.shape
+        # Width equals the widest record; narrower records are padded.
+        assert ls.shape[1] == widths.max()
+        for i, w in enumerate(widths):
+            assert np.allclose(ls[i, w:], 0.0)
+
+    def test_sample_empty_returns_empty(self):
+        assert RehearsalMemory(5).sample(3) == []
+
+    def test_batch_arrays_empty_raises(self):
+        with pytest.raises(ValueError):
+            RehearsalMemory(5).batch_arrays([])
+
+    def test_record_fields(self):
+        memory = RehearsalMemory(capacity=5)
+        store_fake_task(memory, 0, n=5)
+        record = memory.records_for_task(0)[0]
+        assert record.task_id == 0
+        assert record.x_source.shape == (1, 4, 4)
+        assert isinstance(record.y_source, int)
+
+
+class TestReservoirMemory:
+    def test_fills_to_capacity(self):
+        memory = ReservoirMemory(capacity=8, rng=0)
+        for i in range(8):
+            memory.add(np.zeros((1, 2, 2)), i % 2, np.zeros(2), 0)
+        assert len(memory) == 8
+
+    def test_never_exceeds_capacity(self):
+        memory = ReservoirMemory(capacity=8, rng=0)
+        for i in range(100):
+            memory.add(np.zeros((1, 2, 2)), 0, np.zeros(2), 0)
+        assert len(memory) == 8
+
+    def test_sample_none_when_empty(self):
+        assert ReservoirMemory(4).sample(2) is None
+
+    def test_sample_shapes(self):
+        memory = ReservoirMemory(capacity=10, rng=0)
+        memory.add_batch(np.zeros((6, 1, 2, 2)), np.arange(6), np.zeros((6, 3)), 1)
+        x, y, logits, task_ids, widths = memory.sample(4)
+        assert x.shape == (4, 1, 2, 2)
+        assert logits.shape == (4, 3)
+        assert np.all(task_ids == 1)
+        assert np.all(widths == 3)
+
+    def test_sample_pads_mixed_widths(self):
+        memory = ReservoirMemory(capacity=10, rng=0)
+        memory.add_batch(np.zeros((3, 1, 2, 2)), np.arange(3), np.zeros((3, 2)), 0)
+        memory.add_batch(np.zeros((3, 1, 2, 2)), np.arange(3), np.ones((3, 4)), 1)
+        x, y, logits, task_ids, widths = memory.sample(6)
+        assert logits.shape[1] == 4
+        narrow = widths == 2
+        assert np.allclose(logits[narrow][:, 2:], 0.0)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 500))
+    def test_property_reservoir_is_approximately_uniform(self, seed):
+        """Items from the whole stream survive, not just the newest."""
+        memory = ReservoirMemory(capacity=50, rng=seed)
+        for i in range(500):
+            memory.add(np.zeros((1, 1, 1)), i, np.zeros(1), 0)
+        labels = [item.y for item in memory._items]
+        # At least one item from the first half of the stream survives.
+        assert min(labels) < 250

@@ -1,0 +1,147 @@
+"""Tests for ACC/FGT metrics and the R-matrix."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.continual import (
+    RMatrix,
+    average_accuracy,
+    backward_transfer,
+    forgetting,
+    forward_transfer,
+)
+
+
+class TestRMatrix:
+    def test_record_and_row(self):
+        r = RMatrix(3)
+        r.record(0, 0, 0.9)
+        assert r.row(0)[0] == 0.9
+        assert np.isnan(r.row(0)[1])
+
+    def test_bounds_validation(self):
+        r = RMatrix(2)
+        with pytest.raises(IndexError):
+            r.record(2, 0, 0.5)
+        with pytest.raises(IndexError):
+            r.record(0, 2, 0.5)
+        with pytest.raises(ValueError):
+            r.record(0, 0, 1.5)
+
+    def test_zero_tasks_rejected(self):
+        with pytest.raises(ValueError):
+            RMatrix(0)
+
+    def test_metric_shortcuts(self):
+        r = RMatrix(2)
+        r.record(0, 0, 1.0)
+        r.record(1, 0, 0.5)
+        r.record(1, 1, 0.8)
+        assert np.isclose(r.average_accuracy(), 0.65)
+        assert np.isclose(r.forgetting(), 0.5)
+
+
+class TestAverageAccuracy:
+    def test_simple(self):
+        r = np.array([[1.0, np.nan], [0.6, 0.8]])
+        assert np.isclose(average_accuracy(r), 0.7)
+
+    def test_ignores_nan_in_final_row(self):
+        r = np.array([[1.0, np.nan], [0.6, np.nan]])
+        assert np.isclose(average_accuracy(r), 0.6)
+
+    def test_empty_final_row_raises(self):
+        r = np.full((2, 2), np.nan)
+        with pytest.raises(ValueError):
+            average_accuracy(r)
+
+    def test_non_square_raises(self):
+        with pytest.raises(ValueError):
+            average_accuracy(np.zeros((2, 3)))
+
+
+class TestForgetting:
+    def test_no_forgetting(self):
+        r = np.array([[0.9, np.nan], [0.9, 0.8]])
+        assert forgetting(r) == 0.0
+
+    def test_full_forgetting(self):
+        r = np.array([[1.0, np.nan], [0.0, 0.9]])
+        assert np.isclose(forgetting(r), 1.0)
+
+    def test_uses_historical_peak(self):
+        # Task 0 improves after task 1 (backward transfer), then drops.
+        r = np.array(
+            [
+                [0.5, np.nan, np.nan],
+                [0.9, 0.7, np.nan],
+                [0.6, 0.7, 0.8],
+            ]
+        )
+        # Peak for task0 is 0.9 -> drop 0.3; task1 peak 0.7 -> drop 0.
+        assert np.isclose(forgetting(r), 0.15)
+
+    def test_single_task_returns_zero(self):
+        assert forgetting(np.array([[0.9]])) == 0.0
+
+    def test_negative_when_improving(self):
+        r = np.array([[0.5, np.nan], [0.7, 0.9]])
+        assert forgetting(r) < 0
+
+
+class TestTransfers:
+    def test_backward_transfer(self):
+        r = np.array([[0.8, np.nan], [0.9, 0.7]])
+        assert np.isclose(backward_transfer(r), 0.1)
+
+    def test_forward_transfer(self):
+        r = np.array([[0.8, 0.4], [0.9, 0.7]])
+        baseline = np.array([0.1, 0.1])
+        assert np.isclose(forward_transfer(r, baseline), 0.3)
+
+    def test_single_task_bwt_zero(self):
+        assert backward_transfer(np.array([[1.0]])) == 0.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    t=st.integers(2, 6),
+    seed=st.integers(0, 10_000),
+)
+def test_property_acc_in_unit_interval(t, seed):
+    rng = np.random.default_rng(seed)
+    r = np.tril(rng.random((t, t)))
+    r[np.triu_indices(t, 1)] = np.nan
+    assert 0.0 <= average_accuracy(r) <= 1.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    t=st.integers(2, 6),
+    seed=st.integers(0, 10_000),
+)
+def test_property_forgetting_bounded(t, seed):
+    """FGT is within [-1, 1] and never exceeds the peak accuracy."""
+    rng = np.random.default_rng(seed)
+    r = np.tril(rng.random((t, t)))
+    r[np.triu_indices(t, 1)] = np.nan
+    f = forgetting(r)
+    assert -1.0 <= f <= 1.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    t=st.integers(2, 5),
+    seed=st.integers(0, 10_000),
+)
+def test_property_perfect_retention_zero_forgetting(t, seed):
+    """If accuracy on each task never changes after learning it, FGT == 0."""
+    rng = np.random.default_rng(seed)
+    final = rng.random(t)
+    r = np.full((t, t), np.nan)
+    for i in range(t):
+        for j in range(i + 1):
+            r[i, j] = final[j]
+    assert np.isclose(forgetting(r), 0.0)

@@ -1,0 +1,195 @@
+"""Tests for UDATask / TaskStream and the evaluation protocol."""
+
+import numpy as np
+import pytest
+
+from repro.continual import (
+    ContinualMethod,
+    Scenario,
+    TaskStream,
+    UDATask,
+    evaluate_task,
+    run_continual,
+    run_continual_multi,
+)
+from repro.data import ArrayDataset
+
+
+def make_task(task_id, num_classes=2, n=6):
+    rng = np.random.default_rng(task_id)
+    images = rng.normal(size=(n, 1, 4, 4))
+    labels = np.arange(n) % num_classes
+    ds = ArrayDataset(images, labels)
+    classes = tuple(range(task_id * num_classes, (task_id + 1) * num_classes))
+    return UDATask(
+        task_id=task_id,
+        classes=classes,
+        source_train=ds,
+        target_train=ds,
+        target_test=ds,
+    )
+
+
+class TestScenario:
+    def test_parse_strings(self):
+        assert Scenario.parse("til") is Scenario.TIL
+        assert Scenario.parse("CIL") is Scenario.CIL
+        assert Scenario.parse(Scenario.DIL) is Scenario.DIL
+
+    def test_parse_unknown_raises(self):
+        with pytest.raises(ValueError):
+            Scenario.parse("bogus")
+
+    def test_task_id_visibility(self):
+        assert Scenario.TIL.task_id_at_test
+        assert not Scenario.CIL.task_id_at_test
+
+
+class TestUDATask:
+    def test_properties(self):
+        task = make_task(2, num_classes=3)
+        assert task.num_classes == 3
+        assert task.class_offset == 6
+        assert "UDATask" in repr(task)
+
+    def test_global_labels(self):
+        task = make_task(1, num_classes=2)  # classes (2, 3)
+        out = task.global_labels(np.array([0, 1, 0]))
+        assert out.tolist() == [2, 3, 2]
+
+    def test_target_unlabeled(self):
+        task = make_task(0)
+        assert np.all(task.target_unlabeled().labels == -1)
+
+
+class TestTaskStream:
+    def test_validate_passes_for_wellformed(self):
+        stream = TaskStream("s", "a", "b", [make_task(0), make_task(1)])
+        stream.validate()
+        assert len(stream) == 2
+        assert stream.classes_per_task == 2
+        assert stream.total_classes == 4
+
+    def test_validate_rejects_bad_ids(self):
+        stream = TaskStream("s", "a", "b", [make_task(1)])
+        with pytest.raises(ValueError):
+            stream.validate()
+
+    def test_validate_rejects_overlapping_classes(self):
+        a, b = make_task(0), make_task(1)
+        b.classes = a.classes
+        b.task_id = 1
+        stream = TaskStream("s", "a", "b", [a, b])
+        with pytest.raises(ValueError):
+            stream.validate()
+
+    def test_iteration_and_indexing(self):
+        tasks = [make_task(0), make_task(1)]
+        stream = TaskStream("s", "a", "b", tasks)
+        assert stream[1] is tasks[1]
+        assert [t.task_id for t in stream] == [0, 1]
+
+
+class OracleMethod(ContinualMethod):
+    """Predicts ground truth for observed tasks, class 0 otherwise."""
+
+    name = "oracle"
+
+    def __init__(self):
+        self._seen = {}
+
+    @property
+    def tasks_seen(self):
+        return len(self._seen)
+
+    def observe_task(self, task):
+        images, labels = task.target_test.arrays()
+        self._seen[task.task_id] = (images, labels, task.class_offset)
+
+    def predict(self, images, task_id, scenario):
+        _imgs, labels, _off = self._seen[task_id]
+        return labels
+
+    def predict_global(self, images, scenario):
+        # Match against the stored images of any seen task.
+        for _tid, (imgs, labels, offset) in self._seen.items():
+            if imgs.shape == images.shape and np.allclose(imgs, images):
+                return labels + offset
+        return np.zeros(len(images), dtype=int)
+
+
+class BlindMethod(ContinualMethod):
+    """Always predicts class 0 (chance-level reference)."""
+
+    name = "blind"
+    _tasks = 0
+
+    @property
+    def tasks_seen(self):
+        return self._tasks
+
+    def observe_task(self, task):
+        self._tasks += 1
+
+    def predict(self, images, task_id, scenario):
+        return np.zeros(len(images), dtype=int)
+
+    def predict_global(self, images, scenario):
+        return np.zeros(len(images), dtype=int)
+
+
+class TestEvaluator:
+    def _stream(self):
+        return TaskStream("s", "a", "b", [make_task(0), make_task(1), make_task(2)])
+
+    def test_oracle_gets_perfect_scores(self):
+        result = run_continual(OracleMethod(), self._stream(), Scenario.TIL)
+        assert result.acc == 1.0
+        assert result.fgt == 0.0
+
+    def test_oracle_cil(self):
+        result = run_continual(OracleMethod(), self._stream(), Scenario.CIL)
+        assert result.acc == 1.0
+
+    def test_blind_method_partial(self):
+        result = run_continual(BlindMethod(), self._stream(), Scenario.TIL)
+        assert np.isclose(result.acc, 0.5)  # half the labels are 0
+
+    def test_blind_method_cil_only_first_task(self):
+        result = run_continual(BlindMethod(), self._stream(), Scenario.CIL)
+        # Global class 0 only matches task 0's zero-labeled half.
+        assert np.isclose(result.acc, 0.5 / 3)
+
+    def test_r_matrix_lower_triangular(self):
+        result = run_continual(BlindMethod(), self._stream(), Scenario.TIL)
+        values = result.r_matrix.values
+        assert not np.isnan(values[2, 0])
+        assert np.isnan(values[0, 1])  # future task never evaluated
+
+    def test_evaluate_task_direct(self):
+        method = OracleMethod()
+        task = make_task(0)
+        method.observe_task(task)
+        assert evaluate_task(method, task, Scenario.TIL) == 1.0
+
+    def test_summary_fields(self):
+        result = run_continual(BlindMethod(), self._stream(), Scenario.TIL)
+        summary = result.summary()
+        assert summary["method"] == "blind"
+        assert summary["scenario"] == "til"
+        assert 0.0 <= summary["acc"] <= 1.0
+
+    def test_multi_scenario_single_training(self):
+        method = OracleMethod()
+        results = run_continual_multi(method, self._stream(), ["til", "cil"])
+        assert results[Scenario.TIL].acc == 1.0
+        assert results[Scenario.CIL].acc == 1.0
+        # Each task observed exactly once despite two scenarios.
+        assert method.tasks_seen == 3
+
+    def test_base_method_raises(self):
+        method = ContinualMethod()
+        with pytest.raises(NotImplementedError):
+            method.observe_task(make_task(0))
+        with pytest.raises(NotImplementedError):
+            method.predict_global(np.zeros((1, 1, 2, 2)), Scenario.CIL)

@@ -1,0 +1,219 @@
+"""Tests for CDCL's architectural components: tokenizer, task-conditioned
+attention, sequence pooling and the assembled network."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.core import (
+    CDCLConfig,
+    CDCLEncoder,
+    CDCLNetwork,
+    ConvTokenizer,
+    SequencePool,
+    TaskConditionedAttention,
+)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(9)
+
+
+class TestConvTokenizer:
+    def test_output_shape(self, rng):
+        tok = ConvTokenizer(1, embed_dim=16, num_layers=2, image_size=16, rng=rng)
+        out = tok(Tensor(rng.normal(size=(2, 1, 16, 16))))
+        assert out.shape == (2, 16, 16)  # 16/2/2 = 4 -> 16 tokens
+        assert tok.seq_len == 16
+        assert tok.grid_side == 4
+
+    def test_single_layer(self, rng):
+        tok = ConvTokenizer(3, embed_dim=8, num_layers=1, image_size=16, rng=rng)
+        assert tok.seq_len == 64
+
+    def test_too_many_layers_raises(self):
+        with pytest.raises(ValueError):
+            ConvTokenizer(1, 8, num_layers=5, image_size=8)
+
+    def test_zero_layers_raises(self):
+        with pytest.raises(ValueError):
+            ConvTokenizer(1, 8, num_layers=0, image_size=8)
+
+    def test_gradient_flows(self, rng):
+        tok = ConvTokenizer(1, 8, num_layers=1, image_size=8, rng=rng)
+        x = Tensor(rng.normal(size=(1, 1, 8, 8)), requires_grad=True)
+        tok(x).sum().backward()
+        assert x.grad is not None
+
+
+class TestTaskConditionedAttention:
+    def _attn(self, rng, dim=8, heads=2, seq=4):
+        return TaskConditionedAttention(dim, heads, seq, rng=rng)
+
+    def test_requires_task_instantiation(self, rng):
+        attn = self._attn(rng)
+        x = Tensor(rng.normal(size=(1, 4, 8)))
+        with pytest.raises(IndexError):
+            attn(x, 0)
+
+    def test_add_task_returns_index(self, rng):
+        attn = self._attn(rng)
+        assert attn.add_task() == 0
+        assert attn.add_task() == 1
+        assert attn.num_tasks == 2
+
+    def test_self_attention_shape(self, rng):
+        attn = self._attn(rng)
+        attn.add_task()
+        out = attn(Tensor(rng.normal(size=(2, 4, 8))), 0)
+        assert out.shape == (2, 4, 8)
+
+    def test_cross_attention_uses_context(self, rng):
+        attn = self._attn(rng)
+        attn.add_task()
+        x = Tensor(rng.normal(size=(2, 4, 8)))
+        ctx = Tensor(rng.normal(size=(2, 4, 8)))
+        assert not np.allclose(attn(x, 0).data, attn(x, 0, ctx).data)
+
+    def test_new_task_freezes_previous(self, rng):
+        attn = self._attn(rng)
+        attn.add_task()
+        attn.add_task()
+        for p in attn.task_parameters(0):
+            assert not p.requires_grad
+        for p in attn.task_parameters(1):
+            assert p.requires_grad
+
+    def test_old_task_keys_get_no_gradient(self, rng):
+        attn = self._attn(rng)
+        attn.add_task()
+        attn.add_task()
+        x = Tensor(rng.normal(size=(1, 4, 8)), requires_grad=True)
+        attn(x, 1).sum().backward()
+        assert all(p.grad is None for p in attn.task_parameters(0))
+        assert any(p.grad is not None for p in attn.task_parameters(1))
+
+    def test_different_tasks_give_different_outputs(self, rng):
+        attn = self._attn(rng)
+        attn.add_task()
+        attn.add_task()
+        x = Tensor(rng.normal(size=(1, 4, 8)))
+        assert not np.allclose(attn(x, 0).data, attn(x, 1).data)
+
+    def test_dim_heads_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            TaskConditionedAttention(10, 3, 4)
+
+    def test_bias_shape_is_one_by_seq(self, rng):
+        attn = self._attn(rng, seq=6)
+        attn.add_task()
+        bias = attn.task_parameters(0)[-1]
+        assert bias.shape == (1, 6)
+
+
+class TestCDCLEncoder:
+    def test_add_task_spans_all_layers(self, rng):
+        enc = CDCLEncoder(dim=8, depth=3, num_heads=2, seq_len=4, rng=rng)
+        enc.add_task()
+        for layer in enc.layers:
+            assert layer.attn.num_tasks == 1
+        assert len(enc.task_parameters(0)) == 3 * 2  # (K_i weight + b_i) x depth
+
+    def test_forward_shapes(self, rng):
+        enc = CDCLEncoder(dim=8, depth=2, num_heads=2, seq_len=4, rng=rng)
+        enc.add_task()
+        x = Tensor(rng.normal(size=(2, 4, 8)))
+        assert enc(x, 0).shape == (2, 4, 8)
+        ctx = Tensor(rng.normal(size=(2, 4, 8)))
+        assert enc(x, 0, ctx).shape == (2, 4, 8)
+
+
+class TestSequencePool:
+    def test_output_shape(self, rng):
+        pool = SequencePool(8, rng=rng)
+        out = pool(Tensor(rng.normal(size=(3, 5, 8))))
+        assert out.shape == (3, 8)
+
+    def test_pool_is_convex_combination(self, rng):
+        """Pooled vector lies in the convex hull of the tokens."""
+        pool = SequencePool(4, rng=rng)
+        tokens = rng.normal(size=(1, 6, 4))
+        out = pool(Tensor(tokens)).data[0]
+        assert out.min() >= tokens[0].min() - 1e-9
+        assert out.max() <= tokens[0].max() + 1e-9
+
+    def test_gradient_flows(self, rng):
+        pool = SequencePool(4, rng=rng)
+        x = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        pool(x).sum().backward()
+        assert x.grad is not None
+
+
+class TestCDCLNetwork:
+    def _net(self, rng):
+        config = CDCLConfig.fast()
+        return CDCLNetwork(config, in_channels=1, image_size=16, rng=rng)
+
+    def test_add_task_grows_heads(self, rng):
+        net = self._net(rng)
+        net.add_task(2)
+        net.add_task(2)
+        assert net.num_tasks == 2
+        assert net.total_classes == 4
+        assert net.class_offset(1) == 2
+
+    def test_features_shape(self, rng):
+        net = self._net(rng)
+        net.add_task(2)
+        feats = net.features(rng.normal(size=(3, 1, 16, 16)), 0)
+        assert feats.shape == (3, net.config.embed_dim)
+
+    def test_til_cil_logit_shapes(self, rng):
+        net = self._net(rng)
+        net.add_task(2)
+        net.add_task(2)
+        feats = net.features(rng.normal(size=(3, 1, 16, 16)), 1)
+        assert net.til_logits(feats, 1).shape == (3, 2)
+        assert net.cil_logits(feats).shape == (3, 4)
+        assert net.cil_logits(feats, up_to_task=0).shape == (3, 2)
+
+    def test_predictions_in_range(self, rng):
+        net = self._net(rng)
+        net.add_task(2)
+        net.add_task(2)
+        images = rng.normal(size=(5, 1, 16, 16))
+        til = net.predict_til(images, 0)
+        assert set(np.unique(til)).issubset({0, 1})
+        cil = net.predict_cil(images)
+        assert set(np.unique(cil)).issubset({0, 1, 2, 3})
+
+    def test_invalid_task_raises(self, rng):
+        net = self._net(rng)
+        with pytest.raises(IndexError):
+            net.features(rng.normal(size=(1, 1, 16, 16)), 0)
+
+    def test_cross_attention_changes_features(self, rng):
+        net = self._net(rng)
+        net.add_task(2)
+        x = rng.normal(size=(2, 1, 16, 16))
+        ctx = rng.normal(size=(2, 1, 16, 16))
+        plain = net.features(x, 0).data
+        mixed = net.features(x, 0, context=ctx).data
+        assert not np.allclose(plain, mixed)
+
+    def test_simple_attention_ablation_ignores_context(self, rng):
+        config = CDCLConfig.fast(use_cross_attention=False)
+        net = CDCLNetwork(config, in_channels=1, image_size=16, rng=rng)
+        net.add_task(2)
+        x = rng.normal(size=(2, 1, 16, 16))
+        ctx = rng.normal(size=(2, 1, 16, 16))
+        assert np.allclose(net.features(x, 0).data, net.features(x, 0, context=ctx).data)
+
+    def test_new_task_parameters_registered(self, rng):
+        net = self._net(rng)
+        net.add_task(2)
+        params = net.new_task_parameters(0)
+        # K_i + b_i per encoder layer, TIL head w+b, CIL head w+b.
+        expected = net.config.depth * 2 + 4
+        assert len(params) == expected

@@ -1,0 +1,86 @@
+"""Tests for attention-map introspection utilities."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CDCLConfig,
+    CDCLNetwork,
+    attention_entropy,
+    attention_maps,
+    task_key_similarity,
+)
+
+
+@pytest.fixture()
+def network():
+    net = CDCLNetwork(CDCLConfig.fast(depth=2), in_channels=1, image_size=16, rng=0)
+    net.add_task(2)
+    net.add_task(2)
+    return net
+
+
+@pytest.fixture()
+def images(rng):
+    return rng.normal(size=(3, 1, 16, 16))
+
+
+class TestAttentionMaps:
+    def test_one_map_per_layer(self, network, images):
+        maps = attention_maps(network, images, task_id=0)
+        assert len(maps) == network.config.depth
+
+    def test_map_shapes_and_rows_normalized(self, network, images):
+        maps = attention_maps(network, images, task_id=0)
+        n = network.tokenizer.seq_len
+        for weights in maps:
+            assert weights.shape == (3, network.config.num_heads, n, n)
+            assert np.allclose(weights.sum(axis=-1), 1.0)
+            assert np.all(weights >= 0)
+
+    def test_maps_differ_between_tasks(self, network, images):
+        a = attention_maps(network, images, task_id=0)[0]
+        b = attention_maps(network, images, task_id=1)[0]
+        assert not np.allclose(a, b)
+
+    def test_cross_attention_context_changes_first_layer(self, network, images, rng):
+        context = rng.normal(size=(3, 1, 16, 16))
+        plain = attention_maps(network, images, task_id=0)
+        mixed = attention_maps(network, images, task_id=0, context_images=context)
+        assert not np.allclose(plain[0], mixed[0])
+
+
+class TestAttentionEntropy:
+    def test_uniform_attention_max_entropy(self):
+        n = 8
+        uniform = np.full((1, 1, n, n), 1.0 / n)
+        entropy = attention_entropy(uniform)
+        assert np.allclose(entropy, np.log(n))
+
+    def test_peaked_attention_near_zero_entropy(self):
+        n = 8
+        peaked = np.zeros((1, 1, n, n))
+        peaked[..., 0] = 1.0
+        assert np.allclose(attention_entropy(peaked), 0.0, atol=1e-8)
+
+    def test_shape(self, network, images):
+        weights = attention_maps(network, images, task_id=0)[0]
+        entropy = attention_entropy(weights)
+        assert entropy.shape == weights.shape[:-1]
+
+
+class TestTaskKeySimilarity:
+    def test_shape_and_diagonal(self, network):
+        sim = task_key_similarity(network)
+        assert sim.shape == (2, 2)
+        assert np.allclose(np.diag(sim), 1.0)
+
+    def test_symmetric_and_bounded(self, network):
+        sim = task_key_similarity(network)
+        assert np.allclose(sim, sim.T)
+        assert np.all(np.abs(sim) <= 1.0 + 1e-9)
+
+    def test_independent_inits_weakly_similar(self, network):
+        sim = task_key_similarity(network)
+        # Fresh random key projections should be nearly orthogonal.
+        assert abs(sim[0, 1]) < 0.5

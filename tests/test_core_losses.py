@@ -1,0 +1,141 @@
+"""Tests for the CDCL objective functions (Eqs. 9-23)."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, gradient_check, ops
+from repro.core import losses
+from repro.nn.functional import cross_entropy
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(13)
+
+
+class TestSupervisionAndPairLosses:
+    def test_supervision_is_cross_entropy(self, rng):
+        logits = Tensor(rng.normal(size=(4, 3)))
+        labels = np.array([0, 1, 2, 0])
+        assert np.isclose(
+            losses.supervision_loss(logits, labels).item(),
+            cross_entropy(logits, labels).item(),
+        )
+
+    def test_pair_target_loss_uses_source_labels(self, rng):
+        target_logits = Tensor(rng.normal(size=(4, 3)))
+        pair_labels = np.array([1, 1, 0, 2])
+        assert np.isclose(
+            losses.pair_target_loss(target_logits, pair_labels).item(),
+            cross_entropy(target_logits, pair_labels).item(),
+        )
+
+
+class TestDistillationLoss:
+    def test_zero_gradient_to_teacher(self, rng):
+        mixed = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        target = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        losses.distillation_loss(mixed, target).backward()
+        assert mixed.grad is None  # teacher is detached
+        assert target.grad is not None
+
+    def test_minimized_when_matching_teacher(self, rng):
+        teacher_logits = rng.normal(size=(5, 4))
+        same = losses.distillation_loss(
+            Tensor(teacher_logits), Tensor(teacher_logits.copy())
+        ).item()
+        other = losses.distillation_loss(
+            Tensor(teacher_logits), Tensor(rng.normal(size=(5, 4)) * 3)
+        ).item()
+        assert same < other
+
+    def test_gradient_check(self, rng):
+        teacher = Tensor(rng.normal(size=(3, 4)))
+        x = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        gradient_check(lambda x: losses.distillation_loss(teacher, x), [x])
+
+
+class TestBlockLoss:
+    def test_warmup_form_is_source_only(self, rng):
+        logits = Tensor(rng.normal(size=(4, 3)))
+        labels = np.array([0, 1, 2, 0])
+        assert np.isclose(
+            losses.block_loss(logits, labels).item(),
+            cross_entropy(logits, labels).item(),
+        )
+
+    def test_full_block_sums_three_terms(self, rng):
+        s = Tensor(rng.normal(size=(4, 3)))
+        t = Tensor(rng.normal(size=(4, 3)))
+        m = Tensor(rng.normal(size=(4, 3)))
+        labels = np.array([0, 1, 2, 0])
+        expected = (
+            losses.supervision_loss(s, labels).item()
+            + losses.pair_target_loss(t, labels).item()
+            + losses.distillation_loss(m, t).item()
+        )
+        assert np.isclose(losses.block_loss(s, labels, t, m).item(), expected)
+
+    def test_pair_without_mixed(self, rng):
+        s = Tensor(rng.normal(size=(2, 3)))
+        t = Tensor(rng.normal(size=(2, 3)))
+        labels = np.array([0, 1])
+        expected = (
+            losses.supervision_loss(s, labels).item()
+            + losses.pair_target_loss(t, labels).item()
+        )
+        assert np.isclose(losses.block_loss(s, labels, t).item(), expected)
+
+
+class TestRehearsalLosses:
+    def test_st_loss_decomposes(self, rng):
+        s = Tensor(rng.normal(size=(4, 6)))
+        t = Tensor(rng.normal(size=(4, 6)))
+        labels = np.array([0, 5, 2, 3])
+        expected = cross_entropy(s, labels).item() + cross_entropy(t, labels).item()
+        assert np.isclose(losses.rehearsal_st_loss(s, t, labels).item(), expected)
+
+    def test_logit_loss_zero_when_outputs_match_memory(self, rng):
+        stored_s = rng.normal(size=(4, 5))
+        stored_t = rng.normal(size=(4, 5))
+        value = losses.rehearsal_logit_loss(
+            stored_s, stored_t, Tensor(stored_s.copy()), Tensor(stored_t.copy())
+        ).item()
+        assert abs(value) < 1e-6
+
+    def test_logit_loss_positive_when_drifted(self, rng):
+        stored_s = rng.normal(size=(4, 5))
+        stored_t = rng.normal(size=(4, 5))
+        drift_s = Tensor(stored_s + rng.normal(size=(4, 5)) * 2)
+        drift_t = Tensor(stored_t + rng.normal(size=(4, 5)) * 2)
+        value = losses.rehearsal_logit_loss(stored_s, stored_t, drift_s, drift_t).item()
+        assert value > 0
+
+    def test_logit_loss_gradient_restores_memory(self, rng):
+        """Gradient descent on the logit loss pulls outputs toward stored ones."""
+        stored = rng.normal(size=(3, 4))
+        current = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        before = losses.rehearsal_logit_loss(
+            stored, stored, current, current
+        )
+        before.backward()
+        stepped = Tensor(current.data - 0.5 * current.grad, requires_grad=True)
+        after = losses.rehearsal_logit_loss(stored, stored, stepped, stepped)
+        assert after.item() < before.item()
+
+    def test_logit_loss_grad_check(self, rng):
+        stored_s = rng.normal(size=(3, 4))
+        stored_t = rng.normal(size=(3, 4))
+        s = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        t = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        gradient_check(
+            lambda s, t: losses.rehearsal_logit_loss(stored_s, stored_t, s, t), [s, t]
+        )
+
+    def test_distill_loss_is_shared_implementation(self, rng):
+        m = Tensor(rng.normal(size=(2, 3)))
+        t = Tensor(rng.normal(size=(2, 3)))
+        assert np.isclose(
+            losses.rehearsal_distill_loss(m, t).item(),
+            losses.distillation_loss(m, t).item(),
+        )

@@ -1,0 +1,152 @@
+"""Tests for the intra-task center-aware pseudo-labeling (Eqs. 17-19)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import assign_pseudo_labels, build_pair_set, compute_centroids
+from repro.nn.functional import one_hot
+
+
+def make_clusters(rng, k=3, n_per=20, d=8, spread=0.1):
+    """Well-separated Gaussian clusters with known assignments."""
+    centers = rng.normal(size=(k, d)) * 3
+    features = np.concatenate(
+        [centers[i] + spread * rng.normal(size=(n_per, d)) for i in range(k)]
+    )
+    labels = np.repeat(np.arange(k), n_per)
+    return features, labels, centers
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(21)
+
+
+class TestComputeCentroids:
+    def test_hard_probs_give_class_means(self, rng):
+        features, labels, _centers = make_clusters(rng)
+        probs = one_hot(labels, 3)
+        centroids = compute_centroids(features, probs)
+        for k in range(3):
+            assert np.allclose(centroids[k], features[labels == k].mean(axis=0))
+
+    def test_uniform_probs_give_global_mean(self, rng):
+        features = rng.normal(size=(10, 4))
+        probs = np.full((10, 2), 0.5)
+        centroids = compute_centroids(features, probs)
+        assert np.allclose(centroids[0], features.mean(axis=0))
+        assert np.allclose(centroids[0], centroids[1])
+
+    def test_zero_probability_class_gets_zero_centroid(self, rng):
+        features = rng.normal(size=(5, 4))
+        probs = np.zeros((5, 2))
+        probs[:, 0] = 1.0
+        centroids = compute_centroids(features, probs)
+        assert np.allclose(centroids[1], 0.0)
+
+    def test_mismatched_lengths_raise(self, rng):
+        with pytest.raises(ValueError):
+            compute_centroids(rng.normal(size=(5, 4)), rng.random((4, 2)))
+
+    def test_weighting_shifts_centroid_toward_confident_samples(self):
+        features = np.array([[0.0], [10.0]])
+        probs = np.array([[0.9], [0.1]])
+        centroid = compute_centroids(features, probs)[0]
+        assert centroid[0] < 5.0  # pulled toward the confident sample
+
+
+class TestAssignPseudoLabels:
+    def test_recovers_cluster_labels_euclidean(self, rng):
+        features, labels, centers = make_clusters(rng)
+        pseudo = assign_pseudo_labels(features, centers, distance="euclidean")
+        assert (pseudo == labels).mean() == 1.0
+
+    def test_recovers_cluster_labels_cosine(self, rng):
+        features, labels, centers = make_clusters(rng, spread=0.05)
+        pseudo = assign_pseudo_labels(features, centers, distance="cosine")
+        assert (pseudo == labels).mean() > 0.95
+
+    def test_unknown_distance_raises(self, rng):
+        with pytest.raises(ValueError):
+            assign_pseudo_labels(rng.normal(size=(3, 2)), rng.normal(size=(2, 2)), "manhattan")
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000), k=st.integers(2, 5))
+    def test_property_labels_in_range(self, seed, k):
+        rng = np.random.default_rng(seed)
+        features = rng.normal(size=(20, 6))
+        centroids = rng.normal(size=(k, 6))
+        pseudo = assign_pseudo_labels(features, centroids, "euclidean")
+        assert pseudo.min() >= 0 and pseudo.max() < k
+
+
+class TestBuildPairSet:
+    def test_pairs_match_labels(self, rng):
+        source_features, source_labels, _ = make_clusters(rng, k=3, n_per=10)
+        target_features, target_labels, _ = make_clusters(
+            np.random.default_rng(22), k=3, n_per=8
+        )
+        # Use ground truth as pseudo-labels: every target should pair.
+        pairs = build_pair_set(
+            source_features, source_labels, target_features, target_labels
+        )
+        assert len(pairs) == len(target_features)
+        assert np.all(source_labels[pairs.source_idx] == pairs.labels)
+        assert np.all(pairs.labels == target_labels[pairs.target_idx])
+
+    def test_pair_uses_nearest_same_class_source(self):
+        source_features = np.array([[0.0, 1.0], [0.0, -1.0], [5.0, 0.0]])
+        source_labels = np.array([0, 0, 1])
+        target_features = np.array([[0.1, 0.9]])
+        pseudo = np.array([0])
+        pairs = build_pair_set(
+            source_features, source_labels, target_features, pseudo, "euclidean"
+        )
+        assert pairs.source_idx[0] == 0  # nearest class-0 source
+
+    def test_missing_class_targets_dropped(self, rng):
+        source_features = rng.normal(size=(4, 3))
+        source_labels = np.zeros(4, dtype=int)  # only class 0 in source
+        target_features = rng.normal(size=(6, 3))
+        pseudo = np.array([0, 0, 1, 1, 1, 0])  # class 1 has no source
+        pairs = build_pair_set(source_features, source_labels, target_features, pseudo)
+        assert len(pairs) == 3
+        assert pairs.keep_ratio == 0.5
+
+    def test_empty_target(self, rng):
+        pairs = build_pair_set(
+            rng.normal(size=(3, 2)),
+            np.zeros(3, dtype=int),
+            np.empty((0, 2)),
+            np.empty(0, dtype=int),
+        )
+        assert len(pairs) == 0
+        assert pairs.keep_ratio == 0.0
+
+    def test_unknown_distance_raises(self, rng):
+        with pytest.raises(ValueError):
+            build_pair_set(
+                rng.normal(size=(2, 2)),
+                np.zeros(2, dtype=int),
+                rng.normal(size=(2, 2)),
+                np.zeros(2, dtype=int),
+                distance="hamming",
+            )
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 5000))
+    def test_property_pair_invariants(self, seed):
+        """Indices are valid, labels consistent, at most one pair per target."""
+        rng = np.random.default_rng(seed)
+        ns, nt, k = 12, 9, 3
+        source_features = rng.normal(size=(ns, 4))
+        source_labels = rng.integers(0, k, size=ns)
+        target_features = rng.normal(size=(nt, 4))
+        pseudo = rng.integers(0, k, size=nt)
+        pairs = build_pair_set(source_features, source_labels, target_features, pseudo)
+        assert len(np.unique(pairs.target_idx)) == len(pairs)
+        assert np.all(pairs.source_idx < ns)
+        assert np.all(pairs.target_idx < nt)
+        assert np.all(source_labels[pairs.source_idx] == pseudo[pairs.target_idx])

@@ -1,0 +1,126 @@
+"""Tests for dataset abstractions."""
+
+import numpy as np
+import pytest
+
+from repro.data import ArrayDataset, ConcatDataset, DataLoader, Subset, paired_batches
+
+
+def make_dataset(n=10, classes=3, seed=0):
+    rng = np.random.default_rng(seed)
+    return ArrayDataset(rng.normal(size=(n, 1, 4, 4)), rng.integers(0, classes, size=n))
+
+
+class TestArrayDataset:
+    def test_len_and_getitem(self):
+        ds = make_dataset(5)
+        assert len(ds) == 5
+        x, y = ds[0]
+        assert x.shape == (1, 4, 4)
+        assert isinstance(y, int)
+
+    def test_rejects_non_4d_images(self):
+        with pytest.raises(ValueError):
+            ArrayDataset(np.zeros((3, 4, 4)), np.zeros(3))
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ArrayDataset(np.zeros((3, 1, 4, 4)), np.zeros(2))
+
+    def test_arrays_roundtrip(self):
+        ds = make_dataset(6)
+        x, y = ds.arrays()
+        assert x.shape == (6, 1, 4, 4)
+        assert y.shape == (6,)
+
+    def test_classes_excludes_unlabeled(self):
+        ds = ArrayDataset(np.zeros((4, 1, 2, 2)), np.array([0, 1, -1, 1]))
+        assert ds.classes.tolist() == [0, 1]
+
+    def test_filter_classes(self):
+        ds = ArrayDataset(np.zeros((4, 1, 2, 2)), np.array([0, 1, 2, 1]))
+        sub = ds.filter_classes([1])
+        assert len(sub) == 2
+        assert set(sub.labels.tolist()) == {1}
+
+    def test_relabel(self):
+        ds = ArrayDataset(np.zeros((3, 1, 2, 2)), np.array([5, 7, 5]))
+        out = ds.relabel({5: 0, 7: 1})
+        assert out.labels.tolist() == [0, 1, 0]
+
+    def test_relabel_unknown_becomes_unlabeled(self):
+        ds = ArrayDataset(np.zeros((2, 1, 2, 2)), np.array([5, 9]))
+        out = ds.relabel({5: 0})
+        assert out.labels.tolist() == [0, -1]
+
+
+class TestSubsetConcat:
+    def test_subset(self):
+        ds = make_dataset(10)
+        sub = Subset(ds, [2, 4])
+        assert len(sub) == 2
+        assert np.allclose(sub[0][0], ds[2][0])
+
+    def test_concat(self):
+        a, b = make_dataset(3, seed=1), make_dataset(4, seed=2)
+        cat = ConcatDataset([a, b])
+        assert len(cat) == 7
+        assert np.allclose(cat[0][0], a[0][0])
+        assert np.allclose(cat[3][0], b[0][0])
+        assert np.allclose(cat[-1][0], b[3][0])
+
+    def test_concat_empty_raises(self):
+        with pytest.raises(ValueError):
+            ConcatDataset([])
+
+
+class TestDataLoader:
+    def test_batch_shapes(self):
+        loader = DataLoader(make_dataset(10), batch_size=4)
+        batches = list(loader)
+        assert [len(b[0]) for b in batches] == [4, 4, 2]
+        assert len(loader) == 3
+
+    def test_drop_last(self):
+        loader = DataLoader(make_dataset(10), batch_size=4, drop_last=True)
+        assert [len(b[0]) for b in loader] == [4, 4]
+        assert len(loader) == 2
+
+    def test_shuffle_deterministic_with_seed(self):
+        ds = make_dataset(20)
+        a = [y for _x, y in DataLoader(ds, batch_size=5, shuffle=True, rng=7)]
+        b = [y for _x, y in DataLoader(ds, batch_size=5, shuffle=True, rng=7)]
+        assert all(np.array_equal(x, y) for x, y in zip(a, b))
+
+    def test_shuffle_changes_order_between_epochs(self):
+        ds = make_dataset(50)
+        loader = DataLoader(ds, batch_size=50, shuffle=True, rng=0)
+        first = next(iter(loader))[1]
+        second = next(iter(loader))[1]
+        assert not np.array_equal(first, second)
+
+    def test_no_shuffle_preserves_order(self):
+        ds = make_dataset(6)
+        loader = DataLoader(ds, batch_size=6)
+        _x, y = next(iter(loader))
+        assert np.array_equal(y, ds.labels)
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            DataLoader(make_dataset(4), batch_size=0)
+
+
+class TestPairedBatches:
+    def test_cycles_shorter_loader(self):
+        source = DataLoader(make_dataset(12, seed=1), batch_size=4)
+        target = DataLoader(make_dataset(4, seed=2), batch_size=4)
+        triples = list(paired_batches(source, target))
+        assert len(triples) == 3  # driven by the longer loader
+        for xs, ys, xt in triples:
+            assert len(xs) == len(ys)
+            assert xt.shape[0] > 0
+
+    def test_target_longer(self):
+        source = DataLoader(make_dataset(4, seed=1), batch_size=4)
+        target = DataLoader(make_dataset(12, seed=2), batch_size=4)
+        assert len(list(paired_batches(source, target))) == 3

@@ -1,0 +1,76 @@
+"""Additional DataLoader / memory sampling edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.continual import RehearsalMemory
+from repro.data import ArrayDataset, DataLoader
+
+
+def make_dataset(n=5):
+    return ArrayDataset(np.zeros((n, 1, 2, 2)), np.arange(n) % 2)
+
+
+class TestLoaderEdges:
+    def test_batch_larger_than_dataset(self):
+        loader = DataLoader(make_dataset(3), batch_size=10)
+        batches = list(loader)
+        assert len(batches) == 1
+        assert len(batches[0][0]) == 3
+
+    def test_single_sample_dataset(self):
+        loader = DataLoader(make_dataset(1), batch_size=4)
+        xs, ys = next(iter(loader))
+        assert xs.shape[0] == 1
+
+    def test_drop_last_with_exact_multiple(self):
+        loader = DataLoader(make_dataset(8), batch_size=4, drop_last=True)
+        assert len(list(loader)) == 2
+
+    def test_len_matches_iteration(self):
+        for n, bs, drop in [(7, 3, False), (7, 3, True), (6, 3, False)]:
+            loader = DataLoader(make_dataset(n), batch_size=bs, drop_last=drop)
+            assert len(loader) == len(list(loader))
+
+
+class TestMemorySamplingEdges:
+    def _filled(self, capacity=6, n=4):
+        memory = RehearsalMemory(capacity)
+        memory.store_task(
+            0,
+            x_source=np.zeros((n, 1, 2, 2)),
+            x_target=np.zeros((n, 1, 2, 2)),
+            y_source=np.arange(n),
+            logits_source=np.zeros((n, 2)),
+            logits_target=np.zeros((n, 2)),
+            confidence=np.linspace(0, 1, n),
+        )
+        return memory
+
+    def test_sample_more_than_stored_replaces(self):
+        memory = self._filled(n=3)
+        batch = memory.sample(10, rng=0)
+        assert len(batch) == 10  # sampled with replacement
+
+    def test_sample_exact_count_without_replacement(self):
+        memory = self._filled(n=4)
+        batch = memory.sample(4, rng=0)
+        assert len(batch) == 4
+
+    def test_records_for_missing_task_empty(self):
+        memory = self._filled()
+        assert memory.records_for_task(5) == []
+
+    def test_capacity_one_keeps_best(self):
+        memory = RehearsalMemory(1)
+        memory.store_task(
+            0,
+            x_source=np.zeros((3, 1, 2, 2)),
+            x_target=np.zeros((3, 1, 2, 2)),
+            y_source=np.arange(3),
+            logits_source=np.zeros((3, 2)),
+            logits_target=np.zeros((3, 2)),
+            confidence=np.array([0.1, 0.9, 0.5]),
+        )
+        assert len(memory) == 1
+        assert memory.all_records()[0].confidence == 0.9

@@ -1,0 +1,177 @@
+"""Tests for the synthetic domain generators and benchmark factories."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import (
+    DIGIT_GLYPHS,
+    DigitsDomain,
+    ObjectDomain,
+    class_prototype,
+    domainnet,
+    mnist_usps,
+    office31,
+    office_home,
+    render_digit,
+    visda2017,
+)
+
+
+class TestDigitGlyphs:
+    def test_all_ten_digits_defined(self):
+        assert set(DIGIT_GLYPHS) == set(range(10))
+        for glyph in DIGIT_GLYPHS.values():
+            assert glyph.shape == (7, 5)
+
+    def test_glyphs_pairwise_distinct(self):
+        for a in range(10):
+            for b in range(a + 1, 10):
+                assert not np.array_equal(DIGIT_GLYPHS[a], DIGIT_GLYPHS[b])
+
+    def test_render_shape_and_range(self, rng):
+        img = render_digit(3, rng)
+        assert img.shape == (1, 16, 16)
+        assert img.min() >= 0.0 and img.max() <= 1.0
+
+    def test_render_jitter_varies(self):
+        rng = np.random.default_rng(0)
+        a = render_digit(5, rng)
+        b = render_digit(5, rng)
+        assert not np.allclose(a, b)
+
+
+class TestDigitsDomain:
+    def test_unknown_domain_raises(self):
+        with pytest.raises(ValueError):
+            DigitsDomain("emnist")
+
+    def test_sample_shapes_and_labels(self, rng):
+        ds = DigitsDomain("mnist").sample([3, 7], samples_per_class=5, rng=rng)
+        assert len(ds) == 10
+        assert set(ds.labels.tolist()) == {0, 1}  # relabeled
+
+    def test_sample_global_labels(self, rng):
+        ds = DigitsDomain("mnist").sample([3, 7], 2, rng=rng, relabel=False)
+        assert set(ds.labels.tolist()) == {3, 7}
+
+    def test_domains_differ(self):
+        classes = [0, 1]
+        m = DigitsDomain("mnist").sample(classes, 20, rng=0)
+        u = DigitsDomain("usps").sample(classes, 20, rng=0)
+        # Marginal statistics must differ (domain gap).
+        assert abs(m.images.mean() - u.images.mean()) > 0.01 or abs(
+            m.images.std() - u.images.std()
+        ) > 0.01
+
+    def test_zero_gap_reduces_shift(self):
+        classes = [0, 1]
+        u_full = DigitsDomain("usps", domain_gap=1.0).sample(classes, 30, rng=0)
+        u_none = DigitsDomain("usps", domain_gap=0.0).sample(classes, 30, rng=0)
+        m = DigitsDomain("mnist", domain_gap=0.0).sample(classes, 30, rng=0)
+        gap_full = abs(u_full.images.std() - m.images.std())
+        gap_none = abs(u_none.images.std() - m.images.std())
+        assert gap_none < gap_full
+
+
+class TestObjectDomain:
+    def test_prototype_deterministic(self):
+        a = class_prototype(7, benchmark="office31")
+        b = class_prototype(7, benchmark="office31")
+        assert np.allclose(a, b)
+
+    def test_prototype_distinct_per_class(self):
+        a = class_prototype(0, benchmark="x")
+        b = class_prototype(1, benchmark="x")
+        assert not np.allclose(a, b)
+
+    def test_prototype_namespaced_by_benchmark(self):
+        a = class_prototype(0, benchmark="office31")
+        b = class_prototype(0, benchmark="visda")
+        assert not np.allclose(a, b)
+
+    def test_sample_shapes(self, rng):
+        dom = ObjectDomain("amazon", benchmark="office31")
+        ds = dom.sample([0, 1, 2], samples_per_class=4, rng=rng)
+        assert ds.images.shape == (12, 3, 16, 16)
+        assert sorted(set(ds.labels.tolist())) == [0, 1, 2]
+
+    def test_domain_pipeline_deterministic(self):
+        a = ObjectDomain("amazon", benchmark="office31")
+        b = ObjectDomain("amazon", benchmark="office31")
+        da = a.sample([0], 5, rng=0).images
+        db = b.sample([0], 5, rng=0).images
+        assert np.allclose(da, db)
+
+    def test_different_domains_differ(self):
+        a = ObjectDomain("amazon", benchmark="office31").sample([0], 10, rng=0).images
+        w = ObjectDomain("webcam", benchmark="office31").sample([0], 10, rng=0).images
+        assert not np.allclose(a.mean(), w.mean(), atol=1e-3) or not np.allclose(
+            a.std(), w.std(), atol=1e-3
+        )
+
+
+class TestBenchmarkFactories:
+    def test_mnist_usps_structure(self):
+        stream = mnist_usps(rng=0, samples_per_class=3, test_samples_per_class=2)
+        assert len(stream) == 5
+        assert stream.classes_per_task == 2
+        assert stream.total_classes == 10
+        stream.validate()
+
+    def test_mnist_usps_direction_parsing(self):
+        stream = mnist_usps("usps->mnist", rng=0, samples_per_class=2, test_samples_per_class=2)
+        assert stream.source_domain == "usps"
+        with pytest.raises(ValueError):
+            mnist_usps("usps-mnist")
+
+    def test_visda_structure(self):
+        stream = visda2017(rng=0, samples_per_class=2, test_samples_per_class=2)
+        assert len(stream) == 4
+        assert stream.classes_per_task == 3
+
+    def test_office31_structure(self):
+        stream = office31("A", "D", rng=0, samples_per_class=2, test_samples_per_class=2)
+        assert len(stream) == 5
+        assert stream.classes_per_task == 6
+        assert stream.total_classes == 30
+        assert stream.source_domain == "amazon"
+
+    def test_office31_unknown_domain(self):
+        with pytest.raises(ValueError):
+            office31("A", "Z")
+
+    def test_office_home_structure(self):
+        stream = office_home("Ar", "Cl", rng=0, samples_per_class=2, test_samples_per_class=2)
+        assert len(stream) == 13
+        assert stream.classes_per_task == 5
+        assert stream.total_classes == 65
+
+    def test_domainnet_scalable(self):
+        stream = domainnet(
+            "clp", "skt", num_classes=6, classes_per_task=3,
+            samples_per_class=2, test_samples_per_class=2, rng=0,
+        )
+        assert len(stream) == 2
+        with pytest.raises(ValueError):
+            domainnet(num_classes=7, classes_per_task=3)
+
+    def test_task_classes_are_disjoint_and_ordered(self):
+        stream = visda2017(rng=0, samples_per_class=2, test_samples_per_class=2)
+        assert stream[0].classes == (0, 1, 2)
+        assert stream[1].classes == (3, 4, 5)
+        assert stream[1].class_offset == 3
+
+    def test_target_unlabeled_strips_labels(self):
+        stream = mnist_usps(rng=0, samples_per_class=2, test_samples_per_class=2)
+        unlabeled = stream[0].target_unlabeled()
+        assert np.all(unlabeled.labels == -1)
+
+    def test_same_seed_reproducible(self):
+        a = mnist_usps(rng=5, samples_per_class=3, test_samples_per_class=2)
+        b = mnist_usps(rng=5, samples_per_class=3, test_samples_per_class=2)
+        assert np.allclose(a[0].source_train.images, b[0].source_train.images)
+
+    def test_different_seed_differs(self):
+        a = mnist_usps(rng=5, samples_per_class=3, test_samples_per_class=2)
+        b = mnist_usps(rng=6, samples_per_class=3, test_samples_per_class=2)
+        assert not np.allclose(a[0].source_train.images, b[0].source_train.images)

@@ -1,0 +1,100 @@
+"""Tests for the domain-shift transform operators."""
+
+import numpy as np
+import pytest
+
+from repro.data import transforms as T
+
+
+@pytest.fixture()
+def batch(rng):
+    return rng.random((4, 3, 8, 8))
+
+
+class TestPhotometric:
+    def test_normalize(self, batch):
+        out = T.Normalize(0.5, 0.5)(batch)
+        assert np.allclose(out, (batch - 0.5) / 0.5)
+
+    def test_contrast_fixed_point(self, batch):
+        out = T.Contrast(2.0)(batch)
+        assert np.allclose(out, (batch - 0.5) * 2 + 0.5)
+        # 0.5 is invariant
+        half = np.full((1, 1, 2, 2), 0.5)
+        assert np.allclose(T.Contrast(3.0)(half), 0.5)
+
+    def test_brightness(self, batch):
+        assert np.allclose(T.Brightness(0.2)(batch), batch + 0.2)
+
+    def test_invert_involution(self, batch):
+        inv = T.Invert()
+        assert np.allclose(inv(inv(batch)), batch)
+
+    def test_gaussian_noise_changes_data_preserves_mean(self, batch, rng):
+        out = T.GaussianNoise(0.1)(batch, rng)
+        assert not np.allclose(out, batch)
+        assert abs(out.mean() - batch.mean()) < 0.02
+
+    def test_blur_preserves_mass(self, batch):
+        out = T.GaussianBlur(1.0)(batch)
+        assert np.isclose(out.sum(), batch.sum(), rtol=0.05)
+        # Blur reduces variance.
+        assert out.var() < batch.var()
+
+
+class TestStructural:
+    def test_channel_mix_identity(self, batch):
+        out = T.ChannelMix(np.eye(3))(batch)
+        assert np.allclose(out, batch)
+
+    def test_channel_mix_swap(self, batch):
+        swap = np.array([[0, 1, 0], [1, 0, 0], [0, 0, 1]], dtype=float)
+        out = T.ChannelMix(swap)(batch)
+        assert np.allclose(out[:, 0], batch[:, 1])
+        assert np.allclose(out[:, 1], batch[:, 0])
+
+    def test_channel_mix_random_near_identity_at_zero_strength(self, rng):
+        mix = T.ChannelMix.random(3, strength=0.0, rng=rng)
+        assert np.allclose(mix.matrix, np.eye(3))
+
+    def test_occlusion_zeroes_patch(self, rng):
+        batch = np.ones((2, 1, 8, 8))
+        out = T.Occlusion(size=3)(batch, rng)
+        for img in out:
+            assert (img == 0).sum() == 9
+
+    def test_occlusion_does_not_mutate_input(self, rng):
+        batch = np.ones((1, 1, 8, 8))
+        T.Occlusion(size=2)(batch, rng)
+        assert np.all(batch == 1)
+
+    def test_style_field_is_deterministic_additive(self, batch):
+        field_a = T.StyleField((3, 8, 8), strength=0.3, rng=5)
+        field_b = T.StyleField((3, 8, 8), strength=0.3, rng=5)
+        assert np.allclose(field_a.field, field_b.field)
+        out = field_a(batch)
+        assert np.allclose(out - batch, field_a.field)
+
+    def test_style_field_strength_bounds_amplitude(self):
+        field = T.StyleField((1, 8, 8), strength=0.25, rng=0)
+        assert np.abs(field.field).max() <= 0.25 + 1e-9
+
+    def test_elastic_jitter_preserves_content(self, rng):
+        batch = np.zeros((1, 1, 8, 8))
+        batch[0, 0, 4, 4] = 1.0
+        out = T.ElasticJitter(max_shift=2)(batch, rng)
+        assert out.sum() == 1.0  # rolled, not lost
+
+
+class TestCompose:
+    def test_applies_in_order(self, batch):
+        pipeline = T.Compose([T.Brightness(0.1), T.Contrast(2.0)])
+        expected = ((batch + 0.1) - 0.5) * 2 + 0.5
+        assert np.allclose(pipeline(batch), expected)
+
+    def test_empty_compose_is_identity(self, batch):
+        assert np.allclose(T.Compose([])(batch), batch)
+
+    def test_repr_lists_stages(self):
+        pipeline = T.Compose([T.Invert(), T.Brightness(0.1)])
+        assert "Invert" in repr(pipeline)

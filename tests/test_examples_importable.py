@@ -1,0 +1,45 @@
+"""Static checks on the example scripts.
+
+Examples must parse, expose a ``main`` function, carry a module
+docstring with a run command, and import only the public API.
+"""
+
+import ast
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).resolve().parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+class TestExampleStructure:
+    def test_parses(self, script):
+        ast.parse(script.read_text())
+
+    def test_has_docstring_with_run_command(self, script):
+        tree = ast.parse(script.read_text())
+        doc = ast.get_docstring(tree)
+        assert doc, f"{script.name} missing module docstring"
+        assert f"examples/{script.name}" in doc, "docstring should show the run command"
+
+    def test_defines_main_guarded(self, script):
+        text = script.read_text()
+        assert "def main(" in text
+        assert '__name__ == "__main__"' in text
+
+    def test_imports_only_public_api(self, script):
+        tree = ast.parse(script.read_text())
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module:
+                if node.module.startswith("repro"):
+                    # No private-module imports in examples.
+                    assert "._" not in node.module
+                    for alias in node.names:
+                        assert not alias.name.startswith("_"), (
+                            f"{script.name} imports private name {alias.name}"
+                        )
+
+
+def test_at_least_five_examples():
+    assert len(EXAMPLES) >= 5

@@ -1,0 +1,193 @@
+"""Smoke tests for the experiment runners (tiny profile).
+
+These verify plumbing — streams built correctly, every method wired,
+renderers produce the paper's layout — not result quality (that is the
+benchmarks' job).
+"""
+
+import numpy as np
+import pytest
+
+from repro.continual import Scenario
+from repro.core import cost_from_config, forward_cost
+from repro.experiments import (
+    ABLATION_VARIANTS,
+    TABLE1_COLUMNS,
+    TABLE2_COLUMNS,
+    build_method,
+    get_profile,
+    render_figure2,
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+    run_figure2,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+)
+
+SMOKE = get_profile("smoke")
+FAST_METHODS = ("DER", "CDCL")
+
+
+class TestProfiles:
+    def test_known_profiles(self):
+        for name in ("smoke", "scaled", "full"):
+            profile = get_profile(name)
+            assert profile.name == name
+
+    def test_unknown_profile_raises(self):
+        with pytest.raises(ValueError):
+            get_profile("huge")
+
+    def test_env_var_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "smoke")
+        assert get_profile().name == "smoke"
+
+    def test_overrides(self):
+        profile = get_profile("smoke", epochs=7, warmup_epochs=2)
+        assert profile.epochs == 7
+
+    def test_config_builders(self):
+        profile = get_profile("smoke")
+        cdcl = profile.cdcl_config()
+        assert cdcl.embed_dim == profile.cdcl_embed_dim
+        baseline = profile.baseline_config()
+        assert baseline.backbone.embed_dim == profile.baseline_embed_dim
+
+
+class TestBuildMethod:
+    @pytest.mark.parametrize(
+        "name",
+        ["CDCL", "DER", "DER++", "HAL", "MSL", "FineTune", "CDTrans-S", "CDTrans-B"],
+    )
+    def test_builds_every_method(self, name):
+        method = build_method(name, SMOKE, in_channels=1, image_size=16)
+        assert method.name.lower().replace("-", "").startswith(
+            name.lower().replace("-", "").replace("++", "")[:3]
+        )
+
+    def test_unknown_method_raises(self):
+        with pytest.raises(ValueError):
+            build_method("iCaRL", SMOKE, 1, 16)
+
+
+class TestTable1:
+    def test_smoke_run_and_render(self):
+        result = run_table1(
+            columns=("MN->US",), profile=SMOKE, methods=FAST_METHODS, include_tvt=True
+        )
+        assert "MN->US" in result.pairs
+        pair = result.pairs["MN->US"]
+        for method in FAST_METHODS:
+            assert 0.0 <= pair.acc(method, Scenario.TIL) <= 1.0
+            assert 0.0 <= pair.acc(method, Scenario.CIL) <= 1.0
+        assert Scenario.TIL in pair.tvt_acc
+        text = render_table1(result, methods=FAST_METHODS)
+        assert "Table I" in text and "CDCL (FGT)" in text and "TVT" in text
+
+    def test_all_nine_columns_known(self):
+        assert len(TABLE1_COLUMNS) == 9
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(ValueError):
+            run_table1(columns=("X->Y",), profile=SMOKE)
+
+
+class TestTable2:
+    def test_smoke_run(self):
+        result = run_table2(
+            columns=("Ar->Cl",), profile=SMOKE, methods=("CDCL",), include_tvt=False
+        )
+        assert result.pairs["Ar->Cl"].acc("CDCL", Scenario.TIL) >= 0.0
+        assert "Table II" in render_table2(result, methods=("CDCL",))
+
+    def test_twelve_pairs_defined(self):
+        assert len(TABLE2_COLUMNS) == 12
+
+    def test_unknown_pair_raises(self):
+        with pytest.raises(ValueError):
+            run_table2(columns=("Ar->Ar",), profile=SMOKE)
+
+
+class TestTable3:
+    def test_smoke_matrix(self):
+        result = run_table3(
+            domains=("clp", "skt"),
+            profile=SMOKE,
+            methods=("CDCL",),
+            num_classes=4,
+            classes_per_task=2,
+        )
+        assert ("clp", "skt") in result.pairs
+        assert ("skt", "clp") in result.pairs
+        text = render_table3(result, methods=("CDCL",))
+        assert "Table III" in text
+
+    def test_unknown_domain_raises(self):
+        with pytest.raises(ValueError):
+            run_table3(domains=("clp", "xyz"), profile=SMOKE)
+
+
+class TestTable4:
+    def test_variant_registry(self):
+        assert "full" in ABLATION_VARIANTS
+        assert len(ABLATION_VARIANTS) == 5
+
+    def test_smoke_ablation(self):
+        result = run_table4(
+            directions=("mnist->usps",), variants=("full", "C (-L_R)"), profile=SMOKE
+        )
+        acc = result.acc("full", "mnist->usps", Scenario.TIL)
+        assert 0.0 <= acc <= 1.0
+        assert "Table IV" in render_table4(result)
+
+    def test_unknown_variant_raises(self):
+        with pytest.raises(ValueError):
+            run_table4(variants=("bogus",), profile=SMOKE)
+
+
+class TestFigure2:
+    def test_series_lengths(self):
+        result = run_figure2(profile=SMOKE)
+        til = result.series[Scenario.TIL]
+        assert len(til.mean) == 4  # VisDA has 4 tasks
+        assert len(til.std) == 4
+        assert all(0.0 <= m <= 1.0 for m in til.mean)
+        text = render_figure2(result)
+        assert "Figure 2" in text
+
+
+class TestComplexityModel:
+    def test_breakdown_total(self):
+        cost = forward_cost(
+            image_pixels=256, seq_len=16, embed_dim=32,
+            tokenizer_layers=2, attention_layers=2,
+        )
+        assert cost.total == (
+            cost.tokenizer + cost.attention_scores + cost.attention_values
+            + cost.projections + cost.feedforward
+        )
+
+    def test_quadratic_in_sequence_length(self):
+        short = forward_cost(256, seq_len=8, embed_dim=32, tokenizer_layers=1, attention_layers=1)
+        long = forward_cost(256, seq_len=16, embed_dim=32, tokenizer_layers=1, attention_layers=1)
+        assert long.attention_scores == 4 * short.attention_scores
+
+    def test_quadratic_in_embed_dim(self):
+        narrow = forward_cost(256, 16, embed_dim=16, tokenizer_layers=1, attention_layers=1)
+        wide = forward_cost(256, 16, embed_dim=32, tokenizer_layers=1, attention_layers=1)
+        assert wide.projections == 4 * narrow.projections
+
+    def test_dominant_term_switches_with_regime(self):
+        long_seq = forward_cost(4096, seq_len=1024, embed_dim=16, tokenizer_layers=1, attention_layers=1)
+        assert long_seq.dominant_term() == "dn^2"
+        wide = forward_cost(256, seq_len=4, embed_dim=256, tokenizer_layers=1, attention_layers=1)
+        assert wide.dominant_term() == "nd^2"
+
+    def test_cost_from_config(self):
+        profile = get_profile("smoke")
+        cost = cost_from_config(profile.cdcl_config(), image_size=16, in_channels=1)
+        assert cost.total > 0

@@ -1,0 +1,120 @@
+"""Tests for multi-seed aggregation and result persistence."""
+
+import numpy as np
+import pytest
+
+from repro.continual import Scenario
+from repro.core import CDCLConfig, CDCLTrainer
+from repro.data.synthetic import mnist_usps
+from repro.experiments import (
+    MultiSeedResult,
+    SeedStatistics,
+    load_results,
+    markdown_table,
+    pair_result_to_dict,
+    run_multi_seed,
+    save_results,
+)
+from repro.experiments.reporting import multiseed_markdown
+
+
+def tiny_stream_factory(seed: int):
+    stream = mnist_usps(
+        "mnist->usps", samples_per_class=6, test_samples_per_class=4, rng=seed
+    )
+    stream.tasks = stream.tasks[:2]
+    return stream
+
+
+def tiny_method_factory(seed: int):
+    return CDCLTrainer(CDCLConfig.fast(epochs=2, warmup_epochs=1), 1, 16, rng=seed)
+
+
+class TestSeedStatistics:
+    def test_mean_std(self):
+        stat = SeedStatistics(values=[0.2, 0.4, 0.6])
+        assert stat.mean == pytest.approx(0.4)
+        assert stat.std == pytest.approx(np.std([0.2, 0.4, 0.6]))
+        assert stat.n == 3
+
+    def test_empty_is_nan(self):
+        stat = SeedStatistics()
+        assert np.isnan(stat.mean)
+
+    def test_repr(self):
+        assert "n=2" in repr(SeedStatistics(values=[0.1, 0.2]))
+
+
+class TestRunMultiSeed:
+    def test_aggregates_over_seeds(self):
+        result = run_multi_seed(
+            tiny_method_factory, tiny_stream_factory, seeds=[0, 1]
+        )
+        assert result.acc[Scenario.TIL].n == 2
+        assert result.acc[Scenario.CIL].n == 2
+        assert 0.0 <= result.acc[Scenario.TIL].mean <= 1.0
+        assert result.method == "CDCL"
+
+    def test_empty_seeds_raise(self):
+        with pytest.raises(ValueError):
+            run_multi_seed(tiny_method_factory, tiny_stream_factory, seeds=[])
+
+    def test_keep_runs(self):
+        result = run_multi_seed(
+            tiny_method_factory,
+            tiny_stream_factory,
+            seeds=[0],
+            scenarios=["til"],
+            keep_runs=True,
+        )
+        assert len(result.runs) == 1
+        assert Scenario.TIL in result.runs[0]
+
+    def test_summary_serializable(self):
+        result = run_multi_seed(
+            tiny_method_factory, tiny_stream_factory, seeds=[0], scenarios=["til"]
+        )
+        summary = result.summary()
+        assert summary["method"] == "CDCL"
+        assert "acc_til" in summary
+
+
+class TestReporting:
+    def test_pair_result_roundtrip(self, tmp_path):
+        from repro.experiments import get_profile, run_pair
+
+        profile = get_profile("smoke")
+        stream = tiny_stream_factory(0)
+        pair = run_pair(stream, profile, methods=("CDCL",), include_tvt=False)
+        data = pair_result_to_dict(pair)
+        path = save_results(data, tmp_path / "results.json")
+        loaded = load_results(path)
+        assert loaded["stream"] == stream.name
+        assert "CDCL" in loaded["methods"]
+        r = loaded["methods"]["CDCL"]["til"]["r_matrix"]
+        assert r[0][1] is None  # NaN encoded as null
+        assert 0.0 <= loaded["methods"]["CDCL"]["til"]["acc"] <= 1.0
+
+    def test_markdown_table_layout(self):
+        table = markdown_table({"CDCL": {"A->W": 0.5, "D->W": 0.75}})
+        lines = table.splitlines()
+        assert lines[0] == "| method | A->W | D->W |"
+        assert "| CDCL | 0.50 | 0.75 |" in table
+
+    def test_markdown_handles_nan(self):
+        table = markdown_table({"X": {"col": float("nan")}})
+        assert "-" in table.splitlines()[2]
+
+    def test_markdown_empty(self):
+        assert markdown_table({}) == ""
+
+    def test_multiseed_markdown(self):
+        result = MultiSeedResult(
+            method="CDCL",
+            stream="s",
+            seeds=(0, 1),
+            acc={Scenario.TIL: SeedStatistics(values=[0.5, 0.7])},
+            fgt={Scenario.TIL: SeedStatistics(values=[0.1, 0.2])},
+        )
+        table = multiseed_markdown([result])
+        assert "CDCL" in table and "ACC TIL" in table

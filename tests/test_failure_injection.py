@@ -1,0 +1,97 @@
+"""Failure-injection tests: degenerate data and adversarial conditions.
+
+A production library must not crash (or silently corrupt training) on
+edge-case streams: tiny tasks, constant images, empty pair sets, NaN
+gradients.
+"""
+
+import numpy as np
+import pytest
+
+from repro.continual import Scenario, TaskStream, UDATask, run_continual
+from repro.core import CDCLConfig, CDCLTrainer
+from repro.data import ArrayDataset
+
+
+def make_degenerate_task(task_id, images, labels):
+    ds = ArrayDataset(images, labels)
+    k = len(np.unique(labels[labels >= 0])) or 1
+    classes = tuple(range(task_id * k, (task_id + 1) * k))
+    return UDATask(
+        task_id=task_id,
+        classes=classes,
+        source_train=ds,
+        target_train=ds,
+        target_test=ds,
+    )
+
+
+class TestDegenerateTasks:
+    def test_tiny_task_two_samples(self):
+        rng = np.random.default_rng(0)
+        images = rng.normal(size=(2, 1, 16, 16))
+        labels = np.array([0, 1])
+        task = make_degenerate_task(0, images, labels)
+        trainer = CDCLTrainer(CDCLConfig.fast(epochs=2, warmup_epochs=1), 1, 16, rng=0)
+        trainer.observe_task(task)  # must not raise
+        assert trainer.tasks_seen == 1
+
+    def test_constant_images(self):
+        """All-identical inputs: gradients degenerate but finite."""
+        images = np.ones((8, 1, 16, 16)) * 0.5
+        labels = np.arange(8) % 2
+        task = make_degenerate_task(0, images, labels)
+        trainer = CDCLTrainer(CDCLConfig.fast(epochs=2, warmup_epochs=1), 1, 16, rng=0)
+        trainer.observe_task(task)
+        assert all(np.isfinite(l) for l in trainer.logs[0].epoch_losses)
+
+    def test_single_class_task(self):
+        images = np.random.default_rng(0).normal(size=(6, 1, 16, 16))
+        labels = np.zeros(6, dtype=int)
+        task = make_degenerate_task(0, images, labels)
+        trainer = CDCLTrainer(CDCLConfig.fast(epochs=2, warmup_epochs=1), 1, 16, rng=0)
+        trainer.observe_task(task)
+        predictions = trainer.network.predict_til(images, 0)
+        assert (predictions == 0).all()
+
+    def test_extreme_pixel_values(self):
+        rng = np.random.default_rng(0)
+        images = rng.normal(size=(8, 1, 16, 16)) * 1e3
+        labels = np.arange(8) % 2
+        task = make_degenerate_task(0, images, labels)
+        trainer = CDCLTrainer(CDCLConfig.fast(epochs=2, warmup_epochs=1), 1, 16, rng=0)
+        trainer.observe_task(task)
+        # Parameters must stay finite (grad clipping + skip-nonfinite).
+        assert all(np.isfinite(p.data).all() for p in trainer.network.parameters())
+
+
+class TestStreamMisuse:
+    def test_single_task_stream_metrics(self):
+        rng = np.random.default_rng(0)
+        images = rng.normal(size=(8, 1, 16, 16))
+        labels = np.arange(8) % 2
+        stream = TaskStream("one", "a", "b", [make_degenerate_task(0, images, labels)])
+        trainer = CDCLTrainer(CDCLConfig.fast(epochs=2, warmup_epochs=1), 1, 16, rng=0)
+        result = run_continual(trainer, stream, Scenario.TIL)
+        assert result.fgt == 0.0  # no previous task, nothing to forget
+
+    def test_wrong_channel_count_fails_loudly(self, tiny_stream):
+        trainer = CDCLTrainer(CDCLConfig.fast(), in_channels=3, image_size=16, rng=0)
+        with pytest.raises(ValueError):
+            trainer.observe_task(tiny_stream[0])  # stream is 1-channel
+
+    def test_predict_before_any_task_raises(self):
+        trainer = CDCLTrainer(CDCLConfig.fast(), 1, 16, rng=0)
+        with pytest.raises(IndexError):
+            trainer.network.predict_til(np.zeros((1, 1, 16, 16)), 0)
+
+
+class TestOptimizerResilience:
+    def test_injected_nan_gradient_does_not_corrupt(self, tiny_stream):
+        trainer = CDCLTrainer(CDCLConfig.fast(epochs=2, warmup_epochs=1), 1, 16, rng=0)
+        trainer.observe_task(tiny_stream[0])
+        param = trainer.network.parameters()[0]
+        param.grad = np.full_like(param.data, np.nan)
+        before = param.data.copy()
+        trainer.optimizer.step()
+        assert np.allclose(param.data, before)

@@ -1,0 +1,83 @@
+"""Cross-module integration tests: the qualitative claims at test scale."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import BaselineConfig, FineTune
+from repro.continual import Scenario, run_continual
+from repro.core import CDCLConfig, CDCLTrainer
+from repro.data.synthetic import mnist_usps
+from repro.theory import proxy_a_distance
+
+
+@pytest.fixture(scope="module")
+def trained_cdcl():
+    """One CDCL trained on a 2-task digit stream, shared by the class."""
+    stream = mnist_usps(
+        "mnist->usps", samples_per_class=12, test_samples_per_class=8, rng=3
+    )
+    stream.tasks = stream.tasks[:2]
+    config = CDCLConfig(embed_dim=32, depth=1, epochs=8, warmup_epochs=3, memory_size=60)
+    trainer = CDCLTrainer(config, in_channels=1, image_size=16, rng=0)
+    result = run_continual(trainer, stream, Scenario.TIL)
+    return trainer, stream, result
+
+
+class TestCDCLLearns:
+    def test_beats_chance_on_first_task(self, trained_cdcl):
+        trainer, stream, result = trained_cdcl
+        assert result.r_matrix.values[0, 0] > 0.6
+
+    def test_source_domain_mastered(self, trained_cdcl):
+        trainer, stream, _result = trained_cdcl
+        xs, ys = stream[0].source_train.arrays()
+        assert (trainer.network.predict_til(xs, 0) == ys).mean() > 0.7
+
+    def test_memory_balanced_after_two_tasks(self, trained_cdcl):
+        trainer, _stream, _result = trained_cdcl
+        per_task = [len(trainer.memory.records_for_task(t)) for t in range(2)]
+        assert per_task[0] > 0 and per_task[1] > 0
+        assert abs(per_task[0] - per_task[1]) <= max(per_task) // 2 + 1
+
+    def test_features_align_domains(self, trained_cdcl):
+        """After adaptation, source/target features of the same task are
+        less separable than the raw pixels (feature alignment)."""
+        trainer, stream, _result = trained_cdcl
+        task = stream[0]
+        xs = task.source_train.arrays()[0]
+        xt = task.target_train.arrays()[0]
+        raw_divergence = proxy_a_distance(
+            xs.reshape(len(xs), -1), xt.reshape(len(xt), -1), rng=0
+        )
+        feats_s = trainer.embed(xs, 0)
+        feats_t = trainer.embed(xt, 0)
+        feat_divergence = proxy_a_distance(feats_s, feats_t, rng=0)
+        assert feat_divergence <= raw_divergence + 0.25
+
+
+class TestStateSerialization:
+    def test_trained_network_roundtrips(self, trained_cdcl):
+        trainer, stream, _result = trained_cdcl
+        from repro.core import CDCLNetwork
+
+        clone = CDCLNetwork(trainer.config, in_channels=1, image_size=16, rng=99)
+        clone.add_task(2)
+        clone.add_task(2)
+        clone.load_state_dict(trainer.network.state_dict())
+        images, _ = stream[0].target_test.arrays()
+        assert np.array_equal(
+            clone.predict_til(images, 0), trainer.network.predict_til(images, 0)
+        )
+        assert np.array_equal(
+            clone.predict_cil(images), trainer.network.predict_cil(images)
+        )
+
+
+class TestBaselineContrast:
+    def test_finetune_runs_and_is_scored(self, tiny_stream):
+        method = FineTune(BaselineConfig.fast(epochs=6), 1, 16, rng=0)
+        result = run_continual(method, tiny_stream, Scenario.TIL)
+        # FineTune fits the *source*; we only require protocol sanity here
+        # (the benchmark suite asserts the CDCL-vs-baseline ordering).
+        assert 0.0 <= result.acc <= 1.0
+        assert result.r_matrix.values.shape == (2, 2)

@@ -1,0 +1,82 @@
+"""Tests for checkpoint serialization."""
+
+import numpy as np
+import pytest
+
+from repro.core import CDCLConfig, CDCLTrainer
+from repro.io import load_cdcl, load_module, save_cdcl, save_module
+from repro.nn import Linear, Sequential, ReLU
+
+
+class TestModuleCheckpoint:
+    def test_roundtrip(self, tmp_path):
+        model = Sequential(Linear(4, 8, rng=0), ReLU(), Linear(8, 2, rng=1))
+        path = save_module(model, tmp_path / "model.npz")
+        clone = Sequential(Linear(4, 8, rng=5), ReLU(), Linear(8, 2, rng=6))
+        load_module(clone, path)
+        x = np.random.default_rng(0).normal(size=(3, 4))
+        from repro.autograd import Tensor
+
+        assert np.allclose(model(Tensor(x)).data, clone(Tensor(x)).data)
+
+    def test_missing_file_raises(self, tmp_path):
+        model = Sequential(Linear(2, 2, rng=0))
+        with pytest.raises(FileNotFoundError):
+            load_module(model, tmp_path / "nope.npz")
+
+    def test_suffix_resolution(self, tmp_path):
+        model = Sequential(Linear(2, 2, rng=0))
+        save_module(model, tmp_path / "ckpt")
+        load_module(model, tmp_path / "ckpt")  # resolves ckpt.npz
+
+
+class TestCDCLCheckpoint:
+    @pytest.fixture()
+    def trained(self, tiny_stream):
+        trainer = CDCLTrainer(CDCLConfig.fast(), in_channels=1, image_size=16, rng=0)
+        trainer.observe_task(tiny_stream[0])
+        trainer.observe_task(tiny_stream[1])
+        return trainer
+
+    def test_roundtrip_predictions(self, trained, tiny_stream, tmp_path):
+        path = save_cdcl(trained, tmp_path / "cdcl.npz")
+        restored = load_cdcl(path)
+        images, _ = tiny_stream[0].target_test.arrays()
+        assert np.array_equal(
+            restored.network.predict_til(images, 0),
+            trained.network.predict_til(images, 0),
+        )
+        assert np.array_equal(
+            restored.network.predict_cil(images), trained.network.predict_cil(images)
+        )
+
+    def test_restored_structure(self, trained, tmp_path):
+        path = save_cdcl(trained, tmp_path / "cdcl.npz")
+        restored = load_cdcl(path)
+        assert restored.network.num_tasks == 2
+        assert restored.network.total_classes == 4
+        assert restored.config.embed_dim == trained.config.embed_dim
+
+    def test_restored_trainer_can_continue(self, trained, tiny_stream, tmp_path):
+        """A restored trainer must accept further tasks (warm restart)."""
+        path = save_cdcl(trained, tmp_path / "cdcl.npz")
+        restored = load_cdcl(path)
+        stream = tiny_stream
+        # Continue with a synthetic third task reusing task 1's data shape.
+        from repro.continual import UDATask
+
+        third = UDATask(
+            task_id=2,
+            classes=(4, 5),
+            source_train=stream[1].source_train,
+            target_train=stream[1].target_train,
+            target_test=stream[1].target_test,
+        )
+        restored.observe_task(third)
+        assert restored.network.num_tasks == 3
+
+    def test_non_cdcl_file_rejected(self, tmp_path):
+        model = Sequential(Linear(2, 2, rng=0))
+        path = save_module(model, tmp_path / "plain.npz")
+        with pytest.raises(ValueError):
+            load_cdcl(tmp_path / "plain.npz")

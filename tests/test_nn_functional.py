@@ -1,0 +1,169 @@
+"""Tests for functional losses and helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autograd import Tensor, gradient_check, ops
+from repro.nn import functional as F
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(11)
+
+
+class TestOneHot:
+    def test_basic(self):
+        out = F.one_hot(np.array([0, 2]), 3)
+        assert np.allclose(out, [[1, 0, 0], [0, 0, 1]])
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            F.one_hot(np.array([3]), 3)
+        with pytest.raises(ValueError):
+            F.one_hot(np.array([-1]), 3)
+
+    @settings(max_examples=25, deadline=None)
+    @given(n=st.integers(1, 20), k=st.integers(2, 10), seed=st.integers(0, 99))
+    def test_property_rows_sum_to_one(self, n, k, seed):
+        labels = np.random.default_rng(seed).integers(0, k, size=n)
+        out = F.one_hot(labels, k)
+        assert np.allclose(out.sum(axis=1), 1.0)
+        assert np.allclose(out.argmax(axis=1), labels)
+
+
+class TestCrossEntropy:
+    def test_matches_manual(self, rng):
+        logits = rng.normal(size=(4, 3))
+        labels = np.array([0, 1, 2, 1])
+        probs = np.exp(logits) / np.exp(logits).sum(axis=1, keepdims=True)
+        expected = -np.log(probs[np.arange(4), labels]).mean()
+        got = F.cross_entropy(Tensor(logits), labels).item()
+        assert np.isclose(got, expected)
+
+    def test_perfect_prediction_near_zero(self):
+        logits = Tensor(np.array([[100.0, 0.0], [0.0, 100.0]]))
+        assert F.cross_entropy(logits, np.array([0, 1])).item() < 1e-6
+
+    def test_reductions(self, rng):
+        logits = Tensor(rng.normal(size=(4, 3)))
+        labels = np.array([0, 1, 2, 1])
+        none = F.cross_entropy(logits, labels, reduction="none")
+        assert none.shape == (4,)
+        assert np.isclose(
+            F.cross_entropy(logits, labels, reduction="sum").item(),
+            none.data.sum(),
+        )
+        with pytest.raises(ValueError):
+            F.cross_entropy(logits, labels, reduction="bogus")
+
+    def test_gradient(self, rng):
+        labels = np.array([0, 2, 1])
+        x = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        gradient_check(lambda x: F.cross_entropy(x, labels), [x])
+
+    def test_gradient_direction_decreases_loss(self, rng):
+        logits = Tensor(rng.normal(size=(8, 5)), requires_grad=True)
+        labels = rng.integers(0, 5, size=8)
+        loss = F.cross_entropy(logits, labels)
+        loss.backward()
+        stepped = Tensor(logits.data - 0.1 * logits.grad)
+        assert F.cross_entropy(stepped, labels).item() < loss.item()
+
+
+class TestSoftCrossEntropy:
+    def test_equals_hard_ce_on_one_hot(self, rng):
+        logits = Tensor(rng.normal(size=(4, 3)))
+        labels = np.array([2, 0, 1, 1])
+        hard = F.cross_entropy(logits, labels).item()
+        soft = F.soft_cross_entropy(logits, F.one_hot(labels, 3)).item()
+        assert np.isclose(hard, soft)
+
+    def test_gradient(self, rng):
+        target = np.abs(rng.normal(size=(3, 4)))
+        target /= target.sum(axis=1, keepdims=True)
+        x = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        gradient_check(lambda x: F.soft_cross_entropy(x, target), [x])
+
+
+class TestKLDivergence:
+    def test_zero_for_identical(self, rng):
+        logits = Tensor(rng.normal(size=(4, 5)))
+        assert abs(F.kl_divergence(logits, logits).item()) < 1e-10
+
+    def test_nonnegative(self, rng):
+        for _ in range(5):
+            p = Tensor(rng.normal(size=(4, 5)))
+            q = Tensor(rng.normal(size=(4, 5)))
+            assert F.kl_divergence(p, q).item() >= -1e-10
+
+    def test_asymmetric(self, rng):
+        p = Tensor(rng.normal(size=(4, 5)) * 3)
+        q = Tensor(rng.normal(size=(4, 5)))
+        assert not np.isclose(
+            F.kl_divergence(p, q).item(), F.kl_divergence(q, p).item()
+        )
+
+
+class TestRegressionLosses:
+    def test_mse_value_and_grad(self, rng):
+        x = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        target = rng.normal(size=(3, 4))
+        expected = ((x.data - target) ** 2).mean()
+        assert np.isclose(F.mse_loss(x, target).item(), expected)
+        gradient_check(lambda x: F.mse_loss(x, target), [x])
+
+    def test_l1_value(self, rng):
+        x = Tensor(rng.normal(size=(5,)))
+        target = rng.normal(size=(5,))
+        assert np.isclose(F.l1_loss(x, target).item(), np.abs(x.data - target).mean())
+
+    def test_mse_reductions(self, rng):
+        x = Tensor(rng.normal(size=(2, 3)))
+        t = np.zeros((2, 3))
+        assert F.mse_loss(x, t, reduction="none").shape == (2, 3)
+        assert np.isclose(
+            F.mse_loss(x, t, reduction="sum").item(), (x.data**2).sum()
+        )
+
+
+class TestSimilarityHelpers:
+    def test_cosine_similarity_self_is_one(self, rng):
+        a = rng.normal(size=(4, 8))
+        sim = F.cosine_similarity(a, a)
+        assert np.allclose(np.diag(sim), 1.0)
+
+    def test_cosine_range(self, rng):
+        sim = F.cosine_similarity(rng.normal(size=(5, 8)), rng.normal(size=(6, 8)))
+        assert sim.shape == (5, 6)
+        assert np.all(sim <= 1.0 + 1e-9) and np.all(sim >= -1.0 - 1e-9)
+
+    def test_pairwise_sq_distances_matches_manual(self, rng):
+        a = rng.normal(size=(3, 4))
+        b = rng.normal(size=(5, 4))
+        expected = ((a[:, None, :] - b[None, :, :]) ** 2).sum(axis=-1)
+        assert np.allclose(F.pairwise_sq_distances(a, b), expected)
+
+    def test_pairwise_nonnegative(self, rng):
+        a = rng.normal(size=(10, 3))
+        assert np.all(F.pairwise_sq_distances(a, a) >= 0)
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        logits = np.array([[1.0, 0.0], [0.0, 1.0]])
+        assert F.accuracy(logits, np.array([0, 1])) == 1.0
+
+    def test_partial(self):
+        logits = np.array([[1.0, 0.0], [1.0, 0.0]])
+        assert F.accuracy(logits, np.array([0, 1])) == 0.5
+
+    def test_accepts_tensor(self, rng):
+        logits = Tensor(rng.normal(size=(4, 3)))
+        labels = logits.data.argmax(axis=1)
+        assert F.accuracy(logits, labels) == 1.0
+
+    def test_empty_returns_zero(self):
+        assert F.accuracy(np.zeros((0, 3)), np.zeros(0, dtype=int)) == 0.0

@@ -1,0 +1,231 @@
+"""Tests for the concrete nn layers."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, gradient_check
+from repro.nn import (
+    AvgPool2d,
+    BatchNorm1d,
+    Conv2d,
+    Dropout,
+    Embedding,
+    GELU,
+    LayerNorm,
+    LeakyReLU,
+    Linear,
+    MaxPool2d,
+    MultiHeadSelfAttention,
+    ReLU,
+    Sigmoid,
+    Softmax,
+    Tanh,
+    TransformerEncoder,
+    TransformerEncoderLayer,
+)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(3)
+
+
+class TestLinear:
+    def test_shape(self, rng):
+        layer = Linear(4, 7, rng=rng)
+        assert layer(Tensor(rng.normal(size=(5, 4)))).shape == (5, 7)
+
+    def test_no_bias(self, rng):
+        layer = Linear(4, 7, bias=False, rng=rng)
+        assert layer.bias is None
+        zero_out = layer(Tensor(np.zeros((1, 4))))
+        assert np.allclose(zero_out.data, 0.0)
+
+    def test_matches_manual_affine(self, rng):
+        layer = Linear(3, 2, rng=rng)
+        x = rng.normal(size=(4, 3))
+        expected = x @ layer.weight.data.T + layer.bias.data
+        assert np.allclose(layer(Tensor(x)).data, expected)
+
+    def test_gradients(self, rng):
+        layer = Linear(3, 2, rng=rng)
+        x = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+        gradient_check(lambda x: layer(x), [x])
+
+    def test_batched_3d_input(self, rng):
+        layer = Linear(4, 6, rng=rng)
+        assert layer(Tensor(rng.normal(size=(2, 5, 4)))).shape == (2, 5, 6)
+
+    def test_deterministic_given_seed(self):
+        a = Linear(4, 4, rng=123)
+        b = Linear(4, 4, rng=123)
+        assert np.allclose(a.weight.data, b.weight.data)
+
+
+class TestConvLayers:
+    def test_conv_module_shape(self, rng):
+        layer = Conv2d(3, 8, 3, stride=1, padding=1, rng=rng)
+        assert layer(Tensor(rng.normal(size=(2, 3, 8, 8)))).shape == (2, 8, 8, 8)
+
+    def test_conv_no_bias(self, rng):
+        layer = Conv2d(1, 2, 3, bias=False, rng=rng)
+        assert layer.bias is None
+
+    def test_pool_modules(self, rng):
+        x = Tensor(rng.normal(size=(1, 2, 8, 8)))
+        assert MaxPool2d(2)(x).shape == (1, 2, 4, 4)
+        assert AvgPool2d(4)(x).shape == (1, 2, 2, 2)
+
+
+class TestNorms:
+    def test_layernorm_normalizes(self, rng):
+        layer = LayerNorm(16)
+        out = layer(Tensor(rng.normal(size=(4, 16)) * 5 + 3)).data
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-6)
+        assert np.allclose(out.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_layernorm_grad(self, rng):
+        layer = LayerNorm(8)
+        x = Tensor(rng.normal(size=(3, 8)), requires_grad=True)
+        w = Tensor(rng.normal(size=(3, 8)))
+        gradient_check(lambda x: layer(x) * w, [x])
+
+    def test_layernorm_3d(self, rng):
+        layer = LayerNorm(8)
+        out = layer(Tensor(rng.normal(size=(2, 5, 8))))
+        assert out.shape == (2, 5, 8)
+
+    def test_batchnorm_train_vs_eval(self, rng):
+        layer = BatchNorm1d(4)
+        x = Tensor(rng.normal(size=(16, 4)) + 10.0)
+        out_train = layer(x).data
+        assert np.allclose(out_train.mean(axis=0), 0.0, atol=1e-6)
+        layer.eval()
+        out_eval = layer(x).data
+        # Eval uses running stats (only partially updated): different output.
+        assert not np.allclose(out_train, out_eval)
+
+
+class TestActivations:
+    @pytest.mark.parametrize(
+        "module,fn",
+        [
+            (ReLU(), lambda x: np.maximum(x, 0)),
+            (Tanh(), np.tanh),
+            (Sigmoid(), lambda x: 1 / (1 + np.exp(-x))),
+            (LeakyReLU(0.2), lambda x: np.where(x > 0, x, 0.2 * x)),
+        ],
+    )
+    def test_matches_numpy(self, module, fn, rng):
+        x = rng.normal(size=(3, 4))
+        assert np.allclose(module(Tensor(x)).data, fn(x))
+
+    def test_gelu_close_to_exact(self, rng):
+        from scipy.stats import norm
+
+        x = rng.normal(size=(100,))
+        approx = GELU()(Tensor(x)).data
+        exact = x * norm.cdf(x)
+        assert np.allclose(approx, exact, atol=5e-3)
+
+    def test_softmax_module(self, rng):
+        out = Softmax()(Tensor(rng.normal(size=(2, 5)))).data
+        assert np.allclose(out.sum(axis=-1), 1.0)
+
+
+class TestDropout:
+    def test_eval_is_identity(self, rng):
+        layer = Dropout(0.5, rng=rng)
+        layer.eval()
+        x = Tensor(rng.normal(size=(4, 4)))
+        assert np.allclose(layer(x).data, x.data)
+
+    def test_train_zeroes_and_scales(self):
+        layer = Dropout(0.5, rng=0)
+        x = Tensor(np.ones((100, 100)))
+        out = layer(x).data
+        zero_fraction = (out == 0).mean()
+        assert 0.4 < zero_fraction < 0.6
+        surviving = out[out != 0]
+        assert np.allclose(surviving, 2.0)
+
+    def test_p_zero_identity_in_train(self, rng):
+        layer = Dropout(0.0)
+        x = Tensor(rng.normal(size=(3, 3)))
+        assert np.allclose(layer(x).data, x.data)
+
+    def test_invalid_p_raises(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+
+class TestEmbedding:
+    def test_lookup_shape(self, rng):
+        emb = Embedding(10, 6, rng=rng)
+        out = emb(np.array([1, 2, 2]))
+        assert out.shape == (3, 6)
+        assert np.allclose(out.data[1], out.data[2])
+
+    def test_out_of_range_raises(self, rng):
+        emb = Embedding(4, 2, rng=rng)
+        with pytest.raises(IndexError):
+            emb(np.array([4]))
+
+    def test_gradient_accumulates_for_repeats(self, rng):
+        emb = Embedding(5, 3, rng=rng)
+        out = emb(np.array([1, 1]))
+        out.sum().backward()
+        assert np.allclose(emb.weight.grad[1], 2.0)
+        assert np.allclose(emb.weight.grad[0], 0.0)
+
+
+class TestAttention:
+    def test_self_attention_shape(self, rng):
+        attn = MultiHeadSelfAttention(16, 4, rng=rng)
+        out = attn(Tensor(rng.normal(size=(2, 5, 16))))
+        assert out.shape == (2, 5, 16)
+
+    def test_cross_attention_shape(self, rng):
+        attn = MultiHeadSelfAttention(16, 4, rng=rng)
+        x = Tensor(rng.normal(size=(2, 5, 16)))
+        ctx = Tensor(rng.normal(size=(2, 9, 16)))
+        assert attn(x, ctx).shape == (2, 5, 16)
+
+    def test_dim_head_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            MultiHeadSelfAttention(10, 3)
+
+    def test_attention_grad(self, rng):
+        attn = MultiHeadSelfAttention(8, 2, rng=rng)
+        x = Tensor(rng.normal(size=(1, 4, 8)), requires_grad=True)
+        w = Tensor(rng.normal(size=(1, 4, 8)))
+        gradient_check(lambda x: attn(x) * w, [x], atol=1e-3, rtol=1e-3)
+
+
+class TestTransformer:
+    def test_encoder_layer_shape(self, rng):
+        layer = TransformerEncoderLayer(16, 4, rng=rng)
+        out = layer(Tensor(rng.normal(size=(2, 6, 16))))
+        assert out.shape == (2, 6, 16)
+
+    def test_encoder_stack(self, rng):
+        enc = TransformerEncoder(16, 3, 4, rng=rng)
+        out = enc(Tensor(rng.normal(size=(2, 6, 16))))
+        assert out.shape == (2, 6, 16)
+        assert len(enc.layers) == 3
+
+    def test_encoder_backward_through_stack(self, rng):
+        enc = TransformerEncoder(8, 2, 2, rng=rng)
+        x = Tensor(rng.normal(size=(1, 4, 8)), requires_grad=True)
+        enc(x).sum().backward()
+        assert x.grad is not None
+        assert np.isfinite(x.grad).all()
+
+    def test_cross_attention_path(self, rng):
+        enc = TransformerEncoder(8, 2, 2, rng=rng)
+        x = Tensor(rng.normal(size=(1, 4, 8)))
+        ctx = Tensor(rng.normal(size=(1, 6, 8)))
+        out_self = enc(x)
+        out_cross = enc(x, ctx)
+        assert out_cross.shape == out_self.shape
+        assert not np.allclose(out_self.data, out_cross.data)

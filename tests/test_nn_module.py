@@ -1,0 +1,168 @@
+"""Tests for the Module/Parameter system and containers."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, no_grad
+from repro.nn import (
+    Linear,
+    Module,
+    ModuleDict,
+    ModuleList,
+    Parameter,
+    ReLU,
+    Sequential,
+)
+
+
+class Toy(Module):
+    def __init__(self):
+        super().__init__()
+        self.fc1 = Linear(4, 8, rng=0)
+        self.fc2 = Linear(8, 2, rng=1)
+        self.scale = Parameter(np.ones(1))
+
+    def forward(self, x):
+        return self.fc2(self.fc1(x).relu()) * self.scale
+
+
+class TestParameterDiscovery:
+    def test_named_parameters_paths(self):
+        model = Toy()
+        names = dict(model.named_parameters())
+        assert "fc1.weight" in names
+        assert "fc1.bias" in names
+        assert "fc2.weight" in names
+        assert "scale" in names
+
+    def test_parameters_count(self):
+        model = Toy()
+        # fc1 w+b, fc2 w+b, scale
+        assert len(model.parameters()) == 5
+
+    def test_num_parameters(self):
+        model = Toy()
+        expected = 4 * 8 + 8 + 8 * 2 + 2 + 1
+        assert model.num_parameters() == expected
+
+    def test_parameter_created_under_no_grad_still_trainable(self):
+        with no_grad():
+            p = Parameter(np.ones(3))
+        assert p.requires_grad
+
+    def test_attribute_error_for_unknown(self):
+        model = Toy()
+        with pytest.raises(AttributeError):
+            model.nonexistent
+
+    def test_delattr_removes_parameter(self):
+        model = Toy()
+        del model.scale
+        assert "scale" not in dict(model.named_parameters())
+
+    def test_modules_iteration(self):
+        model = Toy()
+        assert len(list(model.modules())) == 3  # self + 2 Linears
+        assert len(list(model.children())) == 2
+
+
+class TestModesAndGrads:
+    def test_train_eval_propagates(self):
+        model = Sequential(Linear(2, 2, rng=0), ReLU())
+        model.eval()
+        assert all(not m.training for m in model.modules())
+        model.train()
+        assert all(m.training for m in model.modules())
+
+    def test_zero_grad(self):
+        model = Toy()
+        out = model(Tensor(np.ones((2, 4))))
+        out.sum().backward()
+        assert any(p.grad is not None for p in model.parameters())
+        model.zero_grad()
+        assert all(p.grad is None for p in model.parameters())
+
+    def test_freeze_unfreeze(self):
+        model = Toy()
+        model.freeze()
+        assert all(not p.requires_grad for p in model.parameters())
+        model.unfreeze()
+        assert all(p.requires_grad for p in model.parameters())
+
+    def test_frozen_params_get_no_grad(self):
+        model = Toy()
+        model.fc1.freeze()
+        out = model(Tensor(np.ones((2, 4))))
+        out.sum().backward()
+        assert model.fc1.weight.grad is None
+        assert model.fc2.weight.grad is not None
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        a, b = Toy(), Toy()
+        b.load_state_dict(a.state_dict())
+        x = Tensor(np.random.default_rng(0).normal(size=(3, 4)))
+        assert np.allclose(a(x).data, b(x).data)
+
+    def test_state_dict_is_a_copy(self):
+        model = Toy()
+        state = model.state_dict()
+        state["scale"][0] = 99.0
+        assert model.scale.data[0] == 1.0
+
+    def test_strict_missing_key_raises(self):
+        model = Toy()
+        state = model.state_dict()
+        del state["scale"]
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_non_strict_ignores_extras(self):
+        model = Toy()
+        state = model.state_dict()
+        state["bogus"] = np.zeros(1)
+        model.load_state_dict(state, strict=False)
+
+    def test_shape_mismatch_raises(self):
+        model = Toy()
+        state = model.state_dict()
+        state["scale"] = np.zeros(7)
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+
+class TestContainers:
+    def test_sequential_forward_order(self):
+        model = Sequential(Linear(3, 5, rng=0), ReLU(), Linear(5, 2, rng=1))
+        out = model(Tensor(np.ones((2, 3))))
+        assert out.shape == (2, 2)
+
+    def test_sequential_indexing_and_len(self):
+        model = Sequential(ReLU(), ReLU())
+        assert len(model) == 2
+        assert isinstance(model[0], ReLU)
+
+    def test_sequential_append(self):
+        model = Sequential(ReLU())
+        model.append(ReLU())
+        assert len(model) == 2
+
+    def test_module_list(self):
+        heads = ModuleList(Linear(2, 2, rng=i) for i in range(3))
+        assert len(heads) == 3
+        assert heads[0] is not heads[1]
+        assert heads[-1] is heads[2]
+        # All parameters discovered through the container.
+        assert len(list(heads.parameters())) == 6
+
+    def test_module_dict(self):
+        d = ModuleDict({"a": ReLU()})
+        d["b"] = ReLU()
+        assert "a" in d and "b" in d
+        assert len(d) == 2
+        assert set(d.keys()) == {"a", "b"}
+
+    def test_repr_contains_children(self):
+        model = Sequential(Linear(2, 2, rng=0))
+        assert "Linear" in repr(model)

@@ -1,0 +1,198 @@
+"""Tests for optimizers and LR schedulers."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.nn import Linear, Parameter
+from repro.nn import functional as F
+from repro.optim import (
+    Adam,
+    AdamW,
+    CosineAnnealingLR,
+    LambdaLR,
+    SGD,
+    StepLR,
+    WarmupCosineSchedule,
+    clip_grad_norm,
+)
+
+
+def quadratic_loss(p: Parameter) -> Tensor:
+    """Convex loss with minimum at p = [1, 2, 3]."""
+    target = Tensor(np.array([1.0, 2.0, 3.0]))
+    diff = p - target
+    return (diff * diff).sum()
+
+
+def run_steps(optimizer, param, steps=200):
+    for _ in range(steps):
+        optimizer.zero_grad()
+        loss = quadratic_loss(param)
+        loss.backward()
+        optimizer.step()
+    return quadratic_loss(param).item()
+
+
+class TestOptimizersConverge:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda p: SGD([p], lr=0.05),
+            lambda p: SGD([p], lr=0.02, momentum=0.9),
+            lambda p: SGD([p], lr=0.02, momentum=0.9, nesterov=True),
+            lambda p: Adam([p], lr=0.1),
+            lambda p: AdamW([p], lr=0.1, weight_decay=0.0),
+        ],
+    )
+    def test_reaches_minimum(self, factory):
+        param = Parameter(np.zeros(3))
+        final = run_steps(factory(param), param)
+        assert final < 1e-3
+
+    def test_weight_decay_shrinks_solution(self):
+        free = Parameter(np.zeros(3))
+        run_steps(AdamW([free], lr=0.1, weight_decay=0.0), free)
+        decayed = Parameter(np.zeros(3))
+        run_steps(AdamW([decayed], lr=0.1, weight_decay=0.1), decayed)
+        assert np.linalg.norm(decayed.data) < np.linalg.norm(free.data)
+
+
+class TestOptimizerMechanics:
+    def test_empty_params_raises(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_nonpositive_lr_raises(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], lr=0.0)
+
+    def test_invalid_betas_raise(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], betas=(1.0, 0.9))
+        with pytest.raises(ValueError):
+            AdamW([Parameter(np.zeros(1))], betas=(0.9, 1.5))
+
+    def test_nesterov_without_momentum_raises(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], momentum=0.0, nesterov=True)
+
+    def test_params_without_grad_untouched(self):
+        p = Parameter(np.ones(2))
+        opt = SGD([p], lr=0.5)
+        opt.step()
+        assert np.allclose(p.data, 1.0)
+
+    def test_frozen_param_untouched(self):
+        p = Parameter(np.ones(2))
+        p.grad = np.ones(2)
+        p.requires_grad = False
+        SGD([p], lr=0.5).step()
+        assert np.allclose(p.data, 1.0)
+
+    def test_nonfinite_grad_skipped(self):
+        p = Parameter(np.ones(2))
+        p.grad = np.array([np.nan, 1.0])
+        SGD([p], lr=0.5).step()
+        assert np.allclose(p.data, 1.0)
+
+    def test_add_param_group_dedupes(self):
+        p1, p2 = Parameter(np.zeros(1)), Parameter(np.zeros(1))
+        opt = SGD([p1], lr=0.1)
+        opt.add_param_group([p1, p2])
+        assert len(opt.params) == 2
+
+    def test_added_params_are_updated(self):
+        p1 = Parameter(np.zeros(3))
+        opt = Adam([p1], lr=0.1)
+        p2 = Parameter(np.zeros(3))
+        opt.add_param_group([p2])
+        final = run_steps(opt, p2, steps=200)
+        assert final < 1e-3
+
+
+class TestClipGradNorm:
+    def test_clips_to_max(self):
+        p = Parameter(np.zeros(4))
+        p.grad = np.ones(4) * 10  # norm 20
+        pre = clip_grad_norm([p], max_norm=1.0)
+        assert np.isclose(pre, 20.0)
+        assert np.isclose(np.linalg.norm(p.grad), 1.0)
+
+    def test_no_clip_below_max(self):
+        p = Parameter(np.zeros(4))
+        p.grad = np.ones(4) * 0.1
+        clip_grad_norm([p], max_norm=10.0)
+        assert np.allclose(p.grad, 0.1)
+
+    def test_empty_grads(self):
+        p = Parameter(np.zeros(4))
+        assert clip_grad_norm([p], 1.0) == 0.0
+
+
+class TestSchedulers:
+    def _opt(self, lr=1.0):
+        return SGD([Parameter(np.zeros(1))], lr=lr)
+
+    def test_lambda_lr(self):
+        opt = self._opt(2.0)
+        sched = LambdaLR(opt, lambda e: 1.0 / (1 + e))
+        sched.step()
+        assert np.isclose(opt.lr, 1.0)
+        sched.step()
+        assert np.isclose(opt.lr, 2.0 / 3.0)
+
+    def test_step_lr(self):
+        opt = self._opt(1.0)
+        sched = StepLR(opt, step_size=2, gamma=0.1)
+        lrs = [sched.step() for _ in range(4)]
+        assert np.allclose(lrs, [1.0, 0.1, 0.1, 0.01])
+
+    def test_cosine_annealing_endpoints(self):
+        opt = self._opt(1.0)
+        sched = CosineAnnealingLR(opt, t_max=10, eta_min=0.1)
+        values = [sched.step() for _ in range(10)]
+        assert values[0] < 1.0
+        assert np.isclose(values[-1], 0.1)
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_warmup_cosine_shape(self):
+        opt = self._opt()
+        sched = WarmupCosineSchedule(
+            opt, warmup_epochs=5, total_epochs=20, warmup_lr=1e-5, peak_lr=5e-5, min_lr=1e-6
+        )
+        assert np.isclose(opt.lr, 1e-5)  # starts at warmup lr
+        values = [sched.step() for _ in range(20)]
+        peak_idx = int(np.argmax(values))
+        assert peak_idx == 4  # end of warm-up
+        assert np.isclose(values[peak_idx], 5e-5)
+        assert np.isclose(values[-1], 1e-6)
+        # Monotone up during warmup, monotone down after.
+        assert all(a <= b for a, b in zip(values[:peak_idx], values[1 : peak_idx + 1]))
+        assert all(a >= b for a, b in zip(values[peak_idx:], values[peak_idx + 1 :]))
+
+    def test_warmup_cosine_validation(self):
+        with pytest.raises(ValueError):
+            WarmupCosineSchedule(self._opt(), warmup_epochs=10, total_epochs=10)
+
+    def test_invalid_scheduler_args(self):
+        with pytest.raises(ValueError):
+            StepLR(self._opt(), step_size=0)
+        with pytest.raises(ValueError):
+            CosineAnnealingLR(self._opt(), t_max=0)
+
+
+class TestTrainingIntegration:
+    def test_linear_regression_adamw(self):
+        rng = np.random.default_rng(0)
+        true_w = rng.normal(size=(3, 1))
+        x = rng.normal(size=(64, 3))
+        y = x @ true_w
+        model = Linear(3, 1, rng=rng)
+        opt = AdamW(model.parameters(), lr=0.05, weight_decay=0.0)
+        for _ in range(300):
+            opt.zero_grad()
+            loss = F.mse_loss(model(Tensor(x)), y)
+            loss.backward()
+            opt.step()
+        assert F.mse_loss(model(Tensor(x)), y).item() < 1e-3

@@ -1,0 +1,129 @@
+"""Tests for the divergence estimators and error bounds (Section IV-E)."""
+
+import numpy as np
+import pytest
+
+from repro.theory import (
+    ContinualBound,
+    TaskBoundTerms,
+    continual_bound,
+    feature_domain_gap,
+    kl_divergence_discrete,
+    proxy_a_distance,
+    single_task_bound,
+)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(17)
+
+
+class TestProxyADistance:
+    def test_identical_distributions_near_zero(self, rng):
+        a = rng.normal(size=(200, 8))
+        b = rng.normal(size=(200, 8))
+        assert proxy_a_distance(a, b, rng=0) < 0.6
+
+    def test_separated_distributions_near_two(self, rng):
+        a = rng.normal(size=(200, 8))
+        b = rng.normal(size=(200, 8)) + 10.0
+        assert proxy_a_distance(a, b, rng=0) > 1.5
+
+    def test_monotone_in_shift(self, rng):
+        a = rng.normal(size=(300, 4))
+        small = proxy_a_distance(a, rng.normal(size=(300, 4)) + 0.5, rng=0)
+        large = proxy_a_distance(a, rng.normal(size=(300, 4)) + 5.0, rng=0)
+        assert large >= small
+
+    def test_range(self, rng):
+        for shift in (0.0, 1.0, 100.0):
+            d = proxy_a_distance(
+                rng.normal(size=(100, 4)), rng.normal(size=(100, 4)) + shift, rng=0
+            )
+            assert 0.0 <= d <= 2.0
+
+    def test_requires_2d(self, rng):
+        with pytest.raises(ValueError):
+            proxy_a_distance(rng.normal(size=(10,)), rng.normal(size=(10,)))
+
+
+class TestKLDiscrete:
+    def test_zero_for_identical(self):
+        p = np.array([0.25, 0.25, 0.5])
+        assert kl_divergence_discrete(p, p) == pytest.approx(0.0, abs=1e-10)
+
+    def test_positive_for_different(self):
+        assert kl_divergence_discrete(np.array([0.9, 0.1]), np.array([0.5, 0.5])) > 0
+
+    def test_normalizes_inputs(self):
+        # Counts instead of probabilities are fine.
+        a = kl_divergence_discrete(np.array([9.0, 1.0]), np.array([5.0, 5.0]))
+        b = kl_divergence_discrete(np.array([0.9, 0.1]), np.array([0.5, 0.5]))
+        assert a == pytest.approx(b)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            kl_divergence_discrete(np.ones(2), np.ones(3))
+
+    def test_zero_entries_in_p_allowed(self):
+        value = kl_divergence_discrete(np.array([1.0, 0.0]), np.array([0.5, 0.5]))
+        assert np.isfinite(value)
+
+
+class TestFeatureDomainGap:
+    def test_zero_for_same_sample(self, rng):
+        a = rng.normal(size=(100, 5))
+        gap = feature_domain_gap(a, a)
+        assert gap["mean_gap"] == 0.0
+        assert gap["cov_gap"] == 0.0
+
+    def test_detects_mean_shift(self, rng):
+        a = rng.normal(size=(100, 5))
+        b = a + 3.0
+        gap = feature_domain_gap(a, b)
+        assert gap["mean_gap"] > 1.0
+
+
+class TestBounds:
+    def test_task_terms(self):
+        terms = TaskBoundTerms(0, source_error=0.1, target_error=0.4, divergence=0.5)
+        assert terms.bound == pytest.approx(0.6)
+        assert terms.slack == pytest.approx(0.2)
+
+    def test_single_task_bound_measures_divergence(self, rng):
+        source = rng.normal(size=(150, 6))
+        target = rng.normal(size=(150, 6)) + 4.0
+        terms = single_task_bound(source, 0.05, target, 0.5, rng=0)
+        assert terms.divergence > 1.0
+        assert terms.bound >= terms.source_error
+
+    def test_bound_holds_on_separable_domains(self, rng):
+        """When divergence is large, the bound trivially dominates."""
+        source = rng.normal(size=(150, 6))
+        target = rng.normal(size=(150, 6)) + 4.0
+        terms = single_task_bound(source, 0.05, target, 0.6, rng=0)
+        assert terms.target_error <= terms.bound + 1e-9
+
+    def test_continual_bound_assembly(self):
+        per_task = [
+            TaskBoundTerms(0, 0.1, 0.3, 0.5),
+            TaskBoundTerms(1, 0.2, 0.4, 0.6),
+        ]
+        memory = [np.array([0.5, 0.5])]
+        raw = [np.array([0.9, 0.1])]
+        bound = continual_bound(per_task, memory, raw)
+        assert bound.total_target_error == pytest.approx(0.7)
+        expected = (0.1 + 0.5) + (0.2 + 0.6) + kl_divergence_discrete(memory[0], raw[0])
+        assert bound.bound == pytest.approx(expected)
+        assert bound.holds
+
+    def test_continual_bound_alignment_check(self):
+        with pytest.raises(ValueError):
+            continual_bound([], [np.ones(2)], [])
+
+    def test_balanced_memory_adds_no_kl(self):
+        per_task = [TaskBoundTerms(0, 0.1, 0.2, 0.3)]
+        dist = np.array([0.5, 0.5])
+        bound = continual_bound(per_task, [dist], [dist])
+        assert bound.kl_terms[0] == pytest.approx(0.0, abs=1e-10)

@@ -1,0 +1,82 @@
+"""Property-based tests for the bound algebra (Theorems 1-3)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.theory import ContinualBound, TaskBoundTerms, continual_bound
+
+errors = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+divergences = st.floats(min_value=0.0, max_value=2.0, allow_nan=False)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    source_error=errors,
+    target_error=errors,
+    divergence=divergences,
+)
+def test_property_bound_terms_consistency(source_error, target_error, divergence):
+    """bound = eps_S + lambda; slack = bound - eps_T; both follow directly."""
+    terms = TaskBoundTerms(0, source_error, target_error, divergence)
+    assert terms.bound == source_error + divergence
+    assert np.isclose(terms.slack, terms.bound - target_error)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n_tasks=st.integers(1, 5),
+    seed=st.integers(0, 10_000),
+)
+def test_property_continual_bound_additivity(n_tasks, seed):
+    """The Theorem 3 RHS is exactly the sum of its parts."""
+    rng = np.random.default_rng(seed)
+    per_task = [
+        TaskBoundTerms(i, rng.random(), rng.random(), 2 * rng.random())
+        for i in range(n_tasks)
+    ]
+    k = 3
+    memory, raw = [], []
+    for _ in range(n_tasks - 1):
+        memory.append(rng.random(k) + 0.01)
+        raw.append(rng.random(k) + 0.01)
+    bound = continual_bound(per_task, memory, raw)
+    manual_rhs = sum(t.source_error + t.divergence for t in per_task) + sum(
+        bound.kl_terms
+    )
+    assert np.isclose(bound.bound, manual_rhs)
+    assert np.isclose(
+        bound.total_target_error, sum(t.target_error for t in per_task)
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n_tasks=st.integers(1, 5),
+    seed=st.integers(0, 10_000),
+)
+def test_property_kl_terms_nonnegative(n_tasks, seed):
+    """KL divergence terms are always >= 0 (Gibbs' inequality)."""
+    rng = np.random.default_rng(seed)
+    per_task = [TaskBoundTerms(i, 0.1, 0.1, 0.1) for i in range(n_tasks)]
+    memory = [rng.random(4) + 0.01 for _ in range(n_tasks - 1)]
+    raw = [rng.random(4) + 0.01 for _ in range(n_tasks - 1)]
+    bound = continual_bound(per_task, memory, raw)
+    assert all(k >= -1e-12 for k in bound.kl_terms)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_property_bound_monotone_in_divergence(seed):
+    """Increasing any lambda_i can only loosen (raise) the bound."""
+    rng = np.random.default_rng(seed)
+    base_div = float(rng.random())
+    low = ContinualBound(
+        per_task=[TaskBoundTerms(0, 0.2, 0.5, base_div)], kl_terms=[]
+    )
+    high = ContinualBound(
+        per_task=[TaskBoundTerms(0, 0.2, 0.5, base_div + 0.5)], kl_terms=[]
+    )
+    assert high.bound >= low.bound
+    # holds() can only flip from False to True as the bound loosens.
+    assert (not low.holds) or high.holds

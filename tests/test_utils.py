@@ -1,0 +1,59 @@
+"""Tests for RNG utilities and the package surface."""
+
+import numpy as np
+
+import repro
+from repro.utils import global_rng, resolve_rng, set_seed, spawn_rng
+
+
+class TestRngManagement:
+    def test_set_seed_reproducible(self):
+        set_seed(42)
+        a = global_rng().random(5)
+        set_seed(42)
+        b = global_rng().random(5)
+        assert np.allclose(a, b)
+
+    def test_resolve_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert resolve_rng(gen) is gen
+
+    def test_resolve_int_seeds(self):
+        a = resolve_rng(7).random(3)
+        b = resolve_rng(7).random(3)
+        assert np.allclose(a, b)
+
+    def test_resolve_none_is_global(self):
+        set_seed(1)
+        assert resolve_rng(None) is global_rng()
+
+    def test_spawn_produces_independent_streams(self):
+        base = np.random.default_rng(0)
+        child_a = spawn_rng(base)
+        child_b = spawn_rng(base)
+        assert not np.allclose(child_a.random(5), child_b.random(5))
+
+    def test_spawn_deterministic_given_parent_state(self):
+        a = spawn_rng(np.random.default_rng(3)).random(4)
+        b = spawn_rng(np.random.default_rng(3)).random(4)
+        assert np.allclose(a, b)
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_top_level_exports(self):
+        assert callable(repro.set_seed)
+
+    def test_subpackages_importable(self):
+        import repro.autograd
+        import repro.baselines
+        import repro.continual
+        import repro.core
+        import repro.data
+        import repro.experiments
+        import repro.io
+        import repro.nn
+        import repro.optim
+        import repro.theory
