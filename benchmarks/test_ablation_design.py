@@ -22,10 +22,9 @@ def _run_variant(**config_overrides) -> dict:
         "mnist->usps", samples_per_class=15, test_samples_per_class=10, rng=0
     )
     stream.tasks = stream.tasks[:3]
-    config = CDCLConfig(
-        embed_dim=32, depth=1, epochs=10, warmup_epochs=4, memory_size=100,
-        **config_overrides,
-    )
+    base = dict(embed_dim=32, depth=1, epochs=10, warmup_epochs=4, memory_size=100)
+    base.update(config_overrides)
+    config = CDCLConfig(**base)
     trainer = CDCLTrainer(config, in_channels=1, image_size=16, rng=0)
     runs = run_continual_multi(trainer, stream, [Scenario.TIL, Scenario.CIL])
     return {

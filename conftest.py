@@ -1,0 +1,54 @@
+"""Repo-level pytest configuration.
+
+Applies the ``benchmark`` marker to everything under ``benchmarks/``
+(they are full experiment reproductions, minutes each at the default
+profile) and the ``smoke`` marker to everything under ``tests/``, so
+the fast suite can be selected with ``-m "not benchmark"`` or
+``-m smoke``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+_ROOT = Path(__file__).resolve().parent
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_engine_cache(tmp_path_factory):
+    """Point the engine's result cache at a per-session temp directory.
+
+    Tests and benchmarks must never read stale results from (or leak
+    results into) the user-level ``~/.cache/repro-engine`` — a cached
+    cell from an older code version would silently mask regressions in
+    the qualitative benchmark assertions.
+    """
+    previous = {
+        name: os.environ.get(name) for name in ("REPRO_CACHE_DIR", "REPRO_NO_CACHE")
+    }
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("engine-cache"))
+    # An exported REPRO_NO_CACHE would make the cache-behavior tests
+    # spuriously fail; the suite always runs with caching available.
+    os.environ.pop("REPRO_NO_CACHE", None)
+    yield
+    for name, value in previous.items():
+        if value is None:
+            os.environ.pop(name, None)
+        else:
+            os.environ[name] = value
+
+
+def pytest_collection_modifyitems(config, items):
+    for item in items:
+        try:
+            relative = Path(str(item.fspath)).resolve().relative_to(_ROOT)
+        except ValueError:
+            continue
+        top = relative.parts[0] if relative.parts else ""
+        if top == "benchmarks":
+            item.add_marker("benchmark")
+        elif top == "tests":
+            item.add_marker("smoke")

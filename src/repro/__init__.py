@@ -10,7 +10,10 @@ Layers (bottom-up):
 * :mod:`repro.core` — **CDCL**, the paper's method;
 * :mod:`repro.baselines` — DER, DER++, HAL, MSL, CDTrans, TVT;
 * :mod:`repro.theory` — divergence estimates and error bounds;
-* :mod:`repro.experiments` — runners for every table and figure.
+* :mod:`repro.engine` — method/scenario registries, cached run cells,
+  parallel multi-seed execution;
+* :mod:`repro.experiments` — every table and figure as a declarative
+  spec over the engine, plus the CLI.
 
 Quickstart::
 

@@ -22,11 +22,23 @@ from repro.continual.method import ContinualMethod
 from repro.continual.scenario import Scenario
 from repro.continual.stream import UDATask
 from repro.nn import Linear, ModuleList
-from repro.nn.functional import cross_entropy
+from repro.nn.functional import chunked_apply, cross_entropy
 from repro.optim import Adam, clip_grad_norm
 from repro.utils import resolve_rng, spawn_rng
 
-__all__ = ["BaselineConfig", "BaselineTrainer"]
+__all__ = ["BaselineConfig", "BaselineTrainer", "chunked_head_logits"]
+
+
+def chunked_head_logits(backbone, head, images: np.ndarray, batch_size: int) -> np.ndarray:
+    """``head(backbone(images))`` for a full array, chunked under no_grad.
+
+    The shared evaluation idiom for every single-head method (CDTrans,
+    TVT): one memory-bounded pass over the test set, returning the raw
+    logit matrix.
+    """
+    return chunked_apply(
+        lambda x: head(backbone(x)), images, batch_size, head.out_features
+    )
 
 
 @dataclass
@@ -120,6 +132,30 @@ class BaselineTrainer(ContinualMethod):
         with no_grad():
             logits = self.cil_logits(self.backbone(images))
         return logits.data.argmax(axis=-1)
+
+    def predict_multi(self, images, task_id, scenarios) -> dict[Scenario, np.ndarray]:
+        """All scenarios from one chunked backbone forward.
+
+        The backbone features are protocol-independent (only the head
+        differs between TIL and CIL), so the expensive encoder pass
+        runs once per test set instead of once per scenario.
+        """
+        out: dict[Scenario, np.ndarray] = {}
+        with no_grad():
+            feats = Tensor(self._embed_eval(images))
+            for scenario in scenarios:
+                if scenario is Scenario.CIL:
+                    out[scenario] = self.cil_logits(feats).data.argmax(axis=-1)
+                else:
+                    tid = task_id if (scenario is Scenario.TIL and task_id is not None) else self.tasks_seen - 1
+                    out[scenario] = self.til_logits(feats, tid).data.argmax(axis=-1)
+        return out
+
+    def _embed_eval(self, images: np.ndarray) -> np.ndarray:
+        """Backbone features for a full array, chunked under no_grad."""
+        return chunked_apply(
+            self.backbone, images, self.config.batch_size, self.backbone.embed_dim
+        )
 
     def observe_task(self, task: UDATask) -> None:
         self._add_heads(task.num_classes)

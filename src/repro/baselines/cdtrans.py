@@ -27,6 +27,8 @@ import numpy as np
 
 from repro.autograd import Tensor, no_grad, ops
 from repro.baselines.backbone import BackboneConfig, CompactTransformer
+from repro.baselines.base import chunked_head_logits
+from repro.nn.functional import chunked_apply
 from repro.continual.method import ContinualMethod
 from repro.continual.scenario import Scenario
 from repro.continual.stream import UDATask
@@ -142,6 +144,20 @@ class CDTrans(ContinualMethod):
         offset = self._total_classes - self._num_classes
         return local + offset
 
+    def predict_multi(self, images, task_id, scenarios) -> dict[Scenario, np.ndarray]:
+        """All scenarios from one chunked logits forward.
+
+        The single shared head answers every protocol; CIL only shifts
+        its local argmax to the latest task's global offset.
+        """
+        logits = chunked_head_logits(self.backbone, self.head, images, self.batch_size)
+        local = logits.argmax(axis=-1)
+        offset = self._total_classes - self._num_classes
+        return {
+            scenario: local + offset if scenario is Scenario.CIL else local
+            for scenario in scenarios
+        }
+
     # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------
@@ -150,19 +166,17 @@ class CDTrans(ContinualMethod):
         return [order[i : i + self.batch_size] for i in range(0, n, self.batch_size)]
 
     def _embed(self, images: np.ndarray) -> np.ndarray:
-        chunks = []
-        with no_grad():
-            for start in range(0, len(images), self.batch_size):
-                chunks.append(self.backbone(images[start : start + self.batch_size]).data)
-        return np.concatenate(chunks)
+        return chunked_apply(
+            self.backbone, images, self.batch_size, self.backbone.embed_dim
+        )
 
     def _probs(self, images: np.ndarray) -> np.ndarray:
-        chunks = []
-        with no_grad():
-            for start in range(0, len(images), self.batch_size):
-                logits = self.head(self.backbone(images[start : start + self.batch_size]))
-                chunks.append(ops.softmax(logits, axis=-1).data)
-        return np.concatenate(chunks)
+        return chunked_apply(
+            lambda x: ops.softmax(self.head(self.backbone(x)), axis=-1),
+            images,
+            self.batch_size,
+            self.head.out_features,
+        )
 
     def _step(self, loss: Tensor) -> None:
         self.optimizer.zero_grad()

@@ -21,6 +21,8 @@ import numpy as np
 
 from repro.autograd import Tensor, no_grad, ops
 from repro.baselines.backbone import BackboneConfig, CompactTransformer
+from repro.baselines.base import chunked_head_logits
+from repro.nn.functional import chunked_apply
 from repro.continual.method import ContinualMethod
 from repro.continual.scenario import Scenario
 from repro.continual.stream import TaskStream, UDATask
@@ -136,6 +138,24 @@ class TVT(ContinualMethod):
             logits = self.head(self.backbone(images)).data
         return logits.argmax(axis=-1)
 
+    def predict_multi(self, images, task_id, scenarios) -> dict[Scenario, np.ndarray]:
+        """All scenarios from one chunked logits forward.
+
+        TIL slices the task's block out of the global logits; CIL/DIL
+        take the global argmax — same logits either way, so the network
+        runs once per test set.
+        """
+        self._require_fitted()
+        logits = chunked_head_logits(self.backbone, self.head, images, self.batch_size)
+        out: dict[Scenario, np.ndarray] = {}
+        for scenario in scenarios:
+            if scenario is Scenario.TIL and task_id is not None:
+                k = self._classes_per_task
+                out[scenario] = logits[:, task_id * k : (task_id + 1) * k].argmax(axis=-1)
+            else:
+                out[scenario] = logits.argmax(axis=-1)
+        return out
+
     # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------
@@ -157,19 +177,17 @@ class TVT(ContinualMethod):
         return [order[i : i + self.batch_size] for i in range(0, n, self.batch_size)]
 
     def _embed(self, images: np.ndarray) -> np.ndarray:
-        chunks = []
-        with no_grad():
-            for start in range(0, len(images), self.batch_size):
-                chunks.append(self.backbone(images[start : start + self.batch_size]).data)
-        return np.concatenate(chunks)
+        return chunked_apply(
+            self.backbone, images, self.batch_size, self.backbone.embed_dim
+        )
 
     def _probs(self, images: np.ndarray) -> np.ndarray:
-        chunks = []
-        with no_grad():
-            for start in range(0, len(images), self.batch_size):
-                logits = self.head(self.backbone(images[start : start + self.batch_size]))
-                chunks.append(ops.softmax(logits, axis=-1).data)
-        return np.concatenate(chunks)
+        return chunked_apply(
+            lambda x: ops.softmax(self.head(self.backbone(x)), axis=-1),
+            images,
+            self.batch_size,
+            self.head.out_features,
+        )
 
     def _step(self, loss: Tensor) -> None:
         self.optimizer.zero_grad()

@@ -14,6 +14,7 @@ from repro.continual.method import ContinualMethod
 from repro.continual.evaluator import (
     ContinualResult,
     evaluate_task,
+    evaluate_task_multi,
     run_continual,
     run_continual_multi,
 )
@@ -33,6 +34,7 @@ __all__ = [
     "ContinualMethod",
     "ContinualResult",
     "evaluate_task",
+    "evaluate_task_multi",
     "run_continual",
     "run_continual_multi",
 ]

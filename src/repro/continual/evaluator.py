@@ -17,7 +17,13 @@ from repro.continual.method import ContinualMethod
 from repro.continual.scenario import Scenario
 from repro.continual.stream import TaskStream, UDATask
 
-__all__ = ["ContinualResult", "evaluate_task", "run_continual", "run_continual_multi"]
+__all__ = [
+    "ContinualResult",
+    "evaluate_task",
+    "evaluate_task_multi",
+    "run_continual",
+    "run_continual_multi",
+]
 
 
 @dataclass
@@ -50,24 +56,41 @@ class ContinualResult:
         }
 
 
+def _scenario_accuracy(
+    task: UDATask, scenario: Scenario, predictions: np.ndarray, labels: np.ndarray
+) -> float:
+    if scenario is Scenario.CIL:
+        # CIL: predictions and labels compared in the global space.
+        return float((np.asarray(predictions) == labels + task.class_offset).mean())
+    # TIL: the task's own label space.  DIL: the label space is shared
+    # across tasks and the method answered with its most-recent head,
+    # still in the task-local space.
+    return float((np.asarray(predictions) == labels).mean())
+
+
 def evaluate_task(
     method: ContinualMethod, task: UDATask, scenario: Scenario
 ) -> float:
     """Accuracy of ``method`` on one task's target test set."""
+    return evaluate_task_multi(method, task, [scenario])[scenario]
+
+
+def evaluate_task_multi(
+    method: ContinualMethod, task: UDATask, scenarios: list[Scenario]
+) -> dict[Scenario, float]:
+    """Accuracy under several scenarios from one batched prediction pass.
+
+    Delegates to :meth:`ContinualMethod.predict_multi`, which shares the
+    backbone forward across protocols wherever the architecture allows —
+    the whole test set is scored in one ``no_grad()`` chunked pass per
+    task instead of one full forward per (scenario, task) cell.
+    """
     images, labels = task.target_test.arrays()
-    if scenario is Scenario.TIL:
-        predictions = method.predict(images, task.task_id, scenario)
-        return float((np.asarray(predictions) == labels).mean())
-    if scenario is Scenario.DIL:
-        # Domain-incremental: the label space is shared across tasks, no
-        # task identity at test time — the method answers with its
-        # single most-recent head (latest task parameters).
-        predictions = method.predict(images, method.tasks_seen - 1, scenario)
-        return float((np.asarray(predictions) == labels).mean())
-    # CIL: predictions and labels compared in the global space.
-    predictions = method.predict_global(images, scenario)
-    global_labels = labels + task.class_offset
-    return float((np.asarray(predictions) == global_labels).mean())
+    predictions = method.predict_multi(images, task.task_id, list(scenarios))
+    return {
+        scenario: _scenario_accuracy(task, scenario, predictions[scenario], labels)
+        for scenario in scenarios
+    }
 
 
 def run_continual(
@@ -130,11 +153,16 @@ def run_continual_multi(
     }
     for task in stream:
         method.observe_task(task)
+        # One batched prediction pass per seen task covers every
+        # scenario (the backbone forward is shared where possible).
+        for seen in stream.tasks[: task.task_id + 1]:
+            accuracies = evaluate_task_multi(method, seen, parsed)
+            for scenario in parsed:
+                results[scenario].r_matrix.record(
+                    task.task_id, seen.task_id, accuracies[scenario]
+                )
         for scenario in parsed:
             r_matrix = results[scenario].r_matrix
-            for seen in stream.tasks[: task.task_id + 1]:
-                accuracy = evaluate_task(method, seen, scenario)
-                r_matrix.record(task.task_id, seen.task_id, accuracy)
             results[scenario].history.append(
                 {"task_id": task.task_id, "row": r_matrix.row(task.task_id).copy()}
             )

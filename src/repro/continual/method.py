@@ -59,6 +59,29 @@ class ContinualMethod:
         """
         raise NotImplementedError(f"{self.name} does not support CIL prediction")
 
+    def predict_multi(
+        self, images: np.ndarray, task_id: int, scenarios: list[Scenario]
+    ) -> dict[Scenario, np.ndarray]:
+        """Predict under several scenarios from as few forwards as possible.
+
+        The evaluation harness scores the *same* test set under TIL,
+        CIL (and sometimes DIL) after every task; for most methods the
+        expensive backbone forward is shared between those protocols,
+        so implementations override this to run it once.  The default
+        falls back to one :meth:`predict`/:meth:`predict_global` call
+        per scenario, mirroring :func:`~repro.continual.evaluator.
+        evaluate_task`'s dispatch.
+        """
+        out: dict[Scenario, np.ndarray] = {}
+        for scenario in scenarios:
+            if scenario is Scenario.CIL:
+                out[scenario] = self.predict_global(images, scenario)
+            elif scenario is Scenario.DIL:
+                out[scenario] = self.predict(images, self.tasks_seen - 1, scenario)
+            else:
+                out[scenario] = self.predict(images, task_id, scenario)
+        return out
+
     @property
     def tasks_seen(self) -> int:
         raise NotImplementedError

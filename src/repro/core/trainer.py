@@ -37,6 +37,7 @@ from repro.core.pseudo_label import (
     build_pair_set,
     compute_centroids,
 )
+from repro.nn.functional import chunked_apply
 from repro.optim import AdamW, WarmupCosineSchedule, clip_grad_norm
 from repro.utils import resolve_rng, spawn_rng
 
@@ -87,6 +88,39 @@ class CDCLTrainer(ContinualMethod):
         if self.config.cil_task_inference:
             return self.network.predict_cil_inferred(images)
         return self.network.predict_cil(images)
+
+    def predict_multi(self, images, task_id, scenarios) -> dict[Scenario, np.ndarray]:
+        """Score all scenarios from shared chunked feature forwards.
+
+        Features ``a(x)`` depend on the conditioning task's (K_i, b_i),
+        so they are computed once per *conditioning task* and reused
+        across protocols: on the just-trained task, TIL and CIL share a
+        single encoder pass instead of one each.
+        """
+        last = self.tasks_seen - 1
+        feats_cache: dict[int, Tensor] = {}
+
+        def feats(tid: int) -> Tensor:
+            if tid not in feats_cache:
+                feats_cache[tid] = Tensor(self._embed(tid, images))
+            return feats_cache[tid]
+
+        out: dict[Scenario, np.ndarray] = {}
+        with no_grad():
+            for scenario in scenarios:
+                if scenario is Scenario.CIL:
+                    if self.config.cil_task_inference:
+                        out[scenario] = self.network.predict_cil_inferred(images)
+                    else:
+                        logits = self.network.cil_logits(feats(last))
+                        out[scenario] = logits.data.argmax(axis=-1)
+                else:
+                    # TIL answers with the given task's head; DIL (shared
+                    # label space, no id at test time) with the latest.
+                    tid = task_id if (scenario is Scenario.TIL and task_id is not None) else last
+                    logits = self.network.til_logits(feats(tid), tid)
+                    out[scenario] = logits.data.argmax(axis=-1)
+        return out
 
     def embed(self, images: np.ndarray, task_id: int) -> np.ndarray:
         """Public feature extraction: ``a(x)`` for a full array (no grad).
@@ -179,25 +213,23 @@ class CDCLTrainer(ContinualMethod):
 
     def _embed(self, task_id: int, images: np.ndarray) -> np.ndarray:
         """Features a(x) for a full array, in evaluation mode batches."""
-        chunks = []
-        with no_grad():
-            for start in range(0, len(images), self.config.batch_size):
-                feats = self.network.features(
-                    images[start : start + self.config.batch_size], task_id
-                )
-                chunks.append(feats.data)
-        return np.concatenate(chunks) if chunks else np.empty((0, self.config.embed_dim))
+        return chunked_apply(
+            lambda x: self.network.features(x, task_id),
+            images,
+            self.config.batch_size,
+            self.config.embed_dim,
+        )
 
     def _target_probs(self, task_id: int, images: np.ndarray) -> np.ndarray:
-        chunks = []
-        with no_grad():
-            for start in range(0, len(images), self.config.batch_size):
-                feats = self.network.features(
-                    images[start : start + self.config.batch_size], task_id
-                )
-                logits = self.network.til_logits(feats, task_id)
-                chunks.append(ops.softmax(logits, axis=-1).data)
-        return np.concatenate(chunks)
+        return chunked_apply(
+            lambda x: ops.softmax(
+                self.network.til_logits(self.network.features(x, task_id), task_id),
+                axis=-1,
+            ),
+            images,
+            self.config.batch_size,
+            self.network.til_heads[task_id].out_features,
+        )
 
     def _build_pairs(
         self,

@@ -4,6 +4,7 @@ from repro.data.synthetic.digits import DigitsDomain, render_digit, DIGIT_GLYPHS
 from repro.data.synthetic.objects import ObjectDomain, class_prototype
 from repro.data.synthetic.benchmarks import (
     mnist_usps,
+    digits_drift,
     visda2017,
     office31,
     office_home,
@@ -24,6 +25,7 @@ __all__ = [
     "ObjectDomain",
     "class_prototype",
     "mnist_usps",
+    "digits_drift",
     "visda2017",
     "office31",
     "office_home",

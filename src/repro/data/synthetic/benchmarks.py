@@ -38,6 +38,7 @@ __all__ = [
     "VISDA_DOMAINS",
     "make_task",
     "mnist_usps",
+    "digits_drift",
     "visda2017",
     "office31",
     "office_home",
@@ -162,6 +163,52 @@ def mnist_usps(
         test_samples_per_class=test_samples_per_class,
         rng=rng,
     )
+
+
+def digits_drift(
+    source: str = "mnist",
+    target: str = "usps",
+    samples_per_class: int = 30,
+    test_samples_per_class: int = 15,
+    start_gap: float = 0.4,
+    end_gap: float = 1.6,
+    rng=None,
+) -> TaskStream:
+    """Progressive-drift digits: the domain gap widens with every task.
+
+    A synthetic scenario beyond the paper's benchmarks: the class split
+    is MNIST<->USPS's (5 tasks x 2 digits) but each task's *target*
+    domain is sampled at a linearly increasing ``domain_gap``, from
+    ``start_gap`` (nearly in-distribution) to ``end_gap`` (far beyond
+    the standard gap of 1.0).  Late tasks are therefore intrinsically
+    harder to adapt to, probing how methods cope when the transfer
+    problem itself drifts over the stream.
+    """
+    rng = resolve_rng(rng)
+    source_sampler = DigitsDomain(source, domain_gap=1.0)
+    stream = TaskStream(
+        name=f"digits_drift[{source}->{target}:{start_gap}-{end_gap}]",
+        source_domain=source,
+        target_domain=f"{target}(drifting)",
+    )
+    num_tasks = 5
+    gaps = np.linspace(start_gap, end_gap, num_tasks)
+    for task_id in range(num_tasks):
+        classes = list(range(task_id * 2, task_id * 2 + 2))
+        target_sampler = DigitsDomain(target, domain_gap=float(gaps[task_id]))
+        stream.tasks.append(
+            make_task(
+                task_id,
+                classes,
+                source_sampler,
+                target_sampler,
+                samples_per_class,
+                test_samples_per_class,
+                rng,
+            )
+        )
+    stream.validate()
+    return stream
 
 
 def visda2017(

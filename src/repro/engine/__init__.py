@@ -1,0 +1,77 @@
+"""The unified experiment engine.
+
+Four layers turn the paper's tables and figures into declarative specs:
+
+* :mod:`repro.engine.registry` — every method and scenario registered
+  by name; add one factory and every table runner, sweep and CLI
+  listing picks it up.
+* :mod:`repro.engine.profiles` — workload sizes (smoke/scaled/full)
+  and the config factories registry entries build from.
+* :mod:`repro.engine.runner` — :class:`RunSpec` cells and the single
+  run-one-(source, target)-pair loop; specs hash to disk-cache keys.
+* :mod:`repro.engine.executor` — parallel spec fan-out and multi-seed
+  aggregation over a process pool.
+
+:mod:`repro.engine.cache` provides the content-addressed result store
+underneath (``REPRO_CACHE_DIR`` / ``REPRO_NO_CACHE``).
+"""
+
+from repro.engine.registry import (
+    METHODS,
+    SCENARIOS,
+    MethodSpec,
+    Registry,
+    ScenarioSpec,
+    register_method,
+    register_scenario,
+)
+from repro.engine.profiles import ExperimentProfile, get_profile, profile_overrides
+from repro.engine.runner import (
+    DEFAULT_EVAL_SCENARIOS,
+    PairResult,
+    RunResult,
+    RunSpec,
+    run_method_on_stream,
+    run_one,
+    run_pair_cells,
+    run_stream_pair,
+    spec_for,
+)
+from repro.engine.executor import (
+    MultiSeedResult,
+    SeedStatistics,
+    derive_seeds,
+    map_jobs,
+    run_seed_sweep,
+    run_specs,
+)
+from repro.engine import cache
+
+__all__ = [
+    "METHODS",
+    "SCENARIOS",
+    "MethodSpec",
+    "Registry",
+    "ScenarioSpec",
+    "register_method",
+    "register_scenario",
+    "ExperimentProfile",
+    "get_profile",
+    "profile_overrides",
+    "DEFAULT_EVAL_SCENARIOS",
+    "PairResult",
+    "RunResult",
+    "RunSpec",
+    "run_method_on_stream",
+    "run_one",
+    "run_pair_cells",
+    "run_stream_pair",
+    "spec_for",
+    "MultiSeedResult",
+    "SeedStatistics",
+    "derive_seeds",
+    "map_jobs",
+    "run_seed_sweep",
+    "run_specs",
+    "cache",
+]

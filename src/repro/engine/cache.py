@@ -1,0 +1,140 @@
+"""Content-addressed disk cache for experiment runs.
+
+A run is fully determined by its :class:`~repro.engine.runner.RunSpec`
+(method, scenario, resolved profile, seed, evaluation protocols): every
+stochastic component in the library is seeded from those fields, so the
+spec's canonical JSON hashes to a stable key and the result can be
+reused across table sweeps, multi-seed aggregation and repeated CLI
+invocations.  Repeating a sweep then costs milliseconds per cell
+instead of minutes of redundant CPU.
+
+Layout: one pickle per run under ``$REPRO_CACHE_DIR`` (default
+``~/.cache/repro-engine``), named ``<sha256[:32]>.pkl``.  Writes are
+atomic (tmp file + rename) so concurrent multi-seed workers can share
+the directory.  ``REPRO_NO_CACHE=1`` disables the cache globally; the
+CLI's ``--no-cache`` flag does the same per invocation.
+
+``CACHE_VERSION`` is part of every key — bump it whenever training or
+evaluation semantics change so stale results can never leak into new
+sweeps.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any
+
+__all__ = [
+    "CACHE_VERSION",
+    "cache_dir",
+    "cache_enabled",
+    "cache_key",
+    "load",
+    "store",
+    "clear",
+]
+
+#: Bump on any change that alters run results for an unchanged spec.
+CACHE_VERSION = 1
+
+_ENV_DIR = "REPRO_CACHE_DIR"
+_ENV_DISABLE = "REPRO_NO_CACHE"
+
+
+def cache_dir() -> Path:
+    """Resolve the cache directory (created lazily by :func:`store`)."""
+    custom = os.environ.get(_ENV_DIR)
+    if custom:
+        return Path(custom)
+    return Path.home() / ".cache" / "repro-engine"
+
+
+def cache_enabled() -> bool:
+    """False when ``REPRO_NO_CACHE`` is set to a truthy value."""
+    value = os.environ.get(_ENV_DISABLE, "").strip().lower()
+    return value in ("", "0", "false", "no", "off")
+
+
+def cache_key(payload: dict) -> str:
+    """Hash a JSON-serializable payload into a hex cache key.
+
+    The payload is canonicalized (sorted keys, no whitespace variance)
+    so logically equal specs always collide onto the same key.
+    """
+    canonical = json.dumps(
+        {"cache_version": CACHE_VERSION, **payload},
+        sort_keys=True,
+        separators=(",", ":"),
+        default=_jsonify,
+    )
+    return hashlib.sha256(canonical.encode()).hexdigest()[:32]
+
+
+def _path_for(key: str) -> Path:
+    return cache_dir() / f"{key}.pkl"
+
+
+def load(key: str) -> Any | None:
+    """Return the cached object for ``key``, or None on miss/corruption."""
+    path = _path_for(key)
+    if not path.exists():
+        return None
+    try:
+        with path.open("rb") as handle:
+            return pickle.load(handle)
+    except Exception:
+        # A torn write, a stale class layout, a renamed module: whatever
+        # went wrong, a cache read must never crash the run — treat it
+        # as a miss and let the fresh result overwrite the entry.
+        return None
+
+
+def store(key: str, obj: Any) -> Path:
+    """Atomically persist ``obj`` under ``key``; returns the file path."""
+    directory = cache_dir()
+    directory.mkdir(parents=True, exist_ok=True)
+    path = _path_for(key)
+    fd, tmp_name = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            pickle.dump(obj, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def clear() -> int:
+    """Delete every cached run; returns the number of entries removed."""
+    directory = cache_dir()
+    if not directory.exists():
+        return 0
+    removed = 0
+    for pattern in ("*.pkl", "*.tmp"):  # .tmp: torn writes from killed workers
+        for path in directory.glob(pattern):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+    return removed
+
+
+def _jsonify(obj):
+    """Fallback serializer for spec payloads (enums, numpy scalars)."""
+    value = getattr(obj, "value", None)
+    if value is not None:
+        return value
+    item = getattr(obj, "item", None)
+    if callable(item):
+        return item()
+    raise TypeError(f"cannot canonicalize {type(obj)} for cache hashing")

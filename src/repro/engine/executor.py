@@ -1,0 +1,216 @@
+"""Parallel execution: spec fan-out and multi-seed aggregation.
+
+Seeds are embarrassingly parallel — every :class:`RunSpec` cell seeds
+its own stream sampling and parameter init — so this module fans them
+out over a :class:`concurrent.futures.ProcessPoolExecutor`.  Workers
+write finished cells into the shared disk cache, so a crashed or
+interrupted sweep resumes where it stopped and a repeated invocation
+costs only the cache reads.
+
+Determinism: results are keyed by the spec alone, never by worker
+identity or completion order, so ``jobs=N`` is seed-for-seed identical
+to the serial run.  :func:`derive_seeds` gives a deterministic base ->
+per-run seed expansion (``numpy.random.SeedSequence``) for callers that
+want *n* statistically independent repetitions from one base seed.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.continual import ContinualResult, Scenario
+from repro.engine import cache
+from repro.engine.runner import RunResult, RunSpec, run_one
+
+__all__ = [
+    "SeedStatistics",
+    "MultiSeedResult",
+    "derive_seeds",
+    "map_jobs",
+    "run_specs",
+    "run_seed_sweep",
+]
+
+
+@dataclass
+class SeedStatistics:
+    """Mean/std/raw values of one metric across seeds."""
+
+    values: list[float] = field(default_factory=list)
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.values)) if self.values else float("nan")
+
+    @property
+    def std(self) -> float:
+        return float(np.std(self.values)) if self.values else float("nan")
+
+    @property
+    def n(self) -> int:
+        return len(self.values)
+
+    def __repr__(self) -> str:
+        return f"{self.mean:.4f} +/- {self.std:.4f} (n={self.n})"
+
+
+@dataclass
+class MultiSeedResult:
+    """ACC/FGT statistics per scenario over a set of seeds."""
+
+    method: str
+    stream: str
+    seeds: tuple[int, ...]
+    acc: dict[Scenario, SeedStatistics] = field(default_factory=dict)
+    fgt: dict[Scenario, SeedStatistics] = field(default_factory=dict)
+    runs: list[dict[Scenario, ContinualResult]] = field(default_factory=list)
+
+    def summary(self) -> dict:
+        return {
+            "method": self.method,
+            "stream": self.stream,
+            "seeds": list(self.seeds),
+            **{
+                f"acc_{s.value}": (stat.mean, stat.std)
+                for s, stat in self.acc.items()
+            },
+            **{
+                f"fgt_{s.value}": (stat.mean, stat.std)
+                for s, stat in self.fgt.items()
+            },
+        }
+
+
+def derive_seeds(base_seed: int, count: int) -> tuple[int, ...]:
+    """Expand one base seed into ``count`` independent 32-bit seeds.
+
+    Uses :class:`numpy.random.SeedSequence`, so the expansion is stable
+    across processes and sessions — seed ``i`` of base ``b`` is the same
+    everywhere, which keeps parallel sweeps cache-compatible with serial
+    ones.
+    """
+    if count <= 0:
+        raise ValueError("count must be positive")
+    return tuple(int(s) for s in np.random.SeedSequence(base_seed).generate_state(count))
+
+
+def _call_job(args):
+    fn, item = args
+    return fn(item)
+
+
+def map_jobs(fn, items, jobs: int = 1) -> list:
+    """Map ``fn`` over ``items``, in-process or via a process pool.
+
+    ``fn`` and each item must be picklable when ``jobs > 1`` (plain
+    module-level functions and dataclasses are).  Results come back in
+    input order regardless of completion order.
+    """
+    items = list(items)
+    if jobs <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    # Workers must inherit the parent's registries (scenarios/methods
+    # registered at runtime) and caller-supplied factories; only the
+    # fork start method carries that state, so request it explicitly
+    # rather than relying on the platform default (forkserver from
+    # Python 3.14 on Linux, spawn on macOS/Windows).
+    methods = multiprocessing.get_all_start_methods()
+    context = multiprocessing.get_context("fork" if "fork" in methods else None)
+    with ProcessPoolExecutor(
+        max_workers=min(jobs, len(items)), mp_context=context
+    ) as pool:
+        return list(pool.map(_call_job, [(fn, item) for item in items]))
+
+
+def _run_spec_job(args) -> RunResult:
+    spec, use_cache, verbose = args
+    return run_one(spec, use_cache=use_cache, verbose=verbose)
+
+
+def run_specs(
+    specs,
+    *,
+    jobs: int = 1,
+    use_cache: bool = True,
+    verbose: bool = False,
+) -> list[RunResult]:
+    """Execute many cells, fanning uncached work over ``jobs`` processes.
+
+    Cache hits are resolved in the parent first (a disk read is far
+    cheaper than shipping the spec to a worker); only misses are
+    dispatched.
+    """
+    specs = list(specs)
+    if jobs <= 1:
+        return [run_one(s, use_cache=use_cache, verbose=verbose) for s in specs]
+    results: list[RunResult | None] = [None] * len(specs)
+    pending: list[tuple[int, RunSpec]] = []
+    for index, spec in enumerate(specs):
+        if use_cache and cache.cache_enabled():
+            hit = cache.load(spec.cache_key())
+            if isinstance(hit, RunResult):
+                hit.cached = True
+                results[index] = hit
+                continue
+        pending.append((index, spec))
+    if pending:
+        computed = map_jobs(
+            _run_spec_job,
+            [(spec, use_cache, verbose) for _index, spec in pending],
+            jobs=jobs,
+        )
+        for (index, _spec), result in zip(pending, computed):
+            results[index] = result
+    assert all(r is not None for r in results)
+    return results  # type: ignore[return-value]
+
+
+def run_seed_sweep(
+    spec: RunSpec,
+    seeds,
+    *,
+    jobs: int = 1,
+    use_cache: bool = True,
+    keep_runs: bool = False,
+    verbose: bool = False,
+) -> MultiSeedResult:
+    """Repeat one cell across seeds and aggregate mean/std statistics.
+
+    The engine-level replacement for the old serial loop in
+    ``experiments/multiseed.py``: each seed is an independent cached
+    cell, executed ``jobs`` at a time.
+    """
+    seeds = tuple(int(s) for s in seeds)
+    if not seeds:
+        raise ValueError("at least one seed is required")
+    cells = run_specs(
+        [replace(spec, seed=seed) for seed in seeds],
+        jobs=jobs,
+        use_cache=use_cache,
+        verbose=verbose,
+    )
+    scenarios = [Scenario.parse(s) for s in spec.eval_scenarios]
+    result = MultiSeedResult(
+        method=spec.method,
+        stream=cells[0].stream_name,
+        seeds=seeds,
+        acc={s: SeedStatistics() for s in scenarios},
+        fgt={s: SeedStatistics() for s in scenarios},
+    )
+    for cell in cells:
+        for scenario in scenarios:
+            if cell.is_static:
+                # Static methods (TVT) report one joint-training accuracy
+                # per scenario and, having no task sequence, no forgetting.
+                result.acc[scenario].values.append(cell.static_acc[scenario])
+                result.fgt[scenario].values.append(0.0)
+            else:
+                result.acc[scenario].values.append(cell.results[scenario].acc)
+                result.fgt[scenario].values.append(cell.results[scenario].fgt)
+        if keep_runs:
+            result.runs.append(cell.results)
+    return result

@@ -1,0 +1,152 @@
+"""Workload profiles: how big one experiment run is.
+
+Experiment cost is controlled by a *profile* (environment variable
+``REPRO_PROFILE`` or an explicit argument):
+
+* ``smoke``  — minutes-scale CI check; tiny models, 2-3 epochs.
+* ``scaled`` — the default; small models, enough training for the
+  paper's qualitative shape (who wins, relative gaps) to emerge.
+* ``full``   — paper-shaped splits and the large model; hours on CPU.
+
+A profile knows how to materialize the method configs
+(:meth:`ExperimentProfile.cdcl_config` /
+:meth:`ExperimentProfile.baseline_config`), so registry factories need
+nothing beyond the profile, the input geometry and a seed.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import asdict, dataclass, replace
+
+from repro.baselines import BackboneConfig, BaselineConfig
+from repro.core import CDCLConfig
+
+__all__ = ["ExperimentProfile", "get_profile", "profile_overrides"]
+
+
+@dataclass
+class ExperimentProfile:
+    """Workload sizes for one experiment run."""
+
+    name: str
+    samples_per_class: int
+    test_samples_per_class: int
+    epochs: int  # CDCL epochs per task (warm-up + adaptation)
+    warmup_epochs: int
+    batch_size: int
+    memory_size: int
+    cdcl_embed_dim: int
+    cdcl_depth: int
+    baseline_embed_dim: int
+    baseline_depth: int
+    tvt_epochs: int
+    baseline_epochs: int | None = None  # defaults to `epochs`
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.baseline_epochs is None:
+            self.baseline_epochs = self.epochs
+
+    def cdcl_config(self, **overrides) -> CDCLConfig:
+        base = dict(
+            embed_dim=self.cdcl_embed_dim,
+            depth=self.cdcl_depth,
+            epochs=self.epochs,
+            warmup_epochs=self.warmup_epochs,
+            batch_size=self.batch_size,
+            memory_size=self.memory_size,
+            seed=self.seed,
+        )
+        base.update(overrides)
+        return CDCLConfig(**base)
+
+    def baseline_config(self, **overrides) -> BaselineConfig:
+        base = dict(
+            backbone=BackboneConfig(
+                embed_dim=self.baseline_embed_dim, depth=self.baseline_depth
+            ),
+            epochs=self.baseline_epochs,
+            batch_size=self.batch_size,
+            memory_size=self.memory_size,
+            seed=self.seed,
+        )
+        base.update(overrides)
+        return BaselineConfig(**base)
+
+
+_PROFILES = {
+    "smoke": ExperimentProfile(
+        name="smoke",
+        samples_per_class=10,
+        test_samples_per_class=6,
+        epochs=3,
+        warmup_epochs=1,
+        batch_size=16,
+        memory_size=50,
+        cdcl_embed_dim=16,
+        cdcl_depth=1,
+        baseline_embed_dim=16,
+        baseline_depth=1,
+        tvt_epochs=4,
+    ),
+    "scaled": ExperimentProfile(
+        name="scaled",
+        samples_per_class=20,
+        test_samples_per_class=10,
+        epochs=16,
+        warmup_epochs=6,
+        batch_size=32,
+        memory_size=200,
+        cdcl_embed_dim=48,
+        cdcl_depth=2,
+        baseline_embed_dim=48,
+        baseline_depth=2,
+        tvt_epochs=15,
+        baseline_epochs=10,
+    ),
+    "full": ExperimentProfile(
+        name="full",
+        samples_per_class=50,
+        test_samples_per_class=25,
+        epochs=20,
+        warmup_epochs=5,
+        batch_size=32,
+        memory_size=1000,
+        cdcl_embed_dim=64,
+        cdcl_depth=4,
+        baseline_embed_dim=64,
+        baseline_depth=4,
+        tvt_epochs=40,
+    ),
+}
+
+
+def get_profile(name: str | None = None, **overrides) -> ExperimentProfile:
+    """Resolve a profile by name, env var, or the 'scaled' default."""
+    name = name or os.environ.get("REPRO_PROFILE", "scaled")
+    if name not in _PROFILES:
+        raise ValueError(f"unknown profile {name!r}; expected one of {sorted(_PROFILES)}")
+    profile = _PROFILES[name]
+    return replace(profile, **overrides) if overrides else profile
+
+
+def profile_overrides(profile: ExperimentProfile) -> tuple[str, dict]:
+    """Decompose a profile object into ``(base_name, overrides)``.
+
+    The engine's :class:`~repro.engine.runner.RunSpec` stores a profile
+    as ``(name, overrides)`` so it stays JSON-hashable; this recovers
+    that pair from an already-materialized profile (``seed`` is carried
+    separately on the spec and therefore excluded).  Custom profiles —
+    any :class:`ExperimentProfile` whose ``name`` is not registered —
+    are expressed as a full field diff against ``"scaled"``, with their
+    ``name`` kept as one of the overrides.
+    """
+    base_name = profile.name if profile.name in _PROFILES else "scaled"
+    base = asdict(_PROFILES[base_name])
+    current = asdict(profile)
+    return base_name, {
+        key: value
+        for key, value in current.items()
+        if key != "seed" and base[key] != value
+    }

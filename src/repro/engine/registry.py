@@ -1,0 +1,373 @@
+"""Name-keyed registries for continual methods and benchmark scenarios.
+
+The experiment stack used to hardcode its method wiring in
+``experiments/common.build_method`` and its stream construction in each
+``table*.py`` module, so adding a method or a benchmark meant editing
+3-4 files.  This module replaces both with two registries:
+
+* :data:`METHODS` — every continual learner (CDCL plus all baselines)
+  keyed by its table name, with a factory that builds a ready-to-train
+  instance from an :class:`~repro.experiments.common.ExperimentProfile`;
+* :data:`SCENARIOS` — every (source -> target) stream builder keyed by
+  a canonical scenario name (``"office31/A->W"``, ``"visda2017"``,
+  ``"digits_drift"``...), with a factory that samples the
+  :class:`~repro.continual.stream.TaskStream`.
+
+Registering one factory is all it takes to expose a new method or
+benchmark to every table runner, the multi-seed executor, the disk
+cache and the CLI (``python -m repro.experiments list-methods``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import permutations
+from typing import Callable, Generic, Iterator, TypeVar
+
+__all__ = [
+    "MethodSpec",
+    "ScenarioSpec",
+    "Registry",
+    "METHODS",
+    "SCENARIOS",
+    "register_method",
+    "register_scenario",
+]
+
+S = TypeVar("S")
+
+
+@dataclass(frozen=True)
+class MethodSpec:
+    """One registered continual method.
+
+    ``factory(profile, in_channels, image_size, seed, overrides)`` must
+    return a ready :class:`~repro.continual.method.ContinualMethod`;
+    ``overrides`` are method-config keyword overrides (the Table IV
+    ablation grid uses them to toggle CDCL's loss blocks).
+    """
+
+    name: str
+    factory: Callable
+    kind: str = "continual"  # "continual" (streaming) | "static" (fit on full stream)
+    description: str = ""
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One registered benchmark scenario (stream builder).
+
+    ``factory(profile, seed, **params)`` must return a validated
+    :class:`~repro.continual.stream.TaskStream`.  ``default_params``
+    seed the keyword arguments; callers may override them per run
+    (Table III uses this for its scaled DomainNet sub-matrix).
+    """
+
+    name: str
+    factory: Callable
+    description: str = ""
+    default_params: tuple[tuple[str, object], ...] = ()
+
+    def build(self, profile, seed: int, **params):
+        merged = dict(self.default_params)
+        merged.update(params)
+        return self.factory(profile, seed, **merged)
+
+
+class Registry(Generic[S]):
+    """A plain name -> spec mapping with helpful failure messages."""
+
+    def __init__(self, kind: str):
+        self.kind = kind
+        self._specs: dict[str, S] = {}
+
+    def register(self, spec: S) -> S:
+        name = spec.name  # type: ignore[attr-defined]
+        if name in self._specs:
+            raise ValueError(f"{self.kind} {name!r} already registered")
+        self._specs[name] = spec
+        return spec
+
+    def get(self, name: str) -> S:
+        try:
+            return self._specs[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown {self.kind} {name!r}; registered: {sorted(self._specs)}"
+            ) from None
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._specs))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._specs
+
+    def __iter__(self) -> Iterator[S]:
+        for name in self.names():
+            yield self._specs[name]
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+
+METHODS: Registry[MethodSpec] = Registry("method")
+SCENARIOS: Registry[ScenarioSpec] = Registry("scenario")
+
+
+def register_method(
+    name: str, kind: str = "continual", description: str = ""
+) -> Callable[[Callable], Callable]:
+    """Decorator: register ``factory`` under ``name`` in :data:`METHODS`."""
+
+    def decorator(factory: Callable) -> Callable:
+        METHODS.register(
+            MethodSpec(name=name, factory=factory, kind=kind, description=description)
+        )
+        return factory
+
+    return decorator
+
+
+def register_scenario(
+    name: str, description: str = "", **default_params
+) -> Callable[[Callable], Callable]:
+    """Decorator: register a stream builder under ``name`` in :data:`SCENARIOS`."""
+
+    def decorator(factory: Callable) -> Callable:
+        SCENARIOS.register(
+            ScenarioSpec(
+                name=name,
+                factory=factory,
+                description=description,
+                default_params=tuple(sorted(default_params.items())),
+            )
+        )
+        return factory
+
+    return decorator
+
+
+# ----------------------------------------------------------------------
+# Built-in methods: CDCL + the paper's baseline set
+# ----------------------------------------------------------------------
+def _register_builtin_methods() -> None:
+    from repro.baselines import (
+        AGEM,
+        BackboneConfig,
+        CDTransB,
+        CDTransS,
+        DER,
+        DERpp,
+        EWC,
+        FineTune,
+        HAL,
+        MSL,
+        SI,
+        TVT,
+    )
+    from repro.core import CDCLTrainer
+
+    def cdcl_factory(profile, in_channels, image_size, seed, overrides):
+        config = profile.cdcl_config(**(overrides or {}))
+        return CDCLTrainer(config, in_channels, image_size, rng=seed)
+
+    METHODS.register(
+        MethodSpec(
+            "CDCL",
+            cdcl_factory,
+            description="Cross-Domain Continual Learning (the paper's method)",
+        )
+    )
+
+    def baseline_factory(cls, description):
+        def factory(profile, in_channels, image_size, seed, overrides):
+            config = profile.baseline_config(**(overrides or {}))
+            return cls(config, in_channels, image_size, rng=seed)
+
+        return MethodSpec(cls.name, factory, description=description)
+
+    for cls, description in (
+        (FineTune, "naive sequential fine-tuning (lower bound)"),
+        (DER, "Dark Experience Replay (logit replay)"),
+        (DERpp, "DER++ (logit + label replay)"),
+        (HAL, "Hindsight Anchor Learning"),
+        (MSL, "Meta-consolidation with soft labels"),
+        (EWC, "Elastic Weight Consolidation (quadratic penalty)"),
+        (SI, "Synaptic Intelligence (path-integral penalty)"),
+        (AGEM, "Averaged Gradient Episodic Memory"),
+    ):
+        METHODS.register(baseline_factory(cls, description))
+
+    def cdtrans_factory(cls):
+        def factory(profile, in_channels, image_size, seed, overrides):
+            kwargs = dict(
+                epochs=profile.epochs,
+                warmup_epochs=profile.warmup_epochs,
+                batch_size=profile.batch_size,
+            )
+            kwargs.update(overrides or {})
+            return cls(in_channels, image_size, rng=seed, **kwargs)
+
+        return factory
+
+    METHODS.register(
+        MethodSpec(
+            "CDTrans-S",
+            cdtrans_factory(CDTransS),
+            description="CDTrans small: static UDA transformer, no continual machinery",
+        )
+    )
+    METHODS.register(
+        MethodSpec(
+            "CDTrans-B",
+            cdtrans_factory(CDTransB),
+            description="CDTrans base: wider/deeper static UDA transformer",
+        )
+    )
+
+    def tvt_factory(profile, in_channels, image_size, seed, overrides):
+        kwargs = dict(
+            epochs=profile.tvt_epochs,
+            warmup_epochs=max(2, profile.tvt_epochs // 4),
+            batch_size=profile.batch_size,
+        )
+        kwargs.update(overrides or {})
+        return TVT(
+            BackboneConfig(
+                embed_dim=profile.baseline_embed_dim, depth=profile.baseline_depth
+            ),
+            in_channels,
+            image_size,
+            rng=seed,
+            **kwargs,
+        )
+
+    METHODS.register(
+        MethodSpec(
+            "TVT",
+            tvt_factory,
+            kind="static",
+            description="Transferable ViT trained jointly on all tasks (upper bound)",
+        )
+    )
+
+
+# ----------------------------------------------------------------------
+# Built-in scenarios: the paper's five benchmarks + extensions
+# ----------------------------------------------------------------------
+def _register_builtin_scenarios() -> None:
+    from repro.data.synthetic import (
+        DOMAINNET_DOMAINS,
+        OFFICE31_DOMAINS,
+        OFFICE_HOME_DOMAINS,
+        digits_drift,
+        mnist_usps,
+        office31,
+        office_home,
+        office_home_dil,
+        visda2017,
+    )
+
+    def sized(profile) -> dict:
+        return dict(
+            samples_per_class=profile.samples_per_class,
+            test_samples_per_class=profile.test_samples_per_class,
+        )
+
+    for direction in ("mnist->usps", "usps->mnist"):
+        def digits_factory(profile, seed, _direction=direction, **params):
+            return mnist_usps(_direction, rng=seed, **{**sized(profile), **params})
+
+        SCENARIOS.register(
+            ScenarioSpec(
+                f"digits/{direction}",
+                digits_factory,
+                description=f"{direction}: 10 digit classes, 5 tasks x 2",
+            )
+        )
+
+    def visda_factory(profile, seed, **params):
+        return visda2017(rng=seed, **{**sized(profile), **params})
+
+    SCENARIOS.register(
+        ScenarioSpec(
+            "visda2017",
+            visda_factory,
+            description="VisDA-2017 synthetic->real: 12 classes, 4 tasks x 3",
+        )
+    )
+
+    for source, target in permutations(OFFICE31_DOMAINS, 2):
+        def office31_factory(profile, seed, _s=source, _t=target, **params):
+            return office31(_s, _t, rng=seed, **{**sized(profile), **params})
+
+        SCENARIOS.register(
+            ScenarioSpec(
+                f"office31/{source}->{target}",
+                office31_factory,
+                description=f"Office-31 {source}->{target}: 30 classes, 5 tasks x 6",
+            )
+        )
+
+    for source, target in permutations(OFFICE_HOME_DOMAINS, 2):
+        def office_home_factory(profile, seed, _s=source, _t=target, **params):
+            return office_home(_s, _t, rng=seed, **{**sized(profile), **params})
+
+        SCENARIOS.register(
+            ScenarioSpec(
+                f"office_home/{source}->{target}",
+                office_home_factory,
+                description=f"Office-Home {source}->{target}: 65 classes, 13 tasks x 5",
+            )
+        )
+
+    for source, target in permutations(DOMAINNET_DOMAINS, 2):
+        def domainnet_factory(profile, seed, _s=source, _t=target, **params):
+            from repro.data.synthetic import domainnet
+
+            # Table III halves the per-class budget so the matrix sweep
+            # stays CPU-tractable; explicit params override.
+            merged = dict(
+                samples_per_class=max(profile.samples_per_class // 2, 6),
+                test_samples_per_class=max(profile.test_samples_per_class // 2, 4),
+            )
+            merged.update(params)
+            return domainnet(_s, _t, rng=seed, **merged)
+
+        SCENARIOS.register(
+            ScenarioSpec(
+                f"domainnet/{source}->{target}",
+                domainnet_factory,
+                description=f"DomainNet {source}->{target} (scaled sub-matrix cell)",
+                default_params=(("classes_per_task", 3), ("num_classes", 15)),
+            )
+        )
+
+    def dil_factory(profile, seed, **params):
+        return office_home_dil(rng=seed, **{**sized(profile), **params})
+
+    SCENARIOS.register(
+        ScenarioSpec(
+            "office_home_dil",
+            dil_factory,
+            description="Domain-incremental Office-Home: fixed classes, rotating target domain",
+        )
+    )
+
+    def drift_factory(profile, seed, **params):
+        return digits_drift(rng=seed, **{**sized(profile), **params})
+
+    SCENARIOS.register(
+        ScenarioSpec(
+            "digits_drift",
+            drift_factory,
+            description=(
+                "synthetic progressive-drift digits: the target domain gap "
+                "widens with every task (new scenario, not in the paper)"
+            ),
+        )
+    )
+
+
+_register_builtin_methods()
+_register_builtin_scenarios()

@@ -1,0 +1,353 @@
+"""The run-one-cell loop shared by every table, figure and sweep.
+
+A :class:`RunSpec` names one experiment cell — (method, scenario,
+profile, seed) plus optional overrides — and :func:`run_one` executes
+it: build the stream from the scenario registry, build the method from
+the method registry, run the continual protocol (or the static fit for
+upper-bound methods), and return a :class:`RunResult`.  Because the
+spec canonicalizes to a :mod:`repro.engine.cache` key, repeated sweeps
+and multi-seed aggregation reuse finished cells from disk.
+
+:func:`run_pair_cells` assembles per-method cells into the
+:class:`PairResult` shape the table renderers consume;
+:func:`run_stream_pair` is the uncached variant for explicitly
+constructed streams (notebooks, tests with truncated streams).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass, field, replace
+
+import numpy as np
+
+from repro.continual import (
+    ContinualResult,
+    Scenario,
+    TaskStream,
+    evaluate_task_multi,
+    run_continual_multi,
+)
+from repro.engine import cache
+from repro.engine.profiles import ExperimentProfile, get_profile, profile_overrides
+from repro.engine.registry import METHODS, SCENARIOS, MethodSpec
+
+__all__ = [
+    "DEFAULT_EVAL_SCENARIOS",
+    "RunSpec",
+    "RunResult",
+    "PairResult",
+    "run_one",
+    "run_pair_cells",
+    "run_stream_pair",
+    "spec_for",
+]
+
+#: The paper scores every trained model under both protocols.
+DEFAULT_EVAL_SCENARIOS = ("til", "cil")
+
+
+@dataclass
+class RunSpec:
+    """Everything that determines one experiment cell.
+
+    ``profile`` is the profile *name*; ``profile_overrides`` carry any
+    field-level deviations so the spec stays JSON-canonical (and hence
+    cacheable).  ``seed`` drives stream sampling and method
+    initialization alike, matching the previous per-table behavior.
+    """
+
+    method: str
+    scenario: str
+    profile: str = "scaled"
+    seed: int = 0
+    eval_scenarios: tuple[str, ...] = DEFAULT_EVAL_SCENARIOS
+    profile_overrides: dict = field(default_factory=dict)
+    method_overrides: dict = field(default_factory=dict)
+    scenario_params: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.eval_scenarios = tuple(
+            Scenario.parse(s).value for s in self.eval_scenarios
+        )
+
+    def resolved_profile(self) -> ExperimentProfile:
+        overrides = dict(self.profile_overrides)
+        # Custom profiles carry their display name as an override; it
+        # cannot be passed to get_profile (whose `name` selects the base).
+        display_name = overrides.pop("name", None)
+        profile = get_profile(self.profile, seed=self.seed, **overrides)
+        if display_name is not None:
+            profile = replace(profile, name=display_name)
+        return profile
+
+    def cache_payload(self) -> dict:
+        """The canonical dict hashed into this spec's cache key.
+
+        Scenario params are hashed in *effective* form — the registered
+        defaults merged with the spec's explicit params — so a changed
+        registry default invalidates stale cells, and two specs that
+        build the same stream share one cache entry.
+        """
+        effective_params = dict(SCENARIOS.get(self.scenario).default_params)
+        effective_params.update(self.scenario_params)
+        return {
+            "method": self.method,
+            "scenario": self.scenario,
+            "scenario_params": effective_params,
+            "profile": asdict(self.resolved_profile()),
+            "eval_scenarios": list(self.eval_scenarios),
+            "method_overrides": self.method_overrides,
+        }
+
+    def cache_key(self) -> str:
+        return cache.cache_key(self.cache_payload())
+
+
+@dataclass
+class RunResult:
+    """Scores of one method on one stream (one cell of a table)."""
+
+    method: str
+    scenario: str
+    stream_name: str
+    seed: int
+    results: dict[Scenario, ContinualResult] = field(default_factory=dict)
+    static_acc: dict[Scenario, float] = field(default_factory=dict)
+    elapsed: float = 0.0
+    #: True when this result came from the disk cache (set on load, not
+    #: persisted, so a cold store never claims to be a hit).
+    cached: bool = field(default=False, compare=False)
+
+    @property
+    def is_static(self) -> bool:
+        return bool(self.static_acc) and not self.results
+
+
+@dataclass
+class PairResult:
+    """All scores for one (source -> target) benchmark pair."""
+
+    stream_name: str
+    results: dict[str, dict[Scenario, ContinualResult]] = field(default_factory=dict)
+    tvt_acc: dict[Scenario, float] = field(default_factory=dict)
+
+    def acc(self, method: str, scenario: Scenario) -> float:
+        return self.results[method][scenario].acc
+
+    def fgt(self, method: str, scenario: Scenario) -> float:
+        return self.results[method][scenario].fgt
+
+
+def spec_for(
+    method: str,
+    scenario: str,
+    profile: ExperimentProfile | str | None = None,
+    seed: int | None = None,
+    **kwargs,
+) -> RunSpec:
+    """Build a :class:`RunSpec` from a profile object or name.
+
+    A materialized :class:`ExperimentProfile` is decomposed into
+    ``(name, overrides)``; its ``seed`` field becomes the spec seed
+    unless ``seed`` is given explicitly.
+    """
+    if isinstance(profile, ExperimentProfile):
+        base_name, overrides = profile_overrides(profile)
+        return RunSpec(
+            method=method,
+            scenario=scenario,
+            profile=base_name,
+            seed=profile.seed if seed is None else seed,
+            profile_overrides=overrides,
+            **kwargs,
+        )
+    resolved = get_profile(profile)
+    return RunSpec(
+        method=method,
+        scenario=scenario,
+        profile=resolved.name,
+        seed=0 if seed is None else seed,
+        **kwargs,
+    )
+
+
+def run_one(spec: RunSpec, *, use_cache: bool = True, verbose: bool = False) -> RunResult:
+    """Execute one cell, consulting the disk cache first."""
+    caching = use_cache and cache.cache_enabled()
+    key = spec.cache_key() if caching else None
+    if key is not None:
+        hit = cache.load(key)
+        if isinstance(hit, RunResult):
+            hit.cached = True
+            return hit
+    profile = spec.resolved_profile()
+    stream = SCENARIOS.get(spec.scenario).build(
+        profile, spec.seed, **spec.scenario_params
+    )
+    start = time.perf_counter()
+    mspec = METHODS.get(spec.method)
+    results, static_acc = run_method_on_stream(
+        mspec,
+        stream,
+        profile,
+        seed=spec.seed,
+        eval_scenarios=[Scenario.parse(s) for s in spec.eval_scenarios],
+        method_overrides=spec.method_overrides,
+        verbose=verbose,
+    )
+    result = RunResult(
+        method=spec.method,
+        scenario=spec.scenario,
+        stream_name=stream.name,
+        seed=spec.seed,
+        results=results,
+        static_acc=static_acc,
+        elapsed=time.perf_counter() - start,
+    )
+    if key is not None:
+        cache.store(key, result)
+    return result
+
+
+def run_method_on_stream(
+    mspec: MethodSpec,
+    stream: TaskStream,
+    profile: ExperimentProfile,
+    *,
+    seed: int,
+    eval_scenarios: list[Scenario],
+    method_overrides: dict | None = None,
+    verbose: bool = False,
+    in_channels: int | None = None,
+    image_size: int | None = None,
+) -> tuple[dict[Scenario, ContinualResult], dict[Scenario, float]]:
+    """Train and score one method on one stream.
+
+    This is the single copy of the loop every table used to duplicate:
+    streaming methods run the continual protocol; static methods
+    (``kind == "static"``) fit on the whole stream and report mean
+    per-task accuracy.  ``in_channels``/``image_size`` override the
+    stream-inferred model geometry when given.
+    """
+    sample_image = stream[0].source_train[0][0]
+    in_channels = in_channels or sample_image.shape[0]
+    image_size = image_size or sample_image.shape[-1]
+    method = mspec.factory(profile, in_channels, image_size, seed, method_overrides)
+    if mspec.kind == "static":
+        method.fit(stream)
+        accs: dict[Scenario, list[float]] = {s: [] for s in eval_scenarios}
+        for task in stream:
+            per_task = evaluate_task_multi(method, task, eval_scenarios)
+            for scenario, acc in per_task.items():
+                accs[scenario].append(acc)
+        return {}, {s: float(np.mean(v)) for s, v in accs.items()}
+    results = run_continual_multi(method, stream, list(eval_scenarios), verbose=verbose)
+    return results, {}
+
+
+def run_pair_cells(
+    scenario: str,
+    methods,
+    profile: ExperimentProfile | str | None = None,
+    *,
+    seed: int | None = None,
+    eval_scenarios=DEFAULT_EVAL_SCENARIOS,
+    include_tvt: bool = True,
+    method_overrides: dict | None = None,
+    scenario_params: dict | None = None,
+    use_cache: bool = True,
+    jobs: int = 1,
+    verbose: bool = False,
+) -> PairResult:
+    """Run every method (plus the TVT bound) on one registered scenario.
+
+    Each method is one cached :class:`RunSpec` cell, so re-running a
+    table after adding a method only pays for the new column entries.
+    ``method_overrides`` apply to every *listed* method (not to the
+    implicitly added TVT bound).
+    """
+    from repro.engine.executor import run_specs
+
+    methods = list(methods)
+
+    def make_spec(name: str) -> RunSpec:
+        listed = name in methods
+        return spec_for(
+            name,
+            scenario,
+            profile,
+            seed=seed,
+            eval_scenarios=tuple(eval_scenarios),
+            method_overrides=dict(method_overrides or {}) if listed else {},
+            scenario_params=dict(scenario_params or {}),
+        )
+
+    names = list(methods) + (["TVT"] if include_tvt else [])
+    if not names:
+        raise ValueError("at least one method (or include_tvt) is required")
+    cells = run_specs(
+        [make_spec(name) for name in names],
+        jobs=jobs,
+        use_cache=use_cache,
+        verbose=verbose,
+    )
+    pair = PairResult(stream_name=cells[0].stream_name)
+    for cell in cells:
+        if cell.is_static:
+            pair.tvt_acc = dict(cell.static_acc)
+        else:
+            pair.results[cell.method] = cell.results
+    return pair
+
+
+def run_stream_pair(
+    stream: TaskStream,
+    profile: ExperimentProfile,
+    methods,
+    *,
+    eval_scenarios=None,
+    include_tvt: bool = True,
+    verbose: bool = False,
+    cdcl_overrides: dict | None = None,
+    in_channels: int | None = None,
+    image_size: int | None = None,
+) -> PairResult:
+    """Score methods on an explicitly built stream (uncached).
+
+    For ad-hoc streams (truncated tasks, custom generators) that have
+    no registry identity — the engine cannot key them on content, so
+    results are computed fresh each call.
+    """
+    scenarios = [
+        Scenario.parse(s)
+        for s in (eval_scenarios if eval_scenarios is not None else DEFAULT_EVAL_SCENARIOS)
+    ]
+    geometry = dict(in_channels=in_channels, image_size=image_size)
+    pair = PairResult(stream_name=stream.name)
+    for name in methods:
+        mspec = METHODS.get(name)
+        overrides = cdcl_overrides if name == "CDCL" else None
+        results, _static = run_method_on_stream(
+            mspec,
+            stream,
+            profile,
+            seed=profile.seed,
+            eval_scenarios=scenarios,
+            method_overrides=overrides,
+            verbose=verbose,
+            **geometry,
+        )
+        pair.results[name] = results
+    if include_tvt:
+        _results, static_acc = run_method_on_stream(
+            METHODS.get("TVT"),
+            stream,
+            profile,
+            seed=profile.seed,
+            eval_scenarios=[Scenario.TIL, Scenario.CIL],
+            verbose=verbose,
+            **geometry,
+        )
+        pair.tvt_acc = static_acc
+    return pair

@@ -27,7 +27,13 @@ from repro.experiments.table2 import run_table2, render_table2, TABLE2_COLUMNS, 
 from repro.experiments.table3 import run_table3, render_table3, Table3Result
 from repro.experiments.table4 import run_table4, render_table4, ABLATION_VARIANTS, Table4Result
 from repro.experiments.figure2 import run_figure2, render_figure2, Figure2Result
-from repro.experiments.multiseed import run_multi_seed, MultiSeedResult, SeedStatistics
+from repro.experiments.multiseed import (
+    run_multi_seed,
+    run_seed_sweep,
+    derive_seeds,
+    MultiSeedResult,
+    SeedStatistics,
+)
 from repro.experiments.reporting import (
     pair_result_to_dict,
     save_results,
@@ -63,6 +69,8 @@ __all__ = [
     "render_figure2",
     "Figure2Result",
     "run_multi_seed",
+    "run_seed_sweep",
+    "derive_seeds",
     "MultiSeedResult",
     "SeedStatistics",
     "pair_result_to_dict",

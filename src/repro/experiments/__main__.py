@@ -7,16 +7,29 @@ Usage::
     python -m repro.experiments table3 --domains clp skt
     python -m repro.experiments table4
     python -m repro.experiments figure2
-    python -m repro.experiments --profile smoke table1
+    python -m repro.experiments multiseed --method CDCL \
+        --scenario "digits/mnist->usps" --seeds 0 1 2
+    python -m repro.experiments list-methods
+    python -m repro.experiments list-scenarios
+    python -m repro.experiments --profile smoke --jobs 4 table1
+    python -m repro.experiments --no-cache figure2
 
-Prints the requested artifact in the paper's layout.
+Prints the requested artifact in the paper's layout.  Finished
+(method, scenario, profile, seed) cells are reused from the disk cache
+(``REPRO_CACHE_DIR``, disable with ``--no-cache``); ``--jobs N`` fans
+independent cells out over N worker processes.
 """
 
 from __future__ import annotations
 
 import argparse
+import sys
 
+from repro.data.synthetic import DOMAINNET_DOMAINS
+from repro.engine import METHODS, SCENARIOS, RunSpec, run_seed_sweep
 from repro.experiments import (
+    TABLE1_COLUMNS,
+    TABLE2_COLUMNS,
     get_profile,
     render_figure2,
     render_table1,
@@ -29,6 +42,7 @@ from repro.experiments import (
     run_table3,
     run_table4,
 )
+from repro.experiments.reporting import multiseed_markdown
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -43,6 +57,18 @@ def main(argv: list[str] | None = None) -> int:
         help="workload profile (default: env REPRO_PROFILE or 'scaled')",
     )
     parser.add_argument("--verbose", action="store_true")
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute every cell instead of reusing the disk cache",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run up to N experiment cells in parallel worker processes",
+    )
     sub = parser.add_subparsers(dest="artifact", required=True)
 
     p1 = sub.add_parser("table1", help="Office-31 / digits / VisDA")
@@ -54,28 +80,97 @@ def main(argv: list[str] | None = None) -> int:
     sub.add_parser("table4", help="loss/attention ablation")
     sub.add_parser("figure2", help="VisDA ACC evolution")
 
+    pm = sub.add_parser("multiseed", help="mean +/- std of one cell across seeds")
+    pm.add_argument("--method", default="CDCL", help="registered method name")
+    pm.add_argument(
+        "--scenario", default="digits/mnist->usps", help="registered scenario name"
+    )
+    pm.add_argument("--seeds", nargs="*", type=int, default=(0, 1, 2))
+
+    sub.add_parser("list-methods", help="every registered continual method")
+    sub.add_parser("list-scenarios", help="every registered benchmark scenario")
+
     args = parser.parse_args(argv)
+
+    try:
+        _validate_names(args)
+    except ValueError as error:
+        # Unknown method/scenario/column names: a tidy error beats a
+        # traceback (the message lists the registered alternatives).
+        # Errors raised deeper in a run keep their full traceback.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    return _run(args)
+
+
+def _validate_names(args: argparse.Namespace) -> None:
+    """Fail fast on unknown user-supplied names, before any training."""
+    if args.artifact == "table1" and args.columns:
+        unknown = set(args.columns) - set(TABLE1_COLUMNS)
+        if unknown:
+            raise ValueError(f"unknown Table I columns: {sorted(unknown)}")
+    elif args.artifact == "table2" and args.columns:
+        unknown = set(args.columns) - set(TABLE2_COLUMNS)
+        if unknown:
+            raise ValueError(f"unknown Office-Home pairs: {sorted(unknown)}")
+    elif args.artifact == "table3":
+        unknown = set(args.domains) - set(DOMAINNET_DOMAINS)
+        if unknown:
+            raise ValueError(f"unknown DomainNet domains: {sorted(unknown)}")
+    elif args.artifact == "multiseed":
+        METHODS.get(args.method)
+        SCENARIOS.get(args.scenario)
+
+
+def _run(args: argparse.Namespace) -> int:
+    if args.artifact == "list-methods":
+        for spec in METHODS:
+            print(f"{spec.name:<12} [{spec.kind}]  {spec.description}")
+        return 0
+    if args.artifact == "list-scenarios":
+        for spec in SCENARIOS:
+            print(f"{spec.name:<28} {spec.description}")
+        return 0
+
     profile = get_profile(args.profile)
+    use_cache = not args.no_cache
+    common = dict(
+        profile=profile, verbose=args.verbose, use_cache=use_cache, jobs=args.jobs
+    )
 
     if args.artifact == "table1":
         columns = tuple(args.columns) if args.columns else ("MN->US",)
-        result = run_table1(columns=columns, profile=profile, verbose=args.verbose)
-        print(render_table1(result))
+        print(render_table1(run_table1(columns=columns, **common)))
     elif args.artifact == "table2":
         columns = tuple(args.columns) if args.columns else ("Ar->Cl",)
-        result = run_table2(columns=columns, profile=profile, verbose=args.verbose)
-        print(render_table2(result))
+        print(render_table2(run_table2(columns=columns, **common)))
     elif args.artifact == "table3":
-        result = run_table3(
-            domains=tuple(args.domains), profile=profile, verbose=args.verbose
-        )
-        print(render_table3(result))
+        print(render_table3(run_table3(domains=tuple(args.domains), **common)))
     elif args.artifact == "table4":
-        result = run_table4(profile=profile, verbose=args.verbose)
-        print(render_table4(result))
+        print(render_table4(run_table4(**common)))
     elif args.artifact == "figure2":
-        result = run_figure2(profile=profile, verbose=args.verbose)
+        result = run_figure2(
+            profile=profile, verbose=args.verbose, use_cache=use_cache
+        )
         print(render_figure2(result))
+    elif args.artifact == "multiseed":
+        spec = RunSpec(
+            method=args.method,
+            scenario=args.scenario,
+            profile=profile.name,
+        )
+        result = run_seed_sweep(
+            spec,
+            args.seeds,
+            jobs=args.jobs,
+            use_cache=use_cache,
+            verbose=args.verbose,
+        )
+        print(
+            f"multiseed {args.method} on {args.scenario} "
+            f"(profile={profile.name}, seeds={list(args.seeds)})"
+        )
+        print(multiseed_markdown([result]))
     return 0
 
 

@@ -1,8 +1,11 @@
-"""Shared experiment infrastructure: profiles, method factory, runners.
+"""Shared experiment surface, now backed by :mod:`repro.engine`.
 
-The paper's tables compare the same method set across benchmarks; this
-module centralizes how each method is built and how one
-(source, target) pair is scored, so the per-table modules stay small.
+Historically this module owned the method factory and the
+run-one-(source, target)-pair loop; both now live in the engine
+(:mod:`repro.engine.registry` / :mod:`repro.engine.runner`) where they
+are registry-driven, disk-cached and parallelizable.  The names below
+are kept as thin delegates so existing imports — tests, examples,
+notebooks — keep working unchanged.
 
 Profiles
 --------
@@ -17,34 +20,14 @@ Experiment cost is controlled by a *profile* (environment variable
 
 from __future__ import annotations
 
-import os
-from dataclasses import dataclass, field, replace
-
-import numpy as np
-
-from repro.baselines import (
-    AGEM,
-    BackboneConfig,
-    BaselineConfig,
-    CDTransB,
-    CDTransS,
-    DER,
-    DERpp,
-    EWC,
-    FineTune,
-    HAL,
-    MSL,
-    SI,
-    TVT,
+from repro.continual import Scenario, TaskStream
+from repro.engine.profiles import ExperimentProfile, get_profile
+from repro.engine.registry import METHODS
+from repro.engine.runner import (
+    PairResult,
+    run_method_on_stream,
+    run_stream_pair,
 )
-from repro.continual import (
-    ContinualResult,
-    Scenario,
-    TaskStream,
-    evaluate_task,
-    run_continual_multi,
-)
-from repro.core import CDCLConfig, CDCLTrainer
 
 __all__ = [
     "ExperimentProfile",
@@ -63,112 +46,6 @@ DEFAULT_SCENARIOS = [Scenario.TIL, Scenario.CIL]
 CONTINUAL_METHODS = ("DER", "DER++", "HAL", "MSL", "CDTrans-S", "CDTrans-B", "CDCL")
 
 
-@dataclass
-class ExperimentProfile:
-    """Workload sizes for one experiment run."""
-
-    name: str
-    samples_per_class: int
-    test_samples_per_class: int
-    epochs: int  # CDCL epochs per task (warm-up + adaptation)
-    warmup_epochs: int
-    batch_size: int
-    memory_size: int
-    cdcl_embed_dim: int
-    cdcl_depth: int
-    baseline_embed_dim: int
-    baseline_depth: int
-    tvt_epochs: int
-    baseline_epochs: int | None = None  # defaults to `epochs`
-    seed: int = 0
-
-    def __post_init__(self) -> None:
-        if self.baseline_epochs is None:
-            self.baseline_epochs = self.epochs
-
-    def cdcl_config(self, **overrides) -> CDCLConfig:
-        base = dict(
-            embed_dim=self.cdcl_embed_dim,
-            depth=self.cdcl_depth,
-            epochs=self.epochs,
-            warmup_epochs=self.warmup_epochs,
-            batch_size=self.batch_size,
-            memory_size=self.memory_size,
-            seed=self.seed,
-        )
-        base.update(overrides)
-        return CDCLConfig(**base)
-
-    def baseline_config(self, **overrides) -> BaselineConfig:
-        base = dict(
-            backbone=BackboneConfig(
-                embed_dim=self.baseline_embed_dim, depth=self.baseline_depth
-            ),
-            epochs=self.baseline_epochs,
-            batch_size=self.batch_size,
-            memory_size=self.memory_size,
-            seed=self.seed,
-        )
-        base.update(overrides)
-        return BaselineConfig(**base)
-
-
-_PROFILES = {
-    "smoke": ExperimentProfile(
-        name="smoke",
-        samples_per_class=10,
-        test_samples_per_class=6,
-        epochs=3,
-        warmup_epochs=1,
-        batch_size=16,
-        memory_size=50,
-        cdcl_embed_dim=16,
-        cdcl_depth=1,
-        baseline_embed_dim=16,
-        baseline_depth=1,
-        tvt_epochs=4,
-    ),
-    "scaled": ExperimentProfile(
-        name="scaled",
-        samples_per_class=20,
-        test_samples_per_class=10,
-        epochs=16,
-        warmup_epochs=6,
-        batch_size=32,
-        memory_size=200,
-        cdcl_embed_dim=48,
-        cdcl_depth=2,
-        baseline_embed_dim=48,
-        baseline_depth=2,
-        tvt_epochs=15,
-        baseline_epochs=10,
-    ),
-    "full": ExperimentProfile(
-        name="full",
-        samples_per_class=50,
-        test_samples_per_class=25,
-        epochs=20,
-        warmup_epochs=5,
-        batch_size=32,
-        memory_size=1000,
-        cdcl_embed_dim=64,
-        cdcl_depth=4,
-        baseline_embed_dim=64,
-        baseline_depth=4,
-        tvt_epochs=40,
-    ),
-}
-
-
-def get_profile(name: str | None = None, **overrides) -> ExperimentProfile:
-    """Resolve a profile by name, env var, or the 'scaled' default."""
-    name = name or os.environ.get("REPRO_PROFILE", "scaled")
-    if name not in _PROFILES:
-        raise ValueError(f"unknown profile {name!r}; expected one of {sorted(_PROFILES)}")
-    profile = _PROFILES[name]
-    return replace(profile, **overrides) if overrides else profile
-
-
 def build_method(
     name: str,
     profile: ExperimentProfile,
@@ -177,48 +54,10 @@ def build_method(
     rng_seed: int = 0,
     cdcl_overrides: dict | None = None,
 ):
-    """Construct a continual method by table name."""
-    if name == "CDCL":
-        config = profile.cdcl_config(**(cdcl_overrides or {}))
-        return CDCLTrainer(config, in_channels, image_size, rng=rng_seed)
-    if name in ("DER", "DER++", "HAL", "MSL", "FineTune", "EWC", "SI", "A-GEM"):
-        cls = {
-            "DER": DER,
-            "DER++": DERpp,
-            "HAL": HAL,
-            "MSL": MSL,
-            "FineTune": FineTune,
-            "EWC": EWC,
-            "SI": SI,
-            "A-GEM": AGEM,
-        }[name]
-        return cls(profile.baseline_config(), in_channels, image_size, rng=rng_seed)
-    if name in ("CDTrans-S", "CDTrans-B"):
-        cls = CDTransS if name == "CDTrans-S" else CDTransB
-        return cls(
-            in_channels,
-            image_size,
-            epochs=profile.epochs,
-            warmup_epochs=profile.warmup_epochs,
-            batch_size=profile.batch_size,
-            rng=rng_seed,
-        )
-    raise ValueError(f"unknown method {name!r}")
-
-
-@dataclass
-class PairResult:
-    """All scores for one (source -> target) benchmark pair."""
-
-    stream_name: str
-    results: dict[str, dict[Scenario, ContinualResult]] = field(default_factory=dict)
-    tvt_acc: dict[Scenario, float] = field(default_factory=dict)
-
-    def acc(self, method: str, scenario: Scenario) -> float:
-        return self.results[method][scenario].acc
-
-    def fgt(self, method: str, scenario: Scenario) -> float:
-        return self.results[method][scenario].fgt
+    """Construct a continual method by table name (via the registry)."""
+    spec = METHODS.get(name)
+    overrides = cdcl_overrides if name == "CDCL" else None
+    return spec.factory(profile, in_channels, image_size, rng_seed, overrides)
 
 
 def run_pair(
@@ -232,20 +71,24 @@ def run_pair(
     verbose: bool = False,
     cdcl_overrides: dict | None = None,
 ) -> PairResult:
-    """Score every method on one stream (single training per method)."""
-    sample_image = stream[0].source_train[0][0]
-    in_channels = in_channels or sample_image.shape[0]
-    image_size = image_size or sample_image.shape[-1]
-    pair = PairResult(stream_name=stream.name)
-    for name in methods:
-        method = build_method(
-            name, profile, in_channels, image_size, rng_seed=profile.seed,
-            cdcl_overrides=cdcl_overrides,
-        )
-        pair.results[name] = run_continual_multi(method, stream, list(scenarios), verbose=verbose)
-    if include_tvt:
-        pair.tvt_acc = fit_tvt(stream, profile, in_channels, image_size)
-    return pair
+    """Score every method on one explicitly built stream (uncached).
+
+    Registry-named scenarios should go through
+    :func:`repro.engine.run_pair_cells` instead, which caches each
+    method cell on disk.  ``in_channels``/``image_size`` override the
+    stream-inferred model geometry, as before.
+    """
+    return run_stream_pair(
+        stream,
+        profile,
+        methods,
+        eval_scenarios=scenarios,
+        include_tvt=include_tvt,
+        verbose=verbose,
+        cdcl_overrides=cdcl_overrides,
+        in_channels=in_channels,
+        image_size=image_size,
+    )
 
 
 def fit_tvt(
@@ -255,21 +98,16 @@ def fit_tvt(
     image_size: int,
 ) -> dict[Scenario, float]:
     """Train the static upper bound once; report mean per-task accuracy."""
-    tvt = TVT(
-        BackboneConfig(embed_dim=profile.baseline_embed_dim, depth=profile.baseline_depth),
-        in_channels,
-        image_size,
-        epochs=profile.tvt_epochs,
-        warmup_epochs=max(2, profile.tvt_epochs // 4),
-        batch_size=profile.batch_size,
-        rng=profile.seed,
+    _results, static_acc = run_method_on_stream(
+        METHODS.get("TVT"),
+        stream,
+        profile,
+        seed=profile.seed,
+        eval_scenarios=DEFAULT_SCENARIOS,
+        in_channels=in_channels,
+        image_size=image_size,
     )
-    tvt.fit(stream)
-    out: dict[Scenario, float] = {}
-    for scenario in DEFAULT_SCENARIOS:
-        accs = [evaluate_task(tvt, task, scenario) for task in stream]
-        out[scenario] = float(np.mean(accs))
-    return out
+    return static_acc
 
 
 def format_percent(value: float) -> str:

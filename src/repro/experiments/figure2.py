@@ -5,8 +5,11 @@ tasks seen so far (with a band of +/- one standard deviation across
 those tasks) — visualizing how TIL stays roughly flat while CIL decays
 as the single head accumulates classes.
 
-This module computes the series; the bench target prints them as rows
-(one per training step) so the curve can be re-plotted from text.
+Declarative spec over :mod:`repro.engine`: the whole figure is one
+cached CDCL-on-VisDA :class:`~repro.engine.runner.RunSpec`; the series
+are extracted from the cached R-matrices.  The bench target prints them
+as rows (one per training step) so the curve can be re-plotted from
+text.
 """
 
 from __future__ import annotations
@@ -15,9 +18,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.continual import Scenario, run_continual_multi
-from repro.core import CDCLTrainer
-from repro.data.synthetic import visda2017
+from repro.continual import Scenario
+from repro.engine.runner import run_one, spec_for
 from repro.experiments.common import ExperimentProfile, format_percent, get_profile
 
 __all__ = ["Figure2Series", "Figure2Result", "run_figure2", "render_figure2"]
@@ -39,25 +41,19 @@ class Figure2Result:
 
 
 def run_figure2(
-    profile: ExperimentProfile | None = None, verbose: bool = False
+    profile: ExperimentProfile | None = None,
+    verbose: bool = False,
+    use_cache: bool = True,
 ) -> Figure2Result:
     """Train CDCL on the VisDA stream and extract the figure's series."""
     profile = profile or get_profile()
-    stream = visda2017(
-        samples_per_class=profile.samples_per_class,
-        test_samples_per_class=profile.test_samples_per_class,
-        rng=profile.seed,
-    )
-    trainer = CDCLTrainer(
-        profile.cdcl_config(), in_channels=3, image_size=16, rng=profile.seed
-    )
-    runs = run_continual_multi(
-        trainer, stream, [Scenario.TIL, Scenario.CIL], verbose=verbose
+    cell = run_one(
+        spec_for("CDCL", "visda2017", profile), use_cache=use_cache, verbose=verbose
     )
     result = Figure2Result(profile=profile.name)
-    for scenario, run in runs.items():
+    for scenario, run in cell.results.items():
         series = Figure2Series(scenario=scenario)
-        for step in range(len(stream)):
+        for step in range(run.r_matrix.num_tasks):
             row = run.r_matrix.row(step)[: step + 1]
             series.mean.append(float(np.mean(row)))
             series.std.append(float(np.std(row)))

@@ -3,68 +3,49 @@
 Single-seed numbers from small synthetic benchmarks are noisy; this
 module repeats a continual run across seeds and reports mean +/- std of
 ACC/FGT — the statistics the paper's Figure 2 band visualizes.
+
+Execution is delegated to :mod:`repro.engine.executor`: seeds fan out
+over a process pool (``jobs``), and registry-named runs additionally
+hit the disk cache, so repeating an aggregation is nearly free.  Two
+entry points:
+
+* :func:`run_multi_seed` — the factory-based API for ad-hoc streams and
+  methods (callables taking the seed);
+* :func:`repro.engine.executor.run_seed_sweep` — the registry-based,
+  cached path used by ``python -m repro.experiments multiseed``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
-import numpy as np
-
-from repro.continual import ContinualResult, Scenario, TaskStream, run_continual_multi
+from repro.continual import Scenario, TaskStream, run_continual_multi
 from repro.continual.method import ContinualMethod
+from repro.engine.executor import (
+    MultiSeedResult,
+    SeedStatistics,
+    derive_seeds,
+    map_jobs,
+    run_seed_sweep,
+)
 
-__all__ = ["SeedStatistics", "MultiSeedResult", "run_multi_seed"]
-
-
-@dataclass
-class SeedStatistics:
-    """Mean/std/raw values of one metric across seeds."""
-
-    values: list[float] = field(default_factory=list)
-
-    @property
-    def mean(self) -> float:
-        return float(np.mean(self.values)) if self.values else float("nan")
-
-    @property
-    def std(self) -> float:
-        return float(np.std(self.values)) if self.values else float("nan")
-
-    @property
-    def n(self) -> int:
-        return len(self.values)
-
-    def __repr__(self) -> str:
-        return f"{self.mean:.4f} +/- {self.std:.4f} (n={self.n})"
+__all__ = [
+    "SeedStatistics",
+    "MultiSeedResult",
+    "derive_seeds",
+    "run_multi_seed",
+    "run_seed_sweep",
+]
 
 
-@dataclass
-class MultiSeedResult:
-    """ACC/FGT statistics per scenario over a set of seeds."""
-
-    method: str
-    stream: str
-    seeds: tuple[int, ...]
-    acc: dict[Scenario, SeedStatistics] = field(default_factory=dict)
-    fgt: dict[Scenario, SeedStatistics] = field(default_factory=dict)
-    runs: list[dict[Scenario, ContinualResult]] = field(default_factory=list)
-
-    def summary(self) -> dict:
-        return {
-            "method": self.method,
-            "stream": self.stream,
-            "seeds": list(self.seeds),
-            **{
-                f"acc_{s.value}": (stat.mean, stat.std)
-                for s, stat in self.acc.items()
-            },
-            **{
-                f"fgt_{s.value}": (stat.mean, stat.std)
-                for s, stat in self.fgt.items()
-            },
-        }
+def _seed_job(args):
+    """One seed's full pipeline (module-level so process pools can pickle it)."""
+    method_factory, stream_factory, seed, scenario_values = args
+    stream = stream_factory(seed)
+    method = method_factory(seed)
+    parsed = [Scenario.parse(s) for s in scenario_values]
+    runs = run_continual_multi(method, stream, parsed)
+    return method.name, stream.name, runs
 
 
 def run_multi_seed(
@@ -73,6 +54,7 @@ def run_multi_seed(
     seeds: Sequence[int],
     scenarios: Sequence[Scenario | str] = (Scenario.TIL, Scenario.CIL),
     keep_runs: bool = False,
+    jobs: int = 1,
 ) -> MultiSeedResult:
     """Repeat (build stream, build method, run protocol) per seed.
 
@@ -81,30 +63,36 @@ def run_multi_seed(
     method_factory / stream_factory:
         Callables taking the seed; both data and initialization vary
         per repetition, so the statistics cover the full pipeline.
+        Must be picklable (module-level) when ``jobs > 1``.
     keep_runs:
         Retain the individual :class:`ContinualResult` objects (memory
         cost grows with the number of seeds).
+    jobs:
+        Seeds run ``jobs`` at a time over a process pool; results are
+        aggregated in seed order either way, so the statistics are
+        identical to the serial run.
     """
     if not seeds:
         raise ValueError("at least one seed is required")
     parsed = [Scenario.parse(s) for s in scenarios]
-    result: MultiSeedResult | None = None
-    for seed in seeds:
-        stream = stream_factory(seed)
-        method = method_factory(seed)
-        runs = run_continual_multi(method, stream, list(parsed))
-        if result is None:
-            result = MultiSeedResult(
-                method=method.name,
-                stream=stream.name,
-                seeds=tuple(seeds),
-                acc={s: SeedStatistics() for s in parsed},
-                fgt={s: SeedStatistics() for s in parsed},
-            )
+    values = [s.value for s in parsed]
+    outputs = map_jobs(
+        _seed_job,
+        [(method_factory, stream_factory, seed, values) for seed in seeds],
+        jobs=jobs,
+    )
+    method_name, stream_name, _first = outputs[0]
+    result = MultiSeedResult(
+        method=method_name,
+        stream=stream_name,
+        seeds=tuple(seeds),
+        acc={s: SeedStatistics() for s in parsed},
+        fgt={s: SeedStatistics() for s in parsed},
+    )
+    for _method, _stream, runs in outputs:
         for scenario in parsed:
             result.acc[scenario].values.append(runs[scenario].acc)
             result.fgt[scenario].values.append(runs[scenario].fgt)
         if keep_runs:
             result.runs.append(runs)
-    assert result is not None
     return result

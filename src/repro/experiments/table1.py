@@ -8,9 +8,12 @@ static upper bound) under both TIL and CIL, over
 * MN->US and US->MN,
 * VisDA-2017 synthetic->real.
 
-``columns`` selects a subset of the nine columns; the default bench
-target runs a representative subset (the full sweep is hours on CPU —
-set ``columns=None``/``REPRO_FULL=1`` for everything).
+The module is a declarative spec over :mod:`repro.engine`: each column
+names a registered scenario, each (method, column) cell is one cached
+:class:`~repro.engine.runner.RunSpec`.  ``columns`` selects a subset of
+the nine columns; the default bench target runs a representative subset
+(the full sweep is hours on CPU — set ``columns=None``/``REPRO_FULL=1``
+for everything).
 """
 
 from __future__ import annotations
@@ -18,14 +21,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.continual import Scenario
-from repro.data.synthetic import mnist_usps, office31, visda2017
+from repro.engine.runner import PairResult, run_pair_cells
 from repro.experiments.common import (
     CONTINUAL_METHODS,
     ExperimentProfile,
-    PairResult,
     format_percent,
     get_profile,
-    run_pair,
 )
 
 __all__ = ["TABLE1_COLUMNS", "Table1Result", "run_table1", "render_table1"]
@@ -43,31 +44,13 @@ TABLE1_COLUMNS = (
     "VisDA-2017",
 )
 
-_DIGITS = {"MN->US": "mnist->usps", "US->MN": "usps->mnist"}
-
-
-def _make_stream(column: str, profile: ExperimentProfile):
-    if column in _DIGITS:
-        return mnist_usps(
-            _DIGITS[column],
-            samples_per_class=profile.samples_per_class,
-            test_samples_per_class=profile.test_samples_per_class,
-            rng=profile.seed,
-        )
-    if column == "VisDA-2017":
-        return visda2017(
-            samples_per_class=profile.samples_per_class,
-            test_samples_per_class=profile.test_samples_per_class,
-            rng=profile.seed,
-        )
-    source, target = column.split("->")
-    return office31(
-        source,
-        target,
-        samples_per_class=profile.samples_per_class,
-        test_samples_per_class=profile.test_samples_per_class,
-        rng=profile.seed,
-    )
+#: Column name -> registered scenario name (the whole table definition).
+COLUMN_SCENARIOS = {
+    **{pair: f"office31/{pair}" for pair in TABLE1_COLUMNS[:6]},
+    "MN->US": "digits/mnist->usps",
+    "US->MN": "digits/usps->mnist",
+    "VisDA-2017": "visda2017",
+}
 
 
 @dataclass
@@ -89,6 +72,8 @@ def run_table1(
     methods=CONTINUAL_METHODS,
     include_tvt: bool = True,
     verbose: bool = False,
+    use_cache: bool = True,
+    jobs: int = 1,
 ) -> Table1Result:
     """Run Table I over the requested columns.
 
@@ -96,6 +81,9 @@ def run_table1(
     ----------
     columns:
         Subset of :data:`TABLE1_COLUMNS`; None means all nine.
+    use_cache / jobs:
+        Disk-cache toggle and process-pool width, forwarded to the
+        engine (each method cell is cached independently).
     """
     profile = profile or get_profile()
     columns = TABLE1_COLUMNS if columns is None else tuple(columns)
@@ -104,16 +92,27 @@ def run_table1(
         raise ValueError(f"unknown Table I columns: {sorted(unknown)}")
     result = Table1Result(profile=profile.name)
     for column in columns:
-        stream = _make_stream(column, profile)
-        result.pairs[column] = run_pair(
-            stream, profile, methods=methods, include_tvt=include_tvt, verbose=verbose
+        result.pairs[column] = run_pair_cells(
+            COLUMN_SCENARIOS[column],
+            methods,
+            profile,
+            include_tvt=include_tvt,
+            use_cache=use_cache,
+            jobs=jobs,
+            verbose=verbose,
         )
     return result
 
 
-def render_table1(result: Table1Result, methods=CONTINUAL_METHODS) -> str:
-    """Format results in the paper's row layout (percentages)."""
+def render_table1(result: Table1Result, methods=None) -> str:
+    """Format results in the paper's row layout (percentages).
+
+    ``methods`` defaults to the methods actually present in the result,
+    so rendering a subset run never raises on missing rows.
+    """
     columns = list(result.pairs)
+    if methods is None:
+        methods = list(result.pairs[columns[0]].results) if columns else []
     lines = [
         f"Table I (profile={result.profile})",
         "Method          " + "  ".join(f"{c:>10}" for c in columns),

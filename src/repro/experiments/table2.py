@@ -1,7 +1,9 @@
 """Table II: Office-Home, all twelve direction pairs.
 
 Same method set and layout as Table I, over the 4-domain Office-Home
-benchmark (65 classes, 13 tasks x 5 classes).
+benchmark (65 classes, 13 tasks x 5 classes).  Declarative spec over
+:mod:`repro.engine`: every column maps to the registered
+``office_home/<pair>`` scenario.
 """
 
 from __future__ import annotations
@@ -10,14 +12,12 @@ from dataclasses import dataclass, field
 from itertools import permutations
 
 from repro.continual import Scenario
-from repro.data.synthetic import office_home
+from repro.engine.runner import PairResult, run_pair_cells
 from repro.experiments.common import (
     CONTINUAL_METHODS,
     ExperimentProfile,
-    PairResult,
     format_percent,
     get_profile,
-    run_pair,
 )
 
 __all__ = ["TABLE2_COLUMNS", "Table2Result", "run_table2", "render_table2"]
@@ -43,6 +43,8 @@ def run_table2(
     methods=CONTINUAL_METHODS,
     include_tvt: bool = True,
     verbose: bool = False,
+    use_cache: bool = True,
+    jobs: int = 1,
 ) -> Table2Result:
     """Run Table II over the requested direction pairs (None = all 12)."""
     profile = profile or get_profile()
@@ -52,22 +54,23 @@ def run_table2(
         raise ValueError(f"unknown Office-Home pairs: {sorted(unknown)}")
     result = Table2Result(profile=profile.name)
     for column in columns:
-        source, target = column.split("->")
-        stream = office_home(
-            source,
-            target,
-            samples_per_class=profile.samples_per_class,
-            test_samples_per_class=profile.test_samples_per_class,
-            rng=profile.seed,
-        )
-        result.pairs[column] = run_pair(
-            stream, profile, methods=methods, include_tvt=include_tvt, verbose=verbose
+        result.pairs[column] = run_pair_cells(
+            f"office_home/{column}",
+            methods,
+            profile,
+            include_tvt=include_tvt,
+            use_cache=use_cache,
+            jobs=jobs,
+            verbose=verbose,
         )
     return result
 
 
-def render_table2(result: Table2Result, methods=CONTINUAL_METHODS) -> str:
+def render_table2(result: Table2Result, methods=None) -> str:
+    """Render Table II; ``methods`` defaults to those present in the result."""
     columns = list(result.pairs)
+    if methods is None:
+        methods = list(result.pairs[columns[0]].results) if columns else []
     lines = [
         f"Table II (profile={result.profile})",
         "Method          " + "  ".join(f"{c:>8}" for c in columns),

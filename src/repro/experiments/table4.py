@@ -9,15 +9,19 @@ Five variants on MN->US and US->MN, both scenarios:
 * C: drop ``L_R``   (no rehearsal — CIL collapses);
 * "simple attention": keep all losses but replace the inter- intra-task
   cross-attention with plain self-attention on the source only.
+
+Declarative spec over :mod:`repro.engine`: each (variant, direction)
+cell is one cached :class:`~repro.engine.runner.RunSpec` whose
+``method_overrides`` carry the variant's config toggles.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.continual import Scenario, run_continual_multi
-from repro.core import CDCLTrainer
-from repro.data.synthetic import mnist_usps
+from repro.continual import Scenario
+from repro.engine.executor import run_specs
+from repro.engine.runner import spec_for
 from repro.experiments.common import ExperimentProfile, format_percent, get_profile
 
 __all__ = ["ABLATION_VARIANTS", "Table4Result", "run_table4", "render_table4"]
@@ -47,31 +51,34 @@ def run_table4(
     variants=tuple(ABLATION_VARIANTS),
     profile: ExperimentProfile | None = None,
     verbose: bool = False,
+    use_cache: bool = True,
+    jobs: int = 1,
 ) -> Table4Result:
     """Run the loss/attention ablation grid."""
     profile = profile or get_profile()
     unknown = set(variants) - set(ABLATION_VARIANTS)
     if unknown:
         raise ValueError(f"unknown ablation variants: {sorted(unknown)}")
+    grid = [(variant, direction) for variant in variants for direction in directions]
+    cells = run_specs(
+        [
+            spec_for(
+                "CDCL",
+                f"digits/{direction}",
+                profile,
+                method_overrides=dict(ABLATION_VARIANTS[variant]),
+            )
+            for variant, direction in grid
+        ],
+        jobs=jobs,
+        use_cache=use_cache,
+        verbose=verbose,
+    )
     result = Table4Result(profile=profile.name)
-    for variant in variants:
-        overrides = ABLATION_VARIANTS[variant]
-        result.accs[variant] = {}
-        for direction in directions:
-            stream = mnist_usps(
-                direction,
-                samples_per_class=profile.samples_per_class,
-                test_samples_per_class=profile.test_samples_per_class,
-                rng=profile.seed,
-            )
-            config = profile.cdcl_config(**overrides)
-            trainer = CDCLTrainer(config, in_channels=1, image_size=16, rng=profile.seed)
-            runs = run_continual_multi(
-                trainer, stream, [Scenario.TIL, Scenario.CIL], verbose=verbose
-            )
-            result.accs[variant][direction] = {
-                scenario: run.acc for scenario, run in runs.items()
-            }
+    for (variant, direction), cell in zip(grid, cells):
+        result.accs.setdefault(variant, {})[direction] = {
+            scenario: run.acc for scenario, run in cell.results.items()
+        }
     return result
 
 

@@ -4,9 +4,10 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.autograd import Tensor, ops
+from repro.autograd import Tensor, no_grad, ops
 
 __all__ = [
+    "chunked_apply",
     "one_hot",
     "cross_entropy",
     "soft_cross_entropy",
@@ -18,6 +19,23 @@ __all__ = [
     "pairwise_sq_distances",
     "accuracy",
 ]
+
+
+def chunked_apply(fn, images: np.ndarray, batch_size: int, out_dim: int) -> np.ndarray:
+    """Evaluate ``fn`` (array -> Tensor) over ``images`` in memory-bounded
+    chunks under ``no_grad`` and concatenate the raw outputs.
+
+    The shared evaluation idiom: one pass over an arbitrarily large
+    array without building autograd graphs or a full activation set.
+    ``out_dim`` shapes the empty result when ``images`` is empty.
+    """
+    chunks = []
+    with no_grad():
+        for start in range(0, len(images), batch_size):
+            chunks.append(fn(images[start : start + batch_size]).data)
+    if not chunks:
+        return np.empty((0, out_dim))
+    return np.concatenate(chunks)
 
 
 def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:

@@ -53,19 +53,26 @@ class TestDILEvaluation:
 
     def test_dil_uses_latest_head(self, dil_stream):
         """DIL evaluation must query the most recent task parameters."""
-        calls = []
+        conditioning = []
 
         class Probe(CDCLTrainer):
-            def predict(self, images, task_id, scenario):
-                calls.append((task_id, scenario))
-                return super().predict(images, task_id, scenario)
+            def _embed(self, task_id, images):
+                conditioning.append(task_id)
+                return super()._embed(task_id, images)
 
         trainer = Probe(CDCLConfig.fast(), in_channels=3, image_size=16, rng=0)
         run_continual(trainer, dil_stream, Scenario.DIL)
-        assert all(s is Scenario.DIL for _t, s in calls)
-        # After the second task, every evaluation uses head index 1.
-        late_calls = [t for t, _s in calls[-2:]]
-        assert late_calls == [1, 1]
+        # The final evaluation round scores both seen tasks; each must
+        # condition the encoder on the latest task's (K_i, b_i), i.e.
+        # index 1 (earlier entries include task-0 training/eval passes).
+        assert conditioning[-2:] == [1, 1]
+        # And the harness-produced predictions equal an explicit
+        # latest-head query.
+        images, _ = dil_stream[0].target_test.arrays()
+        np.testing.assert_array_equal(
+            trainer.predict_multi(images, 0, [Scenario.DIL])[Scenario.DIL],
+            trainer.predict(images, trainer.tasks_seen - 1, Scenario.DIL),
+        )
 
     def test_scenario_flag(self):
         assert not Scenario.DIL.task_id_at_test

@@ -1,43 +1,52 @@
-"""Tests for the experiment-to-stream mapping helpers."""
+"""Tests for the experiment-to-stream mapping (column -> scenario registry)."""
 
 import pytest
 
+from repro.engine import SCENARIOS
 from repro.experiments import get_profile
-from repro.experiments.table1 import _make_stream, TABLE1_COLUMNS
+from repro.experiments.table1 import COLUMN_SCENARIOS, TABLE1_COLUMNS
 
 SMOKE = get_profile("smoke")
 
 
+def _column_stream(column, profile):
+    return SCENARIOS.get(COLUMN_SCENARIOS[column]).build(profile, seed=profile.seed)
+
+
 class TestTable1StreamMapping:
     def test_digit_columns_build_digit_streams(self):
-        stream = _make_stream("MN->US", SMOKE)
+        stream = _column_stream("MN->US", SMOKE)
         assert stream.source_domain == "mnist"
         assert stream.target_domain == "usps"
         assert len(stream) == 5
 
     def test_reverse_digit_direction(self):
-        stream = _make_stream("US->MN", SMOKE)
+        stream = _column_stream("US->MN", SMOKE)
         assert stream.source_domain == "usps"
 
     def test_visda_column(self):
-        stream = _make_stream("VisDA-2017", SMOKE)
+        stream = _column_stream("VisDA-2017", SMOKE)
         assert len(stream) == 4
         assert stream.classes_per_task == 3
 
     @pytest.mark.parametrize("column", ["A->D", "D->W", "W->A"])
     def test_office_columns(self, column):
-        stream = _make_stream(column, SMOKE)
+        stream = _column_stream(column, SMOKE)
         assert len(stream) == 5
         assert stream.classes_per_task == 6
         assert stream.total_classes == 30
 
+    def test_every_column_has_a_registered_scenario(self):
+        for column in TABLE1_COLUMNS:
+            assert COLUMN_SCENARIOS[column] in SCENARIOS
+
     def test_all_columns_buildable(self):
         for column in TABLE1_COLUMNS:
-            stream = _make_stream(column, SMOKE)
+            stream = _column_stream(column, SMOKE)
             stream.validate()
 
     def test_profile_controls_sample_counts(self):
-        stream = _make_stream("MN->US", SMOKE)
+        stream = _column_stream("MN->US", SMOKE)
         per_task = SMOKE.samples_per_class * stream.classes_per_task
         assert len(stream[0].source_train) == per_task
         assert len(stream[0].target_test) == (
