@@ -10,7 +10,7 @@ import time
 
 import numpy as np
 
-from repro.autograd import Tensor, no_grad
+from repro.autograd import no_grad
 from repro.core import CDCLConfig, CDCLNetwork, cost_from_config
 
 

@@ -8,7 +8,6 @@ inequality holds on the measured quantities.
 
 import numpy as np
 
-from repro.continual import Scenario
 from repro.core import CDCLConfig, CDCLTrainer
 from repro.data.synthetic import mnist_usps
 from repro.theory import continual_bound, single_task_bound

@@ -25,11 +25,20 @@ def _isolated_engine_cache(tmp_path_factory):
     results into) the user-level ``~/.cache/repro-engine`` — a cached
     cell from an older code version would silently mask regressions in
     the qualitative benchmark assertions.
+
+    The directory name embeds the engine's ``CACHE_VERSION``: even if a
+    session cache outlives its run (reused basetemp via ``--basetemp``,
+    or a future persistent test cache), cells written under an older
+    entry format can never be served to tests of a newer one.
     """
+    from repro.engine.cache import CACHE_VERSION
+
     previous = {
         name: os.environ.get(name) for name in ("REPRO_CACHE_DIR", "REPRO_NO_CACHE")
     }
-    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("engine-cache"))
+    os.environ["REPRO_CACHE_DIR"] = str(
+        tmp_path_factory.mktemp(f"engine-cache-v{CACHE_VERSION}")
+    )
     # An exported REPRO_NO_CACHE would make the cache-behavior tests
     # spuriously fail; the suite always runs with caching available.
     os.environ.pop("REPRO_NO_CACHE", None)

@@ -7,7 +7,6 @@ backward closure returning the gradient contribution for every parent
 
 from __future__ import annotations
 
-import builtins
 from typing import Sequence
 
 import numpy as np

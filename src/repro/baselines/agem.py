@@ -13,7 +13,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.autograd import Tensor
 from repro.baselines.base import BaselineConfig, BaselineTrainer
 from repro.continual.memory import ReservoirMemory
 from repro.continual.stream import UDATask

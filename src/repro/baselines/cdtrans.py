@@ -159,6 +159,29 @@ class CDTrans(ContinualMethod):
         }
 
     # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def checkpoint_meta(self) -> dict:
+        return {
+            "tasks_seen": int(self._tasks_seen),
+            "num_classes": int(self._num_classes),
+            "total_classes": int(self._total_classes),
+        }
+
+    def rebuild_structure(self, meta: dict) -> None:
+        # The single shared head is created lazily per task; recreate it
+        # at the trained width so the saved weights fit.
+        if meta.get("num_classes"):
+            self.head = Linear(
+                self.backbone.embed_dim,
+                int(meta["num_classes"]),
+                rng=spawn_rng(self._head_rng),
+            )
+        self._tasks_seen = int(meta.get("tasks_seen", 0))
+        self._num_classes = int(meta.get("num_classes", 0))
+        self._total_classes = int(meta.get("total_classes", 0))
+
+    # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------
     def _batches(self, n: int) -> list[np.ndarray]:

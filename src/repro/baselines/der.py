@@ -18,7 +18,7 @@ from repro.autograd import Tensor
 from repro.baselines.base import BaselineConfig, BaselineTrainer
 from repro.continual.memory import ReservoirMemory
 from repro.continual.stream import UDATask
-from repro.nn.functional import cross_entropy, mse_loss
+from repro.nn.functional import cross_entropy
 from repro.utils import spawn_rng
 
 __all__ = ["DER", "DERpp"]

@@ -28,7 +28,7 @@ from repro.continual.scenario import Scenario
 from repro.continual.stream import TaskStream, UDATask
 from repro.core.pseudo_label import assign_pseudo_labels, compute_centroids
 from repro.nn import Linear
-from repro.nn.functional import cross_entropy, soft_cross_entropy
+from repro.nn.functional import cross_entropy
 from repro.optim import Adam, clip_grad_norm
 from repro.utils import resolve_rng, spawn_rng
 
@@ -155,6 +155,28 @@ class TVT(ContinualMethod):
             else:
                 out[scenario] = logits.argmax(axis=-1)
         return out
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def checkpoint_meta(self) -> dict:
+        return {
+            "classes_per_task": int(self._classes_per_task),
+            "tasks_seen": int(self._tasks_seen),
+            "fitted": bool(self._fitted),
+            "head_classes": int(self.head.out_features) if self.head is not None else 0,
+        }
+
+    def rebuild_structure(self, meta: dict) -> None:
+        if meta.get("head_classes"):
+            self.head = Linear(
+                self.backbone.embed_dim,
+                int(meta["head_classes"]),
+                rng=spawn_rng(self._head_rng),
+            )
+        self._classes_per_task = int(meta.get("classes_per_task", 0))
+        self._tasks_seen = int(meta.get("tasks_seen", 0))
+        self._fitted = bool(meta.get("fitted", False))
 
     # ------------------------------------------------------------------
     # Helpers

@@ -85,3 +85,71 @@ class ContinualMethod:
     @property
     def tasks_seen(self) -> int:
         raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Checkpointing protocol
+    # ------------------------------------------------------------------
+    # A trained method serializes to (arrays, meta): flat named float
+    # arrays (the weights) plus a JSON-safe structural record.  The
+    # default implementation walks every nn.Module attribute; methods
+    # that grow structure during training (per-task heads) override
+    # :meth:`checkpoint_meta` and :meth:`rebuild_structure` so a
+    # freshly-constructed instance can be grown back to the trained
+    # shape before the weights are loaded.
+
+    def _checkpoint_modules(self) -> dict[str, object]:
+        """Every public nn.Module attribute, keyed by attribute name.
+
+        Private (``_``-prefixed) modules are training-time apparatus —
+        e.g. MSL's frozen distillation teacher — and are not part of
+        the model a checkpoint captures.
+        """
+        from repro.nn.module import Module
+
+        return {
+            attr: value
+            for attr, value in sorted(vars(self).items())
+            if isinstance(value, Module) and not attr.startswith("_")
+        }
+
+    def checkpoint_arrays(self) -> dict[str, np.ndarray]:
+        """Flat ``{attr.dotted.param: ndarray}`` mapping of all weights."""
+        arrays: dict[str, np.ndarray] = {}
+        for attr, module in self._checkpoint_modules().items():
+            for name, value in module.state_dict().items():
+                arrays[f"{attr}.{name}"] = value
+        return arrays
+
+    def checkpoint_meta(self) -> dict:
+        """JSON-safe structural metadata needed to rebuild the method."""
+        task_classes = getattr(self, "_task_classes", None)
+        if task_classes is not None:
+            return {"task_classes": [int(n) for n in task_classes]}
+        return {}
+
+    def rebuild_structure(self, meta: dict) -> None:
+        """Grow a fresh instance to the trained shape (heads per task)."""
+        add_heads = getattr(self, "_add_heads", None)
+        for num_classes in meta.get("task_classes", ()):
+            if add_heads is None:
+                raise NotImplementedError(
+                    f"{type(self).__name__} cannot rebuild per-task structure; "
+                    "override rebuild_structure()"
+                )
+            add_heads(int(num_classes))
+
+    def restore_checkpoint(self, arrays: dict[str, np.ndarray], meta: dict) -> None:
+        """Rebuild structure, then load every module's weights."""
+        self.rebuild_structure(meta)
+        modules = self._checkpoint_modules()
+        grouped: dict[str, dict[str, np.ndarray]] = {attr: {} for attr in modules}
+        for full_name, value in arrays.items():
+            attr, _, name = full_name.partition(".")
+            if attr not in grouped:
+                raise KeyError(
+                    f"checkpoint references unknown module {attr!r} on "
+                    f"{type(self).__name__}"
+                )
+            grouped[attr][name] = value
+        for attr, module in modules.items():
+            module.load_state_dict(grouped[attr])

@@ -123,12 +123,13 @@ def build_pair_set(
 
     if distance == "cosine":
         affinity = cosine_similarity(target_features, source_features)
-        pick = lambda row, candidates: candidates[np.argmax(row[candidates])]
     elif distance == "euclidean":
         affinity = -pairwise_sq_distances(target_features, source_features)
-        pick = lambda row, candidates: candidates[np.argmax(row[candidates])]
     else:
         raise ValueError(f"unknown distance {distance!r}")
+
+    def pick(row, candidates):
+        return candidates[np.argmax(row[candidates])]
 
     source_idx: list[int] = []
     target_idx: list[int] = []

@@ -132,6 +132,19 @@ class CDCLTrainer(ContinualMethod):
         return self._embed(task_id, images)
 
     # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def checkpoint_meta(self) -> dict:
+        # The per-task structure lives on the network, not the trainer;
+        # optimizer state and rehearsal memory are intentionally not
+        # persisted (checkpoints capture the model, as in repro.io).
+        return {"task_classes": [int(n) for n in self.network._task_classes]}
+
+    def rebuild_structure(self, meta: dict) -> None:
+        for num_classes in meta.get("task_classes", ()):
+            self.network.add_task(int(num_classes))
+
+    # ------------------------------------------------------------------
     # Training
     # ------------------------------------------------------------------
     def observe_task(self, task: UDATask) -> None:

@@ -73,7 +73,9 @@ class ArrayDataset(Dataset):
 
     def relabel(self, mapping: dict[int, int]) -> "ArrayDataset":
         """Return a copy with labels remapped (e.g. to task-local ids)."""
-        new_labels = np.array([mapping.get(int(l), -1) for l in self.labels], dtype=np.int64)
+        new_labels = np.array(
+            [mapping.get(int(label), -1) for label in self.labels], dtype=np.int64
+        )
         return ArrayDataset(self.images, new_labels)
 
 

@@ -13,7 +13,11 @@ Four layers turn the paper's tables and figures into declarative specs:
   aggregation over a process pool.
 
 :mod:`repro.engine.cache` provides the content-addressed result store
-underneath (``REPRO_CACHE_DIR`` / ``REPRO_NO_CACHE``).
+underneath (``REPRO_CACHE_DIR`` / ``REPRO_NO_CACHE``), with a
+management layer (``stats`` / ``inspect`` / ``evict`` / ``verify``)
+surfaced through the CLI's ``cache-*`` subcommands.  Cells run with
+``checkpoint=True`` additionally persist the trained model under the
+same key; :func:`load_checkpoint` reloads it without retraining.
 """
 
 from repro.engine.registry import (
@@ -31,6 +35,9 @@ from repro.engine.runner import (
     PairResult,
     RunResult,
     RunSpec,
+    checkpoint_path,
+    has_checkpoint,
+    load_checkpoint,
     run_method_on_stream,
     run_one,
     run_pair_cells,
@@ -62,6 +69,9 @@ __all__ = [
     "PairResult",
     "RunResult",
     "RunSpec",
+    "checkpoint_path",
+    "has_checkpoint",
+    "load_checkpoint",
     "run_method_on_stream",
     "run_one",
     "run_pair_cells",

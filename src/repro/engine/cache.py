@@ -8,11 +8,30 @@ reused across table sweeps, multi-seed aggregation and repeated CLI
 invocations.  Repeating a sweep then costs milliseconds per cell
 instead of minutes of redundant CPU.
 
-Layout: one pickle per run under ``$REPRO_CACHE_DIR`` (default
-``~/.cache/repro-engine``), named ``<sha256[:32]>.pkl``.  Writes are
-atomic (tmp file + rename) so concurrent multi-seed workers can share
-the directory.  ``REPRO_NO_CACHE=1`` disables the cache globally; the
-CLI's ``--no-cache`` flag does the same per invocation.
+Layout: up to three files per entry under ``$REPRO_CACHE_DIR``
+(default ``~/.cache/repro-engine``):
+
+* ``<sha256[:32]>.pkl`` — the pickled :class:`RunResult` (the metrics);
+* ``<sha256[:32]>.json`` — the manifest sidecar (creation time plus
+  the spec summary the management commands filter on);
+* ``<sha256[:32]>.ckpt.npz`` — the trained model state, present only
+  when the cell was run with checkpointing enabled.
+
+All writes are atomic (tmp file + rename) so concurrent multi-seed
+workers can share the directory; per-entry sidecars (rather than one
+global manifest file) keep manifest maintenance lock-free.  A
+successful :func:`load` touches the entry's mtime, which is what the
+LRU eviction policy orders on.  ``REPRO_NO_CACHE=1`` disables the
+cache globally; the CLI's ``--no-cache`` flag does the same per
+invocation.
+
+Management layer: :func:`manifest` scans the directory into
+:class:`CacheEntry` records; :func:`stats` aggregates them (plus this
+process's hit/miss counters); :func:`inspect` details one entry;
+:func:`evict` applies LRU / max-bytes / max-entries / by-scenario
+policies; :func:`verify` detects corrupt or orphaned files.  The CLI
+(``cache-stats`` / ``cache-evict`` / ``cache-verify``) is a thin shell
+over these functions.
 
 ``CACHE_VERSION`` is part of every key — bump it whenever training or
 evaluation semantics change so stale results can never leak into new
@@ -26,24 +45,47 @@ import json
 import os
 import pickle
 import tempfile
+import time
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
 __all__ = [
     "CACHE_VERSION",
+    "CacheEntry",
     "cache_dir",
     "cache_enabled",
     "cache_key",
+    "checkpoint_path",
     "load",
     "store",
     "clear",
+    "manifest",
+    "stats",
+    "inspect",
+    "evict",
+    "verify",
+    "session_counters",
+    "reset_session_counters",
 ]
 
-#: Bump on any change that alters run results for an unchanged spec.
-CACHE_VERSION = 1
+#: Bump on any change that alters run results for an unchanged spec, or
+#: that changes the on-disk entry format (v2: manifest sidecars and
+#: optional checkpoints next to each result).
+CACHE_VERSION = 2
 
 _ENV_DIR = "REPRO_CACHE_DIR"
 _ENV_DISABLE = "REPRO_NO_CACHE"
+
+#: A ``.tmp`` file older than this is debris from a killed worker; a
+#: younger one may be a concurrent write in flight (verify skips it).
+_TMP_ORPHAN_AGE_SECONDS = 3600.0
+
+#: Cache traffic of this process: loads that found a valid entry
+#: ("hits"), loads that did not ("misses"), and stores.  Per-process by
+#: design — a shared on-disk counter would serialize parallel workers
+#: on every read.
+_SESSION = {"hits": 0, "misses": 0, "stores": 0}
 
 
 def cache_dir() -> Path:
@@ -79,30 +121,65 @@ def _path_for(key: str) -> Path:
     return cache_dir() / f"{key}.pkl"
 
 
+def _meta_path_for(key: str) -> Path:
+    return cache_dir() / f"{key}.json"
+
+
+def checkpoint_path(key: str) -> Path:
+    """Where a cell's trained-model checkpoint lives (may not exist)."""
+    return cache_dir() / f"{key}.ckpt.npz"
+
+
 def load(key: str) -> Any | None:
-    """Return the cached object for ``key``, or None on miss/corruption."""
+    """Return the cached object for ``key``, or None on miss/corruption.
+
+    A successful read bumps the entry's mtime so LRU eviction sees it
+    as recently used.
+    """
     path = _path_for(key)
     if not path.exists():
+        _SESSION["misses"] += 1
         return None
     try:
         with path.open("rb") as handle:
-            return pickle.load(handle)
+            obj = pickle.load(handle)
     except Exception:
         # A torn write, a stale class layout, a renamed module: whatever
         # went wrong, a cache read must never crash the run — treat it
         # as a miss and let the fresh result overwrite the entry.
+        _SESSION["misses"] += 1
         return None
+    _SESSION["hits"] += 1
+    try:
+        os.utime(path)
+    except OSError:
+        pass  # read-only cache mounts still serve hits
+    return obj
 
 
-def store(key: str, obj: Any) -> Path:
-    """Atomically persist ``obj`` under ``key``; returns the file path."""
+def store(key: str, obj: Any, meta: dict | None = None) -> Path:
+    """Atomically persist ``obj`` under ``key``; returns the file path.
+
+    ``meta`` (JSON-safe, typically the spec summary) is written to the
+    entry's manifest sidecar so the management commands can report and
+    filter without unpickling results.
+    """
     directory = cache_dir()
     directory.mkdir(parents=True, exist_ok=True)
     path = _path_for(key)
-    fd, tmp_name = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    _atomic_write(path, lambda handle: pickle.dump(obj, handle, protocol=pickle.HIGHEST_PROTOCOL))
+    sidecar = {"created": time.time(), "spec": dict(meta or {})}
+    payload = json.dumps(sidecar, sort_keys=True).encode()
+    _atomic_write(_meta_path_for(key), lambda handle: handle.write(payload))
+    _SESSION["stores"] += 1
+    return path
+
+
+def _atomic_write(path: Path, write) -> None:
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
     try:
         with os.fdopen(fd, "wb") as handle:
-            pickle.dump(obj, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            write(handle)
         os.replace(tmp_name, path)
     except BaseException:
         try:
@@ -110,7 +187,6 @@ def store(key: str, obj: Any) -> Path:
         except OSError:
             pass
         raise
-    return path
 
 
 def clear() -> int:
@@ -119,14 +195,341 @@ def clear() -> int:
     if not directory.exists():
         return 0
     removed = 0
-    for pattern in ("*.pkl", "*.tmp"):  # .tmp: torn writes from killed workers
+    # .tmp: torn writes from killed workers.  Sidecars and checkpoints
+    # are bookkeeping, not entries — delete but don't count them.
+    for path in directory.glob("*.pkl"):
+        try:
+            path.unlink()
+            removed += 1
+        except OSError:
+            pass
+    for pattern in ("*.json", "*.ckpt.npz", "*.tmp"):
         for path in directory.glob(pattern):
             try:
                 path.unlink()
-                removed += 1
             except OSError:
                 pass
     return removed
+
+
+# ----------------------------------------------------------------------
+# Management layer: manifest / stats / inspect / evict / verify
+# ----------------------------------------------------------------------
+@dataclass
+class CacheEntry:
+    """Manifest record of one cached cell (result + optional checkpoint)."""
+
+    key: str
+    result_bytes: int
+    checkpoint_bytes: int
+    last_used: float  # mtime of the result file; bumped on every hit
+    sidecar_bytes: int = 0
+    created: float | None = None
+    spec: dict = field(default_factory=dict)
+
+    @property
+    def total_bytes(self) -> int:
+        return self.result_bytes + self.checkpoint_bytes + self.sidecar_bytes
+
+    @property
+    def has_checkpoint(self) -> bool:
+        return self.checkpoint_bytes > 0
+
+
+def manifest() -> list[CacheEntry]:
+    """Scan the cache directory into per-entry manifest records.
+
+    Ordered least-recently-used first (the order :func:`evict`
+    consumes).  Entries whose sidecar is missing (pre-manifest caches)
+    or unreadable still appear, with an empty spec.
+    """
+    directory = cache_dir()
+    if not directory.exists():
+        return []
+    entries = []
+    seen = set()
+    for path in directory.glob("*.pkl"):
+        try:
+            result_stat = path.stat()
+        except OSError:
+            continue  # evicted between glob and stat
+        seen.add(path.stem)
+        entries.append(_build_entry(path.stem, result_stat))
+    # Checkpoint-only entries (result lost to corruption, checkpoint
+    # preserved by ``verify(repair=True)``) still occupy disk; list them
+    # so stats/evict govern their volume too.
+    for path in directory.glob("*.ckpt.npz"):
+        key = path.name[: -len(".ckpt.npz")]
+        if key in seen or not _meta_path_for(key).exists():
+            continue
+        try:
+            ckpt_stat = path.stat()
+        except OSError:
+            continue
+        entry = _build_entry(key, None)
+        entry.last_used = ckpt_stat.st_mtime
+        entries.append(entry)
+    entries.sort(key=lambda e: (e.last_used, e.key))
+    return entries
+
+
+def _build_entry(key: str, result_stat) -> CacheEntry:
+    """``result_stat`` is None for checkpoint-only entries."""
+    entry = CacheEntry(
+        key=key,
+        result_bytes=result_stat.st_size if result_stat is not None else 0,
+        checkpoint_bytes=_size_of(checkpoint_path(key)),
+        sidecar_bytes=_size_of(_meta_path_for(key)),
+        last_used=result_stat.st_mtime if result_stat is not None else 0.0,
+    )
+    sidecar = _read_sidecar(key)
+    if sidecar is not None:
+        entry.created = sidecar.get("created")
+        entry.spec = sidecar.get("spec", {})
+    return entry
+
+
+def stats(entries: list[CacheEntry] | None = None) -> dict:
+    """Aggregate cache statistics: volume on disk + this process's traffic.
+
+    Pass ``entries`` (a :func:`manifest` result) to reuse an existing
+    directory scan instead of re-walking the cache.
+    """
+    if entries is None:
+        entries = manifest()
+    hits, misses = _SESSION["hits"], _SESSION["misses"]
+    loads = hits + misses
+    by_scenario: dict[str, int] = {}
+    for entry in entries:
+        scenario = entry.spec.get("scenario", "<unknown>")
+        by_scenario[scenario] = by_scenario.get(scenario, 0) + 1
+    return {
+        "directory": str(cache_dir()),
+        "entries": len(entries),
+        "total_bytes": sum(e.total_bytes for e in entries),
+        "result_bytes": sum(e.result_bytes for e in entries),
+        "checkpoint_bytes": sum(e.checkpoint_bytes for e in entries),
+        "checkpoints": sum(1 for e in entries if e.has_checkpoint),
+        "by_scenario": dict(sorted(by_scenario.items())),
+        "session": {
+            "hits": hits,
+            "misses": misses,
+            "stores": _SESSION["stores"],
+            "hit_rate": (hits / loads) if loads else None,
+        },
+    }
+
+
+def inspect(key: str) -> dict:
+    """Everything known about one entry, including the result summary."""
+    path = _path_for(key)
+    try:
+        result_stat = path.stat()
+    except OSError:
+        # Checkpoint-only entries (result lost, checkpoint preserved by
+        # repair) are still inspectable — geometry, spec, sizes.
+        if not (checkpoint_path(key).exists() and _meta_path_for(key).exists()):
+            raise KeyError(f"no cache entry {key!r} under {cache_dir()}") from None
+        result_stat = None
+    entry = _build_entry(key, result_stat)
+    report = {
+        "key": key,
+        "result_bytes": entry.result_bytes,
+        "checkpoint_bytes": entry.checkpoint_bytes,
+        "has_checkpoint": entry.has_checkpoint,
+        "created": entry.created,
+        "last_used": entry.last_used,
+        "spec": entry.spec,
+    }
+    # Read the pickle directly, NOT through load(): inspecting an entry
+    # must neither bump its LRU position nor count as cache traffic.
+    try:
+        with path.open("rb") as handle:
+            result = pickle.load(handle)
+    except Exception:
+        result = None
+    if result is None:
+        report["result"] = None  # corrupt — verify() will flag it
+        return report
+    summary = {"type": type(result).__name__}
+    for attr in ("method", "scenario", "stream_name", "seed", "elapsed"):
+        if hasattr(result, attr):
+            summary[attr] = getattr(result, attr)
+    results = getattr(result, "results", None)
+    if isinstance(results, dict):
+        summary["metrics"] = {
+            getattr(scenario, "value", str(scenario)): {
+                "acc": run.acc,
+                "fgt": run.fgt,
+            }
+            for scenario, run in results.items()
+        }
+    static_acc = getattr(result, "static_acc", None)
+    if static_acc:
+        summary["static_acc"] = {
+            getattr(scenario, "value", str(scenario)): acc
+            for scenario, acc in static_acc.items()
+        }
+    report["result"] = summary
+    return report
+
+
+def evict(
+    *,
+    max_bytes: int | None = None,
+    max_entries: int | None = None,
+    scenario: str | None = None,
+    method: str | None = None,
+    dry_run: bool = False,
+) -> list[CacheEntry]:
+    """Remove entries under an LRU policy; returns what was (or would be) evicted.
+
+    ``scenario`` / ``method`` restrict the *candidates* (matched against
+    the sidecar spec).  With a ``max_bytes`` / ``max_entries`` bound,
+    least-recently-used candidates are evicted until the bound holds
+    over the whole cache; with filters and no bound, every candidate
+    goes.  Calling with no arguments is a no-op (use :func:`clear` to
+    drop everything).
+    """
+    entries = manifest()  # LRU-first
+    candidates = [
+        entry
+        for entry in entries
+        if (scenario is None or entry.spec.get("scenario") == scenario)
+        and (method is None or entry.spec.get("method") == method)
+    ]
+    filtered = scenario is not None or method is not None
+    bounded = max_bytes is not None or max_entries is not None
+    if not filtered and not bounded:
+        return []
+
+    victims: list[CacheEntry] = []
+    if filtered and not bounded:
+        victims = candidates
+    else:
+        total_bytes = sum(e.total_bytes for e in entries)
+        total_entries = len(entries)
+        for entry in candidates:
+            over_bytes = max_bytes is not None and total_bytes > max_bytes
+            over_entries = max_entries is not None and total_entries > max_entries
+            if not (over_bytes or over_entries):
+                break
+            victims.append(entry)
+            total_bytes -= entry.total_bytes
+            total_entries -= 1
+
+    if not dry_run:
+        for entry in victims:
+            _delete_entry(entry.key)
+    return victims
+
+
+def verify(repair: bool = False) -> dict:
+    """Check every file in the cache directory for consistency.
+
+    Reports (and with ``repair=True`` deletes):
+
+    * ``corrupt`` — result files that fail to unpickle.  Repair removes
+      the unreadable result but *preserves* the entry's checkpoint (and
+      its sidecar): the checkpoint holds hours of training, is written
+      atomically (so a torn result does not imply a torn checkpoint),
+      and :func:`~repro.engine.runner.load_checkpoint` can still serve
+      it.  The surviving pair is a *checkpoint-only* entry — listed by
+      :func:`manifest`, evictable like any other.
+    * ``orphaned`` — sidecars and checkpoints whose entry is otherwise
+      gone (a checkpoint with a sidecar is a checkpoint-only entry, not
+      an orphan), and leftover ``.tmp`` files from killed workers.
+
+    Returns ``{"entries": total, "ok": n, "corrupt": [...],
+    "orphaned": [...], "repaired": bool}`` with file names in the lists.
+    """
+    directory = cache_dir()
+    report = {"entries": 0, "ok": 0, "corrupt": [], "orphaned": [], "repaired": repair}
+    if not directory.exists():
+        return report
+    keys = set()
+    for path in directory.glob("*.pkl"):
+        keys.add(path.stem)
+        report["entries"] += 1
+        try:
+            with path.open("rb") as handle:
+                pickle.load(handle)
+            report["ok"] += 1
+        except Exception:
+            report["corrupt"].append(path.name)
+            if repair:
+                if checkpoint_path(path.stem).exists():
+                    _unlink_quiet(path)  # keep checkpoint + sidecar
+                else:
+                    _delete_entry(path.stem)
+                keys.discard(path.stem)
+
+    def _ckpt_key(path: Path) -> str:
+        return path.name[: -len(".ckpt.npz")]
+
+    for path in directory.glob("*.json"):
+        if path.stem not in keys and not checkpoint_path(path.stem).exists():
+            report["orphaned"].append(path.name)
+            if repair:
+                _unlink_quiet(path)
+    for path in directory.glob("*.ckpt.npz"):
+        key = _ckpt_key(path)
+        if key not in keys and not _meta_path_for(key).exists():
+            report["orphaned"].append(path.name)
+            if repair:
+                _unlink_quiet(path)
+    for path in directory.glob("*.tmp"):
+        # A fresh tmp file is most likely a concurrent worker mid-write;
+        # only age qualifies it as the debris of a killed run.  Racing
+        # `cache-verify --repair` against a live sweep must never delete
+        # a file a worker is about to os.replace().
+        try:
+            age = time.time() - path.stat().st_mtime
+        except OSError:
+            continue  # completed (renamed away) while we looked
+        if age > _TMP_ORPHAN_AGE_SECONDS:
+            report["orphaned"].append(path.name)
+            if repair:
+                _unlink_quiet(path)
+    return report
+
+
+def session_counters() -> dict:
+    """This process's hit/miss/store counters (copy)."""
+    return dict(_SESSION)
+
+
+def reset_session_counters() -> None:
+    """Zero the per-process traffic counters (tests, bench harness)."""
+    for name in _SESSION:
+        _SESSION[name] = 0
+
+
+def _delete_entry(key: str) -> None:
+    _unlink_quiet(_path_for(key))
+    _unlink_quiet(_meta_path_for(key))
+    _unlink_quiet(checkpoint_path(key))
+
+
+def _unlink_quiet(path: Path) -> None:
+    try:
+        path.unlink()
+    except OSError:
+        pass
+
+
+def _read_sidecar(key: str) -> dict | None:
+    try:
+        return json.loads(_meta_path_for(key).read_text())
+    except (OSError, ValueError):
+        return None
+
+
+def _size_of(path: Path) -> int:
+    try:
+        return path.stat().st_size
+    except OSError:
+        return 0
 
 
 def _jsonify(obj):

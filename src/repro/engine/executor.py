@@ -127,8 +127,8 @@ def map_jobs(fn, items, jobs: int = 1) -> list:
 
 
 def _run_spec_job(args) -> RunResult:
-    spec, use_cache, verbose = args
-    return run_one(spec, use_cache=use_cache, verbose=verbose)
+    spec, use_cache, checkpoint, verbose = args
+    return run_one(spec, use_cache=use_cache, checkpoint=checkpoint, verbose=verbose)
 
 
 def run_specs(
@@ -136,31 +136,41 @@ def run_specs(
     *,
     jobs: int = 1,
     use_cache: bool = True,
+    checkpoint: bool = False,
     verbose: bool = False,
 ) -> list[RunResult]:
     """Execute many cells, fanning uncached work over ``jobs`` processes.
 
     Cache hits are resolved in the parent first (a disk read is far
     cheaper than shipping the spec to a worker); only misses are
-    dispatched.
+    dispatched.  With ``checkpoint=True`` every worker persists its
+    trained model (atomic writes keep concurrent workers race-safe),
+    and a hit without a checkpoint on disk counts as a miss.
     """
     specs = list(specs)
     if jobs <= 1:
-        return [run_one(s, use_cache=use_cache, verbose=verbose) for s in specs]
+        return [
+            run_one(s, use_cache=use_cache, checkpoint=checkpoint, verbose=verbose)
+            for s in specs
+        ]
     results: list[RunResult | None] = [None] * len(specs)
     pending: list[tuple[int, RunSpec]] = []
     for index, spec in enumerate(specs):
         if use_cache and cache.cache_enabled():
-            hit = cache.load(spec.cache_key())
-            if isinstance(hit, RunResult):
-                hit.cached = True
-                results[index] = hit
-                continue
+            key = spec.cache_key()
+            # Same rule as run_one: a required-but-missing checkpoint
+            # means the cell retrains, so don't count a discarded read.
+            if not checkpoint or cache.checkpoint_path(key).exists():
+                hit = cache.load(key)
+                if isinstance(hit, RunResult):
+                    hit.cached = True
+                    results[index] = hit
+                    continue
         pending.append((index, spec))
     if pending:
         computed = map_jobs(
             _run_spec_job,
-            [(spec, use_cache, verbose) for _index, spec in pending],
+            [(spec, use_cache, checkpoint, verbose) for _index, spec in pending],
             jobs=jobs,
         )
         for (index, _spec), result in zip(pending, computed):
@@ -175,6 +185,7 @@ def run_seed_sweep(
     *,
     jobs: int = 1,
     use_cache: bool = True,
+    checkpoint: bool = False,
     keep_runs: bool = False,
     verbose: bool = False,
 ) -> MultiSeedResult:
@@ -191,6 +202,7 @@ def run_seed_sweep(
         [replace(spec, seed=seed) for seed in seeds],
         jobs=jobs,
         use_cache=use_cache,
+        checkpoint=checkpoint,
         verbose=verbose,
     )
     scenarios = [Scenario.parse(s) for s in spec.eval_scenarios]

@@ -20,7 +20,7 @@ cache and the CLI (``python -m repro.experiments list-methods``).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from itertools import permutations
 from typing import Callable, Generic, Iterator, TypeVar
 

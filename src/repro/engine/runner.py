@@ -12,6 +12,13 @@ and multi-seed aggregation reuse finished cells from disk.
 :class:`PairResult` shape the table renderers consume;
 :func:`run_stream_pair` is the uncached variant for explicitly
 constructed streams (notebooks, tests with truncated streams).
+
+Cells are *checkpoint-aware*: ``run_one(spec, checkpoint=True)``
+persists the trained model (via :mod:`repro.io`) next to the cached
+metrics under the same content-addressed key, and
+:func:`load_checkpoint` reloads it without retraining — the entry
+point for ablations, qualitative probes and the batched inference
+service.
 """
 
 from __future__ import annotations
@@ -37,6 +44,9 @@ __all__ = [
     "RunSpec",
     "RunResult",
     "PairResult",
+    "checkpoint_path",
+    "has_checkpoint",
+    "load_checkpoint",
     "run_one",
     "run_pair_cells",
     "run_stream_pair",
@@ -172,11 +182,32 @@ def spec_for(
     )
 
 
-def run_one(spec: RunSpec, *, use_cache: bool = True, verbose: bool = False) -> RunResult:
-    """Execute one cell, consulting the disk cache first."""
+def run_one(
+    spec: RunSpec,
+    *,
+    use_cache: bool = True,
+    checkpoint: bool = False,
+    verbose: bool = False,
+) -> RunResult:
+    """Execute one cell, consulting the disk cache first.
+
+    With ``checkpoint=True`` the trained model is persisted next to the
+    cached metrics (same content-addressed key, ``.ckpt.npz`` suffix);
+    a cache hit whose checkpoint is missing is recomputed so the
+    checkpoint materializes.  Checkpoints live in the cache, so the
+    flag requires caching to be active.
+    """
     caching = use_cache and cache.cache_enabled()
+    if checkpoint and not caching:
+        raise ValueError(
+            "checkpoint=True persists into the result cache; it cannot be "
+            "combined with use_cache=False or REPRO_NO_CACHE"
+        )
     key = spec.cache_key() if caching else None
-    if key is not None:
+    # When a checkpoint is required but absent, skip the load entirely:
+    # the cell will retrain regardless, and a discarded read would still
+    # count as a session hit and bump the entry's LRU position.
+    if key is not None and (not checkpoint or cache.checkpoint_path(key).exists()):
         hit = cache.load(key)
         if isinstance(hit, RunResult):
             hit.cached = True
@@ -187,7 +218,7 @@ def run_one(spec: RunSpec, *, use_cache: bool = True, verbose: bool = False) -> 
     )
     start = time.perf_counter()
     mspec = METHODS.get(spec.method)
-    results, static_acc = run_method_on_stream(
+    results, static_acc, method = run_method_on_stream(
         mspec,
         stream,
         profile,
@@ -206,8 +237,79 @@ def run_one(spec: RunSpec, *, use_cache: bool = True, verbose: bool = False) -> 
         elapsed=time.perf_counter() - start,
     )
     if key is not None:
-        cache.store(key, result)
+        if checkpoint:
+            # Checkpoint first: the result entry is the commit point, so
+            # a crash between the writes leaves an orphaned checkpoint
+            # (cache-verify cleans it up), never a result that claims a
+            # checkpoint it does not have.
+            _save_checkpoint(method, stream, key)
+        cache.store(key, result, meta=_spec_summary(spec))
     return result
+
+
+def _spec_summary(spec: RunSpec) -> dict:
+    """The sidecar metadata cache management filters and reports on."""
+    return {
+        "method": spec.method,
+        "scenario": spec.scenario,
+        "profile": spec.profile,
+        "seed": spec.seed,
+    }
+
+
+def _save_checkpoint(method, stream: TaskStream, key: str) -> None:
+    from repro import io
+
+    sample_image = stream[0].source_train[0][0]
+    io.save_method(
+        method,
+        cache.checkpoint_path(key),
+        extra_meta={
+            "in_channels": int(sample_image.shape[0]),
+            "image_size": int(sample_image.shape[-1]),
+            "stream_name": stream.name,
+        },
+    )
+
+
+def checkpoint_path(spec: RunSpec):
+    """Where ``spec``'s trained-model checkpoint lives (may not exist)."""
+    return cache.checkpoint_path(spec.cache_key())
+
+
+def has_checkpoint(spec: RunSpec) -> bool:
+    """True when a trained model is persisted for this cell."""
+    return checkpoint_path(spec).exists()
+
+
+def load_checkpoint(spec: RunSpec):
+    """Reload the trained method of a checkpointed cell — no retraining.
+
+    The method is rebuilt from its registry factory at the spec's
+    profile and the geometry recorded in the checkpoint, then restored
+    to the trained state.  Raises :class:`FileNotFoundError` when the
+    cell was never run with ``checkpoint=True``.
+    """
+    from repro import io
+
+    path = checkpoint_path(spec)
+    if not path.exists():
+        raise FileNotFoundError(
+            f"no checkpoint for {spec.method} on {spec.scenario} "
+            f"(profile={spec.profile}, seed={spec.seed}); run the cell with "
+            "checkpoint=True (CLI: --checkpoint) first"
+        )
+    extra = io.read_checkpoint_meta(path).get("extra", {})
+    profile = spec.resolved_profile()
+    mspec = METHODS.get(spec.method)
+    method = mspec.factory(
+        profile,
+        int(extra["in_channels"]),
+        int(extra["image_size"]),
+        spec.seed,
+        dict(spec.method_overrides) or None,
+    )
+    return io.load_method(method, path)
 
 
 def run_method_on_stream(
@@ -221,14 +323,15 @@ def run_method_on_stream(
     verbose: bool = False,
     in_channels: int | None = None,
     image_size: int | None = None,
-) -> tuple[dict[Scenario, ContinualResult], dict[Scenario, float]]:
+) -> tuple[dict[Scenario, ContinualResult], dict[Scenario, float], object]:
     """Train and score one method on one stream.
 
     This is the single copy of the loop every table used to duplicate:
     streaming methods run the continual protocol; static methods
     (``kind == "static"``) fit on the whole stream and report mean
     per-task accuracy.  ``in_channels``/``image_size`` override the
-    stream-inferred model geometry when given.
+    stream-inferred model geometry when given.  The trained method is
+    returned alongside the scores so callers can checkpoint it.
     """
     sample_image = stream[0].source_train[0][0]
     in_channels = in_channels or sample_image.shape[0]
@@ -241,9 +344,9 @@ def run_method_on_stream(
             per_task = evaluate_task_multi(method, task, eval_scenarios)
             for scenario, acc in per_task.items():
                 accs[scenario].append(acc)
-        return {}, {s: float(np.mean(v)) for s, v in accs.items()}
+        return {}, {s: float(np.mean(v)) for s, v in accs.items()}, method
     results = run_continual_multi(method, stream, list(eval_scenarios), verbose=verbose)
-    return results, {}
+    return results, {}, method
 
 
 def run_pair_cells(
@@ -257,6 +360,7 @@ def run_pair_cells(
     method_overrides: dict | None = None,
     scenario_params: dict | None = None,
     use_cache: bool = True,
+    checkpoint: bool = False,
     jobs: int = 1,
     verbose: bool = False,
 ) -> PairResult:
@@ -290,6 +394,7 @@ def run_pair_cells(
         [make_spec(name) for name in names],
         jobs=jobs,
         use_cache=use_cache,
+        checkpoint=checkpoint,
         verbose=verbose,
     )
     pair = PairResult(stream_name=cells[0].stream_name)
@@ -328,7 +433,7 @@ def run_stream_pair(
     for name in methods:
         mspec = METHODS.get(name)
         overrides = cdcl_overrides if name == "CDCL" else None
-        results, _static = run_method_on_stream(
+        results, _static, _method = run_method_on_stream(
             mspec,
             stream,
             profile,
@@ -340,7 +445,7 @@ def run_stream_pair(
         )
         pair.results[name] = results
     if include_tvt:
-        _results, static_acc = run_method_on_stream(
+        _results, static_acc, _tvt = run_method_on_stream(
             METHODS.get("TVT"),
             stream,
             profile,

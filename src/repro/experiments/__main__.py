@@ -13,20 +13,28 @@ Usage::
     python -m repro.experiments list-scenarios
     python -m repro.experiments --profile smoke --jobs 4 table1
     python -m repro.experiments --no-cache figure2
+    python -m repro.experiments --checkpoint multiseed --seeds 0 1
+    python -m repro.experiments cache-stats
+    python -m repro.experiments cache-evict --max-bytes 500M
+    python -m repro.experiments cache-verify --repair
 
 Prints the requested artifact in the paper's layout.  Finished
 (method, scenario, profile, seed) cells are reused from the disk cache
 (``REPRO_CACHE_DIR``, disable with ``--no-cache``); ``--jobs N`` fans
-independent cells out over N worker processes.
+independent cells out over N worker processes; ``--checkpoint``
+persists each cell's trained model next to its metrics so
+``repro.engine.load_checkpoint`` can reload it without retraining.
+The ``cache-*`` subcommands report on, bound, and repair the store.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.data.synthetic import DOMAINNET_DOMAINS
-from repro.engine import METHODS, SCENARIOS, RunSpec, run_seed_sweep
+from repro.engine import METHODS, SCENARIOS, RunSpec, cache, run_seed_sweep
 from repro.experiments import (
     TABLE1_COLUMNS,
     TABLE2_COLUMNS,
@@ -69,6 +77,13 @@ def main(argv: list[str] | None = None) -> int:
         metavar="N",
         help="run up to N experiment cells in parallel worker processes",
     )
+    parser.add_argument(
+        "--checkpoint",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="persist each cell's trained model next to its cached metrics "
+        "(reload with repro.engine.load_checkpoint)",
+    )
     sub = parser.add_subparsers(dest="artifact", required=True)
 
     p1 = sub.add_parser("table1", help="Office-31 / digits / VisDA")
@@ -90,7 +105,38 @@ def main(argv: list[str] | None = None) -> int:
     sub.add_parser("list-methods", help="every registered continual method")
     sub.add_parser("list-scenarios", help="every registered benchmark scenario")
 
+    ps = sub.add_parser("cache-stats", help="entry count, bytes, hit rate of the result cache")
+    ps.add_argument("--json", action="store_true", help="machine-readable output")
+
+    pi = sub.add_parser("cache-inspect", help="everything known about one cache entry")
+    pi.add_argument("key", help="cache key (32-hex prefix, as listed by cache-stats --json)")
+
+    pe = sub.add_parser("cache-evict", help="bound the cache under an LRU policy")
+    pe.add_argument(
+        "--max-bytes",
+        type=_parse_size,
+        default=None,
+        metavar="SIZE",
+        help="evict least-recently-used entries until the cache fits SIZE "
+        "(plain bytes or K/M/G suffix, e.g. 500M)",
+    )
+    pe.add_argument(
+        "--max-entries", type=int, default=None, metavar="N",
+        help="evict least-recently-used entries until at most N remain",
+    )
+    pe.add_argument("--scenario", default=None, help="only evict cells of this scenario")
+    pe.add_argument("--method", default=None, help="only evict cells of this method")
+    pe.add_argument(
+        "--dry-run", action="store_true", help="report what would be evicted, delete nothing"
+    )
+
+    pv = sub.add_parser("cache-verify", help="detect corrupt/orphaned cache files")
+    pv.add_argument("--repair", action="store_true", help="delete everything flagged")
+
     args = parser.parse_args(argv)
+
+    if args.artifact.startswith("cache-"):
+        return _run_cache_command(args)
 
     try:
         _validate_names(args)
@@ -134,8 +180,19 @@ def _run(args: argparse.Namespace) -> int:
 
     profile = get_profile(args.profile)
     use_cache = not args.no_cache
+    if args.checkpoint and not (use_cache and cache.cache_enabled()):
+        print(
+            "error: --checkpoint persists into the cache; drop --no-cache "
+            "(or unset REPRO_NO_CACHE)",
+            file=sys.stderr,
+        )
+        return 2
     common = dict(
-        profile=profile, verbose=args.verbose, use_cache=use_cache, jobs=args.jobs
+        profile=profile,
+        verbose=args.verbose,
+        use_cache=use_cache,
+        checkpoint=args.checkpoint,
+        jobs=args.jobs,
     )
 
     if args.artifact == "table1":
@@ -150,7 +207,10 @@ def _run(args: argparse.Namespace) -> int:
         print(render_table4(run_table4(**common)))
     elif args.artifact == "figure2":
         result = run_figure2(
-            profile=profile, verbose=args.verbose, use_cache=use_cache
+            profile=profile,
+            verbose=args.verbose,
+            use_cache=use_cache,
+            checkpoint=args.checkpoint,
         )
         print(render_figure2(result))
     elif args.artifact == "multiseed":
@@ -164,6 +224,7 @@ def _run(args: argparse.Namespace) -> int:
             args.seeds,
             jobs=args.jobs,
             use_cache=use_cache,
+            checkpoint=args.checkpoint,
             verbose=args.verbose,
         )
         print(
@@ -172,6 +233,110 @@ def _run(args: argparse.Namespace) -> int:
         )
         print(multiseed_markdown([result]))
     return 0
+
+
+def _run_cache_command(args: argparse.Namespace) -> int:
+    if args.artifact == "cache-stats":
+        entries = cache.manifest()
+        report = cache.stats(entries)
+        if args.json:
+            report["keys"] = [entry.key for entry in entries]
+            print(json.dumps(report, indent=2))
+            return 0
+        session = report["session"]
+        hit_rate = session["hit_rate"]
+        print(f"cache directory : {report['directory']}")
+        print(f"entries         : {report['entries']}"
+              f" ({report['checkpoints']} with checkpoints)")
+        print(f"total size      : {_format_bytes(report['total_bytes'])}"
+              f" (results {_format_bytes(report['result_bytes'])},"
+              f" checkpoints {_format_bytes(report['checkpoint_bytes'])})")
+        # The traffic counters are per-process; in a fresh CLI process
+        # they are only nonzero for in-process callers (bench harness,
+        # notebooks), so suppress the meaningless all-zero line here.
+        if any(session[name] for name in ("hits", "misses", "stores")):
+            print(f"this process    : {session['hits']} hits, {session['misses']} misses,"
+                  f" {session['stores']} stores"
+                  + (f" (hit rate {hit_rate:.1%})" if hit_rate is not None else ""))
+        if report["by_scenario"]:
+            print("entries by scenario:")
+            for scenario, count in report["by_scenario"].items():
+                print(f"  {scenario:<32} {count}")
+        return 0
+    if args.artifact == "cache-inspect":
+        try:
+            print(json.dumps(cache.inspect(args.key), indent=2, default=str))
+        except KeyError as error:
+            print(f"error: {error.args[0]}", file=sys.stderr)
+            return 2
+        return 0
+    if args.artifact == "cache-evict":
+        if (
+            args.max_bytes is None
+            and args.max_entries is None
+            and args.scenario is None
+            and args.method is None
+        ):
+            print(
+                "error: give at least one policy (--max-bytes/--max-entries/"
+                "--scenario/--method); to drop everything use cache-evict --max-entries 0",
+                file=sys.stderr,
+            )
+            return 2
+        victims = cache.evict(
+            max_bytes=args.max_bytes,
+            max_entries=args.max_entries,
+            scenario=args.scenario,
+            method=args.method,
+            dry_run=args.dry_run,
+        )
+        verb = "would evict" if args.dry_run else "evicted"
+        freed = sum(entry.total_bytes for entry in victims)
+        print(f"{verb} {len(victims)} entries ({_format_bytes(freed)})")
+        for entry in victims:
+            label = entry.spec.get("method", "?") + " on " + entry.spec.get("scenario", "?")
+            print(f"  {entry.key}  {label}  {_format_bytes(entry.total_bytes)}")
+        return 0
+    if args.artifact == "cache-verify":
+        report = cache.verify(repair=args.repair)
+        print(f"checked {report['entries']} entries: {report['ok']} ok,"
+              f" {len(report['corrupt'])} corrupt,"
+              f" {len(report['orphaned'])} orphaned files")
+        for name in report["corrupt"]:
+            print(f"  corrupt : {name}")
+        for name in report["orphaned"]:
+            print(f"  orphaned: {name}")
+        if report["corrupt"] or report["orphaned"]:
+            if args.repair:
+                print("repaired (flagged files deleted)")
+                return 0
+            print("run with --repair to delete the flagged files")
+            return 1
+        return 0
+    raise AssertionError(f"unhandled cache command {args.artifact}")
+
+
+def _parse_size(text: str) -> int:
+    """Parse a byte size: plain int, or K/M/G-suffixed (binary units)."""
+    text = text.strip().upper()
+    multipliers = {"K": 1024, "M": 1024**2, "G": 1024**3}
+    try:
+        if text and text[-1] in multipliers:
+            return int(float(text[:-1]) * multipliers[text[-1]])
+        return int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid size {text!r}; expected bytes or K/M/G suffix (e.g. 500M)"
+        ) from None
+
+
+def _format_bytes(count: int) -> str:
+    size = float(count)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if size < 1024 or unit == "GiB":
+            return f"{size:.1f} {unit}" if unit != "B" else f"{int(size)} B"
+        size /= 1024
+    raise AssertionError
 
 
 if __name__ == "__main__":

@@ -98,7 +98,7 @@ def fit_tvt(
     image_size: int,
 ) -> dict[Scenario, float]:
     """Train the static upper bound once; report mean per-task accuracy."""
-    _results, static_acc = run_method_on_stream(
+    _results, static_acc, _tvt = run_method_on_stream(
         METHODS.get("TVT"),
         stream,
         profile,

@@ -44,11 +44,15 @@ def run_figure2(
     profile: ExperimentProfile | None = None,
     verbose: bool = False,
     use_cache: bool = True,
+    checkpoint: bool = False,
 ) -> Figure2Result:
     """Train CDCL on the VisDA stream and extract the figure's series."""
     profile = profile or get_profile()
     cell = run_one(
-        spec_for("CDCL", "visda2017", profile), use_cache=use_cache, verbose=verbose
+        spec_for("CDCL", "visda2017", profile),
+        use_cache=use_cache,
+        checkpoint=checkpoint,
+        verbose=verbose,
     )
     result = Figure2Result(profile=profile.name)
     for scenario, run in cell.results.items():

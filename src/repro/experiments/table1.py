@@ -73,6 +73,7 @@ def run_table1(
     include_tvt: bool = True,
     verbose: bool = False,
     use_cache: bool = True,
+    checkpoint: bool = False,
     jobs: int = 1,
 ) -> Table1Result:
     """Run Table I over the requested columns.
@@ -98,6 +99,7 @@ def run_table1(
             profile,
             include_tvt=include_tvt,
             use_cache=use_cache,
+            checkpoint=checkpoint,
             jobs=jobs,
             verbose=verbose,
         )

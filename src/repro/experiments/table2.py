@@ -44,6 +44,7 @@ def run_table2(
     include_tvt: bool = True,
     verbose: bool = False,
     use_cache: bool = True,
+    checkpoint: bool = False,
     jobs: int = 1,
 ) -> Table2Result:
     """Run Table II over the requested direction pairs (None = all 12)."""
@@ -60,6 +61,7 @@ def run_table2(
             profile,
             include_tvt=include_tvt,
             use_cache=use_cache,
+            checkpoint=checkpoint,
             jobs=jobs,
             verbose=verbose,
         )

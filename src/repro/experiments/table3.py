@@ -52,6 +52,7 @@ def run_table3(
     classes_per_task: int = 3,
     verbose: bool = False,
     use_cache: bool = True,
+    checkpoint: bool = False,
     jobs: int = 1,
 ) -> Table3Result:
     """Run the DomainNet matrix over a domain subset.
@@ -77,6 +78,7 @@ def run_table3(
                     num_classes=num_classes, classes_per_task=classes_per_task
                 ),
                 use_cache=use_cache,
+                checkpoint=checkpoint,
                 jobs=jobs,
                 verbose=verbose,
             )

@@ -52,6 +52,7 @@ def run_table4(
     profile: ExperimentProfile | None = None,
     verbose: bool = False,
     use_cache: bool = True,
+    checkpoint: bool = False,
     jobs: int = 1,
 ) -> Table4Result:
     """Run the loss/attention ablation grid."""
@@ -72,6 +73,7 @@ def run_table4(
         ],
         jobs=jobs,
         use_cache=use_cache,
+        checkpoint=checkpoint,
         verbose=verbose,
     )
     result = Table4Result(profile=profile.name)

@@ -10,17 +10,29 @@ restored into a freshly-constructed trainer.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from pathlib import Path
 
 import numpy as np
 
+from repro.continual.method import ContinualMethod
 from repro.core.config import CDCLConfig
 from repro.core.trainer import CDCLTrainer
 from repro.nn.module import Module
 
-__all__ = ["save_module", "load_module", "save_cdcl", "load_cdcl"]
+__all__ = [
+    "save_module",
+    "load_module",
+    "save_cdcl",
+    "load_cdcl",
+    "save_method",
+    "load_method",
+    "read_checkpoint_meta",
+]
 
 _META_KEY = "__meta_json__"
+_METHOD_FORMAT = "repro.io/method-v1"
 
 
 def save_module(module: Module, path: str | Path) -> Path:
@@ -74,6 +86,84 @@ def load_cdcl(path: str | Path, rng=0) -> CDCLTrainer:
         trainer.network.add_task(int(num_classes))
     trainer.network.load_state_dict(state)
     return trainer
+
+
+def save_method(
+    method: ContinualMethod, path: str | Path, extra_meta: dict | None = None
+) -> Path:
+    """Serialize any trained :class:`ContinualMethod` to one ``.npz``.
+
+    Uses the method's checkpointing protocol (``checkpoint_arrays`` /
+    ``checkpoint_meta``); ``extra_meta`` lets callers stash context the
+    method itself does not know (the engine records input geometry so a
+    checkpoint can be reloaded without rebuilding its data stream).
+
+    The write is atomic (tmp file + rename), so concurrent workers may
+    target the same path: last writer wins, readers never see a torn
+    file.
+    """
+    path = Path(path)
+    state = dict(method.checkpoint_arrays())
+    meta = {
+        "format": _METHOD_FORMAT,
+        "class": type(method).__name__,
+        "method_name": method.name,
+        "state": method.checkpoint_meta(),
+        "extra": dict(extra_meta or {}),
+    }
+    state[_META_KEY] = np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            np.savez(handle, **state)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def load_method(method: ContinualMethod, path: str | Path) -> ContinualMethod:
+    """Restore a ``save_method`` checkpoint into a fresh instance.
+
+    ``method`` must be architecturally compatible (same factory, same
+    profile/geometry); its per-task structure is regrown from the
+    checkpoint's metadata before the weights are loaded.
+    """
+    with np.load(_resolve(path)) as data:
+        meta = _parse_method_meta(path, data)
+        arrays = {name: data[name] for name in data.files if name != _META_KEY}
+    recorded = meta["class"]
+    if recorded != type(method).__name__:
+        raise ValueError(
+            f"checkpoint {path} holds a {recorded}, cannot restore into "
+            f"{type(method).__name__}"
+        )
+    method.restore_checkpoint(arrays, meta.get("state", {}))
+    return method
+
+
+def read_checkpoint_meta(path: str | Path) -> dict:
+    """Metadata of a ``save_method`` checkpoint without loading weights."""
+    with np.load(_resolve(path)) as data:
+        return _parse_method_meta(path, data)
+
+
+def _parse_method_meta(path, data) -> dict:
+    if _META_KEY not in data.files:
+        raise ValueError(f"{path} is not a method checkpoint (missing metadata)")
+    meta = json.loads(bytes(data[_META_KEY]).decode())
+    if meta.get("format") != _METHOD_FORMAT:
+        raise ValueError(
+            f"{path} has unsupported checkpoint format {meta.get('format')!r}"
+        )
+    return meta
 
 
 def _resolve(path: str | Path) -> Path:

@@ -1,7 +1,10 @@
 """Tests for the ``python -m repro.experiments`` command-line interface."""
 
+import json
+
 import pytest
 
+from repro.engine import cache
 from repro.experiments.__main__ import main
 
 
@@ -31,3 +34,69 @@ class TestSmokeExecution:
         assert main(["table3", "--domains", "clp", "skt"]) == 0
         out = capsys.readouterr().out
         assert "Table III" in out
+
+
+class TestCacheCommands:
+    @pytest.fixture(autouse=True)
+    def _isolated_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "engine-cache"))
+
+    def _seed_entry(self, key="a" * 32, scenario="digits"):
+        cache.store(key, b"payload", meta={"method": "CDCL", "scenario": scenario, "seed": 0})
+        return key
+
+    def test_cache_stats_reports_counts_and_bytes(self, capsys):
+        self._seed_entry()
+        assert main(["cache-stats"]) == 0
+        out = capsys.readouterr().out
+        assert "entries         : 1" in out
+        assert "digits" in out
+
+    def test_cache_stats_json_lists_keys(self, capsys):
+        key = self._seed_entry()
+        assert main(["cache-stats", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["entries"] == 1
+        assert report["keys"] == [key]
+
+    def test_cache_inspect(self, capsys):
+        key = self._seed_entry()
+        assert main(["cache-inspect", key]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["spec"]["method"] == "CDCL"
+
+    def test_cache_inspect_unknown_key(self, capsys):
+        assert main(["cache-inspect", "0" * 32]) == 2
+
+    def test_cache_evict_requires_a_policy(self, capsys):
+        assert main(["cache-evict"]) == 2
+
+    def test_cache_evict_max_bytes_enforces_bound(self, capsys):
+        self._seed_entry("a" * 32)
+        self._seed_entry("b" * 32, scenario="visda")
+        assert main(["cache-evict", "--max-bytes", "0"]) == 0
+        assert "evicted 2 entries" in capsys.readouterr().out
+        assert cache.stats()["entries"] == 0
+
+    def test_cache_evict_dry_run_keeps_entries(self, capsys):
+        self._seed_entry()
+        assert main(["cache-evict", "--max-entries", "0", "--dry-run"]) == 0
+        assert "would evict 1" in capsys.readouterr().out
+        assert cache.stats()["entries"] == 1
+
+    def test_cache_evict_rejects_bad_size(self):
+        with pytest.raises(SystemExit):
+            main(["cache-evict", "--max-bytes", "lots"])
+
+    def test_cache_verify_flags_corruption(self, capsys):
+        key = self._seed_entry()
+        (cache.cache_dir() / f"{key}.pkl").write_bytes(b"garbage")
+        assert main(["cache-verify"]) == 1
+        assert "1 corrupt" in capsys.readouterr().out
+        assert main(["cache-verify", "--repair"]) == 0
+        capsys.readouterr()
+        assert main(["cache-verify"]) == 0
+
+    def test_checkpoint_conflicts_with_no_cache(self, capsys):
+        assert main(["--checkpoint", "--no-cache", "figure2"]) == 2
+        assert "checkpoint" in capsys.readouterr().err

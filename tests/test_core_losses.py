@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.autograd import Tensor, gradient_check, ops
+from repro.autograd import Tensor, gradient_check
 from repro.core import losses
 from repro.nn.functional import cross_entropy
 

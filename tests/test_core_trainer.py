@@ -71,7 +71,7 @@ class TestObserveTask:
 
     def test_losses_are_finite(self, trainer, tiny_stream):
         trainer.observe_task(tiny_stream[0])
-        assert all(np.isfinite(l) for l in trainer.logs[0].epoch_losses)
+        assert all(np.isfinite(loss) for loss in trainer.logs[0].epoch_losses)
 
 
 class TestPredictions:

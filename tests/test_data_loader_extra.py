@@ -1,7 +1,6 @@
 """Additional DataLoader / memory sampling edge cases."""
 
 import numpy as np
-import pytest
 
 from repro.continual import RehearsalMemory
 from repro.data import ArrayDataset, DataLoader

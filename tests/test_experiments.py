@@ -5,7 +5,6 @@ renderers produce the paper's layout — not result quality (that is the
 benchmarks' job).
 """
 
-import numpy as np
 import pytest
 
 from repro.continual import Scenario

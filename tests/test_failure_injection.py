@@ -43,7 +43,7 @@ class TestDegenerateTasks:
         task = make_degenerate_task(0, images, labels)
         trainer = CDCLTrainer(CDCLConfig.fast(epochs=2, warmup_epochs=1), 1, 16, rng=0)
         trainer.observe_task(task)
-        assert all(np.isfinite(l) for l in trainer.logs[0].epoch_losses)
+        assert all(np.isfinite(loss) for loss in trainer.logs[0].epoch_losses)
 
     def test_single_class_task(self):
         images = np.random.default_rng(0).normal(size=(6, 1, 16, 16))

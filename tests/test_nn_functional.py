@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.autograd import Tensor, gradient_check, ops
+from repro.autograd import Tensor, gradient_check
 from repro.nn import functional as F
 
 

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.theory import (
-    ContinualBound,
     TaskBoundTerms,
     continual_bound,
     feature_domain_gap,

@@ -1,0 +1,189 @@
+#!/usr/bin/env python
+"""Run the ``benchmark``-marked suite and emit a machine-readable report.
+
+CI's ``bench`` job calls this to track the performance trajectory of
+the experiment engine: the report records wall-clock seconds per
+benchmark cell (one pytest node each), the suite total, and the
+engine-cache traffic of the run (hit rate included).  Reports are named
+``BENCH_<sha>.json`` and uploaded as workflow artifacts, so the
+trajectory survives across commits.
+
+Against a committed baseline (``benchmarks/BENCH_BASELINE.json``), the
+run fails when total wall-clock regresses by more than
+``--max-regression`` (default 25%) — the guard the ROADMAP's "fast as
+the hardware allows" goal hangs off.  Refresh the baseline with
+``--update-baseline`` after an intentional workload change (new
+benchmarks, profile growth) and commit the result.
+
+Usage::
+
+    python tools/bench_report.py --output BENCH_$(git rev-parse --short HEAD).json
+    python tools/bench_report.py --baseline benchmarks/BENCH_BASELINE.json
+    python tools/bench_report.py --update-baseline
+
+Exit codes: 0 ok, 1 benchmark failures, 2 performance regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+BASELINE = REPO / "benchmarks" / "BENCH_BASELINE.json"
+
+
+class _CellRecorder:
+    """Pytest plugin: wall-clock seconds per benchmark node."""
+
+    def __init__(self) -> None:
+        self.cells: dict[str, float] = {}
+        self.failed: list[str] = []
+
+    def pytest_runtest_logreport(self, report) -> None:
+        if report.when == "call":
+            self.cells[report.nodeid] = round(report.duration, 4)
+        # A node can fail in several phases (call + teardown); list it once.
+        if report.failed and report.nodeid not in self.failed:
+            self.failed.append(report.nodeid)
+
+
+def run_suite() -> tuple[int, dict]:
+    """Run the benchmark suite in-process; return (exit_code, report)."""
+    import pytest
+
+    sys.path.insert(0, str(REPO / "src"))
+    # Benches always run at the smoke profile in CI; an exported profile
+    # still wins for local experimentation.
+    os.environ.setdefault("REPRO_PROFILE", "smoke")
+
+    from repro.engine import cache
+
+    cache.reset_session_counters()
+    recorder = _CellRecorder()
+    start = time.perf_counter()
+    code = pytest.main(
+        ["-q", "-m", "benchmark", str(REPO / "benchmarks")], plugins=[recorder]
+    )
+    total = time.perf_counter() - start
+    counters = cache.session_counters()
+    loads = counters["hits"] + counters["misses"]
+    report = {
+        "sha": _git_sha(),
+        "python": sys.version.split()[0],
+        "profile": os.environ.get("REPRO_PROFILE", "smoke"),
+        "cells": recorder.cells,
+        "failed": recorder.failed,
+        "total_seconds": round(total, 3),
+        "cache": {
+            **counters,
+            "hit_rate": round(counters["hits"] / loads, 4) if loads else None,
+        },
+    }
+    return int(code), report
+
+
+def compare(report: dict, baseline: dict, max_regression: float) -> bool:
+    """Print the delta vs baseline; True when within tolerance."""
+    base_total = baseline.get("total_seconds")
+    total = report["total_seconds"]
+    if not base_total:
+        print("baseline has no total_seconds; skipping regression check")
+        return True
+    ratio = total / base_total
+    print(
+        f"total wall-clock: {total:.1f}s vs baseline {base_total:.1f}s "
+        f"({ratio - 1.0:+.1%}, tolerance +{max_regression:.0%})"
+    )
+    base_cells = baseline.get("cells", {})
+    for nodeid, seconds in sorted(
+        report["cells"].items(), key=lambda kv: -kv[1]
+    ):
+        base = base_cells.get(nodeid)
+        delta = f"{seconds / base - 1.0:+.1%}" if base else "new"
+        print(f"  {seconds:7.2f}s  {delta:>8}  {nodeid}")
+    for nodeid in sorted(set(base_cells) - set(report["cells"])):
+        print(f"  removed: {nodeid}")
+    return ratio <= 1.0 + max_regression
+
+
+def _git_sha() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return os.environ.get("GITHUB_SHA", "unknown")[:12] or "unknown"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="where to write the report (default BENCH_<sha>.json in CWD)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=BASELINE if BASELINE.exists() else None,
+        metavar="FILE",
+        help="baseline report to compare against (default: the committed one)",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        metavar="FRACTION",
+        help="fail when total wall-clock exceeds baseline by this fraction",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help=f"write the report to {BASELINE.relative_to(REPO)} instead of comparing",
+    )
+    args = parser.parse_args(argv)
+
+    code, report = run_suite()
+    output = args.output or Path(f"BENCH_{report['sha']}.json")
+    output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {output} ({len(report['cells'])} cells, {report['total_seconds']}s)")
+    if code != 0:
+        print(f"benchmark suite failed (pytest exit {code}): {report['failed']}")
+        return 1
+
+    if args.update_baseline:
+        # The committed baseline carries no sha: it describes the
+        # workload, not one commit, so refreshing it is a 1-line diff.
+        baseline = dict(report)
+        baseline["sha"] = "baseline"
+        BASELINE.write_text(json.dumps(baseline, indent=2, sort_keys=True) + "\n")
+        print(f"updated {BASELINE}")
+        return 0
+
+    if args.baseline is None:
+        print("no baseline to compare against (pass --baseline or commit one)")
+        return 0
+    baseline = json.loads(args.baseline.read_text())
+    if not compare(report, baseline, args.max_regression):
+        print(
+            f"PERFORMANCE REGRESSION: total exceeds baseline by more than "
+            f"{args.max_regression:.0%}",
+        )
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
