@@ -11,24 +11,54 @@ Layers (bottom-up):
 * :mod:`repro.baselines` — DER, DER++, HAL, MSL, CDTrans, TVT;
 * :mod:`repro.theory` — divergence estimates and error bounds;
 * :mod:`repro.engine` — method/scenario registries, cached run cells,
-  parallel multi-seed execution;
+  parallel multi-seed execution (internal machinery);
+* :mod:`repro.api` — the public surface: the :class:`~repro.api.
+  Session` facade, fluent run builder, typed results, progress events;
+* :mod:`repro.serve` — asyncio batched inference serving over
+  checkpointed cells;
 * :mod:`repro.experiments` — every table and figure as a declarative
   spec over the engine, plus the CLI.
 
 Quickstart::
 
-    from repro.core import CDCLConfig, CDCLTrainer
-    from repro.continual import run_continual, Scenario
-    from repro.data.synthetic import mnist_usps
+    from repro.api import Session
 
-    stream = mnist_usps(rng=0)
-    trainer = CDCLTrainer(CDCLConfig.small(), in_channels=1, image_size=16)
-    result = run_continual(trainer, stream, Scenario.TIL)
-    print(result.acc, result.fgt)
+    session = Session(profile="smoke")
+    result = session.run("cdcl").on("digits/mnist->usps").result()
+    print(result.acc("til"), result.fgt("til"))
+
+The version is single-sourced from the installed package metadata
+(``pyproject.toml``); source checkouts that are not pip-installed fall
+back to parsing ``pyproject.toml`` directly.
 """
 
-__version__ = "1.0.0"
 
-from repro.utils import set_seed, global_rng
+def _resolve_version() -> str:
+    from importlib import metadata
+
+    try:
+        return metadata.version("repro-cdcl")
+    except metadata.PackageNotFoundError:
+        pass
+    # Source-tree fallback (PYTHONPATH=src, no pip install): read the
+    # single source of truth directly.
+    import re
+    from pathlib import Path
+
+    pyproject = Path(__file__).resolve().parents[2] / "pyproject.toml"
+    try:
+        match = re.search(
+            r'^version\s*=\s*"([^"]+)"', pyproject.read_text(), flags=re.M
+        )
+        if match:
+            return match.group(1)
+    except OSError:
+        pass
+    return "0+unknown"
+
+
+__version__ = _resolve_version()
+
+from repro.utils import set_seed, global_rng  # noqa: E402
 
 __all__ = ["set_seed", "global_rng", "__version__"]

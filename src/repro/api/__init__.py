@@ -1,0 +1,37 @@
+"""`repro.api` — the library-grade public surface.
+
+The engine (:mod:`repro.engine`) stays the internal machinery; this
+package is what programs import::
+
+    from repro.api import Session
+
+    session = Session(profile="smoke", jobs=4)
+    result = session.run("cdcl").on("digits_drift").seeds(3).result()
+    print(result.to_json(indent=2))
+
+A :class:`Session` owns the cache directory, profile, executor
+settings and progress observers once; the fluent builder returns typed
+:class:`RunHandle` / :class:`Result` objects with ``to_rows()`` /
+``to_json()`` export.  Checkpointed handles pin their cache entries so
+live models cannot be evicted from under a holder; the serving layer
+(:mod:`repro.serve`) builds on the same sessions via
+:meth:`Session.serve`.
+
+The old free functions re-exported from ``repro.engine`` (``run_one``,
+``run_pair_cells``, ``spec_for``, ``run_seed_sweep``, ...) keep
+working as deprecation shims and will keep doing so for at least one
+minor release.
+"""
+
+from repro.api.events import EventHub, ProgressCallback, ProgressEvent
+from repro.api.session import Result, RunBuilder, RunHandle, Session
+
+__all__ = [
+    "EventHub",
+    "ProgressCallback",
+    "ProgressEvent",
+    "Result",
+    "RunBuilder",
+    "RunHandle",
+    "Session",
+]

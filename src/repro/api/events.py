@@ -1,0 +1,93 @@
+"""The progress-event protocol of the public API.
+
+A :class:`~repro.api.session.Session` reports the lifecycle of every
+run it executes through plain callbacks: subscribe any callable taking
+one :class:`ProgressEvent` and the session invokes it, in submission
+order, from the process that owns the run (worker processes never call
+back directly — the executor reports in the parent as results arrive).
+
+Events come in four kinds::
+
+    run-start    the run's spec list is final; ``total`` cells follow
+    cell-start   one cell is about to execute          (serial runs only)
+    cell-done    one cell finished (``result`` set; ``cached`` tells
+                 whether it was served from the disk cache)
+    run-done     all cells finished; ``elapsed`` covers the whole run
+
+``cell-start`` is only emitted when cells execute sequentially in the
+session's own process (``jobs <= 1``): with a process pool the parent
+first learns about a cell when its result comes back, and inventing a
+start time would be a lie.  Consumers that only need completion
+ticks — progress bars, log lines — can rely on ``cell-done`` alone,
+which fires exactly ``total`` times for every run.
+
+Callbacks must not raise: an exception in a progress observer must
+never kill the science, so the session swallows (and counts) observer
+errors.
+"""
+
+from __future__ import annotations
+
+import typing
+from dataclasses import dataclass, field
+
+if typing.TYPE_CHECKING:  # import cycle: runner types only for hints
+    from repro.engine.runner import RunResult, RunSpec
+
+__all__ = ["ProgressEvent", "ProgressCallback", "EventHub"]
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One lifecycle notification of a session run."""
+
+    kind: str  #: "run-start" | "cell-start" | "cell-done" | "run-done"
+    total: int  #: number of cells in the run this event belongs to
+    index: int | None = None  #: cell position within the run (cell-* kinds)
+    spec: "RunSpec | None" = None  #: the cell's spec (cell-* kinds)
+    result: "RunResult | None" = None  #: the cell's result (cell-done only)
+    elapsed: float | None = None  #: wall-clock seconds (run-done only)
+
+    @property
+    def cached(self) -> bool:
+        """True when this cell was served from the disk cache."""
+        return bool(self.result is not None and self.result.cached)
+
+    def __str__(self) -> str:  # log-friendly one-liner
+        if self.kind in ("run-start", "run-done"):
+            suffix = f" in {self.elapsed:.2f}s" if self.elapsed is not None else ""
+            return f"{self.kind}: {self.total} cells{suffix}"
+        where = f"[{self.index + 1}/{self.total}]" if self.index is not None else ""
+        what = f"{self.spec.method} on {self.spec.scenario}" if self.spec else "?"
+        tag = " (cached)" if self.kind == "cell-done" and self.cached else ""
+        return f"{self.kind} {where} {what}{tag}"
+
+
+#: Anything callable with one ProgressEvent is a valid observer.
+ProgressCallback = typing.Callable[[ProgressEvent], None]
+
+
+@dataclass
+class EventHub:
+    """Fan one event out to every subscribed callback, swallowing errors."""
+
+    callbacks: list[ProgressCallback] = field(default_factory=list)
+    errors: int = 0
+
+    def subscribe(self, callback: ProgressCallback) -> ProgressCallback:
+        self.callbacks.append(callback)
+        return callback
+
+    def unsubscribe(self, callback: ProgressCallback) -> None:
+        if callback in self.callbacks:
+            self.callbacks.remove(callback)
+
+    def emit(self, event: ProgressEvent) -> None:
+        for callback in list(self.callbacks):
+            try:
+                callback(event)
+            except Exception:
+                # An observer bug must never abort a training run; the
+                # count is visible on session.events.errors for tests
+                # and debugging.
+                self.errors += 1

@@ -1,0 +1,637 @@
+"""The :class:`Session` facade — the library's front door.
+
+One object owns everything the old free-function surface made every
+caller re-plumb: the cache directory, the workload profile, executor
+settings (jobs / cache / checkpoint defaults) and progress observers.
+Configured once, a session exposes
+
+* a **fluent builder** — ``session.run("cdcl").on("digits_drift")
+  .seeds(5).checkpoint().start()`` — returning a typed
+  :class:`RunHandle` whose :class:`Result` exports rows or JSON;
+* **table helpers** (:meth:`Session.pair`, :meth:`Session.sweep`) that
+  the experiment specs and the CLI run through;
+* **cache management** (:meth:`Session.cache_stats` /
+  :meth:`Session.evict` / :meth:`Session.verify_cache`) bound to the
+  session's directory;
+* **model access** (:meth:`Session.load_model`) and a bridge into the
+  serving layer (:meth:`Session.serve`).
+
+Every stochastic component is still seeded from the spec, so sessions
+add configuration ownership and observability without touching the
+determinism contract: two sessions with the same settings produce
+bitwise-identical cells.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import weakref
+from contextlib import contextmanager
+from dataclasses import dataclass, replace
+from pathlib import Path
+
+import numpy as np
+
+from repro.api.events import EventHub, ProgressCallback, ProgressEvent
+from repro.continual import Scenario
+from repro.engine import cache
+from repro.engine.executor import MultiSeedResult, run_seed_sweep, run_specs
+from repro.engine.profiles import ExperimentProfile, get_profile
+from repro.engine.registry import METHODS, SCENARIOS, Registry
+from repro.engine.runner import (
+    DEFAULT_EVAL_SCENARIOS,
+    PairResult,
+    RunResult,
+    RunSpec,
+    assemble_pair,
+    has_checkpoint,
+    load_checkpoint,
+    pair_specs,
+    run_one,
+    spec_for,
+)
+
+__all__ = ["Session", "RunBuilder", "RunHandle", "Result"]
+
+
+@dataclass(frozen=True)
+class Result:
+    """Typed, export-friendly outcome of one builder run.
+
+    One run covers a single (method, scenario) at one or more seeds;
+    ``runs`` holds the underlying per-seed cells in seed order.
+    """
+
+    method: str
+    scenario: str
+    profile: str
+    seeds: tuple[int, ...]
+    runs: tuple[RunResult, ...]
+
+    def to_rows(self) -> list[dict]:
+        """Flatten to one dict per (seed, protocol) — spreadsheet shape."""
+        rows = []
+        for run in self.runs:
+            base = {
+                "method": run.method,
+                "scenario": run.scenario,
+                "stream": run.stream_name,
+                "profile": self.profile,
+                "seed": run.seed,
+                "cached": run.cached,
+                "elapsed": run.elapsed,
+            }
+            if run.is_static:
+                for scenario, acc in run.static_acc.items():
+                    rows.append(
+                        {**base, "protocol": scenario.value, "acc": acc, "fgt": None}
+                    )
+            else:
+                for scenario, outcome in run.results.items():
+                    rows.append(
+                        {
+                            **base,
+                            "protocol": scenario.value,
+                            "acc": outcome.acc,
+                            "fgt": outcome.fgt,
+                        }
+                    )
+        return rows
+
+    def stats(self) -> dict[str, dict[str, tuple[float, float]]]:
+        """Per-protocol ``{"acc"/"fgt": (mean, std)}`` across seeds."""
+        grouped: dict[str, dict[str, list[float]]] = {}
+        for row in self.to_rows():
+            bucket = grouped.setdefault(row["protocol"], {"acc": [], "fgt": []})
+            bucket["acc"].append(row["acc"])
+            if row["fgt"] is not None:
+                bucket["fgt"].append(row["fgt"])
+        return {
+            protocol: {
+                metric: (float(np.mean(values)), float(np.std(values)))
+                for metric, values in bucket.items()
+                if values
+            }
+            for protocol, bucket in grouped.items()
+        }
+
+    def acc(self, protocol: Scenario | str = Scenario.TIL) -> float:
+        """Mean accuracy across seeds under one protocol."""
+        return self.stats()[Scenario.parse(protocol).value]["acc"][0]
+
+    def fgt(self, protocol: Scenario | str = Scenario.TIL) -> float:
+        """Mean forgetting across seeds under one protocol."""
+        return self.stats()[Scenario.parse(protocol).value]["fgt"][0]
+
+    def to_json(self, indent: int | None = None) -> str:
+        """The run as one JSON document (summary stats + flat rows)."""
+        return json.dumps(
+            {
+                "method": self.method,
+                "scenario": self.scenario,
+                "profile": self.profile,
+                "seeds": list(self.seeds),
+                "stats": {
+                    protocol: {metric: list(pair) for metric, pair in metrics.items()}
+                    for protocol, metrics in self.stats().items()
+                },
+                "rows": self.to_rows(),
+            },
+            indent=indent,
+        )
+
+
+def _unpin_keys(keys: tuple[str, ...]) -> None:
+    for key in keys:
+        cache.unpin(key)
+
+
+class RunHandle:
+    """A finished builder run: results plus the liveness of its models.
+
+    For checkpointed runs the handle *pins* every cell's cache entry
+    (see :func:`repro.engine.cache.pin`) so an LRU eviction sweeping
+    the store cannot delete a model this handle may still
+    :meth:`load_model`.  Pins are released by :meth:`release`, by
+    leaving the handle's ``with`` block, or — as a backstop — when the
+    handle is garbage-collected.
+    """
+
+    def __init__(self, session: "Session", specs, results, checkpointed: bool):
+        self.session = session
+        self.specs: tuple[RunSpec, ...] = tuple(specs)
+        self.results: tuple[RunResult, ...] = tuple(results)
+        self.checkpointed = checkpointed
+        self._pinned: tuple[str, ...] = ()
+        self._finalizer = None
+        if checkpointed:
+            with session._activate():
+                self._pinned = tuple(spec.cache_key() for spec in self.specs)
+                for key in self._pinned:
+                    cache.pin(key)
+            self._finalizer = weakref.finalize(self, _unpin_keys, self._pinned)
+
+    def result(self) -> Result:
+        first = self.specs[0]
+        return Result(
+            method=first.method,
+            scenario=first.scenario,
+            profile=first.profile,
+            seeds=tuple(spec.seed for spec in self.specs),
+            runs=self.results,
+        )
+
+    def load_model(self, index: int = 0):
+        """Reload the trained model of cell ``index`` — no retraining."""
+        if not self.checkpointed:
+            raise ValueError(
+                "run was not checkpointed; add .checkpoint() to the builder chain"
+            )
+        return self.session.load_model(self.specs[index])
+
+    def release(self) -> None:
+        """Unpin this handle's cache entries (idempotent)."""
+        if self._finalizer is not None:
+            self._finalizer()  # runs _unpin_keys exactly once
+            self._finalizer = None
+
+    def __enter__(self) -> "RunHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __repr__(self) -> str:
+        first = self.specs[0]
+        return (
+            f"RunHandle({first.method} on {first.scenario}, "
+            f"{len(self.specs)} cell(s), checkpointed={self.checkpointed})"
+        )
+
+
+@dataclass(frozen=True)
+class RunBuilder:
+    """Immutable fluent builder; every step returns a new builder.
+
+    Terminal calls: :meth:`start` (execute, get a :class:`RunHandle`)
+    or :meth:`result` (execute, get the :class:`Result` directly).
+    """
+
+    session: "Session"
+    method: str
+    scenario: str | None = None
+    base_seed: int = 0
+    seed_list: tuple[int, ...] | None = None
+    profile_name: str | ExperimentProfile | None = None
+    profile_over: tuple[tuple[str, object], ...] = ()
+    method_over: tuple[tuple[str, object], ...] = ()
+    scenario_par: tuple[tuple[str, object], ...] = ()
+    eval_scenarios: tuple[str, ...] = DEFAULT_EVAL_SCENARIOS
+    checkpointed: bool | None = None  # None -> session default
+    cache_enabled: bool | None = None  # None -> session default
+
+    # -- chain steps ----------------------------------------------------
+    def on(self, scenario: str) -> "RunBuilder":
+        """Select the benchmark scenario (registered name)."""
+        SCENARIOS.get(scenario)  # fail fast with the name list
+        return replace(self, scenario=scenario)
+
+    def seed(self, seed: int) -> "RunBuilder":
+        """Set the single seed (also the base for ``seeds(n)``)."""
+        return replace(self, base_seed=int(seed), seed_list=None)
+
+    def seeds(self, seeds, independent: bool = False) -> "RunBuilder":
+        """Run several seeds: an iterable of seeds, or a count.
+
+        A count expands to ``base_seed + 0..n-1``; with
+        ``independent=True`` it instead expands through
+        :func:`repro.engine.executor.derive_seeds` (SeedSequence) for
+        statistically independent streams.
+        """
+        if isinstance(seeds, int):
+            if seeds <= 0:
+                raise ValueError("seed count must be positive")
+            if independent:
+                from repro.engine.executor import derive_seeds
+
+                expanded = derive_seeds(self.base_seed, seeds)
+            else:
+                expanded = tuple(self.base_seed + i for i in range(seeds))
+        else:
+            expanded = tuple(int(s) for s in seeds)
+            if not expanded:
+                raise ValueError("at least one seed is required")
+        return replace(self, seed_list=expanded)
+
+    def profile(
+        self, profile: str | ExperimentProfile, **overrides
+    ) -> "RunBuilder":
+        """Override the session profile for this run (name or object)."""
+        return replace(
+            self, profile_name=profile, profile_over=tuple(sorted(overrides.items()))
+        )
+
+    def overrides(self, **method_overrides) -> "RunBuilder":
+        """Method-config overrides (e.g. CDCL loss-block toggles)."""
+        return replace(self, method_over=tuple(sorted(method_overrides.items())))
+
+    def params(self, **scenario_params) -> "RunBuilder":
+        """Scenario parameters forwarded to the stream factory."""
+        return replace(self, scenario_par=tuple(sorted(scenario_params.items())))
+
+    def eval(self, *protocols: Scenario | str) -> "RunBuilder":
+        """Evaluation protocols (default TIL + CIL)."""
+        return replace(
+            self, eval_scenarios=tuple(Scenario.parse(p).value for p in protocols)
+        )
+
+    def checkpoint(self, enabled: bool = True) -> "RunBuilder":
+        """Persist each cell's trained model next to its metrics."""
+        return replace(self, checkpointed=enabled)
+
+    def no_cache(self) -> "RunBuilder":
+        """Recompute every cell, bypassing the disk cache."""
+        return replace(self, cache_enabled=False)
+
+    # -- terminals ------------------------------------------------------
+    def specs(self) -> list[RunSpec]:
+        """The concrete engine cells this chain describes."""
+        if self.scenario is None:
+            raise ValueError(
+                "no scenario selected; chain .on(<scenario name>) before running"
+            )
+        profile = self.profile_name
+        if profile is None:
+            profile = self.session.profile
+        if isinstance(profile, str) or profile is None:
+            profile = get_profile(profile, **dict(self.profile_over))
+        elif self.profile_over:
+            profile = replace(profile, **dict(self.profile_over))
+        seeds = self.seed_list if self.seed_list is not None else (self.base_seed,)
+        return [
+            spec_for(
+                self.method,
+                self.scenario,
+                profile,
+                seed=seed,
+                eval_scenarios=self.eval_scenarios,
+                method_overrides=dict(self.method_over),
+                scenario_params=dict(self.scenario_par),
+            )
+            for seed in seeds
+        ]
+
+    def start(self) -> RunHandle:
+        """Execute (cache-aware, parallel over session jobs); get a handle."""
+        specs = self.specs()
+        checkpointed = (
+            self.session.checkpoint if self.checkpointed is None else self.checkpointed
+        )
+        results = self.session.execute(
+            specs, checkpoint=checkpointed, use_cache=self.cache_enabled
+        )
+        return RunHandle(self.session, specs, results, checkpointed)
+
+    def result(self) -> Result:
+        """Execute and return the typed :class:`Result` directly."""
+        return self.start().result()
+
+
+class Session:
+    """Owns configuration once; every run flows through it.
+
+    Parameters
+    ----------
+    profile:
+        Workload profile for runs that do not override it — a name
+        (``"smoke"``), a materialized
+        :class:`~repro.engine.profiles.ExperimentProfile`, or None for
+        the environment default (``REPRO_PROFILE`` or ``scaled``).
+    cache_dir:
+        Result-store directory for everything this session executes;
+        None keeps the process default (``REPRO_CACHE_DIR`` or
+        ``~/.cache/repro-engine``).
+    jobs / use_cache / checkpoint / verbose:
+        Executor defaults, overridable per call.
+    on_event:
+        Optional initial progress observer (see
+        :class:`repro.api.events.ProgressEvent`); more can be added
+        with :meth:`subscribe`.
+    """
+
+    def __init__(
+        self,
+        profile: str | ExperimentProfile | None = None,
+        *,
+        cache_dir: str | Path | None = None,
+        jobs: int = 1,
+        use_cache: bool = True,
+        checkpoint: bool = False,
+        verbose: bool = False,
+        on_event: ProgressCallback | None = None,
+    ):
+        self.profile = profile
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.jobs = jobs
+        self.use_cache = use_cache
+        self.checkpoint = checkpoint
+        self.verbose = verbose
+        self.events = EventHub()
+        if on_event is not None:
+            self.events.subscribe(on_event)
+
+    def resolved_profile(self) -> ExperimentProfile:
+        """The session profile as a materialized object."""
+        if isinstance(self.profile, ExperimentProfile):
+            return self.profile
+        return get_profile(self.profile)
+
+    # -- registry views -------------------------------------------------
+    @property
+    def methods(self) -> Registry:
+        """The method registry (iterable of specs; ``.names()`` for names)."""
+        return METHODS
+
+    @property
+    def scenarios(self) -> Registry:
+        """The scenario registry (iterable of specs)."""
+        return SCENARIOS
+
+    def resolve_method(self, name: str) -> str:
+        """Canonical registered method name (case-insensitive lookup)."""
+        if name in METHODS:
+            return name
+        folded = {registered.lower(): registered for registered in METHODS.names()}
+        if name.lower() in folded:
+            return folded[name.lower()]
+        METHODS.get(name)  # raises with the full registered list
+        raise AssertionError  # pragma: no cover
+
+    # -- events ---------------------------------------------------------
+    def subscribe(self, callback: ProgressCallback) -> ProgressCallback:
+        """Register a progress observer; returns it (decorator-friendly)."""
+        return self.events.subscribe(callback)
+
+    def unsubscribe(self, callback: ProgressCallback) -> None:
+        self.events.unsubscribe(callback)
+
+    # -- the fluent entry point ----------------------------------------
+    def run(self, method: str) -> RunBuilder:
+        """Start a builder chain for one method (name, case-insensitive)."""
+        return RunBuilder(session=self, method=self.resolve_method(method))
+
+    def spec(self, method: str, scenario: str, **kwargs) -> RunSpec:
+        """One concrete cell spec at this session's profile."""
+        return spec_for(
+            self.resolve_method(method), scenario, self.profile, **kwargs
+        )
+
+    # -- execution ------------------------------------------------------
+    def execute(
+        self,
+        specs,
+        *,
+        checkpoint: bool | None = None,
+        use_cache: bool | None = None,
+        jobs: int | None = None,
+    ) -> list[RunResult]:
+        """Run cells with session settings, emitting progress events."""
+        specs = list(specs)
+        checkpoint = self.checkpoint if checkpoint is None else checkpoint
+        use_cache = self.use_cache if use_cache is None else use_cache
+        jobs = self.jobs if jobs is None else jobs
+        total = len(specs)
+        start = time.perf_counter()
+        self.events.emit(ProgressEvent(kind="run-start", total=total))
+        with self._activate():
+            if jobs <= 1:
+                results = []
+                for index, spec in enumerate(specs):
+                    self.events.emit(
+                        ProgressEvent(
+                            kind="cell-start", total=total, index=index, spec=spec
+                        )
+                    )
+                    result = run_one(
+                        spec,
+                        use_cache=use_cache,
+                        checkpoint=checkpoint,
+                        verbose=self.verbose,
+                    )
+                    self.events.emit(
+                        ProgressEvent(
+                            kind="cell-done",
+                            total=total,
+                            index=index,
+                            spec=spec,
+                            result=result,
+                        )
+                    )
+                    results.append(result)
+            else:
+                results = run_specs(
+                    specs,
+                    jobs=jobs,
+                    use_cache=use_cache,
+                    checkpoint=checkpoint,
+                    verbose=self.verbose,
+                    progress=lambda index, spec, result: self.events.emit(
+                        ProgressEvent(
+                            kind="cell-done",
+                            total=total,
+                            index=index,
+                            spec=spec,
+                            result=result,
+                        )
+                    ),
+                )
+        self.events.emit(
+            ProgressEvent(
+                kind="run-done", total=total, elapsed=time.perf_counter() - start
+            )
+        )
+        return results
+
+    def pair(
+        self,
+        scenario: str,
+        methods,
+        *,
+        include_tvt: bool = True,
+        seed: int | None = None,
+        eval_scenarios=DEFAULT_EVAL_SCENARIOS,
+        method_overrides: dict | None = None,
+        scenario_params: dict | None = None,
+        checkpoint: bool | None = None,
+    ) -> PairResult:
+        """Run every method (plus the TVT bound) on one scenario.
+
+        The Session-facade form of the engine's ``run_pair_cells`` —
+        the table specs run through this.
+        """
+        methods = [self.resolve_method(name) for name in methods]
+        specs = pair_specs(
+            scenario,
+            methods,
+            self.profile,
+            seed=seed,
+            eval_scenarios=eval_scenarios,
+            include_tvt=include_tvt,
+            method_overrides=method_overrides,
+            scenario_params=scenario_params,
+        )
+        return assemble_pair(self.execute(specs, checkpoint=checkpoint))
+
+    def sweep(
+        self,
+        spec: RunSpec,
+        seeds,
+        *,
+        checkpoint: bool | None = None,
+        keep_runs: bool = False,
+    ) -> MultiSeedResult:
+        """Repeat one cell across seeds; mean/std aggregation."""
+        checkpoint = self.checkpoint if checkpoint is None else checkpoint
+        seeds = tuple(int(s) for s in seeds)
+        total = len(seeds)
+        start = time.perf_counter()
+        self.events.emit(ProgressEvent(kind="run-start", total=total))
+        with self._activate():
+            result = run_seed_sweep(
+                spec,
+                seeds,
+                jobs=self.jobs,
+                use_cache=self.use_cache,
+                checkpoint=checkpoint,
+                keep_runs=keep_runs,
+                verbose=self.verbose,
+                progress=lambda index, cell_spec, cell: self.events.emit(
+                    ProgressEvent(
+                        kind="cell-done",
+                        total=total,
+                        index=index,
+                        spec=cell_spec,
+                        result=cell,
+                    )
+                ),
+            )
+        self.events.emit(
+            ProgressEvent(
+                kind="run-done", total=total, elapsed=time.perf_counter() - start
+            )
+        )
+        return result
+
+    # -- models and serving --------------------------------------------
+    def load_model(self, spec: RunSpec):
+        """Reload the trained model of a checkpointed cell."""
+        with self._activate():
+            return load_checkpoint(spec)
+
+    def has_checkpoint(self, spec: RunSpec) -> bool:
+        with self._activate():
+            return has_checkpoint(spec)
+
+    def serve(self, **kwargs):
+        """An :class:`repro.serve.InferenceService` over this session.
+
+        Keyword arguments are forwarded to the service constructor
+        (``max_batch``, ``max_delay_ms``, ``pool_capacity`` ...).
+        """
+        from repro.serve import InferenceService
+
+        return InferenceService(session=self, **kwargs)
+
+    # -- cache management ----------------------------------------------
+    def cache_stats(self) -> dict:
+        with self._activate():
+            return cache.stats()
+
+    def evict(self, **kwargs):
+        """LRU-evict under a policy; see :func:`repro.engine.cache.evict`."""
+        with self._activate():
+            return cache.evict(**kwargs)
+
+    def verify_cache(self, repair: bool = False) -> dict:
+        with self._activate():
+            return cache.verify(repair=repair)
+
+    # -- plumbing -------------------------------------------------------
+    @contextmanager
+    def _activate(self):
+        """Route engine cache access to this session's directory.
+
+        The engine resolves its store through ``REPRO_CACHE_DIR`` at
+        each call; scoping the override keeps concurrent sessions with
+        different directories correct in one process, and forked
+        workers inherit the environment so parallel runs land in the
+        same store.
+        """
+        if self.cache_dir is None:
+            yield
+            return
+        previous = os.environ.get(cache._ENV_DIR)
+        os.environ[cache._ENV_DIR] = str(self.cache_dir)
+        try:
+            yield
+        finally:
+            if previous is None:
+                os.environ.pop(cache._ENV_DIR, None)
+            else:
+                os.environ[cache._ENV_DIR] = previous
+
+    def __repr__(self) -> str:
+        profile = (
+            self.profile.name
+            if isinstance(self.profile, ExperimentProfile)
+            else self.profile or "<env>"
+        )
+        return (
+            f"Session(profile={profile!r}, jobs={self.jobs}, "
+            f"cache_dir={str(self.cache_dir) if self.cache_dir else '<default>'!r})"
+        )

@@ -65,6 +65,10 @@ __all__ = [
     "inspect",
     "evict",
     "verify",
+    "pin",
+    "unpin",
+    "pinned",
+    "reset_pins",
     "session_counters",
     "reset_session_counters",
 ]
@@ -86,6 +90,39 @@ _TMP_ORPHAN_AGE_SECONDS = 3600.0
 #: design — a shared on-disk counter would serialize parallel workers
 #: on every read.
 _SESSION = {"hits": 0, "misses": 0, "stores": 0}
+
+#: Pin counts per key: entries a live handle depends on (a Session run
+#: handle holding a checkpoint, a serving ModelPool with the model
+#: loaded).  Pinned entries are skipped by :func:`evict` so a cache
+#: bound applied mid-serve can never delete a model out from under its
+#: holder.  Process-local by design, like the traffic counters: pins
+#: protect *this* process's handles; cross-process coordination is the
+#: deployment's job.
+_PINS: dict[str, int] = {}
+
+
+def pin(key: str) -> None:
+    """Protect ``key`` from :func:`evict` until :func:`unpin` (refcounted)."""
+    _PINS[key] = _PINS.get(key, 0) + 1
+
+
+def unpin(key: str) -> None:
+    """Drop one pin on ``key``; unknown keys are a no-op."""
+    count = _PINS.get(key, 0) - 1
+    if count > 0:
+        _PINS[key] = count
+    else:
+        _PINS.pop(key, None)
+
+
+def pinned() -> frozenset[str]:
+    """The keys currently protected from eviction."""
+    return frozenset(_PINS)
+
+
+def reset_pins() -> None:
+    """Drop every pin (test isolation; never call under live handles)."""
+    _PINS.clear()
 
 
 def cache_dir() -> Path:
@@ -376,7 +413,7 @@ def inspect(key: str) -> dict:
 
 def evict(
     *,
-    max_bytes: int | None = None,
+    max_bytes: int | str | None = None,
     max_entries: int | None = None,
     scenario: str | None = None,
     method: str | None = None,
@@ -388,14 +425,21 @@ def evict(
     the sidecar spec).  With a ``max_bytes`` / ``max_entries`` bound,
     least-recently-used candidates are evicted until the bound holds
     over the whole cache; with filters and no bound, every candidate
-    goes.  Calling with no arguments is a no-op (use :func:`clear` to
-    drop everything).
+    goes.  ``max_bytes`` accepts a K/M/G-suffixed string (``"500M"``).
+    Entries :func:`pin`-ned by a live handle (a serving model pool, a
+    checkpointed Session run) are never candidates.  Calling with no
+    arguments is a no-op (use :func:`clear` to drop everything).
     """
+    from repro.util import parse_size
+
+    if max_bytes is not None:
+        max_bytes = parse_size(max_bytes)
     entries = manifest()  # LRU-first
     candidates = [
         entry
         for entry in entries
-        if (scenario is None or entry.spec.get("scenario") == scenario)
+        if entry.key not in _PINS
+        and (scenario is None or entry.spec.get("scenario") == scenario)
         and (method is None or entry.spec.get("method") == method)
     ]
     filtered = scenario is not None or method is not None

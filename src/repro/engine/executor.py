@@ -103,16 +103,25 @@ def _call_job(args):
     return fn(item)
 
 
-def map_jobs(fn, items, jobs: int = 1) -> list:
+def map_jobs(fn, items, jobs: int = 1, on_result=None) -> list:
     """Map ``fn`` over ``items``, in-process or via a process pool.
 
     ``fn`` and each item must be picklable when ``jobs > 1`` (plain
     module-level functions and dataclasses are).  Results come back in
-    input order regardless of completion order.
+    input order regardless of completion order.  ``on_result(index,
+    item, result)`` is invoked in the parent as each result is consumed
+    (input order), so callers can report progress without touching the
+    worker processes.
     """
     items = list(items)
     if jobs <= 1 or len(items) <= 1:
-        return [fn(item) for item in items]
+        results = []
+        for index, item in enumerate(items):
+            result = fn(item)
+            if on_result is not None:
+                on_result(index, item, result)
+            results.append(result)
+        return results
     # Workers must inherit the parent's registries (scenarios/methods
     # registered at runtime) and caller-supplied factories; only the
     # fork start method carries that state, so request it explicitly
@@ -123,7 +132,12 @@ def map_jobs(fn, items, jobs: int = 1) -> list:
     with ProcessPoolExecutor(
         max_workers=min(jobs, len(items)), mp_context=context
     ) as pool:
-        return list(pool.map(_call_job, [(fn, item) for item in items]))
+        results = []
+        for index, result in enumerate(pool.map(_call_job, [(fn, item) for item in items])):
+            if on_result is not None:
+                on_result(index, items[index], result)
+            results.append(result)
+        return results
 
 
 def _run_spec_job(args) -> RunResult:
@@ -138,6 +152,7 @@ def run_specs(
     use_cache: bool = True,
     checkpoint: bool = False,
     verbose: bool = False,
+    progress=None,
 ) -> list[RunResult]:
     """Execute many cells, fanning uncached work over ``jobs`` processes.
 
@@ -146,13 +161,23 @@ def run_specs(
     dispatched.  With ``checkpoint=True`` every worker persists its
     trained model (atomic writes keep concurrent workers race-safe),
     and a hit without a checkpoint on disk counts as a miss.
+
+    ``progress(index, spec, result)`` is called in the parent as each
+    cell's result becomes available (hits immediately, computed cells
+    as the pool yields them) — the hook :class:`repro.api.Session`
+    turns into its progress events.
     """
     specs = list(specs)
     if jobs <= 1:
-        return [
-            run_one(s, use_cache=use_cache, checkpoint=checkpoint, verbose=verbose)
-            for s in specs
-        ]
+        results = []
+        for index, spec in enumerate(specs):
+            result = run_one(
+                spec, use_cache=use_cache, checkpoint=checkpoint, verbose=verbose
+            )
+            if progress is not None:
+                progress(index, spec, result)
+            results.append(result)
+        return results
     results: list[RunResult | None] = [None] * len(specs)
     pending: list[tuple[int, RunSpec]] = []
     for index, spec in enumerate(specs):
@@ -165,16 +190,24 @@ def run_specs(
                 if isinstance(hit, RunResult):
                     hit.cached = True
                     results[index] = hit
+                    if progress is not None:
+                        progress(index, spec, hit)
                     continue
         pending.append((index, spec))
     if pending:
-        computed = map_jobs(
+
+        def _on_result(position, _args, result):
+            index, spec = pending[position]
+            results[index] = result
+            if progress is not None:
+                progress(index, spec, result)
+
+        map_jobs(
             _run_spec_job,
             [(spec, use_cache, checkpoint, verbose) for _index, spec in pending],
             jobs=jobs,
+            on_result=_on_result,
         )
-        for (index, _spec), result in zip(pending, computed):
-            results[index] = result
     assert all(r is not None for r in results)
     return results  # type: ignore[return-value]
 
@@ -188,6 +221,7 @@ def run_seed_sweep(
     checkpoint: bool = False,
     keep_runs: bool = False,
     verbose: bool = False,
+    progress=None,
 ) -> MultiSeedResult:
     """Repeat one cell across seeds and aggregate mean/std statistics.
 
@@ -204,6 +238,7 @@ def run_seed_sweep(
         use_cache=use_cache,
         checkpoint=checkpoint,
         verbose=verbose,
+        progress=progress,
     )
     scenarios = [Scenario.parse(s) for s in spec.eval_scenarios]
     result = MultiSeedResult(

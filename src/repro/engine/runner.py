@@ -44,9 +44,11 @@ __all__ = [
     "RunSpec",
     "RunResult",
     "PairResult",
+    "assemble_pair",
     "checkpoint_path",
     "has_checkpoint",
     "load_checkpoint",
+    "pair_specs",
     "run_one",
     "run_pair_cells",
     "run_stream_pair",
@@ -363,6 +365,7 @@ def run_pair_cells(
     checkpoint: bool = False,
     jobs: int = 1,
     verbose: bool = False,
+    progress=None,
 ) -> PairResult:
     """Run every method (plus the TVT bound) on one registered scenario.
 
@@ -373,30 +376,65 @@ def run_pair_cells(
     """
     from repro.engine.executor import run_specs
 
-    methods = list(methods)
+    cells = run_specs(
+        pair_specs(
+            scenario,
+            methods,
+            profile,
+            seed=seed,
+            eval_scenarios=eval_scenarios,
+            include_tvt=include_tvt,
+            method_overrides=method_overrides,
+            scenario_params=scenario_params,
+        ),
+        jobs=jobs,
+        use_cache=use_cache,
+        checkpoint=checkpoint,
+        verbose=verbose,
+        progress=progress,
+    )
+    return assemble_pair(cells)
 
-    def make_spec(name: str) -> RunSpec:
-        listed = name in methods
-        return spec_for(
+
+def pair_specs(
+    scenario: str,
+    methods,
+    profile: ExperimentProfile | str | None = None,
+    *,
+    seed: int | None = None,
+    eval_scenarios=DEFAULT_EVAL_SCENARIOS,
+    include_tvt: bool = True,
+    method_overrides: dict | None = None,
+    scenario_params: dict | None = None,
+) -> list[RunSpec]:
+    """The spec list of one (scenario x methods [+ TVT]) table pair.
+
+    Shared by :func:`run_pair_cells` and the Session facade's
+    :meth:`repro.api.Session.pair`, so the two paths can never drift.
+    ``method_overrides`` apply to the *listed* methods only, never to
+    the implicitly appended TVT bound.
+    """
+    methods = list(methods)
+    names = methods + (["TVT"] if include_tvt else [])
+    if not names:
+        raise ValueError("at least one method (or include_tvt) is required")
+    return [
+        spec_for(
             name,
             scenario,
             profile,
             seed=seed,
             eval_scenarios=tuple(eval_scenarios),
-            method_overrides=dict(method_overrides or {}) if listed else {},
+            method_overrides=dict(method_overrides or {}) if name in methods else {},
             scenario_params=dict(scenario_params or {}),
         )
+        for name in names
+    ]
 
-    names = list(methods) + (["TVT"] if include_tvt else [])
-    if not names:
-        raise ValueError("at least one method (or include_tvt) is required")
-    cells = run_specs(
-        [make_spec(name) for name in names],
-        jobs=jobs,
-        use_cache=use_cache,
-        checkpoint=checkpoint,
-        verbose=verbose,
-    )
+
+def assemble_pair(cells) -> PairResult:
+    """Fold finished cells into the :class:`PairResult` table shape."""
+    cells = list(cells)
     pair = PairResult(stream_name=cells[0].stream_name)
     for cell in cells:
         if cell.is_static:

@@ -17,14 +17,19 @@ Usage::
     python -m repro.experiments cache-stats
     python -m repro.experiments cache-evict --max-bytes 500M
     python -m repro.experiments cache-verify --repair
+    python -m repro.experiments serve --method CDCL \
+        --scenario "digits/mnist->usps" --train-missing
+    python -m repro.experiments predict --port 7071 --sample 16
+    python -m repro.experiments --version
 
-Prints the requested artifact in the paper's layout.  Finished
-(method, scenario, profile, seed) cells are reused from the disk cache
-(``REPRO_CACHE_DIR``, disable with ``--no-cache``); ``--jobs N`` fans
-independent cells out over N worker processes; ``--checkpoint``
-persists each cell's trained model next to its metrics so
-``repro.engine.load_checkpoint`` can reload it without retraining.
-The ``cache-*`` subcommands report on, bound, and repair the store.
+Prints the requested artifact in the paper's layout.  Every run flows
+through one :class:`repro.api.Session` configured from the global
+flags (``--profile`` / ``--jobs`` / ``--no-cache`` / ``--checkpoint``);
+finished (method, scenario, profile, seed) cells are reused from the
+disk cache (``REPRO_CACHE_DIR``).  ``--checkpoint`` persists each
+cell's trained model so ``serve`` can answer predictions without
+retraining; the ``cache-*`` subcommands report on, bound, and repair
+the store.
 """
 
 from __future__ import annotations
@@ -33,12 +38,13 @@ import argparse
 import json
 import sys
 
+from repro import __version__
+from repro.api import Session
 from repro.data.synthetic import DOMAINNET_DOMAINS
-from repro.engine import METHODS, SCENARIOS, RunSpec, cache, run_seed_sweep
+from repro.engine import METHODS, SCENARIOS, cache, get_profile
 from repro.experiments import (
     TABLE1_COLUMNS,
     TABLE2_COLUMNS,
-    get_profile,
     render_figure2,
     render_table1,
     render_table2,
@@ -51,12 +57,22 @@ from repro.experiments import (
     run_table4,
 )
 from repro.experiments.reporting import multiseed_markdown
+from repro.serve.cli import (
+    add_predict_arguments,
+    add_serve_arguments,
+    run_predict,
+    run_serve,
+)
+from repro.util import format_bytes, parse_size
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
-        description="Regenerate the paper's tables and figures.",
+        description="Regenerate the paper's tables and figures; serve trained cells.",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro-cdcl {__version__}"
     )
     parser.add_argument(
         "--profile",
@@ -82,7 +98,7 @@ def main(argv: list[str] | None = None) -> int:
         action=argparse.BooleanOptionalAction,
         default=False,
         help="persist each cell's trained model next to its cached metrics "
-        "(reload with repro.engine.load_checkpoint)",
+        "(serve it later, or reload with Session.load_model)",
     )
     sub = parser.add_subparsers(dest="artifact", required=True)
 
@@ -133,6 +149,16 @@ def main(argv: list[str] | None = None) -> int:
     pv = sub.add_parser("cache-verify", help="detect corrupt/orphaned cache files")
     pv.add_argument("--repair", action="store_true", help="delete everything flagged")
 
+    pserve = sub.add_parser(
+        "serve", help="batched inference service over one checkpointed cell"
+    )
+    add_serve_arguments(pserve)
+
+    ppredict = sub.add_parser(
+        "predict", help="send concurrent predict requests to a running server"
+    )
+    add_predict_arguments(ppredict)
+
     args = parser.parse_args(argv)
 
     if args.artifact.startswith("cache-"):
@@ -163,7 +189,7 @@ def _validate_names(args: argparse.Namespace) -> None:
         unknown = set(args.domains) - set(DOMAINNET_DOMAINS)
         if unknown:
             raise ValueError(f"unknown DomainNet domains: {sorted(unknown)}")
-    elif args.artifact == "multiseed":
+    elif args.artifact in ("multiseed", "serve"):
         METHODS.get(args.method)
         SCENARIOS.get(args.scenario)
 
@@ -177,6 +203,8 @@ def _run(args: argparse.Namespace) -> int:
         for spec in SCENARIOS:
             print(f"{spec.name:<28} {spec.description}")
         return 0
+    if args.artifact == "predict":
+        return run_predict(args)
 
     profile = get_profile(args.profile)
     use_cache = not args.no_cache
@@ -187,45 +215,33 @@ def _run(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    common = dict(
+    # One Session owns everything the run needs; every artifact below
+    # (and the serving layer) flows through it.
+    session = Session(
         profile=profile,
-        verbose=args.verbose,
+        jobs=args.jobs,
         use_cache=use_cache,
         checkpoint=args.checkpoint,
-        jobs=args.jobs,
+        verbose=args.verbose,
     )
 
+    if args.artifact == "serve":
+        return run_serve(args, session)
     if args.artifact == "table1":
         columns = tuple(args.columns) if args.columns else ("MN->US",)
-        print(render_table1(run_table1(columns=columns, **common)))
+        print(render_table1(run_table1(columns=columns, session=session)))
     elif args.artifact == "table2":
         columns = tuple(args.columns) if args.columns else ("Ar->Cl",)
-        print(render_table2(run_table2(columns=columns, **common)))
+        print(render_table2(run_table2(columns=columns, session=session)))
     elif args.artifact == "table3":
-        print(render_table3(run_table3(domains=tuple(args.domains), **common)))
+        print(render_table3(run_table3(domains=tuple(args.domains), session=session)))
     elif args.artifact == "table4":
-        print(render_table4(run_table4(**common)))
+        print(render_table4(run_table4(session=session)))
     elif args.artifact == "figure2":
-        result = run_figure2(
-            profile=profile,
-            verbose=args.verbose,
-            use_cache=use_cache,
-            checkpoint=args.checkpoint,
-        )
-        print(render_figure2(result))
+        print(render_figure2(run_figure2(session=session)))
     elif args.artifact == "multiseed":
-        spec = RunSpec(
-            method=args.method,
-            scenario=args.scenario,
-            profile=profile.name,
-        )
-        result = run_seed_sweep(
-            spec,
-            args.seeds,
-            jobs=args.jobs,
-            use_cache=use_cache,
-            checkpoint=args.checkpoint,
-            verbose=args.verbose,
+        result = session.sweep(
+            session.spec(args.method, args.scenario), args.seeds
         )
         print(
             f"multiseed {args.method} on {args.scenario} "
@@ -248,9 +264,9 @@ def _run_cache_command(args: argparse.Namespace) -> int:
         print(f"cache directory : {report['directory']}")
         print(f"entries         : {report['entries']}"
               f" ({report['checkpoints']} with checkpoints)")
-        print(f"total size      : {_format_bytes(report['total_bytes'])}"
-              f" (results {_format_bytes(report['result_bytes'])},"
-              f" checkpoints {_format_bytes(report['checkpoint_bytes'])})")
+        print(f"total size      : {format_bytes(report['total_bytes'])}"
+              f" (results {format_bytes(report['result_bytes'])},"
+              f" checkpoints {format_bytes(report['checkpoint_bytes'])})")
         # The traffic counters are per-process; in a fresh CLI process
         # they are only nonzero for in-process callers (bench harness,
         # notebooks), so suppress the meaningless all-zero line here.
@@ -292,10 +308,10 @@ def _run_cache_command(args: argparse.Namespace) -> int:
         )
         verb = "would evict" if args.dry_run else "evicted"
         freed = sum(entry.total_bytes for entry in victims)
-        print(f"{verb} {len(victims)} entries ({_format_bytes(freed)})")
+        print(f"{verb} {len(victims)} entries ({format_bytes(freed)})")
         for entry in victims:
             label = entry.spec.get("method", "?") + " on " + entry.spec.get("scenario", "?")
-            print(f"  {entry.key}  {label}  {_format_bytes(entry.total_bytes)}")
+            print(f"  {entry.key}  {label}  {format_bytes(entry.total_bytes)}")
         return 0
     if args.artifact == "cache-verify":
         report = cache.verify(repair=args.repair)
@@ -317,26 +333,11 @@ def _run_cache_command(args: argparse.Namespace) -> int:
 
 
 def _parse_size(text: str) -> int:
-    """Parse a byte size: plain int, or K/M/G-suffixed (binary units)."""
-    text = text.strip().upper()
-    multipliers = {"K": 1024, "M": 1024**2, "G": 1024**3}
+    """Argparse adapter over :func:`repro.util.parse_size`."""
     try:
-        if text and text[-1] in multipliers:
-            return int(float(text[:-1]) * multipliers[text[-1]])
-        return int(text)
-    except ValueError:
-        raise argparse.ArgumentTypeError(
-            f"invalid size {text!r}; expected bytes or K/M/G suffix (e.g. 500M)"
-        ) from None
-
-
-def _format_bytes(count: int) -> str:
-    size = float(count)
-    for unit in ("B", "KiB", "MiB", "GiB"):
-        if size < 1024 or unit == "GiB":
-            return f"{size:.1f} {unit}" if unit != "B" else f"{int(size)} B"
-        size /= 1024
-    raise AssertionError
+        return parse_size(text)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
 
 
 if __name__ == "__main__":

@@ -38,9 +38,39 @@ __all__ = [
     "run_pair",
     "fit_tvt",
     "format_percent",
+    "session_for",
 ]
 
 DEFAULT_SCENARIOS = [Scenario.TIL, Scenario.CIL]
+
+
+def session_for(
+    session=None,
+    profile: ExperimentProfile | str | None = None,
+    *,
+    jobs: int = 1,
+    use_cache: bool = True,
+    checkpoint: bool = False,
+    verbose: bool = False,
+):
+    """Resolve the :class:`repro.api.Session` an artifact runs through.
+
+    Every ``run_table*`` / ``run_figure2`` entry point accepts either a
+    configured session (preferred — its settings win) or the legacy
+    loose kwargs, which are folded into a one-shot session here so the
+    table specs themselves only ever talk to the facade.
+    """
+    from repro.api import Session
+
+    if session is not None:
+        return session
+    return Session(
+        profile=profile,
+        jobs=jobs,
+        use_cache=use_cache,
+        checkpoint=checkpoint,
+        verbose=verbose,
+    )
 
 #: Methods that run through the streaming protocol (TVT is static).
 CONTINUAL_METHODS = ("DER", "DER++", "HAL", "MSL", "CDTrans-S", "CDTrans-B", "CDCL")

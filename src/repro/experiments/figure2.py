@@ -19,8 +19,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.continual import Scenario
-from repro.engine.runner import run_one, spec_for
-from repro.experiments.common import ExperimentProfile, format_percent, get_profile
+from repro.experiments.common import ExperimentProfile, format_percent, session_for
 
 __all__ = ["Figure2Series", "Figure2Result", "run_figure2", "render_figure2"]
 
@@ -45,16 +44,14 @@ def run_figure2(
     verbose: bool = False,
     use_cache: bool = True,
     checkpoint: bool = False,
+    session=None,
 ) -> Figure2Result:
     """Train CDCL on the VisDA stream and extract the figure's series."""
-    profile = profile or get_profile()
-    cell = run_one(
-        spec_for("CDCL", "visda2017", profile),
-        use_cache=use_cache,
-        checkpoint=checkpoint,
-        verbose=verbose,
+    session = session_for(
+        session, profile, use_cache=use_cache, checkpoint=checkpoint, verbose=verbose
     )
-    result = Figure2Result(profile=profile.name)
+    cell = session.run("CDCL").on("visda2017").start().results[0]
+    result = Figure2Result(profile=session.resolved_profile().name)
     for scenario, run in cell.results.items():
         series = Figure2Series(scenario=scenario)
         for step in range(run.r_matrix.num_tasks):

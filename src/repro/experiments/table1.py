@@ -21,12 +21,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.continual import Scenario
-from repro.engine.runner import PairResult, run_pair_cells
+from repro.engine.runner import PairResult
 from repro.experiments.common import (
     CONTINUAL_METHODS,
     ExperimentProfile,
     format_percent,
-    get_profile,
+    session_for,
 )
 
 __all__ = ["TABLE1_COLUMNS", "Table1Result", "run_table1", "render_table1"]
@@ -75,6 +75,7 @@ def run_table1(
     use_cache: bool = True,
     checkpoint: bool = False,
     jobs: int = 1,
+    session=None,
 ) -> Table1Result:
     """Run Table I over the requested columns.
 
@@ -82,26 +83,27 @@ def run_table1(
     ----------
     columns:
         Subset of :data:`TABLE1_COLUMNS`; None means all nine.
-    use_cache / jobs:
-        Disk-cache toggle and process-pool width, forwarded to the
-        engine (each method cell is cached independently).
+    session:
+        The :class:`repro.api.Session` to run through; when omitted
+        the loose kwargs (profile / use_cache / checkpoint / jobs)
+        configure a one-shot session.
     """
-    profile = profile or get_profile()
+    session = session_for(
+        session,
+        profile,
+        jobs=jobs,
+        use_cache=use_cache,
+        checkpoint=checkpoint,
+        verbose=verbose,
+    )
     columns = TABLE1_COLUMNS if columns is None else tuple(columns)
     unknown = set(columns) - set(TABLE1_COLUMNS)
     if unknown:
         raise ValueError(f"unknown Table I columns: {sorted(unknown)}")
-    result = Table1Result(profile=profile.name)
+    result = Table1Result(profile=session.resolved_profile().name)
     for column in columns:
-        result.pairs[column] = run_pair_cells(
-            COLUMN_SCENARIOS[column],
-            methods,
-            profile,
-            include_tvt=include_tvt,
-            use_cache=use_cache,
-            checkpoint=checkpoint,
-            jobs=jobs,
-            verbose=verbose,
+        result.pairs[column] = session.pair(
+            COLUMN_SCENARIOS[column], methods, include_tvt=include_tvt
         )
     return result
 

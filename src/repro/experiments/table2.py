@@ -12,12 +12,12 @@ from dataclasses import dataclass, field
 from itertools import permutations
 
 from repro.continual import Scenario
-from repro.engine.runner import PairResult, run_pair_cells
+from repro.engine.runner import PairResult
 from repro.experiments.common import (
     CONTINUAL_METHODS,
     ExperimentProfile,
     format_percent,
-    get_profile,
+    session_for,
 )
 
 __all__ = ["TABLE2_COLUMNS", "Table2Result", "run_table2", "render_table2"]
@@ -46,24 +46,25 @@ def run_table2(
     use_cache: bool = True,
     checkpoint: bool = False,
     jobs: int = 1,
+    session=None,
 ) -> Table2Result:
     """Run Table II over the requested direction pairs (None = all 12)."""
-    profile = profile or get_profile()
+    session = session_for(
+        session,
+        profile,
+        jobs=jobs,
+        use_cache=use_cache,
+        checkpoint=checkpoint,
+        verbose=verbose,
+    )
     columns = TABLE2_COLUMNS if columns is None else tuple(columns)
     unknown = set(columns) - set(TABLE2_COLUMNS)
     if unknown:
         raise ValueError(f"unknown Office-Home pairs: {sorted(unknown)}")
-    result = Table2Result(profile=profile.name)
+    result = Table2Result(profile=session.resolved_profile().name)
     for column in columns:
-        result.pairs[column] = run_pair_cells(
-            f"office_home/{column}",
-            methods,
-            profile,
-            include_tvt=include_tvt,
-            use_cache=use_cache,
-            checkpoint=checkpoint,
-            jobs=jobs,
-            verbose=verbose,
+        result.pairs[column] = session.pair(
+            f"office_home/{column}", methods, include_tvt=include_tvt
         )
     return result
 

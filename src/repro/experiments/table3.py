@@ -20,11 +20,11 @@ from dataclasses import dataclass, field
 
 from repro.continual import Scenario
 from repro.data.synthetic import DOMAINNET_DOMAINS
-from repro.engine.runner import PairResult, run_pair_cells
+from repro.engine.runner import PairResult
 from repro.experiments.common import (
     ExperimentProfile,
     format_percent,
-    get_profile,
+    session_for,
 )
 
 __all__ = ["Table3Result", "run_table3", "render_table3"]
@@ -54,33 +54,38 @@ def run_table3(
     use_cache: bool = True,
     checkpoint: bool = False,
     jobs: int = 1,
+    session=None,
 ) -> Table3Result:
     """Run the DomainNet matrix over a domain subset.
 
     ``num_classes``/``classes_per_task`` default to a 5-task scaled
     stream; the paper-shaped stream is 345/23 (15 tasks).
     """
-    profile = profile or get_profile()
+    session = session_for(
+        session,
+        profile,
+        jobs=jobs,
+        use_cache=use_cache,
+        checkpoint=checkpoint,
+        verbose=verbose,
+    )
     unknown = set(domains) - set(DOMAINNET_DOMAINS)
     if unknown:
         raise ValueError(f"unknown DomainNet domains: {sorted(unknown)}")
-    result = Table3Result(profile=profile.name, domains=tuple(domains))
+    result = Table3Result(
+        profile=session.resolved_profile().name, domains=tuple(domains)
+    )
     for source in domains:
         for target in domains:
             if source == target:
                 continue
-            result.pairs[(source, target)] = run_pair_cells(
+            result.pairs[(source, target)] = session.pair(
                 f"domainnet/{source}->{target}",
                 methods,
-                profile,
                 include_tvt=False,
                 scenario_params=dict(
                     num_classes=num_classes, classes_per_task=classes_per_task
                 ),
-                use_cache=use_cache,
-                checkpoint=checkpoint,
-                jobs=jobs,
-                verbose=verbose,
             )
     return result
 

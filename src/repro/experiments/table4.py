@@ -20,9 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.continual import Scenario
-from repro.engine.executor import run_specs
-from repro.engine.runner import spec_for
-from repro.experiments.common import ExperimentProfile, format_percent, get_profile
+from repro.experiments.common import ExperimentProfile, format_percent, session_for
 
 __all__ = ["ABLATION_VARIANTS", "Table4Result", "run_table4", "render_table4"]
 
@@ -54,29 +52,32 @@ def run_table4(
     use_cache: bool = True,
     checkpoint: bool = False,
     jobs: int = 1,
+    session=None,
 ) -> Table4Result:
     """Run the loss/attention ablation grid."""
-    profile = profile or get_profile()
-    unknown = set(variants) - set(ABLATION_VARIANTS)
-    if unknown:
-        raise ValueError(f"unknown ablation variants: {sorted(unknown)}")
-    grid = [(variant, direction) for variant in variants for direction in directions]
-    cells = run_specs(
-        [
-            spec_for(
-                "CDCL",
-                f"digits/{direction}",
-                profile,
-                method_overrides=dict(ABLATION_VARIANTS[variant]),
-            )
-            for variant, direction in grid
-        ],
+    session = session_for(
+        session,
+        profile,
         jobs=jobs,
         use_cache=use_cache,
         checkpoint=checkpoint,
         verbose=verbose,
     )
-    result = Table4Result(profile=profile.name)
+    unknown = set(variants) - set(ABLATION_VARIANTS)
+    if unknown:
+        raise ValueError(f"unknown ablation variants: {sorted(unknown)}")
+    grid = [(variant, direction) for variant in variants for direction in directions]
+    cells = session.execute(
+        [
+            session.spec(
+                "CDCL",
+                f"digits/{direction}",
+                method_overrides=dict(ABLATION_VARIANTS[variant]),
+            )
+            for variant, direction in grid
+        ]
+    )
+    result = Table4Result(profile=session.resolved_profile().name)
     for (variant, direction), cell in zip(grid, cells):
         result.accs.setdefault(variant, {})[direction] = {
             scenario: run.acc for scenario, run in cell.results.items()

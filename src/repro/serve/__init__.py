@@ -1,0 +1,43 @@
+"""`repro.serve` — batched inference serving over checkpointed cells.
+
+The ROADMAP's serving milestone: trained models persisted by
+``checkpoint=True`` cells are loaded (without retraining) through a
+per-model LRU pool and exposed behind an asyncio micro-batching queue,
+so many concurrent ``predict(x)`` callers share one
+``predict_multi`` forward::
+
+    from repro.api import Session
+    from repro.serve import InferenceService
+
+    session = Session(profile="smoke")
+    handle = session.run("cdcl").on("digits/mnist->usps").checkpoint().start()
+
+    async def main():
+        service = session.serve(max_batch=32)
+        labels = await service.predict_many(handle.specs[0], images)
+        await service.close()
+
+A TCP JSON-lines front-end (:mod:`repro.serve.net`) and the
+``repro-experiments serve`` / ``predict`` CLI subcommands wrap the
+same service for cross-process use.  Loaded models pin their cache
+entries, so disk eviction can never delete a checkpoint a live
+service holds.
+"""
+
+from repro.serve.service import (
+    CheckpointUnavailable,
+    InferenceService,
+    LoadedModel,
+    ModelPool,
+)
+from repro.serve.net import ServeApp, request, request_async
+
+__all__ = [
+    "CheckpointUnavailable",
+    "InferenceService",
+    "LoadedModel",
+    "ModelPool",
+    "ServeApp",
+    "request",
+    "request_async",
+]

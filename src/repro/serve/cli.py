@@ -1,0 +1,199 @@
+"""CLI glue for ``repro-experiments serve`` / ``predict``.
+
+Lives here (not in ``repro.experiments.__main__``) so the serving
+layer owns its command implementations and the CLI module stays a
+thin argument parser.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+import time
+
+import numpy as np
+
+from repro.engine import cache
+from repro.engine.registry import SCENARIOS
+from repro.engine.runner import RunSpec
+from repro.serve.net import ServeApp, request_async
+from repro.serve.service import CheckpointUnavailable, InferenceService
+from repro.util import format_bytes
+
+__all__ = ["add_serve_arguments", "add_predict_arguments", "run_serve", "run_predict"]
+
+
+def add_serve_arguments(parser) -> None:
+    parser.add_argument("--method", default="CDCL", help="registered method name")
+    parser.add_argument(
+        "--scenario", default="digits/mnist->usps", help="registered scenario name"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="the checkpointed cell's seed")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=7071, help="TCP port (0 picks a free one)"
+    )
+    parser.add_argument(
+        "--max-batch", type=int, default=32, help="micro-batch size ceiling"
+    )
+    parser.add_argument(
+        "--max-delay-ms",
+        type=float,
+        default=2.0,
+        help="how long a batch is held open for stragglers",
+    )
+    parser.add_argument(
+        "--pool-capacity", type=int, default=4, help="resident-model LRU size"
+    )
+    parser.add_argument(
+        "--train-missing",
+        action="store_true",
+        help="train + checkpoint the cell first when no checkpoint exists",
+    )
+
+
+def add_predict_arguments(parser) -> None:
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7071)
+    parser.add_argument(
+        "--npy",
+        default=None,
+        metavar="FILE",
+        help="images to classify: a (C,H,W) or (N,C,H,W) .npy file "
+        "(default: sample from the served scenario's test set)",
+    )
+    parser.add_argument(
+        "--sample",
+        type=int,
+        default=8,
+        metavar="N",
+        help="without --npy: how many scenario test images to send",
+    )
+    parser.add_argument("--task-id", type=int, default=None)
+    parser.add_argument("--scenario", default="til", help="protocol: til / cil / dil")
+
+
+def run_serve(args, session) -> int:
+    """Start the batched inference service on one checkpointed cell."""
+    spec = session.spec(args.method, args.scenario, seed=args.seed)
+    if not session.has_checkpoint(spec):
+        if not args.train_missing:
+            print(
+                f"error: no checkpoint for {spec.method} on {spec.scenario} "
+                f"(profile={spec.profile}, seed={spec.seed}); run the cell with "
+                "--checkpoint first, or pass --train-missing",
+                file=sys.stderr,
+            )
+            return 2
+        print(f"training {spec.method} on {spec.scenario} (no checkpoint yet)...")
+        session.execute([spec], checkpoint=True)
+    service = InferenceService(
+        session,
+        pool_capacity=args.pool_capacity,
+        max_batch=args.max_batch,
+        max_delay_ms=args.max_delay_ms,
+    )
+    app = ServeApp(service, spec)
+
+    async def _serve() -> None:
+        host, port = await app.start(args.host, args.port)
+        with session._activate():
+            checkpoint_bytes = cache.checkpoint_path(spec.cache_key()).stat().st_size
+        print(
+            f"serving {spec.method} on {spec.scenario} "
+            f"(profile={spec.profile}, seed={spec.seed}, "
+            f"checkpoint {format_bytes(checkpoint_bytes)}) at {host}:{port}"
+        )
+        print(
+            f"micro-batching: up to {args.max_batch} samples / "
+            f"{args.max_delay_ms:g} ms window; Ctrl-C to stop"
+        )
+        try:
+            await app.serve_forever()
+        except asyncio.CancelledError:
+            pass
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    except CheckpointUnavailable as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def run_predict(args) -> int:
+    """Send concurrent predict requests to a running server."""
+
+    async def _predict() -> int:
+        info = await request_async(args.host, args.port, {"op": "info"})
+        if not info.get("ok"):
+            print(f"error: {info.get('error')}", file=sys.stderr)
+            return 2
+        model = info["model"]
+        labels = None
+        if args.npy is not None:
+            images = np.load(args.npy)
+            if images.ndim == 3:
+                images = images[None]
+        else:
+            images, labels = _sample_from_scenario(model, args)
+        start = time.perf_counter()
+        responses = await asyncio.gather(
+            *(
+                request_async(
+                    args.host,
+                    args.port,
+                    {
+                        "op": "predict",
+                        "images": image.tolist(),
+                        "task_id": args.task_id,
+                        "scenario": args.scenario,
+                    },
+                )
+                for image in images
+            )
+        )
+        elapsed = time.perf_counter() - start
+        failed = [r for r in responses if not r.get("ok")]
+        if failed:
+            print(f"error: {failed[0].get('error')}", file=sys.stderr)
+            return 2
+        predictions = [r["predictions"][0] for r in responses]
+        stats = await request_async(args.host, args.port, {"op": "stats"})
+        print(
+            f"{len(predictions)} predictions from {model['method']} on "
+            f"{model['scenario']} in {elapsed * 1000:.1f} ms "
+            f"({len(predictions) / elapsed:.1f} samples/s)"
+        )
+        print(f"predictions: {predictions}")
+        if labels is not None:
+            accuracy = float(np.mean(np.asarray(predictions) == labels))
+            print(f"accuracy vs local ground truth: {accuracy:.2%}")
+        if stats.get("ok"):
+            service = stats["stats"]
+            print(
+                f"server batching: {service['requests']} requests in "
+                f"{service['batches']} batches "
+                f"(mean {service['mean_batch'] or 0:.1f}/batch)"
+            )
+        return 0
+
+    return asyncio.run(_predict())
+
+
+def _sample_from_scenario(model: dict, args):
+    """Rebuild the served cell's stream locally and sample test images."""
+    spec = RunSpec(
+        method=model["method"],
+        scenario=model["scenario"],
+        profile=model["profile"],
+        seed=model["seed"],
+        profile_overrides=dict(model.get("profile_overrides", {})),
+    )
+    stream = SCENARIOS.get(spec.scenario).build(spec.resolved_profile(), spec.seed)
+    task_id = args.task_id if args.task_id is not None else model["tasks_seen"] - 1
+    images, labels = stream[task_id].target_test.arrays()
+    count = min(args.sample, len(images))
+    return images[:count], labels[:count]

@@ -1,0 +1,155 @@
+"""A minimal TCP front-end for the inference service.
+
+Wire protocol: one JSON object per line, both directions (newline
+framed, UTF-8).  Requests carry an ``op``:
+
+* ``{"op": "predict", "images": <nested list>, "task_id": 0,
+  "scenario": "til"}`` — ``images`` is one (C, H, W) sample or an
+  (N, C, H, W) batch; the response is ``{"ok": true, "predictions":
+  [...]}``.  Batch samples are fanned through the micro-batching
+  queue individually, so concurrent connections coalesce into shared
+  forwards.
+* ``{"op": "info"}`` — the served cell (method / scenario / profile /
+  seed, tasks seen, library version).
+* ``{"op": "stats"}`` — live service statistics (requests, batches,
+  mean batch size, pool traffic).
+
+Any failure answers ``{"ok": false, "error": "..."}`` and keeps the
+connection open.  Stdlib asyncio only — no HTTP framework — because
+the point is the batching engine, not the transport.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import numpy as np
+
+from repro.engine.runner import RunSpec
+from repro.serve.service import CheckpointUnavailable, InferenceService
+
+#: Newline-framed JSON with image payloads easily exceeds asyncio's
+#: 64 KiB default stream limit; 64 MiB comfortably fits paper-scale
+#: batches (a 256x3x224x224 float batch serializes under 40 MiB).
+_STREAM_LIMIT = 64 * 1024 * 1024
+
+__all__ = ["ServeApp", "request", "request_async"]
+
+
+class ServeApp:
+    """One served cell: a spec, its service, and the TCP endpoint."""
+
+    def __init__(self, service: InferenceService, spec: RunSpec):
+        self.service = service
+        self.spec = spec
+        self.server: asyncio.AbstractServer | None = None
+
+    # ------------------------------------------------------------------
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> tuple[str, int]:
+        """Bind and start serving; returns the actual (host, port)."""
+        # Load (and pin) the model before accepting connections so a
+        # missing checkpoint fails at startup, not on the first request.
+        self.service.pool.get(self.spec)
+        self.server = await asyncio.start_server(
+            self._handle, host, port, limit=_STREAM_LIMIT
+        )
+        sockname = self.server.sockets[0].getsockname()
+        return sockname[0], sockname[1]
+
+    async def close(self) -> None:
+        if self.server is not None:
+            self.server.close()
+            await self.server.wait_closed()
+        await self.service.close()
+
+    async def serve_forever(self) -> None:
+        assert self.server is not None, "call start() first"
+        async with self.server:
+            await self.server.serve_forever()
+
+    # ------------------------------------------------------------------
+    async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                response = await self._dispatch(line)
+                writer.write(json.dumps(response).encode() + b"\n")
+                await writer.drain()
+        except (ConnectionResetError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+
+    async def _dispatch(self, line: bytes) -> dict:
+        try:
+            payload = json.loads(line)
+            op = payload.get("op")
+            if op == "predict":
+                return await self._predict(payload)
+            if op == "info":
+                return self._info()
+            if op == "stats":
+                return {"ok": True, "stats": self.service.stats()}
+            return {"ok": False, "error": f"unknown op {op!r}"}
+        except CheckpointUnavailable as error:
+            return {"ok": False, "error": f"checkpoint unavailable: {error}"}
+        except Exception as error:  # protocol errors must not kill the server
+            return {"ok": False, "error": f"{type(error).__name__}: {error}"}
+
+    async def _predict(self, payload: dict) -> dict:
+        images = np.asarray(payload["images"], dtype=np.float64)
+        task_id = payload.get("task_id")
+        scenario = payload.get("scenario", "til")
+        if images.ndim == 3:
+            images = images[None]
+        if images.ndim != 4:
+            return {
+                "ok": False,
+                "error": f"images must be (C,H,W) or (N,C,H,W); got {images.shape}",
+            }
+        predictions = await self.service.predict_many(
+            self.spec, images, task_id=task_id, scenario=scenario
+        )
+        return {"ok": True, "predictions": [int(p) for p in predictions]}
+
+    def _info(self) -> dict:
+        from repro import __version__
+
+        model = self.service.pool.get(self.spec)
+        return {
+            "ok": True,
+            "model": {
+                "method": self.spec.method,
+                "scenario": self.spec.scenario,
+                "profile": self.spec.profile,
+                "profile_overrides": dict(self.spec.profile_overrides),
+                "seed": self.spec.seed,
+                "tasks_seen": model.tasks_seen,
+            },
+            "version": __version__,
+        }
+
+
+# ----------------------------------------------------------------------
+# Client side
+# ----------------------------------------------------------------------
+async def request_async(host: str, port: int, payload: dict) -> dict:
+    """One request/response round-trip on a fresh connection."""
+    reader, writer = await asyncio.open_connection(host, port, limit=_STREAM_LIMIT)
+    try:
+        writer.write(json.dumps(payload).encode() + b"\n")
+        await writer.drain()
+        line = await reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection without answering")
+        return json.loads(line)
+    finally:
+        writer.close()
+
+
+def request(host: str, port: int, payload: dict) -> dict:
+    """Synchronous convenience wrapper around :func:`request_async`."""
+    return asyncio.run(request_async(host, port, payload))

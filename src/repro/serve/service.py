@@ -1,0 +1,332 @@
+"""Batched inference over checkpointed cells.
+
+Three pieces:
+
+* :class:`ModelPool` — a per-model LRU of checkpoints loaded through
+  :meth:`repro.api.Session.load_model`.  Loaded entries are *pinned*
+  in the result cache (:func:`repro.engine.cache.pin`) so an LRU disk
+  eviction can never delete a checkpoint a live service still owns;
+  evicting a model from the pool unpins it again.
+* :class:`_BatchLane` — one asyncio micro-batching queue per
+  (model, task, protocol) group: concurrent ``predict(x)`` awaiters
+  are funneled into a single stacked array and answered by one
+  :meth:`~repro.continual.method.ContinualMethod.predict_multi` call,
+  reusing the evaluator's shared-forward fast path.  Per-sample
+  operations are batch-independent, so micro-batched outputs are
+  bitwise-equal to a direct ``predict_multi`` over the same samples
+  regardless of how requests coalesce.
+* :class:`InferenceService` — the facade: resolves specs through the
+  pool, routes requests to lanes, exposes traffic statistics.
+
+Everything is stdlib asyncio + NumPy; the TCP front-end lives in
+:mod:`repro.serve.net`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.continual import Scenario
+from repro.engine import cache
+from repro.engine.runner import RunSpec
+
+__all__ = ["CheckpointUnavailable", "LoadedModel", "ModelPool", "InferenceService"]
+
+
+class CheckpointUnavailable(FileNotFoundError):
+    """The cell's trained model is not in the cache (never checkpointed,
+    or evicted while unpinned); the caller gets the spec and the fix."""
+
+
+@dataclass
+class LoadedModel:
+    """One checkpoint resident in memory, keyed by its cache entry."""
+
+    key: str
+    spec: RunSpec
+    method: object  # the restored ContinualMethod
+
+    @property
+    def tasks_seen(self) -> int:
+        return self.method.tasks_seen
+
+
+class ModelPool:
+    """LRU of loaded checkpoints, pinning their cache entries while held.
+
+    ``capacity`` bounds *resident models* (memory); the disk cache has
+    its own bounds (``cache-evict``), which pinning coordinates with:
+    a pool-resident model's entry is skipped by disk eviction, and the
+    pin is dropped the moment the pool lets the model go.
+    """
+
+    def __init__(self, session=None, capacity: int = 4):
+        from repro.api import Session
+
+        if capacity <= 0:
+            raise ValueError("pool capacity must be positive")
+        self.session = session if session is not None else Session()
+        self.capacity = capacity
+        self._models: "OrderedDict[str, LoadedModel]" = OrderedDict()
+        self.loads = 0
+        self.hits = 0
+        self.evictions = 0
+
+    def get(self, spec: RunSpec) -> LoadedModel:
+        """The loaded model for ``spec`` (load-on-miss, LRU on overflow)."""
+        with self.session._activate():
+            key = spec.cache_key()
+        if key in self._models:
+            self._models.move_to_end(key)
+            self.hits += 1
+            return self._models[key]
+        try:
+            method = self.session.load_model(spec)
+        except FileNotFoundError as error:
+            raise CheckpointUnavailable(str(error)) from None
+        self.loads += 1
+        with self.session._activate():
+            cache.pin(key)
+        entry = LoadedModel(key=key, spec=spec, method=method)
+        self._models[key] = entry
+        while len(self._models) > self.capacity:
+            evicted_key, _evicted = self._models.popitem(last=False)
+            with self.session._activate():
+                cache.unpin(evicted_key)
+            self.evictions += 1
+        return entry
+
+    def __len__(self) -> int:
+        return len(self._models)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._models
+
+    def stats(self) -> dict:
+        return {
+            "resident": len(self._models),
+            "capacity": self.capacity,
+            "loads": self.loads,
+            "hits": self.hits,
+            "evictions": self.evictions,
+        }
+
+    def close(self) -> None:
+        """Release every resident model (and its cache pin)."""
+        while self._models:
+            key, _entry = self._models.popitem(last=False)
+            with self.session._activate():
+                cache.unpin(key)
+
+
+_CLOSE = object()  # lane shutdown sentinel
+
+
+@dataclass
+class _Request:
+    image: np.ndarray  # one sample, (C, H, W)
+    future: asyncio.Future
+
+
+class _BatchLane:
+    """One micro-batching queue: uniform (model, task_id, protocol)."""
+
+    def __init__(
+        self,
+        predict_batch,  # Callable[[np.ndarray], np.ndarray]
+        *,
+        max_batch: int,
+        max_delay: float,
+    ):
+        self._predict_batch = predict_batch
+        self.max_batch = max_batch
+        self.max_delay = max_delay
+        self.queue: asyncio.Queue = asyncio.Queue()
+        self.batches = 0
+        self.samples = 0
+        self.largest_batch = 0
+        self._worker = asyncio.get_running_loop().create_task(self._run())
+
+    async def submit(self, image: np.ndarray) -> int:
+        future = asyncio.get_running_loop().create_future()
+        await self.queue.put(_Request(image=image, future=future))
+        return await future
+
+    async def _run(self) -> None:
+        loop = asyncio.get_running_loop()
+        closing = False
+        while not closing:
+            first = await self.queue.get()
+            if first is _CLOSE:
+                break
+            batch = [first]
+            # Hold the batch open briefly: concurrent awaiters that are
+            # already in flight coalesce; a lone request only ever pays
+            # max_delay of extra latency.
+            deadline = loop.time() + self.max_delay
+            while len(batch) < self.max_batch:
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    break
+                try:
+                    item = await asyncio.wait_for(self.queue.get(), remaining)
+                except asyncio.TimeoutError:
+                    break
+                if item is _CLOSE:
+                    closing = True
+                    break
+                batch.append(item)
+            # Everything per-batch lives inside one try: a malformed
+            # request (mismatched shapes torn by np.stack, a model
+            # returning the wrong count) must fail *that batch's*
+            # awaiters and leave the worker alive for the next batch —
+            # a dead worker would hang every future submit forever.
+            try:
+                images = np.stack([request.image for request in batch])
+                predictions = self._predict_batch(images)
+                results = [int(predictions[i]) for i in range(len(batch))]
+            except Exception as error:
+                for request in batch:
+                    if not request.future.done():
+                        request.future.set_exception(
+                            RuntimeError(f"batched predict failed: {error}")
+                        )
+                continue
+            self.batches += 1
+            self.samples += len(batch)
+            self.largest_batch = max(self.largest_batch, len(batch))
+            for request, result in zip(batch, results):
+                if not request.future.done():
+                    request.future.set_result(result)
+
+    async def close(self) -> None:
+        await self.queue.put(_CLOSE)
+        await self._worker
+
+
+class InferenceService:
+    """Async facade: concurrent ``predict`` calls, micro-batched answers.
+
+    One service spans many models (the pool handles loading/LRU); each
+    distinct (model, task_id, protocol) combination gets its own lane
+    so every stacked batch is uniform and the underlying
+    ``predict_multi`` call is exactly the one the evaluator would make.
+    """
+
+    def __init__(
+        self,
+        session=None,
+        *,
+        pool: ModelPool | None = None,
+        pool_capacity: int = 4,
+        max_batch: int = 32,
+        max_delay_ms: float = 2.0,
+    ):
+        if max_batch <= 0:
+            raise ValueError("max_batch must be positive")
+        self.pool = pool if pool is not None else ModelPool(session, pool_capacity)
+        self.session = self.pool.session
+        self.max_batch = max_batch
+        self.max_delay = max_delay_ms / 1000.0
+        self._lanes: dict[tuple, _BatchLane] = {}
+
+    # ------------------------------------------------------------------
+    def _lane(self, model: LoadedModel, task_id: int, scenario: Scenario) -> _BatchLane:
+        key = (model.key, task_id, scenario)
+        lane = self._lanes.get(key)
+        if lane is None:
+
+            def predict_batch(images: np.ndarray) -> np.ndarray:
+                return model.method.predict_multi(images, task_id, [scenario])[scenario]
+
+            lane = _BatchLane(
+                predict_batch, max_batch=self.max_batch, max_delay=self.max_delay
+            )
+            self._lanes[key] = lane
+        return lane
+
+    def _resolve(self, spec: RunSpec, task_id, scenario) -> tuple:
+        model = self.pool.get(spec)
+        self._prune_stale_lanes()
+        scenario = Scenario.parse(scenario)
+        if task_id is None:
+            task_id = model.tasks_seen - 1  # most recent task's head
+        task_id = int(task_id)
+        if not 0 <= task_id < model.tasks_seen:
+            raise ValueError(
+                f"task_id {task_id} out of range; model has seen "
+                f"{model.tasks_seen} task(s)"
+            )
+        return model, task_id, scenario
+
+    # ------------------------------------------------------------------
+    def _prune_stale_lanes(self) -> None:
+        """Drop lanes whose model left the pool (LRU eviction).
+
+        A lane's predict closure holds the loaded model; without this,
+        every model ever served would stay resident regardless of the
+        pool bound.  The drain is graceful: requests already queued are
+        answered (by the old model) before the close sentinel lands.
+        """
+        stale = [key for key in self._lanes if key[0] not in self.pool]
+        for key in stale:
+            lane = self._lanes.pop(key)
+            asyncio.get_running_loop().create_task(lane.close())
+
+    async def predict(
+        self,
+        spec: RunSpec,
+        image: np.ndarray,
+        *,
+        task_id: int | None = None,
+        scenario: Scenario | str = Scenario.TIL,
+    ) -> int:
+        """One sample's class id; concurrent callers share forwards."""
+        image = np.asarray(image, dtype=np.float64)
+        if image.ndim != 3:
+            raise ValueError(f"predict takes one (C, H, W) sample; got {image.shape}")
+        model, task_id, scenario = self._resolve(spec, task_id, scenario)
+        return await self._lane(model, task_id, scenario).submit(image)
+
+    async def predict_many(
+        self,
+        spec: RunSpec,
+        images: np.ndarray,
+        *,
+        task_id: int | None = None,
+        scenario: Scenario | str = Scenario.TIL,
+    ) -> np.ndarray:
+        """A convenience fan-out: every sample goes through the queue."""
+        images = np.asarray(images, dtype=np.float64)
+        if images.ndim != 4:
+            raise ValueError(f"predict_many takes (N, C, H, W); got {images.shape}")
+        model, task_id, scenario = self._resolve(spec, task_id, scenario)
+        lane = self._lane(model, task_id, scenario)
+        return np.array(
+            await asyncio.gather(*(lane.submit(image) for image in images)),
+            dtype=np.int64,
+        )
+
+    def stats(self) -> dict:
+        lanes = list(self._lanes.values())
+        samples = sum(lane.samples for lane in lanes)
+        batches = sum(lane.batches for lane in lanes)
+        return {
+            "pool": self.pool.stats(),
+            "lanes": len(lanes),
+            "requests": samples,
+            "batches": batches,
+            "mean_batch": (samples / batches) if batches else None,
+            "largest_batch": max((lane.largest_batch for lane in lanes), default=0),
+        }
+
+    async def close(self) -> None:
+        """Drain every lane, then release the pool (and its pins)."""
+        for lane in self._lanes.values():
+            await lane.close()
+        self._lanes.clear()
+        self.pool.close()

@@ -1,0 +1,46 @@
+"""Small shared helpers with no dependencies above the stdlib.
+
+Historically these lived as private functions inside the CLI module
+(``repro.experiments.__main__``); the serving layer and the cache
+management code need them too, and a library-grade package cannot ask
+its subsystems to import the command-line front-end for a byte
+formatter.  Anything here must stay dependency-free (stdlib only) so
+every layer may use it.
+"""
+
+from __future__ import annotations
+
+__all__ = ["parse_size", "format_bytes"]
+
+_SIZE_MULTIPLIERS = {"K": 1024, "M": 1024**2, "G": 1024**3}
+
+
+def parse_size(text: str | int) -> int:
+    """Parse a byte size: plain int, or K/M/G-suffixed (binary units).
+
+    Accepts an ``int`` unchanged so callers may take ``int | str``
+    budgets (e.g. ``cache.evict(max_bytes="500M")``).  Raises
+    :class:`ValueError` on anything unparseable; the CLI wraps that
+    into an ``argparse`` error.
+    """
+    if isinstance(text, int):
+        return text
+    cleaned = text.strip().upper()
+    try:
+        if cleaned and cleaned[-1] in _SIZE_MULTIPLIERS:
+            return int(float(cleaned[:-1]) * _SIZE_MULTIPLIERS[cleaned[-1]])
+        return int(cleaned)
+    except ValueError:
+        raise ValueError(
+            f"invalid size {text!r}; expected bytes or K/M/G suffix (e.g. 500M)"
+        ) from None
+
+
+def format_bytes(count: int) -> str:
+    """Human-readable byte count (binary units, one decimal)."""
+    size = float(count)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if size < 1024 or unit == "GiB":
+            return f"{size:.1f} {unit}" if unit != "B" else f"{int(size)} B"
+        size /= 1024
+    raise AssertionError

@@ -1,0 +1,115 @@
+"""Tests for ``tools/bench_trend.py`` (bench artifact trend renderer)."""
+
+import importlib.util
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+
+_spec = importlib.util.spec_from_file_location(
+    "bench_trend", REPO / "tools" / "bench_trend.py"
+)
+bench_trend = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench_trend)
+
+
+def write_report(directory: Path, sha: str, total: float, mtime: float, **extra):
+    payload = {
+        "sha": sha,
+        "python": "3.11.7",
+        "profile": "smoke",
+        "total_seconds": total,
+        "cells": extra.pop("cells", {"benchmarks/test_x.py::t": total}),
+        "failed": extra.pop("failed", []),
+        "cache": extra.pop("cache", {"hit_rate": 0.5}),
+    }
+    path = directory / f"BENCH_{sha}.json"
+    path.write_text(json.dumps(payload))
+    os.utime(path, (mtime, mtime))
+    return path
+
+
+@pytest.fixture()
+def reports_dir(tmp_path):
+    write_report(tmp_path, "aaa1111", 10.0, mtime=1_000)
+    write_report(tmp_path, "bbb2222", 12.0, mtime=2_000)
+    write_report(tmp_path, "ccc3333", 9.0, mtime=3_000)
+    return tmp_path
+
+
+class TestLoading:
+    def test_orders_by_mtime(self, reports_dir):
+        reports = bench_trend.load_reports(reports_dir)
+        assert [r["sha"] for r in reports] == ["aaa1111", "bbb2222", "ccc3333"]
+
+    def test_baseline_always_first(self, reports_dir):
+        write_report(reports_dir, "baseline", 11.0, mtime=9_000)
+        reports = bench_trend.load_reports(reports_dir)
+        assert reports[0]["sha"] == "baseline"
+
+    def test_skips_unreadable_files(self, reports_dir, capsys):
+        (reports_dir / "BENCH_broken.json").write_text("{not json")
+        reports = bench_trend.load_reports(reports_dir)
+        assert len(reports) == 3
+        assert "skipping" in capsys.readouterr().err
+
+
+class TestRows:
+    def test_delta_chains_across_commits(self, reports_dir):
+        rows = bench_trend.trend_rows(bench_trend.load_reports(reports_dir))
+        assert rows[0]["delta"] is None
+        assert rows[1]["delta"] == pytest.approx(0.2)  # 10 -> 12
+        assert rows[2]["delta"] == pytest.approx(-0.25)  # 12 -> 9
+
+    def test_cell_filter_tracks_one_nodeid(self, reports_dir):
+        write_report(
+            reports_dir,
+            "ddd4444",
+            20.0,
+            mtime=4_000,
+            cells={"benchmarks/test_y.py::only_here": 20.0},
+        )
+        rows = bench_trend.trend_rows(
+            bench_trend.load_reports(reports_dir), cell="benchmarks/test_x.py::t"
+        )
+        assert [r["sha"] for r in rows] == ["aaa1111", "bbb2222", "ccc3333"]
+        assert rows[1]["seconds"] == 12.0
+
+
+class TestRendering:
+    def test_markdown_table_shape(self, reports_dir):
+        rows = bench_trend.trend_rows(bench_trend.load_reports(reports_dir))
+        text = bench_trend.render_markdown(rows, "suite total")
+        lines = text.splitlines()
+        assert lines[0].startswith("### Bench trend")
+        assert "| sha |" in lines[2] or lines[2].startswith("| sha")
+        assert sum(1 for line in lines if line.startswith("| ")) == 4  # header + 3 rows
+        assert "+20.0%" in text and "50%" in text
+
+    def test_csv_output(self, reports_dir):
+        rows = bench_trend.trend_rows(bench_trend.load_reports(reports_dir))
+        text = bench_trend.render_csv(rows)
+        lines = text.strip().splitlines()
+        assert lines[0].startswith("sha,python,profile")
+        assert len(lines) == 4
+
+
+class TestMain:
+    def test_writes_output_file(self, reports_dir, tmp_path, capsys):
+        out = tmp_path / "trend.md"
+        assert bench_trend.main([str(reports_dir), "-o", str(out)]) == 0
+        assert "Bench trend" in out.read_text()
+
+    def test_csv_to_stdout(self, reports_dir, capsys):
+        assert bench_trend.main([str(reports_dir), "--csv"]) == 0
+        assert capsys.readouterr().out.startswith("sha,")
+
+    def test_empty_directory_exits_2(self, tmp_path, capsys):
+        assert bench_trend.main([str(tmp_path)]) == 2
+        assert "no BENCH_" in capsys.readouterr().err
+
+    def test_unknown_cell_exits_2(self, reports_dir, capsys):
+        assert bench_trend.main([str(reports_dir), "--cell", "nope"]) == 2

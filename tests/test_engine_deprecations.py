@@ -1,0 +1,136 @@
+"""Deprecation shims on the old ``repro.engine`` entry points.
+
+Contract: every pre-Session free function keeps working through
+``repro.engine`` — same objects, same behavior — but each access emits
+a :class:`DeprecationWarning` naming the Session replacement.  The
+shared vocabulary (``RunSpec``, ``RunResult``, registries, ``cache``)
+stays warning-free.
+"""
+
+import warnings
+
+import pytest
+
+import repro.engine as engine
+from repro.data.synthetic import mnist_usps
+from repro.engine.registry import SCENARIOS, register_scenario
+
+TINY = dict(samples_per_class=4, test_samples_per_class=2, epochs=2, warmup_epochs=1)
+
+if "_test/deprecation_digits" not in SCENARIOS:
+
+    @register_scenario("_test/deprecation_digits", description="shim tests")
+    def _dep_digits(profile, seed, **params):
+        stream = mnist_usps(
+            "mnist->usps", samples_per_class=4, test_samples_per_class=2, rng=seed
+        )
+        stream.tasks = stream.tasks[:2]
+        return stream
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "engine-cache"))
+
+
+DEPRECATED_NAMES = (
+    "run_one",
+    "run_pair_cells",
+    "run_stream_pair",
+    "run_method_on_stream",
+    "spec_for",
+    "checkpoint_path",
+    "has_checkpoint",
+    "load_checkpoint",
+    "run_specs",
+    "run_seed_sweep",
+    "map_jobs",
+    "derive_seeds",
+)
+
+
+class TestShimsWarn:
+    @pytest.mark.parametrize("name", DEPRECATED_NAMES)
+    def test_every_entry_point_warns_and_resolves(self, name):
+        with pytest.warns(DeprecationWarning, match=f"repro.engine.{name}"):
+            shim = getattr(engine, name)
+        assert callable(shim)
+
+    def test_warning_names_the_session_replacement(self):
+        with pytest.warns(DeprecationWarning, match="repro.api.Session"):
+            engine.run_one  # noqa: B018
+
+    def test_from_import_warns_too(self):
+        with pytest.warns(DeprecationWarning, match="spec_for"):
+            from repro.engine import spec_for  # noqa: F401
+
+    def test_unknown_attribute_still_raises(self):
+        with pytest.raises(AttributeError, match="no attribute"):
+            engine.definitely_not_an_api
+
+
+class TestSharedVocabularyStaysSilent:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "RunSpec",
+            "RunResult",
+            "PairResult",
+            "MultiSeedResult",
+            "SeedStatistics",
+            "METHODS",
+            "SCENARIOS",
+            "cache",
+            "get_profile",
+            "ExperimentProfile",
+            "register_scenario",
+            "DEFAULT_EVAL_SCENARIOS",
+        ],
+    )
+    def test_no_warning(self, name):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            getattr(engine, name)
+
+
+class TestOldCallSitesStillWork:
+    """The shims forward to the real implementation, not a copy."""
+
+    def tiny_spec(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            return engine.spec_for(
+                "FineTune",
+                "_test/deprecation_digits",
+                "smoke",
+                profile_overrides=dict(TINY),
+            )
+
+    def test_run_one_still_runs_a_cell(self):
+        spec = self.tiny_spec()
+        with pytest.warns(DeprecationWarning):
+            result = engine.run_one(spec)
+        assert result.method == "FineTune"
+        assert not result.cached
+        # And the cell landed in the same cache the Session reads.
+        from repro.api import Session
+
+        again = Session().execute([spec])
+        assert again[0].cached
+
+    def test_checkpoint_shims_round_trip(self):
+        spec = self.tiny_spec()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            engine.run_one(spec, checkpoint=True)
+            assert engine.has_checkpoint(spec)
+            method = engine.load_checkpoint(spec)
+        assert method.tasks_seen == 2
+
+    def test_shim_is_the_same_object_as_the_implementation(self):
+        from repro.engine import runner
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            assert engine.run_one is runner.run_one
+            assert engine.spec_for is runner.spec_for

@@ -1,0 +1,173 @@
+#!/usr/bin/env python
+"""Fold accumulated ``BENCH_*.json`` artifacts into a trend table.
+
+CI's ``bench`` job emits one ``BENCH_<sha>.json`` per commit
+(``tools/bench_report.py``); downloading a stack of those artifacts
+and pointing this tool at the directory renders the performance
+trajectory across SHAs — total wall-clock, cache hit rate, and the
+per-commit delta — as a markdown table (default) or CSV.
+
+Reports carry no timestamp, so ordering follows file modification time
+(artifact download order) unless ``--order name`` is given; the
+committed baseline (``sha == "baseline"``), when present in the scanned
+set, is always listed first as the reference row.
+
+Usage::
+
+    python tools/bench_trend.py reports/            # markdown to stdout
+    python tools/bench_trend.py reports/ --csv -o trend.csv
+    python tools/bench_trend.py --cell "benchmarks/test_table1.py::..." reports/
+
+Exit codes: 0 ok, 2 no reports found.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import io
+import json
+import sys
+from pathlib import Path
+
+__all__ = ["load_reports", "trend_rows", "render_markdown", "render_csv", "main"]
+
+
+def load_reports(directory: Path, order: str = "mtime") -> list[dict]:
+    """Read every ``BENCH_*.json`` under ``directory``, oldest first."""
+    paths = sorted(
+        directory.glob("BENCH_*.json"),
+        key=(lambda p: p.stat().st_mtime) if order == "mtime" else (lambda p: p.name),
+    )
+    reports = []
+    for path in paths:
+        try:
+            report = json.loads(path.read_text())
+        except (OSError, ValueError) as error:
+            print(f"skipping unreadable {path.name}: {error}", file=sys.stderr)
+            continue
+        report["_file"] = path.name
+        reports.append(report)
+    # The committed baseline describes the reference workload, not a
+    # commit: surface it first so every delta reads against history.
+    reports.sort(key=lambda r: 0 if r.get("sha") == "baseline" else 1)
+    return reports
+
+
+def trend_rows(reports: list[dict], cell: str | None = None) -> list[dict]:
+    """One row per report: totals, hit rate, delta vs previous report."""
+    rows = []
+    previous_total = None
+    for report in reports:
+        cells = report.get("cells", {})
+        if cell is not None:
+            total = cells.get(cell)
+            if total is None:
+                continue  # this commit did not run the requested cell
+        else:
+            total = report.get("total_seconds")
+        hit_rate = (report.get("cache") or {}).get("hit_rate")
+        delta = (
+            (total / previous_total - 1.0)
+            if (previous_total and total is not None)
+            else None
+        )
+        rows.append(
+            {
+                "sha": report.get("sha", "?"),
+                "python": report.get("python", "?"),
+                "profile": report.get("profile", "?"),
+                "cells": len(cells),
+                "failed": len(report.get("failed", [])),
+                "seconds": total,
+                "delta": delta,
+                "hit_rate": hit_rate,
+                "file": report.get("_file", ""),
+            }
+        )
+        if total is not None:
+            previous_total = total
+    return rows
+
+
+_COLUMNS = ("sha", "python", "profile", "cells", "failed", "seconds", "delta", "hit_rate")
+
+
+def _format(row: dict, column: str) -> str:
+    value = row[column]
+    if value is None:
+        return "-"
+    if column == "seconds":
+        return f"{value:.1f}"
+    if column == "delta":
+        return f"{value:+.1%}"
+    if column == "hit_rate":
+        return f"{value:.0%}"
+    return str(value)
+
+
+def render_markdown(rows: list[dict], title: str) -> str:
+    lines = [f"### Bench trend — {title}", ""]
+    lines.append("| " + " | ".join(_COLUMNS) + " |")
+    lines.append("|" + "|".join("---" for _ in _COLUMNS) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(_format(row, c) for c in _COLUMNS) + " |")
+    return "\n".join(lines)
+
+
+def render_csv(rows: list[dict]) -> str:
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(_COLUMNS) + ["file"])
+    writer.writeheader()
+    for row in rows:
+        writer.writerow({key: row[key] for key in list(_COLUMNS) + ["file"]})
+    return buffer.getvalue()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "directory",
+        type=Path,
+        nargs="?",
+        default=Path("."),
+        help="directory holding BENCH_*.json artifacts (default: CWD)",
+    )
+    parser.add_argument(
+        "--cell",
+        default=None,
+        metavar="NODEID",
+        help="trend one benchmark cell instead of the suite total",
+    )
+    parser.add_argument("--csv", action="store_true", help="emit CSV instead of markdown")
+    parser.add_argument(
+        "--order",
+        choices=("mtime", "name"),
+        default="mtime",
+        help="report ordering when several artifacts are scanned",
+    )
+    parser.add_argument(
+        "-o", "--output", type=Path, default=None, help="write here instead of stdout"
+    )
+    args = parser.parse_args(argv)
+
+    reports = load_reports(args.directory, order=args.order)
+    if not reports:
+        print(f"no BENCH_*.json reports under {args.directory}", file=sys.stderr)
+        return 2
+    rows = trend_rows(reports, cell=args.cell)
+    if not rows:
+        print(f"no report contains cell {args.cell!r}", file=sys.stderr)
+        return 2
+    title = args.cell if args.cell else "suite total"
+    text = render_csv(rows) if args.csv else render_markdown(rows, title) + "\n"
+    if args.output is not None:
+        args.output.write_text(text)
+        print(f"wrote {args.output} ({len(rows)} rows)")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

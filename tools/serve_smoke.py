@@ -1,0 +1,154 @@
+#!/usr/bin/env python
+"""End-to-end smoke of the serving stack — CI's ``serve`` step.
+
+The full loop, in one process:
+
+1. a :class:`repro.api.Session` trains **and checkpoints** a smoke
+   cell (CDCL on MNIST->USPS, tiny overrides);
+2. :mod:`repro.serve` loads the checkpoint (no retraining) behind the
+   TCP front-end and answers ``--requests`` (default 32) *concurrent*
+   async predicts;
+3. the responses are checked **bitwise-equal** against a direct
+   ``predict_multi`` call on the same samples — micro-batching must be
+   invisible to the math;
+4. a throughput benchmark compares the batched shared-forward path
+   against the per-sample prediction loop and fails unless batching is
+   at least ``--min-speedup`` (default 2x) faster.
+
+Exit codes: 0 ok, 1 equality/speedup assertion failed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+import time
+
+import numpy as np
+
+#: Small enough to train in seconds, big enough for a 32-sample batch.
+PROFILE_OVERRIDES = dict(
+    samples_per_class=6, test_samples_per_class=16, epochs=2, warmup_epochs=1
+)
+
+
+def benchmark_forward_paths(method, images, task_id, repeats: int = 3):
+    """Best-of-N wall-clock: one batched forward vs the per-sample loop."""
+    from repro.continual import Scenario
+
+    scenarios = [Scenario.TIL]
+    batched = per_sample = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        method.predict_multi(images, task_id, scenarios)
+        batched = min(batched, time.perf_counter() - start)
+        start = time.perf_counter()
+        for image in images:
+            method.predict_multi(image[None], task_id, scenarios)
+        per_sample = min(per_sample, time.perf_counter() - start)
+    return batched, per_sample
+
+
+async def run(args) -> int:
+    from repro.api import Session
+    from repro.continual import Scenario
+    from repro.serve import InferenceService, ServeApp, request_async
+
+    session = Session(profile="smoke")
+    print("1) training + checkpointing the smoke cell through the Session...")
+    handle = (
+        session.run("CDCL")
+        .on("digits/mnist->usps")
+        .profile("smoke", **PROFILE_OVERRIDES)
+        .checkpoint()
+        .start()
+    )
+    spec = handle.specs[0]
+    cell = handle.results[0]
+    print(
+        f"   cell done in {cell.elapsed:.1f}s (cached={cell.cached}); "
+        f"checkpoint on disk: {session.has_checkpoint(spec)}"
+    )
+
+    from repro.engine.registry import SCENARIOS
+
+    stream = SCENARIOS.get(spec.scenario).build(spec.resolved_profile(), spec.seed)
+    images, _labels = stream[0].target_test.arrays()
+    requests = min(args.requests, len(images))
+    samples = images[:requests]
+    if requests < args.requests:
+        print(f"   (scenario offers {requests} test samples; using all of them)")
+
+    print(f"2) serving the checkpoint; {requests} concurrent TCP predicts...")
+    service = InferenceService(
+        session, max_batch=args.max_batch, max_delay_ms=args.max_delay_ms
+    )
+    app = ServeApp(service, spec)
+    host, port = await app.start("127.0.0.1", 0)
+    start = time.perf_counter()
+    responses = await asyncio.gather(
+        *(
+            request_async(
+                host, port, {"op": "predict", "images": image.tolist(), "task_id": 0}
+            )
+            for image in samples
+        )
+    )
+    serve_elapsed = time.perf_counter() - start
+    failed = [r for r in responses if not r.get("ok")]
+    if failed:
+        print(f"FAIL: server error: {failed[0].get('error')}")
+        return 1
+    served = np.array([r["predictions"][0] for r in responses])
+    stats = service.stats()
+    print(
+        f"   {requests} predicts in {serve_elapsed * 1000:.0f} ms "
+        f"({requests / serve_elapsed:.0f} samples/s) across "
+        f"{stats['batches']} batches (mean {stats['mean_batch']:.1f}, "
+        f"largest {stats['largest_batch']})"
+    )
+    await app.close()
+
+    print("3) bitwise equality vs a direct predict_multi call...")
+    method = session.load_model(spec)
+    direct = method.predict_multi(samples, 0, [Scenario.TIL])[Scenario.TIL]
+    if not np.array_equal(served, direct):
+        mismatches = int((served != direct).sum())
+        print(f"FAIL: {mismatches}/{requests} served predictions differ")
+        return 1
+    print(f"   ok: all {requests} served predictions identical")
+
+    print("4) throughput: batched shared-forward vs per-sample loop...")
+    batched, per_sample = benchmark_forward_paths(method, samples, 0)
+    speedup = per_sample / batched
+    print(
+        f"   batched {requests} samples: {batched * 1000:.1f} ms "
+        f"({requests / batched:.0f}/s); per-sample loop: "
+        f"{per_sample * 1000:.1f} ms ({requests / per_sample:.0f}/s) "
+        f"-> {speedup:.1f}x"
+    )
+    if speedup < args.min_speedup:
+        print(f"FAIL: micro-batched speedup {speedup:.2f}x < {args.min_speedup}x")
+        return 1
+    print("serve smoke: OK")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--requests", type=int, default=32, metavar="N")
+    parser.add_argument("--max-batch", type=int, default=32)
+    parser.add_argument("--max-delay-ms", type=float, default=5.0)
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=2.0,
+        help="fail when batched throughput is below this multiple of the loop",
+    )
+    args = parser.parse_args(argv)
+    return asyncio.run(run(args))
+
+
+if __name__ == "__main__":
+    sys.exit(main())
