@@ -1,0 +1,82 @@
+"""Micro-benchmarks of the precision-routed math kernels.
+
+One cell per (kernel, dtype): conv forward/backward, pooling,
+attention — each at float32 (the policy default, BLAS-routed) and
+float64 (the bit-stable einsum reference route).  These feed the CI
+``bench`` job's ``BENCH_<sha>.json``, so the float32-vs-float64 gap
+and the workspace wins are tracked commit over commit.
+
+Workloads are deliberately small (tens of milliseconds per round):
+the point is the per-dtype trajectory, not absolute throughput.
+"""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, avg_pool2d, conv2d, default_dtype, max_pool2d, no_grad
+from repro.nn.attention import MultiHeadSelfAttention
+
+DTYPES = ("float32", "float64")
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return np.random.default_rng(7)
+
+
+@pytest.mark.parametrize("dtype", DTYPES)
+def test_bench_conv2d_forward(benchmark, rng, dtype):
+    with default_dtype(dtype):
+        x = Tensor(rng.normal(size=(16, 8, 16, 16)))
+        w = Tensor(rng.normal(size=(16, 8, 3, 3)) * 0.1)
+        b = Tensor(rng.normal(size=(16,)))
+
+        def step():
+            with no_grad():
+                return conv2d(x, w, b, padding=1)
+
+        out = benchmark(step)
+        assert out.dtype == np.dtype(dtype)
+
+
+@pytest.mark.parametrize("dtype", DTYPES)
+def test_bench_conv2d_train_step(benchmark, rng, dtype):
+    with default_dtype(dtype):
+        x = Tensor(rng.normal(size=(16, 8, 16, 16)), requires_grad=True)
+        w = Tensor(rng.normal(size=(16, 8, 3, 3)) * 0.1, requires_grad=True)
+
+        def step():
+            out = conv2d(x, w, stride=1, padding=1)
+            out.sum().backward()
+            x.zero_grad()
+            w.zero_grad()
+
+        benchmark(step)
+
+
+@pytest.mark.parametrize("dtype", DTYPES)
+def test_bench_pooling(benchmark, rng, dtype):
+    with default_dtype(dtype):
+        x = Tensor(rng.normal(size=(16, 8, 16, 16)), requires_grad=True)
+
+        def step():
+            out = max_pool2d(x, 2)
+            out = avg_pool2d(out, 2)
+            out.sum().backward()
+            x.zero_grad()
+
+        benchmark(step)
+
+
+@pytest.mark.parametrize("dtype", DTYPES)
+def test_bench_attention(benchmark, rng, dtype):
+    with default_dtype(dtype):
+        attn = MultiHeadSelfAttention(dim=64, num_heads=4, rng=0)
+        x = Tensor(rng.normal(size=(8, 32, 64)))
+
+        def step():
+            with no_grad():
+                return attn(x)
+
+        out = benchmark(step)
+        assert out.dtype == np.dtype(dtype)

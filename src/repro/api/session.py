@@ -276,6 +276,18 @@ class RunBuilder:
             self, profile_name=profile, profile_over=tuple(sorted(overrides.items()))
         )
 
+    def dtype(self, dtype) -> "RunBuilder":
+        """Compute precision for this run (``"float32"``/``"float64"``).
+
+        Sugar over a profile override: the dtype lands in the profile
+        and therefore in every cell's cache key, so float32 and
+        float64 runs of the same spec never collide.
+        """
+        from repro.autograd import resolve_dtype
+
+        merged = {**dict(self.profile_over), "dtype": resolve_dtype(dtype).name}
+        return replace(self, profile_over=tuple(sorted(merged.items())))
+
     def overrides(self, **method_overrides) -> "RunBuilder":
         """Method-config overrides (e.g. CDCL loss-block toggles)."""
         return replace(self, method_over=tuple(sorted(method_overrides.items())))

@@ -14,11 +14,21 @@ Public API
     context manager disabling graph construction.
 ``is_grad_enabled``
     query the global gradient-tracking flag.
+``set_default_dtype`` / ``get_default_dtype`` / ``default_dtype``
+    the process-wide precision policy (float32 by default; see
+    ``repro.autograd.dtype``).
 Functional ops are exposed both as ``Tensor`` methods and as module-level
 functions (``repro.autograd.ops``); convolution/pooling live in
 ``repro.autograd.conv``.
 """
 
+from repro.autograd.dtype import (
+    DTYPES,
+    default_dtype,
+    get_default_dtype,
+    resolve_dtype,
+    set_default_dtype,
+)
 from repro.autograd.tensor import (
     Tensor,
     tensor,
@@ -39,6 +49,11 @@ __all__ = [
     "tensor",
     "no_grad",
     "is_grad_enabled",
+    "DTYPES",
+    "default_dtype",
+    "get_default_dtype",
+    "resolve_dtype",
+    "set_default_dtype",
     "zeros",
     "ones",
     "zeros_like",

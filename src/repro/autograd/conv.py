@@ -3,15 +3,50 @@
 Layout convention is NCHW: ``(batch, channels, height, width)``.
 The im2col transform turns convolution into a single matrix multiply,
 which is the standard CPU-efficient formulation.
+
+Kernel routing
+--------------
+Contractions route by dtype:
+
+* **float32 (the policy default)** and anything narrower goes through
+  batched ``numpy.matmul`` — a real BLAS GEMM per sample, which is
+  where the wall-clock speedup of the float32 policy comes from;
+* **float64** keeps the historical ``einsum`` contraction, whose
+  summation order is bit-for-bit identical to the pre-policy
+  implementation — double-precision cells reproduce old results
+  exactly (BLAS blocking would change the low bits).
+
+Workspaces
+----------
+The im2col expansion is the hot allocation of every conv/pool step:
+``C*kh*kw`` times the input, re-allocated per call in the old
+implementation (plus an unconditional ``ascontiguousarray`` copy).
+:func:`_workspace` keeps one reusable buffer per (tag, shape, dtype)
+so steady-state training/inference loops run allocation-free on the
+unfold path.  A buffer is only handed out where its contents are
+consumed before the op returns (pooling columns, padded inputs,
+backward scratch) or where no backward closure can retain it
+(inference-mode convolution columns); a training-mode ``conv2d``
+still allocates fresh columns because its backward needs them alive.
+Workspaces are per-process and not thread-safe — the library
+parallelizes across processes, never compute threads.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.autograd.tensor import Tensor
+from repro.autograd.tensor import Tensor, is_grad_enabled
 
-__all__ = ["conv2d", "max_pool2d", "avg_pool2d", "im2col", "col2im"]
+__all__ = [
+    "conv2d",
+    "max_pool2d",
+    "avg_pool2d",
+    "im2col",
+    "col2im",
+    "clear_workspaces",
+    "workspace_stats",
+]
 
 
 def _pair(value) -> tuple[int, int]:
@@ -34,25 +69,109 @@ def conv_output_shape(
     return out_h, out_w
 
 
+# ----------------------------------------------------------------------
+# Reusable per-shape workspaces
+# ----------------------------------------------------------------------
+#: (tag, shape, dtype) -> buffer, insertion-ordered oldest-first so
+#: eviction is LRU.  Bounded by entry count *and* resident bytes: a
+#: long-lived serving process seeing many batch geometries must not
+#: accumulate an unbounded set of order-100MB unfold buffers, and
+#: evicting one cold shape must not (as a wholesale clear would) drop
+#: the hot steady-state buffers with it.
+_WORKSPACES: dict[tuple, np.ndarray] = {}
+_MAX_WORKSPACES = 64
+_MAX_WORKSPACE_BYTES = 256 * 1024 * 1024
+
+
+def _workspace(tag: str, shape: tuple[int, ...], dtype) -> np.ndarray:
+    """A reusable uninitialized buffer for transient kernel scratch.
+
+    Callers must fully overwrite (or ``fill``) the buffer and consume
+    it before the next autograd op of the same shape runs; nothing
+    handed out here may be captured by a backward closure or returned
+    to a caller.
+    """
+    key = (tag, shape, np.dtype(dtype).str)
+    buffer = _WORKSPACES.pop(key, None)
+    if buffer is None:
+        buffer = np.empty(shape, dtype=dtype)
+    _WORKSPACES[key] = buffer  # most recently used at the end
+    # Evict oldest-first down to the bounds, never the buffer just
+    # handed out (callers keep a reference, so even an evicted buffer
+    # stays valid for the duration of the op — eviction only costs a
+    # re-allocation on its next use).
+    total = sum(b.nbytes for b in _WORKSPACES.values())
+    while len(_WORKSPACES) > 1 and (
+        total > _MAX_WORKSPACE_BYTES or len(_WORKSPACES) > _MAX_WORKSPACES
+    ):
+        _oldest, dropped = next(iter(_WORKSPACES.items()))
+        del _WORKSPACES[_oldest]
+        total -= dropped.nbytes
+    return buffer
+
+
+def clear_workspaces() -> int:
+    """Drop every cached kernel workspace; returns the bytes released."""
+    released = sum(buffer.nbytes for buffer in _WORKSPACES.values())
+    _WORKSPACES.clear()
+    return released
+
+
+def workspace_stats() -> dict:
+    """Live workspace census: buffer count and resident bytes."""
+    return {
+        "buffers": len(_WORKSPACES),
+        "bytes": sum(buffer.nbytes for buffer in _WORKSPACES.values()),
+    }
+
+
+def _blas_route(dtype) -> bool:
+    """True when contractions should go through BLAS ``matmul``.
+
+    float64 stays on the historical einsum path so double-precision
+    runs remain bit-identical to the pre-policy implementation.
+    """
+    return np.dtype(dtype) != np.float64
+
+
+# ----------------------------------------------------------------------
+# im2col / col2im
+# ----------------------------------------------------------------------
 def im2col(
-    x: np.ndarray, kernel: tuple[int, int], stride: tuple[int, int], padding: tuple[int, int]
+    x: np.ndarray,
+    kernel: tuple[int, int],
+    stride: tuple[int, int],
+    padding: tuple[int, int],
+    out: np.ndarray | None = None,
 ) -> np.ndarray:
-    """Unfold ``x`` (N,C,H,W) into columns (N, C*kh*kw, out_h*out_w)."""
+    """Unfold ``x`` (N,C,H,W) into columns (N, C*kh*kw, out_h*out_w).
+
+    One fused strided-view copy straight into the destination — the
+    old transpose→reshape→``ascontiguousarray`` chain paid the copy
+    twice.  ``out`` (when given) must be a C-contiguous buffer of the
+    result shape; it is fully overwritten and returned.
+    """
     n, c, h, w = x.shape
     kh, kw = kernel
     out_h, out_w = conv_output_shape(h, w, kernel, stride, padding)
     if padding != (0, 0):
-        x = np.pad(x, ((0, 0), (0, 0), (padding[0], padding[0]), (padding[1], padding[1])))
-    # Strided sliding-window view: (N, C, out_h, out_w, kh, kw)
+        padded = _workspace(
+            "pad", (n, c, h + 2 * padding[0], w + 2 * padding[1]), x.dtype
+        )
+        padded.fill(0.0)
+        padded[:, :, padding[0] : padding[0] + h, padding[1] : padding[1] + w] = x
+        x = padded
     sn, sc, sh, sw = x.strides
     view = np.lib.stride_tricks.as_strided(
         x,
-        shape=(n, c, out_h, out_w, kh, kw),
-        strides=(sn, sc, sh * stride[0], sw * stride[1], sh, sw),
+        shape=(n, c, kh, kw, out_h, out_w),
+        strides=(sn, sc, sh, sw, sh * stride[0], sw * stride[1]),
         writeable=False,
     )
-    cols = view.transpose(0, 1, 4, 5, 2, 3).reshape(n, c * kh * kw, out_h * out_w)
-    return np.ascontiguousarray(cols)
+    if out is None:
+        out = np.empty((n, c * kh * kw, out_h * out_w), dtype=x.dtype)
+    np.copyto(out.reshape(n, c, kh, kw, out_h, out_w), view)
+    return out
 
 
 def col2im(
@@ -65,23 +184,49 @@ def col2im(
     """Fold columns back into an image, summing overlapping windows.
 
     This is the adjoint of :func:`im2col` and therefore the gradient
-    routing used by the convolution backward pass.
+    routing used by the convolution backward pass.  Always returns a
+    fresh array (``cols`` may live in a reusable workspace).
+
+    Non-overlapping sweeps — stride equal to the kernel with no
+    padding, the pooling geometry — skip the accumulate loop entirely:
+    every output position receives exactly one window element, so the
+    fold is a single vectorized transpose-copy.
     """
     n, c, h, w = input_shape
     kh, kw = kernel
     out_h, out_w = conv_output_shape(h, w, kernel, stride, padding)
-    padded = np.zeros((n, c, h + 2 * padding[0], w + 2 * padding[1]), dtype=cols.dtype)
     cols = cols.reshape(n, c, kh, kw, out_h, out_w)
-    for i in range(kh):
-        i_max = i + stride[0] * out_h
-        for j in range(kw):
-            j_max = j + stride[1] * out_w
-            padded[:, :, i:i_max : stride[0], j:j_max : stride[1]] += cols[:, :, i, j]
+    if padding == (0, 0):
+        if kh == 1 and kw == 1 and stride == (1, 1):
+            return cols.reshape(n, c, h, w).copy()
+        if stride == (kh, kw) and h == kh * out_h and w == kw * out_w:
+            folded = cols.transpose(0, 1, 4, 2, 5, 3).reshape(n, c, h, w)
+            # reshape of the transposed view copies in every practical
+            # geometry; degenerate axes could still alias the input.
+            if np.may_share_memory(folded, cols):
+                folded = folded.copy()
+            return folded
+    padded = np.zeros((n, c, h + 2 * padding[0], w + 2 * padding[1]), dtype=cols.dtype)
+    _scatter_windows(padded, lambda i, j: cols[:, :, i, j], kernel, stride, out_h, out_w)
     if padding == (0, 0):
         return padded
     return padded[:, :, padding[0] : padding[0] + h, padding[1] : padding[1] + w]
 
 
+def _scatter_windows(padded, window_values, kernel, stride, out_h, out_w) -> None:
+    """Accumulate ``window_values(i, j)`` (an (N,C,out_h,out_w) array)
+    into ``padded`` at every kernel offset — the adjoint of the sliding
+    window sweep, shared by :func:`col2im` and the pooling backwards."""
+    for i in range(kernel[0]):
+        i_max = i + stride[0] * out_h
+        for j in range(kernel[1]):
+            j_max = j + stride[1] * out_w
+            padded[:, :, i:i_max : stride[0], j:j_max : stride[1]] += window_values(i, j)
+
+
+# ----------------------------------------------------------------------
+# Convolution
+# ----------------------------------------------------------------------
 def conv2d(x, weight, bias=None, stride=1, padding=0) -> Tensor:
     """2-D convolution.
 
@@ -105,20 +250,38 @@ def conv2d(x, weight, bias=None, stride=1, padding=0) -> Tensor:
     if c_in != c_in_w:
         raise ValueError(f"input has {c_in} channels but weight expects {c_in_w}")
     out_h, out_w = conv_output_shape(h, w, (kh, kw), stride, padding)
-
-    cols = im2col(x.data, (kh, kw), stride, padding)  # (N, C*kh*kw, L)
-    w_mat = weight.data.reshape(c_out, -1)  # (C_out, C*kh*kw)
-    out = np.einsum("ok,nkl->nol", w_mat, cols)
-    if bias is not None:
-        out = out + bias.data.reshape(1, c_out, 1)
-    out = out.reshape(n, c_out, out_h, out_w)
+    k = c_in * kh * kw
+    length = out_h * out_w
 
     parents = (x, weight) if bias is None else (x, weight, bias)
+    # The backward closure keeps `cols` alive until the graph dies, so
+    # only inference-mode forwards may borrow the shared workspace.
+    grad_live = is_grad_enabled() and any(p.requires_grad for p in parents)
+    cols_out = None if grad_live else _workspace("im2col", (n, k, length), x.data.dtype)
+    cols = im2col(x.data, (kh, kw), stride, padding, out=cols_out)
+    w_mat = weight.data.reshape(c_out, k)
+    if _blas_route(cols.dtype):
+        out = np.matmul(w_mat, cols)  # (N, C_out, L): one GEMM per sample
+    else:
+        out = np.einsum("ok,nkl->nol", w_mat, cols)
+    if bias is not None:
+        out += bias.data.reshape(1, c_out, 1)
+    out = out.reshape(n, c_out, out_h, out_w)
 
     def backward(grad):
-        grad_mat = grad.reshape(n, c_out, -1)  # (N, C_out, L)
-        grad_w = np.einsum("nol,nkl->ok", grad_mat, cols).reshape(weight.shape)
-        grad_cols = np.einsum("ok,nol->nkl", w_mat, grad_mat)
+        grad_mat = grad.reshape(n, c_out, length)
+        if _blas_route(grad_mat.dtype):
+            grad_w = (
+                np.matmul(grad_mat, cols.transpose(0, 2, 1)).sum(axis=0).reshape(weight.shape)
+            )
+            # grad_cols is consumed by col2im before this op can run
+            # again, so the scratch buffer is safely reusable.
+            grad_cols = np.matmul(
+                w_mat.T, grad_mat, out=_workspace("col-grad", (n, k, length), grad_mat.dtype)
+            )
+        else:
+            grad_w = np.einsum("nol,nkl->ok", grad_mat, cols).reshape(weight.shape)
+            grad_cols = np.einsum("ok,nol->nkl", w_mat, grad_mat)
         grad_x = col2im(grad_cols, x.shape, (kh, kw), stride, padding)
         if bias is None:
             return grad_x, grad_w
@@ -128,6 +291,9 @@ def conv2d(x, weight, bias=None, stride=1, padding=0) -> Tensor:
     return Tensor._make(out, parents, backward)
 
 
+# ----------------------------------------------------------------------
+# Pooling
+# ----------------------------------------------------------------------
 def max_pool2d(x, kernel_size, stride=None, padding=0) -> Tensor:
     """Max pooling over spatial windows (NCHW)."""
     if not isinstance(x, Tensor):
@@ -137,19 +303,29 @@ def max_pool2d(x, kernel_size, stride=None, padding=0) -> Tensor:
     padding = _pair(padding)
     n, c, h, w = x.shape
     out_h, out_w = conv_output_shape(h, w, kernel, stride, padding)
+    window = kernel[0] * kernel[1]
+    length = out_h * out_w
 
-    cols = im2col(x.data, kernel, stride, padding)  # (N, C*kh*kw, L)
-    cols = cols.reshape(n, c, kernel[0] * kernel[1], out_h * out_w)
+    # Backward only needs the argmax indices, never the columns, so the
+    # unfold always borrows the workspace — training included.
+    cols = im2col(
+        x.data, kernel, stride, padding,
+        out=_workspace("im2col", (n, c * window, length), x.data.dtype),
+    ).reshape(n, c, window, length)
     arg = cols.argmax(axis=2)  # (N, C, L)
     out = np.take_along_axis(cols, arg[:, :, None, :], axis=2).squeeze(2)
     out = out.reshape(n, c, out_h, out_w)
 
     def backward(grad):
         grad_flat = grad.reshape(n, c, -1)
-        grad_cols = np.zeros_like(cols)
+        grad_cols = _workspace("pool-grad", (n, c, window, length), grad_flat.dtype)
+        grad_cols.fill(0.0)
         np.put_along_axis(grad_cols, arg[:, :, None, :], grad_flat[:, :, None, :], axis=2)
-        grad_cols = grad_cols.reshape(n, c * kernel[0] * kernel[1], out_h * out_w)
-        return (col2im(grad_cols, x.shape, kernel, stride, padding),)
+        return (
+            col2im(
+                grad_cols.reshape(n, c * window, length), x.shape, kernel, stride, padding
+            ),
+        )
 
     return Tensor._make(out, (x,), backward)
 
@@ -164,15 +340,25 @@ def avg_pool2d(x, kernel_size, stride=None, padding=0) -> Tensor:
     n, c, h, w = x.shape
     out_h, out_w = conv_output_shape(h, w, kernel, stride, padding)
     window = kernel[0] * kernel[1]
+    length = out_h * out_w
 
-    cols = im2col(x.data, kernel, stride, padding)
-    cols = cols.reshape(n, c, window, out_h * out_w)
+    cols = im2col(
+        x.data, kernel, stride, padding,
+        out=_workspace("im2col", (n, c * window, length), x.data.dtype),
+    ).reshape(n, c, window, length)
     out = cols.mean(axis=2).reshape(n, c, out_h, out_w)
 
     def backward(grad):
-        grad_flat = grad.reshape(n, c, 1, -1) / window
-        grad_cols = np.broadcast_to(grad_flat, (n, c, window, out_h * out_w))
-        grad_cols = grad_cols.reshape(n, c * window, out_h * out_w)
-        return (col2im(np.ascontiguousarray(grad_cols), x.shape, kernel, stride, padding),)
+        # Every window element receives grad/window — accumulate the
+        # shared term straight into the image instead of materializing
+        # the broadcast (N, C*kh*kw, L) column matrix.
+        shared = grad.reshape(n, c, out_h, out_w) / window
+        padded = np.zeros(
+            (n, c, h + 2 * padding[0], w + 2 * padding[1]), dtype=shared.dtype
+        )
+        _scatter_windows(padded, lambda i, j: shared, kernel, stride, out_h, out_w)
+        if padding == (0, 0):
+            return (padded,)
+        return (padded[:, :, padding[0] : padding[0] + h, padding[1] : padding[1] + w],)
 
     return Tensor._make(out, (x,), backward)

@@ -1,0 +1,117 @@
+"""Process-wide floating-point precision policy for the math core.
+
+Every array the autograd substrate materializes — tensor payloads,
+constructor outputs (``zeros``/``ones``/``arange``), parameter
+initializations, one-hot targets, evaluation buffers — is created at
+the *policy dtype* instead of a hard-coded ``float64``.  The default
+is ``float32``: half the memory bandwidth and BLAS ``sgemm`` on every
+contraction, which is where the experiment wall-clock lives.
+
+``float64`` remains a first-class opt-in — gradient checking runs
+under it unconditionally (finite differences at ``eps=1e-6`` are
+meaningless in single precision), and the engine's float64 kernel
+routes are kept bit-identical to the historical implementation so
+double-precision cells reproduce pre-policy results exactly.
+
+Three knobs, narrowest wins:
+
+* ``REPRO_DTYPE`` environment variable (``float32``/``float64``) —
+  the process default, read once at import;
+* :func:`set_default_dtype` — explicit process-wide switch;
+* :func:`default_dtype` — scoped override (a context manager), used
+  by the engine to pin each run cell to its profile's dtype and by
+  :func:`~repro.autograd.grad_check.gradient_check` to force float64.
+
+The policy is process-global (like ``no_grad``), not thread-local:
+the library parallelizes across *processes*, and forked workers
+inherit the parent's policy through the environment + profile wiring.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+
+import numpy as np
+
+__all__ = [
+    "DTYPES",
+    "get_default_dtype",
+    "set_default_dtype",
+    "default_dtype",
+    "resolve_dtype",
+]
+
+#: The supported compute precisions, by canonical name.
+DTYPES: dict[str, np.dtype] = {
+    "float32": np.dtype(np.float32),
+    "float64": np.dtype(np.float64),
+}
+
+_ENV_DTYPE = "REPRO_DTYPE"
+
+
+def resolve_dtype(dtype) -> np.dtype:
+    """Canonicalize a dtype argument to one of the supported policies.
+
+    Accepts a name (``"float32"``), a NumPy dtype/scalar type, or
+    ``None`` for the current default.  Anything outside the supported
+    set raises ``ValueError`` — the policy deliberately refuses
+    half/integer/extended precisions the kernels are not written for.
+    """
+    if dtype is None:
+        return get_default_dtype()
+    if isinstance(dtype, str):
+        name = dtype
+    else:
+        name = np.dtype(dtype).name
+    if name not in DTYPES:
+        raise ValueError(
+            f"unsupported compute dtype {dtype!r}; expected one of {sorted(DTYPES)}"
+        )
+    return DTYPES[name]
+
+
+def _dtype_from_env(environ=None) -> np.dtype:
+    """The process-default dtype: ``REPRO_DTYPE`` if set, else float32."""
+    value = (environ if environ is not None else os.environ).get(_ENV_DTYPE)
+    if not value:
+        return DTYPES["float32"]
+    if value not in DTYPES:
+        raise ValueError(
+            f"{_ENV_DTYPE}={value!r} is not a supported dtype; "
+            f"expected one of {sorted(DTYPES)}"
+        )
+    return DTYPES[value]
+
+
+_DEFAULT_DTYPE: np.dtype = _dtype_from_env()
+
+
+def get_default_dtype() -> np.dtype:
+    """The dtype every new tensor/parameter/buffer is materialized at."""
+    return _DEFAULT_DTYPE
+
+
+def set_default_dtype(dtype) -> np.dtype:
+    """Switch the process-wide compute dtype; returns the previous one."""
+    global _DEFAULT_DTYPE
+    previous = _DEFAULT_DTYPE
+    _DEFAULT_DTYPE = resolve_dtype(dtype)
+    return previous
+
+
+@contextlib.contextmanager
+def default_dtype(dtype):
+    """Scoped precision override.
+
+    Example
+    -------
+    >>> with default_dtype("float64"):
+    ...     gradient_check(fn, inputs)   # full-precision finite differences
+    """
+    previous = set_default_dtype(dtype)
+    try:
+        yield get_default_dtype()
+    finally:
+        set_default_dtype(previous)

@@ -2,6 +2,12 @@
 
 Used heavily by the test suite: every primitive is checked against a
 central finite-difference approximation.
+
+Gradient checking always runs in double precision: a central
+difference at ``eps=1e-6`` cancels to noise in float32, so
+:func:`gradient_check` enters ``default_dtype(float64)`` and upcasts
+its inputs in place before evaluating anything — callers can hold the
+process policy at float32 and still grad-check exactly.
 """
 
 from __future__ import annotations
@@ -10,6 +16,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.autograd.dtype import default_dtype
 from repro.autograd.tensor import Tensor
 
 __all__ = ["numerical_gradient", "gradient_check"]
@@ -21,20 +28,28 @@ def numerical_gradient(
     wrt: int,
     eps: float = 1e-6,
 ) -> np.ndarray:
-    """Central finite-difference gradient of ``sum(fn(*inputs))`` w.r.t. one input."""
-    target = inputs[wrt]
-    grad = np.zeros_like(target.data)
-    flat = target.data.reshape(-1)
-    grad_flat = grad.reshape(-1)
-    for i in range(flat.size):
-        original = flat[i]
-        flat[i] = original + eps
-        plus = float(fn(*inputs).data.sum())
-        flat[i] = original - eps
-        minus = float(fn(*inputs).data.sum())
-        flat[i] = original
-        grad_flat[i] = (plus - minus) / (2 * eps)
-    return grad
+    """Central finite-difference gradient of ``sum(fn(*inputs))`` w.r.t. one input.
+
+    Inputs are upcast to float64 in place and the function is evaluated
+    under a float64 policy — an ``eps``-sized central difference is
+    pure cancellation noise at single precision.
+    """
+    with default_dtype(np.float64):
+        for t in inputs:
+            t.data = np.asarray(t.data, dtype=np.float64)
+        target = inputs[wrt]
+        grad = np.zeros_like(target.data)
+        flat = target.data.reshape(-1)
+        grad_flat = grad.reshape(-1)
+        for i in range(flat.size):
+            original = flat[i]
+            flat[i] = original + eps
+            plus = float(fn(*inputs).data.sum())
+            flat[i] = original - eps
+            minus = float(fn(*inputs).data.sum())
+            flat[i] = original
+            grad_flat[i] = (plus - minus) / (2 * eps)
+        return grad
 
 
 def gradient_check(
@@ -49,20 +64,25 @@ def gradient_check(
     ``fn`` must map the given inputs to a single output tensor; the loss
     used is the plain sum of that output.  Raises ``AssertionError`` with
     a diagnostic message on mismatch, returns True otherwise.
+
+    Runs entirely at float64 (inputs are upcast in place), whatever the
+    ambient precision policy is.
     """
-    for t in inputs:
-        t.zero_grad()
-    out = fn(*inputs)
-    out.sum().backward()
-    for i, t in enumerate(inputs):
-        if not t.requires_grad:
-            continue
-        analytic = t.grad if t.grad is not None else np.zeros_like(t.data)
-        numeric = numerical_gradient(fn, inputs, i, eps=eps)
-        if not np.allclose(analytic, numeric, atol=atol, rtol=rtol):
-            worst = np.max(np.abs(analytic - numeric))
-            raise AssertionError(
-                f"gradient mismatch on input {i}: max abs diff {worst:.3e}\n"
-                f"analytic:\n{analytic}\nnumeric:\n{numeric}"
-            )
+    with default_dtype(np.float64):
+        for t in inputs:
+            t.data = np.asarray(t.data, dtype=np.float64)
+            t.zero_grad()
+        out = fn(*inputs)
+        out.sum().backward()
+        for i, t in enumerate(inputs):
+            if not t.requires_grad:
+                continue
+            analytic = t.grad if t.grad is not None else np.zeros_like(t.data)
+            numeric = numerical_gradient(fn, inputs, i, eps=eps)
+            if not np.allclose(analytic, numeric, atol=atol, rtol=rtol):
+                worst = np.max(np.abs(analytic - numeric))
+                raise AssertionError(
+                    f"gradient mismatch on input {i}: max abs diff {worst:.3e}\n"
+                    f"analytic:\n{analytic}\nnumeric:\n{numeric}"
+                )
     return True

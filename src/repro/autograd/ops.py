@@ -30,6 +30,7 @@ __all__ = [
     "leaky_relu",
     "gelu",
     "sigmoid",
+    "matmul_bt",
     "sum",
     "mean",
     "var",
@@ -144,6 +145,31 @@ def matmul(a, b) -> Tensor:
             return grad_a, grad_b
         grad_a = grad @ np.swapaxes(b_data, -1, -2)
         grad_b = np.swapaxes(a_data, -1, -2) @ grad
+        return grad_a, grad_b
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+def matmul_bt(a, b) -> Tensor:
+    """``a @ b^T`` over the last two axes, without a transpose node.
+
+    The attention hot path: BLAS consumes the transpose as a stride
+    flag (same bits as ``matmul(a, b.transpose(...))``), while the
+    graph saves one op node and the backward saves the inverse
+    transpose of the upstream gradient.  Requires ndim >= 2 operands.
+    """
+    a, b = _wrap(a), _wrap(b)
+    if a.data.ndim < 2 or b.data.ndim < 2:
+        raise ValueError("matmul_bt requires operands with ndim >= 2")
+    out_data = a.data @ np.swapaxes(b.data, -1, -2)
+
+    def backward(grad):
+        # out = a @ b^T  =>  da = grad @ b,  db = (a^T @ grad)^T.
+        # db is computed in exactly the order the old
+        # matmul+transpose-node pair used (then exposed as a view), so
+        # float64 gradients stay bit-identical to the legacy graph.
+        grad_a = grad @ b.data
+        grad_b = np.swapaxes(np.swapaxes(a.data, -1, -2) @ grad, -1, -2)
         return grad_a, grad_b
 
     return Tensor._make(out_data, (a, b), backward)

@@ -21,6 +21,8 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
+from repro.autograd.dtype import get_default_dtype
+
 __all__ = [
     "Tensor",
     "tensor",
@@ -35,8 +37,6 @@ __all__ = [
 ]
 
 _GRAD_ENABLED = True
-
-DEFAULT_DTYPE = np.float64
 
 
 def is_grad_enabled() -> bool:
@@ -98,7 +98,7 @@ class Tensor:
     def __init__(self, data, requires_grad: bool = False, name: str | None = None):
         if isinstance(data, Tensor):
             data = data.data
-        self.data = np.asarray(data, dtype=DEFAULT_DTYPE)
+        self.data = np.asarray(data, dtype=get_default_dtype())
         self.grad: np.ndarray | None = None
         self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
         self._backward: Callable[[np.ndarray], None] | None = None
@@ -427,11 +427,11 @@ def tensor(data, requires_grad: bool = False) -> Tensor:
 
 
 def zeros(shape: int | Iterable[int], requires_grad: bool = False) -> Tensor:
-    return Tensor(np.zeros(shape, dtype=DEFAULT_DTYPE), requires_grad=requires_grad)
+    return Tensor(np.zeros(shape, dtype=get_default_dtype()), requires_grad=requires_grad)
 
 
 def ones(shape: int | Iterable[int], requires_grad: bool = False) -> Tensor:
-    return Tensor(np.ones(shape, dtype=DEFAULT_DTYPE), requires_grad=requires_grad)
+    return Tensor(np.ones(shape, dtype=get_default_dtype()), requires_grad=requires_grad)
 
 
 def zeros_like(other: Tensor, requires_grad: bool = False) -> Tensor:
@@ -443,4 +443,4 @@ def ones_like(other: Tensor, requires_grad: bool = False) -> Tensor:
 
 
 def arange(*args, requires_grad: bool = False) -> Tensor:
-    return Tensor(np.arange(*args, dtype=DEFAULT_DTYPE), requires_grad=requires_grad)
+    return Tensor(np.arange(*args, dtype=get_default_dtype()), requires_grad=requires_grad)

@@ -222,9 +222,9 @@ class TVT(ContinualMethod):
 
 def _weighted_ce(logits: Tensor, labels: np.ndarray, weights: np.ndarray) -> Tensor:
     log_probs = ops.log_softmax(logits, axis=-1)
-    one_hot = np.zeros(logits.shape)
-    one_hot[np.arange(len(labels)), labels] = 1.0
-    per_sample = -(log_probs * Tensor(one_hot)).sum(axis=-1)
+    # Indexed gather instead of a dense one-hot matrix (see
+    # repro.nn.functional): same values, no (N, C) allocation per step.
+    per_sample = -log_probs[np.arange(len(labels)), np.asarray(labels, dtype=np.int64)]
     return (per_sample * Tensor(weights)).mean()
 
 

@@ -129,7 +129,8 @@ class TaskConditionedAttention(Module):
         q = self._split_heads(self.q_proj(x))
         k = self._split_heads(self.task_keys[task_id](context))
         v = self._split_heads(self.v_proj(context))
-        scores = ops.matmul(q, k.transpose((0, 1, 3, 2))) * (1.0 / np.sqrt(self.head_dim))
+        # matmul_bt folds K's transpose into the BLAS call (no graph node).
+        scores = ops.matmul_bt(q, k) * (1.0 / np.sqrt(self.head_dim))
         # b_i in R^{1 x n} biases the key axis, broadcast over batch/heads/rows.
         bias = self._task_biases[task_id]
         scores = scores + bias.reshape((1, 1, 1, self.seq_len))

@@ -75,8 +75,9 @@ __all__ = [
 
 #: Bump on any change that alters run results for an unchanged spec, or
 #: that changes the on-disk entry format (v2: manifest sidecars and
-#: optional checkpoints next to each result).
-CACHE_VERSION = 2
+#: optional checkpoints next to each result; v3: profiles carry a
+#: compute dtype — float32 default — and cells run under it).
+CACHE_VERSION = 3
 
 _ENV_DIR = "REPRO_CACHE_DIR"
 _ENV_DISABLE = "REPRO_NO_CACHE"

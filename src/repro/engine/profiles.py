@@ -12,6 +12,11 @@ A profile knows how to materialize the method configs
 (:meth:`ExperimentProfile.cdcl_config` /
 :meth:`ExperimentProfile.baseline_config`), so registry factories need
 nothing beyond the profile, the input geometry and a seed.
+
+Profiles also own the run's **compute precision**: ``dtype`` (float32
+by default, ``REPRO_DTYPE`` overrides) is part of the profile and
+therefore of every cell's cache identity — a float32 run and a
+float64 run of the same spec can never collide in the result cache.
 """
 
 from __future__ import annotations
@@ -19,6 +24,7 @@ from __future__ import annotations
 import os
 from dataclasses import asdict, dataclass, replace
 
+from repro.autograd import resolve_dtype
 from repro.baselines import BackboneConfig, BaselineConfig
 from repro.core import CDCLConfig
 
@@ -27,7 +33,7 @@ __all__ = ["ExperimentProfile", "get_profile", "profile_overrides"]
 
 @dataclass
 class ExperimentProfile:
-    """Workload sizes for one experiment run."""
+    """Workload sizes (and compute precision) for one experiment run."""
 
     name: str
     samples_per_class: int
@@ -43,10 +49,14 @@ class ExperimentProfile:
     tvt_epochs: int
     baseline_epochs: int | None = None  # defaults to `epochs`
     seed: int = 0
+    #: Compute precision of the run ("float32"/"float64"); kept as the
+    #: canonical name so profiles stay JSON-hashable for cache keys.
+    dtype: str = "float32"
 
     def __post_init__(self) -> None:
         if self.baseline_epochs is None:
             self.baseline_epochs = self.epochs
+        self.dtype = resolve_dtype(self.dtype).name
 
     def cdcl_config(self, **overrides) -> CDCLConfig:
         base = dict(
@@ -123,11 +133,18 @@ _PROFILES = {
 
 
 def get_profile(name: str | None = None, **overrides) -> ExperimentProfile:
-    """Resolve a profile by name, env var, or the 'scaled' default."""
+    """Resolve a profile by name, env var, or the 'scaled' default.
+
+    ``REPRO_DTYPE`` (when set) overrides the profile's compute
+    precision unless the caller passes an explicit ``dtype=`` override.
+    """
     name = name or os.environ.get("REPRO_PROFILE", "scaled")
     if name not in _PROFILES:
         raise ValueError(f"unknown profile {name!r}; expected one of {sorted(_PROFILES)}")
     profile = _PROFILES[name]
+    env_dtype = os.environ.get("REPRO_DTYPE")
+    if env_dtype and "dtype" not in overrides:
+        overrides = {**overrides, "dtype": env_dtype}
     return replace(profile, **overrides) if overrides else profile
 
 

@@ -28,6 +28,7 @@ from dataclasses import asdict, dataclass, field, replace
 
 import numpy as np
 
+from repro.autograd import default_dtype
 from repro.continual import (
     ContinualResult,
     Scenario,
@@ -215,37 +216,41 @@ def run_one(
             hit.cached = True
             return hit
     profile = spec.resolved_profile()
-    stream = SCENARIOS.get(spec.scenario).build(
-        profile, spec.seed, **spec.scenario_params
-    )
-    start = time.perf_counter()
-    mspec = METHODS.get(spec.method)
-    results, static_acc, method = run_method_on_stream(
-        mspec,
-        stream,
-        profile,
-        seed=spec.seed,
-        eval_scenarios=[Scenario.parse(s) for s in spec.eval_scenarios],
-        method_overrides=spec.method_overrides,
-        verbose=verbose,
-    )
-    result = RunResult(
-        method=spec.method,
-        scenario=spec.scenario,
-        stream_name=stream.name,
-        seed=spec.seed,
-        results=results,
-        static_acc=static_acc,
-        elapsed=time.perf_counter() - start,
-    )
-    if key is not None:
-        if checkpoint:
-            # Checkpoint first: the result entry is the commit point, so
-            # a crash between the writes leaves an orphaned checkpoint
-            # (cache-verify cleans it up), never a result that claims a
-            # checkpoint it does not have.
-            _save_checkpoint(method, stream, key)
-        cache.store(key, result, meta=_spec_summary(spec))
+    # The whole cell — stream synthesis, training, evaluation and the
+    # checkpoint write — runs at the profile's precision, so every
+    # array the cell materializes (and persists) carries one dtype.
+    with default_dtype(profile.dtype):
+        stream = SCENARIOS.get(spec.scenario).build(
+            profile, spec.seed, **spec.scenario_params
+        )
+        start = time.perf_counter()
+        mspec = METHODS.get(spec.method)
+        results, static_acc, method = run_method_on_stream(
+            mspec,
+            stream,
+            profile,
+            seed=spec.seed,
+            eval_scenarios=[Scenario.parse(s) for s in spec.eval_scenarios],
+            method_overrides=spec.method_overrides,
+            verbose=verbose,
+        )
+        result = RunResult(
+            method=spec.method,
+            scenario=spec.scenario,
+            stream_name=stream.name,
+            seed=spec.seed,
+            results=results,
+            static_acc=static_acc,
+            elapsed=time.perf_counter() - start,
+        )
+        if key is not None:
+            if checkpoint:
+                # Checkpoint first: the result entry is the commit
+                # point, so a crash between the writes leaves an
+                # orphaned checkpoint (cache-verify cleans it up),
+                # never a result that claims a checkpoint it lacks.
+                _save_checkpoint(method, stream, key)
+            cache.store(key, result, meta=_spec_summary(spec))
     return result
 
 
@@ -301,17 +306,22 @@ def load_checkpoint(spec: RunSpec):
             f"(profile={spec.profile}, seed={spec.seed}); run the cell with "
             "checkpoint=True (CLI: --checkpoint) first"
         )
-    extra = io.read_checkpoint_meta(path).get("extra", {})
+    meta = io.read_checkpoint_meta(path)
+    extra = meta.get("extra", {})
     profile = spec.resolved_profile()
-    mspec = METHODS.get(spec.method)
-    method = mspec.factory(
-        profile,
-        int(extra["in_channels"]),
-        int(extra["image_size"]),
-        spec.seed,
-        dict(spec.method_overrides) or None,
-    )
-    return io.load_method(method, path)
+    # Restore at the precision the checkpoint was trained at (recorded
+    # by save_method); pre-policy checkpoints carry no dtype and fall
+    # back to the spec profile's.
+    with default_dtype(meta.get("dtype", profile.dtype)):
+        mspec = METHODS.get(spec.method)
+        method = mspec.factory(
+            profile,
+            int(extra["in_channels"]),
+            int(extra["image_size"]),
+            spec.seed,
+            dict(spec.method_overrides) or None,
+        )
+        return io.load_method(method, path)
 
 
 def run_method_on_stream(
@@ -334,21 +344,25 @@ def run_method_on_stream(
     per-task accuracy.  ``in_channels``/``image_size`` override the
     stream-inferred model geometry when given.  The trained method is
     returned alongside the scores so callers can checkpoint it.
+
+    Training and evaluation run at the profile's dtype (idempotent
+    under :func:`run_one`, which already holds the same policy).
     """
-    sample_image = stream[0].source_train[0][0]
-    in_channels = in_channels or sample_image.shape[0]
-    image_size = image_size or sample_image.shape[-1]
-    method = mspec.factory(profile, in_channels, image_size, seed, method_overrides)
-    if mspec.kind == "static":
-        method.fit(stream)
-        accs: dict[Scenario, list[float]] = {s: [] for s in eval_scenarios}
-        for task in stream:
-            per_task = evaluate_task_multi(method, task, eval_scenarios)
-            for scenario, acc in per_task.items():
-                accs[scenario].append(acc)
-        return {}, {s: float(np.mean(v)) for s, v in accs.items()}, method
-    results = run_continual_multi(method, stream, list(eval_scenarios), verbose=verbose)
-    return results, {}, method
+    with default_dtype(profile.dtype):
+        sample_image = stream[0].source_train[0][0]
+        in_channels = in_channels or sample_image.shape[0]
+        image_size = image_size or sample_image.shape[-1]
+        method = mspec.factory(profile, in_channels, image_size, seed, method_overrides)
+        if mspec.kind == "static":
+            method.fit(stream)
+            accs: dict[Scenario, list[float]] = {s: [] for s in eval_scenarios}
+            for task in stream:
+                per_task = evaluate_task_multi(method, task, eval_scenarios)
+                for scenario, acc in per_task.items():
+                    accs[scenario].append(acc)
+            return {}, {s: float(np.mean(v)) for s, v in accs.items()}, method
+        results = run_continual_multi(method, stream, list(eval_scenarios), verbose=verbose)
+        return results, {}, method
 
 
 def run_pair_cells(

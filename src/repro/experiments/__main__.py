@@ -80,6 +80,13 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="workload profile (default: env REPRO_PROFILE or 'scaled')",
     )
+    parser.add_argument(
+        "--dtype",
+        choices=("float32", "float64"),
+        default=None,
+        help="compute precision (default: env REPRO_DTYPE or float32); "
+        "part of each cell's cache identity",
+    )
     parser.add_argument("--verbose", action="store_true")
     parser.add_argument(
         "--no-cache",
@@ -206,7 +213,9 @@ def _run(args: argparse.Namespace) -> int:
     if args.artifact == "predict":
         return run_predict(args)
 
-    profile = get_profile(args.profile)
+    profile = get_profile(
+        args.profile, **({"dtype": args.dtype} if args.dtype else {})
+    )
     use_cache = not args.no_cache
     if args.checkpoint and not (use_cache and cache.cache_enabled()):
         print(

@@ -5,6 +5,12 @@ module tree round-trips through a single ``.npz`` file.  CDCL trainers
 additionally carry per-task structure (how many tasks/classes were
 instantiated), stored alongside the weights so a checkpoint can be
 restored into a freshly-constructed trainer.
+
+Checkpoints record the compute precision they were written at (the
+``dtype`` metadata field) and the arrays are persisted verbatim — a
+float32 model round-trips as float32, a float64 one as float64; the
+engine restores the policy from the metadata before rebuilding the
+method (see :func:`repro.engine.load_checkpoint`).
 """
 
 from __future__ import annotations
@@ -16,6 +22,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.autograd import default_dtype, get_default_dtype
 from repro.continual.method import ContinualMethod
 from repro.core.config import CDCLConfig
 from repro.core.trainer import CDCLTrainer
@@ -59,6 +66,7 @@ def save_cdcl(trainer: CDCLTrainer, path: str | Path) -> Path:
         "task_classes": list(trainer.network._task_classes),
         "in_channels": trainer.network.tokenizer.blocks[0].in_channels,
         "image_size": _infer_image_size(trainer),
+        "dtype": _arrays_dtype(state),
         "config": _config_to_dict(trainer.config),
     }
     state[_META_KEY] = np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)
@@ -79,12 +87,15 @@ def load_cdcl(path: str | Path, rng=0) -> CDCLTrainer:
         meta = json.loads(bytes(data[_META_KEY]).decode())
         state = {name: data[name] for name in data.files if name != _META_KEY}
     config = CDCLConfig(**meta["config"])
-    trainer = CDCLTrainer(
-        config, in_channels=meta["in_channels"], image_size=meta["image_size"], rng=rng
-    )
-    for num_classes in meta["task_classes"]:
-        trainer.network.add_task(int(num_classes))
-    trainer.network.load_state_dict(state)
+    # Rebuild at the recorded precision so the weights load verbatim
+    # (pre-policy checkpoints carry no dtype: use the ambient default).
+    with default_dtype(meta.get("dtype", get_default_dtype())):
+        trainer = CDCLTrainer(
+            config, in_channels=meta["in_channels"], image_size=meta["image_size"], rng=rng
+        )
+        for num_classes in meta["task_classes"]:
+            trainer.network.add_task(int(num_classes))
+        trainer.network.load_state_dict(state)
     return trainer
 
 
@@ -108,6 +119,7 @@ def save_method(
         "format": _METHOD_FORMAT,
         "class": type(method).__name__,
         "method_name": method.name,
+        "dtype": _arrays_dtype(state),
         "state": method.checkpoint_meta(),
         "extra": dict(extra_meta or {}),
     }
@@ -164,6 +176,15 @@ def _parse_method_meta(path, data) -> dict:
             f"{path} has unsupported checkpoint format {meta.get('format')!r}"
         )
     return meta
+
+
+def _arrays_dtype(state: dict) -> str:
+    """The floating dtype a state dict is stored at (policy fallback)."""
+    for value in state.values():
+        dtype = np.asarray(value).dtype
+        if dtype.kind == "f":
+            return dtype.name
+    return get_default_dtype().name
 
 
 def _resolve(path: str | Path) -> Path:

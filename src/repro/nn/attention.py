@@ -25,7 +25,9 @@ def scaled_dot_product_attention(q: Tensor, k: Tensor, v: Tensor) -> Tensor:
     Inputs are (batch, heads, seq, head_dim).
     """
     d = q.shape[-1]
-    scores = ops.matmul(q, k.transpose((0, 1, 3, 2))) * (1.0 / np.sqrt(d))
+    # matmul_bt consumes K's transpose as a BLAS stride flag — no
+    # transpose node, no inverse-transpose of the gradient on backward.
+    scores = ops.matmul_bt(q, k) * (1.0 / np.sqrt(d))
     weights = ops.softmax(scores, axis=-1)
     return ops.matmul(weights, v)
 

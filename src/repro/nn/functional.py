@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.autograd import Tensor, no_grad, ops
+from repro.autograd import Tensor, get_default_dtype, no_grad, ops
 
 __all__ = [
     "chunked_apply",
@@ -34,27 +34,43 @@ def chunked_apply(fn, images: np.ndarray, batch_size: int, out_dim: int) -> np.n
         for start in range(0, len(images), batch_size):
             chunks.append(fn(images[start : start + batch_size]).data)
     if not chunks:
-        return np.empty((0, out_dim))
+        return np.empty((0, out_dim), dtype=get_default_dtype())
     return np.concatenate(chunks)
 
 
 def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
-    """Dense one-hot encoding of integer labels."""
+    """Dense one-hot encoding of integer labels (at the policy dtype)."""
+    labels = _check_labels(labels, num_classes)
+    out = np.zeros((labels.shape[0], num_classes), dtype=get_default_dtype())
+    out[np.arange(labels.shape[0]), labels] = 1.0
+    return out
+
+
+def _check_labels(labels: np.ndarray, num_classes: int) -> np.ndarray:
     labels = np.asarray(labels, dtype=np.int64)
     if labels.size and (labels.min() < 0 or labels.max() >= num_classes):
         raise ValueError(
             f"labels out of range [0, {num_classes}): min={labels.min()}, max={labels.max()}"
         )
-    out = np.zeros((labels.shape[0], num_classes))
-    out[np.arange(labels.shape[0]), labels] = 1.0
-    return out
+    return labels
+
+
+def _gather_labels(log_probs: Tensor, labels: np.ndarray) -> Tensor:
+    """``log_probs[i, labels[i]]`` as a differentiable gather.
+
+    The indexed form of the classic ``-(log_probs * one_hot).sum(-1)``:
+    same values bit for bit (adding the zero rows was exact), but it
+    never materializes the dense (N, C) target matrix — per training
+    step that is one allocation and one full-matrix multiply saved.
+    """
+    labels = _check_labels(labels, log_probs.shape[-1])
+    return log_probs[np.arange(labels.shape[0]), labels]
 
 
 def cross_entropy(logits: Tensor, labels: np.ndarray, reduction: str = "mean") -> Tensor:
     """Cross-entropy with integer labels (softmax applied internally)."""
     log_probs = ops.log_softmax(logits, axis=-1)
-    targets = one_hot(labels, logits.shape[-1])
-    per_sample = -(log_probs * Tensor(targets)).sum(axis=-1)
+    per_sample = -_gather_labels(log_probs, labels)
     return _reduce(per_sample, reduction)
 
 
@@ -75,8 +91,7 @@ def soft_cross_entropy(logits: Tensor, target_probs, reduction: str = "mean") ->
 
 
 def nll_loss(log_probs: Tensor, labels: np.ndarray, reduction: str = "mean") -> Tensor:
-    targets = one_hot(labels, log_probs.shape[-1])
-    per_sample = -(log_probs * Tensor(targets)).sum(axis=-1)
+    per_sample = -_gather_labels(log_probs, labels)
     return _reduce(per_sample, reduction)
 
 

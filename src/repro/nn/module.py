@@ -140,6 +140,22 @@ class Module:
             param.requires_grad = False
         return self
 
+    def astype(self, dtype) -> "Module":
+        """Cast every parameter (and pending gradient) to ``dtype`` in place.
+
+        ``dtype`` must be one of the supported policy precisions; the
+        graph wiring is untouched (optimizers update ``param.data`` in
+        place, so identity is what matters, not storage width).
+        """
+        from repro.autograd import resolve_dtype
+
+        dtype = resolve_dtype(dtype)
+        for param in self.parameters():
+            param.data = np.asarray(param.data, dtype=dtype)
+            if param.grad is not None:
+                param.grad = np.asarray(param.grad, dtype=dtype)
+        return self
+
     def unfreeze(self) -> "Module":
         for param in self.parameters():
             param.requires_grad = True

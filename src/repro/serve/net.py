@@ -100,6 +100,8 @@ class ServeApp:
             return {"ok": False, "error": f"{type(error).__name__}: {error}"}
 
     async def _predict(self, payload: dict) -> dict:
+        # Parse at the JSON wire precision; the service casts to the
+        # served model's compute dtype before the shared forward.
         images = np.asarray(payload["images"], dtype=np.float64)
         task_id = payload.get("task_id")
         scenario = payload.get("scenario", "til")
@@ -128,6 +130,7 @@ class ServeApp:
                 "profile_overrides": dict(self.spec.profile_overrides),
                 "seed": self.spec.seed,
                 "tasks_seen": model.tasks_seen,
+                "dtype": str(model.dtype),
             },
             "version": __version__,
         }

@@ -30,6 +30,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.autograd import default_dtype
 from repro.continual import Scenario
 from repro.engine import cache
 from repro.engine.runner import RunSpec
@@ -49,6 +50,10 @@ class LoadedModel:
     key: str
     spec: RunSpec
     method: object  # the restored ContinualMethod
+    #: Compute precision the checkpoint was trained at; requests are
+    #: cast to it and forwards run under it, so serving a float32 and
+    #: a float64 model from one pool keeps each bit-exact.
+    dtype: np.dtype = np.dtype(np.float32)
 
     @property
     def tasks_seen(self) -> int:
@@ -91,7 +96,8 @@ class ModelPool:
         self.loads += 1
         with self.session._activate():
             cache.pin(key)
-        entry = LoadedModel(key=key, spec=spec, method=method)
+            dtype = _checkpoint_dtype(key, spec)
+        entry = LoadedModel(key=key, spec=spec, method=method, dtype=dtype)
         self._models[key] = entry
         while len(self._models) > self.capacity:
             evicted_key, _evicted = self._models.popitem(last=False)
@@ -121,6 +127,23 @@ class ModelPool:
             key, _entry = self._models.popitem(last=False)
             with self.session._activate():
                 cache.unpin(key)
+
+
+def _checkpoint_dtype(key: str, spec: RunSpec) -> np.dtype:
+    """The precision a cached checkpoint was trained at.
+
+    Read from the checkpoint metadata (one npz header, no weights);
+    pre-policy checkpoints carry no dtype and fall back to the spec
+    profile's.
+    """
+    from repro import io
+    from repro.autograd import resolve_dtype
+
+    try:
+        recorded = io.read_checkpoint_meta(cache.checkpoint_path(key)).get("dtype")
+    except (OSError, ValueError):
+        recorded = None
+    return resolve_dtype(recorded if recorded else spec.resolved_profile().dtype)
 
 
 _CLOSE = object()  # lane shutdown sentinel
@@ -241,7 +264,10 @@ class InferenceService:
         if lane is None:
 
             def predict_batch(images: np.ndarray) -> np.ndarray:
-                return model.method.predict_multi(images, task_id, [scenario])[scenario]
+                # Forward at the model's own precision: every buffer
+                # the shared pass materializes matches the weights.
+                with default_dtype(model.dtype):
+                    return model.method.predict_multi(images, task_id, [scenario])[scenario]
 
             lane = _BatchLane(
                 predict_batch, max_batch=self.max_batch, max_delay=self.max_delay
@@ -286,10 +312,11 @@ class InferenceService:
         scenario: Scenario | str = Scenario.TIL,
     ) -> int:
         """One sample's class id; concurrent callers share forwards."""
-        image = np.asarray(image, dtype=np.float64)
+        image = np.asarray(image)
         if image.ndim != 3:
             raise ValueError(f"predict takes one (C, H, W) sample; got {image.shape}")
         model, task_id, scenario = self._resolve(spec, task_id, scenario)
+        image = np.asarray(image, dtype=model.dtype)
         return await self._lane(model, task_id, scenario).submit(image)
 
     async def predict_many(
@@ -301,10 +328,11 @@ class InferenceService:
         scenario: Scenario | str = Scenario.TIL,
     ) -> np.ndarray:
         """A convenience fan-out: every sample goes through the queue."""
-        images = np.asarray(images, dtype=np.float64)
+        images = np.asarray(images)
         if images.ndim != 4:
             raise ValueError(f"predict_many takes (N, C, H, W); got {images.shape}")
         model, task_id, scenario = self._resolve(spec, task_id, scenario)
+        images = np.asarray(images, dtype=model.dtype)
         lane = self._lane(model, task_id, scenario)
         return np.array(
             await asyncio.gather(*(lane.submit(image) for image in images)),

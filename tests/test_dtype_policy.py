@@ -1,0 +1,327 @@
+"""The precision policy, end to end.
+
+Contract under test:
+
+* the policy knobs (default, setter, context manager, ``REPRO_DTYPE``)
+  and every constructor that must honor them;
+* kernel routing — float32 through BLAS matmul, float64 through the
+  historical einsum order — agrees across dtypes within documented
+  tolerance, and gradient checking stays float64 under a float32
+  policy;
+* the engine threads dtype through cache identity (float32 and
+  float64 cells never collide) and through checkpoint save/load for
+  every method family (CDCL / DER / CDTrans / TVT);
+* im2col workspaces are reused, never aliased into results.
+"""
+
+import numpy as np
+import pytest
+
+from repro.autograd import (
+    Tensor,
+    arange,
+    conv2d,
+    default_dtype,
+    get_default_dtype,
+    gradient_check,
+    max_pool2d,
+    no_grad,
+    ones,
+    resolve_dtype,
+    set_default_dtype,
+    zeros,
+)
+from repro.autograd import ops
+from repro.autograd.conv import clear_workspaces, col2im, im2col, workspace_stats
+from repro.autograd.dtype import _dtype_from_env
+from repro.data.synthetic import mnist_usps
+from repro.engine.profiles import get_profile
+from repro.engine.registry import register_scenario
+from repro.engine.runner import RunSpec
+from repro.nn import functional as F
+from repro.nn import init
+
+
+@pytest.fixture(autouse=True)
+def _restore_policy():
+    previous = get_default_dtype()
+    yield
+    set_default_dtype(previous)
+
+
+class TestPolicyKnobs:
+    def test_default_is_float32(self):
+        assert get_default_dtype() == np.float32
+
+    def test_set_and_restore(self):
+        previous = set_default_dtype("float64")
+        assert get_default_dtype() == np.float64
+        set_default_dtype(previous)
+        assert get_default_dtype() == previous
+
+    def test_context_manager_scopes_and_restores(self):
+        with default_dtype("float64") as active:
+            assert active == np.float64
+            assert Tensor([1.0]).dtype == np.float64
+        assert get_default_dtype() == np.float32
+
+    def test_resolve_rejects_unsupported(self):
+        with pytest.raises(ValueError, match="unsupported compute dtype"):
+            resolve_dtype("float16")
+        with pytest.raises(ValueError, match="unsupported compute dtype"):
+            set_default_dtype(np.int64)
+
+    def test_env_override(self):
+        assert _dtype_from_env({"REPRO_DTYPE": "float64"}) == np.float64
+        assert _dtype_from_env({}) == np.float32
+        with pytest.raises(ValueError, match="REPRO_DTYPE"):
+            _dtype_from_env({"REPRO_DTYPE": "float16"})
+
+    def test_profile_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DTYPE", "float64")
+        assert get_profile("smoke").dtype == "float64"
+        # An explicit override still wins over the environment.
+        assert get_profile("smoke", dtype="float32").dtype == "float32"
+
+
+class TestConstructorsHonorPolicy:
+    @pytest.mark.parametrize("dtype", ["float32", "float64"])
+    def test_tensor_and_constructors(self, dtype):
+        with default_dtype(dtype):
+            expected = np.dtype(dtype)
+            assert Tensor(np.ones(3, dtype=np.float64)).dtype == expected
+            assert zeros((2, 2)).dtype == expected
+            assert ones(4).dtype == expected
+            assert arange(5).dtype == expected
+
+    @pytest.mark.parametrize("dtype", ["float32", "float64"])
+    def test_init_schemes(self, dtype):
+        with default_dtype(dtype):
+            expected = np.dtype(dtype)
+            assert init.zeros((2, 3)).dtype == expected
+            assert init.constant((2,), 3.0).dtype == expected
+            assert init.xavier_uniform((4, 4), rng=0).dtype == expected
+            assert init.kaiming_normal((4, 4), rng=0).dtype == expected
+            assert init.trunc_normal((4, 4), rng=0).dtype == expected
+
+    @pytest.mark.parametrize("dtype", ["float32", "float64"])
+    def test_one_hot_and_chunked_apply(self, dtype):
+        with default_dtype(dtype):
+            expected = np.dtype(dtype)
+            assert F.one_hot(np.array([0, 2]), 3).dtype == expected
+            empty = F.chunked_apply(lambda x: Tensor(x), np.empty((0, 4)), 8, out_dim=7)
+            assert empty.shape == (0, 7)
+            assert empty.dtype == expected
+
+
+class TestModuleAstype:
+    def test_astype_casts_params_and_grads_in_place(self):
+        from repro.nn.linear import Linear
+
+        with default_dtype("float32"):
+            layer = Linear(4, 3, rng=0)
+            out = layer(Tensor(np.ones((2, 4))))
+            out.sum().backward()
+        params = layer.parameters()
+        assert all(p.dtype == np.float32 for p in params)
+        assert layer.astype("float64") is layer
+        assert all(p.dtype == np.float64 for p in params)
+        assert all(p.grad is None or p.grad.dtype == np.float64 for p in params)
+        with pytest.raises(ValueError, match="unsupported compute dtype"):
+            layer.astype("int32")
+
+
+class TestLossGather:
+    def test_cross_entropy_matches_dense_one_hot(self):
+        rng = np.random.default_rng(0)
+        logits = Tensor(rng.normal(size=(6, 5)), requires_grad=True)
+        labels = rng.integers(0, 5, size=6)
+        loss = F.cross_entropy(logits, labels)
+        # Dense reference: the formulation the gather replaced.
+        log_probs = ops.log_softmax(Tensor(logits.data), axis=-1)
+        dense = -(log_probs * Tensor(F.one_hot(labels, 5))).sum(axis=-1).mean()
+        assert loss.item() == pytest.approx(dense.item(), rel=1e-6)
+        loss.backward()
+        assert logits.grad is not None and logits.grad.shape == logits.shape
+
+    def test_cross_entropy_rejects_bad_labels(self):
+        logits = Tensor(np.zeros((2, 3)))
+        with pytest.raises(ValueError, match="labels out of range"):
+            F.cross_entropy(logits, np.array([0, 3]))
+
+    def test_nll_loss_matches_cross_entropy(self):
+        rng = np.random.default_rng(1)
+        logits = Tensor(rng.normal(size=(4, 3)))
+        labels = rng.integers(0, 3, size=4)
+        ce = F.cross_entropy(logits, labels).item()
+        nll = F.nll_loss(ops.log_softmax(logits, axis=-1), labels).item()
+        assert ce == pytest.approx(nll, rel=1e-6)
+
+
+class TestKernelRouting:
+    def test_conv_dtypes_agree_within_tolerance(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(2, 3, 10, 10))
+        w = rng.normal(size=(4, 3, 3, 3)) * 0.2
+        b = rng.normal(size=(4,))
+        with default_dtype("float64"):
+            ref = conv2d(Tensor(x), Tensor(w), Tensor(b), stride=2, padding=1).data
+        with default_dtype("float32"):
+            fast = conv2d(Tensor(x), Tensor(w), Tensor(b), stride=2, padding=1).data
+        assert fast.dtype == np.float32
+        np.testing.assert_allclose(fast, ref, rtol=1e-4, atol=1e-5)
+
+    def test_grad_check_runs_float64_under_float32_policy(self):
+        rng = np.random.default_rng(3)
+        with default_dtype("float32"):
+            x = Tensor(rng.normal(size=(2, 3, 6, 6)), requires_grad=True)
+            w = Tensor(rng.normal(size=(4, 3, 3, 3)) * 0.2, requires_grad=True)
+            assert x.dtype == np.float32
+            assert gradient_check(lambda x, w: conv2d(x, w, padding=1), [x, w])
+            # The check upcast its inputs; the ambient policy is intact.
+            assert x.dtype == np.float64
+            assert get_default_dtype() == np.float32
+
+    def test_matmul_bt_matches_transpose_matmul(self):
+        rng = np.random.default_rng(4)
+        a = Tensor(rng.normal(size=(2, 3, 4, 5)), requires_grad=True)
+        b = Tensor(rng.normal(size=(2, 3, 6, 5)), requires_grad=True)
+        fused = ops.matmul_bt(a, b)
+        legacy = ops.matmul(Tensor(a.data), Tensor(b.data).transpose((0, 1, 3, 2)))
+        np.testing.assert_array_equal(fused.data, legacy.data)
+        assert gradient_check(lambda a, b: ops.matmul_bt(a, b), [a, b])
+
+    def test_matmul_bt_rejects_vectors(self):
+        with pytest.raises(ValueError, match="ndim >= 2"):
+            ops.matmul_bt(Tensor(np.ones(3)), Tensor(np.ones((2, 3))))
+
+
+class TestWorkspaces:
+    def test_inference_conv_reuses_buffers(self):
+        rng = np.random.default_rng(5)
+        with default_dtype("float32"):
+            x = Tensor(rng.normal(size=(4, 3, 12, 12)))
+            w = Tensor(rng.normal(size=(8, 3, 3, 3)))
+            clear_workspaces()
+            with no_grad():
+                first = conv2d(x, w, padding=1)
+                census = workspace_stats()
+                second = conv2d(x, w, padding=1)
+            assert census["buffers"] > 0
+            assert workspace_stats() == census  # no new allocations
+            np.testing.assert_array_equal(first.data, second.data)
+            assert clear_workspaces() > 0
+            assert workspace_stats() == {"buffers": 0, "bytes": 0}
+
+    def test_pool_training_results_do_not_alias_workspaces(self):
+        rng = np.random.default_rng(6)
+        with default_dtype("float32"):
+            x = Tensor(rng.normal(size=(2, 3, 8, 8)), requires_grad=True)
+            out1 = max_pool2d(x, 2)
+            snapshot = out1.data.copy()
+            # A second pool of the same geometry reuses the unfold
+            # workspace; the first result must be unaffected.
+            max_pool2d(Tensor(rng.normal(size=(2, 3, 8, 8))), 2)
+            np.testing.assert_array_equal(out1.data, snapshot)
+            out1.sum().backward()
+            grad_snapshot = x.grad.copy()
+            y = Tensor(rng.normal(size=(2, 3, 8, 8)), requires_grad=True)
+            max_pool2d(y, 2).sum().backward()
+            np.testing.assert_array_equal(x.grad, grad_snapshot)
+
+    def test_workspace_pool_is_byte_bounded_lru(self, monkeypatch):
+        from repro.autograd import conv as conv_mod
+
+        clear_workspaces()
+        monkeypatch.setattr(conv_mod, "_MAX_WORKSPACE_BYTES", 4096)
+        # Each buffer is 1 KiB; the pool must hold the most recent four
+        # and evict oldest-first, never wholesale.
+        for index in range(8):
+            conv_mod._workspace(f"test{index}", (256,), np.float32)
+        census = workspace_stats()
+        assert census == {"buffers": 4, "bytes": 4096}
+        # Re-requesting a resident shape is a hit (no growth) and
+        # refreshes its LRU position.
+        resident = conv_mod._workspace("test7", (256,), np.float32)
+        assert workspace_stats() == census
+        assert conv_mod._workspace("test7", (256,), np.float32) is resident
+        # The oldest four are gone, the newest four are resident.
+        tags = {key[0] for key in conv_mod._WORKSPACES}
+        assert tags == {"test4", "test5", "test6", "test7"}
+        clear_workspaces()
+
+    def test_col2im_returns_fresh_arrays(self):
+        cols = np.arange(2 * 4 * 16, dtype=np.float32).reshape(2, 4, 16)
+        folded = col2im(cols, (2, 1, 8, 8), (2, 2), (2, 2), (0, 0))
+        assert not np.may_share_memory(folded, cols)
+        one_by_one = col2im(cols.reshape(2, 4, 16), (2, 4, 4, 4), (1, 1), (1, 1), (0, 0))
+        assert not np.may_share_memory(one_by_one, cols)
+
+    def test_im2col_out_buffer_roundtrip(self):
+        rng = np.random.default_rng(7)
+        x = rng.normal(size=(2, 3, 6, 6)).astype(np.float32)
+        out = np.empty((2, 3 * 4, 25), dtype=np.float32)
+        returned = im2col(x, (2, 2), (1, 1), (0, 0), out=out)
+        assert returned is out
+        np.testing.assert_array_equal(out, im2col(x, (2, 2), (1, 1), (0, 0)))
+
+
+#: Tiny workload shared by the engine-level dtype tests.
+TINY = dict(samples_per_class=4, test_samples_per_class=2, epochs=2, warmup_epochs=1)
+
+
+@register_scenario("_test/dtype_digits", description="2-task digit stream (dtype tests)")
+def _dtype_digits(profile, seed, **params):
+    stream = mnist_usps(
+        "mnist->usps", samples_per_class=4, test_samples_per_class=2, rng=seed
+    )
+    stream.tasks = stream.tasks[:2]
+    return stream
+
+
+def tiny_spec(method: str, dtype: str) -> RunSpec:
+    return RunSpec(
+        method=method,
+        scenario="_test/dtype_digits",
+        profile="smoke",
+        profile_overrides={**TINY, "dtype": dtype},
+    )
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "engine-cache"))
+
+
+class TestEngineThreading:
+    def test_cache_keys_differ_across_dtypes(self):
+        key32 = tiny_spec("FineTune", "float32").cache_key()
+        key64 = tiny_spec("FineTune", "float64").cache_key()
+        assert key32 != key64
+
+    def test_payload_records_dtype(self):
+        payload = tiny_spec("FineTune", "float64").cache_payload()
+        assert payload["profile"]["dtype"] == "float64"
+
+    @pytest.mark.parametrize("method", ["CDCL", "DER", "CDTrans-S", "TVT"])
+    @pytest.mark.parametrize("dtype", ["float32", "float64"])
+    def test_checkpoint_round_trips_dtype(self, method, dtype):
+        from repro.engine.runner import load_checkpoint, run_one
+
+        spec = tiny_spec(method, dtype)
+        run_one(spec, checkpoint=True)
+        loaded = load_checkpoint(spec)
+        arrays = loaded.checkpoint_arrays()
+        assert arrays, "method exposes no state"
+        for name, value in arrays.items():
+            if np.asarray(value).dtype.kind == "f":
+                assert np.asarray(value).dtype == np.dtype(dtype), name
+
+    def test_run_one_produces_dtype_tagged_cells(self):
+        from repro.engine.runner import run_one
+
+        cell32 = run_one(tiny_spec("FineTune", "float32"))
+        cell64 = run_one(tiny_spec("FineTune", "float64"))
+        assert not cell64.cached  # distinct cache identity from the float32 cell
+        for cell in (cell32, cell64):
+            assert cell.results, "continual run must produce scores"

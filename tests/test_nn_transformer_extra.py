@@ -53,8 +53,10 @@ class TestResidualStructure:
         encoder = TransformerEncoder(8, depth=0, num_heads=2, rng=rng)
         x = Tensor(rng.normal(size=(1, 4, 8)))
         out = encoder(x).data
-        # Output is the final LayerNorm of the input.
-        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-9)
+        # Output is the final LayerNorm of the input; the row means
+        # vanish up to rounding at the compute precision.
+        atol = 1e-9 if out.dtype == np.float64 else 1e-6
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=atol)
 
     def test_gradient_reaches_first_layer(self, rng):
         encoder = TransformerEncoder(8, depth=3, num_heads=2, rng=rng)

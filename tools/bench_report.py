@@ -62,6 +62,7 @@ def run_suite() -> tuple[int, dict]:
     # still wins for local experimentation.
     os.environ.setdefault("REPRO_PROFILE", "smoke")
 
+    from repro.autograd import get_default_dtype
     from repro.engine import cache
 
     cache.reset_session_counters()
@@ -77,6 +78,10 @@ def run_suite() -> tuple[int, dict]:
         "sha": _git_sha(),
         "python": sys.version.split()[0],
         "profile": os.environ.get("REPRO_PROFILE", "smoke"),
+        # Compute precision of the run (the policy already honors an
+        # exported REPRO_DTYPE at import).  Tagging it keeps BENCH_*.json
+        # trajectories comparable across the float32 transition.
+        "dtype": get_default_dtype().name,
         "cells": recorder.cells,
         "failed": recorder.failed,
         "total_seconds": round(total, 3),

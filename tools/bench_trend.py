@@ -77,6 +77,8 @@ def trend_rows(reports: list[dict], cell: str | None = None) -> list[dict]:
                 "sha": report.get("sha", "?"),
                 "python": report.get("python", "?"),
                 "profile": report.get("profile", "?"),
+                # Pre-policy reports carry no dtype; they ran at float64.
+                "dtype": report.get("dtype", "float64"),
                 "cells": len(cells),
                 "failed": len(report.get("failed", [])),
                 "seconds": total,
@@ -90,7 +92,17 @@ def trend_rows(reports: list[dict], cell: str | None = None) -> list[dict]:
     return rows
 
 
-_COLUMNS = ("sha", "python", "profile", "cells", "failed", "seconds", "delta", "hit_rate")
+_COLUMNS = (
+    "sha",
+    "python",
+    "profile",
+    "dtype",
+    "cells",
+    "failed",
+    "seconds",
+    "delta",
+    "hit_rate",
+)
 
 
 def _format(row: dict, column: str) -> str:
