@@ -14,13 +14,13 @@ Environment knobs:
 
 from __future__ import annotations
 
-import os
-
 import pytest
+
+from repro.util import env_flag
 
 
 def full_sweep() -> bool:
-    return os.environ.get("REPRO_FULL", "0") == "1"
+    return env_flag("REPRO_FULL")
 
 
 @pytest.fixture(scope="session")

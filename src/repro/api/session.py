@@ -234,6 +234,7 @@ class RunBuilder:
     eval_scenarios: tuple[str, ...] = DEFAULT_EVAL_SCENARIOS
     checkpointed: bool | None = None  # None -> session default
     cache_enabled: bool | None = None  # None -> session default
+    cluster: str | None = None  # None -> session executor
 
     # -- chain steps ----------------------------------------------------
     def on(self, scenario: str) -> "RunBuilder":
@@ -310,6 +311,18 @@ class RunBuilder:
         """Recompute every cell, bypassing the disk cache."""
         return replace(self, cache_enabled=False)
 
+    def on_cluster(self, address: str) -> "RunBuilder":
+        """Lease this run's cells to a cluster coordinator.
+
+        ``address`` is ``cluster://host:port`` (or bare ``host:port``);
+        the run then executes on whatever workers are attached to that
+        coordinator instead of this process's pool — overriding the
+        session's ``executor`` for this chain only.
+        """
+        from repro.cluster.protocol import format_address, parse_address
+
+        return replace(self, cluster=format_address(*parse_address(address)))
+
     # -- terminals ------------------------------------------------------
     def specs(self) -> list[RunSpec]:
         """The concrete engine cells this chain describes."""
@@ -345,7 +358,10 @@ class RunBuilder:
             self.session.checkpoint if self.checkpointed is None else self.checkpointed
         )
         results = self.session.execute(
-            specs, checkpoint=checkpointed, use_cache=self.cache_enabled
+            specs,
+            checkpoint=checkpointed,
+            use_cache=self.cache_enabled,
+            cluster=self.cluster,
         )
         return RunHandle(self.session, specs, results, checkpointed)
 
@@ -370,10 +386,16 @@ class Session:
         ``~/.cache/repro-engine``).
     jobs / use_cache / checkpoint / verbose:
         Executor defaults, overridable per call.
+    executor:
+        Where cells run: ``"local"`` (default — this process plus the
+        ``jobs`` pool) or ``"cluster://host:port"`` to lease every
+        cell to the named :mod:`repro.cluster` coordinator; the
+        builder's :meth:`RunBuilder.on_cluster` overrides it per run.
     on_event:
         Optional initial progress observer (see
         :class:`repro.api.events.ProgressEvent`); more can be added
-        with :meth:`subscribe`.
+        with :meth:`subscribe`.  Remote completions are reported
+        through the same events as local ones.
     """
 
     def __init__(
@@ -385,6 +407,7 @@ class Session:
         use_cache: bool = True,
         checkpoint: bool = False,
         verbose: bool = False,
+        executor: str = "local",
         on_event: ProgressCallback | None = None,
     ):
         self.profile = profile
@@ -393,9 +416,21 @@ class Session:
         self.use_cache = use_cache
         self.checkpoint = checkpoint
         self.verbose = verbose
+        self.executor = executor or "local"
+        if self.executor != "local":
+            # Fail at construction, not mid-sweep: anything that is not
+            # "local" must parse as a coordinator address.
+            from repro.cluster.protocol import format_address, parse_address
+
+            self.executor = format_address(*parse_address(self.executor))
         self.events = EventHub()
         if on_event is not None:
             self.events.subscribe(on_event)
+
+    @property
+    def cluster_address(self) -> str | None:
+        """The session's coordinator address, or None for local execution."""
+        return None if self.executor == "local" else self.executor
 
     def resolved_profile(self) -> ExperimentProfile:
         """The session profile as a materialized object."""
@@ -451,17 +486,25 @@ class Session:
         checkpoint: bool | None = None,
         use_cache: bool | None = None,
         jobs: int | None = None,
+        cluster: str | None = None,
     ) -> list[RunResult]:
-        """Run cells with session settings, emitting progress events."""
+        """Run cells with session settings, emitting progress events.
+
+        ``cluster`` (or the session's ``executor``) routes the cells
+        through a :mod:`repro.cluster` coordinator instead of the local
+        pool; observers receive the same ``cell-done`` events either
+        way.
+        """
         specs = list(specs)
         checkpoint = self.checkpoint if checkpoint is None else checkpoint
         use_cache = self.use_cache if use_cache is None else use_cache
         jobs = self.jobs if jobs is None else jobs
+        cluster = self.cluster_address if cluster is None else cluster
         total = len(specs)
         start = time.perf_counter()
         self.events.emit(ProgressEvent(kind="run-start", total=total))
         with self._activate():
-            if jobs <= 1:
+            if cluster is None and jobs <= 1:
                 results = []
                 for index, spec in enumerate(specs):
                     self.events.emit(
@@ -486,12 +529,16 @@ class Session:
                     )
                     results.append(result)
             else:
+                # One call covers both parallel backends: run_specs
+                # routes to the cluster client when `cluster` is set
+                # and to the local process pool otherwise.
                 results = run_specs(
                     specs,
                     jobs=jobs,
                     use_cache=use_cache,
                     checkpoint=checkpoint,
                     verbose=self.verbose,
+                    cluster=cluster,
                     progress=lambda index, spec, result: self.events.emit(
                         ProgressEvent(
                             kind="cell-done",
@@ -562,6 +609,7 @@ class Session:
                 checkpoint=checkpoint,
                 keep_runs=keep_runs,
                 verbose=self.verbose,
+                cluster=self.cluster_address,
                 progress=lambda index, cell_spec, cell: self.events.emit(
                     ProgressEvent(
                         kind="cell-done",
@@ -643,7 +691,9 @@ class Session:
             if isinstance(self.profile, ExperimentProfile)
             else self.profile or "<env>"
         )
+        executor = "" if self.executor == "local" else f", executor={self.executor!r}"
         return (
             f"Session(profile={profile!r}, jobs={self.jobs}, "
-            f"cache_dir={str(self.cache_dir) if self.cache_dir else '<default>'!r})"
+            f"cache_dir={str(self.cache_dir) if self.cache_dir else '<default>'!r}"
+            f"{executor})"
         )

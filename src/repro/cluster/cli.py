@@ -1,0 +1,131 @@
+"""CLI glue for ``repro-experiments cluster-coordinator`` / ``cluster-worker``.
+
+Mirrors :mod:`repro.serve.cli`: the cluster layer owns its command
+implementations and ``repro.experiments.__main__`` stays a thin
+argument parser.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+
+from repro.cluster.coordinator import Coordinator
+from repro.cluster.protocol import DEFAULT_PORT, format_address
+from repro.cluster.worker import ClusterWorker
+
+__all__ = [
+    "add_coordinator_arguments",
+    "add_worker_arguments",
+    "run_coordinator",
+    "run_worker",
+]
+
+
+def add_coordinator_arguments(parser) -> None:
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=DEFAULT_PORT, help="TCP port (0 picks a free one)"
+    )
+    parser.add_argument(
+        "--lease-timeout",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="how long a leased cell may go without a heartbeat before "
+        "it is requeued (dead-worker detection)",
+    )
+    parser.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        metavar="N",
+        help="give up on a cell after N leases (expiries + worker failures)",
+    )
+    parser.add_argument(
+        "--max-inflight",
+        type=int,
+        default=256,
+        metavar="N",
+        help="concurrent-request bound; excess requests are answered 'busy' "
+        "(0 disables the limit)",
+    )
+
+
+def add_worker_arguments(parser) -> None:
+    parser.add_argument(
+        "--coordinator",
+        default=f"127.0.0.1:{DEFAULT_PORT}",
+        metavar="ADDR",
+        help="coordinator endpoint (cluster://host:port or host:port)",
+    )
+    parser.add_argument(
+        "--name", default=None, help="worker label in coordinator stats"
+    )
+    parser.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="sleep between lease attempts while the queue is empty",
+    )
+    parser.add_argument(
+        "--max-cells",
+        type=int,
+        default=None,
+        metavar="N",
+        help="exit after executing N cells (default: run until shutdown)",
+    )
+
+
+def run_coordinator(args) -> int:
+    """Run a coordinator in the foreground until Ctrl-C or ``shutdown``."""
+    coordinator = Coordinator(
+        lease_timeout=args.lease_timeout,
+        max_attempts=args.max_attempts,
+        max_inflight=args.max_inflight,
+    )
+
+    async def main() -> None:
+        host, port = await coordinator.start(args.host, args.port)
+        print(f"cluster coordinator at {format_address(host, port)}")
+        print(
+            f"lease timeout {args.lease_timeout:g}s, "
+            f"max {args.max_attempts} attempts/cell; "
+            f"start workers with: repro-experiments cluster-worker "
+            f"--coordinator {host}:{port}"
+        )
+        print("Ctrl-C (or a client 'shutdown' op) stops the queue")
+        try:
+            await coordinator.serve_until_closed()
+        finally:
+            await coordinator.close()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    return 0
+
+
+def run_worker(args) -> int:
+    """Run one worker in the foreground until the coordinator drains."""
+    worker = ClusterWorker(
+        args.coordinator,
+        name=args.name,
+        poll_interval=args.poll_interval,
+        verbose=args.verbose,
+        log=print,
+    )
+    try:
+        executed = worker.run(max_cells=args.max_cells)
+    except KeyboardInterrupt:
+        print("\nworker interrupted")
+        return 0
+    except (ConnectionError, RuntimeError) as error:
+        # stderr + exit 2: the same contract as every other CLI error,
+        # so `... > cells.log 2> errors.log` separates data from faults.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(f"worker done: {executed} cell(s) executed, {worker.failed} failed")
+    return 0

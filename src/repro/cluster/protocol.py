@@ -1,0 +1,182 @@
+"""Wire format of the cluster: addresses, specs and results as JSON.
+
+The coordinator and its workers speak the same newline-framed JSON
+dialect as the serving layer (one object per line, both directions;
+the framing lives in :mod:`repro.netio`).  This module owns what goes
+*inside* the frames:
+
+* :func:`parse_address` — ``"cluster://host:port"`` (or a bare
+  ``"host:port"``) into a ``(host, port)`` pair.  The scheme-prefixed
+  form is what :class:`repro.api.Session` accepts as its ``executor``.
+* :func:`encode_spec` / :func:`decode_spec` — a
+  :class:`~repro.engine.runner.RunSpec` as a plain JSON object.  Specs
+  are *names into the registries* (method, scenario, profile), so the
+  wire form is small and human-readable, and both ends resolve it
+  against their own registry state.
+* :func:`encode_result` / :func:`decode_result` — a finished
+  :class:`~repro.engine.runner.RunResult` as base64-wrapped pickle
+  bytes.  Results carry NumPy accuracy matrices; pickling is the one
+  encoding that round-trips them *bitwise*, which the determinism
+  contract (cluster == serial, cell for cell) depends on.  Pickle
+  implies trust: a cluster's coordinator and workers must only accept
+  connections from machines you control — the same assumption every
+  shared-filesystem cache deployment already makes, since cache
+  entries are pickles too.
+
+Every message carries an ``op`` field; the coordinator's op set is
+documented in :mod:`repro.cluster.coordinator`.
+"""
+
+from __future__ import annotations
+
+import base64
+import pickle
+
+from repro.engine import cache
+from repro.engine.runner import RunResult, RunSpec
+
+__all__ = [
+    "DEFAULT_PORT",
+    "parse_address",
+    "format_address",
+    "encode_spec",
+    "decode_spec",
+    "encode_result",
+    "decode_result",
+    "persist_result",
+]
+
+#: Default coordinator port (the serving layer claims 7071).
+DEFAULT_PORT = 7070
+
+_SCHEME = "cluster://"
+
+
+def parse_address(address: str) -> tuple[str, int]:
+    """``"cluster://host:port"`` / ``"host:port"`` / ``"host"`` -> (host, port)."""
+    if not isinstance(address, str) or not address.strip():
+        raise ValueError(f"invalid cluster address {address!r}")
+    text = address.strip()
+    if text.startswith(_SCHEME):
+        text = text[len(_SCHEME):]
+    if "://" in text:
+        scheme = address.split("://", 1)[0]
+        raise ValueError(
+            f"unsupported executor scheme {scheme!r}; expected cluster://host:port"
+        )
+    if text.startswith("["):
+        # RFC 3986 bracketed IPv6 literal: [::1] or [::1]:7070.
+        host, sep, rest = text[1:].partition("]")
+        if not sep or (rest and not rest.startswith(":")):
+            raise ValueError(f"malformed bracketed host in cluster address {address!r}")
+        port_text = rest[1:]
+    else:
+        host, sep, port_text = text.rpartition(":")
+        if not sep:
+            host, port_text = text, ""
+        if ":" in host:
+            raise ValueError(
+                f"ambiguous IPv6 address {address!r}; bracket the host: [host]:port"
+            )
+    if not host:
+        raise ValueError(f"missing host in cluster address {address!r}")
+    if not port_text:
+        return host, DEFAULT_PORT
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(
+            f"invalid port {port_text!r} in cluster address {address!r}"
+        ) from None
+    if not 0 <= port <= 65535:
+        raise ValueError(f"port {port} out of range in cluster address {address!r}")
+    return host, port
+
+
+def format_address(host: str, port: int) -> str:
+    """The canonical ``cluster://host:port`` form of an endpoint."""
+    return f"{_SCHEME}{host}:{port}"
+
+
+def encode_spec(spec: RunSpec) -> dict:
+    """A :class:`RunSpec` as a plain JSON object (registry names + params).
+
+    The compute dtype is *pinned* into the wire form: profile
+    resolution injects ``REPRO_DTYPE`` from the resolving process's
+    environment, so a spec shipped as bare names would train at the
+    **worker's** precision while being cached under the **client's**
+    dtype-keyed cache key — poisoning the store and breaking the
+    bitwise contract.  Sending the client-resolved dtype as an
+    explicit override makes the cell's precision (and therefore its
+    key) identical on every machine, whatever their environments say.
+    """
+    profile_overrides = dict(spec.profile_overrides)
+    profile_overrides.setdefault("dtype", spec.resolved_profile().dtype)
+    return {
+        "method": spec.method,
+        "scenario": spec.scenario,
+        "profile": spec.profile,
+        "seed": spec.seed,
+        "eval_scenarios": list(spec.eval_scenarios),
+        "profile_overrides": profile_overrides,
+        "method_overrides": dict(spec.method_overrides),
+        "scenario_params": dict(spec.scenario_params),
+    }
+
+
+def decode_spec(payload: dict) -> RunSpec:
+    """Rebuild a :class:`RunSpec` from its wire form.
+
+    The receiving process resolves the names against *its* registries,
+    so coordinator and workers must agree on the registered methods and
+    scenarios — which the cache-key check downstream enforces anyway
+    (a drifted registry produces a different key and a loud miss).
+    """
+    return RunSpec(
+        method=payload["method"],
+        scenario=payload["scenario"],
+        profile=payload.get("profile", "scaled"),
+        seed=int(payload.get("seed", 0)),
+        eval_scenarios=tuple(payload.get("eval_scenarios") or ("til", "cil")),
+        profile_overrides=dict(payload.get("profile_overrides") or {}),
+        method_overrides=dict(payload.get("method_overrides") or {}),
+        scenario_params=dict(payload.get("scenario_params") or {}),
+    )
+
+
+def persist_result(spec: RunSpec, key: str | None, result: RunResult) -> None:
+    """Write a wire-delivered result into the local disk cache, once.
+
+    The single copy of the persistence step both ends of the wire run —
+    the coordinator on ``complete``, the client on delivery — so the
+    stored entry (and its manifest meta) can never drift between them.
+    No-op when caching is off, the key is unknown, or the entry already
+    exists (a worker on a shared filesystem wrote it first).
+    """
+    if key is None or not cache.cache_enabled() or cache.contains(key):
+        return
+    cache.store(
+        key,
+        result,
+        meta={
+            "method": spec.method,
+            "scenario": spec.scenario,
+            "profile": spec.profile,
+            "seed": spec.seed,
+        },
+    )
+
+
+def encode_result(result: RunResult) -> str:
+    """A finished :class:`RunResult` as base64 pickle text (bit-exact)."""
+    return base64.b64encode(
+        pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+    ).decode("ascii")
+
+
+def decode_result(text: str) -> RunResult:
+    """Inverse of :func:`encode_result` (trusted peers only — see module doc)."""
+    result = pickle.loads(base64.b64decode(text.encode("ascii")))
+    if not isinstance(result, RunResult):
+        raise TypeError(f"decoded object is {type(result).__name__}, not RunResult")
+    return result

@@ -57,6 +57,7 @@ __all__ = [
     "cache_enabled",
     "cache_key",
     "checkpoint_path",
+    "contains",
     "load",
     "store",
     "clear",
@@ -166,6 +167,16 @@ def _meta_path_for(key: str) -> Path:
 def checkpoint_path(key: str) -> Path:
     """Where a cell's trained-model checkpoint lives (may not exist)."""
     return cache_dir() / f"{key}.ckpt.npz"
+
+
+def contains(key: str) -> bool:
+    """True when a result entry for ``key`` is on disk.
+
+    A pure existence probe: no unpickle, no LRU touch, no traffic
+    counter — the check the cluster layer uses to decide whether a
+    wire-delivered result still needs persisting.
+    """
+    return _path_for(key).exists()
 
 
 def load(key: str) -> Any | None:

@@ -31,6 +31,7 @@ __all__ = [
     "MultiSeedResult",
     "derive_seeds",
     "map_jobs",
+    "resolve_cache_hits",
     "run_specs",
     "run_seed_sweep",
 ]
@@ -145,6 +146,39 @@ def _run_spec_job(args) -> RunResult:
     return run_one(spec, use_cache=use_cache, checkpoint=checkpoint, verbose=verbose)
 
 
+def resolve_cache_hits(
+    specs, *, use_cache: bool = True, checkpoint: bool = False, progress=None
+) -> tuple[list[RunResult | None], list[tuple[int, RunSpec]]]:
+    """Resolve cells already on disk before dispatching the rest.
+
+    The one copy of the executor's hit rule, shared by the local pool
+    and the cluster client (so the two backends can never drift):
+    a disk read is far cheaper than shipping the spec anywhere, and —
+    same rule as :func:`~repro.engine.runner.run_one` — a
+    required-but-missing checkpoint means the cell must re-run, so
+    the stale result's read is skipped entirely.  Returns ``(results,
+    pending)``: a full-length list with hits filled in (``None``
+    placeholders elsewhere) and the ``(index, spec)`` pairs still to
+    execute.  ``progress(index, spec, hit)`` fires per hit.
+    """
+    specs = list(specs)
+    results: list[RunResult | None] = [None] * len(specs)
+    pending: list[tuple[int, RunSpec]] = []
+    for index, spec in enumerate(specs):
+        if use_cache and cache.cache_enabled():
+            key = spec.cache_key()
+            if not checkpoint or cache.checkpoint_path(key).exists():
+                hit = cache.load(key)
+                if isinstance(hit, RunResult):
+                    hit.cached = True
+                    results[index] = hit
+                    if progress is not None:
+                        progress(index, spec, hit)
+                    continue
+        pending.append((index, spec))
+    return results, pending
+
+
 def run_specs(
     specs,
     *,
@@ -153,6 +187,7 @@ def run_specs(
     checkpoint: bool = False,
     verbose: bool = False,
     progress=None,
+    cluster: str | None = None,
 ) -> list[RunResult]:
     """Execute many cells, fanning uncached work over ``jobs`` processes.
 
@@ -166,8 +201,24 @@ def run_specs(
     cell's result becomes available (hits immediately, computed cells
     as the pool yields them) — the hook :class:`repro.api.Session`
     turns into its progress events.
+
+    ``cluster`` (a ``cluster://host:port`` coordinator address) swaps
+    the local process pool for the queue-backed remote worker pool of
+    :mod:`repro.cluster`: same cells, same cache short-circuit, same
+    progress reporting, results in input order — ``jobs`` is ignored
+    because parallelism is then however many workers are attached.
     """
     specs = list(specs)
+    if cluster is not None:
+        from repro.cluster.client import run_specs_via_cluster
+
+        return run_specs_via_cluster(
+            specs,
+            cluster,
+            use_cache=use_cache,
+            checkpoint=checkpoint,
+            progress=progress,
+        )
     if jobs <= 1:
         results = []
         for index, spec in enumerate(specs):
@@ -178,22 +229,9 @@ def run_specs(
                 progress(index, spec, result)
             results.append(result)
         return results
-    results: list[RunResult | None] = [None] * len(specs)
-    pending: list[tuple[int, RunSpec]] = []
-    for index, spec in enumerate(specs):
-        if use_cache and cache.cache_enabled():
-            key = spec.cache_key()
-            # Same rule as run_one: a required-but-missing checkpoint
-            # means the cell retrains, so don't count a discarded read.
-            if not checkpoint or cache.checkpoint_path(key).exists():
-                hit = cache.load(key)
-                if isinstance(hit, RunResult):
-                    hit.cached = True
-                    results[index] = hit
-                    if progress is not None:
-                        progress(index, spec, hit)
-                    continue
-        pending.append((index, spec))
+    results, pending = resolve_cache_hits(
+        specs, use_cache=use_cache, checkpoint=checkpoint, progress=progress
+    )
     if pending:
 
         def _on_result(position, _args, result):
@@ -222,12 +260,14 @@ def run_seed_sweep(
     keep_runs: bool = False,
     verbose: bool = False,
     progress=None,
+    cluster: str | None = None,
 ) -> MultiSeedResult:
     """Repeat one cell across seeds and aggregate mean/std statistics.
 
     The engine-level replacement for the old serial loop in
     ``experiments/multiseed.py``: each seed is an independent cached
-    cell, executed ``jobs`` at a time.
+    cell, executed ``jobs`` at a time — or leased out to the remote
+    worker pool when ``cluster`` names a coordinator.
     """
     seeds = tuple(int(s) for s in seeds)
     if not seeds:
@@ -239,6 +279,7 @@ def run_seed_sweep(
         checkpoint=checkpoint,
         verbose=verbose,
         progress=progress,
+        cluster=cluster,
     )
     scenarios = [Scenario.parse(s) for s in spec.eval_scenarios]
     result = MultiSeedResult(

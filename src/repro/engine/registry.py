@@ -343,6 +343,44 @@ def _register_builtin_scenarios() -> None:
             )
         )
 
+    # Paper-scale DomainNet: the real Table III geometry — 345 classes
+    # in 15 tasks of 23 — for every ordered domain pair.  One cell is
+    # hours of CPU, so these exist to be *distributed* (the cluster
+    # executor) and are gated behind REPRO_FULL so a mistyped scenario
+    # name can never silently start an overnight run.
+    def _full_runs_enabled() -> bool:
+        from repro.util import env_flag
+
+        return env_flag("REPRO_FULL")
+
+    for source, target in permutations(DOMAINNET_DOMAINS, 2):
+        def domainnet_full_factory(profile, seed, _s=source, _t=target, **params):
+            from repro.data.synthetic import domainnet
+
+            if not _full_runs_enabled():
+                raise ValueError(
+                    f"scenario 'domainnet_full/{_s}->{_t}' is paper-scale "
+                    "(345 classes, 15 tasks x 23); set REPRO_FULL=1 to build "
+                    "it — in the environment of every process that builds "
+                    "the stream, including each cluster worker — or use the "
+                    "scaled 'domainnet/...' variant"
+                )
+            merged = sized(profile)
+            merged.update(params)
+            return domainnet(_s, _t, rng=seed, **merged)
+
+        SCENARIOS.register(
+            ScenarioSpec(
+                f"domainnet_full/{source}->{target}",
+                domainnet_full_factory,
+                description=(
+                    f"DomainNet {source}->{target} paper-scale: 345 classes, "
+                    "15 tasks x 23 (requires REPRO_FULL=1)"
+                ),
+                default_params=(("classes_per_task", 23), ("num_classes", 345)),
+            )
+        )
+
     def dil_factory(profile, seed, **params):
         return office_home_dil(rng=seed, **{**sized(profile), **params})
 

@@ -20,6 +20,10 @@ Usage::
     python -m repro.experiments serve --method CDCL \
         --scenario "digits/mnist->usps" --train-missing
     python -m repro.experiments predict --port 7071 --sample 16
+    python -m repro.experiments cluster-coordinator --port 7070
+    python -m repro.experiments cluster-worker --coordinator host:7070
+    python -m repro.experiments multiseed --seeds 0 1 2 3 \
+        --cluster cluster://host:7070
     python -m repro.experiments --version
 
 Prints the requested artifact in the paper's layout.  Every run flows
@@ -57,6 +61,12 @@ from repro.experiments import (
     run_table4,
 )
 from repro.experiments.reporting import multiseed_markdown
+from repro.cluster.cli import (
+    add_coordinator_arguments,
+    add_worker_arguments,
+    run_coordinator,
+    run_worker,
+)
 from repro.serve.cli import (
     add_predict_arguments,
     add_serve_arguments,
@@ -107,6 +117,13 @@ def main(argv: list[str] | None = None) -> int:
         help="persist each cell's trained model next to its cached metrics "
         "(serve it later, or reload with Session.load_model)",
     )
+    parser.add_argument(
+        "--cluster",
+        default=None,
+        metavar="ADDR",
+        help="run cells on a cluster coordinator (cluster://host:port) "
+        "instead of local worker processes",
+    )
     sub = parser.add_subparsers(dest="artifact", required=True)
 
     p1 = sub.add_parser("table1", help="Office-31 / digits / VisDA")
@@ -124,6 +141,15 @@ def main(argv: list[str] | None = None) -> int:
         "--scenario", default="digits/mnist->usps", help="registered scenario name"
     )
     pm.add_argument("--seeds", nargs="*", type=int, default=(0, 1, 2))
+    pm.add_argument(
+        "--cluster",
+        # SUPPRESS: an omitted subcommand flag must not clobber the
+        # value the global --cluster flag already parsed.
+        default=argparse.SUPPRESS,
+        metavar="ADDR",
+        dest="cluster",
+        help="coordinator address (same as the global --cluster flag)",
+    )
 
     sub.add_parser("list-methods", help="every registered continual method")
     sub.add_parser("list-scenarios", help="every registered benchmark scenario")
@@ -166,10 +192,26 @@ def main(argv: list[str] | None = None) -> int:
     )
     add_predict_arguments(ppredict)
 
+    pcoord = sub.add_parser(
+        "cluster-coordinator",
+        help="work queue leasing RunSpec cells to TCP workers",
+    )
+    add_coordinator_arguments(pcoord)
+
+    pworker = sub.add_parser(
+        "cluster-worker",
+        help="lease and execute cells from a cluster coordinator",
+    )
+    add_worker_arguments(pworker)
+
     args = parser.parse_args(argv)
 
     if args.artifact.startswith("cache-"):
         return _run_cache_command(args)
+    if args.artifact == "cluster-coordinator":
+        return run_coordinator(args)
+    if args.artifact == "cluster-worker":
+        return run_worker(args)
 
     try:
         _validate_names(args)
@@ -225,14 +267,22 @@ def _run(args: argparse.Namespace) -> int:
         )
         return 2
     # One Session owns everything the run needs; every artifact below
-    # (and the serving layer) flows through it.
-    session = Session(
-        profile=profile,
-        jobs=args.jobs,
-        use_cache=use_cache,
-        checkpoint=args.checkpoint,
-        verbose=args.verbose,
-    )
+    # (and the serving layer) flows through it.  --cluster swaps the
+    # local process pool for a coordinator's remote worker pool.
+    try:
+        session = Session(
+            profile=profile,
+            jobs=args.jobs,
+            use_cache=use_cache,
+            checkpoint=args.checkpoint,
+            verbose=args.verbose,
+            executor=getattr(args, "cluster", None) or "local",
+        )
+    except ValueError as error:
+        # A malformed --cluster address: same tidy contract as unknown
+        # method/scenario names — message and exit 2, not a traceback.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
     if args.artifact == "serve":
         return run_serve(args, session)

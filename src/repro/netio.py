@@ -1,0 +1,246 @@
+"""Shared TCP plumbing for the serving and cluster layers.
+
+Both network front-ends in this library — the inference server
+(:mod:`repro.serve.net`) and the cluster coordinator
+(:mod:`repro.cluster.coordinator`) — speak the same wire dialect: one
+UTF-8 JSON object per line, newline framed, both directions, over a
+plain TCP stream.  This module is the single copy of that dialect plus
+the request-hardening primitives the two servers share:
+
+* framing — :func:`send_message` / :func:`read_message` for asyncio
+  streams, and a blocking :func:`call` (plain sockets, no event loop)
+  for synchronous clients like the cluster worker;
+* one-shot round trips — :func:`request_async` / :func:`request` open
+  a fresh connection, send one object, read one object, close;
+* :class:`InflightGate` — a non-blocking concurrency bound.  A server
+  that is already at its limit answers ``{"ok": false, "error":
+  "busy"}`` (:data:`BUSY`) instead of queueing without bound, so an
+  overloaded process sheds load visibly rather than accumulating
+  latency until clients time out anyway.
+
+Everything is stdlib only (asyncio + socket + json).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+
+__all__ = [
+    "STREAM_LIMIT",
+    "BUSY",
+    "InflightGate",
+    "send_message",
+    "read_message",
+    "serve_connection",
+    "shed_exempt_ops",
+    "request_async",
+    "request",
+    "call",
+]
+
+#: Newline-framed JSON with array payloads easily exceeds asyncio's
+#: 64 KiB default stream limit; 64 MiB comfortably fits paper-scale
+#: batches (a 256x3x224x224 float batch serializes under 40 MiB).
+STREAM_LIMIT = 64 * 1024 * 1024
+
+#: The canonical load-shedding answer, shared by every server.
+BUSY = {"ok": False, "error": "busy"}
+
+
+class InflightGate:
+    """A non-blocking bound on concurrent requests.
+
+    ``try_acquire`` either admits the request or refuses immediately —
+    there is deliberately no waiting path, because a bounded server
+    must *answer* (busy) under overload, not silently queue.  A
+    ``limit`` of ``None`` or ``0`` disables the bound (the gate still
+    counts traffic).  Single-threaded by design: both servers run their
+    handlers on one asyncio loop, so plain counters are race-free.
+    """
+
+    def __init__(self, limit: int | None = None):
+        if limit is not None and limit < 0:
+            raise ValueError("inflight limit must be >= 0 (0/None disables it)")
+        self.limit = limit or None
+        self.inflight = 0
+        self.peak = 0
+        self.admitted = 0
+        self.rejected = 0
+
+    @property
+    def saturated(self) -> bool:
+        """True when the next ``try_acquire`` would reject."""
+        return self.limit is not None and self.inflight >= self.limit
+
+    def try_acquire(self) -> bool:
+        if self.saturated:
+            self.rejected += 1
+            return False
+        self.inflight += 1
+        self.admitted += 1
+        self.peak = max(self.peak, self.inflight)
+        return True
+
+    def release(self) -> None:
+        if self.inflight <= 0:
+            raise RuntimeError("release() without a matching try_acquire()")
+        self.inflight -= 1
+
+    def stats(self) -> dict:
+        return {
+            "inflight": self.inflight,
+            "limit": self.limit,
+            "peak": self.peak,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+        }
+
+
+# ----------------------------------------------------------------------
+# Asyncio framing
+# ----------------------------------------------------------------------
+async def send_message(writer: asyncio.StreamWriter, payload: dict) -> None:
+    """Write one framed JSON object and flush it."""
+    writer.write(json.dumps(payload).encode() + b"\n")
+    await writer.drain()
+
+
+async def read_message(reader: asyncio.StreamReader) -> dict | None:
+    """Read one framed JSON object; ``None`` on a clean EOF."""
+    line = await reader.readline()
+    if not line:
+        return None
+    return json.loads(line)
+
+
+#: Requests longer than this are never considered for shed exemption —
+#: sniffing an op out of a 40 MiB predict line would defeat the O(1)
+#: admission the gate exists to provide.
+_SHED_EXEMPT_MAX_LINE = 1024
+
+
+def shed_exempt_ops(*ops: str):
+    """A shed-exemption predicate for cheap read-only ops.
+
+    Servers pass the result as ``serve_connection``'s ``shed_exempt``
+    so observability requests (``stats`` / ``info`` / ``ping``) still
+    answer while every inflight slot is held by slow work — the ops an
+    operator needs precisely when the server is saturated.  Only tiny
+    lines are sniffed, so heavyweight payloads keep O(1) shedding.
+    """
+    wanted = frozenset(ops)
+
+    def exempt(line: bytes) -> bool:
+        if len(line) > _SHED_EXEMPT_MAX_LINE:
+            return False
+        try:
+            return json.loads(line).get("op") in wanted
+        except ValueError:
+            return False
+
+    return exempt
+
+
+async def serve_connection(
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    dispatch,
+    *,
+    gate: InflightGate | None = None,
+    request_timeout: float | None = None,
+    on_timeout=None,
+    shed_exempt=None,
+) -> None:
+    """The per-connection loop both servers run (one copy, no drift).
+
+    For each framed line: admission through ``gate`` (answer
+    :data:`BUSY` in O(1) at the bound, before any parsing), then
+    ``await dispatch(line)`` bounded by ``request_timeout`` (a timeout
+    answers an error, calls ``on_timeout`` and frees the slot), then
+    the framed response.  ``dispatch`` takes the raw line (bytes) and
+    must return a JSON-safe dict — protocol errors are its job to turn
+    into ``{"ok": false, ...}`` answers; only transport-level
+    disconnects are swallowed here.  ``shed_exempt(line)`` (see
+    :func:`shed_exempt_ops`) lets cheap observability requests through
+    a saturated gate without occupying a slot.
+    """
+    try:
+        while True:
+            line = await reader.readline()
+            if not line:
+                break
+            if gate is not None and gate.saturated and (
+                shed_exempt is not None and shed_exempt(line)
+            ):
+                # Exempt op on a full gate: dispatch without a slot and
+                # without counting a rejection — `rejected` keeps
+                # meaning "requests actually answered busy".
+                admitted, dispatchable = False, True
+            else:
+                admitted = dispatchable = gate is None or gate.try_acquire()
+            if not dispatchable:
+                response = dict(BUSY)
+            else:
+                try:
+                    response = await asyncio.wait_for(dispatch(line), request_timeout)
+                except asyncio.TimeoutError:
+                    if on_timeout is not None:
+                        on_timeout()
+                    response = {
+                        "ok": False,
+                        "error": f"timeout after {request_timeout:g}s",
+                    }
+                finally:
+                    if admitted and gate is not None:
+                        gate.release()
+            writer.write(json.dumps(response).encode() + b"\n")
+            await writer.drain()
+    except (ConnectionResetError, asyncio.IncompleteReadError):
+        pass  # a torn peer must not kill the server
+    finally:
+        writer.close()
+
+
+async def request_async(
+    host: str, port: int, payload: dict, *, timeout: float | None = None
+) -> dict:
+    """One request/response round-trip on a fresh connection."""
+
+    async def round_trip() -> dict:
+        reader, writer = await asyncio.open_connection(host, port, limit=STREAM_LIMIT)
+        try:
+            await send_message(writer, payload)
+            response = await read_message(reader)
+            if response is None:
+                raise ConnectionError("server closed the connection without answering")
+            return response
+        finally:
+            writer.close()
+
+    if timeout is None:
+        return await round_trip()
+    return await asyncio.wait_for(round_trip(), timeout)
+
+
+def request(host: str, port: int, payload: dict, *, timeout: float | None = None) -> dict:
+    """Synchronous convenience wrapper around :func:`request_async`."""
+    return asyncio.run(request_async(host, port, payload, timeout=timeout))
+
+
+def call(host: str, port: int, payload: dict, *, timeout: float | None = None) -> dict:
+    """Blocking one-shot round trip over a plain socket (no event loop).
+
+    The cluster worker and client run synchronous loops in plain
+    threads; spinning an event loop per heartbeat would be pure
+    overhead, so they use this instead of :func:`request`.  ``timeout``
+    bounds each socket operation (connect / send / read), not the sum.
+    """
+    with socket.create_connection((host, port), timeout=timeout) as conn:
+        conn.sendall(json.dumps(payload).encode() + b"\n")
+        with conn.makefile("rb") as stream:
+            line = stream.readline()
+    if not line:
+        raise ConnectionError("server closed the connection without answering")
+    return json.loads(line)

@@ -46,6 +46,21 @@ def add_serve_arguments(parser) -> None:
         "--pool-capacity", type=int, default=4, help="resident-model LRU size"
     )
     parser.add_argument(
+        "--max-inflight",
+        type=int,
+        default=64,
+        metavar="N",
+        help="concurrent-request bound; excess requests are answered "
+        "{\"ok\": false, \"error\": \"busy\"} (0 disables the limit)",
+    )
+    parser.add_argument(
+        "--request-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="per-request handling deadline before a timeout error is returned",
+    )
+    parser.add_argument(
         "--train-missing",
         action="store_true",
         help="train + checkpoint the cell first when no checkpoint exists",
@@ -93,7 +108,12 @@ def run_serve(args, session) -> int:
         max_batch=args.max_batch,
         max_delay_ms=args.max_delay_ms,
     )
-    app = ServeApp(service, spec)
+    app = ServeApp(
+        service,
+        spec,
+        max_inflight=args.max_inflight,
+        request_timeout=args.request_timeout,
+    )
 
     async def _serve() -> None:
         host, port = await app.start(args.host, args.port)
@@ -106,7 +126,9 @@ def run_serve(args, session) -> int:
         )
         print(
             f"micro-batching: up to {args.max_batch} samples / "
-            f"{args.max_delay_ms:g} ms window; Ctrl-C to stop"
+            f"{args.max_delay_ms:g} ms window; at most {args.max_inflight or 'unbounded'}"
+            f" inflight requests, {args.request_timeout:g}s per-request deadline; "
+            "Ctrl-C to stop"
         )
         try:
             await app.serve_forever()

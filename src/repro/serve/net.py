@@ -1,7 +1,8 @@
 """A minimal TCP front-end for the inference service.
 
 Wire protocol: one JSON object per line, both directions (newline
-framed, UTF-8).  Requests carry an ``op``:
+framed, UTF-8; the framing lives in :mod:`repro.netio`, shared with
+the cluster coordinator).  Requests carry an ``op``:
 
 * ``{"op": "predict", "images": <nested list>, "task_id": 0,
   "scenario": "til"}`` — ``images`` is one (C, H, W) sample or an
@@ -12,11 +13,25 @@ framed, UTF-8).  Requests carry an ``op``:
 * ``{"op": "info"}`` — the served cell (method / scenario / profile /
   seed, tasks seen, library version).
 * ``{"op": "stats"}`` — live service statistics (requests, batches,
-  mean batch size, pool traffic).
+  mean batch size, pool traffic, transport gate counters).
 
 Any failure answers ``{"ok": false, "error": "..."}`` and keeps the
 connection open.  Stdlib asyncio only — no HTTP framework — because
 the point is the batching engine, not the transport.
+
+Hardening: the app can be bounded on both axes.  ``max_inflight``
+caps concurrently-handled requests across all connections — request
+``max_inflight + 1`` is answered ``{"ok": false, "error": "busy"}``
+immediately instead of queueing without bound, so an overloaded
+server sheds load visibly (clients can back off or fail over) rather
+than accumulating latency until everyone times out.  ``request_timeout``
+bounds each request's handling; a stuck forward answers ``{"ok":
+false, "error": "timeout after Ns"}`` and frees its inflight slot.
+Both default to *unbounded* at the constructor (embedding callers
+keep the historical contract — a paper-scale CPU batch may genuinely
+take minutes); the ``serve`` CLI turns them on with production
+defaults (64 inflight / 30 s).  The plumbing is the same
+:class:`repro.netio.InflightGate` loop the cluster coordinator runs.
 """
 
 from __future__ import annotations
@@ -26,13 +41,10 @@ import json
 
 import numpy as np
 
+from repro import netio
+from repro.netio import request, request_async  # re-exported (public API)
 from repro.engine.runner import RunSpec
 from repro.serve.service import CheckpointUnavailable, InferenceService
-
-#: Newline-framed JSON with image payloads easily exceeds asyncio's
-#: 64 KiB default stream limit; 64 MiB comfortably fits paper-scale
-#: batches (a 256x3x224x224 float batch serializes under 40 MiB).
-_STREAM_LIMIT = 64 * 1024 * 1024
 
 __all__ = ["ServeApp", "request", "request_async"]
 
@@ -40,10 +52,20 @@ __all__ = ["ServeApp", "request", "request_async"]
 class ServeApp:
     """One served cell: a spec, its service, and the TCP endpoint."""
 
-    def __init__(self, service: InferenceService, spec: RunSpec):
+    def __init__(
+        self,
+        service: InferenceService,
+        spec: RunSpec,
+        *,
+        max_inflight: int | None = None,
+        request_timeout: float | None = None,
+    ):
         self.service = service
         self.spec = spec
         self.server: asyncio.AbstractServer | None = None
+        self.gate = netio.InflightGate(max_inflight)
+        self.request_timeout = request_timeout
+        self.timeouts = 0
 
     # ------------------------------------------------------------------
     async def start(self, host: str = "127.0.0.1", port: int = 0) -> tuple[str, int]:
@@ -52,7 +74,7 @@ class ServeApp:
         # missing checkpoint fails at startup, not on the first request.
         self.service.pool.get(self.spec)
         self.server = await asyncio.start_server(
-            self._handle, host, port, limit=_STREAM_LIMIT
+            self._handle, host, port, limit=netio.STREAM_LIMIT
         )
         sockname = self.server.sockets[0].getsockname()
         return sockname[0], sockname[1]
@@ -70,18 +92,20 @@ class ServeApp:
 
     # ------------------------------------------------------------------
     async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
-        try:
-            while True:
-                line = await reader.readline()
-                if not line:
-                    break
-                response = await self._dispatch(line)
-                writer.write(json.dumps(response).encode() + b"\n")
-                await writer.drain()
-        except (ConnectionResetError, asyncio.IncompleteReadError):
-            pass
-        finally:
-            writer.close()
+        def count_timeout() -> None:
+            self.timeouts += 1
+
+        await netio.serve_connection(
+            reader,
+            writer,
+            self._dispatch,
+            gate=self.gate,
+            request_timeout=self.request_timeout,
+            on_timeout=count_timeout,
+            # A saturated server must stay observable: stats/info are
+            # cheap reads and answer even when every slot is held.
+            shed_exempt=netio.shed_exempt_ops("stats", "info"),
+        )
 
     async def _dispatch(self, line: bytes) -> dict:
         try:
@@ -92,12 +116,23 @@ class ServeApp:
             if op == "info":
                 return self._info()
             if op == "stats":
-                return {"ok": True, "stats": self.service.stats()}
+                return {
+                    "ok": True,
+                    "stats": {**self.service.stats(), "transport": self.transport_stats()},
+                }
             return {"ok": False, "error": f"unknown op {op!r}"}
         except CheckpointUnavailable as error:
             return {"ok": False, "error": f"checkpoint unavailable: {error}"}
         except Exception as error:  # protocol errors must not kill the server
             return {"ok": False, "error": f"{type(error).__name__}: {error}"}
+
+    def transport_stats(self) -> dict:
+        """Gate counters + timeout count (the hardening observables)."""
+        return {
+            **self.gate.stats(),
+            "timeouts": self.timeouts,
+            "request_timeout": self.request_timeout,
+        }
 
     async def _predict(self, payload: dict) -> dict:
         # Parse at the JSON wire precision; the service casts to the
@@ -134,25 +169,3 @@ class ServeApp:
             },
             "version": __version__,
         }
-
-
-# ----------------------------------------------------------------------
-# Client side
-# ----------------------------------------------------------------------
-async def request_async(host: str, port: int, payload: dict) -> dict:
-    """One request/response round-trip on a fresh connection."""
-    reader, writer = await asyncio.open_connection(host, port, limit=_STREAM_LIMIT)
-    try:
-        writer.write(json.dumps(payload).encode() + b"\n")
-        await writer.drain()
-        line = await reader.readline()
-        if not line:
-            raise ConnectionError("server closed the connection without answering")
-        return json.loads(line)
-    finally:
-        writer.close()
-
-
-def request(host: str, port: int, payload: dict) -> dict:
-    """Synchronous convenience wrapper around :func:`request_async`."""
-    return asyncio.run(request_async(host, port, payload))

@@ -10,7 +10,22 @@ every layer may use it.
 
 from __future__ import annotations
 
-__all__ = ["parse_size", "format_bytes"]
+import os
+
+__all__ = ["env_flag", "parse_size", "format_bytes"]
+
+
+def env_flag(name: str) -> bool:
+    """True when environment variable ``name`` is set to a truthy value.
+
+    One parse for every on/off knob (``REPRO_FULL`` today): unset,
+    empty, ``0``, ``false``, ``no`` and ``off`` (any case) are off,
+    anything else is on — so ``REPRO_FULL=true`` and ``REPRO_FULL=1``
+    cannot disagree between two gates reading the same switch.
+    """
+    return os.environ.get(name, "").strip().lower() not in (
+        "", "0", "false", "no", "off",
+    )
 
 _SIZE_MULTIPLIERS = {"K": 1024, "M": 1024**2, "G": 1024**3}
 

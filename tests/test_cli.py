@@ -100,3 +100,60 @@ class TestCacheCommands:
     def test_checkpoint_conflicts_with_no_cache(self, capsys):
         assert main(["--checkpoint", "--no-cache", "figure2"]) == 2
         assert "checkpoint" in capsys.readouterr().err
+
+
+class TestClusterCommands:
+    def test_worker_fails_cleanly_when_coordinator_unreachable(self, capsys):
+        # Port 1 is never listening; the worker must give up with a
+        # tidy error, not a traceback.
+        code = main(
+            [
+                "cluster-worker",
+                "--coordinator",
+                "127.0.0.1:1",
+                "--poll-interval",
+                "0.01",
+            ]
+        )
+        assert code == 2
+        assert "unreachable" in capsys.readouterr().err
+
+    def test_coordinator_and_worker_round_trip(self, capsys):
+        """A coordinator thread serves a real worker started via the CLI."""
+        import threading
+        import time
+
+        from repro.cluster import ClusterClient, CoordinatorThread
+
+        with CoordinatorThread(check_interval=0.05) as (host, port):
+            outcome = {}
+
+            def run_worker_cli():
+                outcome["code"] = main(
+                    [
+                        "cluster-worker",
+                        "--coordinator",
+                        f"{host}:{port}",
+                        "--poll-interval",
+                        "0.05",
+                    ]
+                )
+
+            thread = threading.Thread(target=run_worker_cli, daemon=True)
+            thread.start()
+            client = ClusterClient(f"{host}:{port}")
+            # Drain only after the worker registered — shutting down
+            # mid-hello would race its registration connect.
+            deadline = time.monotonic() + 10
+            while not client.stats()["workers"]:
+                assert time.monotonic() < deadline, "worker never registered"
+                time.sleep(0.05)
+            client.shutdown()
+            thread.join(timeout=10)
+        assert outcome["code"] == 0
+        assert "0 cell(s) executed" in capsys.readouterr().out
+
+    def test_rejects_malformed_cluster_address(self, capsys):
+        code = main(["--cluster", "http://nope:1", "multiseed", "--seeds", "0"])
+        assert code == 2
+        assert "scheme" in capsys.readouterr().err

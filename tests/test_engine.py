@@ -99,7 +99,12 @@ class TestScenarioRegistry:
         ):
             assert name in SCENARIOS
 
-    @pytest.mark.parametrize("name", SCENARIOS.names())
+    # domainnet_full/* are paper-scale and refuse to build without
+    # REPRO_FULL=1; their guard and geometry have dedicated tests below.
+    @pytest.mark.parametrize(
+        "name",
+        [n for n in SCENARIOS.names() if not n.startswith("domainnet_full/")],
+    )
     def test_every_scenario_yields_valid_stream(self, name):
         stream = SCENARIOS.get(name).build(
             SMOKE, seed=0, samples_per_class=2, test_samples_per_class=2
@@ -122,6 +127,29 @@ class TestScenarioRegistry:
     def test_unknown_scenario_raises(self):
         with pytest.raises(ValueError, match="unknown scenario"):
             SCENARIOS.get("imagenet")
+
+
+class TestPaperScaleScenarios:
+    """domainnet_full/*: the real 345-class geometry, gated on REPRO_FULL."""
+
+    def test_all_thirty_pairs_registered(self):
+        full = [n for n in SCENARIOS.names() if n.startswith("domainnet_full/")]
+        assert len(full) == 30  # 6 domains, ordered pairs
+        assert "domainnet_full/clp->skt" in SCENARIOS
+
+    def test_refuses_to_build_without_repro_full(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        with pytest.raises(ValueError, match="REPRO_FULL"):
+            SCENARIOS.get("domainnet_full/clp->skt").build(SMOKE, seed=0)
+
+    def test_paper_geometry_under_repro_full(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL", "1")
+        stream = SCENARIOS.get("domainnet_full/rel->qdr").build(
+            SMOKE, seed=0, samples_per_class=1, test_samples_per_class=1
+        )
+        assert len(stream) == 15  # 15 tasks x 23 classes = 345
+        assert stream.classes_per_task == 23
+        assert {c for task in stream for c in task.classes} == set(range(345))
 
 
 class TestRunSpecCache:

@@ -342,6 +342,110 @@ class TestTcpFrontEnd:
         asyncio.run(main())
 
 
+class TestHardening:
+    """Backpressure and timeouts: the server sheds load, never queues forever."""
+
+    def test_busy_beyond_max_inflight(self, session):
+        spec = checkpointed_spec(session)
+        images, _labels = sample_images(spec)
+
+        async def main():
+            app = ServeApp(
+                InferenceService(session, max_delay_ms=5), spec, max_inflight=1
+            )
+            host, port = await app.start()
+            release = asyncio.Event()
+
+            async def stalled_predict(*args, **kwargs):
+                await release.wait()
+                return np.zeros(1, dtype=np.int64)
+
+            app.service.predict_many = stalled_predict
+            blocked = asyncio.ensure_future(
+                request_async(
+                    host,
+                    port,
+                    {"op": "predict", "images": images[0].tolist(), "task_id": 0},
+                )
+            )
+            await asyncio.sleep(0.1)  # the slot is taken
+            shed = await request_async(
+                host,
+                port,
+                {"op": "predict", "images": images[0].tolist(), "task_id": 0},
+            )
+            # Observability must survive saturation: stats answers even
+            # while every inflight slot is held (shed exemption).
+            stats_during = await request_async(host, port, {"op": "stats"})
+            release.set()
+            first = await blocked
+            stats = await request_async(host, port, {"op": "stats"})
+            await app.close()
+            return shed, stats_during, first, stats
+
+        shed, stats_during, first, stats = asyncio.run(main())
+        assert shed == {"ok": False, "error": "busy"}
+        assert stats_during["ok"]
+        assert stats_during["stats"]["transport"]["inflight"] == 1  # the held predict
+        assert first["ok"]  # the admitted request completed normally
+        # only the shed predict counts: the exempted stats call was
+        # answered, so it is not a rejection
+        assert stats["stats"]["transport"]["rejected"] == 1
+        assert stats["stats"]["transport"]["limit"] == 1
+
+    def test_per_request_timeout_frees_the_slot(self, session):
+        spec = checkpointed_spec(session)
+        images, _labels = sample_images(spec)
+
+        async def main():
+            app = ServeApp(
+                InferenceService(session, max_delay_ms=5),
+                spec,
+                max_inflight=4,
+                request_timeout=0.1,
+            )
+            host, port = await app.start()
+
+            async def hung_predict(*args, **kwargs):
+                await asyncio.sleep(30)
+
+            app.service.predict_many = hung_predict
+            timed_out = await request_async(
+                host,
+                port,
+                {"op": "predict", "images": images[0].tolist(), "task_id": 0},
+            )
+            stats = await request_async(host, port, {"op": "stats"})
+            await app.close()
+            return timed_out, stats
+
+        timed_out, stats = asyncio.run(main())
+        assert not timed_out["ok"] and "timeout" in timed_out["error"]
+        assert stats["stats"]["transport"]["timeouts"] == 1
+        # The hung request's slot was released: only the stats request
+        # itself is inflight while it reports.
+        assert stats["stats"]["transport"]["inflight"] == 1
+
+    def test_unbounded_by_default_request_still_answers(self, session):
+        spec = checkpointed_spec(session)
+        images, _labels = sample_images(spec)
+
+        async def main():
+            app = ServeApp(
+                InferenceService(session, max_delay_ms=5), spec, max_inflight=0
+            )
+            host, port = await app.start()
+            answer = await request_async(
+                host,
+                port,
+                {"op": "predict", "images": images[0].tolist(), "task_id": 0},
+            )
+            await app.close()
+            return answer
+
+        assert asyncio.run(main())["ok"]
+
+
 class TestSessionServeBridge:
     def test_session_serve_builds_a_service(self, session):
         service = session.serve(max_batch=8)
