@@ -37,7 +37,12 @@ import numpy as np
 from repro.api.events import EventHub, ProgressCallback, ProgressEvent
 from repro.continual import Scenario
 from repro.engine import cache
-from repro.engine.executor import MultiSeedResult, run_seed_sweep, run_specs
+from repro.engine.executor import (
+    MultiSeedResult,
+    run_seed_cells,
+    run_seed_sweep,
+    run_specs,
+)
 from repro.engine.profiles import ExperimentProfile, get_profile
 from repro.engine.registry import METHODS, SCENARIOS, Registry
 from repro.engine.runner import (
@@ -148,6 +153,15 @@ def _unpin_keys(keys: tuple[str, ...]) -> None:
         cache.unpin(key)
 
 
+def _is_seed_sweep(specs) -> bool:
+    """True when the specs are one cell repeated at distinct seeds."""
+    seeds = [spec.seed for spec in specs]
+    if len(set(seeds)) != len(seeds):
+        return False
+    reference = replace(specs[0], seed=0)
+    return all(replace(spec, seed=0) == reference for spec in specs[1:])
+
+
 class RunHandle:
     """A finished builder run: results plus the liveness of its models.
 
@@ -235,6 +249,7 @@ class RunBuilder:
     checkpointed: bool | None = None  # None -> session default
     cache_enabled: bool | None = None  # None -> session default
     cluster: str | None = None  # None -> session executor
+    seed_batched: bool | None = None  # None -> engine auto-selection
 
     # -- chain steps ----------------------------------------------------
     def on(self, scenario: str) -> "RunBuilder":
@@ -246,13 +261,22 @@ class RunBuilder:
         """Set the single seed (also the base for ``seeds(n)``)."""
         return replace(self, base_seed=int(seed), seed_list=None)
 
-    def seeds(self, seeds, independent: bool = False) -> "RunBuilder":
+    def seeds(
+        self, seeds, independent: bool = False, batched: bool | None = None
+    ) -> "RunBuilder":
         """Run several seeds: an iterable of seeds, or a count.
 
         A count expands to ``base_seed + 0..n-1``; with
         ``independent=True`` it instead expands through
         :func:`repro.engine.executor.derive_seeds` (SeedSequence) for
         statistically independent streams.
+
+        ``batched=True`` folds the uncached seeds into one
+        ensemble-axis tensor program (see
+        :func:`repro.engine.seed_batch.run_seed_batch`) when the method
+        supports the lift, falling back to the per-seed path when it
+        does not; ``batched=False`` forces per-seed execution; the
+        default ``None`` lets the engine auto-select.
         """
         if isinstance(seeds, int):
             if seeds <= 0:
@@ -267,7 +291,7 @@ class RunBuilder:
             expanded = tuple(int(s) for s in seeds)
             if not expanded:
                 raise ValueError("at least one seed is required")
-        return replace(self, seed_list=expanded)
+        return replace(self, seed_list=expanded, seed_batched=batched)
 
     def profile(
         self, profile: str | ExperimentProfile, **overrides
@@ -362,6 +386,7 @@ class RunBuilder:
             checkpoint=checkpointed,
             use_cache=self.cache_enabled,
             cluster=self.cluster,
+            batched=self.seed_batched,
         )
         return RunHandle(self.session, specs, results, checkpointed)
 
@@ -487,13 +512,17 @@ class Session:
         use_cache: bool | None = None,
         jobs: int | None = None,
         cluster: str | None = None,
+        batched: bool | None = None,
     ) -> list[RunResult]:
         """Run cells with session settings, emitting progress events.
 
         ``cluster`` (or the session's ``executor``) routes the cells
         through a :mod:`repro.cluster` coordinator instead of the local
         pool; observers receive the same ``cell-done`` events either
-        way.
+        way.  ``batched`` applies when the specs form a seed sweep of
+        one cell (same spec, distinct seeds) and folds the uncached
+        seeds into one ensemble-axis run — see
+        :func:`repro.engine.executor.run_seed_cells`.
         """
         specs = list(specs)
         checkpoint = self.checkpoint if checkpoint is None else checkpoint
@@ -504,7 +533,27 @@ class Session:
         start = time.perf_counter()
         self.events.emit(ProgressEvent(kind="run-start", total=total))
         with self._activate():
-            if cluster is None and jobs <= 1:
+            if batched is not None and len(specs) > 1 and _is_seed_sweep(specs):
+                results = run_seed_cells(
+                    specs[0],
+                    [spec.seed for spec in specs],
+                    jobs=jobs,
+                    use_cache=use_cache,
+                    checkpoint=checkpoint,
+                    batched=batched,
+                    verbose=self.verbose,
+                    cluster=cluster,
+                    progress=lambda index, spec, result: self.events.emit(
+                        ProgressEvent(
+                            kind="cell-done",
+                            total=total,
+                            index=index,
+                            spec=spec,
+                            result=result,
+                        )
+                    ),
+                )
+            elif cluster is None and jobs <= 1:
                 results = []
                 for index, spec in enumerate(specs):
                     self.events.emit(
@@ -592,9 +641,15 @@ class Session:
         seeds,
         *,
         checkpoint: bool | None = None,
+        batched: bool | None = None,
         keep_runs: bool = False,
     ) -> MultiSeedResult:
-        """Repeat one cell across seeds; mean/std aggregation."""
+        """Repeat one cell across seeds; mean/std aggregation.
+
+        ``batched=True`` trains all uncached seeds as one ensemble-axis
+        tensor program when the method supports the lift (transparent
+        fallback otherwise); the default ``None`` auto-selects.
+        """
         checkpoint = self.checkpoint if checkpoint is None else checkpoint
         seeds = tuple(int(s) for s in seeds)
         total = len(seeds)
@@ -607,6 +662,7 @@ class Session:
                 jobs=self.jobs,
                 use_cache=self.use_cache,
                 checkpoint=checkpoint,
+                batched=batched,
                 keep_runs=keep_runs,
                 verbose=self.verbose,
                 cluster=self.cluster_address,

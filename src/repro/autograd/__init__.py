@@ -41,7 +41,13 @@ from repro.autograd.tensor import (
     arange,
 )
 from repro.autograd import ops
-from repro.autograd.conv import conv2d, max_pool2d, avg_pool2d
+from repro.autograd.conv import (
+    conv2d,
+    max_pool2d,
+    avg_pool2d,
+    clear_workspaces,
+    workspace_stats,
+)
 from repro.autograd.grad_check import gradient_check
 
 __all__ = [
@@ -63,5 +69,7 @@ __all__ = [
     "conv2d",
     "max_pool2d",
     "avg_pool2d",
+    "clear_workspaces",
+    "workspace_stats",
     "gradient_check",
 ]

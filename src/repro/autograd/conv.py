@@ -81,6 +81,11 @@ def conv_output_shape(
 _WORKSPACES: dict[tuple, np.ndarray] = {}
 _MAX_WORKSPACES = 64
 _MAX_WORKSPACE_BYTES = 256 * 1024 * 1024
+#: Largest resident-byte total ever observed (lifetime of the process,
+#: surviving :func:`clear_workspaces`) — the ensemble axis multiplies
+#: workspace shapes by the seed count, and sizing decisions need the
+#: peak, not the steady state.
+_WORKSPACE_HIGH_WATER = 0
 
 
 def _workspace(tag: str, shape: tuple[int, ...], dtype) -> np.ndarray:
@@ -91,6 +96,7 @@ def _workspace(tag: str, shape: tuple[int, ...], dtype) -> np.ndarray:
     handed out here may be captured by a backward closure or returned
     to a caller.
     """
+    global _WORKSPACE_HIGH_WATER
     key = (tag, shape, np.dtype(dtype).str)
     buffer = _WORKSPACES.pop(key, None)
     if buffer is None:
@@ -101,6 +107,8 @@ def _workspace(tag: str, shape: tuple[int, ...], dtype) -> np.ndarray:
     # stays valid for the duration of the op — eviction only costs a
     # re-allocation on its next use).
     total = sum(b.nbytes for b in _WORKSPACES.values())
+    if total > _WORKSPACE_HIGH_WATER:
+        _WORKSPACE_HIGH_WATER = total
     while len(_WORKSPACES) > 1 and (
         total > _MAX_WORKSPACE_BYTES or len(_WORKSPACES) > _MAX_WORKSPACES
     ):
@@ -111,17 +119,32 @@ def _workspace(tag: str, shape: tuple[int, ...], dtype) -> np.ndarray:
 
 
 def clear_workspaces() -> int:
-    """Drop every cached kernel workspace; returns the bytes released."""
+    """Drop every cached kernel workspace; returns the bytes released.
+
+    The lifetime high-water mark reported by :func:`workspace_stats`
+    deliberately survives a clear — it tracks the process peak.
+    """
     released = sum(buffer.nbytes for buffer in _WORKSPACES.values())
     _WORKSPACES.clear()
     return released
 
 
 def workspace_stats() -> dict:
-    """Live workspace census: buffer count and resident bytes."""
+    """Live workspace census: counts, bytes, per-buffer totals, peak.
+
+    ``by_shape`` maps one human-readable label per resident buffer
+    (``tag:shape:dtype``) to its byte size; ``high_water_bytes`` is the
+    largest resident total ever reached in this process.
+    """
+    by_shape = {
+        f"{tag}:{'x'.join(map(str, shape))}:{np.dtype(dtype_str).name}": buffer.nbytes
+        for (tag, shape, dtype_str), buffer in _WORKSPACES.items()
+    }
     return {
         "buffers": len(_WORKSPACES),
         "bytes": sum(buffer.nbytes for buffer in _WORKSPACES.values()),
+        "by_shape": by_shape,
+        "high_water_bytes": _WORKSPACE_HIGH_WATER,
     }
 
 
@@ -233,11 +256,15 @@ def conv2d(x, weight, bias=None, stride=1, padding=0) -> Tensor:
     Parameters
     ----------
     x:
-        Input tensor of shape ``(N, C_in, H, W)``.
+        Input tensor of shape ``(N, C_in, H, W)``, or ``(S, N, C_in,
+        H, W)`` for seed-ensemble inputs (paired with an ``(S, C_out,
+        C_in, kh, kw)`` weight): seed ``i`` convolves with filter
+        slice ``i``, no per-seed Python loop.
     weight:
-        Filter tensor of shape ``(C_out, C_in, kh, kw)``.
+        Filter tensor of shape ``(C_out, C_in, kh, kw)`` — or
+        ``(S, C_out, C_in, kh, kw)`` on the ensemble path.
     bias:
-        Optional tensor of shape ``(C_out,)``.
+        Optional tensor of shape ``(C_out,)`` (ensemble: ``(S, C_out)``).
     """
     if not isinstance(x, Tensor):
         x = Tensor(x)
@@ -245,6 +272,8 @@ def conv2d(x, weight, bias=None, stride=1, padding=0) -> Tensor:
         weight = Tensor(weight)
     stride = _pair(stride)
     padding = _pair(padding)
+    if x.data.ndim == 5:
+        return _conv2d_ensemble(x, weight, bias, stride, padding)
     n, c_in, h, w = x.shape
     c_out, c_in_w, kh, kw = weight.shape
     if c_in != c_in_w:
@@ -291,17 +320,97 @@ def conv2d(x, weight, bias=None, stride=1, padding=0) -> Tensor:
     return Tensor._make(out, parents, backward)
 
 
+def _conv2d_ensemble(x, weight, bias, stride, padding) -> Tensor:
+    """Seed-ensemble convolution: ``(S, N, C_in, H, W)`` inputs against
+    per-seed filters ``(S, C_out, C_in, kh, kw)``.
+
+    The unfold runs once over the folded ``S*N`` leading axis (one
+    im2col sweep, one workspace), and the contraction batches over the
+    seed axis — ``matmul`` broadcast for the BLAS route, a seed-indexed
+    ``einsum`` for float64.  Per seed the arithmetic (operand order,
+    summation order) matches the solo kernel exactly, so slice ``i`` of
+    every output and gradient is bitwise-identical to a solo ``conv2d``
+    call on seed ``i``'s operands.
+    """
+    if weight.data.ndim != 5:
+        raise ValueError(
+            f"ensemble conv2d expects a (S, C_out, C_in, kh, kw) weight, got {weight.shape}"
+        )
+    s, n, c_in, h, w = x.shape
+    s_w, c_out, c_in_w, kh, kw = weight.shape
+    if s != s_w:
+        raise ValueError(f"input carries {s} seeds but weight carries {s_w}")
+    if c_in != c_in_w:
+        raise ValueError(f"input has {c_in} channels but weight expects {c_in_w}")
+    out_h, out_w = conv_output_shape(h, w, (kh, kw), stride, padding)
+    k = c_in * kh * kw
+    length = out_h * out_w
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    grad_live = is_grad_enabled() and any(p.requires_grad for p in parents)
+    cols_out = None if grad_live else _workspace("im2col", (s * n, k, length), x.data.dtype)
+    cols = im2col(
+        x.data.reshape(s * n, c_in, h, w), (kh, kw), stride, padding, out=cols_out
+    ).reshape(s, n, k, length)
+    w_mat = weight.data.reshape(s, c_out, k)
+    if _blas_route(cols.dtype):
+        out = np.matmul(w_mat[:, None], cols)  # (S, N, C_out, L)
+    else:
+        out = np.einsum("sok,snkl->snol", w_mat, cols)
+    if bias is not None:
+        out += bias.data.reshape(s, 1, c_out, 1)
+    out = out.reshape(s, n, c_out, out_h, out_w)
+
+    def backward(grad):
+        grad_mat = grad.reshape(s, n, c_out, length)
+        if _blas_route(grad_mat.dtype):
+            grad_w = (
+                np.matmul(grad_mat, cols.transpose(0, 1, 3, 2))
+                .sum(axis=1)
+                .reshape(weight.shape)
+            )
+            grad_cols = np.matmul(
+                w_mat.transpose(0, 2, 1)[:, None],
+                grad_mat,
+                out=_workspace("col-grad", (s, n, k, length), grad_mat.dtype),
+            )
+        else:
+            grad_w = np.einsum("snol,snkl->sok", grad_mat, cols).reshape(weight.shape)
+            grad_cols = np.einsum("sok,snol->snkl", w_mat, grad_mat)
+        grad_x = col2im(
+            grad_cols.reshape(s * n, k, length),
+            (s * n, c_in, h, w),
+            (kh, kw),
+            stride,
+            padding,
+        ).reshape(x.shape)
+        if bias is None:
+            return grad_x, grad_w
+        grad_b = grad_mat.sum(axis=(1, 3))
+        return grad_x, grad_w, grad_b
+
+    return Tensor._make(out, parents, backward)
+
+
 # ----------------------------------------------------------------------
 # Pooling
 # ----------------------------------------------------------------------
 def max_pool2d(x, kernel_size, stride=None, padding=0) -> Tensor:
-    """Max pooling over spatial windows (NCHW)."""
+    """Max pooling over spatial windows (NCHW).
+
+    A leading seed-ensemble axis — ``(S, N, C, H, W)`` input — folds
+    into the batch axis: pooling is per-sample, so the folded sweep is
+    bitwise-identical per seed slice to the solo kernel.
+    """
     if not isinstance(x, Tensor):
         x = Tensor(x)
     kernel = _pair(kernel_size)
     stride = kernel if stride is None else _pair(stride)
     padding = _pair(padding)
-    n, c, h, w = x.shape
+    *lead, c, h, w = x.shape
+    n = 1
+    for dim in lead:
+        n *= dim
     out_h, out_w = conv_output_shape(h, w, kernel, stride, padding)
     window = kernel[0] * kernel[1]
     length = out_h * out_w
@@ -309,12 +418,17 @@ def max_pool2d(x, kernel_size, stride=None, padding=0) -> Tensor:
     # Backward only needs the argmax indices, never the columns, so the
     # unfold always borrows the workspace — training included.
     cols = im2col(
-        x.data, kernel, stride, padding,
+        x.data.reshape(n, c, h, w), kernel, stride, padding,
         out=_workspace("im2col", (n, c * window, length), x.data.dtype),
     ).reshape(n, c, window, length)
-    arg = cols.argmax(axis=2)  # (N, C, L)
-    out = np.take_along_axis(cols, arg[:, :, None, :], axis=2).squeeze(2)
-    out = out.reshape(n, c, out_h, out_w)
+    # ``max`` and ``take_along_axis(argmax)`` select the identical value
+    # (ties and NaNs included), and ``max`` is an order of magnitude
+    # cheaper than the middle-axis ``argmax`` — so the indices are only
+    # computed when a backward pass can ask for them.
+    grad_live = is_grad_enabled() and x.requires_grad
+    arg = cols.argmax(axis=2) if grad_live else None  # (N, C, L)
+    out = cols.max(axis=2)
+    out = out.reshape(tuple(lead) + (c, out_h, out_w))
 
     def backward(grad):
         grad_flat = grad.reshape(n, c, -1)
@@ -323,30 +437,37 @@ def max_pool2d(x, kernel_size, stride=None, padding=0) -> Tensor:
         np.put_along_axis(grad_cols, arg[:, :, None, :], grad_flat[:, :, None, :], axis=2)
         return (
             col2im(
-                grad_cols.reshape(n, c * window, length), x.shape, kernel, stride, padding
-            ),
+                grad_cols.reshape(n, c * window, length), (n, c, h, w), kernel, stride, padding
+            ).reshape(x.shape),
         )
 
     return Tensor._make(out, (x,), backward)
 
 
 def avg_pool2d(x, kernel_size, stride=None, padding=0) -> Tensor:
-    """Average pooling over spatial windows (NCHW)."""
+    """Average pooling over spatial windows (NCHW).
+
+    Accepts a leading seed-ensemble axis exactly like
+    :func:`max_pool2d` (folded into the batch axis, per-seed bitwise).
+    """
     if not isinstance(x, Tensor):
         x = Tensor(x)
     kernel = _pair(kernel_size)
     stride = kernel if stride is None else _pair(stride)
     padding = _pair(padding)
-    n, c, h, w = x.shape
+    *lead, c, h, w = x.shape
+    n = 1
+    for dim in lead:
+        n *= dim
     out_h, out_w = conv_output_shape(h, w, kernel, stride, padding)
     window = kernel[0] * kernel[1]
     length = out_h * out_w
 
     cols = im2col(
-        x.data, kernel, stride, padding,
+        x.data.reshape(n, c, h, w), kernel, stride, padding,
         out=_workspace("im2col", (n, c * window, length), x.data.dtype),
     ).reshape(n, c, window, length)
-    out = cols.mean(axis=2).reshape(n, c, out_h, out_w)
+    out = cols.mean(axis=2).reshape(tuple(lead) + (c, out_h, out_w))
 
     def backward(grad):
         # Every window element receives grad/window — accumulate the
@@ -358,7 +479,11 @@ def avg_pool2d(x, kernel_size, stride=None, padding=0) -> Tensor:
         )
         _scatter_windows(padded, lambda i, j: shared, kernel, stride, out_h, out_w)
         if padding == (0, 0):
-            return (padded,)
-        return (padded[:, :, padding[0] : padding[0] + h, padding[1] : padding[1] + w],)
+            return (padded.reshape(x.shape),)
+        return (
+            padded[:, :, padding[0] : padding[0] + h, padding[1] : padding[1] + w].reshape(
+                x.shape
+            ),
+        )
 
     return Tensor._make(out, (x,), backward)

@@ -30,17 +30,22 @@ documented in :mod:`repro.cluster.coordinator`.
 from __future__ import annotations
 
 import base64
+import os
 import pickle
+from contextlib import contextmanager
 
 from repro.engine import cache
 from repro.engine.runner import RunResult, RunSpec
 
 __all__ = [
+    "ALLOWED_UNLOCKS",
     "DEFAULT_PORT",
     "parse_address",
     "format_address",
     "encode_spec",
     "decode_spec",
+    "spec_unlocks",
+    "apply_unlocks",
     "encode_result",
     "decode_result",
     "persist_result",
@@ -98,6 +103,12 @@ def format_address(host: str, port: int) -> str:
     return f"{_SCHEME}{host}:{port}"
 
 
+#: Environment gates a client may pass through the wire and a worker
+#: honours around one cell (see :func:`encode_spec`).  Closed set: the
+#: wire must not become a vector for arbitrary env injection.
+ALLOWED_UNLOCKS = ("REPRO_FULL",)
+
+
 def encode_spec(spec: RunSpec) -> dict:
     """A :class:`RunSpec` as a plain JSON object (registry names + params).
 
@@ -109,10 +120,19 @@ def encode_spec(spec: RunSpec) -> dict:
     bitwise contract.  Sending the client-resolved dtype as an
     explicit override makes the cell's precision (and therefore its
     key) identical on every machine, whatever their environments say.
+
+    ``REPRO_FULL`` gets the same treatment for the same reason in the
+    other direction: full-profile scenarios (``domainnet_full/*``) are
+    gated behind the env flag, so a client that resolved a spec under
+    ``REPRO_FULL=1`` records the unlock in the wire form and the worker
+    re-applies it around the cell — otherwise the leased cell would
+    fail on a worker whose environment lacks the flag.
     """
+    from repro.util import env_flag
+
     profile_overrides = dict(spec.profile_overrides)
     profile_overrides.setdefault("dtype", spec.resolved_profile().dtype)
-    return {
+    payload = {
         "method": spec.method,
         "scenario": spec.scenario,
         "profile": spec.profile,
@@ -122,6 +142,38 @@ def encode_spec(spec: RunSpec) -> dict:
         "method_overrides": dict(spec.method_overrides),
         "scenario_params": dict(spec.scenario_params),
     }
+    unlocks = [name for name in ALLOWED_UNLOCKS if env_flag(name)]
+    if unlocks:
+        payload["unlocks"] = unlocks
+    return payload
+
+
+def spec_unlocks(payload: dict) -> tuple[str, ...]:
+    """The environment gates a wire spec asks for, filtered to the
+    allow-list (unknown names are ignored, never applied)."""
+    requested = payload.get("unlocks") or ()
+    return tuple(name for name in ALLOWED_UNLOCKS if name in requested)
+
+
+@contextmanager
+def apply_unlocks(names):
+    """Set the named env gates to ``"1"`` for the duration of one cell.
+
+    Restores each variable's previous value (including absence) on the
+    way out, so the worker's own environment is untouched between
+    cells.
+    """
+    saved = {name: os.environ.get(name) for name in names}
+    for name in names:
+        os.environ[name] = "1"
+    try:
+        yield
+    finally:
+        for name, previous in saved.items():
+            if previous is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = previous
 
 
 def decode_spec(payload: dict) -> RunSpec:

@@ -36,9 +36,11 @@ import traceback
 
 from repro.netio import call
 from repro.cluster.protocol import (
+    apply_unlocks,
     decode_spec,
     encode_result,
     parse_address,
+    spec_unlocks,
 )
 from repro.engine.runner import run_one
 
@@ -185,7 +187,11 @@ class ClusterWorker:
         )
         beats.start()
         try:
-            with _EXECUTION_LOCK:
+            # A spec resolved under an env gate on the client (e.g.
+            # REPRO_FULL for the full-profile scenarios) carries the
+            # unlock in its wire form; apply it for this cell only so
+            # the lease succeeds on workers without the flag.
+            with _EXECUTION_LOCK, apply_unlocks(spec_unlocks(task["spec"])):
                 result = run_one(
                     spec,
                     use_cache=bool(task.get("use_cache", True)),

@@ -47,6 +47,14 @@ DIGIT_GLYPHS = {
 
 IMAGE_SIZE = 16
 
+#: Assembled (and optionally blurred) canvases keyed by every input
+#: that shapes them.  The glyph set, jitter range and thickness values
+#: span a few hundred distinct canvases, so rendering thousands of
+#: samples repeats identical kron/gaussian_filter work — the cache
+#: returns the same bits a fresh computation would.  Entries are never
+#: mutated: the per-sample intensity multiply below allocates.
+_CANVAS_CACHE: dict[tuple, np.ndarray] = {}
+
 
 def render_digit(
     digit: int,
@@ -65,19 +73,24 @@ def render_digit(
         Maximum absolute random translation in pixels.
     """
     rng = resolve_rng(rng)
-    glyph = DIGIT_GLYPHS[int(digit)]
-    canvas = np.zeros((size, size))
-    # Upsample the 5x7 glyph to roughly 10x14 with nearest-neighbour zoom.
-    zoomed = np.kron(glyph, np.ones((2, 2)))
-    gh, gw = zoomed.shape
+    digit = int(digit)
+    glyph = DIGIT_GLYPHS[digit]
+    # Upsampled glyph size (5x7 -> roughly 10x14, nearest-neighbour).
+    gh, gw = glyph.shape[0] * 2, glyph.shape[1] * 2
     top = (size - gh) // 2 + int(rng.integers(-jitter, jitter + 1))
     left = (size - gw) // 2 + int(rng.integers(-jitter, jitter + 1))
     top = int(np.clip(top, 0, size - gh))
     left = int(np.clip(left, 0, size - gw))
-    canvas[top : top + gh, left : left + gw] = zoomed
-    if thickness > 0:
-        blurred = ndimage.gaussian_filter(canvas, sigma=thickness)
-        canvas = np.clip(blurred * 2.0, 0.0, 1.0)
+    key = (digit, size, top, left, float(thickness))
+    canvas = _CANVAS_CACHE.get(key)
+    if canvas is None:
+        canvas = np.zeros((size, size))
+        zoomed = np.kron(glyph, np.ones((2, 2)))
+        canvas[top : top + gh, left : left + gw] = zoomed
+        if thickness > 0:
+            blurred = ndimage.gaussian_filter(canvas, sigma=thickness)
+            canvas = np.clip(blurred * 2.0, 0.0, 1.0)
+        _CANVAS_CACHE[key] = canvas
     # Per-sample stroke-intensity variation.
     canvas = canvas * float(rng.uniform(0.75, 1.0))
     return canvas[None]

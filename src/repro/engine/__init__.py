@@ -66,7 +66,9 @@ _DEPRECATED = {
     "has_checkpoint": ("repro.engine.runner", "Session.has_checkpoint(spec)"),
     "load_checkpoint": ("repro.engine.runner", "Session.load_model(spec)"),
     "run_specs": ("repro.engine.executor", "Session.execute(specs)"),
+    "run_seed_cells": ("repro.engine.executor", "Session.sweep(spec, seeds)"),
     "run_seed_sweep": ("repro.engine.executor", "Session.sweep(spec, seeds)"),
+    "run_seed_batch": ("repro.engine.seed_batch", "Session.sweep(spec, seeds, batched=True)"),
     "map_jobs": ("repro.engine.executor", "Session.execute(specs)"),
     "derive_seeds": ("repro.engine.executor", "session.run(...).seeds(n, independent=True)"),
 }

@@ -33,6 +33,7 @@ __all__ = [
     "map_jobs",
     "resolve_cache_hits",
     "run_specs",
+    "run_seed_cells",
     "run_seed_sweep",
 ]
 
@@ -101,7 +102,16 @@ def derive_seeds(base_seed: int, count: int) -> tuple[int, ...]:
 
 def _call_job(args):
     fn, item = args
-    return fn(item)
+    try:
+        return fn(item)
+    finally:
+        # Pool workers are long-lived (one per sweep, many cells each);
+        # dropping the im2col workspaces between cells keeps a worker's
+        # resident set at one cell's working set instead of the union of
+        # every shape it ever trained.
+        from repro.autograd import clear_workspaces
+
+        clear_workspaces()
 
 
 def map_jobs(fn, items, jobs: int = 1, on_result=None) -> list:
@@ -250,6 +260,96 @@ def run_specs(
     return results  # type: ignore[return-value]
 
 
+def run_seed_cells(
+    spec: RunSpec,
+    seeds,
+    *,
+    jobs: int = 1,
+    use_cache: bool = True,
+    checkpoint: bool = False,
+    batched: bool | None = None,
+    verbose: bool = False,
+    progress=None,
+    cluster: str | None = None,
+) -> list[RunResult]:
+    """Execute one spec across many seeds, batched or fanned out.
+
+    ``batched=True`` folds the uncached seeds into a single ensemble-axis
+    run (:func:`~repro.engine.seed_batch.run_seed_batch`) — one tensor
+    program training all seeds at once — when the method supports the
+    lift, and transparently falls back to the process pool when it does
+    not.  ``batched=None`` (the default) auto-selects: batch whenever
+    the spec is liftable, the run is local, and at least two seeds miss
+    the cache.  ``batched=False`` always uses the classic per-seed path.
+
+    Either way every seed's result lands under its normal per-seed cell
+    key, so batched and per-process sweeps share the cache in both
+    directions — warm seeds short-circuit here and only the misses are
+    (re)computed, batched together when possible.
+    """
+    from repro.engine.seed_batch import liftable, run_seed_batch
+
+    seeds = tuple(int(s) for s in seeds)
+    if not seeds:
+        raise ValueError("at least one seed is required")
+    if len(set(seeds)) != len(seeds):
+        raise ValueError(f"duplicate seeds in {seeds}; every seed must be distinct")
+    if checkpoint and not (use_cache and cache.cache_enabled()):
+        raise ValueError(
+            "checkpoint=True persists into the result cache; it cannot be "
+            "combined with use_cache=False or REPRO_NO_CACHE"
+        )
+    specs = [replace(spec, seed=seed) for seed in seeds]
+    lift_ok = cluster is None and liftable(spec)
+    if batched is False or (batched is None and (not lift_ok or jobs > 1)):
+        # Auto mode defers to an explicit jobs=N fan-out request.
+        batch_pending = False
+    elif batched and not lift_ok:
+        # Explicit request for an unliftable method (or a cluster run):
+        # honour the sweep, not the flag — fall back transparently.
+        batch_pending = False
+    else:
+        batch_pending = True
+    if not batch_pending:
+        return run_specs(
+            specs,
+            jobs=jobs,
+            use_cache=use_cache,
+            checkpoint=checkpoint,
+            verbose=verbose,
+            progress=progress,
+            cluster=cluster,
+        )
+    results, pending = resolve_cache_hits(
+        specs, use_cache=use_cache, checkpoint=checkpoint, progress=progress
+    )
+    if pending:
+        if batched is None and len(pending) < 2:
+            # Auto mode: a single miss gains nothing from the ensemble
+            # axis; run it down the classic path.
+            for index, sub_spec in pending:
+                result = run_one(
+                    sub_spec, use_cache=use_cache, checkpoint=checkpoint, verbose=verbose
+                )
+                results[index] = result
+                if progress is not None:
+                    progress(index, sub_spec, result)
+        else:
+            cells = run_seed_batch(
+                spec,
+                [sub_spec.seed for _index, sub_spec in pending],
+                use_cache=use_cache,
+                checkpoint=checkpoint,
+                verbose=verbose,
+            )
+            for (index, sub_spec), cell in zip(pending, cells):
+                results[index] = cell
+                if progress is not None:
+                    progress(index, sub_spec, cell)
+    assert all(r is not None for r in results)
+    return results  # type: ignore[return-value]
+
+
 def run_seed_sweep(
     spec: RunSpec,
     seeds,
@@ -257,6 +357,7 @@ def run_seed_sweep(
     jobs: int = 1,
     use_cache: bool = True,
     checkpoint: bool = False,
+    batched: bool | None = None,
     keep_runs: bool = False,
     verbose: bool = False,
     progress=None,
@@ -266,21 +367,23 @@ def run_seed_sweep(
 
     The engine-level replacement for the old serial loop in
     ``experiments/multiseed.py``: each seed is an independent cached
-    cell, executed ``jobs`` at a time — or leased out to the remote
-    worker pool when ``cluster`` names a coordinator.
+    cell, executed ``jobs`` at a time — leased out to the remote worker
+    pool when ``cluster`` names a coordinator, or folded into one
+    ensemble-axis tensor program under ``batched`` (see
+    :func:`run_seed_cells` for the selection rules).
     """
-    seeds = tuple(int(s) for s in seeds)
-    if not seeds:
-        raise ValueError("at least one seed is required")
-    cells = run_specs(
-        [replace(spec, seed=seed) for seed in seeds],
+    cells = run_seed_cells(
+        spec,
+        seeds,
         jobs=jobs,
         use_cache=use_cache,
         checkpoint=checkpoint,
+        batched=batched,
         verbose=verbose,
         progress=progress,
         cluster=cluster,
     )
+    seeds = tuple(int(s) for s in seeds)
     scenarios = [Scenario.parse(s) for s in spec.eval_scenarios]
     result = MultiSeedResult(
         method=spec.method,

@@ -142,6 +142,14 @@ def main(argv: list[str] | None = None) -> int:
     )
     pm.add_argument("--seeds", nargs="*", type=int, default=(0, 1, 2))
     pm.add_argument(
+        "--batched",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="train all uncached seeds as one ensemble-axis tensor program "
+        "(default: auto — batch liftable methods when 2+ seeds miss the "
+        "cache; --no-batched forces the per-seed path)",
+    )
+    pm.add_argument(
         "--cluster",
         # SUPPRESS: an omitted subcommand flag must not clobber the
         # value the global --cluster flag already parsed.
@@ -156,6 +164,12 @@ def main(argv: list[str] | None = None) -> int:
 
     ps = sub.add_parser("cache-stats", help="entry count, bytes, hit rate of the result cache")
     ps.add_argument("--json", action="store_true", help="machine-readable output")
+    ps.add_argument(
+        "--workspaces",
+        action="store_true",
+        help="also report this process's kernel workspace buffers "
+        "(im2col scratch: per-shape bytes and the lifetime high-water mark)",
+    )
 
     pi = sub.add_parser("cache-inspect", help="everything known about one cache entry")
     pi.add_argument("key", help="cache key (32-hex prefix, as listed by cache-stats --json)")
@@ -300,7 +314,9 @@ def _run(args: argparse.Namespace) -> int:
         print(render_figure2(run_figure2(session=session)))
     elif args.artifact == "multiseed":
         result = session.sweep(
-            session.spec(args.method, args.scenario), args.seeds
+            session.spec(args.method, args.scenario),
+            args.seeds,
+            batched=args.batched,
         )
         print(
             f"multiseed {args.method} on {args.scenario} "
@@ -314,8 +330,15 @@ def _run_cache_command(args: argparse.Namespace) -> int:
     if args.artifact == "cache-stats":
         entries = cache.manifest()
         report = cache.stats(entries)
+        workspaces = None
+        if args.workspaces:
+            from repro.autograd import workspace_stats
+
+            workspaces = workspace_stats()
         if args.json:
             report["keys"] = [entry.key for entry in entries]
+            if workspaces is not None:
+                report["workspaces"] = workspaces
             print(json.dumps(report, indent=2))
             return 0
         session = report["session"]
@@ -337,6 +360,12 @@ def _run_cache_command(args: argparse.Namespace) -> int:
             print("entries by scenario:")
             for scenario, count in report["by_scenario"].items():
                 print(f"  {scenario:<32} {count}")
+        if workspaces is not None:
+            print(f"kernel workspaces: {workspaces['buffers']} buffers,"
+                  f" {format_bytes(workspaces['bytes'])} resident"
+                  f" (high water {format_bytes(workspaces['high_water_bytes'])})")
+            for label, nbytes in sorted(workspaces["by_shape"].items()):
+                print(f"  {label:<40} {format_bytes(nbytes)}")
         return 0
     if args.artifact == "cache-inspect":
         try:

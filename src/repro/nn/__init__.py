@@ -17,6 +17,8 @@ from repro.nn.transformer import FeedForward, TransformerEncoderLayer, Transform
 from repro.nn.embedding import Embedding
 from repro.nn import functional
 from repro.nn import init
+from repro.nn import ensemble
+from repro.nn.ensemble import SeedStack
 
 __all__ = [
     "Module",
@@ -46,4 +48,6 @@ __all__ = [
     "Embedding",
     "functional",
     "init",
+    "ensemble",
+    "SeedStack",
 ]

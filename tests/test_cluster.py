@@ -11,6 +11,7 @@ dedup/resume layer on both ends of the wire.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from contextlib import contextmanager
@@ -178,6 +179,67 @@ class TestProtocol:
         text = base64.b64encode(pickle.dumps({"not": "a result"})).decode()
         with pytest.raises(TypeError, match="RunResult"):
             decode_result(text)
+
+
+class TestEnvUnlocks:
+    """REPRO_FULL travels the wire: recorded by the client, applied
+    around one cell on the worker, never an arbitrary-env vector."""
+
+    def test_unlock_recorded_only_under_env(self, monkeypatch):
+        from repro.cluster.protocol import spec_unlocks
+
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        assert "unlocks" not in encode_spec(tiny_spec())
+        assert spec_unlocks(encode_spec(tiny_spec())) == ()
+        monkeypatch.setenv("REPRO_FULL", "1")
+        wire = encode_spec(tiny_spec())
+        assert wire["unlocks"] == ["REPRO_FULL"]
+        assert spec_unlocks(wire) == ("REPRO_FULL",)
+
+    def test_unknown_unlocks_never_applied(self):
+        from repro.cluster.protocol import spec_unlocks
+
+        wire = {"unlocks": ["PATH", "REPRO_FULL", "LD_PRELOAD"]}
+        assert spec_unlocks(wire) == ("REPRO_FULL",)
+
+    def test_apply_unlocks_scopes_the_env(self, monkeypatch):
+        from repro.cluster.protocol import apply_unlocks
+
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        with apply_unlocks(("REPRO_FULL",)):
+            assert os.environ["REPRO_FULL"] == "1"
+        assert "REPRO_FULL" not in os.environ
+        monkeypatch.setenv("REPRO_FULL", "0")
+        with apply_unlocks(("REPRO_FULL",)):
+            assert os.environ["REPRO_FULL"] == "1"
+        assert os.environ["REPRO_FULL"] == "0"
+
+    def test_gated_scenario_builds_under_wire_unlock(self, monkeypatch):
+        """The worker-side composition: a domainnet_full spec resolved
+        under REPRO_FULL=1 on the client must build on a worker whose
+        environment lacks the flag."""
+        from repro.cluster.protocol import apply_unlocks, spec_unlocks
+
+        monkeypatch.setenv("REPRO_FULL", "1")
+        spec = spec_for(
+            "FineTune",
+            "domainnet_full/clp->skt",
+            "smoke",
+            profile_overrides=dict(samples_per_class=1, test_samples_per_class=1),
+        )
+        wire = encode_spec(spec)
+        monkeypatch.delenv("REPRO_FULL", raising=False)  # the worker machine
+        decoded = decode_spec(wire)
+        with pytest.raises(ValueError, match="REPRO_FULL"):
+            SCENARIOS.get(decoded.scenario).build(
+                decoded.resolved_profile(), decoded.seed, **decoded.scenario_params
+            )
+        with apply_unlocks(spec_unlocks(wire)):
+            stream = SCENARIOS.get(decoded.scenario).build(
+                decoded.resolved_profile(), decoded.seed, **decoded.scenario_params
+            )
+        assert len(stream) == 15
+        assert "REPRO_FULL" not in os.environ
 
 
 class TestInflightGate:

@@ -211,7 +211,12 @@ class TestWorkspaces:
             assert workspace_stats() == census  # no new allocations
             np.testing.assert_array_equal(first.data, second.data)
             assert clear_workspaces() > 0
-            assert workspace_stats() == {"buffers": 0, "bytes": 0}
+            cleared = workspace_stats()
+            assert (cleared["buffers"], cleared["bytes"]) == (0, 0)
+            assert cleared["by_shape"] == {}
+            # The peak survives clearing: it reports the process high
+            # water mark, not the current residency.
+            assert cleared["high_water_bytes"] >= census["bytes"]
 
     def test_pool_training_results_do_not_alias_workspaces(self):
         rng = np.random.default_rng(6)
@@ -239,7 +244,9 @@ class TestWorkspaces:
         for index in range(8):
             conv_mod._workspace(f"test{index}", (256,), np.float32)
         census = workspace_stats()
-        assert census == {"buffers": 4, "bytes": 4096}
+        assert (census["buffers"], census["bytes"]) == (4, 4096)
+        assert len(census["by_shape"]) == 4
+        assert all(size == 1024 for size in census["by_shape"].values())
         # Re-requesting a resident shape is a hit (no growth) and
         # refreshes its LRU position.
         resident = conv_mod._workspace("test7", (256,), np.float32)

@@ -1,0 +1,270 @@
+"""Tests for the ensemble axis: seed-batched multi-seed training.
+
+Contract (DESIGN.md "Ensemble axis"):
+
+* at float64 the batched program is **bitwise-identical** per seed to
+  the serial `run_one` path, for every lifted method;
+* batched runs land under the normal per-seed cell keys, so batched
+  and per-process sweeps share the cache in both directions, and warm
+  seeds short-circuit — only the misses are batched;
+* duplicate seeds are rejected on every multi-seed entry point;
+* unliftable methods fall back to the classic path transparently
+  (`run_seed_cells`) or refuse loudly (`run_seed_batch` direct);
+* the 5-D kernels match the solo kernels bitwise at both dtypes.
+"""
+
+import numpy as np
+import pytest
+from dataclasses import replace
+
+from repro.api import Session
+from repro.autograd import Tensor
+from repro.autograd.conv import avg_pool2d, conv2d, max_pool2d
+from repro.continual import Scenario
+from repro.data.synthetic import mnist_usps
+from repro.engine.executor import derive_seeds, run_seed_cells, run_seed_sweep
+from repro.engine.registry import SCENARIOS, register_scenario
+from repro.engine.runner import RunSpec, run_one
+from repro.engine.seed_batch import liftable, lifted_methods, run_seed_batch
+
+#: float64 keeps every comparison exact; 2 tasks and 2 epochs keep the
+#: training cheap while still crossing a task boundary (optimizer state
+#: and replay memory survive into task 2 — the regime that breaks
+#: incorrect lifts).
+TINY = dict(
+    samples_per_class=4,
+    test_samples_per_class=2,
+    epochs=2,
+    warmup_epochs=1,
+    dtype="float64",
+)
+
+if "_test/seed_batch_digits" not in SCENARIOS:
+
+    @register_scenario(
+        "_test/seed_batch_digits", description="2-task digit stream (seed-batch tests)"
+    )
+    def _seed_batch_digits(profile, seed, **params):
+        stream = mnist_usps(
+            "mnist->usps", samples_per_class=4, test_samples_per_class=2, rng=seed
+        )
+        stream.tasks = stream.tasks[:2]
+        return stream
+
+
+def tiny_spec(method: str = "FineTune", **kwargs) -> RunSpec:
+    return RunSpec(
+        method=method,
+        scenario="_test/seed_batch_digits",
+        profile="smoke",
+        profile_overrides=dict(TINY),
+        **kwargs,
+    )
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "seed-batch-cache"))
+
+
+def assert_cells_equal(solo, batch) -> None:
+    """Bitwise comparison of two cells' full result payload."""
+    assert set(solo.results) == set(batch.results)
+    for scenario, r_solo in solo.results.items():
+        r_batch = batch.results[scenario]
+        np.testing.assert_array_equal(
+            r_solo.r_matrix.values, r_batch.r_matrix.values
+        )
+        assert r_solo.acc == r_batch.acc
+        assert r_solo.fgt == r_batch.fgt
+
+
+class TestBitwiseEquality:
+    """ISSUE acceptance: float64 batched == serial, per seed, bitwise."""
+
+    @pytest.mark.parametrize(
+        "method,seeds",
+        [("FineTune", (0, 1, 2)), ("DER", (0, 1)), ("CDCL", (0, 1))],
+    )
+    def test_batched_matches_serial_bitwise(self, method, seeds):
+        spec = tiny_spec(method)
+        assert liftable(spec)
+        batched = run_seed_batch(spec, seeds, use_cache=False)
+        assert [cell.seed for cell in batched] == list(seeds)
+        for seed, cell in zip(seeds, batched):
+            solo = run_one(replace(spec, seed=seed), use_cache=False)
+            assert_cells_equal(solo, cell)
+
+    def test_lifted_method_registry(self):
+        assert set(lifted_methods()) == {"CDCL", "DER", "FineTune"}
+        assert not liftable(tiny_spec("EWC"))
+
+
+class TestCrossModeCache:
+    """Batched and per-seed runs share cells under the same keys."""
+
+    def test_batched_run_warms_per_seed_lookups(self):
+        spec = tiny_spec()
+        cold = run_seed_batch(spec, (0, 1), use_cache=True)
+        assert not any(cell.cached for cell in cold)
+        for seed, batch_cell in zip((0, 1), cold):
+            warm = run_one(replace(spec, seed=seed), use_cache=True)
+            assert warm.cached
+            assert_cells_equal(warm, batch_cell)
+
+    def test_per_seed_runs_warm_batched_sweep(self):
+        spec = tiny_spec()
+        solos = [run_one(replace(spec, seed=s), use_cache=True) for s in (0, 1)]
+        cells = run_seed_cells(spec, (0, 1), batched=True, use_cache=True)
+        assert all(cell.cached for cell in cells)
+        for solo, cell in zip(solos, cells):
+            assert_cells_equal(solo, cell)
+
+    def test_mixed_hits_batch_only_the_misses(self):
+        spec = tiny_spec()
+        run_one(replace(spec, seed=1), use_cache=True)
+        cells = run_seed_cells(spec, (0, 1, 2), batched=True, use_cache=True)
+        assert [cell.cached for cell in cells] == [False, True, False]
+        assert [cell.seed for cell in cells] == [0, 1, 2]
+        # The misses must agree with a fresh serial run seed-for-seed.
+        for seed, cell in zip((0, 2), (cells[0], cells[2])):
+            assert_cells_equal(run_one(replace(spec, seed=seed), use_cache=False), cell)
+
+
+class TestValidation:
+    def test_duplicate_seeds_rejected_batched(self):
+        with pytest.raises(ValueError, match="distinct"):
+            run_seed_sweep(tiny_spec(), seeds=(0, 0, 1), batched=True)
+
+    def test_duplicate_seeds_rejected_classic(self):
+        with pytest.raises(ValueError, match="distinct"):
+            run_seed_sweep(tiny_spec(), seeds=(0, 0, 1), batched=False)
+
+    def test_duplicate_seeds_rejected_direct(self):
+        with pytest.raises(ValueError, match="distinct"):
+            run_seed_batch(tiny_spec(), (3, 3))
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError, match="at least one seed"):
+            run_seed_batch(tiny_spec(), ())
+
+    def test_direct_batch_refuses_unliftable_method(self):
+        with pytest.raises(ValueError, match="EWC"):
+            run_seed_batch(tiny_spec("EWC"), (0, 1))
+
+    def test_checkpoint_requires_cache(self):
+        with pytest.raises(ValueError, match="checkpoint"):
+            run_seed_batch(tiny_spec(), (0, 1), use_cache=False, checkpoint=True)
+
+
+class TestFallback:
+    def test_unliftable_method_falls_back_transparently(self):
+        """batched=True on an unliftable method runs the classic path."""
+        spec = tiny_spec("EWC")
+        cells = run_seed_cells(spec, (0, 1), batched=True, use_cache=False)
+        assert [cell.seed for cell in cells] == [0, 1]
+        assert_cells_equal(run_one(replace(spec, seed=0), use_cache=False), cells[0])
+
+
+class TestDeriveSeeds:
+    def test_count_must_be_positive(self):
+        with pytest.raises(ValueError, match="positive"):
+            derive_seeds(0, 0)
+        with pytest.raises(ValueError, match="positive"):
+            derive_seeds(0, -3)
+
+    def test_count_one(self):
+        assert derive_seeds(42, 1) == (3444837047,)
+
+    def test_very_large_base_seed(self):
+        # SeedSequence takes arbitrary-precision entropy; the expansion
+        # must stay stable for bases beyond 64 bits.
+        assert derive_seeds(2**100, 3) == (740723363, 1301814144, 1259337830)
+        assert derive_seeds(2**100, 3) == derive_seeds(2**100, 3)
+
+    def test_stability_snapshot(self):
+        # Frozen expansions: a change here silently severs every cached
+        # multiseed sweep from its cells — treat as a breaking change.
+        expected = {
+            0: (2968811710, 3677149159, 745650761, 2884920346,
+                2642120001, 549907821, 574372308, 742431198),
+            1: (1835504127, 1731038949, 1320224556, 2330041505,
+                321059914, 1226144109, 2879408573, 3503041500),
+            42: (3444837047, 2669555309, 2046530742, 3581440988,
+                 1691623607, 2099784219, 1184028159, 862288241),
+        }
+        for base, seeds in expected.items():
+            assert derive_seeds(base, 8) == seeds
+
+    def test_prefix_property(self):
+        assert derive_seeds(7, 8)[:3] == derive_seeds(7, 3)
+
+
+class TestEnsembleKernels:
+    """The 5-D kernels must match solo calls bitwise, grads included."""
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_conv2d_matches_per_seed(self, dtype):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(3, 2, 4, 8, 8)).astype(dtype)
+        w = rng.normal(size=(3, 5, 4, 3, 3)).astype(dtype)
+        b = rng.normal(size=(3, 5)).astype(dtype)
+        xt = Tensor(x, requires_grad=True)
+        wt = Tensor(w, requires_grad=True)
+        bt = Tensor(b, requires_grad=True)
+        out = conv2d(xt, wt, bt, stride=1, padding=1)
+        out.sum().backward()
+        for s in range(3):
+            xs = Tensor(x[s], requires_grad=True)
+            ws = Tensor(w[s], requires_grad=True)
+            bs = Tensor(b[s], requires_grad=True)
+            solo = conv2d(xs, ws, bs, stride=1, padding=1)
+            solo.sum().backward()
+            np.testing.assert_array_equal(out.data[s], solo.data)
+            np.testing.assert_array_equal(xt.grad[s], xs.grad)
+            np.testing.assert_array_equal(wt.grad[s], ws.grad)
+            np.testing.assert_array_equal(bt.grad[s], bs.grad)
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    @pytest.mark.parametrize("pool", [max_pool2d, avg_pool2d])
+    def test_pooling_matches_per_seed(self, dtype, pool):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(4, 3, 2, 8, 8)).astype(dtype)
+        xt = Tensor(x, requires_grad=True)
+        out = pool(xt, 2)
+        out.sum().backward()
+        for s in range(4):
+            xs = Tensor(x[s], requires_grad=True)
+            solo = pool(xs, 2)
+            solo.sum().backward()
+            np.testing.assert_array_equal(out.data[s], solo.data)
+            np.testing.assert_array_equal(xt.grad[s], xs.grad)
+
+    def test_mismatched_seed_axes_rejected(self):
+        x = Tensor(np.zeros((3, 2, 4, 8, 8)))
+        w = Tensor(np.zeros((2, 5, 4, 3, 3)))
+        with pytest.raises(ValueError, match="seeds"):
+            conv2d(x, w)
+
+
+class TestSessionRouting:
+    def _builder(self, session: Session):
+        return (
+            session.run("FineTune")
+            .on("_test/seed_batch_digits")
+            .profile("smoke", **TINY)
+        )
+
+    def test_builder_carries_batched_flag(self):
+        base = self._builder(Session())
+        assert base.seed_batched is None
+        assert base.seeds(2, batched=True).seed_batched is True
+        assert base.seeds(2, batched=False).seed_batched is False
+
+    def test_batched_session_run_shares_cache_with_serial(self):
+        session = Session()
+        batched = self._builder(session).seeds(2, batched=True).result()
+        serial = self._builder(session).seeds(2, batched=False).result()
+        for protocol in (Scenario.TIL, Scenario.CIL):
+            assert batched.acc(protocol) == serial.acc(protocol)
+            assert batched.fgt(protocol) == serial.fgt(protocol)

@@ -31,6 +31,7 @@ import json
 import os
 import subprocess
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -67,11 +68,23 @@ def run_suite() -> tuple[int, dict]:
 
     cache.reset_session_counters()
     recorder = _CellRecorder()
+    # The seed-batch bench (benchmarks/test_seed_batch.py) measures its
+    # ratio with per-leg timers, not node wall-clock; it hands the
+    # number over through a JSON side-channel so the report can carry
+    # ``seed_batch_speedup`` for the trend table and its gate.
+    sidecar = Path(tempfile.mkstemp(suffix=".json", prefix="seed_batch_")[1])
+    os.environ["REPRO_SEED_BATCH_REPORT"] = str(sidecar)
     start = time.perf_counter()
-    code = pytest.main(
-        ["-q", "-m", "benchmark", str(REPO / "benchmarks")], plugins=[recorder]
-    )
-    total = time.perf_counter() - start
+    try:
+        code = pytest.main(
+            ["-q", "-m", "benchmark", str(REPO / "benchmarks")], plugins=[recorder]
+        )
+        total = time.perf_counter() - start
+        seed_batch = None
+        if sidecar.stat().st_size:
+            seed_batch = json.loads(sidecar.read_text())
+    finally:
+        sidecar.unlink(missing_ok=True)
     counters = cache.session_counters()
     loads = counters["hits"] + counters["misses"]
     report = {
@@ -85,6 +98,11 @@ def run_suite() -> tuple[int, dict]:
         "cells": recorder.cells,
         "failed": recorder.failed,
         "total_seconds": round(total, 3),
+        # Measured ratio of the 5-seed serial sweep over the
+        # seed-batched tensor program (None when the bench was
+        # deselected or failed before reporting).
+        "seed_batch_speedup": seed_batch["speedup"] if seed_batch else None,
+        "seed_batch": seed_batch,
         "cache": {
             **counters,
             "hit_rate": round(counters["hits"] / loads, 4) if loads else None,
@@ -154,6 +172,13 @@ def main(argv: list[str] | None = None) -> int:
         help="fail when total wall-clock exceeds baseline by this fraction",
     )
     parser.add_argument(
+        "--min-seed-batch-speedup",
+        type=float,
+        default=2.0,
+        metavar="RATIO",
+        help="fail when the measured seed_batch_speedup drops below this",
+    )
+    parser.add_argument(
         "--update-baseline",
         action="store_true",
         help=f"write the report to {BASELINE.relative_to(REPO)} instead of comparing",
@@ -167,6 +192,17 @@ def main(argv: list[str] | None = None) -> int:
     if code != 0:
         print(f"benchmark suite failed (pytest exit {code}): {report['failed']}")
         return 1
+
+    speedup = report.get("seed_batch_speedup")
+    if speedup is not None:
+        print(f"seed_batch_speedup: {speedup:.2f}x (gate {args.min_seed_batch_speedup:.1f}x)")
+        if speedup < args.min_seed_batch_speedup:
+            print(
+                f"PERFORMANCE REGRESSION: seed-batched training returned "
+                f"{speedup:.2f}x over serial, below the "
+                f"{args.min_seed_batch_speedup:.1f}x floor"
+            )
+            return 2
 
     if args.update_baseline:
         # The committed baseline carries no sha: it describes the

@@ -84,6 +84,8 @@ def trend_rows(reports: list[dict], cell: str | None = None) -> list[dict]:
                 "seconds": total,
                 "delta": delta,
                 "hit_rate": hit_rate,
+                # Pre-ensemble-axis reports carry no seed_batch field.
+                "seed_batch": report.get("seed_batch_speedup"),
                 "file": report.get("_file", ""),
             }
         )
@@ -102,6 +104,7 @@ _COLUMNS = (
     "seconds",
     "delta",
     "hit_rate",
+    "seed_batch",
 )
 
 
@@ -115,6 +118,8 @@ def _format(row: dict, column: str) -> str:
         return f"{value:+.1%}"
     if column == "hit_rate":
         return f"{value:.0%}"
+    if column == "seed_batch":
+        return f"{value:.1f}x"
     return str(value)
 
 
