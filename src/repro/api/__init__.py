@@ -24,6 +24,7 @@ minor release.
 """
 
 from repro.api.events import EventHub, ProgressCallback, ProgressEvent
+from repro.api.runs import RunsView
 from repro.api.session import Result, RunBuilder, RunHandle, Session
 
 __all__ = [
@@ -33,5 +34,6 @@ __all__ = [
     "Result",
     "RunBuilder",
     "RunHandle",
+    "RunsView",
     "Session",
 ]

@@ -1,0 +1,109 @@
+"""The Session's fluent query view over the run store.
+
+``session.runs()`` returns a :class:`RunsView` — an immutable chain of
+filters over the session's run store index, mirroring the builder
+idiom of ``session.run(...)``:
+
+    >>> view = session.runs().method("cdcl").scenario("office31/a->w")
+    >>> view.dtype("float32").records()
+    [RunRecord(...), ...]
+
+Each filter returns a *new* view (frozen dataclass + ``replace``), so
+partial chains can be shared and refined safely.  Terminal calls —
+:meth:`records`, :meth:`to_rows`, :meth:`to_json`, :meth:`count`,
+iteration — execute one store query under the session's cache
+directory and return the same typed :class:`repro.store.RunRecord`
+rows as the store API; export shapes follow the ``Result``
+conventions (``to_rows`` one dict per (record, protocol),
+``to_json`` a single document with a ``rows`` list).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+
+__all__ = ["RunsView"]
+
+
+@dataclass(frozen=True)
+class RunsView:
+    """Immutable filter chain over a session's run store (see module doc)."""
+
+    session: object
+    filters: dict = field(default_factory=dict)
+
+    def _with(self, **updates) -> "RunsView":
+        merged = {**self.filters, **updates}
+        return replace(self, filters=merged)
+
+    # -- fluent filters -------------------------------------------------
+    def method(self, name: str) -> "RunsView":
+        """Filter to one method (case-insensitive against the registry)."""
+        try:
+            name = self.session.resolve_method(name)
+        except ValueError:
+            pass  # the store may index methods this registry lacks
+        return self._with(method=name)
+
+    def scenario(self, name: str) -> "RunsView":
+        return self._with(scenario=name)
+
+    def profile(self, profile) -> "RunsView":
+        """Filter by profile name (accepts a materialized profile too)."""
+        name = getattr(profile, "name", profile)
+        return self._with(profile=name)
+
+    def seed(self, seed: int) -> "RunsView":
+        return self._with(seed=int(seed))
+
+    def dtype(self, dtype: str) -> "RunsView":
+        return self._with(dtype=dtype)
+
+    def sha(self, git_sha: str) -> "RunsView":
+        """Rows recorded at exactly this git SHA."""
+        return self._with(git_sha=git_sha)
+
+    def since_sha(self, git_sha: str) -> "RunsView":
+        """Rows recorded at or after the first row of this SHA."""
+        return self._with(since_sha=git_sha)
+
+    def status(self, status: str | None) -> "RunsView":
+        """Lifecycle filter (default "complete"; None for every row)."""
+        return self._with(status=status)
+
+    def worker(self, worker: str) -> "RunsView":
+        """Rows executed by one cluster worker."""
+        return self._with(worker=worker)
+
+    def limit(self, n: int) -> "RunsView":
+        return self._with(limit=int(n))
+
+    # -- terminals ------------------------------------------------------
+    def records(self) -> list:
+        """Execute the query: typed ``RunRecord`` rows, oldest first."""
+        with self.session._activate():
+            return self.session.store().query(**self.filters)
+
+    def to_rows(self) -> list[dict]:
+        """Flatten to one dict per (record, protocol) — spreadsheet shape."""
+        from repro.store import record_rows
+
+        return record_rows(self.records())
+
+    def to_json(self, indent: int | None = None) -> str:
+        """The view as one JSON document (filters + flat rows)."""
+        rows = self.to_rows()
+        return json.dumps(
+            {"filters": dict(self.filters), "count": len(rows), "rows": rows},
+            indent=indent,
+        )
+
+    def count(self) -> int:
+        return len(self.records())
+
+    def __iter__(self):
+        return iter(self.records())
+
+    def __len__(self) -> int:
+        return self.count()

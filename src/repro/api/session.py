@@ -703,6 +703,24 @@ class Session:
 
         return InferenceService(session=self, **kwargs)
 
+    # -- run store ------------------------------------------------------
+    def store(self):
+        """The session's :class:`repro.store.RunStore` (query/diff/backfill).
+
+        Bound to the session's cache directory when one was configured;
+        otherwise it tracks the process default, like the cache itself.
+        """
+        from repro.store import RunStore
+
+        return RunStore(self.cache_dir)
+
+    def runs(self):
+        """Fluent query view over recorded cells — ``session.runs()
+        .method("cdcl").scenario("office31/a->w").records()``."""
+        from repro.api.runs import RunsView
+
+        return RunsView(session=self)
+
     # -- cache management ----------------------------------------------
     def cache_stats(self) -> dict:
         with self._activate():

@@ -80,6 +80,7 @@ class ClusterTask:
     attempts: int = 0
     worker_id: str | None = None
     deadline: float = 0.0
+    leased_at: float = 0.0  # monotonic time of the current lease grant
     result_text: str | None = None  # base64 pickle, as received
     cached: bool = False  # the executing worker's cache served it
     error: str | None = None
@@ -235,14 +236,17 @@ class Coordinator:
         worker = self._workers.get(task.worker_id or "")
         if worker is not None and worker.task_id == task.task_id:
             worker.task_id = None
+        failed_worker = task.worker_id
         task.worker_id = None
         if task.attempts >= self.max_attempts:
             task.state = "failed"
             task.error = f"{reason} (gave up after {task.attempts} attempts)"
+            self._record_provenance(task, "cluster-failed", failed_worker, detail=task.error)
         else:
             task.state = "queued"
             self._pending.append(task.task_id)
             self._requeues += 1
+            self._record_provenance(task, "cluster-requeue", failed_worker, detail=reason)
 
     # -- connection handling -------------------------------------------
     async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
@@ -306,7 +310,8 @@ class Coordinator:
             task.state = "leased"
             task.attempts += 1
             task.worker_id = worker.worker_id
-            task.deadline = time.monotonic() + self.lease_timeout
+            task.leased_at = time.monotonic()
+            task.deadline = task.leased_at + self.lease_timeout
             worker.task_id = task.task_id
             return {
                 "ok": True,
@@ -349,9 +354,22 @@ class Coordinator:
         task.cached = bool(message.get("cached", False))
         task.state = "done"
         task.error = None
+        completing_worker = (
+            worker.worker_id if worker is not None else str(message.get("worker_id") or "")
+        )
         if worker is not None:
             worker.completed += 1
         self._store_result(task)
+        lease_seconds = (
+            time.monotonic() - task.leased_at if task.leased_at else None
+        )
+        self._record_provenance(
+            task,
+            "cluster-complete",
+            completing_worker or None,
+            lease_seconds=lease_seconds,
+            annotate=True,
+        )
         return {"ok": True, "duplicate": False}
 
     def _op_fail(self, message: dict) -> dict:
@@ -398,6 +416,46 @@ class Coordinator:
         except Exception:
             return  # an undecodable result still reaches the client verbatim
         persist_result(decode_spec(task.spec_payload), task.key, result)
+
+    def _record_provenance(
+        self,
+        task: ClusterTask,
+        event: str,
+        worker: str | None,
+        *,
+        lease_seconds: float | None = None,
+        detail: str | None = None,
+        annotate: bool = False,
+    ) -> None:
+        """Record fleet-wide provenance for one task into the run store.
+
+        The store is an observer (same contract as the cache's
+        write-through sync): a broken index must never take down the
+        queue, so every failure is swallowed.  ``annotate=True``
+        additionally stamps the executing worker and attempt count onto
+        the cell's runs row, so ``runs query`` answers "who trained
+        this" without joining the provenance log.
+        """
+        if task.key is None:
+            return  # uncached cells have no store identity
+        try:
+            from repro.store import RunStore, store_enabled
+
+            if not store_enabled():
+                return
+            store = RunStore()
+            store.record_provenance(
+                task.key,
+                event,
+                worker=worker,
+                attempts=task.attempts,
+                lease_seconds=lease_seconds,
+                detail=detail,
+            )
+            if annotate:
+                store.annotate(task.key, worker=worker, attempts=task.attempts)
+        except Exception:
+            pass
 
     # -- client ops -----------------------------------------------------
     def _op_submit(self, message: dict) -> dict:

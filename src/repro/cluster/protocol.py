@@ -35,7 +35,7 @@ import pickle
 from contextlib import contextmanager
 
 from repro.engine import cache
-from repro.engine.runner import RunResult, RunSpec
+from repro.engine.runner import RunResult, RunSpec, spec_summary
 
 __all__ = [
     "ALLOWED_UNLOCKS",
@@ -207,16 +207,7 @@ def persist_result(spec: RunSpec, key: str | None, result: RunResult) -> None:
     """
     if key is None or not cache.cache_enabled() or cache.contains(key):
         return
-    cache.store(
-        key,
-        result,
-        meta={
-            "method": spec.method,
-            "scenario": spec.scenario,
-            "profile": spec.profile,
-            "seed": spec.seed,
-        },
-    )
+    cache.store(key, result, meta=spec_summary(spec))
 
 
 def encode_result(result: RunResult) -> str:

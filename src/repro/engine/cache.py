@@ -221,6 +221,7 @@ def store(key: str, obj: Any, meta: dict | None = None) -> Path:
     payload = json.dumps(sidecar, sort_keys=True).encode()
     _atomic_write(_meta_path_for(key), lambda handle: handle.write(payload))
     _SESSION["stores"] += 1
+    _sync_store("store", key, obj=obj, meta=meta)
     return path
 
 
@@ -258,6 +259,7 @@ def clear() -> int:
                 path.unlink()
             except OSError:
                 pass
+    _sync_store("clear", "*")
     return removed
 
 
@@ -516,6 +518,7 @@ def verify(repair: bool = False) -> dict:
             if repair:
                 if checkpoint_path(path.stem).exists():
                     _unlink_quiet(path)  # keep checkpoint + sidecar
+                    _sync_store("demote", path.stem)
                 else:
                     _delete_entry(path.stem)
                 keys.discard(path.stem)
@@ -565,6 +568,23 @@ def _delete_entry(key: str) -> None:
     _unlink_quiet(_path_for(key))
     _unlink_quiet(_meta_path_for(key))
     _unlink_quiet(checkpoint_path(key))
+    _sync_store("evict", key)
+
+
+def _sync_store(event: str, key: str, obj: Any = None, meta: dict | None = None) -> None:
+    """Write-through to the run store index (``repro.store``).
+
+    The store is an observer: a locked, corrupt, or read-only
+    ``runs.sqlite`` must never fail the run that produced the result,
+    so every error is swallowed here.  Imported lazily — the store
+    depends on this module, not the other way round.
+    """
+    try:
+        from repro.store import sync_cache_event
+
+        sync_cache_event(event, key, obj=obj, meta=meta)
+    except Exception:
+        pass
 
 
 def _unlink_quiet(path: Path) -> None:

@@ -54,6 +54,7 @@ __all__ = [
     "run_pair_cells",
     "run_stream_pair",
     "spec_for",
+    "spec_summary",
 ]
 
 #: The paper scores every trained model under both protocols.
@@ -250,18 +251,32 @@ def run_one(
                 # orphaned checkpoint (cache-verify cleans it up),
                 # never a result that claims a checkpoint it lacks.
                 _save_checkpoint(method, stream, key)
-            cache.store(key, result, meta=_spec_summary(spec))
+            cache.store(key, result, meta=spec_summary(spec))
     return result
 
 
-def _spec_summary(spec: RunSpec) -> dict:
-    """The sidecar metadata cache management filters and reports on."""
+def spec_summary(spec: RunSpec) -> dict:
+    """The sidecar metadata cache management and the run store index on.
+
+    Shared by every path that persists a result (local ``run_one``,
+    cluster ``persist_result``) so the recorded provenance — including
+    the resolved compute dtype and the overrides that distinguish
+    ablation cells — can never drift between them.
+    """
     return {
         "method": spec.method,
         "scenario": spec.scenario,
         "profile": spec.profile,
         "seed": spec.seed,
+        "dtype": spec.resolved_profile().dtype,
+        "eval_scenarios": list(spec.eval_scenarios),
+        "method_overrides": dict(spec.method_overrides),
+        "scenario_params": dict(spec.scenario_params),
     }
+
+
+# Backwards-compatible private alias (pre-store name).
+_spec_summary = spec_summary
 
 
 def _save_checkpoint(method, stream: TaskStream, key: str) -> None:

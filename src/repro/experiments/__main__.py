@@ -14,14 +14,18 @@ Usage::
     python -m repro.experiments --profile smoke --jobs 4 table1
     python -m repro.experiments --no-cache figure2
     python -m repro.experiments --checkpoint multiseed --seeds 0 1
-    python -m repro.experiments cache-stats
-    python -m repro.experiments cache-evict --max-bytes 500M
-    python -m repro.experiments cache-verify --repair
+    python -m repro.experiments cache stats
+    python -m repro.experiments cache evict --max-bytes 500M
+    python -m repro.experiments cache verify --repair
+    python -m repro.experiments runs query --method CDCL --json
+    python -m repro.experiments runs diff abc1234 def5678
+    python -m repro.experiments runs report table1
+    python -m repro.experiments runs backfill
     python -m repro.experiments serve --method CDCL \
         --scenario "digits/mnist->usps" --train-missing
     python -m repro.experiments predict --port 7071 --sample 16
-    python -m repro.experiments cluster-coordinator --port 7070
-    python -m repro.experiments cluster-worker --coordinator host:7070
+    python -m repro.experiments cluster coordinator --port 7070
+    python -m repro.experiments cluster worker --coordinator host:7070
     python -m repro.experiments multiseed --seeds 0 1 2 3 \
         --cluster cluster://host:7070
     python -m repro.experiments --version
@@ -32,8 +36,15 @@ flags (``--profile`` / ``--jobs`` / ``--no-cache`` / ``--checkpoint``);
 finished (method, scenario, profile, seed) cells are reused from the
 disk cache (``REPRO_CACHE_DIR``).  ``--checkpoint`` persists each
 cell's trained model so ``serve`` can answer predictions without
-retraining; the ``cache-*`` subcommands report on, bound, and repair
-the store.
+retraining.
+
+Management commands are noun-verb groups: ``cache {stats,inspect,
+evict,verify}`` reports on, bounds, and repairs the result cache;
+``runs {query,diff,report,backfill}`` queries the SQLite run-store
+index (``runs.sqlite``) and renders paper artifacts straight from
+recorded rows; ``cluster {coordinator,worker}`` runs the distributed
+executor.  The pre-0.6 flat spellings (``cache-stats``,
+``cluster-worker``, ...) still work as hidden deprecated aliases.
 """
 
 from __future__ import annotations
@@ -75,8 +86,47 @@ from repro.serve.cli import (
 )
 from repro.util import format_bytes, parse_size
 
+# Pre-0.6 flat spellings kept as hidden aliases of the noun-verb
+# groups; each use warns once on stderr and is rewritten before
+# parsing, so behaviour (flags, output, exit codes) is identical.
+_DEPRECATED_ALIASES = {
+    "cache-stats": ("cache", "stats"),
+    "cache-inspect": ("cache", "inspect"),
+    "cache-evict": ("cache", "evict"),
+    "cache-verify": ("cache", "verify"),
+    "cluster-coordinator": ("cluster", "coordinator"),
+    "cluster-worker": ("cluster", "worker"),
+}
+
+# Global flags that consume the following token — the alias scan must
+# hop over their values to find the first subcommand word.
+_VALUE_FLAGS = {"--profile", "--dtype", "--jobs", "--cluster"}
+
+
+def _rewrite_deprecated(argv: list[str]) -> list[str]:
+    """Splice a deprecated flat command into its noun-verb form."""
+    i = 0
+    while i < len(argv):
+        token = argv[i]
+        if token.startswith("-"):
+            i += 2 if token in _VALUE_FLAGS else 1
+            continue
+        replacement = _DEPRECATED_ALIASES.get(token)
+        if replacement is not None:
+            print(
+                f"warning: '{token}' is deprecated; "
+                f"use '{' '.join(replacement)}'",
+                file=sys.stderr,
+            )
+            return argv[:i] + list(replacement) + argv[i + 1 :]
+        return argv
+    return argv
+
 
 def main(argv: list[str] | None = None) -> int:
+    argv = _rewrite_deprecated(
+        list(argv) if argv is not None else sys.argv[1:]
+    )
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate the paper's tables and figures; serve trained cells.",
@@ -162,7 +212,11 @@ def main(argv: list[str] | None = None) -> int:
     sub.add_parser("list-methods", help="every registered continual method")
     sub.add_parser("list-scenarios", help="every registered benchmark scenario")
 
-    ps = sub.add_parser("cache-stats", help="entry count, bytes, hit rate of the result cache")
+    pcache = sub.add_parser("cache", help="inspect, bound, and repair the result cache")
+    cache_sub = pcache.add_subparsers(dest="verb", required=True)
+
+    ps = cache_sub.add_parser("stats", help="entry count, bytes, hit rate of the result cache")
+    ps.set_defaults(artifact="cache-stats")
     ps.add_argument("--json", action="store_true", help="machine-readable output")
     ps.add_argument(
         "--workspaces",
@@ -171,10 +225,12 @@ def main(argv: list[str] | None = None) -> int:
         "(im2col scratch: per-shape bytes and the lifetime high-water mark)",
     )
 
-    pi = sub.add_parser("cache-inspect", help="everything known about one cache entry")
-    pi.add_argument("key", help="cache key (32-hex prefix, as listed by cache-stats --json)")
+    pi = cache_sub.add_parser("inspect", help="everything known about one cache entry")
+    pi.set_defaults(artifact="cache-inspect")
+    pi.add_argument("key", help="cache key (32-hex prefix, as listed by cache stats --json)")
 
-    pe = sub.add_parser("cache-evict", help="bound the cache under an LRU policy")
+    pe = cache_sub.add_parser("evict", help="bound the cache under an LRU policy")
+    pe.set_defaults(artifact="cache-evict")
     pe.add_argument(
         "--max-bytes",
         type=_parse_size,
@@ -193,8 +249,11 @@ def main(argv: list[str] | None = None) -> int:
         "--dry-run", action="store_true", help="report what would be evicted, delete nothing"
     )
 
-    pv = sub.add_parser("cache-verify", help="detect corrupt/orphaned cache files")
+    pv = cache_sub.add_parser("verify", help="detect corrupt/orphaned cache files")
+    pv.set_defaults(artifact="cache-verify")
     pv.add_argument("--repair", action="store_true", help="delete everything flagged")
+
+    _add_runs_parsers(sub)
 
     pserve = sub.add_parser(
         "serve", help="batched inference service over one checkpointed cell"
@@ -206,20 +265,27 @@ def main(argv: list[str] | None = None) -> int:
     )
     add_predict_arguments(ppredict)
 
-    pcoord = sub.add_parser(
-        "cluster-coordinator",
+    pcluster = sub.add_parser("cluster", help="distributed execution over TCP workers")
+    cluster_sub = pcluster.add_subparsers(dest="verb", required=True)
+
+    pcoord = cluster_sub.add_parser(
+        "coordinator",
         help="work queue leasing RunSpec cells to TCP workers",
     )
+    pcoord.set_defaults(artifact="cluster-coordinator")
     add_coordinator_arguments(pcoord)
 
-    pworker = sub.add_parser(
-        "cluster-worker",
+    pworker = cluster_sub.add_parser(
+        "worker",
         help="lease and execute cells from a cluster coordinator",
     )
+    pworker.set_defaults(artifact="cluster-worker")
     add_worker_arguments(pworker)
 
     args = parser.parse_args(argv)
 
+    if args.artifact.startswith("runs-"):
+        return _run_runs_command(args)
     if args.artifact.startswith("cache-"):
         return _run_cache_command(args)
     if args.artifact == "cluster-coordinator":
@@ -236,6 +302,100 @@ def main(argv: list[str] | None = None) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
     return _run(args)
+
+
+def _add_runs_parsers(sub) -> None:
+    """The ``runs`` noun-verb group: query/diff/report/backfill."""
+    pruns = sub.add_parser(
+        "runs", help="query the run-store index; render reports from recorded rows"
+    )
+    runs_sub = pruns.add_subparsers(dest="verb", required=True)
+
+    pq = runs_sub.add_parser("query", help="typed filters over recorded cells")
+    pq.set_defaults(artifact="runs-query")
+    pq.add_argument("--method", default=None, help="filter: method name")
+    pq.add_argument("--scenario", default=None, help="filter: scenario name")
+    pq.add_argument("--seed", type=int, default=None, help="filter: seed")
+    pq.add_argument("--sha", default=None, help="filter: rows recorded at this git SHA")
+    pq.add_argument(
+        "--since-sha",
+        default=None,
+        help="rows recorded at or after the first row of this SHA",
+    )
+    pq.add_argument(
+        "--status",
+        default="complete",
+        help="lifecycle filter (complete/evicted/checkpoint-only; "
+        "'any' disables the filter)",
+    )
+    pq.add_argument("--worker", default=None, help="filter: cluster worker id")
+    pq.add_argument("--limit", type=int, default=None, metavar="N")
+    pq.add_argument("--json", action="store_true", help="machine-readable output")
+    _add_store_scope_flags(pq)
+
+    pd = runs_sub.add_parser(
+        "diff", help="per-cell metric deltas between two SHAs or dtypes"
+    )
+    pd.set_defaults(artifact="runs-diff")
+    pd.add_argument("a", help="baseline side (git SHA, or dtype with --axis dtype)")
+    pd.add_argument("b", help="comparison side")
+    pd.add_argument(
+        "--axis",
+        choices=("git_sha", "dtype"),
+        default="git_sha",
+        help="identity axis the two sides differ on (default: git_sha)",
+    )
+    pd.add_argument("--json", action="store_true", help="machine-readable output")
+
+    pr = runs_sub.add_parser(
+        "report", help="render a paper artifact straight from recorded rows"
+    )
+    pr.set_defaults(artifact="runs-report")
+    pr.add_argument(
+        "report_artifact",
+        metavar="artifact",
+        choices=("table1", "table2", "table3", "table4", "figure2", "trend"),
+        help="what to render (tables/figure use the engine renderers; "
+        "'trend' aggregates wall-clock per SHA)",
+    )
+    pr.add_argument("--columns", nargs="*", default=None)
+    pr.add_argument("--domains", nargs="*", default=("clp", "skt"))
+    pr.add_argument("--methods", nargs="*", default=None)
+    pr.add_argument("--seed", type=int, default=None)
+    _add_store_scope_flags(pr)
+
+    pb = runs_sub.add_parser(
+        "backfill", help="index every cache entry not yet in the store"
+    )
+    pb.set_defaults(artifact="runs-backfill")
+    pb.add_argument(
+        "--rebuild",
+        action="store_true",
+        help="drop the index first and re-read the whole cache directory",
+    )
+
+
+def _add_store_scope_flags(parser) -> None:
+    """Re-declare --profile/--dtype on a runs subcommand.
+
+    SUPPRESS defaults keep an omitted subcommand flag from clobbering
+    the value the matching global flag already parsed (same trick as
+    multiseed's --cluster).
+    """
+    parser.add_argument(
+        "--profile",
+        choices=("smoke", "scaled", "full"),
+        default=argparse.SUPPRESS,
+        dest="profile",
+        help="same as the global --profile flag",
+    )
+    parser.add_argument(
+        "--dtype",
+        choices=("float32", "float64"),
+        default=argparse.SUPPRESS,
+        dest="dtype",
+        help="same as the global --dtype flag",
+    )
 
 
 def _validate_names(args: argparse.Namespace) -> None:
@@ -383,7 +543,7 @@ def _run_cache_command(args: argparse.Namespace) -> int:
         ):
             print(
                 "error: give at least one policy (--max-bytes/--max-entries/"
-                "--scenario/--method); to drop everything use cache-evict --max-entries 0",
+                "--scenario/--method); to drop everything use cache evict --max-entries 0",
                 file=sys.stderr,
             )
             return 2
@@ -418,6 +578,122 @@ def _run_cache_command(args: argparse.Namespace) -> int:
             return 1
         return 0
     raise AssertionError(f"unhandled cache command {args.artifact}")
+
+
+def _run_runs_command(args: argparse.Namespace) -> int:
+    # Imported lazily: the store (sqlite + numpy payload helpers) is
+    # only needed by this command group, not by table/figure runs.
+    from repro.store import RunStore, records_to_json
+
+    store = RunStore()
+
+    if args.artifact == "runs-backfill":
+        summary = store.backfill(rebuild=args.rebuild)
+        print(
+            f"backfill {store.path}: {summary['entries']} cache entries, "
+            f"{summary['indexed']} indexed, {summary['skipped']} already "
+            f"indexed, {summary['errors']} errors"
+        )
+        return 1 if summary["errors"] else 0
+
+    if args.artifact == "runs-query":
+        method = args.method
+        if method is not None and method not in METHODS:
+            # Same case-insensitive courtesy as Session.resolve_method;
+            # unknown names pass through (the store may index methods
+            # this registry lacks).
+            folded = {registered.lower(): registered for registered in METHODS.names()}
+            method = folded.get(method.lower(), method)
+        filters = dict(
+            method=method,
+            scenario=args.scenario,
+            profile=args.profile,
+            seed=args.seed,
+            dtype=args.dtype,
+            git_sha=args.sha,
+            since_sha=args.since_sha,
+            status=None if args.status == "any" else args.status,
+            worker=args.worker,
+            limit=args.limit,
+        )
+        try:
+            records = store.query(**filters)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        if args.json:
+            print(records_to_json(records, indent=2))
+            return 0
+        print(f"{len(records)} rows in {store.path}")
+        for record in records:
+            accs = (
+                " ".join(
+                    f"{protocol}={record.acc(protocol):.4f}"
+                    for protocol in record.protocols()
+                )
+                or "-"
+            )
+            print(
+                f"  {record.cache_key[:12]}  {record.method or '?':<10} "
+                f"{record.scenario or '?':<26} {record.profile or '?':<7} "
+                f"seed={record.seed} {record.dtype or '?':<8} "
+                f"{record.git_sha or '?':<10} {record.status:<9} {accs}"
+            )
+        return 0
+
+    if args.artifact == "runs-diff":
+        deltas = store.diff(args.a, args.b, axis=args.axis)
+        if args.json:
+            print(
+                json.dumps(
+                    {"a": args.a, "b": args.b, "axis": args.axis, "cells": deltas},
+                    indent=2,
+                )
+            )
+            return 0
+        print(
+            f"runs diff {args.a} -> {args.b} (axis={args.axis}): "
+            f"{len(deltas)} matched (cell, protocol) pairs"
+        )
+        for row in deltas:
+            print(
+                f"  {row['method']:<10} {row['scenario']:<26} "
+                f"seed={row['seed']} {row['protocol']:<3} "
+                f"acc {row['acc_a']:.4f} -> {row['acc_b']:.4f} "
+                f"({row['acc_delta']:+.4f})  "
+                f"fgt {row['fgt_a']:.4f} -> {row['fgt_b']:.4f} "
+                f"({row['fgt_delta']:+.4f})"
+            )
+        return 0
+
+    if args.artifact == "runs-report":
+        from repro.store.report import render_report
+
+        artifact = args.report_artifact
+        options: dict = {}
+        if artifact in ("table1", "table2"):
+            # Defaults mirror the engine CLI's table1/table2 commands,
+            # so `runs report table1` diffs clean against `table1`.
+            default = ("MN->US",) if artifact == "table1" else ("Ar->Cl",)
+            options["columns"] = tuple(args.columns) if args.columns else default
+            if args.methods:
+                options["methods"] = tuple(args.methods)
+        elif artifact == "table3":
+            options["domains"] = tuple(args.domains)
+            if args.methods:
+                options["methods"] = tuple(args.methods)
+        if artifact != "trend":
+            options["profile"] = getattr(args, "profile", None)
+            options["dtype"] = getattr(args, "dtype", None)
+            options["seed"] = args.seed
+        try:
+            print(render_report(store, artifact, **options))
+        except (LookupError, ValueError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        return 0
+
+    raise AssertionError(f"unhandled runs command {args.artifact}")
 
 
 def _parse_size(text: str) -> int:

@@ -1,0 +1,395 @@
+"""Paper artifacts rendered straight from the run store.
+
+Each ``<artifact>_from_store`` function reconstructs the exact result
+dataclass the corresponding ``repro.experiments`` runner produces —
+from recorded rows instead of live cells — and the rendering goes
+through the *same* ``render_*`` functions, so on a warm store the
+output is byte-identical to the engine-derived tables (CI asserts
+this).  Nothing here ever trains: a cell missing from the store raises
+with a pointer at ``runs backfill`` / the producing CLI command.
+
+Selection semantics: a cell is identified by (method, scenario,
+profile, seed, dtype, overrides); when several rows match (the same
+cell re-executed across SHAs), the newest row wins — which is also
+what the cache would have served.
+
+``trend_from_store`` is the fleet-scale counterpart of
+``tools/bench_trend.py``: per-SHA wall-clock totals and deltas
+computed over every recorded cell rather than one CI bench run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .db import RunStore
+
+__all__ = [
+    "figure2_from_store",
+    "render_report",
+    "render_trend",
+    "table1_from_store",
+    "table2_from_store",
+    "table3_from_store",
+    "table4_from_store",
+    "trend_from_store",
+]
+
+
+class _CellMetrics:
+    """Duck-typed stand-in for ContinualResult inside a PairResult."""
+
+    __slots__ = ("acc", "fgt")
+
+    def __init__(self, acc: float, fgt: float) -> None:
+        self.acc = acc
+        self.fgt = fgt
+
+
+class _MissingCell(LookupError):
+    pass
+
+
+def _resolved(profile, seed, dtype):
+    """Fill selection defaults from the resolved profile (like the CLI)."""
+    from repro.engine.profiles import ExperimentProfile, get_profile
+
+    if not isinstance(profile, ExperimentProfile):
+        profile = get_profile(profile)
+    return (
+        profile.name,
+        profile.seed if seed is None else seed,
+        profile.dtype if dtype is None else dtype,
+    )
+
+
+def _latest(records):
+    held = None
+    for record in records:
+        if held is None or (record.created or 0) >= (held.created or 0):
+            held = record
+    return held
+
+
+def _cell(
+    store: RunStore,
+    method: str,
+    scenario: str,
+    profile: str,
+    seed: int,
+    dtype: str | None,
+    *,
+    method_overrides: dict | None = None,
+    scenario_params: dict | None = None,
+):
+    matches = [
+        record
+        for record in store.query(
+            method=method, scenario=scenario, profile=profile, seed=seed, dtype=dtype
+        )
+        if (method_overrides is None or record.method_overrides == method_overrides)
+        and (scenario_params is None or record.scenario_params == scenario_params)
+    ]
+    record = _latest(matches)
+    if record is None or record.metrics is None:
+        raise _MissingCell(
+            f"run store {store.path} has no row for {method} on {scenario} "
+            f"(profile={profile}, seed={seed}, dtype={dtype}); run the "
+            f"producing sweep first, or `runs backfill` an existing cache"
+        )
+    return record
+
+
+def _scenario_enum(protocol: str):
+    from repro.continual import Scenario
+
+    return Scenario.parse(protocol)
+
+
+def _pair_from_store(
+    store, scenario, profile, seed, dtype, methods, include_tvt=True, scenario_params=None
+):
+    """Rebuild the PairResult table shape for one scenario column."""
+    from repro.engine.runner import PairResult
+
+    pair = PairResult(stream_name="")
+    for method in methods:
+        record = _cell(
+            store,
+            method,
+            scenario,
+            profile,
+            seed,
+            dtype,
+            method_overrides={},
+            scenario_params=scenario_params,
+        )
+        pair.stream_name = record.stream or pair.stream_name
+        pair.results[method] = {
+            _scenario_enum(protocol): _CellMetrics(
+                record.acc(protocol), record.fgt(protocol)
+            )
+            for protocol in record.protocols()
+        }
+    if include_tvt:
+        record = _cell(
+            store, "TVT", scenario, profile, seed, dtype,
+            method_overrides={}, scenario_params=scenario_params,
+        )
+        pair.tvt_acc = {
+            _scenario_enum(protocol): record.acc(protocol)
+            for protocol in record.protocols()
+        }
+    return pair
+
+
+def table1_from_store(
+    store: RunStore,
+    columns=("A->W", "D->W", "MN->US", "US->MN", "VisDA-2017"),
+    *,
+    profile=None,
+    methods=None,
+    seed: int | None = None,
+    dtype: str | None = None,
+    include_tvt: bool = True,
+):
+    """Table I from recorded rows (same defaults as ``run_table1``)."""
+    from repro.experiments.common import CONTINUAL_METHODS
+    from repro.experiments.table1 import COLUMN_SCENARIOS, TABLE1_COLUMNS, Table1Result
+
+    profile, seed, dtype = _resolved(profile, seed, dtype)
+    columns = TABLE1_COLUMNS if columns is None else tuple(columns)
+    unknown = set(columns) - set(TABLE1_COLUMNS)
+    if unknown:
+        raise ValueError(f"unknown Table I columns: {sorted(unknown)}")
+    result = Table1Result(profile=profile)
+    for column in columns:
+        result.pairs[column] = _pair_from_store(
+            store,
+            COLUMN_SCENARIOS[column],
+            profile,
+            seed,
+            dtype,
+            methods or CONTINUAL_METHODS,
+            include_tvt=include_tvt,
+        )
+    return result
+
+
+def table2_from_store(
+    store: RunStore,
+    columns=("Ar->Cl", "Cl->Pr"),
+    *,
+    profile=None,
+    methods=None,
+    seed: int | None = None,
+    dtype: str | None = None,
+    include_tvt: bool = True,
+):
+    """Table II from recorded rows (same defaults as ``run_table2``)."""
+    from repro.experiments.common import CONTINUAL_METHODS
+    from repro.experiments.table2 import TABLE2_COLUMNS, Table2Result
+
+    profile, seed, dtype = _resolved(profile, seed, dtype)
+    columns = TABLE2_COLUMNS if columns is None else tuple(columns)
+    unknown = set(columns) - set(TABLE2_COLUMNS)
+    if unknown:
+        raise ValueError(f"unknown Office-Home pairs: {sorted(unknown)}")
+    result = Table2Result(profile=profile)
+    for column in columns:
+        result.pairs[column] = _pair_from_store(
+            store,
+            f"office_home/{column}",
+            profile,
+            seed,
+            dtype,
+            methods or CONTINUAL_METHODS,
+            include_tvt=include_tvt,
+        )
+    return result
+
+
+def table3_from_store(
+    store: RunStore,
+    domains=("clp", "rel", "skt"),
+    *,
+    profile=None,
+    methods=None,
+    seed: int | None = None,
+    dtype: str | None = None,
+    num_classes: int = 15,
+    classes_per_task: int = 3,
+):
+    """Table III from recorded rows (same defaults as ``run_table3``)."""
+    from repro.experiments.table3 import DEFAULT_METHODS, Table3Result
+
+    profile, seed, dtype = _resolved(profile, seed, dtype)
+    params = dict(num_classes=num_classes, classes_per_task=classes_per_task)
+    result = Table3Result(profile=profile, domains=tuple(domains))
+    for source in domains:
+        for target in domains:
+            if source == target:
+                continue
+            result.pairs[(source, target)] = _pair_from_store(
+                store,
+                f"domainnet/{source}->{target}",
+                profile,
+                seed,
+                dtype,
+                methods or DEFAULT_METHODS,
+                include_tvt=False,
+                scenario_params=params,
+            )
+    return result
+
+
+def table4_from_store(
+    store: RunStore,
+    directions=("mnist->usps", "usps->mnist"),
+    variants=None,
+    *,
+    profile=None,
+    seed: int | None = None,
+    dtype: str | None = None,
+):
+    """Table IV ablation grid from recorded rows.
+
+    Variants are distinguished purely by the recorded
+    ``method_overrides``, which is why the store indexes them.
+    """
+    from repro.experiments.table4 import ABLATION_VARIANTS, Table4Result
+
+    profile, seed, dtype = _resolved(profile, seed, dtype)
+    variants = tuple(variants) if variants is not None else tuple(ABLATION_VARIANTS)
+    unknown = set(variants) - set(ABLATION_VARIANTS)
+    if unknown:
+        raise ValueError(f"unknown ablation variants: {sorted(unknown)}")
+    result = Table4Result(profile=profile)
+    for variant in variants:
+        for direction in directions:
+            record = _cell(
+                store,
+                "CDCL",
+                f"digits/{direction}",
+                profile,
+                seed,
+                dtype,
+                method_overrides=dict(ABLATION_VARIANTS[variant]),
+            )
+            result.accs.setdefault(variant, {})[direction] = {
+                _scenario_enum(protocol): record.acc(protocol)
+                for protocol in record.protocols()
+            }
+    return result
+
+
+def figure2_from_store(
+    store: RunStore,
+    *,
+    profile=None,
+    seed: int | None = None,
+    dtype: str | None = None,
+):
+    """Figure 2 series from the recorded CDCL-on-VisDA R-matrices."""
+    from repro.experiments.figure2 import Figure2Result, Figure2Series
+
+    profile, seed, dtype = _resolved(profile, seed, dtype)
+    record = _cell(
+        store, "CDCL", "visda2017", profile, seed, dtype, method_overrides={}
+    )
+    result = Figure2Result(profile=profile)
+    for protocol in record.protocols():
+        scenario = _scenario_enum(protocol)
+        values = np.asarray(record.r_matrix(protocol), dtype=float)
+        series = Figure2Series(scenario=scenario)
+        for step in range(values.shape[0]):
+            row = values[step, : step + 1]
+            series.mean.append(float(np.mean(row)))
+            series.std.append(float(np.std(row)))
+        result.series[scenario] = series
+    return result
+
+
+def trend_from_store(store: RunStore) -> list[dict]:
+    """Per-SHA aggregates over every recorded cell, first-seen order.
+
+    One row per SHA: cell count, total recorded wall-clock, and the
+    delta of that total against the previous SHA — the bench trend
+    axis, computed from provenance instead of CI artifacts.
+    """
+    rows = []
+    previous_total = None
+    for sha in store.shas():
+        records = store.query(git_sha=sha)
+        elapsed = [r.elapsed for r in records if r.elapsed is not None]
+        total = round(sum(elapsed), 3) if elapsed else None
+        delta = (
+            (total / previous_total - 1.0)
+            if (previous_total and total is not None)
+            else None
+        )
+        workers = sorted({r.worker for r in records if r.worker})
+        rows.append(
+            {
+                "sha": sha,
+                "cells": len(records),
+                "seconds": total,
+                "delta": delta,
+                "workers": len(workers),
+                "dtypes": ",".join(sorted({r.dtype for r in records if r.dtype})),
+            }
+        )
+        if total is not None:
+            previous_total = total
+    return rows
+
+
+_TREND_COLUMNS = ("sha", "cells", "seconds", "delta", "workers", "dtypes")
+
+
+def render_trend(rows: list[dict]) -> str:
+    lines = ["### Run-store trend", ""]
+    lines.append("| " + " | ".join(_TREND_COLUMNS) + " |")
+    lines.append("|" + "|".join("---" for _ in _TREND_COLUMNS) + "|")
+    for row in rows:
+        cells = []
+        for column in _TREND_COLUMNS:
+            value = row[column]
+            if value is None or value == "":
+                cells.append("-")
+            elif column == "seconds":
+                cells.append(f"{value:.1f}")
+            elif column == "delta":
+                cells.append(f"{value:+.1%}")
+            else:
+                cells.append(str(value))
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def render_report(store: RunStore, artifact: str, **options) -> str:
+    """One rendered artifact (the ``runs report`` CLI entry point)."""
+    from repro.experiments import (
+        render_figure2,
+        render_table1,
+        render_table2,
+        render_table3,
+        render_table4,
+    )
+
+    if artifact == "table1":
+        return render_table1(table1_from_store(store, **options))
+    if artifact == "table2":
+        return render_table2(table2_from_store(store, **options))
+    if artifact == "table3":
+        from repro.experiments.table3 import DEFAULT_METHODS
+
+        methods = options.get("methods") or DEFAULT_METHODS
+        return render_table3(table3_from_store(store, **options), methods=methods)
+    if artifact == "table4":
+        return render_table4(table4_from_store(store, **options))
+    if artifact == "figure2":
+        return render_figure2(figure2_from_store(store, **options))
+    if artifact == "trend":
+        return render_trend(trend_from_store(store))
+    raise ValueError(f"unknown report artifact {artifact!r}")

@@ -157,3 +157,130 @@ class TestClusterCommands:
         code = main(["--cluster", "http://nope:1", "multiseed", "--seeds", "0"])
         assert code == 2
         assert "scheme" in capsys.readouterr().err
+
+
+class TestNounVerbGroups:
+    """The 0.6 noun-verb surface and its deprecated flat aliases."""
+
+    @pytest.fixture(autouse=True)
+    def _isolated_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "engine-cache"))
+
+    def _seed_entry(self, key="a" * 32, scenario="digits"):
+        cache.store(key, b"payload", meta={"method": "CDCL", "scenario": scenario, "seed": 0})
+        return key
+
+    def test_cache_stats_noun_verb(self, capsys):
+        self._seed_entry()
+        assert main(["cache", "stats"]) == 0
+        captured = capsys.readouterr()
+        assert "entries         : 1" in captured.out
+        assert "deprecated" not in captured.err
+
+    def test_deprecated_alias_still_works_and_warns(self, capsys):
+        self._seed_entry()
+        assert main(["cache-stats"]) == 0
+        captured = capsys.readouterr()
+        assert "entries         : 1" in captured.out
+        assert "'cache-stats' is deprecated" in captured.err
+        assert "cache stats" in captured.err
+
+    def test_alias_rewrite_skips_value_taking_globals(self, capsys):
+        # --profile consumes "smoke": the scan must not mistake the
+        # value for the subcommand word.
+        self._seed_entry()
+        assert main(["--profile", "smoke", "cache-stats", "--json"]) == 0
+        captured = capsys.readouterr()
+        assert json.loads(captured.out)["entries"] == 1
+        assert "deprecated" in captured.err
+
+    def test_cache_verb_required(self):
+        with pytest.raises(SystemExit):
+            main(["cache"])
+
+    def test_cache_inspect_both_spellings(self, capsys):
+        key = self._seed_entry()
+        assert main(["cache", "inspect", key]) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(["cache-inspect", key]) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert first == second
+
+    def test_cache_evict_noun_verb(self, capsys):
+        self._seed_entry()
+        assert main(["cache", "evict", "--max-entries", "0"]) == 0
+        assert "evicted 1" in capsys.readouterr().out
+
+    def test_cluster_worker_noun_verb_fails_cleanly(self, capsys):
+        code = main(
+            ["cluster", "worker", "--coordinator", "127.0.0.1:1",
+             "--poll-interval", "0.01"]
+        )
+        assert code == 2
+        assert "unreachable" in capsys.readouterr().err
+
+
+class TestRunsCommands:
+    @pytest.fixture(autouse=True)
+    def _isolated_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "engine-cache"))
+
+    def _seed_entry(self, key="a" * 32, method="CDCL", seed=0):
+        cache.store(
+            key,
+            b"payload",
+            meta={"method": method, "scenario": "digits", "seed": seed,
+                  "profile": "smoke", "dtype": "float32"},
+        )
+        return key
+
+    def test_runs_query_empty_store(self, capsys):
+        assert main(["runs", "query"]) == 0
+        assert "0 rows" in capsys.readouterr().out
+
+    def test_runs_query_lists_indexed_cells(self, capsys):
+        self._seed_entry("a" * 32, method="CDCL")
+        self._seed_entry("b" * 32, method="DER", seed=1)
+        assert main(["runs", "query"]) == 0
+        out = capsys.readouterr().out
+        assert "2 rows" in out and "CDCL" in out and "DER" in out
+        assert main(["runs", "query", "--method", "DER", "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        # A metrics-less payload still exports one row (acc empty).
+        [row] = document["rows"]
+        assert row["cache_key"] == "b" * 32
+        assert row["acc"] is None
+        assert main(["runs", "query", "--method", "nope"]) == 0
+        assert "0 rows" in capsys.readouterr().out
+
+    def test_runs_query_unknown_since_sha_is_tidy(self, capsys):
+        self._seed_entry()
+        assert main(["runs", "query", "--since-sha", "feedface"]) == 2
+        assert "no rows" in capsys.readouterr().err
+
+    def test_runs_backfill_reindexes_a_wiped_store(self, capsys):
+        from repro.store import RunStore
+
+        self._seed_entry()
+        store = RunStore()
+        store.clear()
+        assert main(["runs", "backfill"]) == 0
+        out = capsys.readouterr().out
+        assert "1 indexed" in out
+        assert store.count() == 1
+
+    def test_runs_report_missing_cell_points_at_backfill(self, capsys):
+        assert main(["--profile", "smoke", "runs", "report", "table1"]) == 2
+        assert "backfill" in capsys.readouterr().err
+
+    def test_runs_report_rejects_unknown_artifact(self):
+        with pytest.raises(SystemExit):
+            main(["runs", "report", "table9"])
+
+    def test_runs_diff_empty_sides(self, capsys):
+        assert main(["runs", "diff", "aaa", "bbb"]) == 0
+        assert "0 matched" in capsys.readouterr().out
+
+    def test_runs_verb_required(self):
+        with pytest.raises(SystemExit):
+            main(["runs"])

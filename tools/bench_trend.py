@@ -17,6 +17,12 @@ Usage::
     python tools/bench_trend.py reports/            # markdown to stdout
     python tools/bench_trend.py reports/ --csv -o trend.csv
     python tools/bench_trend.py --cell "benchmarks/test_table1.py::..." reports/
+    python tools/bench_trend.py --store ~/.cache/repro-engine
+
+``--store`` renders the trend from a cache directory's run-store index
+(``runs.sqlite``) instead of BENCH artifacts: one row per recorded git
+SHA, aggregated over every cell the fleet executed (equivalent to
+``python -m repro.experiments runs report trend``).
 
 Exit codes: 0 ok, 2 no reports found.
 """
@@ -141,6 +147,29 @@ def render_csv(rows: list[dict]) -> str:
     return buffer.getvalue()
 
 
+def _store_trend(cache_dir: Path, output: Path | None) -> int:
+    """Render the per-SHA trend recorded in ``<cache_dir>/runs.sqlite``."""
+    # src/ layout: make `repro` importable when run as a plain script.
+    src = Path(__file__).resolve().parents[1] / "src"
+    if src.is_dir() and str(src) not in sys.path:
+        sys.path.insert(0, str(src))
+    from repro.store import RunStore
+    from repro.store.report import render_trend, trend_from_store
+
+    store = RunStore(cache_dir)
+    rows = trend_from_store(store)
+    if not rows:
+        print(f"no recorded runs in {store.path}", file=sys.stderr)
+        return 2
+    text = render_trend(rows) + "\n"
+    if output is not None:
+        output.write_text(text)
+        print(f"wrote {output} ({len(rows)} rows)")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -166,7 +195,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "-o", "--output", type=Path, default=None, help="write here instead of stdout"
     )
+    parser.add_argument(
+        "--store",
+        type=Path,
+        default=None,
+        metavar="CACHE_DIR",
+        help="render the trend from this cache directory's runs.sqlite "
+        "index instead of BENCH_*.json artifacts",
+    )
     args = parser.parse_args(argv)
+
+    if args.store is not None:
+        return _store_trend(args.store, args.output)
 
     reports = load_reports(args.directory, order=args.order)
     if not reports:
