@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.util import env_flag
+from repro.utils import env_flag
 
 
 def full_sweep() -> bool:

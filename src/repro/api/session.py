@@ -703,6 +703,20 @@ class Session:
 
         return InferenceService(session=self, **kwargs)
 
+    def gateway(self, address: str, **kwargs):
+        """A :class:`repro.gateway.GatewayClient` bound to this session.
+
+        ``address`` names a running gateway (``"host:port"``, or a bare
+        host for the default gateway port); the session supplies spec
+        resolution so ``client.predict(session.spec("cdcl", ...), x)``
+        routes by the same cache key the gateway's fleet serves under.
+        Keyword arguments (``attempts``, ``timeout``) tune the client's
+        retry-through-busy behaviour.
+        """
+        from repro.gateway import GatewayClient
+
+        return GatewayClient(address, session=self, **kwargs)
+
     # -- run store ------------------------------------------------------
     def store(self):
         """The session's :class:`repro.store.RunStore` (query/diff/backfill).

@@ -128,7 +128,7 @@ def encode_spec(spec: RunSpec) -> dict:
     re-applies it around the cell — otherwise the leased cell would
     fail on a worker whose environment lacks the flag.
     """
-    from repro.util import env_flag
+    from repro.utils import env_flag
 
     profile_overrides = dict(spec.profile_overrides)
     profile_overrides.setdefault("dtype", spec.resolved_profile().dtype)

@@ -225,6 +225,27 @@ def store(key: str, obj: Any, meta: dict | None = None) -> Path:
     return path
 
 
+def install_checkpoint(key: str, blob: bytes, meta: dict | None = None) -> Path:
+    """Install a checkpoint delivered as bytes (wire transport).
+
+    Writes ``<key>.ckpt.npz`` atomically plus the manifest sidecar when
+    the entry has none yet — producing the same *checkpoint-only* entry
+    shape :func:`verify` already recognises (checkpoint + sidecar, no
+    result).  This is how a serving replica with a disjoint cache
+    receives a model from the gateway; scores stay wherever the cell
+    was trained.
+    """
+    directory = cache_dir()
+    directory.mkdir(parents=True, exist_ok=True)
+    path = checkpoint_path(key)
+    _atomic_write(path, lambda handle: handle.write(blob))
+    if not _meta_path_for(key).exists():
+        sidecar = {"created": time.time(), "spec": dict(meta or {})}
+        payload = json.dumps(sidecar, sort_keys=True).encode()
+        _atomic_write(_meta_path_for(key), lambda handle: handle.write(payload))
+    return path
+
+
 def _atomic_write(path: Path, write) -> None:
     fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
     try:
@@ -444,7 +465,7 @@ def evict(
     checkpointed Session run) are never candidates.  Calling with no
     arguments is a no-op (use :func:`clear` to drop everything).
     """
-    from repro.util import parse_size
+    from repro.utils import parse_size
 
     if max_bytes is not None:
         max_bytes = parse_size(max_bytes)

@@ -349,7 +349,7 @@ def _register_builtin_scenarios() -> None:
     # executor) and are gated behind REPRO_FULL so a mistyped scenario
     # name can never silently start an overnight run.
     def _full_runs_enabled() -> bool:
-        from repro.util import env_flag
+        from repro.utils import env_flag
 
         return env_flag("REPRO_FULL")
 

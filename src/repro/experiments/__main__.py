@@ -26,6 +26,8 @@ Usage::
     python -m repro.experiments predict --port 7071 --sample 16
     python -m repro.experiments cluster coordinator --port 7070
     python -m repro.experiments cluster worker --coordinator host:7070
+    python -m repro.experiments gateway run --min-replicas 1 --max-replicas 4
+    python -m repro.experiments gateway replica --gateway host:7072
     python -m repro.experiments multiseed --seeds 0 1 2 3 \
         --cluster cluster://host:7070
     python -m repro.experiments --version
@@ -43,8 +45,10 @@ evict,verify}`` reports on, bounds, and repairs the result cache;
 ``runs {query,diff,report,backfill}`` queries the SQLite run-store
 index (``runs.sqlite``) and renders paper artifacts straight from
 recorded rows; ``cluster {coordinator,worker}`` runs the distributed
-executor.  The pre-0.6 flat spellings (``cache-stats``,
-``cluster-worker``, ...) still work as hidden deprecated aliases.
+executor; ``gateway {run,replica}`` runs the elastic multi-model
+serving gateway and its fleet.  The pre-0.6 flat spellings
+(``cache-stats``, ``cluster-worker``, ...) still work as hidden
+deprecated aliases.
 """
 
 from __future__ import annotations
@@ -78,13 +82,19 @@ from repro.cluster.cli import (
     run_coordinator,
     run_worker,
 )
+from repro.gateway.cli import (
+    add_gateway_replica_arguments,
+    add_gateway_run_arguments,
+    run_gateway,
+    run_gateway_replica,
+)
 from repro.serve.cli import (
     add_predict_arguments,
     add_serve_arguments,
     run_predict,
     run_serve,
 )
-from repro.util import format_bytes, parse_size
+from repro.utils import format_bytes, parse_size
 
 # Pre-0.6 flat spellings kept as hidden aliases of the noun-verb
 # groups; each use warns once on stderr and is rewritten before
@@ -282,6 +292,25 @@ def main(argv: list[str] | None = None) -> int:
     pworker.set_defaults(artifact="cluster-worker")
     add_worker_arguments(pworker)
 
+    pgateway = sub.add_parser(
+        "gateway", help="elastic multi-model serving over a replica fleet"
+    )
+    gateway_sub = pgateway.add_subparsers(dest="verb", required=True)
+
+    pgrun = gateway_sub.add_parser(
+        "run",
+        help="route predicts by model key across autoscaled replicas",
+    )
+    pgrun.set_defaults(artifact="gateway-run")
+    add_gateway_run_arguments(pgrun)
+
+    pgreplica = gateway_sub.add_parser(
+        "replica",
+        help="serve models for a gateway (joins and heartbeats its fleet)",
+    )
+    pgreplica.set_defaults(artifact="gateway-replica")
+    add_gateway_replica_arguments(pgreplica)
+
     args = parser.parse_args(argv)
 
     if args.artifact.startswith("runs-"):
@@ -292,6 +321,12 @@ def main(argv: list[str] | None = None) -> int:
         return run_coordinator(args)
     if args.artifact == "cluster-worker":
         return run_worker(args)
+    # Gateway processes serve wire-pinned specs: the global profile
+    # flags do not apply, so a plain Session (cache access) suffices.
+    if args.artifact == "gateway-run":
+        return run_gateway(args, Session())
+    if args.artifact == "gateway-replica":
+        return run_gateway_replica(args, Session())
 
     try:
         _validate_names(args)
@@ -697,7 +732,7 @@ def _run_runs_command(args: argparse.Namespace) -> int:
 
 
 def _parse_size(text: str) -> int:
-    """Argparse adapter over :func:`repro.util.parse_size`."""
+    """Argparse adapter over :func:`repro.utils.parse_size`."""
     try:
         return parse_size(text)
     except ValueError as error:

@@ -1,0 +1,44 @@
+"""Elastic multi-model serving gateway.
+
+One front door for a fleet of :mod:`repro.serve` replicas: clients
+speak the ordinary JSON-lines ``predict`` dialect (plus a ``"model"``
+field naming the cell), the gateway routes each request by model cache
+key across the registered replicas — consistent hashing with bounded
+per-model replication, backpressure-aware retries, lease-based
+liveness — and an autoscaler grows/shrinks the local replica fleet off
+sustained queue depth.  Replicas keep *disjoint* caches; a replica
+missing a model's checkpoint receives it from the gateway's cache over
+the wire.
+
+Components:
+
+* :class:`~repro.gateway.registry.ReplicaRegistry` /
+  :class:`~repro.gateway.registry.HashRing` — membership, liveness,
+  model→replica assignment;
+* :class:`~repro.gateway.gateway.GatewayApp` — the TCP front end and
+  router;
+* :class:`~repro.gateway.replica.ReplicaApp` — a ``ServeApp`` that
+  registers with a gateway, heartbeats, and accepts wire checkpoints;
+* :class:`~repro.gateway.autoscaler.Autoscaler` — replica subprocess
+  lifecycle off queue depth;
+* :class:`~repro.gateway.client.GatewayClient` — the client helper
+  behind ``Session.gateway()``.
+"""
+
+from repro.gateway.autoscaler import Autoscaler
+from repro.gateway.client import GatewayClient
+from repro.gateway.gateway import DEFAULT_GATEWAY_PORT, GatewayApp
+from repro.gateway.registry import HashRing, ReplicaInfo, ReplicaRegistry
+from repro.gateway.replica import ReplicaAgent, ReplicaApp
+
+__all__ = [
+    "Autoscaler",
+    "GatewayClient",
+    "GatewayApp",
+    "DEFAULT_GATEWAY_PORT",
+    "HashRing",
+    "ReplicaInfo",
+    "ReplicaRegistry",
+    "ReplicaAgent",
+    "ReplicaApp",
+]

@@ -1,0 +1,263 @@
+"""Replica subprocess lifecycle, driven by sustained queue depth.
+
+The autoscaler owns the *local* replicas of a gateway: it launches
+``repro-experiments gateway replica`` subprocesses (each with a
+private cache directory — checkpoint transport keeps them fed) and
+retires them through the registry's drain path.  Externally-started
+replicas register and serve like any other but are never scaled down.
+
+Scaling policy, deliberately simple and fully unit-testable as the
+pure function :func:`desired_target`:
+
+* **up** when mean queue depth per alive replica stays above
+  ``high_depth`` for ``scale_up_after`` seconds (one step per breach,
+  capped at ``max_replicas``);
+* **down** when it stays below ``low_depth`` for ``scale_down_after``
+  seconds (floored at ``min_replicas``);
+* the reconciler also replaces dead replicas (``alive < target``), so
+  a crashed process is respawned without any pressure signal.
+
+``force_target`` (the gateway's ``scale`` op) overrides the pressure
+loop — the operator's explicit fleet size wins until pressure data
+argues otherwise *within the original min/max bounds*.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+__all__ = ["Autoscaler", "desired_target"]
+
+
+def desired_target(
+    target: int,
+    pressure: float,
+    now: float,
+    marks: dict,
+    *,
+    min_replicas: int,
+    max_replicas: int,
+    high_depth: float,
+    low_depth: float,
+    scale_up_after: float,
+    scale_down_after: float,
+) -> int:
+    """The next fleet target given current pressure (pure; unit-tested).
+
+    ``marks`` carries the hysteresis state between calls: when the
+    pressure first crossed each threshold (``{"high": t, "low": t}``).
+    A breach must *persist* for its window before the target moves —
+    one hot batch must not double the fleet.
+    """
+    if pressure > high_depth:
+        marks.pop("low", None)
+        since = marks.setdefault("high", now)
+        if now - since >= scale_up_after and target < max_replicas:
+            marks["high"] = now  # restart the window per step
+            return target + 1
+    elif pressure < low_depth:
+        marks.pop("high", None)
+        since = marks.setdefault("low", now)
+        if now - since >= scale_down_after and target > min_replicas:
+            marks["low"] = now
+            return target - 1
+    else:
+        marks.pop("high", None)
+        marks.pop("low", None)
+    return target
+
+
+class Autoscaler:
+    """Owns replica subprocesses for one gateway."""
+
+    def __init__(
+        self,
+        gateway,
+        *,
+        min_replicas: int = 1,
+        max_replicas: int = 4,
+        high_depth: float = 4.0,
+        low_depth: float = 0.5,
+        scale_up_after: float = 5.0,
+        scale_down_after: float = 30.0,
+        check_interval: float = 0.5,
+        replica_cache_root: str | None = None,
+        replica_args: tuple[str, ...] = (),
+        blas_threads: int = 1,
+    ):
+        if not (1 <= min_replicas <= max_replicas):
+            raise ValueError("need 1 <= min_replicas <= max_replicas")
+        self.gateway = gateway
+        self.min_replicas = min_replicas
+        self.max_replicas = max_replicas
+        self.high_depth = high_depth
+        self.low_depth = low_depth
+        self.scale_up_after = scale_up_after
+        self.scale_down_after = scale_down_after
+        self.check_interval = check_interval
+        self.replica_cache_root = replica_cache_root
+        self.replica_args = tuple(replica_args)
+        self.blas_threads = blas_threads
+        self.target = min_replicas
+        self.spawned_total = 0
+        self.retired_total = 0
+        self._marks: dict = {}
+        self._procs: list[subprocess.Popen] = []
+        self._task: asyncio.Task | None = None
+        self._gateway_address: tuple[str, int] | None = None
+
+    # ------------------------------------------------------------------
+    def start(self, gateway_host: str, gateway_port: int) -> None:
+        """Begin reconciling; call once the gateway endpoint is bound."""
+        self._gateway_address = (gateway_host, gateway_port)
+        self.gateway.autoscaler = self
+        self._task = asyncio.ensure_future(self._run())
+
+    async def close(self) -> None:
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None
+        for proc in self._procs:
+            if proc.poll() is None:
+                proc.terminate()
+        deadline = time.time() + 5.0
+        for proc in self._procs:
+            if proc.poll() is None:
+                try:
+                    proc.wait(timeout=max(0.1, deadline - time.time()))
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+        self._procs.clear()
+
+    def force_target(self, replicas: int) -> None:
+        """Operator override (the gateway's ``scale`` op)."""
+        self.target = max(self.min_replicas, min(self.max_replicas, int(replicas)))
+        self._marks.clear()
+
+    # ------------------------------------------------------------------
+    def pressure(self) -> float:
+        """Mean queue depth per alive replica (the scaling signal)."""
+        alive = self.gateway.registry.alive()
+        if not alive:
+            return 0.0
+        return sum(replica.queue_depth for replica in alive) / len(alive)
+
+    async def _run(self) -> None:
+        while True:
+            try:
+                self._tick()
+            except Exception:
+                pass  # scaling must never kill the gateway loop
+            await asyncio.sleep(self.check_interval)
+
+    def _tick(self) -> None:
+        self._reap()
+        self.target = desired_target(
+            self.target,
+            self.pressure(),
+            time.time(),
+            self._marks,
+            min_replicas=self.min_replicas,
+            max_replicas=self.max_replicas,
+            high_depth=self.high_depth,
+            low_depth=self.low_depth,
+            scale_up_after=self.scale_up_after,
+            scale_down_after=self.scale_down_after,
+        )
+        registry = self.gateway.registry
+        alive = registry.alive()
+        pending = self._pending_count(alive)
+        # Replace the dead and grow toward the target...
+        while len(alive) + pending < self.target:
+            self.spawn_replica()
+            pending += 1
+        # ...and retire the surplus, but only replicas we launched.
+        surplus = len(alive) + pending - self.target
+        if surplus > 0:
+            ours = sorted(
+                (r for r in alive if r.spawned),
+                key=lambda replica: replica.queue_depth,
+            )
+            for replica in ours[:surplus]:
+                registry.drain(replica.replica_id, detail="scale-down")
+                self.retired_total += 1
+
+    def _reap(self) -> None:
+        """Drop exited subprocess handles (their registry entries expire
+        via the lease sweep, or died already via a torn forward)."""
+        self._procs = [proc for proc in self._procs if proc.poll() is None]
+
+    def _pending_count(self, alive) -> int:
+        """Live subprocesses that have not completed ``hello`` yet."""
+        registered = {
+            replica.pid
+            for replica in self.gateway.registry.replicas.values()
+            if replica.pid
+        }
+        return sum(1 for proc in self._procs if proc.pid not in registered)
+
+    # ------------------------------------------------------------------
+    def spawn_replica(self) -> subprocess.Popen:
+        assert self._gateway_address is not None, "call start() first"
+        host, port = self._gateway_address
+        self.spawned_total += 1
+        name = f"auto-{self.spawned_total}"
+        cache_dir = self._cache_dir_for(name)
+        env = dict(os.environ)
+        env["REPRO_CACHE_DIR"] = cache_dir
+        # One BLAS thread per replica: the fleet scales by process, and
+        # N replicas x M BLAS threads oversubscribes the host into
+        # *negative* scaling.
+        for var in ("OMP_NUM_THREADS", "OPENBLAS_NUM_THREADS", "MKL_NUM_THREADS"):
+            env[var] = str(self.blas_threads)
+        command = [
+            sys.executable,
+            "-m",
+            "repro.experiments",
+            "gateway",
+            "replica",
+            "--gateway",
+            f"{host}:{port}",
+            "--port",
+            "0",
+            "--name",
+            name,
+            "--spawned",
+            *self.replica_args,
+        ]
+        proc = subprocess.Popen(command, env=env)
+        self._procs.append(proc)
+        self.gateway._record_event(
+            "replica-spawn", detail=f"{name} pid={proc.pid} cache={cache_dir}"
+        )
+        return proc
+
+    def _cache_dir_for(self, name: str) -> str:
+        root = self.replica_cache_root or os.path.join(
+            tempfile.gettempdir(), f"repro-gateway-{os.getpid()}"
+        )
+        path = Path(root) / name
+        path.mkdir(parents=True, exist_ok=True)
+        return str(path)
+
+    # ------------------------------------------------------------------
+    def summary(self) -> dict:
+        return {
+            "target": self.target,
+            "min": self.min_replicas,
+            "max": self.max_replicas,
+            "pressure": round(self.pressure(), 3),
+            "subprocesses": len(self._procs),
+            "spawned_total": self.spawned_total,
+            "retired_total": self.retired_total,
+        }

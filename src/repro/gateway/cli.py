@@ -1,0 +1,220 @@
+"""CLI glue for ``repro-experiments gateway run`` / ``gateway replica``.
+
+Owned by the gateway package (the CLI front-end stays a thin parser),
+mirroring :mod:`repro.serve.cli` and :mod:`repro.cluster.cli`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import sys
+
+from repro.gateway.autoscaler import Autoscaler
+from repro.gateway.gateway import DEFAULT_GATEWAY_PORT, GatewayApp
+from repro.gateway.replica import ReplicaAgent, ReplicaApp
+
+__all__ = [
+    "add_gateway_run_arguments",
+    "add_gateway_replica_arguments",
+    "run_gateway",
+    "run_gateway_replica",
+]
+
+
+def add_gateway_run_arguments(parser) -> None:
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=DEFAULT_GATEWAY_PORT,
+        help="TCP port (0 picks a free one)",
+    )
+    parser.add_argument(
+        "--min-replicas", type=int, default=1,
+        help="fleet floor (the autoscaler keeps at least this many local replicas)",
+    )
+    parser.add_argument(
+        "--max-replicas", type=int, default=4, help="fleet ceiling"
+    )
+    parser.add_argument(
+        "--replication", type=int, default=2,
+        help="replicas assigned per model (bounded consistent-hash fan-out)",
+    )
+    parser.add_argument(
+        "--lease-timeout", type=float, default=15.0, metavar="SECONDS",
+        help="a replica missing heartbeats for this long is dead",
+    )
+    parser.add_argument(
+        "--max-inflight", type=int, default=256, metavar="N",
+        help="concurrent-request bound at the gateway (0 disables)",
+    )
+    parser.add_argument(
+        "--scale-up-after", type=float, default=5.0, metavar="SECONDS",
+        help="how long mean queue depth must stay high before growing the fleet",
+    )
+    parser.add_argument(
+        "--scale-down-after", type=float, default=30.0, metavar="SECONDS",
+        help="how long the fleet must idle before shrinking",
+    )
+    parser.add_argument(
+        "--high-depth", type=float, default=4.0,
+        help="mean per-replica queue depth that counts as pressure",
+    )
+    parser.add_argument(
+        "--replica-cache-root", default=None, metavar="DIR",
+        help="parent directory for spawned replicas' private caches "
+        "(default: a per-gateway temp directory)",
+    )
+    parser.add_argument(
+        "--replica-max-inflight", type=int, default=8, metavar="N",
+        help="per-replica concurrent-request bound (drives backpressure)",
+    )
+
+
+def add_gateway_replica_arguments(parser) -> None:
+    parser.add_argument(
+        "--gateway", required=True, metavar="HOST:PORT",
+        help="the gateway to register with",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=0, help="TCP port (0 picks a free one)"
+    )
+    parser.add_argument("--name", default="", help="display name in gateway stats")
+    parser.add_argument(
+        "--spawned", action="store_true",
+        help="mark this replica as autoscaler-owned (retirable)",
+    )
+    parser.add_argument(
+        "--max-batch", type=int, default=32, help="micro-batch size ceiling"
+    )
+    parser.add_argument(
+        "--max-delay-ms", type=float, default=2.0,
+        help="how long a batch is held open for stragglers",
+    )
+    parser.add_argument(
+        "--pool-capacity", type=int, default=8, help="resident-model LRU size"
+    )
+    parser.add_argument(
+        "--max-inflight", type=int, default=8, metavar="N",
+        help="concurrent-request bound (excess answers busy; 0 disables)",
+    )
+    parser.add_argument(
+        "--request-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="per-request handling deadline",
+    )
+    parser.add_argument(
+        "--drain-grace", type=float, default=10.0, metavar="SECONDS",
+        help="how long a drain waits for in-flight requests before exit",
+    )
+
+
+def run_gateway(args, session) -> int:
+    """Start the gateway + autoscaler; serve until interrupted."""
+    app = GatewayApp(
+        session,
+        replication=args.replication,
+        lease_timeout=args.lease_timeout,
+        max_inflight=args.max_inflight,
+    )
+    autoscaler = Autoscaler(
+        app,
+        min_replicas=args.min_replicas,
+        max_replicas=args.max_replicas,
+        high_depth=args.high_depth,
+        scale_up_after=args.scale_up_after,
+        scale_down_after=args.scale_down_after,
+        replica_cache_root=args.replica_cache_root,
+        replica_args=("--max-inflight", str(args.replica_max_inflight)),
+    )
+
+    async def _serve() -> None:
+        host, port = await app.start(args.host, args.port)
+        autoscaler.start(host, port)
+        print(
+            f"gateway at {host}:{port} — replicas {args.min_replicas}"
+            f"..{args.max_replicas} (replication {args.replication}, "
+            f"lease {args.lease_timeout:g}s); Ctrl-C to stop",
+            flush=True,
+        )
+        try:
+            await app.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await app.close()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    return 0
+
+
+def run_gateway_replica(args, session) -> int:
+    """Start one replica process and bind it to a gateway."""
+    from repro.cluster.protocol import parse_address
+    from repro.serve.service import InferenceService
+
+    gateway_host, gateway_port = parse_address(args.gateway)
+    service = InferenceService(
+        session,
+        pool_capacity=args.pool_capacity,
+        max_batch=args.max_batch,
+        max_delay_ms=args.max_delay_ms,
+    )
+    app = ReplicaApp(
+        service,
+        max_inflight=args.max_inflight,
+        request_timeout=args.request_timeout,
+    )
+
+    async def _serve() -> int:
+        host, port = await app.start(args.host, args.port)
+        agent = ReplicaAgent(
+            app,
+            gateway_host,
+            gateway_port,
+            advertise_host=host,
+            port=port,
+            name=args.name,
+            spawned=args.spawned,
+        )
+        try:
+            replica_id = await agent.start()
+        except (ConnectionError, RuntimeError) as error:
+            print(f"error: cannot join gateway: {error}", file=sys.stderr)
+            return 2
+        print(
+            f"replica {replica_id} ({args.name or 'unnamed'}) at {host}:{port} "
+            f"joined gateway {gateway_host}:{gateway_port}",
+            flush=True,
+        )
+
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        try:
+            loop.add_signal_handler(signal.SIGTERM, stop.set)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass
+
+        drain_wait = asyncio.ensure_future(agent.drain_requested.wait())
+        stop_wait = asyncio.ensure_future(stop.wait())
+        serve = asyncio.ensure_future(app.serve_forever())
+        await asyncio.wait(
+            [drain_wait, stop_wait, serve], return_when=asyncio.FIRST_COMPLETED
+        )
+        for task in (drain_wait, stop_wait, serve):
+            task.cancel()
+        # Whether the gateway drained us or an operator SIGTERMed us:
+        # refuse new work, finish in-flight, deregister, exit.
+        app.drain()
+        await app.wait_drained(args.drain_grace)
+        await agent.close()
+        await app.close()
+        return 0
+
+    try:
+        return asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("\nshutting down")
+        return 0

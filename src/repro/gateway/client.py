@@ -1,0 +1,113 @@
+"""Client helper for talking to a gateway (``Session.gateway()``).
+
+Thin by design: the wire work is :mod:`repro.netio`'s, the spec
+encoding is the cluster dialect's.  The client's job is ergonomics —
+resolve specs, frame batches, retry through transient busy answers,
+and hand back numpy predictions.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+
+from repro import netio
+
+__all__ = ["GatewayClient"]
+
+
+class GatewayClient:
+    """Predictions against a gateway, by spec.
+
+    ``address`` accepts ``"host:port"``, ``"host"`` (default gateway
+    port), or the ``cluster://`` scheme form.  Each call opens a fresh
+    connection (the dialect is one-shot); ``attempts``/``timeout``
+    bound the retry-through-busy behaviour.
+    """
+
+    def __init__(
+        self,
+        address: str,
+        session=None,
+        *,
+        attempts: int = 5,
+        timeout: float | None = 60.0,
+    ):
+        from repro.api import Session
+        from repro.cluster.protocol import parse_address
+        from repro.gateway.gateway import DEFAULT_GATEWAY_PORT
+
+        host, port = parse_address(address)
+        if ":" not in address.split("://")[-1]:
+            port = DEFAULT_GATEWAY_PORT  # bare host: gateway's door, not the cluster's
+        self.host = host
+        self.port = port
+        self.session = session if session is not None else Session()
+        self.attempts = attempts
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def _wire_spec(self, spec) -> dict:
+        from repro.cluster.protocol import encode_spec
+
+        with self.session._activate():
+            return encode_spec(spec)
+
+    async def predict_async(
+        self,
+        spec,
+        images,
+        *,
+        task_id: int | None = None,
+        scenario: str = "til",
+    ) -> np.ndarray:
+        """Class predictions for one (C,H,W) image or an (N,C,H,W) batch."""
+        images = np.asarray(images)
+        response = await netio.request_with_retry(
+            self.host,
+            self.port,
+            {
+                "op": "predict",
+                "model": self._wire_spec(spec),
+                "images": images.tolist(),
+                "task_id": task_id,
+                "scenario": scenario,
+            },
+            attempts=self.attempts,
+            timeout=self.timeout,
+        )
+        if not response.get("ok"):
+            raise RuntimeError(f"gateway predict failed: {response.get('error')}")
+        return np.asarray(response["predictions"], dtype=np.int64)
+
+    def predict(self, spec, images, *, task_id=None, scenario="til") -> np.ndarray:
+        return asyncio.run(
+            self.predict_async(spec, images, task_id=task_id, scenario=scenario)
+        )
+
+    # ------------------------------------------------------------------
+    async def stats_async(self) -> dict:
+        response = await netio.request_with_retry(
+            self.host, self.port, {"op": "stats"}, attempts=self.attempts
+        )
+        if not response.get("ok"):
+            raise RuntimeError(f"gateway stats failed: {response.get('error')}")
+        return response["stats"]
+
+    def stats(self) -> dict:
+        return asyncio.run(self.stats_async())
+
+    async def scale_async(self, replicas: int) -> int:
+        response = await netio.request_with_retry(
+            self.host,
+            self.port,
+            {"op": "scale", "replicas": int(replicas)},
+            attempts=self.attempts,
+        )
+        if not response.get("ok"):
+            raise RuntimeError(f"gateway scale failed: {response.get('error')}")
+        return int(response["target"])
+
+    def scale(self, replicas: int) -> int:
+        return asyncio.run(self.scale_async(replicas))

@@ -1,0 +1,425 @@
+"""The gateway process: one TCP front door over a replica fleet.
+
+Clients speak the same newline-framed JSON dialect as
+:mod:`repro.serve` — a ``predict`` here additionally carries a
+``"model"`` field (wire-form spec, the cluster dialect's
+``encode_spec`` shape) naming the cell to serve.  The gateway computes
+the model's cache key, picks a replica from the consistent-hash
+assignment, and forwards the client's *raw line* (a 40 MiB image batch
+is framed once, not re-serialized), returning the replica's answer.
+
+Failure handling, per request:
+
+* **busy / draining replica** — steer to the next assigned replica;
+  when all candidates are hot, back off (:func:`netio.backoff_delays`)
+  and retry.  Clients see a busy answer only after the gateway itself
+  exhausted its attempts.
+* **dead socket** — the replica is marked dead immediately (faster
+  than waiting for its lease to lapse), its models re-assign, and the
+  request retries on a survivor.  Client requests ride through a
+  replica kill without an error.
+* **checkpoint unavailable** — the replica's cache lacks the model:
+  the gateway pushes the checkpoint bytes from its own cache over the
+  wire (``put_checkpoint``) and retries the same replica.  Replica
+  caches are fully disjoint from the gateway's.
+
+Trusted-peer model, same as the cluster layer: replicas and gateway
+assume a private network — ``put_checkpoint`` installs files and wire
+specs name registry entries, so neither end should be exposed to
+untrusted input.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro import netio
+from repro.gateway.registry import ReplicaInfo, ReplicaRegistry
+
+__all__ = ["GatewayApp", "DEFAULT_GATEWAY_PORT"]
+
+#: serve claims 7071 (cluster 7070); the gateway is the next door down.
+DEFAULT_GATEWAY_PORT = 7072
+
+#: Canonical client framing (``json.dumps`` with default separators and
+#: ``op``/``model`` first).  Lines with this exact prefix let the
+#: router decode *only* the small wire spec instead of parsing a
+#: megabyte image batch it is about to forward verbatim — the gateway
+#: is one process in front of N replicas, and a full parse here puts a
+#: serial term in front of every parallel forward.
+_PREDICT_PREFIX = b'{"op": "predict", "model": '
+#: Wire specs are a method name plus overrides: far under this.
+_PREDICT_SNIFF_MAX = 8192
+
+
+class GatewayApp:
+    """Router + registry + checkpoint transport behind one endpoint."""
+
+    def __init__(
+        self,
+        session=None,
+        *,
+        replication: int = 2,
+        lease_timeout: float = 15.0,
+        max_inflight: int | None = 256,
+        request_timeout: float | None = None,
+        retry_attempts: int = 8,
+        retry_base_delay: float = 0.05,
+    ):
+        from repro.api import Session
+
+        self.session = session if session is not None else Session()
+        self.registry = ReplicaRegistry(
+            lease_timeout=lease_timeout,
+            replication=replication,
+            on_event=self._record_event,
+        )
+        self.gate = netio.InflightGate(max_inflight)
+        self.request_timeout = request_timeout
+        self.retry_attempts = retry_attempts
+        self.retry_base_delay = retry_base_delay
+        self.server: asyncio.AbstractServer | None = None
+        #: Attached by the CLI (or tests); drives `scale` and replica
+        #: subprocess lifecycle.  The app itself never spawns.
+        self.autoscaler = None
+        self.timeouts = 0
+        self.forwarded = 0
+        self.retries = 0
+        self.busy_steers = 0
+        self.checkpoint_pushes = 0
+        self.no_replica_failures = 0
+        #: (model key, replica_id) pairs already delivered, so a hot
+        #: model is pushed to each replica at most once.
+        self._pushed: set[tuple[str, str]] = set()
+
+    # ------------------------------------------------------------------
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> tuple[str, int]:
+        self.server = await asyncio.start_server(
+            self._handle, host, port, limit=netio.STREAM_LIMIT
+        )
+        self._sweeper = asyncio.ensure_future(self._sweep())
+        sockname = self.server.sockets[0].getsockname()
+        return sockname[0], sockname[1]
+
+    async def close(self) -> None:
+        if self.autoscaler is not None:
+            await self.autoscaler.close()
+        if getattr(self, "_sweeper", None) is not None:
+            self._sweeper.cancel()
+            try:
+                await self._sweeper
+            except asyncio.CancelledError:
+                pass
+        if self.server is not None:
+            self.server.close()
+            await self.server.wait_closed()
+
+    async def serve_forever(self) -> None:
+        assert self.server is not None, "call start() first"
+        async with self.server:
+            await self.server.serve_forever()
+
+    async def _sweep(self) -> None:
+        """Expire replicas that stopped heartbeating (lease discipline)."""
+        interval = max(self.registry.lease_timeout / 3.0, 0.05)
+        while True:
+            await asyncio.sleep(interval)
+            for replica in self.registry.expire():
+                self._forget_pushes(replica.replica_id)
+
+    def _forget_pushes(self, replica_id: str) -> None:
+        self._pushed = {pair for pair in self._pushed if pair[1] != replica_id}
+
+    # ------------------------------------------------------------------
+    async def _handle(self, reader, writer):
+        def count_timeout() -> None:
+            self.timeouts += 1
+
+        await netio.serve_connection(
+            reader,
+            writer,
+            self._dispatch,
+            gate=self.gate,
+            request_timeout=self.request_timeout,
+            on_timeout=count_timeout,
+            # Liveness + observability must survive saturation: a full
+            # gateway that sheds heartbeats would declare its whole
+            # fleet dead at the exact moment it needs every replica.
+            shed_exempt=netio.shed_exempt_ops(
+                "stats", "info", "ping", "hello", "heartbeat", "goodbye"
+            ),
+        )
+
+    async def _dispatch(self, line: bytes) -> dict:
+        try:
+            wire = self._sniff_model(line)
+            if wire is not None:
+                return await self._predict(wire, line)
+            payload = json.loads(line)
+            op = payload.get("op")
+            if op == "predict":
+                return await self._predict(payload.get("model"), line)
+            if op == "hello":
+                return self._op_hello(payload)
+            if op == "heartbeat":
+                return self._op_heartbeat(payload)
+            if op == "goodbye":
+                self.registry.goodbye(str(payload.get("replica_id")))
+                return {"ok": True}
+            if op == "stats":
+                return {"ok": True, "stats": self.stats()}
+            if op == "info":
+                return self._info()
+            if op == "ping":
+                return {"ok": True}
+            if op == "scale":
+                return self._op_scale(payload)
+            if op == "drain_replica":
+                return self._op_drain_replica(payload)
+            return {"ok": False, "error": f"unknown op {op!r}"}
+        except Exception as error:  # protocol errors must not kill the gateway
+            return {"ok": False, "error": f"{type(error).__name__}: {error}"}
+
+    # ------------------------------------------------------------------
+    # Replica-facing ops
+    # ------------------------------------------------------------------
+    def _op_hello(self, payload: dict) -> dict:
+        replica = self.registry.hello(
+            str(payload.get("name", "")),
+            str(payload.get("host", "127.0.0.1")),
+            int(payload["port"]),
+            pid=payload.get("pid"),
+            spawned=bool(payload.get("spawned", False)),
+        )
+        return {
+            "ok": True,
+            "replica_id": replica.replica_id,
+            "heartbeat_interval": self.registry.heartbeat_interval,
+            "lease_timeout": self.registry.lease_timeout,
+        }
+
+    def _op_heartbeat(self, payload: dict) -> dict:
+        replica = self.registry.heartbeat(
+            str(payload.get("replica_id")), payload.get("stats")
+        )
+        if replica is None:
+            # Expired or pre-restart id: tell the replica to re-hello.
+            return {"ok": True, "known": False}
+        return {"ok": True, "known": True, "drain": replica.state == "draining"}
+
+    # ------------------------------------------------------------------
+    # Admin ops
+    # ------------------------------------------------------------------
+    def _op_scale(self, payload: dict) -> dict:
+        if self.autoscaler is None:
+            return {"ok": False, "error": "no autoscaler attached to this gateway"}
+        target = int(payload["replicas"])
+        self.autoscaler.force_target(target)
+        return {"ok": True, "target": self.autoscaler.target}
+
+    def _op_drain_replica(self, payload: dict) -> dict:
+        replica = self.registry.drain(str(payload.get("replica_id")), detail="admin")
+        if replica is None:
+            return {"ok": False, "error": "unknown replica_id"}
+        return {"ok": True, "state": replica.state}
+
+    def _info(self) -> dict:
+        from repro import __version__
+
+        return {
+            "ok": True,
+            "version": __version__,
+            "role": "gateway",
+            "replicas": len(self.registry.alive()),
+            "replication": self.registry.replication,
+        }
+
+    def stats(self) -> dict:
+        autoscaler = self.autoscaler.summary() if self.autoscaler is not None else None
+        return {
+            **self.registry.summary(),
+            "traffic": {
+                "forwarded": self.forwarded,
+                "retries": self.retries,
+                "busy_steers": self.busy_steers,
+                "checkpoint_pushes": self.checkpoint_pushes,
+                "no_replica_failures": self.no_replica_failures,
+                "timeouts": self.timeouts,
+            },
+            "transport": self.gate.stats(),
+            "autoscaler": autoscaler,
+        }
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _sniff_model(line: bytes):
+        """The wire spec of a canonically-framed predict line, else None.
+
+        Only the prefix shape guarantees ``"model"`` is the first
+        nested value, so decoding from that offset cannot be fooled by
+        key-lookalike strings later in the payload.  Anything
+        non-canonical falls back to a full parse in ``_dispatch``.
+        """
+        if not line.startswith(_PREDICT_PREFIX):
+            return None
+        head = line[: _PREDICT_SNIFF_MAX].decode("utf-8", errors="ignore")
+        try:
+            wire, _end = json.JSONDecoder().raw_decode(
+                head, len(_PREDICT_PREFIX)
+            )
+        except ValueError:
+            return None  # spec bigger than the sniff window, or malformed
+        return wire
+
+    def _model_key(self, wire) -> str:
+        if wire is None:
+            raise ValueError(
+                'gateway predicts must carry a "model" field (wire-form spec)'
+            )
+        from repro.cluster.protocol import decode_spec
+
+        return decode_spec(wire).cache_key()
+
+    async def _predict(self, wire, line: bytes) -> dict:
+        key = self._model_key(wire)
+        delays = netio.backoff_delays(
+            self.retry_attempts, base=self.retry_base_delay
+        )
+        exclude: set[str] = set()
+        last_response: dict | None = None
+        for attempt in range(self.retry_attempts):
+            if attempt:
+                self.retries += 1
+            replica = self.registry.route(key, exclude=exclude)
+            if replica is None:
+                # Every assigned replica is excluded (hot or draining),
+                # or none exist yet: back off, then retry the full set.
+                exclude.clear()
+                try:
+                    await asyncio.sleep(next(delays))
+                except StopIteration:
+                    break
+                continue
+            replica.inflight += 1
+            try:
+                response = await self._forward(replica, line)
+            except (OSError, asyncio.TimeoutError) as error:
+                # A torn socket is instant death detection — faster
+                # than the lease sweep, so a SIGKILLed replica's models
+                # re-assign before any client sees a failure.
+                self.registry.mark_dead(
+                    replica.replica_id, reason=f"{type(error).__name__} during forward"
+                )
+                self._forget_pushes(replica.replica_id)
+                continue
+            finally:
+                replica.inflight -= 1
+            if response.get("ok"):
+                replica.served += 1
+                self.forwarded += 1
+                return response
+            error = str(response.get("error", ""))
+            last_response = response
+            if error == "busy":
+                replica.busy_answers += 1
+                self.busy_steers += 1
+                exclude.add(replica.replica_id)
+                continue
+            if error == "draining":
+                exclude.add(replica.replica_id)
+                continue
+            if error.startswith("checkpoint unavailable"):
+                if await self._push_checkpoint(key, replica):
+                    continue  # retry the same replica, now provisioned
+                exclude.add(replica.replica_id)
+                continue
+            # A real answer (bad payload, unknown scenario, ...): the
+            # replica spoke for the fleet; retrying would not change it.
+            return response
+        self.no_replica_failures += 1
+        return last_response or {
+            "ok": False,
+            "error": f"no replica available for model {key[:12]} "
+            f"after {self.retry_attempts} attempts",
+        }
+
+    async def _forward(self, replica: ReplicaInfo, line: bytes) -> dict:
+        """One raw-line round trip to a replica on a fresh connection."""
+        reader, writer = await asyncio.open_connection(
+            replica.host, replica.port, limit=netio.STREAM_LIMIT
+        )
+        try:
+            writer.write(line if line.endswith(b"\n") else line + b"\n")
+            await writer.drain()
+            raw = await reader.readline()
+            if not raw:
+                raise ConnectionError("replica closed without answering")
+            return json.loads(raw)
+        finally:
+            writer.close()
+
+    # ------------------------------------------------------------------
+    # Checkpoint transport
+    # ------------------------------------------------------------------
+    async def _push_checkpoint(self, key: str, replica: ReplicaInfo) -> bool:
+        """Deliver ``key``'s checkpoint from our cache to ``replica``.
+
+        Returns True when the replica confirmed the install.  At most
+        one push per (model, replica): a second "checkpoint
+        unavailable" after a successful push means something is wrong
+        on the replica — steer away instead of re-shipping megabytes.
+        """
+        import base64
+
+        if (key, replica.replica_id) in self._pushed:
+            return False
+        from repro.engine import cache
+
+        with self.session._activate():
+            path = cache.checkpoint_path(key)
+            if not path.exists():
+                return False
+            blob = path.read_bytes()
+            meta = cache.inspect(key).get("spec") or {}
+        response = await netio.request_with_retry(
+            replica.host,
+            replica.port,
+            {
+                "op": "put_checkpoint",
+                "key": key,
+                "meta": meta,
+                "data": base64.b64encode(blob).decode("ascii"),
+            },
+            attempts=3,
+            base_delay=self.retry_base_delay,
+        )
+        if not response.get("ok"):
+            return False
+        self._pushed.add((key, replica.replica_id))
+        self.checkpoint_pushes += 1
+        self._record_event(
+            "checkpoint-push", key=key, replica=replica, detail=f"{len(blob)} bytes"
+        )
+        return True
+
+    # ------------------------------------------------------------------
+    # Provenance (observer contract: never let the store break serving)
+    # ------------------------------------------------------------------
+    def _record_event(self, event: str, *, key=None, replica=None, detail: str = ""):
+        try:
+            from repro.store import RunStore, store_enabled
+
+            with self.session._activate():
+                if not store_enabled():
+                    return
+                RunStore().record_provenance(
+                    key if key is not None else "gateway",
+                    event,
+                    worker=replica.replica_id if replica is not None else None,
+                    detail=detail or None,
+                )
+        except Exception:
+            pass

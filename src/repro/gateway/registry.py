@@ -1,0 +1,338 @@
+"""Replica membership, liveness, and model→replica assignment.
+
+The gateway's routing state is deliberately in-memory and
+single-threaded (everything runs on the gateway's asyncio loop, like
+the cluster coordinator's registries): plain dicts, no locks.
+
+Assignment uses a consistent-hash ring with virtual nodes.  Each model
+cache key maps to up to ``replication`` distinct replicas walking
+clockwise from the key's point — so adding or removing one replica
+only remaps the keys that touched it, and every model keeps a bounded
+set of candidate servers to steer between under load.
+
+Liveness mirrors the cluster's lease discipline: ``hello`` admits a
+replica, each ``heartbeat`` pushes its deadline out by
+``lease_timeout``, and the gateway's sweeper expires replicas whose
+deadline passed — their ring points vanish and their models re-assign
+to the survivors.  A deliberate removal (``drain``) takes the replica
+out of the ring immediately while it finishes in-flight work.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["HashRing", "ReplicaInfo", "ReplicaRegistry"]
+
+
+def _point(data: str) -> int:
+    """A stable 64-bit ring position for ``data``."""
+    digest = hashlib.blake2b(data.encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class HashRing:
+    """Consistent hashing with virtual nodes.
+
+    ``vnodes`` points per node smooth the partition: with one point
+    per node, one unlucky gap makes one replica own most of the key
+    space; with 64, shares concentrate around 1/n.
+    """
+
+    def __init__(self, vnodes: int = 64):
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.vnodes = vnodes
+        self._points: list[tuple[int, str]] = []  # sorted (position, node)
+        self._nodes: set[str] = set()
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    def nodes(self) -> frozenset[str]:
+        return frozenset(self._nodes)
+
+    def add(self, node: str) -> None:
+        if node in self._nodes:
+            return
+        self._nodes.add(node)
+        for index in range(self.vnodes):
+            bisect.insort(self._points, (_point(f"{node}#{index}"), node))
+
+    def remove(self, node: str) -> None:
+        if node not in self._nodes:
+            return
+        self._nodes.discard(node)
+        self._points = [(p, n) for p, n in self._points if n != node]
+
+    def assign(self, key: str, count: int) -> list[str]:
+        """Up to ``count`` distinct nodes for ``key``, clockwise order.
+
+        Deterministic in the ring membership: every caller that agrees
+        on the live replica set computes the same assignment.
+        """
+        if not self._points or count < 1:
+            return []
+        wanted = min(count, len(self._nodes))
+        start = bisect.bisect_left(self._points, (_point(key), ""))
+        chosen: list[str] = []
+        for offset in range(len(self._points)):
+            node = self._points[(start + offset) % len(self._points)][1]
+            if node not in chosen:
+                chosen.append(node)
+                if len(chosen) == wanted:
+                    break
+        return chosen
+
+
+@dataclass
+class ReplicaInfo:
+    """One registered replica, as the gateway sees it."""
+
+    replica_id: str
+    name: str
+    host: str
+    port: int
+    pid: int | None = None
+    #: True when this gateway's autoscaler launched the process (and
+    #: may therefore retire it); externally-started replicas are never
+    #: scaled down.
+    spawned: bool = False
+    state: str = "alive"  # alive | draining | dead
+    registered: float = field(default_factory=time.time)
+    last_seen: float = 0.0
+    deadline: float = 0.0
+    #: The replica's last self-reported stats (heartbeat payload):
+    #: service inflight, pool residency, shed counters.
+    stats: dict = field(default_factory=dict)
+    #: Gateway-side load view: forwards currently awaiting this replica.
+    inflight: int = 0
+    served: int = 0
+    busy_answers: int = 0
+
+    @property
+    def queue_depth(self) -> int:
+        """Best current-load estimate: our pending forwards plus the
+        replica's last self-reported inflight count."""
+        reported = self.stats.get("inflight", 0) or 0
+        return self.inflight + int(reported)
+
+    def summary(self) -> dict:
+        return {
+            "replica_id": self.replica_id,
+            "name": self.name,
+            "address": f"{self.host}:{self.port}",
+            "pid": self.pid,
+            "spawned": self.spawned,
+            "state": self.state,
+            "queue_depth": self.queue_depth,
+            "inflight": self.inflight,
+            "served": self.served,
+            "busy_answers": self.busy_answers,
+            "last_seen": self.last_seen,
+        }
+
+
+class ReplicaRegistry:
+    """Membership + assignment; emits lifecycle events via ``on_event``.
+
+    ``on_event(event, key=..., replica=..., detail=...)`` is the
+    provenance hook (the gateway wires it to :mod:`repro.store`);
+    ``key`` is a model cache key for assignment events and ``None`` for
+    fleet-level ones.  The registry never imports the store itself.
+    """
+
+    def __init__(
+        self,
+        *,
+        lease_timeout: float = 15.0,
+        replication: int = 2,
+        vnodes: int = 64,
+        on_event=None,
+    ):
+        if lease_timeout <= 0:
+            raise ValueError("lease_timeout must be positive")
+        if replication < 1:
+            raise ValueError("replication must be >= 1")
+        self.lease_timeout = lease_timeout
+        self.replication = replication
+        self.replicas: dict[str, ReplicaInfo] = {}
+        self.ring = HashRing(vnodes)
+        self.on_event = on_event
+        self.dead = 0
+        self._counter = 0
+        #: Last computed assignment per model key, to detect (and
+        #: record) reassignments.
+        self._assigned: dict[str, tuple[str, ...]] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def heartbeat_interval(self) -> float:
+        """What replicas are told: three beats per lease window."""
+        return max(self.lease_timeout / 3.0, 0.05)
+
+    def _emit(self, event: str, *, key: str | None = None, replica=None, detail: str = ""):
+        if self.on_event is not None:
+            self.on_event(event, key=key, replica=replica, detail=detail)
+
+    # ------------------------------------------------------------------
+    def hello(
+        self,
+        name: str,
+        host: str,
+        port: int,
+        *,
+        pid: int | None = None,
+        spawned: bool = False,
+    ) -> ReplicaInfo:
+        self._counter += 1
+        replica = ReplicaInfo(
+            replica_id=f"r{self._counter}",
+            name=name or f"replica-{self._counter}",
+            host=host,
+            port=int(port),
+            pid=pid,
+            spawned=bool(spawned),
+        )
+        now = time.time()
+        replica.last_seen = now
+        replica.deadline = now + self.lease_timeout
+        self.replicas[replica.replica_id] = replica
+        self.ring.add(replica.replica_id)
+        self._emit(
+            "replica-join", replica=replica, detail=f"{replica.host}:{replica.port}"
+        )
+        return replica
+
+    def heartbeat(self, replica_id: str, stats: dict | None = None) -> ReplicaInfo | None:
+        """Push the replica's deadline out; ``None`` for unknown ids.
+
+        An unknown id means the replica was expired (or the gateway
+        restarted) — the replica re-registers on seeing it, exactly
+        like a cluster worker.
+        """
+        replica = self.replicas.get(replica_id)
+        if replica is None:
+            return None
+        now = time.time()
+        replica.last_seen = now
+        replica.deadline = now + self.lease_timeout
+        if stats:
+            replica.stats = dict(stats)
+        return replica
+
+    def goodbye(self, replica_id: str) -> bool:
+        """A replica leaving deliberately (drained, or shutting down)."""
+        replica = self.replicas.pop(replica_id, None)
+        if replica is None:
+            return False
+        self.ring.remove(replica_id)
+        replica.state = "dead"
+        self._emit("replica-exit", replica=replica, detail="goodbye")
+        self._reassign_for(replica_id)
+        return True
+
+    # ------------------------------------------------------------------
+    def alive(self) -> list[ReplicaInfo]:
+        return [r for r in self.replicas.values() if r.state == "alive"]
+
+    def draining(self) -> list[ReplicaInfo]:
+        return [r for r in self.replicas.values() if r.state == "draining"]
+
+    # ------------------------------------------------------------------
+    def assignments(self, key: str) -> list[ReplicaInfo]:
+        """The replicas serving model ``key`` under the current ring."""
+        chosen = tuple(self.ring.assign(key, self.replication))
+        previous = self._assigned.get(key)
+        if chosen and chosen != previous:
+            self._assigned[key] = chosen
+            event = "model-assign" if previous is None else "model-reassign"
+            for replica_id in chosen:
+                replica = self.replicas.get(replica_id)
+                self._emit(event, key=key, replica=replica, detail=",".join(chosen))
+        return [self.replicas[rid] for rid in chosen if rid in self.replicas]
+
+    def route(self, key: str, exclude: set[str] | frozenset = frozenset()) -> ReplicaInfo | None:
+        """The least-loaded assigned replica for ``key`` (or ``None``).
+
+        ``exclude`` lets the router steer around replicas that just
+        answered busy / draining within one request's retry loop.
+        """
+        candidates = [
+            replica
+            for replica in self.assignments(key)
+            if replica.state == "alive" and replica.replica_id not in exclude
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda replica: (replica.queue_depth, replica.replica_id))
+
+    # ------------------------------------------------------------------
+    def drain(self, replica_id: str, detail: str = "") -> ReplicaInfo | None:
+        """Take a replica out of rotation; it finishes in-flight work.
+
+        The next heartbeat answer tells the replica to drain and exit
+        (see :class:`~repro.gateway.replica.ReplicaAgent`).
+        """
+        replica = self.replicas.get(replica_id)
+        if replica is None or replica.state != "alive":
+            return replica
+        replica.state = "draining"
+        self.ring.remove(replica_id)
+        self._emit("replica-drain", replica=replica, detail=detail)
+        self._reassign_for(replica_id)
+        return replica
+
+    def mark_dead(self, replica_id: str, reason: str = "") -> ReplicaInfo | None:
+        replica = self.replicas.pop(replica_id, None)
+        if replica is None:
+            return None
+        self.ring.remove(replica_id)
+        replica.state = "dead"
+        self.dead += 1
+        self._emit("replica-dead", replica=replica, detail=reason)
+        self._reassign_for(replica_id)
+        return replica
+
+    def expire(self, now: float | None = None) -> list[ReplicaInfo]:
+        """Sweep: replicas whose lease lapsed are dead (missed beats)."""
+        now = time.time() if now is None else now
+        lapsed = [
+            replica
+            for replica in self.replicas.values()
+            if replica.deadline and replica.deadline < now
+        ]
+        for replica in lapsed:
+            self.mark_dead(
+                replica.replica_id,
+                reason=f"lease expired after {self.lease_timeout:g}s",
+            )
+        return lapsed
+
+    def _reassign_for(self, replica_id: str) -> None:
+        """Eagerly recompute assignments that involved a removed replica.
+
+        Routing would recompute lazily anyway; doing it here makes the
+        reassignment visible (provenance events) at the moment of
+        death/drain, not at the next request.
+        """
+        for key in [k for k, ids in self._assigned.items() if replica_id in ids]:
+            self.assignments(key)
+
+    # ------------------------------------------------------------------
+    def summary(self) -> dict:
+        return {
+            "replicas": [r.summary() for r in self.replicas.values()],
+            "alive": len(self.alive()),
+            "draining": len(self.draining()),
+            "dead": self.dead,
+            "replication": self.replication,
+            "lease_timeout": self.lease_timeout,
+            "models": {key: list(ids) for key, ids in sorted(self._assigned.items())},
+        }

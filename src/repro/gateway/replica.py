@@ -1,0 +1,176 @@
+"""The replica side of the gateway: a ServeApp that joins a fleet.
+
+:class:`ReplicaApp` is a spec-less :class:`~repro.serve.net.ServeApp`
+(every predict names its model) plus the ``put_checkpoint`` op — the
+receiving end of the gateway's wire checkpoint transport, installing
+delivered bytes into this process's (typically private) cache as a
+checkpoint-only entry.
+
+:class:`ReplicaAgent` is the membership loop, mirroring the cluster
+worker's: register with the gateway (``hello``, retried while the
+gateway is still binding), then heartbeat at the interval the gateway
+dictated, carrying a small load report (inflight, pool residency, shed
+counters) that feeds the gateway's routing and autoscaling.  A
+heartbeat answer can carry ``drain: true`` — the gateway retiring this
+replica — which the agent turns into a local drain and sets
+:attr:`drain_requested` so the CLI can exit once in-flight work ends.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import os
+
+from repro import netio
+from repro.serve.net import ServeApp
+
+__all__ = ["ReplicaApp", "ReplicaAgent"]
+
+
+class ReplicaApp(ServeApp):
+    """A multi-model serve endpoint with wire checkpoint installs."""
+
+    def __init__(self, service, *, max_inflight=None, request_timeout=None):
+        super().__init__(
+            service, None, max_inflight=max_inflight, request_timeout=request_timeout
+        )
+        self.checkpoints_received = 0
+
+    async def _handle_op(self, payload: dict) -> dict:
+        if payload.get("op") == "put_checkpoint":
+            return self._put_checkpoint(payload)
+        return await super()._handle_op(payload)
+
+    def _put_checkpoint(self, payload: dict) -> dict:
+        from repro.engine import cache
+
+        key = str(payload["key"])
+        blob = base64.b64decode(payload["data"])
+        with self.service.pool.session._activate():
+            cache.install_checkpoint(key, blob, meta=payload.get("meta"))
+        self.checkpoints_received += 1
+        return {"ok": True, "key": key, "bytes": len(blob)}
+
+    def load_report(self) -> dict:
+        """What a heartbeat tells the gateway about this replica."""
+        return {
+            "inflight": self.gate.inflight,
+            "rejected": self.gate.rejected,
+            "draining": self.draining,
+            "resident": len(self.service.pool),
+            "checkpoints_received": self.checkpoints_received,
+        }
+
+
+class ReplicaAgent:
+    """Registration + heartbeat loop binding a ReplicaApp to a gateway."""
+
+    def __init__(
+        self,
+        app: ReplicaApp,
+        gateway_host: str,
+        gateway_port: int,
+        *,
+        advertise_host: str,
+        port: int,
+        name: str = "",
+        spawned: bool = False,
+    ):
+        self.app = app
+        self.gateway_host = gateway_host
+        self.gateway_port = gateway_port
+        self.advertise_host = advertise_host
+        self.port = port
+        self.name = name
+        self.spawned = spawned
+        self.replica_id: str | None = None
+        self.heartbeat_interval = 1.0
+        self.drain_requested = asyncio.Event()
+        self._task: asyncio.Task | None = None
+
+    async def start(self) -> str:
+        """Register (retrying while the gateway comes up); returns the id."""
+        answer = await netio.request_with_retry(
+            self.gateway_host,
+            self.gateway_port,
+            {
+                "op": "hello",
+                "name": self.name,
+                "host": self.advertise_host,
+                "port": self.port,
+                "pid": os.getpid(),
+                "spawned": self.spawned,
+            },
+            attempts=20,
+            base_delay=0.1,
+            cap_delay=1.0,
+        )
+        if not answer.get("ok"):
+            raise RuntimeError(f"gateway refused registration: {answer.get('error')}")
+        self.replica_id = answer["replica_id"]
+        self.heartbeat_interval = float(answer.get("heartbeat_interval", 1.0))
+        self._task = asyncio.ensure_future(self._heartbeat_loop())
+        return self.replica_id
+
+    async def close(self) -> None:
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+        if self.replica_id is not None:
+            try:
+                await netio.request_async(
+                    self.gateway_host,
+                    self.gateway_port,
+                    {"op": "goodbye", "replica_id": self.replica_id},
+                    timeout=2.0,
+                )
+            except (OSError, asyncio.TimeoutError):
+                pass  # the gateway's sweeper will expire us instead
+
+    async def _heartbeat_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.heartbeat_interval)
+            try:
+                answer = await netio.request_async(
+                    self.gateway_host,
+                    self.gateway_port,
+                    {
+                        "op": "heartbeat",
+                        "replica_id": self.replica_id,
+                        "stats": self.app.load_report(),
+                    },
+                    timeout=self.heartbeat_interval * 2,
+                )
+            except (OSError, asyncio.TimeoutError):
+                continue  # gateway restarting/saturated: keep beating
+            if not answer.get("known", True):
+                # Expired (missed beats) or the gateway restarted:
+                # re-register under a fresh id, like a cluster worker.
+                try:
+                    fresh = await netio.request_async(
+                        self.gateway_host,
+                        self.gateway_port,
+                        {
+                            "op": "hello",
+                            "name": self.name,
+                            "host": self.advertise_host,
+                            "port": self.port,
+                            "pid": os.getpid(),
+                            "spawned": self.spawned,
+                        },
+                    )
+                except (OSError, asyncio.TimeoutError):
+                    continue
+                if fresh.get("ok"):
+                    self.replica_id = fresh["replica_id"]
+                    self.heartbeat_interval = float(
+                        fresh.get("heartbeat_interval", self.heartbeat_interval)
+                    )
+                continue
+            if answer.get("drain") and not self.app.draining:
+                self.app.drain()
+                self.drain_requested.set()

@@ -37,6 +37,8 @@ __all__ = [
     "shed_exempt_ops",
     "request_async",
     "request",
+    "request_with_retry",
+    "backoff_delays",
     "call",
 ]
 
@@ -199,6 +201,12 @@ async def serve_connection(
             await writer.drain()
     except (ConnectionResetError, asyncio.IncompleteReadError):
         pass  # a torn peer must not kill the server
+    except asyncio.CancelledError:
+        # Loop shutdown cancelling per-connection handler tasks: end
+        # the connection quietly.  Re-raising would make asyncio's
+        # stream machinery log a traceback for every idle connection at
+        # exit — and there is no outer handler that wants the signal.
+        pass
     finally:
         writer.close()
 
@@ -227,6 +235,71 @@ async def request_async(
 def request(host: str, port: int, payload: dict, *, timeout: float | None = None) -> dict:
     """Synchronous convenience wrapper around :func:`request_async`."""
     return asyncio.run(request_async(host, port, payload, timeout=timeout))
+
+
+def backoff_delays(
+    attempts: int, *, base: float = 0.05, factor: float = 2.0, cap: float = 2.0
+):
+    """The retry schedule every backoff in this library uses.
+
+    Yields ``attempts - 1`` delays (the wait *between* tries):
+    exponential from ``base``, clamped at ``cap``.  Deliberately
+    jitter-free — retries here space out a single client's attempts
+    against one server, not a thundering herd, and a deterministic
+    schedule keeps the retry tests exact.
+    """
+    if attempts < 1:
+        raise ValueError("attempts must be >= 1")
+    delay = base
+    for _ in range(attempts - 1):
+        yield min(delay, cap)
+        delay *= factor
+
+
+async def request_with_retry(
+    host: str,
+    port: int,
+    payload: dict,
+    *,
+    attempts: int = 5,
+    timeout: float | None = None,
+    base_delay: float = 0.05,
+    cap_delay: float = 2.0,
+) -> dict:
+    """:func:`request_async` with backoff on ``busy`` and dead sockets.
+
+    Retries the two *transient* failure shapes of this dialect — a
+    :data:`BUSY` answer (the server shed the request; it will have
+    capacity again shortly) and connection-level errors (refused /
+    reset / timeout: the peer may be restarting or still binding).  Any
+    other answer is returned verbatim on the first try: a server that
+    *answered* with a real error will answer the same way again, so
+    retrying would only mask the problem.
+
+    On exhaustion the last busy answer is returned (callers can see the
+    shed) while connection errors re-raise — there is nothing useful to
+    return when the peer never spoke.
+    """
+    delays = backoff_delays(attempts, base=base_delay, cap=cap_delay)
+    last_error: Exception | None = None
+    for attempt in range(attempts):
+        try:
+            response = await request_async(host, port, payload, timeout=timeout)
+        except (OSError, asyncio.TimeoutError) as exc:
+            last_error = exc
+            response = None
+        if response is not None:
+            if response.get("error") != "busy":
+                return response
+            if attempt == attempts - 1:
+                return response
+        try:
+            await asyncio.sleep(next(delays))
+        except StopIteration:  # pragma: no cover - loop bound matches schedule
+            break
+    raise ConnectionError(
+        f"no answer from {host}:{port} after {attempts} attempts"
+    ) from last_error
 
 
 def call(host: str, port: int, payload: dict, *, timeout: float | None = None) -> dict:

@@ -8,6 +8,7 @@ thin argument parser.
 from __future__ import annotations
 
 import asyncio
+import signal
 import sys
 import time
 
@@ -18,7 +19,7 @@ from repro.engine.registry import SCENARIOS
 from repro.engine.runner import RunSpec
 from repro.serve.net import ServeApp, request_async
 from repro.serve.service import CheckpointUnavailable, InferenceService
-from repro.util import format_bytes
+from repro.utils import format_bytes
 
 __all__ = ["add_serve_arguments", "add_predict_arguments", "run_serve", "run_predict"]
 
@@ -64,6 +65,14 @@ def add_serve_arguments(parser) -> None:
         "--train-missing",
         action="store_true",
         help="train + checkpoint the cell first when no checkpoint exists",
+    )
+    parser.add_argument(
+        "--drain-grace",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="on SIGTERM: refuse new predicts and wait up to this long "
+        "for in-flight requests before exiting",
     )
 
 
@@ -117,6 +126,7 @@ def run_serve(args, session) -> int:
 
     async def _serve() -> None:
         host, port = await app.start(args.host, args.port)
+        _install_drain_handler(app, grace=args.drain_grace)
         with session._activate():
             checkpoint_bytes = cache.checkpoint_path(spec.cache_key()).stat().st_size
         print(
@@ -143,6 +153,37 @@ def run_serve(args, session) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
     return 0
+
+
+def _install_drain_handler(app: ServeApp, *, grace: float) -> None:
+    """SIGTERM -> graceful drain: refuse new predicts, finish in-flight.
+
+    Best-effort: platforms without ``add_signal_handler`` (Windows
+    event loops) keep the default SIGTERM behaviour.
+    """
+    loop = asyncio.get_running_loop()
+
+    async def _drain_and_stop() -> None:
+        app.drain()
+        print(f"SIGTERM: draining (grace {grace:g}s)...", file=sys.stderr)
+        done = await app.wait_drained(grace)
+        if not done:
+            print(
+                f"drain grace expired with {app.gate.inflight} in flight",
+                file=sys.stderr,
+            )
+        if app.server is not None:
+            app.server.close()
+        for task in asyncio.all_tasks(loop):
+            if task is not asyncio.current_task():
+                task.cancel()
+
+    try:
+        loop.add_signal_handler(
+            signal.SIGTERM, lambda: loop.create_task(_drain_and_stop())
+        )
+    except (NotImplementedError, RuntimeError):  # pragma: no cover - non-POSIX
+        pass
 
 
 def run_predict(args) -> int:

@@ -32,6 +32,20 @@ keep the historical contract — a paper-scale CPU batch may genuinely
 take minutes); the ``serve`` CLI turns them on with production
 defaults (64 inflight / 30 s).  The plumbing is the same
 :class:`repro.netio.InflightGate` loop the cluster coordinator runs.
+
+Two extensions for fleet use (the gateway in :mod:`repro.gateway`):
+
+* **Multi-model predicts.** A predict may carry ``"model": {...}`` —
+  a wire-form :class:`RunSpec` (the cluster dialect's ``encode_spec``
+  shape) — and is served from the pool by that spec instead of the
+  app's default.  An app may even be constructed with ``spec=None``
+  (no default, nothing preloaded): then every predict must name its
+  model.  That is how gateway replicas run — one process, many cells.
+* **Graceful drain.** ``{"op": "drain"}`` (or SIGTERM via the CLI)
+  flips the app into draining: new predicts answer ``{"ok": false,
+  "error": "draining"}`` immediately while in-flight work finishes,
+  and ``wait_drained`` bounds the wait.  This is the primitive the
+  gateway's autoscaler uses to retire replicas without dropping work.
 """
 
 from __future__ import annotations
@@ -50,12 +64,12 @@ __all__ = ["ServeApp", "request", "request_async"]
 
 
 class ServeApp:
-    """One served cell: a spec, its service, and the TCP endpoint."""
+    """A served pool behind one TCP endpoint (optionally one default cell)."""
 
     def __init__(
         self,
         service: InferenceService,
-        spec: RunSpec,
+        spec: RunSpec | None = None,
         *,
         max_inflight: int | None = None,
         request_timeout: float | None = None,
@@ -66,18 +80,48 @@ class ServeApp:
         self.gate = netio.InflightGate(max_inflight)
         self.request_timeout = request_timeout
         self.timeouts = 0
+        self.draining = False
+        self.drain_refused = 0
 
     # ------------------------------------------------------------------
     async def start(self, host: str = "127.0.0.1", port: int = 0) -> tuple[str, int]:
         """Bind and start serving; returns the actual (host, port)."""
-        # Load (and pin) the model before accepting connections so a
-        # missing checkpoint fails at startup, not on the first request.
-        self.service.pool.get(self.spec)
+        # Load (and pin) the default model before accepting connections
+        # so a missing checkpoint fails at startup, not on the first
+        # request.  Spec-less apps (gateway replicas) have nothing to
+        # preload: their models arrive per-request, or over the wire.
+        if self.spec is not None:
+            self.service.pool.get(self.spec)
         self.server = await asyncio.start_server(
             self._handle, host, port, limit=netio.STREAM_LIMIT
         )
         sockname = self.server.sockets[0].getsockname()
         return sockname[0], sockname[1]
+
+    # ------------------------------------------------------------------
+    def drain(self) -> dict:
+        """Stop accepting new predicts; in-flight requests finish.
+
+        Returns the drain status answer (also the ``drain`` op's
+        response).  Idempotent — draining a draining server reports
+        the current state.
+        """
+        self.draining = True
+        return {"ok": True, "draining": True, "inflight": self.gate.inflight}
+
+    async def wait_drained(self, grace: float | None = None) -> bool:
+        """Wait until no request is in flight; False if ``grace`` ran out.
+
+        Polling (10 ms) instead of a condition variable: drains happen
+        once per process lifetime and the gate must stay a plain
+        counter on the hot path.
+        """
+        deadline = None if grace is None else asyncio.get_event_loop().time() + grace
+        while self.gate.inflight > 0:
+            if deadline is not None and asyncio.get_event_loop().time() >= deadline:
+                return False
+            await asyncio.sleep(0.01)
+        return True
 
     async def close(self) -> None:
         if self.server is not None:
@@ -102,29 +146,40 @@ class ServeApp:
             gate=self.gate,
             request_timeout=self.request_timeout,
             on_timeout=count_timeout,
-            # A saturated server must stay observable: stats/info are
-            # cheap reads and answer even when every slot is held.
-            shed_exempt=netio.shed_exempt_ops("stats", "info"),
+            # A saturated server must stay observable *and* drainable:
+            # stats/info are cheap reads, and an operator must be able
+            # to start a drain precisely when every slot is held.
+            shed_exempt=netio.shed_exempt_ops("stats", "info", "drain"),
         )
 
     async def _dispatch(self, line: bytes) -> dict:
         try:
             payload = json.loads(line)
-            op = payload.get("op")
-            if op == "predict":
-                return await self._predict(payload)
-            if op == "info":
-                return self._info()
-            if op == "stats":
-                return {
-                    "ok": True,
-                    "stats": {**self.service.stats(), "transport": self.transport_stats()},
-                }
-            return {"ok": False, "error": f"unknown op {op!r}"}
+            return await self._handle_op(payload)
         except CheckpointUnavailable as error:
             return {"ok": False, "error": f"checkpoint unavailable: {error}"}
         except Exception as error:  # protocol errors must not kill the server
             return {"ok": False, "error": f"{type(error).__name__}: {error}"}
+
+    async def _handle_op(self, payload: dict) -> dict:
+        """Answer one parsed request (the subclass extension point:
+        gateway replicas add ops here without re-parsing the line)."""
+        op = payload.get("op")
+        if op == "predict":
+            if self.draining:
+                self.drain_refused += 1
+                return {"ok": False, "error": "draining"}
+            return await self._predict(payload)
+        if op == "info":
+            return self._info()
+        if op == "stats":
+            return {
+                "ok": True,
+                "stats": {**self.service.stats(), "transport": self.transport_stats()},
+            }
+        if op == "drain":
+            return self.drain()
+        return {"ok": False, "error": f"unknown op {op!r}"}
 
     def transport_stats(self) -> dict:
         """Gate counters + timeout count (the hardening observables)."""
@@ -132,9 +187,26 @@ class ServeApp:
             **self.gate.stats(),
             "timeouts": self.timeouts,
             "request_timeout": self.request_timeout,
+            "draining": self.draining,
+            "drain_refused": self.drain_refused,
         }
 
+    def _resolve_spec(self, payload: dict) -> RunSpec:
+        """The cell a predict addresses: its ``model`` field, or the default."""
+        wire = payload.get("model")
+        if wire is not None:
+            from repro.cluster.protocol import decode_spec
+
+            return decode_spec(wire)
+        if self.spec is None:
+            raise ValueError(
+                "this server has no default model; predicts must carry a "
+                '"model" field (wire-form spec)'
+            )
+        return self.spec
+
     async def _predict(self, payload: dict) -> dict:
+        spec = self._resolve_spec(payload)
         # Parse at the JSON wire precision; the service casts to the
         # served model's compute dtype before the shared forward.
         images = np.asarray(payload["images"], dtype=np.float64)
@@ -148,17 +220,17 @@ class ServeApp:
                 "error": f"images must be (C,H,W) or (N,C,H,W); got {images.shape}",
             }
         predictions = await self.service.predict_many(
-            self.spec, images, task_id=task_id, scenario=scenario
+            spec, images, task_id=task_id, scenario=scenario
         )
         return {"ok": True, "predictions": [int(p) for p in predictions]}
 
     def _info(self) -> dict:
         from repro import __version__
 
-        model = self.service.pool.get(self.spec)
-        return {
-            "ok": True,
-            "model": {
+        info: dict = {"ok": True, "version": __version__, "model": None}
+        if self.spec is not None:
+            model = self.service.pool.get(self.spec)
+            info["model"] = {
                 "method": self.spec.method,
                 "scenario": self.spec.scenario,
                 "profile": self.spec.profile,
@@ -166,6 +238,6 @@ class ServeApp:
                 "seed": self.spec.seed,
                 "tasks_seen": model.tasks_seen,
                 "dtype": str(model.dtype),
-            },
-            "version": __version__,
-        }
+            }
+        info["models"] = sorted(self.service.pool.resident_keys())
+        return info

@@ -112,6 +112,10 @@ class ModelPool:
     def __contains__(self, key: str) -> bool:
         return key in self._models
 
+    def resident_keys(self) -> list[str]:
+        """Cache keys of the resident models, least-recently-used first."""
+        return list(self._models)
+
     def stats(self) -> dict:
         return {
             "resident": len(self._models),

@@ -1,61 +1,30 @@
-"""Small shared helpers with no dependencies above the stdlib.
+"""Deprecated alias of :mod:`repro.utils`.
 
-Historically these lived as private functions inside the CLI module
-(``repro.experiments.__main__``); the serving layer and the cache
-management code need them too, and a library-grade package cannot ask
-its subsystems to import the command-line front-end for a byte
-formatter.  Anything here must stay dependency-free (stdlib only) so
-every layer may use it.
+The ``repro.util`` / ``repro.utils`` split (stdlib helpers vs RNG
+helpers) made every import a coin-flip, so the two merged into
+``repro.utils`` in 0.7.  This shim keeps old imports working with a
+:class:`DeprecationWarning`, following the ``repro.engine``
+free-function precedent.  It will be removed in a future release.
 """
 
 from __future__ import annotations
 
-import os
+import warnings
 
-__all__ = ["env_flag", "parse_size", "format_bytes"]
+from repro import utils as _utils
 
+_FORWARDED = ("env_flag", "parse_size", "format_bytes")
 
-def env_flag(name: str) -> bool:
-    """True when environment variable ``name`` is set to a truthy value.
-
-    One parse for every on/off knob (``REPRO_FULL`` today): unset,
-    empty, ``0``, ``false``, ``no`` and ``off`` (any case) are off,
-    anything else is on — so ``REPRO_FULL=true`` and ``REPRO_FULL=1``
-    cannot disagree between two gates reading the same switch.
-    """
-    return os.environ.get(name, "").strip().lower() not in (
-        "", "0", "false", "no", "off",
-    )
-
-_SIZE_MULTIPLIERS = {"K": 1024, "M": 1024**2, "G": 1024**3}
+__all__ = list(_FORWARDED)
 
 
-def parse_size(text: str | int) -> int:
-    """Parse a byte size: plain int, or K/M/G-suffixed (binary units).
-
-    Accepts an ``int`` unchanged so callers may take ``int | str``
-    budgets (e.g. ``cache.evict(max_bytes="500M")``).  Raises
-    :class:`ValueError` on anything unparseable; the CLI wraps that
-    into an ``argparse`` error.
-    """
-    if isinstance(text, int):
-        return text
-    cleaned = text.strip().upper()
-    try:
-        if cleaned and cleaned[-1] in _SIZE_MULTIPLIERS:
-            return int(float(cleaned[:-1]) * _SIZE_MULTIPLIERS[cleaned[-1]])
-        return int(cleaned)
-    except ValueError:
-        raise ValueError(
-            f"invalid size {text!r}; expected bytes or K/M/G suffix (e.g. 500M)"
-        ) from None
-
-
-def format_bytes(count: int) -> str:
-    """Human-readable byte count (binary units, one decimal)."""
-    size = float(count)
-    for unit in ("B", "KiB", "MiB", "GiB"):
-        if size < 1024 or unit == "GiB":
-            return f"{size:.1f} {unit}" if unit != "B" else f"{int(size)} B"
-        size /= 1024
-    raise AssertionError
+def __getattr__(name: str):
+    if name in _FORWARDED:
+        warnings.warn(
+            f"repro.util.{name} is deprecated; import it from repro.utils "
+            "(the modules merged in 0.7)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return getattr(_utils, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,446 @@
+"""Tests for :mod:`repro.gateway` — the elastic serving gateway.
+
+Three layers: the pure routing structures (hash ring, scaling policy),
+the registry's liveness/assignment state machine, and in-process
+end-to-end routing — a gateway over real ReplicaApps with *disjoint*
+caches, exercising consistent-hash routing, wire checkpoint transport,
+busy steering, dead-replica failover, and provenance recording.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro import netio
+from repro.api import Session
+from repro.continual import Scenario
+from repro.data.synthetic import mnist_usps
+from repro.engine import cache
+from repro.engine.registry import SCENARIOS, register_scenario
+from repro.gateway import GatewayApp, GatewayClient, HashRing, ReplicaRegistry
+from repro.gateway.autoscaler import desired_target
+from repro.gateway.replica import ReplicaApp
+from repro.serve import InferenceService
+
+TINY = dict(samples_per_class=4, test_samples_per_class=8, epochs=2, warmup_epochs=1)
+
+if "_test/gateway_digits" not in SCENARIOS:
+
+    @register_scenario("_test/gateway_digits", description="2-task stream (gateway tests)")
+    def _gateway_digits(profile, seed, **params):
+        stream = mnist_usps(
+            "mnist->usps",
+            samples_per_class=4,
+            test_samples_per_class=8,
+            rng=seed,
+        )
+        stream.tasks = stream.tasks[:2]
+        return stream
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "gateway-cache"))
+    cache.reset_pins()
+    yield
+    cache.reset_pins()
+
+
+@pytest.fixture()
+def session(tmp_path):
+    return Session(cache_dir=tmp_path / "gateway-cache")
+
+
+def checkpointed_spec(session, method="FineTune", seed=0):
+    handle = (
+        session.run(method)
+        .on("_test/gateway_digits")
+        .profile("smoke", **TINY)
+        .seed(seed)
+        .checkpoint()
+        .start()
+    )
+    spec = handle.specs[0]
+    handle.release()
+    return spec
+
+
+def sample_images(spec, task: int = 0):
+    stream = SCENARIOS.get(spec.scenario).build(spec.resolved_profile(), spec.seed)
+    return stream[task].target_test.arrays()
+
+
+# ----------------------------------------------------------------------
+# Hash ring
+# ----------------------------------------------------------------------
+class TestHashRing:
+    def test_deterministic_and_bounded(self):
+        ring = HashRing()
+        for node in ("a", "b", "c", "d"):
+            ring.add(node)
+        first = ring.assign("model-1", 2)
+        assert first == ring.assign("model-1", 2)
+        assert len(first) == 2 and len(set(first)) == 2
+        assert ring.assign("model-1", 10) == ring.assign("model-1", 4)  # capped at n
+
+    def test_removal_only_remaps_touched_keys(self):
+        """The consistent-hashing property the gateway exists for."""
+        ring = HashRing()
+        for node in ("a", "b", "c", "d", "e"):
+            ring.add(node)
+        keys = [f"model-{i}" for i in range(200)]
+        before = {key: ring.assign(key, 2) for key in keys}
+        ring.remove("c")
+        for key in keys:
+            after = ring.assign(key, 2)
+            if "c" not in before[key]:
+                assert after == before[key], f"{key} moved without touching c"
+            else:
+                assert "c" not in after
+
+    def test_spread_is_roughly_uniform(self):
+        ring = HashRing(vnodes=64)
+        for node in ("a", "b", "c", "d"):
+            ring.add(node)
+        counts = {node: 0 for node in "abcd"}
+        for i in range(400):
+            counts[ring.assign(f"k{i}", 1)[0]] += 1
+        assert min(counts.values()) > 400 / 4 / 3  # no node starves
+
+    def test_add_remove_idempotent_and_empty_ring(self):
+        ring = HashRing()
+        assert ring.assign("k", 2) == []
+        ring.add("a")
+        ring.add("a")
+        assert len(ring) == 1
+        ring.remove("missing")
+        ring.remove("a")
+        assert ring.assign("k", 1) == []
+
+
+# ----------------------------------------------------------------------
+# Scaling policy
+# ----------------------------------------------------------------------
+class TestDesiredTarget:
+    KW = dict(
+        min_replicas=1,
+        max_replicas=4,
+        high_depth=4.0,
+        low_depth=0.5,
+        scale_up_after=5.0,
+        scale_down_after=30.0,
+    )
+
+    def test_sustained_pressure_scales_up_one_step_per_window(self):
+        marks = {}
+        assert desired_target(1, 10.0, 0.0, marks, **self.KW) == 1  # breach starts
+        assert desired_target(1, 10.0, 4.9, marks, **self.KW) == 1  # not sustained yet
+        assert desired_target(1, 10.0, 5.0, marks, **self.KW) == 2  # one step
+        assert desired_target(2, 10.0, 5.1, marks, **self.KW) == 2  # window restarted
+        assert desired_target(2, 10.0, 10.0, marks, **self.KW) == 3
+
+    def test_brief_spike_does_not_scale(self):
+        marks = {}
+        assert desired_target(1, 10.0, 0.0, marks, **self.KW) == 1
+        assert desired_target(1, 1.0, 2.0, marks, **self.KW) == 1  # back to normal
+        assert desired_target(1, 10.0, 3.0, marks, **self.KW) == 1  # fresh window
+        assert desired_target(1, 10.0, 7.9, marks, **self.KW) == 1
+
+    def test_sustained_idle_scales_down_to_floor(self):
+        marks = {}
+        assert desired_target(3, 0.0, 0.0, marks, **self.KW) == 3
+        assert desired_target(3, 0.0, 30.0, marks, **self.KW) == 2
+        assert desired_target(2, 0.0, 60.0, marks, **self.KW) == 1
+        assert desired_target(1, 0.0, 90.0, marks, **self.KW) == 1  # floor holds
+
+    def test_ceiling_holds(self):
+        marks = {}
+        desired_target(4, 10.0, 0.0, marks, **self.KW)
+        assert desired_target(4, 10.0, 100.0, marks, **self.KW) == 4
+
+
+# ----------------------------------------------------------------------
+# Registry liveness + assignment
+# ----------------------------------------------------------------------
+class TestReplicaRegistry:
+    def test_hello_heartbeat_expire_cycle(self):
+        events = []
+        registry = ReplicaRegistry(
+            lease_timeout=10.0,
+            on_event=lambda e, key=None, replica=None, detail="": events.append(e),
+        )
+        replica = registry.hello("one", "127.0.0.1", 1234)
+        assert replica.replica_id in registry.ring
+        assert registry.heartbeat(replica.replica_id, {"inflight": 3}) is not None
+        assert registry.replicas[replica.replica_id].queue_depth == 3
+        assert registry.heartbeat("bogus") is None
+        # A missed-lease sweep kills it and empties the ring.
+        lapsed = registry.expire(now=replica.deadline + 1)
+        assert [r.replica_id for r in lapsed] == [replica.replica_id]
+        assert len(registry.ring) == 0 and registry.alive() == []
+        assert events == ["replica-join", "replica-dead"]
+
+    def test_drain_leaves_rotation_and_reassigns(self):
+        events = []
+        registry = ReplicaRegistry(
+            replication=1,
+            on_event=lambda e, key=None, replica=None, detail="": events.append(
+                (e, key)
+            ),
+        )
+        a = registry.hello("a", "h", 1)
+        b = registry.hello("b", "h", 2)
+        # Find a key assigned to `a` so draining it forces a reassignment.
+        key = next(
+            f"model-{i}"
+            for i in range(100)
+            if registry.assignments(f"model-{i}")
+            and registry.assignments(f"model-{i}")[0].replica_id == a.replica_id
+        )
+        registry.drain(a.replica_id)
+        assert registry.replicas[a.replica_id].state == "draining"
+        routed = registry.route(key)
+        assert routed is not None and routed.replica_id == b.replica_id
+        assert ("replica-drain", None) in events
+        assert any(e == "model-reassign" and k == key for e, k in events)
+
+    def test_route_prefers_least_loaded_and_respects_exclude(self):
+        registry = ReplicaRegistry(replication=2)
+        a = registry.hello("a", "h", 1)
+        b = registry.hello("b", "h", 2)
+        a.inflight = 5
+        chosen = registry.route("m")
+        assert chosen.replica_id == b.replica_id
+        steered = registry.route("m", exclude={b.replica_id})
+        assert steered.replica_id == a.replica_id
+        assert registry.route("m", exclude={a.replica_id, b.replica_id}) is None
+
+
+# ----------------------------------------------------------------------
+# End-to-end: gateway over real replicas with disjoint caches
+# ----------------------------------------------------------------------
+class _Fleet:
+    """A gateway plus N in-process ReplicaApps on private caches."""
+
+    def __init__(self, gateway_session, tmp_path, count=2, max_inflight=None):
+        self.gateway = GatewayApp(
+            gateway_session, lease_timeout=30.0, retry_base_delay=0.005
+        )
+        self.replicas = []
+        for index in range(count):
+            session = Session(cache_dir=tmp_path / f"replica-{index}")
+            app = ReplicaApp(
+                InferenceService(session, max_delay_ms=1), max_inflight=max_inflight
+            )
+            self.replicas.append(app)
+
+    async def __aenter__(self):
+        self.host, self.port = await self.gateway.start()
+        for index, app in enumerate(self.replicas):
+            host, port = await app.start()
+            await netio.request_async(
+                self.host,
+                self.port,
+                {"op": "hello", "name": f"t{index}", "host": host, "port": port},
+            )
+        return self
+
+    async def __aexit__(self, *exc):
+        for app in self.replicas:
+            await app.close()
+        await self.gateway.close()
+
+
+class TestGatewayEndToEnd:
+    def test_routes_and_ships_checkpoints_bitwise_equal(self, session, tmp_path):
+        """Replicas start with empty caches; the gateway must deliver
+        the checkpoint over the wire, and answers must be bitwise-equal
+        to a direct predict on the gateway's own copy."""
+        spec = checkpointed_spec(session)
+        images, _labels = sample_images(spec)
+        direct = session.load_model(spec).predict_multi(images, 0, [Scenario.TIL])[
+            Scenario.TIL
+        ]
+        client = GatewayClient("127.0.0.1", session, attempts=8)
+
+        async def main():
+            async with _Fleet(session, tmp_path, count=2) as fleet:
+                client.port = fleet.port
+                served = await client.predict_async(spec, images, task_id=0)
+                again = await client.predict_async(spec, images, task_id=0)
+                stats = await client.stats_async()
+                return served, again, stats
+
+        served, again, stats = asyncio.run(main())
+        assert np.array_equal(served, direct)
+        assert np.array_equal(again, direct)
+        # The serving replica had nothing: exactly one wire delivery
+        # per replica that answered, and none of the replicas trained.
+        assert stats["traffic"]["checkpoint_pushes"] >= 1
+        assert stats["traffic"]["forwarded"] == 2
+
+    def test_killed_replica_fails_over_without_client_errors(self, session, tmp_path):
+        spec = checkpointed_spec(session)
+        images, _labels = sample_images(spec)
+        direct = session.load_model(spec).predict_multi(images, 0, [Scenario.TIL])[
+            Scenario.TIL
+        ]
+        client = GatewayClient("127.0.0.1", session, attempts=8)
+
+        async def main():
+            async with _Fleet(session, tmp_path, count=2) as fleet:
+                client.port = fleet.port
+                warm = await client.predict_async(spec, images, task_id=0)
+                # Tear one replica's socket down mid-fleet (SIGKILL
+                # equivalent for an in-process app): routing must mark
+                # it dead on the torn forward and steer to the survivor.
+                await fleet.replicas[0].close()
+                answers = [
+                    await client.predict_async(spec, images, task_id=0)
+                    for _ in range(4)
+                ]
+                stats = await client.stats_async()
+                return warm, answers, stats
+
+        warm, answers, stats = asyncio.run(main())
+        assert np.array_equal(warm, direct)
+        for answer in answers:
+            assert np.array_equal(answer, direct)
+        assert stats["alive"] == 1
+        assert stats["traffic"]["no_replica_failures"] == 0
+
+    def test_busy_replicas_steer_then_recover(self, session, tmp_path):
+        """With every replica shedding (max_inflight=1 and a stalled
+        forward), the gateway retries with backoff until capacity
+        frees — the client never sees the busy answers."""
+        spec = checkpointed_spec(session)
+        images, _labels = sample_images(spec)
+        client = GatewayClient("127.0.0.1", session, attempts=8)
+
+        async def main():
+            async with _Fleet(
+                session, tmp_path, count=2, max_inflight=1
+            ) as fleet:
+                client.port = fleet.port
+                # Warm both replicas' caches through the gateway first.
+                await client.predict_async(spec, images[:1], task_id=0)
+
+                release = asyncio.Event()
+                for app in fleet.replicas:
+                    real = app.service.predict_many
+
+                    async def stalled(*args, _real=real, **kwargs):
+                        await release.wait()
+                        return await _real(*args, **kwargs)
+
+                    app.service.predict_many = stalled
+
+                stuck = [
+                    asyncio.ensure_future(
+                        client.predict_async(spec, images[:1], task_id=0)
+                    )
+                    for _ in range(2)
+                ]
+                await asyncio.sleep(0.05)  # let them occupy the fleet
+                racing = asyncio.ensure_future(
+                    client.predict_async(spec, images[:1], task_id=0)
+                )
+                await asyncio.sleep(0.05)
+                release.set()
+                results = await asyncio.gather(*stuck, racing)
+                stats = await client.stats_async()
+                return results, stats
+
+        results, stats = asyncio.run(main())
+        # Every caller got predictions — the busy answers were absorbed
+        # by gateway steering plus (if the stall outlasted the gateway's
+        # own attempts) the client's retry-with-backoff.
+        assert all(isinstance(r, np.ndarray) for r in results)
+        assert stats["traffic"]["busy_steers"] >= 1
+
+    def test_multi_model_routing_spreads_and_isolates(self, session, tmp_path):
+        """Four models route across the fleet; each answer matches its
+        own model's direct predictions (no cross-model bleed)."""
+        specs = [checkpointed_spec(session, seed=seed) for seed in range(4)]
+        expected = {}
+        batches = {}
+        for spec in specs:
+            images, _labels = sample_images(spec)
+            batches[spec.seed] = images[:4]
+            expected[spec.seed] = session.load_model(spec).predict_multi(
+                images[:4], 0, [Scenario.TIL]
+            )[Scenario.TIL]
+        client = GatewayClient("127.0.0.1", session, attempts=8)
+
+        async def main():
+            async with _Fleet(session, tmp_path, count=3) as fleet:
+                client.port = fleet.port
+                answers = await asyncio.gather(
+                    *(
+                        client.predict_async(spec, batches[spec.seed], task_id=0)
+                        for spec in specs
+                    )
+                )
+                stats = await client.stats_async()
+                return answers, stats
+
+        answers, stats = asyncio.run(main())
+        for spec, answer in zip(specs, answers):
+            assert np.array_equal(answer, expected[spec.seed]), f"seed {spec.seed}"
+        assert len(stats["models"]) == 4
+        for assigned in stats["models"].values():
+            assert 1 <= len(assigned) <= 2  # bounded replication
+
+    def test_unknown_model_is_a_clean_client_error(self, session, tmp_path):
+        spec = checkpointed_spec(session)
+        missing = session.spec(
+            "FineTune", "_test/gateway_digits", profile_overrides=TINY, seed=99
+        )
+        images, _labels = sample_images(spec)
+        client = GatewayClient("127.0.0.1", session, attempts=3)
+
+        async def main():
+            async with _Fleet(session, tmp_path, count=1) as fleet:
+                client.port = fleet.port
+                with pytest.raises(RuntimeError, match="checkpoint unavailable"):
+                    await client.predict_async(missing, images[:1], task_id=0)
+
+        asyncio.run(main())
+
+    def test_provenance_records_lifecycle_and_transport(self, session, tmp_path):
+        from repro.store import RunStore
+
+        spec = checkpointed_spec(session)
+        key = spec.cache_key()
+        images, _labels = sample_images(spec)
+        client = GatewayClient("127.0.0.1", session, attempts=8)
+
+        async def main():
+            async with _Fleet(session, tmp_path, count=2) as fleet:
+                client.port = fleet.port
+                await client.predict_async(spec, images[:2], task_id=0)
+                await fleet.replicas[0].close()
+                await client.predict_async(spec, images[:2], task_id=0)
+
+        asyncio.run(main())
+        with session._activate():
+            fleet_events = [r["event"] for r in RunStore().provenance("gateway")]
+            model_events = [r["event"] for r in RunStore().provenance(key)]
+        assert fleet_events.count("replica-join") == 2
+        assert "model-assign" in model_events
+        assert "checkpoint-push" in model_events
+        # Closing replica 0 surfaces as death-or-exit plus reassignment
+        # of the models it held (when it held any).
+        assert any(e in ("replica-dead", "replica-exit") for e in fleet_events)
+
+
+class TestSessionGatewayBridge:
+    def test_session_gateway_builds_a_client(self, session):
+        client = session.gateway("127.0.0.1:7072")
+        assert isinstance(client, GatewayClient)
+        assert (client.host, client.port) == ("127.0.0.1", 7072)
+        assert client.session is session
+
+    def test_bare_host_uses_gateway_port(self, session):
+        assert session.gateway("localhost").port == 7072

@@ -1,0 +1,289 @@
+"""Tests for :mod:`repro.netio` — the shared wire plumbing.
+
+Focus: the primitives the gateway's router leans on.  The retry helper
+must retry exactly the transient failure shapes (busy answers, dead
+sockets) with the documented backoff schedule, and the shed-exemption
+path must keep its two edge contracts: only tiny lines are sniffed,
+and a recovered gate admits normally again.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro import netio
+
+
+class TestBackoffDelays:
+    def test_exponential_schedule(self):
+        assert list(netio.backoff_delays(5, base=0.1, factor=2.0, cap=10.0)) == [
+            0.1, 0.2, 0.4, 0.8,
+        ]
+
+    def test_cap_clamps(self):
+        assert list(netio.backoff_delays(6, base=1.0, factor=4.0, cap=5.0)) == [
+            1.0, 4.0, 5.0, 5.0, 5.0,
+        ]
+
+    def test_one_attempt_means_no_delays(self):
+        assert list(netio.backoff_delays(1)) == []
+
+    def test_rejects_nonpositive_attempts(self):
+        with pytest.raises(ValueError):
+            list(netio.backoff_delays(0))
+
+
+class _OpServer:
+    """A tiny dialect server with a scriptable dispatch."""
+
+    def __init__(self, dispatch, *, gate=None, shed_exempt=None):
+        self.dispatch = dispatch
+        self.gate = gate
+        self.shed_exempt = shed_exempt
+        self.server = None
+
+    async def __aenter__(self):
+        async def handle(reader, writer):
+            await netio.serve_connection(
+                reader,
+                writer,
+                self.dispatch,
+                gate=self.gate,
+                shed_exempt=self.shed_exempt,
+            )
+
+        self.server = await asyncio.start_server(
+            handle, "127.0.0.1", 0, limit=netio.STREAM_LIMIT
+        )
+        return self.server.sockets[0].getsockname()[1]
+
+    async def __aexit__(self, *exc):
+        self.server.close()
+        await self.server.wait_closed()
+
+
+class TestRequestWithRetry:
+    def test_busy_then_recover_returns_the_good_answer(self):
+        """The gateway-router shape: shed twice, then capacity frees."""
+        calls = []
+
+        async def dispatch(line):
+            calls.append(json.loads(line))
+            if len(calls) <= 2:
+                return dict(netio.BUSY)
+            return {"ok": True, "n": len(calls)}
+
+        async def scenario():
+            async with _OpServer(dispatch) as port:
+                return await netio.request_with_retry(
+                    "127.0.0.1", port, {"op": "x"}, attempts=5, base_delay=0.001
+                )
+
+        answer = asyncio.run(scenario())
+        assert answer == {"ok": True, "n": 3}
+        assert len(calls) == 3
+
+    def test_exhausted_attempts_return_the_last_busy_answer(self):
+        async def dispatch(line):
+            return dict(netio.BUSY)
+
+        async def scenario():
+            async with _OpServer(dispatch) as port:
+                return await netio.request_with_retry(
+                    "127.0.0.1", port, {"op": "x"}, attempts=3, base_delay=0.001
+                )
+
+        answer = asyncio.run(scenario())
+        assert answer == {"ok": False, "error": "busy"}
+
+    def test_non_busy_errors_are_not_retried(self):
+        calls = []
+
+        async def dispatch(line):
+            calls.append(1)
+            return {"ok": False, "error": "unknown op 'x'"}
+
+        async def scenario():
+            async with _OpServer(dispatch) as port:
+                return await netio.request_with_retry(
+                    "127.0.0.1", port, {"op": "x"}, attempts=5, base_delay=0.001
+                )
+
+        answer = asyncio.run(scenario())
+        assert answer["error"] == "unknown op 'x'"
+        assert len(calls) == 1
+
+    def test_connection_refused_raises_after_attempts(self):
+        async def scenario():
+            # Bind-then-close guarantees a refusing port.
+            server = await asyncio.start_server(lambda r, w: None, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            server.close()
+            await server.wait_closed()
+            await netio.request_with_retry(
+                "127.0.0.1", port, {"op": "x"}, attempts=3, base_delay=0.001
+            )
+
+        with pytest.raises(ConnectionError, match="after 3 attempts"):
+            asyncio.run(scenario())
+
+    def test_dead_socket_then_recover(self):
+        """A server that comes up mid-retry is eventually reached."""
+
+        async def scenario():
+            probe = await asyncio.start_server(lambda r, w: None, "127.0.0.1", 0)
+            port = probe.sockets[0].getsockname()[1]
+            probe.close()
+            await probe.wait_closed()
+
+            async def dispatch(line):
+                return {"ok": True, "revived": True}
+
+            async def start_late():
+                await asyncio.sleep(0.05)
+                async def handle(reader, writer):
+                    await netio.serve_connection(reader, writer, dispatch)
+                return await asyncio.start_server(
+                    handle, "127.0.0.1", port, limit=netio.STREAM_LIMIT
+                )
+
+            starter = asyncio.ensure_future(start_late())
+            try:
+                answer = await netio.request_with_retry(
+                    "127.0.0.1", port, {"op": "x"}, attempts=8, base_delay=0.02
+                )
+            finally:
+                server = await starter
+                server.close()
+                await server.wait_closed()
+            return answer
+
+        assert asyncio.run(scenario())["revived"] is True
+
+
+class TestShedExemption:
+    """InflightGate + shed_exempt edge cases on a saturated server."""
+
+    def _saturated_server(self, release: "asyncio.Event", exempt_ops=("stats",)):
+        gate = netio.InflightGate(1)
+
+        async def dispatch(line):
+            payload = json.loads(line)
+            if payload.get("op") == "slow":
+                await release.wait()
+                return {"ok": True, "slow": True}
+            return {"ok": True, "op": payload.get("op")}
+
+        return gate, _OpServer(
+            dispatch, gate=gate, shed_exempt=netio.shed_exempt_ops(*exempt_ops)
+        )
+
+    def test_tiny_exempt_line_answers_while_saturated(self):
+        async def scenario():
+            release = asyncio.Event()
+            gate, server = self._saturated_server(release)
+            async with server as port:
+                slow = asyncio.ensure_future(
+                    netio.request_async("127.0.0.1", port, {"op": "slow"})
+                )
+                while gate.inflight == 0:
+                    await asyncio.sleep(0.001)
+                exempt = await netio.request_async("127.0.0.1", port, {"op": "stats"})
+                release.set()
+                await slow
+                return exempt, gate.stats()
+
+        exempt, stats = asyncio.run(scenario())
+        assert exempt == {"ok": True, "op": "stats"}
+        # The exempt request neither took a slot nor counted a shed.
+        assert stats["rejected"] == 0
+        assert stats["admitted"] == 1
+
+    def test_oversized_line_is_not_sniffed_even_for_an_exempt_op(self):
+        """Padding a stats request past the sniff cap forfeits exemption:
+        O(1) admission must never parse a megabyte to find the op."""
+
+        async def scenario():
+            release = asyncio.Event()
+            gate, server = self._saturated_server(release)
+            async with server as port:
+                slow = asyncio.ensure_future(
+                    netio.request_async("127.0.0.1", port, {"op": "slow"})
+                )
+                while gate.inflight == 0:
+                    await asyncio.sleep(0.001)
+                padded = {"op": "stats", "pad": "x" * 2048}
+                answer = await netio.request_async("127.0.0.1", port, padded)
+                release.set()
+                await slow
+                return answer, gate.stats()
+
+        answer, stats = asyncio.run(scenario())
+        assert answer == {"ok": False, "error": "busy"}
+        assert stats["rejected"] == 1
+
+    def test_non_json_tiny_line_is_refused_not_crashed(self):
+        async def scenario():
+            release = asyncio.Event()
+            gate, server = self._saturated_server(release)
+            async with server as port:
+                slow = asyncio.ensure_future(
+                    netio.request_async("127.0.0.1", port, {"op": "slow"})
+                )
+                while gate.inflight == 0:
+                    await asyncio.sleep(0.001)
+                reader, writer = await asyncio.open_connection("127.0.0.1", port)
+                writer.write(b"this is not json\n")
+                await writer.drain()
+                line = await reader.readline()
+                writer.close()
+                release.set()
+                await slow
+                return json.loads(line)
+
+        assert asyncio.run(scenario()) == {"ok": False, "error": "busy"}
+
+    def test_busy_then_recover_admits_normally_again(self):
+        """After the slot frees, the same non-exempt op is admitted —
+        saturation is a state, not a latch."""
+
+        async def scenario():
+            release = asyncio.Event()
+            gate, server = self._saturated_server(release)
+            async with server as port:
+                slow = asyncio.ensure_future(
+                    netio.request_async("127.0.0.1", port, {"op": "slow"})
+                )
+                while gate.inflight == 0:
+                    await asyncio.sleep(0.001)
+                shed = await netio.request_async("127.0.0.1", port, {"op": "work"})
+                release.set()
+                await slow
+                recovered = await netio.request_async("127.0.0.1", port, {"op": "work"})
+                return shed, recovered, gate.stats()
+
+        shed, recovered, stats = asyncio.run(scenario())
+        assert shed == {"ok": False, "error": "busy"}
+        assert recovered == {"ok": True, "op": "work"}
+        assert stats["rejected"] == 1
+        assert stats["admitted"] == 2
+        assert stats["inflight"] == 0
+
+
+class TestInflightGateEdges:
+    def test_zero_or_none_limit_disables_but_counts(self):
+        for limit in (0, None):
+            gate = netio.InflightGate(limit)
+            assert not gate.saturated
+            for _ in range(100):
+                assert gate.try_acquire()
+            assert gate.stats()["admitted"] == 100
+
+    def test_release_without_acquire_raises(self):
+        with pytest.raises(RuntimeError):
+            netio.InflightGate(1).release()
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(ValueError):
+            netio.InflightGate(-1)

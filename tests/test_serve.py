@@ -341,6 +341,138 @@ class TestTcpFrontEnd:
 
         asyncio.run(main())
 
+    def test_wire_spec_predict_on_specless_app(self, session):
+        """A spec-less app serves any cell named by a wire-form spec —
+        the gateway-replica mode — bitwise-equal to the direct call."""
+        from repro.cluster.protocol import encode_spec
+
+        spec = checkpointed_spec(session)
+        images, _labels = sample_images(spec)
+        direct = session.load_model(spec).predict_multi(images, 0, [Scenario.TIL])[
+            Scenario.TIL
+        ]
+
+        async def main():
+            app = ServeApp(InferenceService(session, max_delay_ms=1))
+            host, port = await app.start()
+            with session._activate():
+                wire = encode_spec(spec)
+            good = await request_async(
+                host,
+                port,
+                {
+                    "op": "predict",
+                    "model": wire,
+                    "images": images.tolist(),
+                    "task_id": 0,
+                },
+            )
+            # Without a model field there is no default to fall back on.
+            missing = await request_async(
+                host, port, {"op": "predict", "images": images.tolist()}
+            )
+            info = await request_async(host, port, {"op": "info"})
+            await app.close()
+            return good, missing, info
+
+        good, missing, info = asyncio.run(main())
+        assert good["ok"] and np.array_equal(np.array(good["predictions"]), direct)
+        assert not missing["ok"] and "no default model" in missing["error"]
+        assert info["ok"] and info["model"] is None
+        assert info["models"] == [spec.cache_key()]
+
+
+class TestGracefulDrain:
+    def test_drain_refuses_new_predicts_and_finishes_inflight(self, session):
+        spec = checkpointed_spec(session)
+        images, _labels = sample_images(spec)
+
+        async def main():
+            service = InferenceService(session, max_delay_ms=1)
+            app = ServeApp(service, spec)
+            host, port = await app.start()
+
+            release = asyncio.Event()
+            real_predict_many = service.predict_many
+
+            async def stalled(*args, **kwargs):
+                await release.wait()
+                return await real_predict_many(*args, **kwargs)
+
+            service.predict_many = stalled
+            inflight = asyncio.ensure_future(
+                request_async(
+                    host,
+                    port,
+                    {"op": "predict", "images": images[:1].tolist(), "task_id": 0},
+                )
+            )
+            while app.gate.inflight == 0:
+                await asyncio.sleep(0.001)
+
+            drain = await request_async(host, port, {"op": "drain"})
+            refused = await request_async(
+                host,
+                port,
+                {"op": "predict", "images": images[:1].tolist(), "task_id": 0},
+            )
+            stats = await request_async(host, port, {"op": "stats"})
+            not_yet = await app.wait_drained(grace=0.05)
+            release.set()
+            finished = await inflight
+            drained = await app.wait_drained(grace=5.0)
+            await app.close()
+            return drain, refused, stats, not_yet, finished, drained
+
+        drain, refused, stats, not_yet, finished, drained = asyncio.run(main())
+        # The drain op holds a slot of its own while answering, so the
+        # reported inflight covers the stalled predict plus itself.
+        assert drain["ok"] and drain["draining"] and drain["inflight"] >= 1
+        assert refused == {"ok": False, "error": "draining"}
+        assert stats["stats"]["transport"]["draining"] is True
+        assert not_yet is False  # grace expired while the stall held
+        assert finished["ok"]  # in-flight work completed despite the drain
+        assert drained is True
+
+    def test_drain_is_idempotent_and_shed_exempt(self, session):
+        spec = checkpointed_spec(session)
+        images, _labels = sample_images(spec)
+
+        async def main():
+            service = InferenceService(session, max_delay_ms=1)
+            app = ServeApp(service, spec, max_inflight=1)
+            host, port = await app.start()
+
+            release = asyncio.Event()
+            real_predict_many = service.predict_many
+
+            async def stalled(*args, **kwargs):
+                await release.wait()
+                return await real_predict_many(*args, **kwargs)
+
+            service.predict_many = stalled
+            inflight = asyncio.ensure_future(
+                request_async(
+                    host,
+                    port,
+                    {"op": "predict", "images": images[:1].tolist(), "task_id": 0},
+                )
+            )
+            while not app.gate.saturated:
+                await asyncio.sleep(0.001)
+            # The gate is full, yet the drain op still answers (exempt).
+            first = await request_async(host, port, {"op": "drain"})
+            second = await request_async(host, port, {"op": "drain"})
+            release.set()
+            finished = await inflight
+            await app.close()
+            return first, second, finished
+
+        first, second, finished = asyncio.run(main())
+        assert first["ok"] and first["draining"]
+        assert second["ok"] and second["draining"]  # idempotent
+        assert finished["ok"]
+
 
 class TestHardening:
     """Backpressure and timeouts: the server sheds load, never queues forever."""
