@@ -1,0 +1,145 @@
+"""Bench: binary wire protocol v2 vs JSON-line framing.
+
+Two measurements on real serving traffic shapes:
+
+* **checkpoint push** — the exact ``put_checkpoint`` message a
+  coordinator or gateway ships, encoded both ways from a genuinely
+  trained smoke checkpoint (base64 inside a JSON line vs raw bytes in
+  a zlib-compressed binary frame).  The bytes-on-wire ratio lands in
+  ``BENCH_<sha>.json`` as ``wire_bytes_ratio`` (via
+  ``REPRO_WIRE_REPORT``) and the CI gate fails below 2x.
+* **predict batch codec** — encode+decode throughput for an (N,C,H,W)
+  float64 image batch: nested JSON lists vs a zero-copy frame.  The
+  ratio is recorded as ``wire_predict_speedup`` for the trend table
+  (no gate: it is workload-shaped, routinely an order of magnitude).
+
+Both legs are pure codec work — no sockets — so the numbers isolate
+the framing itself from scheduler noise.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+import time
+
+import numpy as np
+
+from repro import netio
+from repro.engine import cache
+from repro.engine.runner import run_one, spec_for
+
+MIN_BYTES_RATIO = 2.0
+#: Codec repetitions; ratios use per-leg minima (noise stripping).
+REPS = 5
+
+
+def _trained_checkpoint() -> tuple[str, bytes]:
+    """Key + bytes of a real trained smoke checkpoint (cached)."""
+    spec = spec_for(
+        "CDCL",
+        "digits/mnist->usps",
+        os.environ.get("REPRO_PROFILE", "smoke"),
+        seed=0,
+    )
+    run_one(spec, checkpoint=True)
+    key = spec.cache_key()
+    return key, cache.checkpoint_path(key).read_bytes()
+
+
+def _json_put_checkpoint(key: str, blob: bytes) -> bytes:
+    message = {
+        "op": "put_checkpoint",
+        "key": key,
+        "data": base64.b64encode(blob).decode("ascii"),
+        "meta": {"method": "CDCL", "scenario": "digits/mnist->usps"},
+    }
+    return json.dumps(message).encode("utf-8") + b"\n"
+
+
+def _frame_put_checkpoint(key: str, blob: bytes) -> bytes:
+    message = {
+        "op": "put_checkpoint",
+        "key": key,
+        "data": blob,
+        "meta": {"method": "CDCL", "scenario": "digits/mnist->usps"},
+    }
+    return netio.encode_frame(message, compress=6)
+
+
+def _min_seconds(fn, reps: int = REPS) -> float:
+    times = []
+    for _rep in range(reps):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return min(times)
+
+
+def test_wire_bytes_and_predict_speedup():
+    key, blob = _trained_checkpoint()
+
+    # -- bytes on the wire: the checkpoint-push message, both framings
+    v1_wire = _json_put_checkpoint(key, blob)
+    v2_wire = _frame_put_checkpoint(key, blob)
+    bytes_ratio = len(v1_wire) / len(v2_wire)
+
+    # The frame must still round-trip to the identical blob — a ratio
+    # bought with lossy transport would be worthless.
+    decoded = netio.decode_frame(v2_wire)
+    assert bytes(decoded["data"]) == blob
+    assert decoded["key"] == key
+
+    # -- predict batch codec throughput
+    rng = np.random.default_rng(0)
+    images = rng.random((64, 1, 16, 16), dtype=np.float64)
+    payload = {"op": "predict", "task_id": 0, "scenario": "til"}
+
+    def json_leg():
+        wire = json.dumps({**payload, "images": images.tolist()}).encode() + b"\n"
+        back = np.asarray(json.loads(wire)["images"], dtype=np.float64)
+        return back
+
+    def frame_leg():
+        wire = netio.encode_frame({**payload, "images": images})
+        return netio.decode_frame(wire)["images"]
+
+    np.testing.assert_array_equal(json_leg(), images)
+    np.testing.assert_array_equal(frame_leg(), images)
+    json_seconds = _min_seconds(json_leg)
+    frame_seconds = _min_seconds(frame_leg)
+    predict_speedup = json_seconds / frame_seconds
+
+    print()
+    print(
+        f"wire: checkpoint push {len(v1_wire)} B (json+b64) vs "
+        f"{len(v2_wire)} B (frame+zlib6) = {bytes_ratio:.2f}x; "
+        f"predict codec {json_seconds * 1e3:.2f} ms (json) vs "
+        f"{frame_seconds * 1e3:.3f} ms (frame) = {predict_speedup:.1f}x"
+    )
+
+    report_path = os.environ.get("REPRO_WIRE_REPORT")
+    if report_path:
+        with open(report_path, "w") as handle:
+            json.dump(
+                {
+                    "bytes_ratio": round(bytes_ratio, 3),
+                    "predict_speedup": round(predict_speedup, 3),
+                    "checkpoint_bytes": len(blob),
+                    "v1_wire_bytes": len(v1_wire),
+                    "v2_wire_bytes": len(v2_wire),
+                    "json_codec_seconds": round(json_seconds, 6),
+                    "frame_codec_seconds": round(frame_seconds, 6),
+                    "workload": "CDCL:digits/mnist->usps:smoke ckpt + 64x1x16x16 f64 batch",
+                },
+                handle,
+            )
+
+    assert bytes_ratio >= MIN_BYTES_RATIO, (
+        f"binary checkpoint push is only {bytes_ratio:.2f}x smaller than the "
+        f"JSON line; the v2 frame guarantees at least {MIN_BYTES_RATIO}x here"
+    )
+    assert predict_speedup > 1.0, (
+        f"frame codec slower than JSON on a predict batch ({predict_speedup:.2f}x)"
+    )

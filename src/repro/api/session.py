@@ -711,7 +711,9 @@ class Session:
         resolution so ``client.predict(session.spec("cdcl", ...), x)``
         routes by the same cache key the gateway's fleet serves under.
         Keyword arguments (``attempts``, ``timeout``) tune the client's
-        retry-through-busy behaviour.
+        retry-through-busy behaviour; ``wire="auto"|"json"|"binary"``
+        picks the framing (auto negotiates the v2 binary wire when the
+        gateway advertises it; ``REPRO_WIRE`` overrides).
         """
         from repro.gateway import GatewayClient
 

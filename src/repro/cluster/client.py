@@ -31,9 +31,10 @@ import time
 import uuid
 from dataclasses import dataclass, field
 
+from repro import netio
 from repro.netio import call
 from repro.cluster.protocol import (
-    decode_result,
+    decode_result_payload,
     encode_spec,
     parse_address,
     persist_result,
@@ -70,6 +71,31 @@ class ClusterClient:
         self.host, self.port = parse_address(address)
         self.poll_interval = poll_interval
         self.request_timeout = request_timeout
+        self.proto: int | None = None  # learned lazily from a ping
+
+    def _negotiated_proto(self) -> int:
+        """The wire to speak: forced by ``REPRO_WIRE``, else probed once.
+
+        The probe is a plain-JSON ``ping`` (safe against any
+        coordinator vintage); its answer advertises the binary wire.
+        Probe failures fall back to JSON for *this* call without
+        pinning — the next op retries the negotiation.
+        """
+        if self.proto is None:
+            forced = netio.wire_preference()
+            if forced is not None:
+                self.proto = forced
+                return forced
+            try:
+                answer = call(
+                    self.host, self.port, {"op": "ping"}, timeout=self.request_timeout
+                )
+            except OSError:
+                return 1  # unreachable right now; the op's retry loop copes
+            if not answer.get("ok"):
+                return 1  # busy — do not pin a verdict off a shed answer
+            self.proto = netio.preferred_proto(answer.get("proto"))
+        return self.proto
 
     def _call(self, payload: dict) -> dict:
         # Neither a "busy" answer (the coordinator shedding load) nor a
@@ -82,7 +108,11 @@ class ClusterClient:
         while True:
             try:
                 answer = call(
-                    self.host, self.port, payload, timeout=self.request_timeout
+                    self.host,
+                    self.port,
+                    payload,
+                    timeout=self.request_timeout,
+                    proto=self._negotiated_proto(),
                 )
             except OSError as error:
                 last_error = error
@@ -154,7 +184,7 @@ class ClusterClient:
         )
         collected = []
         for entry in answer["results"]:
-            result = decode_result(entry["result"])
+            result = decode_result_payload(entry["result"])
             result.cached = bool(entry.get("cached", False))
             collected.append((int(entry["task_id"]), result))
         return collected

@@ -9,21 +9,29 @@ number of clients submit spec lists and collect finished results.  The
 server is a single asyncio loop — every op handler is a synchronous
 dict operation, so the queue needs no locks.
 
-Op set (one JSON object per line; see :mod:`repro.cluster.protocol`):
+Op set (JSON lines or v2 binary frames, answered in kind; see
+:mod:`repro.cluster.protocol` and :mod:`repro.netio`):
 
-=============  ======================================================
-``hello``      worker registration -> ``worker_id`` + timing contract
-``lease``      pop one queued task (or ``task: null``; ``shutdown:
-               true`` once the coordinator is draining)
-``heartbeat``  renew the lease on a running task
-``complete``   deliver a finished result (base64 pickle)
-``fail``       report a cell error -> requeue or give up
-``submit``     client: enqueue cells -> ``job_id`` + task ids
-``collect``    client: fetch results finished since the last collect
-``status``     client: per-job progress counters + failures
-``stats``      global queue / worker / traffic counters
-``shutdown``   drain: workers are told to exit, the server stops
-=============  ======================================================
+==================  =================================================
+``hello``           worker registration -> ``worker_id`` + timing
+                    contract + the coordinator's wire ``proto``
+``lease``           pop one queued task (or ``task: null``;
+                    ``shutdown: true`` once the coordinator drains)
+``heartbeat``       renew the lease on a running task
+``complete``        deliver a finished result (base64 pickle over v1,
+                    typed array frames over v2); the answer may ask
+                    ``want_checkpoint: true`` when the cell trained a
+                    model the coordinator's cache lacks
+``put_checkpoint``  upload a trained cell's checkpoint bytes (the
+                    worker->coordinator direction of the gateway's
+                    replica push; raw bytes over v2, base64 over v1)
+``fail``            report a cell error -> requeue or give up
+``submit``          client: enqueue cells -> ``job_id`` + task ids
+``collect``         client: fetch results finished since last collect
+``status``          client: per-job progress counters + failures
+``stats``           global queue / worker / traffic / wire counters
+``shutdown``        drain: workers are told to exit, the server stops
+==================  =================================================
 
 **Lease + heartbeat semantics.**  A lease lasts ``lease_timeout``
 seconds; a worker heartbeats every ``lease_timeout / 3`` while
@@ -49,20 +57,21 @@ the store a local run would have produced.
 from __future__ import annotations
 
 import asyncio
-import json
+import base64
 import time
 from collections import deque
 from dataclasses import dataclass, field
 
 from repro import netio
 from repro.cluster.protocol import (
-    decode_result,
+    decode_result_payload,
     decode_spec,
     encode_result,
+    encode_result_frames,
     persist_result,
 )
 from repro.engine import cache
-from repro.engine.runner import RunResult
+from repro.engine.runner import RunResult, spec_summary
 
 __all__ = ["ClusterTask", "Coordinator", "CoordinatorThread"]
 
@@ -81,7 +90,11 @@ class ClusterTask:
     worker_id: str | None = None
     deadline: float = 0.0
     leased_at: float = 0.0  # monotonic time of the current lease grant
-    result_text: str | None = None  # base64 pickle, as received
+    #: The decoded result (held until every interested job collected
+    #: it).  Stored as an object, not wire text: collect re-encodes per
+    #: collecting client's protocol, so a v1 client and a v2 client can
+    #: drain the same job.
+    result: RunResult | None = None
     cached: bool = False  # the executing worker's cache served it
     error: str | None = None
 
@@ -132,6 +145,7 @@ class Coordinator:
         # a deadline would have nothing to preempt (unlike ServeApp,
         # whose predict genuinely awaits a model forward).
         self.gate = netio.InflightGate(max_inflight)
+        self.wire = netio.WireStats()
 
         self._tasks: dict[int, ClusterTask] = {}
         self._pending: deque[int] = deque()
@@ -253,32 +267,33 @@ class Coordinator:
         await netio.serve_connection(
             reader,
             writer,
-            self._dispatch_line,
+            self._dispatch_request,
             gate=self.gate,
             # Operators must be able to ask a saturated queue what it
             # is doing; stats/ping are cheap dict reads.
             shed_exempt=netio.shed_exempt_ops("stats", "ping"),
+            stats=self.wire,
         )
 
-    async def _dispatch_line(self, line: bytes) -> dict:
+    async def _dispatch_request(self, request: netio.WireRequest) -> dict:
         try:
-            message = json.loads(line)
+            message = request.payload
         except ValueError:
             return {"ok": False, "error": "malformed JSON"}
-        return await self._dispatch(message)
+        return await self._dispatch(message, proto=request.proto)
 
-    async def _dispatch(self, message: dict) -> dict:
+    async def _dispatch(self, message: dict, *, proto: int = 1) -> dict:
         op = message.get("op")
         handler = getattr(self, f"_op_{str(op).replace('-', '_')}", None)
         if handler is None:
             return {"ok": False, "error": f"unknown op {op!r}"}
         try:
-            return handler(message)
+            return handler(message, proto)
         except Exception as error:  # a handler bug must answer, not hang
             return {"ok": False, "error": f"{type(error).__name__}: {error}"}
 
     # -- worker ops -----------------------------------------------------
-    def _op_hello(self, message: dict) -> dict:
+    def _op_hello(self, message: dict, proto: int = 1) -> dict:
         self._next_worker += 1
         worker_id = f"w{self._next_worker}"
         self._workers[worker_id] = _WorkerInfo(
@@ -291,9 +306,11 @@ class Coordinator:
             "worker_id": worker_id,
             "lease_timeout": self.lease_timeout,
             "heartbeat_interval": max(self.lease_timeout / 3.0, 0.1),
+            # Advertise the binary wire; v1 workers ignore the field.
+            "proto": netio.WIRE_VERSION,
         }
 
-    def _op_lease(self, message: dict) -> dict:
+    def _op_lease(self, message: dict, proto: int = 1) -> dict:
         worker = self._touch_worker(message)
         if worker is None:
             # A stale worker_id (coordinator restarted, worker did not)
@@ -325,7 +342,7 @@ class Coordinator:
             }
         return {"ok": True, "task": None, "shutdown": False}
 
-    def _op_heartbeat(self, message: dict) -> dict:
+    def _op_heartbeat(self, message: dict, proto: int = 1) -> dict:
         worker = self._touch_worker(message)
         task = self._tasks.get(int(message.get("task_id", -1)))
         if (
@@ -341,7 +358,7 @@ class Coordinator:
         # accepted — but it learns the coordinator no longer waits.
         return {"ok": True, "lost": True}
 
-    def _op_complete(self, message: dict) -> dict:
+    def _op_complete(self, message: dict, proto: int = 1) -> dict:
         worker = self._touch_worker(message)
         task = self._tasks.get(int(message.get("task_id", -1)))
         if task is None:
@@ -350,7 +367,10 @@ class Coordinator:
             worker.task_id = None
         if task.state == "done":
             return {"ok": True, "duplicate": True}  # late double-execution
-        task.result_text = str(message["result"])
+        try:
+            task.result = decode_result_payload(message["result"])
+        except Exception as error:
+            return {"ok": False, "error": f"undecodable result: {error}"}
         task.cached = bool(message.get("cached", False))
         task.state = "done"
         task.error = None
@@ -370,9 +390,55 @@ class Coordinator:
             lease_seconds=lease_seconds,
             annotate=True,
         )
-        return {"ok": True, "duplicate": False}
+        answer = {"ok": True, "duplicate": False}
+        if self._wants_checkpoint(task):
+            # The cell trained a model on an isolated worker: ask for
+            # the checkpoint bytes (the training-direction counterpart
+            # of the gateway's replica push).
+            answer["want_checkpoint"] = True
+            answer["key"] = task.key
+        return answer
 
-    def _op_fail(self, message: dict) -> dict:
+    def _wants_checkpoint(self, task: ClusterTask) -> bool:
+        return bool(
+            task.checkpoint
+            and task.key is not None
+            and cache.cache_enabled()
+            and not cache.checkpoint_path(task.key).exists()
+        )
+
+    def _op_put_checkpoint(self, message: dict, proto: int = 1) -> dict:
+        """Install checkpoint bytes a worker uploaded for a finished cell.
+
+        Raw bytes over the binary wire, base64 text over JSON lines.
+        Idempotent: once the file exists the upload is acknowledged
+        without rewriting (two workers racing the same cell is benign).
+        """
+        key = str(message.get("key") or "")
+        if not key:
+            return {"ok": False, "error": "missing key"}
+        if not cache.cache_enabled():
+            return {"ok": True, "installed": False, "reason": "cache disabled"}
+        data = message.get("data")
+        if isinstance(data, str):
+            data = base64.b64decode(data.encode("ascii"))
+        if not isinstance(data, (bytes, bytearray)):
+            return {"ok": False, "error": "checkpoint data must be bytes or base64"}
+        if cache.checkpoint_path(key).exists():
+            return {"ok": True, "installed": False, "reason": "already present"}
+        meta = message.get("meta")
+        cache.install_checkpoint(key, bytes(data), meta=meta if isinstance(meta, dict) else None)
+        task_id = self._by_key.get((key, True))
+        if task_id is not None:
+            self._record_provenance(
+                self._tasks[task_id],
+                "cluster-checkpoint-upload",
+                str(message.get("worker_id") or "") or None,
+                detail=f"{len(data)} bytes",
+            )
+        return {"ok": True, "installed": True}
+
+    def _op_fail(self, message: dict, proto: int = 1) -> dict:
         worker = self._touch_worker(message)
         task = self._tasks.get(int(message.get("task_id", -1)))
         if task is None:
@@ -409,13 +475,9 @@ class Coordinator:
         entries a local ``jobs=N`` run would have written, so tables,
         figures and repeated sweeps resume from disk as before.
         """
-        if task.key is None or cache.contains(task.key):
+        if task.key is None or task.result is None or cache.contains(task.key):
             return  # nothing to persist, or a shared-fs worker already did
-        try:
-            result = decode_result(task.result_text or "")
-        except Exception:
-            return  # an undecodable result still reaches the client verbatim
-        persist_result(decode_spec(task.spec_payload), task.key, result)
+        persist_result(decode_spec(task.spec_payload), task.key, task.result)
 
     def _record_provenance(
         self,
@@ -458,7 +520,7 @@ class Coordinator:
             pass
 
     # -- client ops -----------------------------------------------------
-    def _op_submit(self, message: dict) -> dict:
+    def _op_submit(self, message: dict, proto: int = 1) -> dict:
         # Submit is not idempotent by nature (it mints a job), so the
         # client sends a one-time submit_id and a retry after a lost
         # reply gets the *same* job back — never a duplicate orphan
@@ -508,7 +570,7 @@ class Coordinator:
             if existing is not None:
                 task = self._tasks[existing]
                 if task.state in ("queued", "leased") or (
-                    task.state == "done" and task.result_text is not None
+                    task.state == "done" and task.result is not None
                 ):
                     return existing
         self._next_task += 1
@@ -536,12 +598,12 @@ class Coordinator:
         if not isinstance(hit, RunResult):
             return False
         hit.cached = True
-        task.result_text = encode_result(hit)
+        task.result = hit
         task.cached = True
         task.state = "done"
         return True
 
-    def _op_status(self, message: dict) -> dict:
+    def _op_status(self, message: dict, proto: int = 1) -> dict:
         job = self._jobs.get(str(message.get("job_id", "")))
         if job is None:
             return {"ok": False, "error": "unknown job_id"}
@@ -560,7 +622,7 @@ class Coordinator:
             ],
         }
 
-    def _op_collect(self, message: dict) -> dict:
+    def _op_collect(self, message: dict, proto: int = 1) -> dict:
         """Return undelivered results; mark delivered only on the *next* ack.
 
         Collect must be safe to retry: the client may lose the reply
@@ -595,10 +657,18 @@ class Coordinator:
                 and task_id not in emitted
             ):
                 emitted.add(task_id)
+                # Re-encode per the *collecting* client's wire: typed
+                # array frames for binary peers, base64 pickle for JSON
+                # lines — the same stored object serves a mixed fleet.
+                encoded = (
+                    encode_result_frames(task.result)
+                    if proto >= 2
+                    else encode_result(task.result)
+                )
                 fresh.append(
                     {
                         "task_id": task_id,
-                        "result": task.result_text,
+                        "result": encoded,
                         "cached": task.cached,
                     }
                 )
@@ -607,10 +677,11 @@ class Coordinator:
     def _maybe_release(self, task: ClusterTask) -> None:
         """Free a result payload once every interested job collected it.
 
-        A long-lived coordinator serves many sweeps; the base64 pickles
-        are the only heavyweight per-task state, and the same data is
-        already persisted in the disk cache (which answers any *future*
-        job that resubmits the cell).  Task and job skeletons stay for
+        A long-lived coordinator serves many sweeps; the decoded
+        results (NumPy accuracy matrices and histories) are the only
+        heavyweight per-task state, and the same data is already
+        persisted in the disk cache (which answers any *future* job
+        that resubmits the cell).  Task and job skeletons stay for
         status/stats bookkeeping — they are a few counters each.
         """
         if any(
@@ -618,10 +689,10 @@ class Coordinator:
             for job in self._jobs.values()
         ):
             return
-        task.result_text = None
+        task.result = None
 
     # -- observability / lifecycle ops ---------------------------------
-    def _op_stats(self, message: dict) -> dict:
+    def _op_stats(self, message: dict, proto: int = 1) -> dict:
         states: dict[str, int] = {}
         for task in self._tasks.values():
             states[task.state] = states.get(task.state, 0) + 1
@@ -647,13 +718,18 @@ class Coordinator:
                 "expired_jobs": self._expired_jobs,
                 "cache_shortcircuits": self._cache_shortcircuits,
                 "transport": self.gate.stats(),
+                "wire": self.wire.snapshot(),
             },
         }
 
-    def _op_ping(self, message: dict) -> dict:
-        return {"ok": True, "service": "repro-cluster-coordinator"}
+    def _op_ping(self, message: dict, proto: int = 1) -> dict:
+        return {
+            "ok": True,
+            "service": "repro-cluster-coordinator",
+            "proto": netio.WIRE_VERSION,
+        }
 
-    def _op_shutdown(self, message: dict) -> dict:
+    def _op_shutdown(self, message: dict, proto: int = 1) -> dict:
         self._closing = True
         # Let the response flush before the server goes away; workers
         # polling after this see {"shutdown": true} until the socket

@@ -24,25 +24,40 @@ the coordinator requeues the cell after one lease timeout.  A worker
 that cannot reach the coordinator for ``max_connect_failures``
 consecutive polls assumes the sweep is over and exits — as does one
 whose ``lease`` answer carries ``shutdown: true``.
+
+Wire: the ``hello`` answer advertises the coordinator's protocol; a
+worker that learns ``proto: 2`` switches every subsequent op to
+binary frames (results as typed array buffers, checkpoints as raw
+bytes), while against an old coordinator — or under a forced
+``REPRO_WIRE=json`` — everything stays JSON lines.  When a cell
+trained a model the coordinator's cache lacks, the ``complete``
+answer asks ``want_checkpoint: true`` and the worker uploads the
+checkpoint file via ``put_checkpoint`` — the training-direction
+counterpart of the gateway's replica push, closing the gap where an
+isolated worker's checkpoint was unreachable for serving.
 """
 
 from __future__ import annotations
 
+import base64
 import os
 import socket
 import threading
 import time
 import traceback
 
+from repro import netio
 from repro.netio import call
 from repro.cluster.protocol import (
     apply_unlocks,
     decode_spec,
     encode_result,
+    encode_result_frames,
     parse_address,
     spec_unlocks,
 )
-from repro.engine.runner import run_one
+from repro.engine import cache
+from repro.engine.runner import run_one, spec_summary
 
 __all__ = ["ClusterWorker"]
 
@@ -80,6 +95,8 @@ class ClusterWorker:
         self.heartbeat_interval = 1.0
         self.completed = 0
         self.failed = 0
+        self.proto = 1  # learned from the hello answer (or REPRO_WIRE)
+        self.checkpoints_uploaded = 0
         self._stop = threading.Event()
 
     # ------------------------------------------------------------------
@@ -88,7 +105,9 @@ class ClusterWorker:
         self._stop.set()
 
     def _call(self, payload: dict) -> dict:
-        return call(self.host, self.port, payload, timeout=self.request_timeout)
+        return call(
+            self.host, self.port, payload, timeout=self.request_timeout, proto=self.proto
+        )
 
     def register(self) -> str:
         """``hello`` with connection (and busy) retries; returns the worker id."""
@@ -124,6 +143,7 @@ class ClusterWorker:
             self.heartbeat_interval = float(
                 answer.get("heartbeat_interval") or self.heartbeat_interval
             )
+            self.proto = netio.preferred_proto(answer.get("proto"))
             self.log(f"registered as {self.worker_id} at {self.host}:{self.port}")
             return self.worker_id
 
@@ -214,19 +234,53 @@ class ClusterWorker:
         stop_beats.set()
         beats.join()
         self.completed += 1
-        self._report(
+        answer = self._report(
             {
                 "op": "complete",
                 "worker_id": self.worker_id,
                 "task_id": task_id,
-                "result": encode_result(result),
+                "result": encode_result_frames(result)
+                if self.proto >= 2
+                else encode_result(result),
                 "cached": bool(result.cached),
             }
         )
+        if answer is not None and answer.get("want_checkpoint"):
+            self._upload_checkpoint(str(answer.get("key") or ""), spec)
         self.log(
             f"cell {task_id}: done in {result.elapsed:.1f}s"
             + (" (cache hit)" if result.cached else "")
         )
+
+    def _upload_checkpoint(self, key: str, spec) -> None:
+        """Ship a trained cell's checkpoint file to the coordinator.
+
+        Best-effort: the coordinator asked because *its* cache lacks
+        the model; if this worker's cache lacks it too (caching off, or
+        the file vanished), skip silently — the result already landed,
+        and the cell can always be retrained from it.  Raw bytes over
+        the binary wire, base64 text over JSON lines.
+        """
+        if not key or not cache.cache_enabled():
+            return
+        path = cache.checkpoint_path(key)
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            return
+        data = blob if self.proto >= 2 else base64.b64encode(blob).decode("ascii")
+        answer = self._report(
+            {
+                "op": "put_checkpoint",
+                "worker_id": self.worker_id,
+                "key": key,
+                "data": data,
+                "meta": spec_summary(spec),
+            }
+        )
+        if answer is not None and answer.get("ok"):
+            self.checkpoints_uploaded += 1
+            self.log(f"uploaded checkpoint {key} ({len(blob)} bytes)")
 
     def _heartbeat_loop(self, task_id: int, stop: threading.Event) -> None:
         while not stop.wait(self.heartbeat_interval):
@@ -243,7 +297,7 @@ class ClusterWorker:
                 # keeps training and `complete` will retry the contact.
                 pass
 
-    def _report(self, payload: dict) -> None:
+    def _report(self, payload: dict) -> dict | None:
         """Deliver complete/fail, riding out transient coordinator load.
 
         A refused answer is not a delivery: ``busy`` (the coordinator
@@ -253,25 +307,29 @@ class ClusterWorker:
         other refusal (e.g. ``unknown task_id`` after a coordinator
         restart) is terminal: retrying cannot change the answer, and
         the queue's lease machinery owns the cell's fate from here.
+        Returns the coordinator's answer when one was delivered (the
+        ``complete`` answer may ask for a checkpoint upload), or
+        ``None`` when delivery was abandoned.
         """
         for _attempt in range(self.max_connect_failures):
             try:
                 answer = self._call(payload)
             except OSError:
                 if self._stop.is_set():
-                    return
+                    return None
                 time.sleep(self.poll_interval)
                 continue
             if answer.get("ok"):
-                return
+                return answer
             if answer.get("error") != "busy":
                 self.log(
                     f"coordinator refused {payload.get('op')} for task "
                     f"{payload.get('task_id')}: {answer.get('error')}"
                 )
-                return
+                return None
             time.sleep(self.poll_interval)
         self.log(
             f"could not deliver {payload.get('op')} for task "
             f"{payload.get('task_id')}; the lease will expire and requeue it"
         )
+        return None

@@ -68,6 +68,12 @@ def add_gateway_run_arguments(parser) -> None:
         "--replica-max-inflight", type=int, default=8, metavar="N",
         help="per-replica concurrent-request bound (drives backpressure)",
     )
+    parser.add_argument(
+        "--sniff-bytes", type=int, default=8192, metavar="N",
+        help="JSON predict routing reads at most this many bytes to "
+        "find the model spec; specs spanning the window fall back to "
+        "a full parse (binary-frame predicts never need the sniff)",
+    )
 
 
 def add_gateway_replica_arguments(parser) -> None:
@@ -115,6 +121,7 @@ def run_gateway(args, session) -> int:
         replication=args.replication,
         lease_timeout=args.lease_timeout,
         max_inflight=args.max_inflight,
+        sniff_bytes=args.sniff_bytes,
     )
     autoscaler = Autoscaler(
         app,

@@ -23,7 +23,12 @@ class GatewayClient:
     ``address`` accepts ``"host:port"``, ``"host"`` (default gateway
     port), or the ``cluster://`` scheme form.  Each call opens a fresh
     connection (the dialect is one-shot); ``attempts``/``timeout``
-    bound the retry-through-busy behaviour.
+    bound the retry-through-busy behaviour.  ``wire`` picks the
+    framing: ``"auto"`` (default) probes the gateway once with a plain
+    ``ping`` and switches to binary frames when it advertises
+    ``proto: 2`` (image batches then cross as raw zero-copy buffers
+    instead of JSON number lists); ``"json"``/``"binary"`` force one
+    side, as does the ``REPRO_WIRE`` environment override.
     """
 
     def __init__(
@@ -33,6 +38,7 @@ class GatewayClient:
         *,
         attempts: int = 5,
         timeout: float | None = 60.0,
+        wire: str = "auto",
     ):
         from repro.api import Session
         from repro.cluster.protocol import parse_address
@@ -46,6 +52,9 @@ class GatewayClient:
         self.session = session if session is not None else Session()
         self.attempts = attempts
         self.timeout = timeout
+        if wire not in ("auto", "json", "binary"):
+            raise ValueError(f"wire must be auto/json/binary, not {wire!r}")
+        self._proto: int | None = {"json": 1, "binary": 2}.get(wire)
 
     # ------------------------------------------------------------------
     def _wire_spec(self, spec) -> dict:
@@ -53,6 +62,24 @@ class GatewayClient:
 
         with self.session._activate():
             return encode_spec(spec)
+
+    async def _negotiated_proto(self) -> int:
+        """The framing to speak, probed once (see class docstring)."""
+        if self._proto is None:
+            forced = netio.wire_preference()
+            if forced is not None:
+                self._proto = forced
+                return forced
+            try:
+                answer = await netio.request_async(
+                    self.host, self.port, {"op": "ping"}, timeout=self.timeout
+                )
+            except OSError:
+                return 1  # unreachable now; the op's own retries cope
+            if not answer.get("ok"):
+                return 1  # shed answer — do not pin a verdict on it
+            self._proto = netio.preferred_proto(answer.get("proto"))
+        return self._proto
 
     async def predict_async(
         self,
@@ -64,18 +91,28 @@ class GatewayClient:
     ) -> np.ndarray:
         """Class predictions for one (C,H,W) image or an (N,C,H,W) batch."""
         images = np.asarray(images)
+        proto = await self._negotiated_proto()
         response = await netio.request_with_retry(
             self.host,
             self.port,
             {
                 "op": "predict",
                 "model": self._wire_spec(spec),
-                "images": images.tolist(),
+                # Binary peers take the float64 array itself (the same
+                # values the JSON parse would produce, zero-copy on the
+                # wire); JSON peers take nested lists.
+                "images": np.asarray(images, dtype=np.float64)
+                if proto >= 2
+                else images.tolist(),
                 "task_id": task_id,
                 "scenario": scenario,
             },
             attempts=self.attempts,
             timeout=self.timeout,
+            # A predict is a pure read of a served model — safe to
+            # re-send after a torn socket.
+            idempotent=True,
+            proto=proto,
         )
         if not response.get("ok"):
             raise RuntimeError(f"gateway predict failed: {response.get('error')}")
@@ -89,7 +126,8 @@ class GatewayClient:
     # ------------------------------------------------------------------
     async def stats_async(self) -> dict:
         response = await netio.request_with_retry(
-            self.host, self.port, {"op": "stats"}, attempts=self.attempts
+            self.host, self.port, {"op": "stats"}, attempts=self.attempts,
+            idempotent=True,
         )
         if not response.get("ok"):
             raise RuntimeError(f"gateway stats failed: {response.get('error')}")
@@ -104,6 +142,9 @@ class GatewayClient:
             self.port,
             {"op": "scale", "replicas": int(replicas)},
             attempts=self.attempts,
+            # Scale-to-target is idempotent: re-sending the same target
+            # after a torn socket cannot over- or under-shoot.
+            idempotent=True,
         )
         if not response.get("ok"):
             raise RuntimeError(f"gateway scale failed: {response.get('error')}")

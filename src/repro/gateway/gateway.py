@@ -1,12 +1,15 @@
 """The gateway process: one TCP front door over a replica fleet.
 
-Clients speak the same newline-framed JSON dialect as
-:mod:`repro.serve` — a ``predict`` here additionally carries a
-``"model"`` field (wire-form spec, the cluster dialect's
-``encode_spec`` shape) naming the cell to serve.  The gateway computes
-the model's cache key, picks a replica from the consistent-hash
-assignment, and forwards the client's *raw line* (a 40 MiB image batch
-is framed once, not re-serialized), returning the replica's answer.
+Clients speak the same two-framing dialect as :mod:`repro.serve` —
+newline JSON lines or v2 binary frames (see :mod:`repro.netio`) — and
+a ``predict`` here additionally carries a ``"model"`` field
+(wire-form spec, the cluster dialect's ``encode_spec`` shape) naming
+the cell to serve.  The gateway computes the model's cache key, picks
+a replica from the consistent-hash assignment, and forwards the
+client's *raw wire bytes* (a 40 MiB image batch is framed once, not
+re-serialized — for binary frames the route is read off the
+fixed-size header without ever touching the array buffers), then
+relays the replica's answer back verbatim in the same framing.
 
 Failure handling, per request:
 
@@ -47,9 +50,12 @@ DEFAULT_GATEWAY_PORT = 7072
 #: router decode *only* the small wire spec instead of parsing a
 #: megabyte image batch it is about to forward verbatim — the gateway
 #: is one process in front of N replicas, and a full parse here puts a
-#: serial term in front of every parallel forward.
+#: serial term in front of every parallel forward.  (Binary-frame
+#: predicts need no sniff at all: their control fields live in the
+#: fixed-size frame header.)
 _PREDICT_PREFIX = b'{"op": "predict", "model": '
-#: Wire specs are a method name plus overrides: far under this.
+#: Default sniff window.  Wire specs are a method name plus overrides:
+#: far under this; ``--sniff-bytes`` raises it for exotic specs.
 _PREDICT_SNIFF_MAX = 8192
 
 
@@ -66,10 +72,14 @@ class GatewayApp:
         request_timeout: float | None = None,
         retry_attempts: int = 8,
         retry_base_delay: float = 0.05,
+        sniff_bytes: int = _PREDICT_SNIFF_MAX,
     ):
         from repro.api import Session
 
+        if sniff_bytes < len(_PREDICT_PREFIX) + 2:
+            raise ValueError("sniff_bytes too small to hold any wire spec")
         self.session = session if session is not None else Session()
+        self.sniff_bytes = int(sniff_bytes)
         self.registry = ReplicaRegistry(
             lease_timeout=lease_timeout,
             replication=replication,
@@ -89,6 +99,7 @@ class GatewayApp:
         self.busy_steers = 0
         self.checkpoint_pushes = 0
         self.no_replica_failures = 0
+        self.wire = netio.WireStats()
         #: (model key, replica_id) pairs already delivered, so a hot
         #: model is pushed to each replica at most once.
         self._pushed: set[tuple[str, str]] = set()
@@ -103,6 +114,10 @@ class GatewayApp:
         return sockname[0], sockname[1]
 
     async def close(self) -> None:
+        snap = self.wire.snapshot()
+        if snap.get("bytes_in") or snap.get("bytes_out"):
+            # Fleet provenance: what this gateway's front door moved.
+            self._record_event("gateway-wire", detail=json.dumps(snap, sort_keys=True))
         if self.autoscaler is not None:
             await self.autoscaler.close()
         if getattr(self, "_sweeper", None) is not None:
@@ -149,17 +164,28 @@ class GatewayApp:
             shed_exempt=netio.shed_exempt_ops(
                 "stats", "info", "ping", "hello", "heartbeat", "goodbye"
             ),
+            stats=self.wire,
         )
 
-    async def _dispatch(self, line: bytes) -> dict:
+    async def _dispatch(self, request: netio.WireRequest):
         try:
-            wire = self._sniff_model(line)
-            if wire is not None:
-                return await self._predict(wire, line)
-            payload = json.loads(line)
+            if request.proto >= 2:
+                # Binary frame: the op and wire spec are control fields
+                # in the fixed-size header — route without ever
+                # decoding the array buffers being forwarded.
+                control = request.control
+                if control.get("op") == "predict":
+                    return await self._predict(control.get("model"), request.parts)
+                payload = request.payload
+            else:
+                line = request.line
+                wire = self._sniff_model(line)
+                if wire is not None:
+                    return await self._predict(wire, request.parts)
+                payload = json.loads(line)
             op = payload.get("op")
             if op == "predict":
-                return await self._predict(payload.get("model"), line)
+                return await self._predict(payload.get("model"), request.parts)
             if op == "hello":
                 return self._op_hello(payload)
             if op == "heartbeat":
@@ -172,7 +198,7 @@ class GatewayApp:
             if op == "info":
                 return self._info()
             if op == "ping":
-                return {"ok": True}
+                return {"ok": True, "proto": netio.WIRE_VERSION}
             if op == "scale":
                 return self._op_scale(payload)
             if op == "drain_replica":
@@ -191,12 +217,14 @@ class GatewayApp:
             int(payload["port"]),
             pid=payload.get("pid"),
             spawned=bool(payload.get("spawned", False)),
+            proto=int(payload.get("proto") or 1),
         )
         return {
             "ok": True,
             "replica_id": replica.replica_id,
             "heartbeat_interval": self.registry.heartbeat_interval,
             "lease_timeout": self.registry.lease_timeout,
+            "proto": netio.WIRE_VERSION,
         }
 
     def _op_heartbeat(self, payload: dict) -> dict:
@@ -231,6 +259,7 @@ class GatewayApp:
             "ok": True,
             "version": __version__,
             "role": "gateway",
+            "proto": netio.WIRE_VERSION,
             "replicas": len(self.registry.alive()),
             "replication": self.registry.replication,
         }
@@ -248,24 +277,27 @@ class GatewayApp:
                 "timeouts": self.timeouts,
             },
             "transport": self.gate.stats(),
+            "wire": self.wire.snapshot(),
             "autoscaler": autoscaler,
         }
 
     # ------------------------------------------------------------------
     # Routing
     # ------------------------------------------------------------------
-    @staticmethod
-    def _sniff_model(line: bytes):
+    def _sniff_model(self, line: bytes):
         """The wire spec of a canonically-framed predict line, else None.
 
         Only the prefix shape guarantees ``"model"`` is the first
         nested value, so decoding from that offset cannot be fooled by
         key-lookalike strings later in the payload.  Anything
-        non-canonical falls back to a full parse in ``_dispatch``.
+        non-canonical — including a spec that spans the ``sniff_bytes``
+        window — returns ``None`` and falls back to the full parse in
+        ``_dispatch``, so an oversized spec is routed correctly, just
+        slower.
         """
         if not line.startswith(_PREDICT_PREFIX):
             return None
-        head = line[: _PREDICT_SNIFF_MAX].decode("utf-8", errors="ignore")
+        head = line[: self.sniff_bytes].decode("utf-8", errors="ignore")
         try:
             wire, _end = json.JSONDecoder().raw_decode(
                 head, len(_PREDICT_PREFIX)
@@ -283,13 +315,20 @@ class GatewayApp:
 
         return decode_spec(wire).cache_key()
 
-    async def _predict(self, wire, line: bytes) -> dict:
+    async def _predict(self, wire, parts: list):
+        """Route one predict's raw wire parts; relay the answer verbatim.
+
+        Returns a :class:`netio.RawReply` (the replica's bytes,
+        untouched, in whatever framing the client used) on any answer
+        the replica meant for the client, or a plain dict when the
+        gateway itself must speak (no replica available).
+        """
         key = self._model_key(wire)
         delays = netio.backoff_delays(
             self.retry_attempts, base=self.retry_base_delay
         )
         exclude: set[str] = set()
-        last_response: dict | None = None
+        last_response: netio.RawReply | None = None
         for attempt in range(self.retry_attempts):
             if attempt:
                 self.retries += 1
@@ -305,7 +344,7 @@ class GatewayApp:
                 continue
             replica.inflight += 1
             try:
-                response = await self._forward(replica, line)
+                response = await self._forward(replica, parts)
             except (OSError, asyncio.TimeoutError) as error:
                 # A torn socket is instant death detection — faster
                 # than the lease sweep, so a SIGKILLed replica's models
@@ -317,12 +356,16 @@ class GatewayApp:
                 continue
             finally:
                 replica.inflight -= 1
-            if response.get("ok"):
+            # Control fields come off the frame header (or the parsed
+            # line) — a success answer's array buffers are relayed to
+            # the client without ever being decoded here.
+            control = response.control
+            if control.get("ok"):
                 replica.served += 1
                 self.forwarded += 1
-                return response
-            error = str(response.get("error", ""))
-            last_response = response
+                return netio.RawReply(response.parts)
+            error = str(control.get("error", ""))
+            last_response = netio.RawReply(response.parts)
             if error == "busy":
                 replica.busy_answers += 1
                 self.busy_steers += 1
@@ -338,7 +381,7 @@ class GatewayApp:
                 continue
             # A real answer (bad payload, unknown scenario, ...): the
             # replica spoke for the fleet; retrying would not change it.
-            return response
+            return netio.RawReply(response.parts)
         self.no_replica_failures += 1
         return last_response or {
             "ok": False,
@@ -346,18 +389,23 @@ class GatewayApp:
             f"after {self.retry_attempts} attempts",
         }
 
-    async def _forward(self, replica: ReplicaInfo, line: bytes) -> dict:
-        """One raw-line round trip to a replica on a fresh connection."""
+    async def _forward(self, replica: ReplicaInfo, parts: list) -> netio.WireRequest:
+        """One verbatim round trip to a replica on a fresh connection.
+
+        The client's wire parts go out untouched (chunked, so a large
+        frame streams in bounded segments); the reply comes back as a
+        :class:`netio.WireRequest` whose ``parts`` can be relayed and
+        whose ``control`` exposes ok/error without decoding buffers.
+        """
         reader, writer = await asyncio.open_connection(
             replica.host, replica.port, limit=netio.STREAM_LIMIT
         )
         try:
-            writer.write(line if line.endswith(b"\n") else line + b"\n")
-            await writer.drain()
-            raw = await reader.readline()
-            if not raw:
+            await netio._write_parts(writer, parts)
+            response = await netio.WireReader(reader).read_request()
+            if response is None:
                 raise ConnectionError("replica closed without answering")
-            return json.loads(raw)
+            return response
         finally:
             writer.close()
 
@@ -371,6 +419,12 @@ class GatewayApp:
         one push per (model, replica): a second "checkpoint
         unavailable" after a successful push means something is wrong
         on the replica — steer away instead of re-shipping megabytes.
+
+        Binary-capable replicas (hello advertised ``proto: 2``) get
+        the bytes as a compressed raw frame buffer, streamed in
+        bounded chunks; v1 replicas get base64 text.  The install is
+        idempotent on the replica, so the retry helper may re-send
+        after a torn socket.
         """
         import base64
 
@@ -384,6 +438,7 @@ class GatewayApp:
                 return False
             blob = path.read_bytes()
             meta = cache.inspect(key).get("spec") or {}
+        proto = netio.preferred_proto(replica.proto)
         response = await netio.request_with_retry(
             replica.host,
             replica.port,
@@ -391,10 +446,17 @@ class GatewayApp:
                 "op": "put_checkpoint",
                 "key": key,
                 "meta": meta,
-                "data": base64.b64encode(blob).decode("ascii"),
+                "data": blob
+                if proto >= 2
+                else base64.b64encode(blob).decode("ascii"),
             },
             attempts=3,
             base_delay=self.retry_base_delay,
+            idempotent=True,
+            proto=proto,
+            # Checkpoints are uncompressed npz archives: zlib halves
+            # them on the wire (measured ~2x on the smoke cells).
+            compress=6 if proto >= 2 else None,
         )
         if not response.get("ok"):
             return False

@@ -104,6 +104,9 @@ class ReplicaInfo:
     #: may therefore retire it); externally-started replicas are never
     #: scaled down.
     spawned: bool = False
+    #: Highest wire protocol the replica's hello advertised (1 = JSON
+    #: lines only); gates binary checkpoint pushes toward it.
+    proto: int = 1
     state: str = "alive"  # alive | draining | dead
     registered: float = field(default_factory=time.time)
     last_seen: float = 0.0
@@ -131,6 +134,7 @@ class ReplicaInfo:
             "pid": self.pid,
             "spawned": self.spawned,
             "state": self.state,
+            "proto": self.proto,
             "queue_depth": self.queue_depth,
             "inflight": self.inflight,
             "served": self.served,
@@ -190,6 +194,7 @@ class ReplicaRegistry:
         *,
         pid: int | None = None,
         spawned: bool = False,
+        proto: int = 1,
     ) -> ReplicaInfo:
         self._counter += 1
         replica = ReplicaInfo(
@@ -199,6 +204,7 @@ class ReplicaRegistry:
             port=int(port),
             pid=pid,
             spawned=bool(spawned),
+            proto=int(proto),
         )
         now = time.time()
         replica.last_seen = now

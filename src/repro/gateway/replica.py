@@ -37,16 +37,18 @@ class ReplicaApp(ServeApp):
         )
         self.checkpoints_received = 0
 
-    async def _handle_op(self, payload: dict) -> dict:
+    async def _handle_op(self, payload: dict, *, proto: int = 1) -> dict:
         if payload.get("op") == "put_checkpoint":
             return self._put_checkpoint(payload)
-        return await super()._handle_op(payload)
+        return await super()._handle_op(payload, proto=proto)
 
     def _put_checkpoint(self, payload: dict) -> dict:
         from repro.engine import cache
 
         key = str(payload["key"])
-        blob = base64.b64decode(payload["data"])
+        data = payload["data"]
+        # Raw bytes over the binary wire, base64 text over JSON lines.
+        blob = base64.b64decode(data) if isinstance(data, str) else bytes(data)
         with self.service.pool.session._activate():
             cache.install_checkpoint(key, blob, meta=payload.get("meta"))
         self.checkpoints_received += 1
@@ -101,10 +103,16 @@ class ReplicaAgent:
                 "port": self.port,
                 "pid": os.getpid(),
                 "spawned": self.spawned,
+                # Advertise the binary wire so the gateway can push
+                # checkpoints as raw frames; old gateways ignore it.
+                "proto": netio.WIRE_VERSION,
             },
             attempts=20,
             base_delay=0.1,
             cap_delay=1.0,
+            # Registration is idempotent at the gateway (a duplicate
+            # hello just mints a fresh id the heartbeat loop adopts).
+            idempotent=True,
         )
         if not answer.get("ok"):
             raise RuntimeError(f"gateway refused registration: {answer.get('error')}")
@@ -161,6 +169,7 @@ class ReplicaAgent:
                             "port": self.port,
                             "pid": os.getpid(),
                             "spawned": self.spawned,
+                            "proto": netio.WIRE_VERSION,
                         },
                     )
                 except (OSError, asyncio.TimeoutError):

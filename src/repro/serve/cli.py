@@ -14,6 +14,7 @@ import time
 
 import numpy as np
 
+from repro import netio
 from repro.engine import cache
 from repro.engine.registry import SCENARIOS
 from repro.engine.runner import RunSpec
@@ -95,6 +96,13 @@ def add_predict_arguments(parser) -> None:
     )
     parser.add_argument("--task-id", type=int, default=None)
     parser.add_argument("--scenario", default="til", help="protocol: til / cil / dil")
+    parser.add_argument(
+        "--wire",
+        choices=["auto", "json", "binary"],
+        default="auto",
+        help="wire framing: auto negotiates from the server's info "
+        "answer; json/binary force v1/v2 (REPRO_WIRE overrides auto)",
+    )
 
 
 def run_serve(args, session) -> int:
@@ -194,6 +202,13 @@ def run_predict(args) -> int:
         if not info.get("ok"):
             print(f"error: {info.get('error')}", file=sys.stderr)
             return 2
+        wire = getattr(args, "wire", "auto")
+        if wire == "json":
+            proto = 1
+        elif wire == "binary":
+            proto = 2
+        else:
+            proto = netio.preferred_proto(info.get("proto"))
         model = info["model"]
         labels = None
         if args.npy is not None:
@@ -210,10 +225,15 @@ def run_predict(args) -> int:
                     args.port,
                     {
                         "op": "predict",
-                        "images": image.tolist(),
+                        # Binary peers take the array itself (zero-copy
+                        # frame buffer); JSON peers take nested lists.
+                        "images": np.asarray(image, dtype=np.float64)
+                        if proto >= 2
+                        else image.tolist(),
                         "task_id": args.task_id,
                         "scenario": args.scenario,
                     },
+                    proto=proto,
                 )
                 for image in images
             )
@@ -223,7 +243,7 @@ def run_predict(args) -> int:
         if failed:
             print(f"error: {failed[0].get('error')}", file=sys.stderr)
             return 2
-        predictions = [r["predictions"][0] for r in responses]
+        predictions = [int(np.asarray(r["predictions"]).reshape(-1)[0]) for r in responses]
         stats = await request_async(args.host, args.port, {"op": "stats"})
         print(
             f"{len(predictions)} predictions from {model['method']} on "

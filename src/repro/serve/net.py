@@ -1,14 +1,17 @@
 """A minimal TCP front-end for the inference service.
 
-Wire protocol: one JSON object per line, both directions (newline
-framed, UTF-8; the framing lives in :mod:`repro.netio`, shared with
-the cluster coordinator).  Requests carry an ``op``:
+Wire protocol: JSON objects (newline framed, UTF-8) or v2 binary
+frames carrying numpy payloads — both framings accepted on every
+connection, answered in kind (the framing and negotiation live in
+:mod:`repro.netio`, shared with the cluster coordinator and the
+gateway).  Requests carry an ``op``:
 
-* ``{"op": "predict", "images": <nested list>, "task_id": 0,
-  "scenario": "til"}`` — ``images`` is one (C, H, W) sample or an
-  (N, C, H, W) batch; the response is ``{"ok": true, "predictions":
-  [...]}``.  Batch samples are fanned through the micro-batching
-  queue individually, so concurrent connections coalesce into shared
+* ``{"op": "predict", "images": <nested list or ndarray frame
+  buffer>, "task_id": 0, "scenario": "til"}`` — ``images`` is one
+  (C, H, W) sample or an (N, C, H, W) batch; the response is
+  ``{"ok": true, "predictions": [...]}`` (an int64 array for binary
+  peers).  Batch samples are fanned through the micro-batching queue
+  individually, so concurrent connections coalesce into shared
   forwards.
 * ``{"op": "info"}`` — the served cell (method / scenario / profile /
   seed, tasks seen, library version).
@@ -51,7 +54,6 @@ Two extensions for fleet use (the gateway in :mod:`repro.gateway`):
 from __future__ import annotations
 
 import asyncio
-import json
 
 import numpy as np
 
@@ -82,6 +84,7 @@ class ServeApp:
         self.timeouts = 0
         self.draining = False
         self.drain_refused = 0
+        self.wire = netio.WireStats()
 
     # ------------------------------------------------------------------
     async def start(self, host: str = "127.0.0.1", port: int = 0) -> tuple[str, int]:
@@ -149,19 +152,20 @@ class ServeApp:
             # A saturated server must stay observable *and* drainable:
             # stats/info are cheap reads, and an operator must be able
             # to start a drain precisely when every slot is held.
-            shed_exempt=netio.shed_exempt_ops("stats", "info", "drain"),
+            shed_exempt=netio.shed_exempt_ops("stats", "info", "drain", "ping"),
+            stats=self.wire,
         )
 
-    async def _dispatch(self, line: bytes) -> dict:
+    async def _dispatch(self, request: netio.WireRequest) -> dict:
         try:
-            payload = json.loads(line)
-            return await self._handle_op(payload)
+            payload = request.payload
+            return await self._handle_op(payload, proto=request.proto)
         except CheckpointUnavailable as error:
             return {"ok": False, "error": f"checkpoint unavailable: {error}"}
         except Exception as error:  # protocol errors must not kill the server
             return {"ok": False, "error": f"{type(error).__name__}: {error}"}
 
-    async def _handle_op(self, payload: dict) -> dict:
+    async def _handle_op(self, payload: dict, *, proto: int = 1) -> dict:
         """Answer one parsed request (the subclass extension point:
         gateway replicas add ops here without re-parsing the line)."""
         op = payload.get("op")
@@ -169,9 +173,11 @@ class ServeApp:
             if self.draining:
                 self.drain_refused += 1
                 return {"ok": False, "error": "draining"}
-            return await self._predict(payload)
+            return await self._predict(payload, proto=proto)
         if op == "info":
             return self._info()
+        if op == "ping":
+            return {"ok": True, "proto": netio.WIRE_VERSION}
         if op == "stats":
             return {
                 "ok": True,
@@ -189,6 +195,7 @@ class ServeApp:
             "request_timeout": self.request_timeout,
             "draining": self.draining,
             "drain_refused": self.drain_refused,
+            "wire": self.wire.snapshot(),
         }
 
     def _resolve_spec(self, payload: dict) -> RunSpec:
@@ -205,11 +212,18 @@ class ServeApp:
             )
         return self.spec
 
-    async def _predict(self, payload: dict) -> dict:
+    async def _predict(self, payload: dict, *, proto: int = 1) -> dict:
         spec = self._resolve_spec(payload)
-        # Parse at the JSON wire precision; the service casts to the
-        # served model's compute dtype before the shared forward.
-        images = np.asarray(payload["images"], dtype=np.float64)
+        images = payload["images"]
+        if isinstance(images, np.ndarray):
+            # Binary peers ship the batch at its native dtype; the
+            # service casts to the served model's compute dtype.  (A
+            # float64 frame is bit-identical to the JSON-parsed path.)
+            images = np.asarray(images)
+        else:
+            # Parse at the JSON wire precision; the service casts to
+            # the served model's compute dtype before the forward.
+            images = np.asarray(images, dtype=np.float64)
         task_id = payload.get("task_id")
         scenario = payload.get("scenario", "til")
         if images.ndim == 3:
@@ -222,12 +236,19 @@ class ServeApp:
         predictions = await self.service.predict_many(
             spec, images, task_id=task_id, scenario=scenario
         )
+        if proto >= 2:
+            return {"ok": True, "predictions": np.asarray(predictions, dtype=np.int64)}
         return {"ok": True, "predictions": [int(p) for p in predictions]}
 
     def _info(self) -> dict:
         from repro import __version__
 
-        info: dict = {"ok": True, "version": __version__, "model": None}
+        info: dict = {
+            "ok": True,
+            "version": __version__,
+            "proto": netio.WIRE_VERSION,
+            "model": None,
+        }
         if self.spec is not None:
             model = self.service.pool.get(self.spec)
             info["model"] = {

@@ -606,3 +606,185 @@ class TestCoordinatorOps:
             ClusterClient(f"{host}:{port}").shutdown()
             thread.join(timeout=10)
             assert not thread.is_alive()
+
+
+# ----------------------------------------------------------------------
+# Wire protocol v2 — typed result frames + checkpoint upload
+# ----------------------------------------------------------------------
+class TestResultFrames:
+    """The typed v2 result codec must be bitwise-faithful and must
+    interoperate with the v1 pickle dialect through one dispatch."""
+
+    def test_frame_round_trip_is_bitwise(self):
+        from repro.cluster.protocol import (
+            decode_result_frames,
+            encode_result_frames,
+        )
+
+        result = run_one(tiny_spec(seed=12), use_cache=False)
+        payload = encode_result_frames(result)
+        # Through the actual wire bytes, not just the dict in memory.
+        wire = netio.encode_frame({"result": payload}, compress=6)
+        decoded = decode_result_frames(netio.decode_frame(wire)["result"])
+        assert_cells_identical(decoded, result)
+        assert decoded.elapsed == result.elapsed
+
+    def test_payload_dispatch_accepts_both_dialects(self):
+        from repro.cluster.protocol import (
+            decode_result_payload,
+            encode_result_frames,
+        )
+
+        result = run_one(tiny_spec(seed=12), use_cache=False)
+        via_pickle = decode_result_payload(encode_result(result))
+        via_frames = decode_result_payload(encode_result_frames(result))
+        assert_cells_identical(via_pickle, result)
+        assert_cells_identical(via_frames, result)
+        with pytest.raises((TypeError, ValueError)):
+            decode_result_payload({"format": "not/a/result"})
+
+    def test_coordinator_refuses_undecodable_result(self):
+        with CoordinatorThread(check_interval=0.05) as (host, port):
+            client = ClusterClient(f"{host}:{port}", poll_interval=0.05)
+            job = client.submit([tiny_spec(seed=0)])
+            hello = netio.call(host, port, {"op": "hello", "name": "mal"})
+            lease = netio.call(
+                host, port, {"op": "lease", "worker_id": hello["worker_id"]}
+            )
+            answer = netio.call(
+                host,
+                port,
+                {
+                    "op": "complete",
+                    "worker_id": hello["worker_id"],
+                    "task_id": lease["task"]["task_id"],
+                    "result": {"format": "garbage"},
+                },
+            )
+            status = client.status(job)
+        assert not answer["ok"] and "undecodable" in answer["error"]
+        assert status["done"] == 0  # the cell was not marked complete
+
+
+class TestForcedJsonWire:
+    def test_cluster_run_bitwise_identical_with_v1_forced(self, monkeypatch):
+        """REPRO_WIRE=1 pins every peer to JSON lines; the sweep must
+        still be cell-for-cell identical to the local run."""
+        monkeypatch.setenv("REPRO_WIRE", "1")
+        spec = tiny_spec(seed=13)
+        local = run_one(spec, use_cache=False)
+        with running_cluster(workers=1) as (address, _pool):
+            client = ClusterClient(address, poll_interval=0.05)
+            job = client.submit([spec], use_cache=False)
+            remote = client.wait(job, timeout=120)[job.task_ids[0]]
+        assert_cells_identical(remote, local)
+
+
+class TestCheckpointUpload:
+    """complete → want_checkpoint → put_checkpoint, both framings."""
+
+    def _trained_blob(self, spec):
+        run_one(spec, checkpoint=True)
+        key = spec.cache_key()
+        return key, cache.checkpoint_path(key).read_bytes()
+
+    def _complete_task(self, host, port, spec, result):
+        client = ClusterClient(f"{host}:{port}", poll_interval=0.05)
+        job = client.submit([spec], checkpoint=True)
+        hello = netio.call(host, port, {"op": "hello", "name": "up"})
+        lease = netio.call(
+            host, port, {"op": "lease", "worker_id": hello["worker_id"]}
+        )
+        answer = netio.call(
+            host,
+            port,
+            {
+                "op": "complete",
+                "worker_id": hello["worker_id"],
+                "task_id": lease["task"]["task_id"],
+                "result": encode_result(result),
+            },
+        )
+        return hello["worker_id"], answer
+
+    def test_upload_round_trip_both_framings(self, tmp_path, monkeypatch):
+        """Train in cache A, upload into coordinator cache B: the
+        complete answer asks for the checkpoint, the upload installs it
+        bit-for-bit, and a re-send is acknowledged idempotently."""
+        import base64
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "worker-cache"))
+        spec = tiny_spec(seed=14)
+        key, blob = self._trained_blob(spec)
+        result = run_one(spec)
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "coord-cache"))
+        with CoordinatorThread(check_interval=0.05) as (host, port):
+            worker_id, answer = self._complete_task(host, port, spec, result)
+            assert answer["ok"] and answer.get("want_checkpoint")
+            assert answer["key"] == key
+            # v1: base64 text over a JSON line.
+            first = netio.call(
+                host,
+                port,
+                {
+                    "op": "put_checkpoint",
+                    "worker_id": worker_id,
+                    "key": key,
+                    "data": base64.b64encode(blob).decode("ascii"),
+                },
+            )
+            # v2: raw bytes in a binary frame — idempotent replay.
+            again = netio.call(
+                host,
+                port,
+                {
+                    "op": "put_checkpoint",
+                    "worker_id": worker_id,
+                    "key": key,
+                    "data": blob,
+                },
+                proto=2,
+            )
+        assert first == {"ok": True, "installed": True}
+        assert again["ok"] and not again["installed"]
+        assert again["reason"] == "already present"
+        assert cache.checkpoint_path(key).read_bytes() == blob
+
+    def test_no_upload_requested_when_checkpoint_already_present(
+        self, tmp_path, monkeypatch
+    ):
+        """Shared cache (or an earlier upload): complete must not ask."""
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "shared-cache"))
+        spec = tiny_spec(seed=14)
+        key, _blob = self._trained_blob(spec)  # checkpoint where it belongs
+        result = run_one(spec)
+        # Drop the cached *result* so the cell is leased out again, but
+        # keep the checkpoint file — the interesting half of the state.
+        cache._path_for(key).unlink()
+        with CoordinatorThread(check_interval=0.05) as (host, port):
+            _worker_id, answer = self._complete_task(host, port, spec, result)
+        assert answer["ok"] and not answer.get("want_checkpoint")
+
+    def test_worker_uploads_end_to_end(self, tmp_path, monkeypatch):
+        """A real worker answering a want_checkpoint: the file lands in
+        the coordinator cache and the worker counts the upload."""
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "e2e-cache"))
+        spec = tiny_spec(seed=15)
+        with CoordinatorThread(check_interval=0.05) as (host, port):
+            address = f"{host}:{port}"
+            client = ClusterClient(address, poll_interval=0.05)
+            job = client.submit([spec], checkpoint=True)
+            worker = ClusterWorker(address, name="ckpt-worker", poll_interval=0.05)
+            thread = threading.Thread(target=worker.run, daemon=True)
+            thread.start()
+            try:
+                client.wait(job, timeout=120)
+            finally:
+                worker.stop()
+                thread.join(timeout=10)
+        # In-process the cache is shared, so the worker's own training
+        # already materialized the checkpoint — the coordinator must not
+        # have requested a redundant upload.
+        assert cache.checkpoint_path(spec.cache_key()).exists()
+        assert worker.checkpoints_uploaded == 0

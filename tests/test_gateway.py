@@ -444,3 +444,132 @@ class TestSessionGatewayBridge:
 
     def test_bare_host_uses_gateway_port(self, session):
         assert session.gateway("localhost").port == 7072
+
+
+# ----------------------------------------------------------------------
+# Wire protocol v2 — binary predict relay + sniff window
+# ----------------------------------------------------------------------
+class TestGatewayWireV2:
+    def test_binary_predict_bitwise_equals_json(self, session, tmp_path):
+        """Forced-binary and forced-JSON clients must get identical
+        predictions, and binary frames must show up in the wire stats
+        (proof the relay never fell back to JSON)."""
+        spec = checkpointed_spec(session)
+        images, _labels = sample_images(spec)
+        direct = session.load_model(spec).predict_multi(images, 0, [Scenario.TIL])[
+            Scenario.TIL
+        ]
+
+        async def main():
+            async with _Fleet(session, tmp_path, count=2) as fleet:
+                binary = GatewayClient("127.0.0.1", session, attempts=8, wire="binary")
+                jsonly = GatewayClient("127.0.0.1", session, attempts=8, wire="json")
+                binary.port = jsonly.port = fleet.port
+                via_binary = await binary.predict_async(spec, images, task_id=0)
+                via_json = await jsonly.predict_async(spec, images, task_id=0)
+                return via_binary, via_json, fleet.gateway.wire.snapshot()
+
+        via_binary, via_json, wire = asyncio.run(main())
+        assert np.array_equal(via_binary, direct)
+        assert np.array_equal(via_json, direct)
+        assert wire["frames_in"] >= 1 and wire["frames_out"] >= 1
+        assert wire["lines_in"] >= 1 and wire["lines_out"] >= 1
+
+    def test_v2_replica_negotiates_raw_checkpoint_push(self, session, tmp_path):
+        """A replica advertising proto 2 gets its checkpoint as raw
+        compressed bytes — and still serves bitwise-correct answers."""
+        spec = checkpointed_spec(session)
+        images, _labels = sample_images(spec)
+        direct = session.load_model(spec).predict_multi(images, 0, [Scenario.TIL])[
+            Scenario.TIL
+        ]
+
+        async def main():
+            gateway = GatewayApp(session, lease_timeout=30.0, retry_base_delay=0.005)
+            replica_session = Session(cache_dir=tmp_path / "v2-replica")
+            app = ReplicaApp(InferenceService(replica_session, max_delay_ms=1))
+            host, port = await gateway.start()
+            rhost, rport = await app.start()
+            try:
+                hello = await netio.request_async(
+                    host, port,
+                    {
+                        "op": "hello", "name": "v2", "host": rhost, "port": rport,
+                        "proto": netio.WIRE_VERSION,
+                    },
+                )
+                assert hello["ok"] and hello["proto"] == netio.WIRE_VERSION
+                client = GatewayClient("127.0.0.1", session, attempts=8, wire="binary")
+                client.port = port
+                served = await client.predict_async(spec, images, task_id=0)
+                stats = await client.stats_async()
+                return served, stats
+            finally:
+                await app.close()
+                await gateway.close()
+
+        served, stats = asyncio.run(main())
+        assert np.array_equal(served, direct)
+        assert stats["traffic"]["checkpoint_pushes"] == 1
+        assert stats["replicas"][0]["proto"] == netio.WIRE_VERSION
+
+    def test_spec_spanning_sniff_window_still_routes(self, session, tmp_path):
+        """A JSON predict whose wire spec overflows the sniff window
+        must fall back to the full parse and route correctly."""
+        from repro.gateway.gateway import _PREDICT_PREFIX
+
+        spec = checkpointed_spec(session)
+        images, _labels = sample_images(spec)
+        direct = session.load_model(spec).predict_multi(images, 0, [Scenario.TIL])[
+            Scenario.TIL
+        ]
+
+        async def main():
+            gateway = GatewayApp(
+                session,
+                lease_timeout=30.0,
+                retry_base_delay=0.005,
+                sniff_bytes=len(_PREDICT_PREFIX) + 2,  # nothing real fits
+            )
+            replica_session = Session(cache_dir=tmp_path / "sniff-replica")
+            app = ReplicaApp(InferenceService(replica_session, max_delay_ms=1))
+            host, port = await gateway.start()
+            rhost, rport = await app.start()
+            try:
+                await netio.request_async(
+                    host, port,
+                    {"op": "hello", "name": "s", "host": rhost, "port": rport},
+                )
+                client = GatewayClient("127.0.0.1", session, attempts=8, wire="json")
+                client.port = port
+                served = await client.predict_async(spec, images, task_id=0)
+                stats = await client.stats_async()
+                return served, stats
+            finally:
+                await app.close()
+                await gateway.close()
+
+        served, stats = asyncio.run(main())
+        assert np.array_equal(served, direct)
+        assert stats["traffic"]["forwarded"] == 1
+
+    def test_sniff_bytes_floor_enforced(self, session):
+        with pytest.raises(ValueError, match="sniff_bytes"):
+            GatewayApp(session, sniff_bytes=4)
+
+    def test_sniff_model_unit(self, session):
+        """Canonical-in-window sniffs; spanning or non-canonical → None."""
+        import json as _json
+
+        app = GatewayApp(session, sniff_bytes=64)
+        wire = {"method": "FineTune"}
+        canonical = (
+            b'{"op": "predict", "model": ' + _json.dumps(wire).encode() + b", ..."
+        )
+        assert app._sniff_model(canonical) == wire
+        # Reordered keys: not canonical, no sniff.
+        assert app._sniff_model(b'{"model": {}, "op": "predict"}') is None
+        # Spec bigger than the window: spans → None (full-parse fallback).
+        huge = {"method": "FineTune", "pad": "x" * 200}
+        spanning = b'{"op": "predict", "model": ' + _json.dumps(huge).encode()
+        assert app._sniff_model(spanning) is None

@@ -68,8 +68,8 @@ class TestRequestWithRetry:
         """The gateway-router shape: shed twice, then capacity frees."""
         calls = []
 
-        async def dispatch(line):
-            calls.append(json.loads(line))
+        async def dispatch(request):
+            calls.append(request.payload)
             if len(calls) <= 2:
                 return dict(netio.BUSY)
             return {"ok": True, "n": len(calls)}
@@ -85,7 +85,7 @@ class TestRequestWithRetry:
         assert len(calls) == 3
 
     def test_exhausted_attempts_return_the_last_busy_answer(self):
-        async def dispatch(line):
+        async def dispatch(request):
             return dict(netio.BUSY)
 
         async def scenario():
@@ -100,7 +100,7 @@ class TestRequestWithRetry:
     def test_non_busy_errors_are_not_retried(self):
         calls = []
 
-        async def dispatch(line):
+        async def dispatch(request):
             calls.append(1)
             return {"ok": False, "error": "unknown op 'x'"}
 
@@ -137,7 +137,7 @@ class TestRequestWithRetry:
             probe.close()
             await probe.wait_closed()
 
-            async def dispatch(line):
+            async def dispatch(request):
                 return {"ok": True, "revived": True}
 
             async def start_late():
@@ -168,8 +168,8 @@ class TestShedExemption:
     def _saturated_server(self, release: "asyncio.Event", exempt_ops=("stats",)):
         gate = netio.InflightGate(1)
 
-        async def dispatch(line):
-            payload = json.loads(line)
+        async def dispatch(request):
+            payload = request.payload
             if payload.get("op") == "slow":
                 await release.wait()
                 return {"ok": True, "slow": True}

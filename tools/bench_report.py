@@ -74,6 +74,11 @@ def run_suite() -> tuple[int, dict]:
     # ``seed_batch_speedup`` for the trend table and its gate.
     sidecar = Path(tempfile.mkstemp(suffix=".json", prefix="seed_batch_")[1])
     os.environ["REPRO_SEED_BATCH_REPORT"] = str(sidecar)
+    # Same side-channel idea for the wire bench (benchmarks/test_wire.py):
+    # bytes-on-wire ratio and predict codec speedup of the v2 binary
+    # framing, carried as ``wire_bytes_ratio`` / ``wire_predict_speedup``.
+    wire_sidecar = Path(tempfile.mkstemp(suffix=".json", prefix="wire_")[1])
+    os.environ["REPRO_WIRE_REPORT"] = str(wire_sidecar)
     start = time.perf_counter()
     try:
         code = pytest.main(
@@ -83,8 +88,12 @@ def run_suite() -> tuple[int, dict]:
         seed_batch = None
         if sidecar.stat().st_size:
             seed_batch = json.loads(sidecar.read_text())
+        wire = None
+        if wire_sidecar.stat().st_size:
+            wire = json.loads(wire_sidecar.read_text())
     finally:
         sidecar.unlink(missing_ok=True)
+        wire_sidecar.unlink(missing_ok=True)
     counters = cache.session_counters()
     loads = counters["hits"] + counters["misses"]
     report = {
@@ -103,6 +112,12 @@ def run_suite() -> tuple[int, dict]:
         # deselected or failed before reporting).
         "seed_batch_speedup": seed_batch["speedup"] if seed_batch else None,
         "seed_batch": seed_batch,
+        # Measured v1/v2 bytes-on-wire ratio of a checkpoint push and
+        # the predict-batch codec speedup (None when the wire bench was
+        # deselected or failed before reporting).
+        "wire_bytes_ratio": wire["bytes_ratio"] if wire else None,
+        "wire_predict_speedup": wire["predict_speedup"] if wire else None,
+        "wire": wire,
         "cache": {
             **counters,
             "hit_rate": round(counters["hits"] / loads, 4) if loads else None,
@@ -179,6 +194,13 @@ def main(argv: list[str] | None = None) -> int:
         help="fail when the measured seed_batch_speedup drops below this",
     )
     parser.add_argument(
+        "--min-wire-bytes-ratio",
+        type=float,
+        default=2.0,
+        metavar="RATIO",
+        help="fail when the measured wire_bytes_ratio drops below this",
+    )
+    parser.add_argument(
         "--update-baseline",
         action="store_true",
         help=f"write the report to {BASELINE.relative_to(REPO)} instead of comparing",
@@ -201,6 +223,17 @@ def main(argv: list[str] | None = None) -> int:
                 f"PERFORMANCE REGRESSION: seed-batched training returned "
                 f"{speedup:.2f}x over serial, below the "
                 f"{args.min_seed_batch_speedup:.1f}x floor"
+            )
+            return 2
+
+    bytes_ratio = report.get("wire_bytes_ratio")
+    if bytes_ratio is not None:
+        print(f"wire_bytes_ratio: {bytes_ratio:.2f}x (gate {args.min_wire_bytes_ratio:.1f}x)")
+        if bytes_ratio < args.min_wire_bytes_ratio:
+            print(
+                f"PERFORMANCE REGRESSION: binary checkpoint push is only "
+                f"{bytes_ratio:.2f}x smaller than the JSON line, below the "
+                f"{args.min_wire_bytes_ratio:.1f}x floor"
             )
             return 2
 

@@ -92,6 +92,9 @@ def trend_rows(reports: list[dict], cell: str | None = None) -> list[dict]:
                 "hit_rate": hit_rate,
                 # Pre-ensemble-axis reports carry no seed_batch field.
                 "seed_batch": report.get("seed_batch_speedup"),
+                # Pre-wire-v2 reports carry neither wire field.
+                "wire_bytes": report.get("wire_bytes_ratio"),
+                "wire_predict": report.get("wire_predict_speedup"),
                 "file": report.get("_file", ""),
             }
         )
@@ -111,6 +114,8 @@ _COLUMNS = (
     "delta",
     "hit_rate",
     "seed_batch",
+    "wire_bytes",
+    "wire_predict",
 )
 
 
@@ -124,7 +129,7 @@ def _format(row: dict, column: str) -> str:
         return f"{value:+.1%}"
     if column == "hit_rate":
         return f"{value:.0%}"
-    if column == "seed_batch":
+    if column in ("seed_batch", "wire_bytes", "wire_predict"):
         return f"{value:.1f}x"
     return str(value)
 

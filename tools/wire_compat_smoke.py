@@ -1,0 +1,276 @@
+#!/usr/bin/env python
+"""Wire-protocol compatibility smoke — CI's ``wire-compat`` step.
+
+Protocol v2 servers must serve JSON-only (proto 1) peers forever, and
+the framing must be invisible to the science: the same request answered
+over a JSON line and over a binary frame must be **bitwise identical**.
+This smoke drives every v2 server in the repo from both sides:
+
+1. **serve** — one checkpointed smoke cell behind a ``ServeApp``; the
+   same predict batch is sent as a JSON line and as a binary frame and
+   both answers are checked bitwise against a direct ``predict_multi``;
+2. **gateway** — a gateway over a private-cache replica (registered as
+   proto 2, so the checkpoint push itself crosses as raw compressed
+   bytes); forced-JSON and forced-binary :class:`GatewayClient`\\ s must
+   agree bitwise with the direct call;
+3. **cluster** — a coordinator subprocess (v2) with a worker subprocess
+   *and* client both pinned to JSON lines via ``REPRO_WIRE=1``; the
+   delivered sweep must be bitwise-equal to a serial baseline run in a
+   separate cache.
+
+Exit codes: 0 ok, 1 an equality assertion failed, 2 infrastructure
+error (process never came up).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import os
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+#: Small enough to train in seconds, big enough for a real batch.
+PROFILE_OVERRIDES = dict(
+    samples_per_class=6, test_samples_per_class=8, epochs=2, warmup_epochs=1
+)
+
+
+def free_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def spawn(command_args, cache_dir: Path, extra_env=None) -> subprocess.Popen:
+    """A repro-experiments subprocess with its own private cache."""
+    env = dict(os.environ)
+    env["REPRO_CACHE_DIR"] = str(cache_dir)
+    env["PYTHONPATH"] = str(Path(__file__).resolve().parent.parent / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    env.update(extra_env or {})
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.experiments", *command_args], env=env
+    )
+
+
+async def serve_leg(session, spec, images, direct) -> bool:
+    from repro import netio
+    from repro.serve import InferenceService, ServeApp
+
+    print("2) serve: the same predict over a JSON line and a binary frame ...")
+    app = ServeApp(InferenceService(session, max_delay_ms=1), spec)
+    host, port = await app.start("127.0.0.1", 0)
+    try:
+        info = await netio.request_async(host, port, {"op": "info"}, proto=1)
+        if int(info.get("proto", 1)) < 2:
+            print(f"FAIL: serve does not advertise proto 2 (got {info.get('proto')})")
+            return False
+        v1 = await netio.request_async(
+            host, port,
+            {"op": "predict", "images": images.tolist(), "task_id": 0},
+            proto=1,
+        )
+        v2 = await netio.request_async(
+            host, port,
+            {"op": "predict", "images": np.asarray(images, dtype=np.float64),
+             "task_id": 0},
+            proto=2,
+        )
+    finally:
+        await app.close()
+    for label, response in (("json", v1), ("binary", v2)):
+        if not response.get("ok"):
+            print(f"FAIL: serve {label} predict errored: {response.get('error')}")
+            return False
+        answer = np.asarray(response["predictions"], dtype=np.int64)
+        if not np.array_equal(answer, direct):
+            print(f"FAIL: serve {label} predictions differ from direct call")
+            return False
+    print(f"   ok: {len(images)} predictions identical over both framings")
+    return True
+
+
+async def gateway_leg(session, spec, images, direct, scratch: Path) -> bool:
+    from repro import netio
+    from repro.api import Session
+    from repro.gateway import GatewayApp, GatewayClient
+    from repro.gateway.replica import ReplicaApp
+    from repro.serve import InferenceService
+
+    print("3) gateway: forced-JSON vs forced-binary clients, v2 replica ...")
+    gateway = GatewayApp(session, lease_timeout=30.0, retry_base_delay=0.005)
+    replica_session = Session(cache_dir=scratch / "replica-cache")
+    replica = ReplicaApp(InferenceService(replica_session, max_delay_ms=1))
+    host, port = await gateway.start()
+    rhost, rport = await replica.start()
+    try:
+        hello = await netio.request_async(
+            host, port,
+            {"op": "hello", "name": "compat", "host": rhost, "port": rport,
+             "proto": netio.WIRE_VERSION},
+        )
+        if not hello.get("ok"):
+            print(f"FAIL: replica registration refused: {hello.get('error')}")
+            return False
+        answers = {}
+        for wire in ("json", "binary"):
+            client = GatewayClient("127.0.0.1", session, attempts=8, wire=wire)
+            client.port = port
+            answers[wire] = await client.predict_async(spec, images, task_id=0)
+        stats = await GatewayClient(
+            f"127.0.0.1:{port}", session
+        ).stats_async()
+    finally:
+        await replica.close()
+        await gateway.close()
+    for wire, answer in answers.items():
+        if not np.array_equal(answer, direct):
+            print(f"FAIL: gateway {wire} predictions differ from direct call")
+            return False
+    if stats["traffic"]["checkpoint_pushes"] < 1:
+        print("FAIL: the replica never received a checkpoint push")
+        return False
+    print(
+        f"   ok: both framings identical; checkpoint crossed as "
+        f"proto-{stats['replicas'][0]['proto']} push"
+    )
+    return True
+
+
+def cluster_leg(args, scratch: Path) -> bool:
+    from repro.api import Session
+    from repro.cluster import ClusterClient, format_address
+
+    print(
+        f"1) serial baseline: {args.method} x {args.seeds} seeds "
+        f"(separate cache) ..."
+    )
+    os.environ["REPRO_CACHE_DIR"] = str(scratch / "serial-cache")
+    session = Session(profile="smoke")
+    spec = session.spec(
+        args.method, args.scenario, profile_overrides=dict(PROFILE_OVERRIDES)
+    )
+    serial = session.sweep(spec, range(args.seeds))
+
+    port = free_port()
+    address = format_address("127.0.0.1", port)
+    print(
+        f"4) cluster: v2 coordinator at {address}; JSON-pinned worker "
+        f"and client (REPRO_WIRE=1) ..."
+    )
+    procs = [
+        spawn(
+            ["cluster-coordinator", "--host", "127.0.0.1", "--port", str(port)],
+            scratch / "coordinator-cache",
+        ),
+        spawn(
+            [
+                "cluster-worker", "--coordinator", f"127.0.0.1:{port}",
+                "--name", "json-only-worker", "--poll-interval", "0.1",
+            ],
+            scratch / "worker-cache",
+            extra_env={"REPRO_WIRE": "1"},
+        ),
+    ]
+    try:
+        client = ClusterClient(address, request_timeout=10.0)
+        deadline = time.monotonic() + args.startup_timeout
+        while True:
+            try:
+                if client.stats()["workers"]:
+                    break
+            except Exception:
+                pass
+            if time.monotonic() > deadline:
+                print("FAIL: coordinator/worker never came up")
+                return False
+            time.sleep(0.2)
+
+        os.environ["REPRO_CACHE_DIR"] = str(scratch / "client-cache")
+        os.environ["REPRO_WIRE"] = "1"  # the client speaks JSON lines only
+        try:
+            clustered = Session(profile="smoke", executor=address).sweep(
+                spec, range(args.seeds)
+            )
+        finally:
+            del os.environ["REPRO_WIRE"]
+        client.shutdown()
+        for proc in procs:
+            proc.wait(timeout=30)
+        procs = []
+    finally:
+        for proc in procs:
+            proc.terminate()
+
+    def values(result):
+        return {
+            f"{metric}/{scenario.value}": list(stats.values)
+            for metric, by_scenario in (("acc", result.acc), ("fgt", result.fgt))
+            for scenario, stats in by_scenario.items()
+        }
+
+    ours, theirs = values(clustered), values(serial)
+    if ours != theirs:
+        print(f"FAIL: aggregates differ\n  cluster: {ours}\n  serial : {theirs}")
+        return False
+    print(
+        f"   ok: {len(ours)} metric series identical across {args.seeds} "
+        f"seeds through the JSON-only path"
+    )
+    return True
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seeds", type=int, default=2)
+    parser.add_argument("--method", default="CDCL")
+    parser.add_argument("--scenario", default="digits/mnist->usps")
+    parser.add_argument("--startup-timeout", type=float, default=60.0)
+    args = parser.parse_args(argv)
+
+    from repro.api import Session
+    from repro.continual import Scenario
+    from repro.engine.registry import SCENARIOS
+
+    scratch = Path(tempfile.mkdtemp(prefix="wire-compat-"))
+    print(f"scratch caches under {scratch}")
+
+    if not cluster_leg(args, scratch):
+        return 1
+
+    # Serve + gateway legs share the client cache the cluster leg left
+    # behind — but the cell they serve is trained fresh (checkpointed).
+    session = Session(profile="smoke")
+    handle = (
+        session.run(args.method)
+        .on(args.scenario)
+        .profile("smoke", **PROFILE_OVERRIDES)
+        .checkpoint()
+        .start()
+    )
+    spec = handle.specs[0]
+    handle.release()
+    stream = SCENARIOS.get(spec.scenario).build(spec.resolved_profile(), spec.seed)
+    images, _labels = stream[0].target_test.arrays()
+    direct = session.load_model(spec).predict_multi(images, 0, [Scenario.TIL])[
+        Scenario.TIL
+    ]
+
+    if not asyncio.run(serve_leg(session, spec, images, direct)):
+        return 1
+    if not asyncio.run(gateway_leg(session, spec, images, direct, scratch)):
+        return 1
+    print("wire compat smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
