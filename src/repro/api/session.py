@@ -34,6 +34,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import telemetry
 from repro.api.events import EventHub, ProgressCallback, ProgressEvent
 from repro.continual import Scenario
 from repro.engine import cache
@@ -532,7 +533,10 @@ class Session:
         total = len(specs)
         start = time.perf_counter()
         self.events.emit(ProgressEvent(kind="run-start", total=total))
-        with self._activate():
+        # The session-level root span (under REPRO_TRACE): local cells
+        # and cluster legs alike become children, so one sweep is one
+        # trace whether it trains here or on leased workers.
+        with self._activate(), telemetry.span("session.execute", cells=total):
             if batched is not None and len(specs) > 1 and _is_seed_sweep(specs):
                 results = run_seed_cells(
                     specs[0],
@@ -655,7 +659,7 @@ class Session:
         total = len(seeds)
         start = time.perf_counter()
         self.events.emit(ProgressEvent(kind="run-start", total=total))
-        with self._activate():
+        with self._activate(), telemetry.span("session.sweep", cells=total):
             result = run_seed_sweep(
                 spec,
                 seeds,

@@ -31,7 +31,7 @@ import time
 import uuid
 from dataclasses import dataclass, field
 
-from repro import netio
+from repro import netio, telemetry
 from repro.netio import call
 from repro.cluster.protocol import (
     decode_result_payload,
@@ -277,28 +277,59 @@ def run_specs_via_cluster(
         specs, use_cache=use_cache, checkpoint=checkpoint, progress=progress
     )
     if pending:
-        job = client.submit(
-            [spec for _index, spec in pending],
-            use_cache=use_cache,
-            checkpoint=checkpoint,
-        )
-        positions: dict[int, list[int]] = {}
-        for (index, _spec), task_id in zip(pending, job.task_ids):
-            positions.setdefault(task_id, []).append(index)
-
-        def deliver(task_id: int, result: RunResult) -> None:
-            for index in positions[task_id]:
-                results[index] = result
-                spec = specs[index]
-                if caching:
-                    # Isolated-worker topology: the result only exists
-                    # on the wire; persist it so downstream table and
-                    # figure code resumes from disk exactly as after a
-                    # local run (no-op when a shared-fs worker wrote it).
-                    persist_result(spec, spec.cache_key(), result)
-                if progress is not None:
-                    progress(index, spec, result)
-
-        client.wait(job, timeout=timeout, on_result=deliver)
+        # Root (or child, inside session.execute) span for the whole
+        # distributed leg: netio's trace injection stamps its id onto
+        # the submit payload, the coordinator leases it with each cell,
+        # and workers adopt it — one trace id, client to worker.
+        with telemetry.span("client.submit", cells=len(pending)):
+            _submit_and_wait(
+                client,
+                specs,
+                pending,
+                results,
+                use_cache=use_cache,
+                checkpoint=checkpoint,
+                caching=caching,
+                progress=progress,
+                timeout=timeout,
+            )
     assert all(result is not None for result in results)
     return results  # type: ignore[return-value]
+
+
+def _submit_and_wait(
+    client: ClusterClient,
+    specs,
+    pending,
+    results,
+    *,
+    use_cache: bool,
+    checkpoint: bool,
+    caching: bool,
+    progress,
+    timeout: float | None,
+) -> None:
+    """Submit the missing cells and deliver their results in place."""
+    job = client.submit(
+        [spec for _index, spec in pending],
+        use_cache=use_cache,
+        checkpoint=checkpoint,
+    )
+    positions: dict[int, list[int]] = {}
+    for (index, _spec), task_id in zip(pending, job.task_ids):
+        positions.setdefault(task_id, []).append(index)
+
+    def deliver(task_id: int, result: RunResult) -> None:
+        for index in positions[task_id]:
+            results[index] = result
+            spec = specs[index]
+            if caching:
+                # Isolated-worker topology: the result only exists
+                # on the wire; persist it so downstream table and
+                # figure code resumes from disk exactly as after a
+                # local run (no-op when a shared-fs worker wrote it).
+                persist_result(spec, spec.cache_key(), result)
+            if progress is not None:
+                progress(index, spec, result)
+
+    client.wait(job, timeout=timeout, on_result=deliver)

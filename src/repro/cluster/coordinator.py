@@ -58,11 +58,12 @@ from __future__ import annotations
 
 import asyncio
 import base64
+import json
 import time
 from collections import deque
 from dataclasses import dataclass, field
 
-from repro import netio
+from repro import netio, telemetry
 from repro.cluster.protocol import (
     decode_result_payload,
     decode_spec,
@@ -97,6 +98,10 @@ class ClusterTask:
     result: RunResult | None = None
     cached: bool = False  # the executing worker's cache served it
     error: str | None = None
+    #: The submitting client's trace context ({"id", "span"}), stamped
+    #: at submit and re-issued with every lease so worker-side spans
+    #: (train, complete, checkpoint upload) join the client's trace.
+    trace: dict | None = None
 
 
 @dataclass
@@ -146,6 +151,10 @@ class Coordinator:
         # whose predict genuinely awaits a model forward).
         self.gate = netio.InflightGate(max_inflight)
         self.wire = netio.WireStats()
+        # Queue gate/wire counters behind the telemetry.metrics
+        # namespace (read-time collectors: latest coordinator wins).
+        telemetry.registry.register_collector("cluster.gate", self.gate.stats)
+        telemetry.registry.register_collector("cluster.wire", self.wire.snapshot)
 
         self._tasks: dict[int, ClusterTask] = {}
         self._pending: deque[int] = deque()
@@ -338,6 +347,9 @@ class Coordinator:
                     "use_cache": task.use_cache,
                     "checkpoint": task.checkpoint,
                     "attempt": task.attempts,
+                    # The submitting client's trace; old workers ignore
+                    # it, new workers adopt it around execution.
+                    "trace": task.trace,
                 },
             }
         return {"ok": True, "task": None, "shutdown": False}
@@ -505,6 +517,10 @@ class Coordinator:
 
             if not store_enabled():
                 return
+            if detail is None and task.trace:
+                # Link the provenance row to the submitting client's
+                # trace so span rows and fleet events join on one id.
+                detail = json.dumps({"trace": task.trace.get("id")})
             store = RunStore()
             store.record_provenance(
                 task.key,
@@ -550,15 +566,27 @@ class Coordinator:
             last_activity=time.monotonic(),
         )
         self._jobs[job.job_id] = job
+        # serve_connection adopted the submit's trace field (if any)
+        # around dispatch, so the active context *is* the client's
+        # trace; stamp it on every cell the submit minted.
+        trace = telemetry.wire_context()
         for payload, key in cells:
-            job.task_ids.append(self._enqueue(payload, key, use_cache, checkpoint))
+            job.task_ids.append(
+                self._enqueue(payload, key, use_cache, checkpoint, trace=trace)
+            )
         answer = {"ok": True, "job_id": job.job_id, "task_ids": list(job.task_ids)}
         if submit_id:
             self._submits[submit_id] = answer
         return answer
 
     def _enqueue(
-        self, spec_payload: dict, key: str | None, use_cache: bool, checkpoint: bool
+        self,
+        spec_payload: dict,
+        key: str | None,
+        use_cache: bool,
+        checkpoint: bool,
+        *,
+        trace: dict | None = None,
     ) -> int:
         if key is not None:
             # Dedup on content: a cell two jobs (or two seeds of an
@@ -580,6 +608,7 @@ class Coordinator:
             key=key,
             use_cache=use_cache,
             checkpoint=checkpoint,
+            trace=trace,
         )
         self._tasks[task.task_id] = task
         if key is not None:
@@ -697,6 +726,9 @@ class Coordinator:
         for task in self._tasks.values():
             states[task.state] = states.get(task.state, 0) + 1
         now = time.monotonic()
+        # Shared transport assembly; the sibling "wire" key predates it
+        # and is kept for older tooling that reads stats["wire"].
+        transport = netio.stats_payload(self.gate, self.wire)
         return {
             "ok": True,
             "stats": {
@@ -717,8 +749,8 @@ class Coordinator:
                 "expired_leases": self._expired_leases,
                 "expired_jobs": self._expired_jobs,
                 "cache_shortcircuits": self._cache_shortcircuits,
-                "transport": self.gate.stats(),
-                "wire": self.wire.snapshot(),
+                "transport": transport,
+                "wire": transport["wire"],
             },
         }
 

@@ -32,6 +32,14 @@ the framing lives in :mod:`repro.netio`).  This module owns what goes
 
 Every message carries an ``op`` field; the coordinator's op set is
 documented in :mod:`repro.cluster.coordinator`.
+
+Requests may additionally carry a ``trace`` field — ``{"id": <16 hex>,
+"span": <8 hex>}`` — appended by :mod:`repro.netio` when the sender has
+an active :mod:`repro.telemetry` trace.  It is not part of any op's
+semantics: old peers ignore the unknown key (both framings tolerate
+extra payload fields), new coordinators stamp it onto the task and
+re-issue it with every ``lease`` answer so the executing worker adopts
+the submitting client's trace id.
 """
 
 from __future__ import annotations

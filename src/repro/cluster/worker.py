@@ -46,7 +46,7 @@ import threading
 import time
 import traceback
 
-from repro import netio
+from repro import netio, telemetry
 from repro.netio import call
 from repro.cluster.protocol import (
     apply_unlocks,
@@ -192,6 +192,17 @@ class ClusterWorker:
         return executed
 
     def _execute(self, task: dict) -> None:
+        # Adopt the submitting client's trace (leased along with the
+        # task) for the whole execute/report sequence: the train span
+        # and the outbound complete/fail/put_checkpoint calls (which
+        # re-attach the context via netio's trace injection) all carry
+        # the one trace id the client minted.
+        with telemetry.adopt(task.get("trace")), telemetry.span(
+            "worker.execute", task_id=task["task_id"]
+        ):
+            self._execute_leased(task)
+
+    def _execute_leased(self, task: dict) -> None:
         task_id = task["task_id"]
         spec = decode_spec(task["spec"])
         self.log(

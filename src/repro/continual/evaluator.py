@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import telemetry
 from repro.continual.metrics import RMatrix
 from repro.continual.method import ContinualMethod
 from repro.continual.scenario import Scenario
@@ -110,10 +111,12 @@ def run_continual(
         method=method.name, stream=stream.name, scenario=scenario, r_matrix=r_matrix
     )
     for task in stream:
-        method.observe_task(task)
-        for seen in stream.tasks[: task.task_id + 1]:
-            accuracy = evaluate_task(method, seen, scenario)
-            r_matrix.record(task.task_id, seen.task_id, accuracy)
+        with telemetry.phase("train"):
+            method.observe_task(task)
+        with telemetry.phase("eval"):
+            for seen in stream.tasks[: task.task_id + 1]:
+                accuracy = evaluate_task(method, seen, scenario)
+                r_matrix.record(task.task_id, seen.task_id, accuracy)
         if verbose:
             row = r_matrix.row(task.task_id)[: task.task_id + 1]
             print(
@@ -152,15 +155,20 @@ def run_continual_multi(
         for scenario in parsed
     }
     for task in stream:
-        method.observe_task(task)
+        # Phase timers are inert unless a collector is open (run_one's
+        # profiling scope); "train" is the adaptation step, "eval" the
+        # R-matrix fill — the split `runs query` surfaces per cell.
+        with telemetry.phase("train"):
+            method.observe_task(task)
         # One batched prediction pass per seen task covers every
         # scenario (the backbone forward is shared where possible).
-        for seen in stream.tasks[: task.task_id + 1]:
-            accuracies = evaluate_task_multi(method, seen, parsed)
-            for scenario in parsed:
-                results[scenario].r_matrix.record(
-                    task.task_id, seen.task_id, accuracies[scenario]
-                )
+        with telemetry.phase("eval"):
+            for seen in stream.tasks[: task.task_id + 1]:
+                accuracies = evaluate_task_multi(method, seen, parsed)
+                for scenario in parsed:
+                    results[scenario].r_matrix.record(
+                        task.task_id, seen.task_id, accuracies[scenario]
+                    )
         for scenario in parsed:
             r_matrix = results[scenario].r_matrix
             results[scenario].history.append(

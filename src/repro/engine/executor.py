@@ -22,6 +22,7 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from repro import telemetry
 from repro.continual import ContinualResult, Scenario
 from repro.engine import cache
 from repro.engine.runner import RunResult, RunSpec, run_one
@@ -181,6 +182,7 @@ def resolve_cache_hits(
                 hit = cache.load(key)
                 if isinstance(hit, RunResult):
                     hit.cached = True
+                    telemetry.registry.counter("engine.cache_hits").inc()
                     results[index] = hit
                     if progress is not None:
                         progress(index, spec, hit)

@@ -28,6 +28,7 @@ from dataclasses import asdict, dataclass, field, replace
 
 import numpy as np
 
+from repro import telemetry
 from repro.autograd import default_dtype
 from repro.continual import (
     ContinualResult,
@@ -215,15 +216,23 @@ def run_one(
         hit = cache.load(key)
         if isinstance(hit, RunResult):
             hit.cached = True
+            telemetry.registry.counter("engine.cache_hits").inc()
             return hit
     profile = spec.resolved_profile()
     # The whole cell — stream synthesis, training, evaluation and the
     # checkpoint write — runs at the profile's precision, so every
     # array the cell materializes (and persists) carries one dtype.
-    with default_dtype(profile.dtype):
-        stream = SCENARIOS.get(spec.scenario).build(
-            profile, spec.seed, **spec.scenario_params
-        )
+    # The span + phase collector are the profiling scope: per-phase
+    # wall-clock (data_prep here; train/eval/forward/... in the layers
+    # below) lands in phase.<name> histograms and, via the provenance
+    # write after the block, in the run store for `runs query`.
+    with default_dtype(profile.dtype), telemetry.span(
+        "engine.run_one", method=spec.method, scenario=spec.scenario, seed=spec.seed
+    ), telemetry.collect_phases() as phases:
+        with telemetry.phase("data_prep"):
+            stream = SCENARIOS.get(spec.scenario).build(
+                profile, spec.seed, **spec.scenario_params
+            )
         start = time.perf_counter()
         mspec = METHODS.get(spec.method)
         results, static_acc, method = run_method_on_stream(
@@ -252,6 +261,13 @@ def run_one(
                 # never a result that claims a checkpoint it lacks.
                 _save_checkpoint(method, stream, key)
             cache.store(key, result, meta=spec_summary(spec))
+    telemetry.registry.counter("engine.cells_trained").inc()
+    telemetry.record_phase_provenance(
+        key if key is not None else spec.cache_key(),
+        phases,
+        method=spec.method,
+        seed=spec.seed,
+    )
     return result
 
 
@@ -369,12 +385,14 @@ def run_method_on_stream(
         image_size = image_size or sample_image.shape[-1]
         method = mspec.factory(profile, in_channels, image_size, seed, method_overrides)
         if mspec.kind == "static":
-            method.fit(stream)
+            with telemetry.phase("train"):
+                method.fit(stream)
             accs: dict[Scenario, list[float]] = {s: [] for s in eval_scenarios}
-            for task in stream:
-                per_task = evaluate_task_multi(method, task, eval_scenarios)
-                for scenario, acc in per_task.items():
-                    accs[scenario].append(acc)
+            with telemetry.phase("eval"):
+                for task in stream:
+                    per_task = evaluate_task_multi(method, task, eval_scenarios)
+                    for scenario, acc in per_task.items():
+                        accs[scenario].append(acc)
             return {}, {s: float(np.mean(v)) for s, v in accs.items()}, method
         results = run_continual_multi(method, stream, list(eval_scenarios), verbose=verbose)
         return results, {}, method

@@ -40,6 +40,7 @@ from dataclasses import replace
 
 import numpy as np
 
+from repro import telemetry
 from repro.autograd import Tensor, default_dtype, get_default_dtype, max_pool2d, no_grad, ops
 from repro.continual import Scenario
 from repro.continual.evaluator import ContinualResult, _scenario_accuracy, evaluate_task_multi
@@ -325,10 +326,12 @@ class _VecStepper:
             return values
         if self.vectorized:
             self.stack.zero_grad()
-            loss_vec.sum().backward()
-            if self.grad_clip:
-                self._clip_vec()
-            self._adam_vec()
+            with telemetry.phase("backward"):
+                loss_vec.sum().backward()
+            with telemetry.phase("optimizer"):
+                if self.grad_clip:
+                    self._clip_vec()
+                self._adam_vec()
         else:
             self._step_seedwise(loss_vec)
         return values
@@ -337,18 +340,20 @@ class _VecStepper:
         for method in self.methods:
             method.optimizer.zero_grad()
         self.stack.zero_grad()
-        loss_vec.sum().backward()
-        for seed_index, method in enumerate(self.methods):
-            params = self.param_lists[seed_index]
-            for param in params:
-                slot = self.stack.slot(param)
-                if slot is None:
-                    continue
-                stacked, index = slot
-                param.grad = None if stacked.grad is None else stacked.grad[index]
-            if self.grad_clip:
-                clip_grad_norm(params, self.grad_clip)
-            method.optimizer.step()
+        with telemetry.phase("backward"):
+            loss_vec.sum().backward()
+        with telemetry.phase("optimizer"):
+            for seed_index, method in enumerate(self.methods):
+                params = self.param_lists[seed_index]
+                for param in params:
+                    slot = self.stack.slot(param)
+                    if slot is None:
+                        continue
+                    stacked, index = slot
+                    param.grad = None if stacked.grad is None else stacked.grad[index]
+                if self.grad_clip:
+                    clip_grad_norm(params, self.grad_clip)
+                method.optimizer.step()
 
     # -- vectorized clip + Adam ----------------------------------------
     def _clip_vec(self) -> None:
@@ -539,7 +544,8 @@ class _BaselineLift:
             orders = [m._rng.permutation(n) for m in self.methods]
             for start in range(0, n, config.batch_size):
                 xs, ys = batcher.gather(orders, start, config.batch_size)
-                loss_vec = self.batch_loss_vec(task.task_id, xs, ys)
+                with telemetry.phase("forward"):
+                    loss_vec = self.batch_loss_vec(task.task_id, xs, ys)
                 stepper.step(loss_vec)
         for i, method in enumerate(self.methods):
             method.after_task(tasks[i], data[i][0], data[i][1])
@@ -778,12 +784,13 @@ class _CDCLLift:
             ys = np.stack(
                 [y[index_lists[i][batch]] for i, (_x, y) in enumerate(source)]
             )
-            feats = self.features_vec(xs, task_id)
-            loss = Tensor(0.0)
-            if config.use_cil_loss:
-                loss = loss + cross_entropy_vec(self.cil_logits(feats), ys + offset)
-            if config.use_til_loss:
-                loss = loss + cross_entropy_vec(self.til_heads[task_id](feats), ys)
+            with telemetry.phase("forward"):
+                feats = self.features_vec(xs, task_id)
+                loss = Tensor(0.0)
+                if config.use_cil_loss:
+                    loss = loss + cross_entropy_vec(self.cil_logits(feats), ys + offset)
+                if config.use_til_loss:
+                    loss = loss + cross_entropy_vec(self.til_heads[task_id](feats), ys)
             values = stepper.step(loss)
             for i in range(self.num_seeds):
                 losses[i].append(values[i])
@@ -864,11 +871,17 @@ def run_seed_batch(
     profiles = [s.resolved_profile() for s in specs]
     mspec = METHODS.get(spec.method)
     scenario_spec = SCENARIOS.get(spec.scenario)
-    with default_dtype(profiles[0].dtype):
-        streams = [
-            scenario_spec.build(profiles[i], specs[i].seed, **spec.scenario_params)
-            for i in range(len(specs))
-        ]
+    # Same profiling scope as run_one: one span + phase collector per
+    # batched run, with per-seed provenance rows written at the end
+    # (each carries seeds=S so a shared total reads as shared).
+    with default_dtype(profiles[0].dtype), telemetry.span(
+        "engine.seed_batch", method=spec.method, scenario=spec.scenario, seeds=len(seeds)
+    ), telemetry.collect_phases() as phases:
+        with telemetry.phase("data_prep"):
+            streams = [
+                scenario_spec.build(profiles[i], specs[i].seed, **spec.scenario_params)
+                for i in range(len(specs))
+            ]
         start = time.perf_counter()
         sample_image = streams[0][0].source_train[0][0]
         in_channels = int(sample_image.shape[0])
@@ -904,6 +917,15 @@ def run_seed_batch(
                     _save_checkpoint(methods[i], streams[i], key)
                 cache.store(key, result, meta=_spec_summary(sub_spec))
             cells.append(result)
+    telemetry.registry.counter("engine.cells_trained").inc(len(seeds))
+    for sub_spec in specs:
+        telemetry.record_phase_provenance(
+            sub_spec.cache_key(),
+            phases,
+            method=spec.method,
+            seed=sub_spec.seed,
+            seeds=len(seeds),
+        )
     return cells
 
 
@@ -925,15 +947,20 @@ def _run_lifted(lift, methods, streams, scenarios, verbose: bool):
     ]
     for task_index in range(num_tasks):
         tasks = [stream[task_index] for stream in streams]
-        lift.observe_task(tasks)
-        for seen_index in range(task_index + 1):
-            seen = [stream.tasks[seen_index] for stream in streams]
-            accuracies = lift.evaluate_tasks(seen, scenarios)
-            for scenario in scenarios:
-                for i in range(num_seeds):
-                    results[i][scenario].r_matrix.record(
-                        task_index, seen_index, accuracies[scenario][i]
-                    )
+        # "train" here is the whole observe step; its forward/backward/
+        # optimizer sub-phases accumulate separately (phases nest
+        # without exclusion), so the gap between them is Python glue.
+        with telemetry.phase("train"):
+            lift.observe_task(tasks)
+        with telemetry.phase("eval"):
+            for seen_index in range(task_index + 1):
+                seen = [stream.tasks[seen_index] for stream in streams]
+                accuracies = lift.evaluate_tasks(seen, scenarios)
+                for scenario in scenarios:
+                    for i in range(num_seeds):
+                        results[i][scenario].r_matrix.record(
+                            task_index, seen_index, accuracies[scenario][i]
+                        )
         for scenario in scenarios:
             for i in range(num_seeds):
                 r_matrix = results[i][scenario].r_matrix

@@ -28,6 +28,8 @@ Usage::
     python -m repro.experiments cluster worker --coordinator host:7070
     python -m repro.experiments gateway run --min-replicas 1 --max-replicas 4
     python -m repro.experiments gateway replica --gateway host:7072
+    python -m repro.experiments telemetry snapshot --address host:7071
+    python -m repro.experiments telemetry spans --limit 20
     python -m repro.experiments multiseed --seeds 0 1 2 3 \
         --cluster cluster://host:7070
     python -m repro.experiments --version
@@ -46,7 +48,9 @@ evict,verify}`` reports on, bounds, and repairs the result cache;
 index (``runs.sqlite``) and renders paper artifacts straight from
 recorded rows; ``cluster {coordinator,worker}`` runs the distributed
 executor; ``gateway {run,replica}`` runs the elastic multi-model
-serving gateway and its fleet.  The pre-0.6 flat spellings
+serving gateway and its fleet; ``telemetry {snapshot,spans}`` dumps
+the metrics registry (local, or any live server's ``stats`` op) and
+the recent-span ring.  The pre-0.6 flat spellings
 (``cache-stats``, ``cluster-worker``, ...) still work as hidden
 deprecated aliases.
 """
@@ -311,12 +315,16 @@ def main(argv: list[str] | None = None) -> int:
     pgreplica.set_defaults(artifact="gateway-replica")
     add_gateway_replica_arguments(pgreplica)
 
+    _add_telemetry_parsers(sub)
+
     args = parser.parse_args(argv)
 
     if args.artifact.startswith("runs-"):
         return _run_runs_command(args)
     if args.artifact.startswith("cache-"):
         return _run_cache_command(args)
+    if args.artifact.startswith("telemetry-"):
+        return _run_telemetry_command(args)
     if args.artifact == "cluster-coordinator":
         return run_coordinator(args)
     if args.artifact == "cluster-worker":
@@ -365,6 +373,13 @@ def _add_runs_parsers(sub) -> None:
     )
     pq.add_argument("--worker", default=None, help="filter: cluster worker id")
     pq.add_argument("--limit", type=int, default=None, metavar="N")
+    pq.add_argument(
+        "--phases",
+        action="store_true",
+        help="append each cell's span:<phase> profile rows (seconds per "
+        "training phase, recorded by repro.telemetry) — the 'where did "
+        "this slow cell spend its time' view",
+    )
     pq.add_argument("--json", action="store_true", help="machine-readable output")
     _add_store_scope_flags(pq)
 
@@ -408,6 +423,41 @@ def _add_runs_parsers(sub) -> None:
         action="store_true",
         help="drop the index first and re-read the whole cache directory",
     )
+
+
+def _add_telemetry_parsers(sub) -> None:
+    """The ``telemetry`` noun-verb group: snapshot/spans."""
+    ptel = sub.add_parser(
+        "telemetry",
+        help="dump the metrics registry and recent trace spans",
+    )
+    tel_sub = ptel.add_subparsers(dest="verb", required=True)
+
+    pts = tel_sub.add_parser(
+        "snapshot",
+        help="counters/gauges/latency histograms (local or a live server)",
+    )
+    pts.set_defaults(artifact="telemetry-snapshot")
+    pts.add_argument(
+        "--address",
+        default=None,
+        metavar="HOST:PORT",
+        help="query a running server's stats op (serve/coordinator/"
+        "gateway) instead of this process's registry",
+    )
+    pts.add_argument(
+        "--timeout", type=float, default=10.0, metavar="SECONDS",
+        help="stats request timeout when --address is given",
+    )
+    pts.add_argument("--json", action="store_true", help="machine-readable output")
+
+    ptp = tel_sub.add_parser(
+        "spans",
+        help="recently finished spans (requires REPRO_TRACE sampling)",
+    )
+    ptp.set_defaults(artifact="telemetry-spans")
+    ptp.add_argument("--limit", type=int, default=20, metavar="N")
+    ptp.add_argument("--json", action="store_true", help="machine-readable output")
 
 
 def _add_store_scope_flags(parser) -> None:
@@ -521,6 +571,107 @@ def _run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_telemetry_command(args: argparse.Namespace) -> int:
+    from repro import telemetry
+
+    if args.artifact == "telemetry-spans":
+        spans = telemetry.recent_spans(limit=args.limit)
+        if args.json:
+            print(json.dumps(spans, indent=2, sort_keys=True))
+            return 0
+        if not spans:
+            print(
+                "no sampled spans in this process "
+                "(set REPRO_TRACE=1 and run something first)"
+            )
+            return 0
+        print(f"{len(spans)} spans (newest last)")
+        for entry in spans:
+            attrs = " ".join(
+                f"{name}={value}"
+                for name, value in sorted(entry.items())
+                if name not in ("name", "trace", "span", "parent", "elapsed")
+            )
+            print(
+                f"  {entry['trace']}/{entry['span']}  "
+                f"{entry['name']:<24} {entry['elapsed'] * 1e3:9.2f} ms"
+                + (f"  {attrs}" if attrs else "")
+            )
+        return 0
+
+    if args.artifact == "telemetry-snapshot":
+        if args.address:
+            from repro import netio
+            from repro.cluster.protocol import parse_address
+
+            host, port = parse_address(args.address)
+            try:
+                payload = netio.request(
+                    host, port, {"op": "stats"}, timeout=args.timeout
+                )
+            except (OSError, TimeoutError) as error:
+                print(
+                    f"error: stats request to {args.address} failed: {error}",
+                    file=sys.stderr,
+                )
+                return 2
+            source = args.address
+        else:
+            payload = {"telemetry": telemetry.registry.snapshot()}
+            source = "this process"
+        if args.json:
+            print(json.dumps(payload, indent=2, sort_keys=True, default=str))
+            return 0
+        # Every server wraps its answer as {"ok": true, "stats": {...}},
+        # and the shared transport block sits either at that level
+        # (serve) or under "transport" (coordinator/gateway).  Accept
+        # all shapes, including a local bare registry snapshot.
+        body = payload.get("stats")
+        if not isinstance(body, dict):
+            body = payload
+        transport = body.get("transport")
+        if not isinstance(transport, dict):
+            transport = body
+        snap = transport.get("telemetry") or {}
+        wire = transport.get("wire")
+        print(f"telemetry snapshot from {source}")
+        if isinstance(wire, dict):
+            ratio = wire.get("compressed_ratio")
+            # None means zero compressed frames sent — render '-', not
+            # a bogus number (and never divide by zero upstream).
+            print(
+                f"wire: {wire.get('frames_out', 0)} frames out /"
+                f" {wire.get('lines_out', 0)} lines out,"
+                f" {format_bytes(wire.get('bytes_out', 0))} sent,"
+                f" {format_bytes(wire.get('bytes_in', 0))} received,"
+                f" compression {'-' if ratio is None else f'{ratio:.2f}x'}"
+            )
+        counters = snap.get("counters") or {}
+        gauges = snap.get("gauges") or {}
+        if counters or gauges:
+            print("counters/gauges:")
+            for name, value in sorted({**counters, **gauges}.items()):
+                print(f"  {name:<36} {value}")
+        histograms = snap.get("histograms") or {}
+        live = {
+            name: h for name, h in sorted(histograms.items()) if h.get("count")
+        }
+        if live:
+            print(f"histograms:{'':<28} count      mean       p50       p95       p99")
+            for name, h in live.items():
+                print(
+                    f"  {name:<36} {h['count']:>5}"
+                    + "".join(
+                        f"  {h[q] * 1e3:7.2f}ms" for q in ("mean", "p50", "p95", "p99")
+                    )
+                )
+        if not (counters or gauges or live):
+            print("no metrics recorded yet")
+        return 0
+
+    raise AssertionError(f"unhandled telemetry command {args.artifact}")
+
+
 def _run_cache_command(args: argparse.Namespace) -> int:
     if args.artifact == "cache-stats":
         entries = cache.manifest()
@@ -615,6 +766,28 @@ def _run_cache_command(args: argparse.Namespace) -> int:
     raise AssertionError(f"unhandled cache command {args.artifact}")
 
 
+def _cell_phases(store, key: str) -> dict:
+    """The cell's ``span:<phase>`` profile rows as ``{phase: detail}``.
+
+    Rows are ordered by insertion, so a re-trained cell's latest
+    profile wins; rows whose detail is missing or malformed are
+    skipped (the store tolerates foreign writers).
+    """
+    phases: dict[str, dict] = {}
+    for row in store.provenance(key):
+        event = row.get("event") or ""
+        if not event.startswith("span:"):
+            continue
+        try:
+            detail = json.loads(row.get("detail") or "")
+        except (TypeError, ValueError):
+            continue
+        if not isinstance(detail, dict) or "seconds" not in detail:
+            continue
+        phases[event[len("span:"):]] = detail
+    return phases
+
+
 def _run_runs_command(args: argparse.Namespace) -> int:
     # Imported lazily: the store (sqlite + numpy payload helpers) is
     # only needed by this command group, not by table/figure runs.
@@ -656,7 +829,19 @@ def _run_runs_command(args: argparse.Namespace) -> int:
         except ValueError as error:
             print(f"error: {error}", file=sys.stderr)
             return 2
+        phases_by_key: dict[str, dict] = {}
+        if args.phases:
+            phases_by_key = {
+                record.cache_key: _cell_phases(store, record.cache_key)
+                for record in records
+            }
         if args.json:
+            if args.phases:
+                rows = json.loads(records_to_json(records))
+                for row in rows:
+                    row["phases"] = phases_by_key.get(row["cache_key"]) or None
+                print(json.dumps(rows, indent=2))
+                return 0
             print(records_to_json(records, indent=2))
             return 0
         print(f"{len(records)} rows in {store.path}")
@@ -674,6 +859,20 @@ def _run_runs_command(args: argparse.Namespace) -> int:
                 f"seed={record.seed} {record.dtype or '?':<8} "
                 f"{record.git_sha or '?':<10} {record.status:<9} {accs}"
             )
+            phases = phases_by_key.get(record.cache_key)
+            if args.phases and phases:
+                timings = "  ".join(
+                    f"{name} {info['seconds']:.3f}s"
+                    for name, info in sorted(phases.items())
+                )
+                trace = next(
+                    (info["trace"] for info in phases.values() if info.get("trace")),
+                    None,
+                )
+                print(
+                    f"      phases: {timings}"
+                    + (f"  (trace {trace})" if trace else "")
+                )
         return 0
 
     if args.artifact == "runs-diff":

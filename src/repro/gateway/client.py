@@ -12,7 +12,7 @@ import asyncio
 
 import numpy as np
 
-from repro import netio
+from repro import netio, telemetry
 
 __all__ = ["GatewayClient"]
 
@@ -92,7 +92,18 @@ class GatewayClient:
         """Class predictions for one (C,H,W) image or an (N,C,H,W) batch."""
         images = np.asarray(images)
         proto = await self._negotiated_proto()
-        response = await netio.request_with_retry(
+        # The root client span (under REPRO_TRACE): netio stamps its
+        # trace onto the payload, the gateway relays it verbatim, the
+        # replica adopts it — one trace id across all three hops.
+        samples = int(images.shape[0]) if images.ndim == 4 else 1
+        with telemetry.span("client.predict", samples=samples):
+            response = await self._predict_once(spec, images, proto, task_id, scenario)
+        if not response.get("ok"):
+            raise RuntimeError(f"gateway predict failed: {response.get('error')}")
+        return np.asarray(response["predictions"], dtype=np.int64)
+
+    async def _predict_once(self, spec, images, proto, task_id, scenario) -> dict:
+        return await netio.request_with_retry(
             self.host,
             self.port,
             {
@@ -114,9 +125,6 @@ class GatewayClient:
             idempotent=True,
             proto=proto,
         )
-        if not response.get("ok"):
-            raise RuntimeError(f"gateway predict failed: {response.get('error')}")
-        return np.asarray(response["predictions"], dtype=np.int64)
 
     def predict(self, spec, images, *, task_id=None, scenario="til") -> np.ndarray:
         return asyncio.run(

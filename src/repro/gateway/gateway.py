@@ -37,7 +37,7 @@ from __future__ import annotations
 import asyncio
 import json
 
-from repro import netio
+from repro import netio, telemetry
 from repro.gateway.registry import ReplicaInfo, ReplicaRegistry
 
 __all__ = ["GatewayApp", "DEFAULT_GATEWAY_PORT"]
@@ -103,6 +103,11 @@ class GatewayApp:
         #: (model key, replica_id) pairs already delivered, so a hot
         #: model is pushed to each replica at most once.
         self._pushed: set[tuple[str, str]] = set()
+        # Gate pressure + wire volume behind the telemetry.metrics
+        # namespace (never transport_stats itself: a collector calling
+        # back into registry.snapshot() would recurse).
+        telemetry.registry.register_collector("gateway.gate", self.gate.stats)
+        telemetry.registry.register_collector("gateway.wire", self.wire.snapshot)
 
     # ------------------------------------------------------------------
     async def start(self, host: str = "127.0.0.1", port: int = 0) -> tuple[str, int]:
@@ -266,6 +271,9 @@ class GatewayApp:
 
     def stats(self) -> dict:
         autoscaler = self.autoscaler.summary() if self.autoscaler is not None else None
+        # Shared stats assembly; "wire" stays a top-level sibling too so
+        # pre-telemetry consumers keep their shape.
+        transport = netio.stats_payload(self.gate, self.wire)
         return {
             **self.registry.summary(),
             "traffic": {
@@ -276,8 +284,8 @@ class GatewayApp:
                 "no_replica_failures": self.no_replica_failures,
                 "timeouts": self.timeouts,
             },
-            "transport": self.gate.stats(),
-            "wire": self.wire.snapshot(),
+            "transport": transport,
+            "wire": transport["wire"],
             "autoscaler": autoscaler,
         }
 
@@ -316,6 +324,17 @@ class GatewayApp:
         return decode_spec(wire).cache_key()
 
     async def _predict(self, wire, parts: list):
+        """Route one predict; the relay hop is a span of the caller's trace.
+
+        The client's trace rides inside the forwarded bytes untouched
+        (the gateway relays verbatim), so the replica adopts the same
+        trace id this span carries — one id, client to replica.
+        """
+        key = self._model_key(wire)
+        with telemetry.span("gateway.relay", model=key[:12]):
+            return await self._route_predict(key, parts)
+
+    async def _route_predict(self, key: str, parts: list):
         """Route one predict's raw wire parts; relay the answer verbatim.
 
         Returns a :class:`netio.RawReply` (the replica's bytes,
@@ -323,7 +342,6 @@ class GatewayApp:
         the replica meant for the client, or a plain dict when the
         gateway itself must speak (no replica available).
         """
-        key = self._model_key(wire)
         delays = netio.backoff_delays(
             self.retry_attempts, base=self.retry_base_delay
         )
@@ -439,25 +457,31 @@ class GatewayApp:
             blob = path.read_bytes()
             meta = cache.inspect(key).get("spec") or {}
         proto = netio.preferred_proto(replica.proto)
-        response = await netio.request_with_retry(
-            replica.host,
-            replica.port,
-            {
-                "op": "put_checkpoint",
-                "key": key,
-                "meta": meta,
-                "data": blob
-                if proto >= 2
-                else base64.b64encode(blob).decode("ascii"),
-            },
-            attempts=3,
-            base_delay=self.retry_base_delay,
-            idempotent=True,
-            proto=proto,
-            # Checkpoints are uncompressed npz archives: zlib halves
-            # them on the wire (measured ~2x on the smoke cells).
-            compress=6 if proto >= 2 else None,
-        )
+        # The push inherits the triggering predict's trace: netio's
+        # trace injection stamps it onto the put_checkpoint payload, so
+        # the replica's install span shares the client's trace id.
+        with telemetry.span(
+            "gateway.checkpoint_push", model=key[:12], bytes=len(blob)
+        ):
+            response = await netio.request_with_retry(
+                replica.host,
+                replica.port,
+                {
+                    "op": "put_checkpoint",
+                    "key": key,
+                    "meta": meta,
+                    "data": blob
+                    if proto >= 2
+                    else base64.b64encode(blob).decode("ascii"),
+                },
+                attempts=3,
+                base_delay=self.retry_base_delay,
+                idempotent=True,
+                proto=proto,
+                # Checkpoints are uncompressed npz archives: zlib halves
+                # them on the wire (measured ~2x on the smoke cells).
+                compress=6 if proto >= 2 else None,
+            )
         if not response.get("ok"):
             return False
         self._pushed.add((key, replica.replica_id))

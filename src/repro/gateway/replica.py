@@ -22,7 +22,7 @@ import asyncio
 import base64
 import os
 
-from repro import netio
+from repro import netio, telemetry
 from repro.serve.net import ServeApp
 
 __all__ = ["ReplicaApp", "ReplicaAgent"]
@@ -49,8 +49,12 @@ class ReplicaApp(ServeApp):
         data = payload["data"]
         # Raw bytes over the binary wire, base64 text over JSON lines.
         blob = base64.b64decode(data) if isinstance(data, str) else bytes(data)
-        with self.service.pool.session._activate():
-            cache.install_checkpoint(key, blob, meta=payload.get("meta"))
+        # Child of the server.put_checkpoint span (and of the gateway's
+        # push trace, when one rode the payload): install time is the
+        # interesting part of the hop, separate from decode + framing.
+        with telemetry.span("replica.install_checkpoint", bytes=len(blob)):
+            with self.service.pool.session._activate():
+                cache.install_checkpoint(key, blob, meta=payload.get("meta"))
         self.checkpoints_received += 1
         return {"ok": True, "key": key, "bytes": len(blob)}
 

@@ -36,11 +36,14 @@ from __future__ import annotations
 import asyncio
 import json
 import os
+import re
 import socket
 import struct
 import zlib
 
 import numpy as np
+
+from repro import telemetry
 
 __all__ = [
     "STREAM_LIMIT",
@@ -63,6 +66,7 @@ __all__ = [
     "read_message",
     "serve_connection",
     "shed_exempt_ops",
+    "stats_payload",
     "request_async",
     "request",
     "request_with_retry",
@@ -697,6 +701,81 @@ def _shed_exempted(shed_exempt, request: WireRequest) -> bool:
     return shed_exempt(request.parts[0])
 
 
+#: Clients append the trace context last, so on v1 lines it can be read
+#: off the tail without parsing the (possibly multi-megabyte) line —
+#: the same O(1)-per-request discipline as shed sniffing.
+_TRACE_TAIL = re.compile(
+    rb'"trace":\s*\{"id":\s*"([0-9a-f]+)",\s*"span":\s*"([0-9a-f]+)"\}\}\s*$'
+)
+_TRACE_TAIL_MAX = 160
+
+#: v1 lines up to this size are fully parsed when the tail sniff misses
+#: (a foreign client may have placed ``trace`` anywhere); bigger lines
+#: stay unparsed so gateway routing keeps its O(header) admission.
+_TRACE_PARSE_MAX_LINE = 64 * 1024
+
+
+def _request_trace(request: WireRequest) -> dict | None:
+    """The request's ``trace`` field, read without decoding buffers."""
+    if request.proto >= 2:
+        trace = request.control.get("trace")
+        return trace if isinstance(trace, dict) else None
+    line = request.parts[0]
+    match = _TRACE_TAIL.search(line[-_TRACE_TAIL_MAX:])
+    if match is not None:
+        return {"id": match.group(1).decode(), "span": match.group(2).decode()}
+    if len(line) > _TRACE_PARSE_MAX_LINE:
+        return None
+    try:
+        trace = request.payload.get("trace")
+    except (ValueError, AttributeError):
+        return None
+    return trace if isinstance(trace, dict) else None
+
+
+def _with_trace(payload: dict) -> dict:
+    """``payload`` plus the active trace context as a ``trace`` field.
+
+    Appended *last* (dict insertion order survives ``json.dumps``) so
+    prefix sniffers — the gateway's predict router — see unchanged
+    bytes, and the v1 tail sniff above can find it.  A payload that
+    already carries a ``trace`` (a relay) keeps it; with no sampled
+    context active the payload passes through untouched, which is what
+    keeps old-peer wire bytes byte-identical when tracing is off.
+    """
+    if "trace" in payload:
+        return payload
+    ctx = telemetry.wire_context()
+    if ctx is None:
+        return payload
+    return {**payload, "trace": ctx}
+
+
+def stats_payload(
+    gate: InflightGate | None = None,
+    wire: WireStats | None = None,
+    *,
+    with_telemetry: bool = True,
+    **extra,
+) -> dict:
+    """The transport block every server's ``stats`` op shares.
+
+    One assembly for serve/cluster/gateway: the gate counters flat at
+    the top (inflight/limit/peak/admitted/rejected), any server
+    extras, the wire snapshot under ``"wire"``, and the process-wide
+    metrics registry under ``"telemetry"``.
+    """
+    payload: dict = {}
+    if gate is not None:
+        payload.update(gate.stats())
+    payload.update(extra)
+    if wire is not None:
+        payload["wire"] = wire.snapshot()
+    if with_telemetry:
+        payload["telemetry"] = telemetry.registry.snapshot()
+    return payload
+
+
 async def _write_reply(
     writer: asyncio.StreamWriter,
     request_proto: int,
@@ -776,8 +855,20 @@ async def serve_connection(
             if not dispatchable:
                 response = dict(BUSY)
             else:
+                # Adopt the caller's trace (if any) around dispatch so
+                # handler spans — and outbound calls the handler makes —
+                # carry one trace id across hops.  The op names the span
+                # only when already parsed: big v1 relay lines stay raw.
+                trace = _request_trace(request)
+                if request.proto >= 2 or request._payload is not _UNSET:
+                    op_name = request.op or "unknown"
+                else:
+                    op_name = "raw"
                 try:
-                    response = await asyncio.wait_for(dispatch(request), request_timeout)
+                    with telemetry.adopt(trace), telemetry.span(f"server.{op_name}"):
+                        response = await asyncio.wait_for(
+                            dispatch(request), request_timeout
+                        )
                 except asyncio.TimeoutError:
                     if on_timeout is not None:
                         on_timeout()
@@ -808,6 +899,7 @@ async def _exchange(
     proto: int,
     compress: int | None,
 ) -> dict:
+    payload = _with_trace(payload)
     if proto >= 2:
         await _write_parts(writer, build_frame(payload, compress=compress).parts)
     else:
@@ -1001,6 +1093,7 @@ def call(
     overhead, so they use this instead of :func:`request`.  ``timeout``
     bounds each socket operation (connect / send / read), not the sum.
     """
+    payload = _with_trace(payload)
     with socket.create_connection((host, port), timeout=timeout) as conn:
         if proto >= 2:
             for part in build_frame(payload, compress=compress).parts:

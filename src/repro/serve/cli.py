@@ -14,7 +14,7 @@ import time
 
 import numpy as np
 
-from repro import netio
+from repro import netio, telemetry
 from repro.engine import cache
 from repro.engine.registry import SCENARIOS
 from repro.engine.runner import RunSpec
@@ -217,10 +217,12 @@ def run_predict(args) -> int:
                 images = images[None]
         else:
             images, labels = _sample_from_scenario(model, args)
-        start = time.perf_counter()
-        responses = await asyncio.gather(
-            *(
-                request_async(
+        async def _one(image) -> dict:
+            # Each request is its own client span: per-request latency
+            # lands in the span.client.predict histogram, and (under
+            # REPRO_TRACE) a trace id rides the wire to the server.
+            with telemetry.span("client.predict"):
+                return await request_async(
                     args.host,
                     args.port,
                     {
@@ -235,9 +237,9 @@ def run_predict(args) -> int:
                     },
                     proto=proto,
                 )
-                for image in images
-            )
-        )
+
+        start = time.perf_counter()
+        responses = await asyncio.gather(*(_one(image) for image in images))
         elapsed = time.perf_counter() - start
         failed = [r for r in responses if not r.get("ok")]
         if failed:
@@ -260,6 +262,12 @@ def run_predict(args) -> int:
                 f"server batching: {service['requests']} requests in "
                 f"{service['batches']} batches "
                 f"(mean {service['mean_batch'] or 0:.1f}/batch)"
+            )
+        latency = telemetry.registry.histogram("span.client.predict").snapshot()
+        if latency.get("count"):
+            print(
+                f"client latency: p50 {latency['p50'] * 1000:.1f} ms, "
+                f"p95 {latency['p95'] * 1000:.1f} ms over {latency['count']} requests"
             )
         return 0
 

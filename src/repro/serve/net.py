@@ -85,6 +85,12 @@ class ServeApp:
         self.draining = False
         self.drain_refused = 0
         self.wire = netio.WireStats()
+        # Surface the gate/wire counters through the process-wide
+        # metrics namespace (read-time collectors: latest app wins).
+        from repro import telemetry
+
+        telemetry.registry.register_collector("serve.gate", self.gate.stats)
+        telemetry.registry.register_collector("serve.wire", self.wire.snapshot)
 
     # ------------------------------------------------------------------
     async def start(self, host: str = "127.0.0.1", port: int = 0) -> tuple[str, int]:
@@ -189,14 +195,14 @@ class ServeApp:
 
     def transport_stats(self) -> dict:
         """Gate counters + timeout count (the hardening observables)."""
-        return {
-            **self.gate.stats(),
-            "timeouts": self.timeouts,
-            "request_timeout": self.request_timeout,
-            "draining": self.draining,
-            "drain_refused": self.drain_refused,
-            "wire": self.wire.snapshot(),
-        }
+        return netio.stats_payload(
+            self.gate,
+            self.wire,
+            timeouts=self.timeouts,
+            request_timeout=self.request_timeout,
+            draining=self.draining,
+            drain_refused=self.drain_refused,
+        )
 
     def _resolve_spec(self, payload: dict) -> RunSpec:
         """The cell a predict addresses: its ``model`` field, or the default."""

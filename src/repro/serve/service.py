@@ -30,6 +30,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import telemetry
 from repro.autograd import default_dtype
 from repro.continual import Scenario
 from repro.engine import cache
@@ -214,7 +215,11 @@ class _BatchLane:
             # a dead worker would hang every future submit forever.
             try:
                 images = np.stack([request.image for request in batch])
-                predictions = self._predict_batch(images)
+                # The lane worker runs outside any request's trace
+                # context, so this span is per-batch distribution data
+                # (span.serve.batch histogram), not a per-request hop.
+                with telemetry.span("serve.batch", samples=len(batch)):
+                    predictions = self._predict_batch(images)
                 results = [int(predictions[i]) for i in range(len(batch))]
             except Exception as error:
                 for request in batch:
@@ -260,6 +265,8 @@ class InferenceService:
         self.max_batch = max_batch
         self.max_delay = max_delay_ms / 1000.0
         self._lanes: dict[tuple, _BatchLane] = {}
+        # Lane/pool traffic behind the telemetry.metrics namespace.
+        telemetry.registry.register_collector("serve.service", self.stats)
 
     # ------------------------------------------------------------------
     def _lane(self, model: LoadedModel, task_id: int, scenario: Scenario) -> _BatchLane:

@@ -1,0 +1,60 @@
+"""repro.telemetry — tracing, metrics, and profiling for every subsystem.
+
+Three pieces, one import:
+
+* :mod:`~repro.telemetry.trace` — contextvar :func:`span` API whose
+  trace/span ids ride the wire (a ``trace`` payload field in both
+  framings, ignored by old peers), so one predict or cluster cell
+  carries a single trace id through client → gateway → replica and
+  client → coordinator → worker hops.  Sampling via ``REPRO_TRACE``.
+* :mod:`~repro.telemetry.metrics` — the process-wide :data:`registry`
+  of counters/gauges/histograms (fixed-bucket latency, p50/p95/p99)
+  that every ``stats`` op snapshots and the
+  ``repro-experiments telemetry`` CLI dumps as JSON.
+* :mod:`~repro.telemetry.profile` — per-phase timers for the engine's
+  hot loops, written through to the run store as ``span:<phase>``
+  provenance rows.
+
+Overhead budget: ≤2% on the bench suite with telemetry enabled
+(``tools/telemetry_overhead.py`` gates this in CI).  Spans are
+participate-only by default — histograms always fill, span dicts and
+root traces only under ``REPRO_TRACE``.
+"""
+
+from .metrics import (
+    LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    registry,
+)
+from .profile import collect_phases, phase, record_phase_provenance
+from .trace import (
+    adopt,
+    clear_spans,
+    current_trace_id,
+    recent_spans,
+    span,
+    trace_enabled,
+    wire_context,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "LATENCY_BUCKETS",
+    "registry",
+    "span",
+    "adopt",
+    "wire_context",
+    "current_trace_id",
+    "trace_enabled",
+    "recent_spans",
+    "clear_spans",
+    "collect_phases",
+    "phase",
+    "record_phase_provenance",
+]

@@ -1,0 +1,249 @@
+"""Process-wide metrics registry: counters, gauges, histograms.
+
+One :data:`registry` per process absorbs the counters every subsystem
+used to keep ad hoc (``WireStats`` totals, inflight gates, lane queue
+depths) behind a single namespace that any ``stats`` op can snapshot
+and the ``repro-experiments telemetry`` CLI can dump as JSON.
+
+Design constraints, in order:
+
+* **Cheap on the hot path.**  ``Counter.inc`` / ``Histogram.observe``
+  are a lock plus integer arithmetic — no allocation, no string
+  formatting.  Metric *lookup* (``registry.counter(name)``) does take
+  a lock and a dict probe, so callers on tight loops should hold the
+  metric object rather than re-resolving it per event.
+* **Fixed-bucket histograms.**  Latency histograms use a fixed
+  log-spaced bucket ladder (100µs … 60s), so p50/p95/p99 summaries
+  come from bucket interpolation with O(buckets) memory regardless of
+  how many samples were observed.
+* **Collectors for foreign state.**  Subsystems that already own
+  counters (the cache, a model pool) register a zero-argument callable
+  instead of mirroring values; ``snapshot()`` invokes collectors at
+  read time so the answer is always current.
+
+Everything is thread-safe: serve/gateway run on asyncio in one thread,
+but cluster workers heartbeat from a second thread and the engine's
+fork pool snapshots from children.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "LATENCY_BUCKETS",
+    "registry",
+]
+
+#: Log-spaced seconds ladder shared by every latency histogram:
+#: sub-millisecond wire ops through minute-scale training cells.
+LATENCY_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+
+class Counter:
+    """A monotonically increasing integer total."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+
+class Gauge:
+    """A value that goes up and down (queue depth, residency)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    def inc(self, amount: float = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Fixed-bucket distribution with interpolated quantiles.
+
+    ``_counts`` has one slot per bucket upper bound plus an overflow
+    slot; quantiles interpolate linearly inside the winning bucket and
+    clamp to the observed min/max so tiny sample counts don't report
+    a bucket edge nobody hit.
+    """
+
+    __slots__ = ("name", "buckets", "_counts", "_count", "_sum", "_min", "_max", "_lock")
+
+    def __init__(self, name: str, buckets: tuple = LATENCY_BUCKETS):
+        self.name = name
+        self.buckets = tuple(buckets)
+        self._counts = [0] * (len(self.buckets) + 1)
+        self._count = 0
+        self._sum = 0.0
+        self._min: float | None = None
+        self._max: float | None = None
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            index = 0
+            for index, bound in enumerate(self.buckets):
+                if value <= bound:
+                    break
+            else:
+                index = len(self.buckets)
+            self._counts[index] += 1
+            self._count += 1
+            self._sum += value
+            self._min = value if self._min is None else min(self._min, value)
+            self._max = value if self._max is None else max(self._max, value)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def quantile(self, q: float) -> float | None:
+        """Interpolated q-quantile (0..1) of everything observed."""
+        with self._lock:
+            if self._count == 0:
+                return None
+            target = q * self._count
+            cumulative = 0
+            for index, bucket_count in enumerate(self._counts):
+                if bucket_count == 0:
+                    continue
+                cumulative += bucket_count
+                if cumulative >= target:
+                    lower = 0.0 if index == 0 else self.buckets[index - 1]
+                    upper = (
+                        self.buckets[index]
+                        if index < len(self.buckets)
+                        else (self._max if self._max is not None else lower)
+                    )
+                    inside = (target - (cumulative - bucket_count)) / bucket_count
+                    estimate = lower + (upper - lower) * inside
+                    return min(max(estimate, self._min), self._max)
+            return self._max
+
+    def snapshot(self) -> dict:
+        if self._count == 0:
+            return {"count": 0}
+        return {
+            "count": self._count,
+            "sum": round(self._sum, 6),
+            "mean": round(self._sum / self._count, 6),
+            "min": round(self._min, 6),
+            "max": round(self._max, 6),
+            "p50": round(self.quantile(0.50), 6),
+            "p95": round(self.quantile(0.95), 6),
+            "p99": round(self.quantile(0.99), 6),
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create metric namespace with read-time collectors."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._collectors: dict[str, object] = {}
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            metric = self._counters.get(name)
+            if metric is None:
+                metric = self._counters[name] = Counter(name)
+            return metric
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            metric = self._gauges.get(name)
+            if metric is None:
+                metric = self._gauges[name] = Gauge(name)
+            return metric
+
+    def histogram(self, name: str, buckets: tuple = LATENCY_BUCKETS) -> Histogram:
+        with self._lock:
+            metric = self._histograms.get(name)
+            if metric is None:
+                metric = self._histograms[name] = Histogram(name, buckets)
+            return metric
+
+    def register_collector(self, name: str, fn) -> None:
+        """``fn()`` -> dict, invoked at every snapshot (latest wins)."""
+        with self._lock:
+            self._collectors[name] = fn
+
+    def unregister_collector(self, name: str) -> None:
+        with self._lock:
+            self._collectors.pop(name, None)
+
+    def snapshot(self) -> dict:
+        """Everything, JSON-ready.  Collector failures report as errors
+        rather than poisoning the whole snapshot (stats ops must never
+        500 because one subsystem is mid-shutdown)."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+            collectors = dict(self._collectors)
+        payload = {
+            "counters": {name: c.value for name, c in sorted(counters.items())},
+            "gauges": {name: g.value for name, g in sorted(gauges.items())},
+            "histograms": {
+                name: h.snapshot() for name, h in sorted(histograms.items())
+            },
+        }
+        if collectors:
+            collected = {}
+            for name, fn in sorted(collectors.items()):
+                try:
+                    collected[name] = fn()
+                except Exception as error:
+                    collected[name] = {"error": str(error)}
+            payload["collectors"] = collected
+        return payload
+
+    def reset(self) -> None:
+        """Drop every metric and collector (test isolation)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+            self._collectors.clear()
+
+
+#: The process-wide registry every subsystem records into.
+registry = MetricsRegistry()

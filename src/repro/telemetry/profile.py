@@ -1,0 +1,91 @@
+"""Per-phase profiling hooks for training and serving hot paths.
+
+The engine's inner loops (stream build, forward, backward, optimizer
+step, eval) are instrumented with :func:`phase` markers.  A marker is
+inert — one contextvar read, no clock call — unless an enclosing
+:func:`collect_phases` activated an accumulator, so instrumented code
+pays nothing when nobody is profiling.
+
+``run_one``/``run_seed_batch`` activate a collector around each cell,
+then write the totals through to the run store as ``span:<phase>``
+provenance rows (:func:`record_phase_provenance`) tagged with the
+active trace id — the bridge that lets ``runs query`` + provenance
+surface *where* a slow cell spent its time.  Phase totals also feed
+``phase.<name>`` histograms in the metrics registry, so a long-lived
+worker accumulates fleet-wide phase distributions for free.
+
+Phases nest without exclusion: ``train`` wraps ``forward``/``backward``
+/``optimizer``, and each accumulates its own wall-clock.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+
+from .metrics import registry
+from .trace import current_trace_id
+
+__all__ = ["collect_phases", "phase", "record_phase_provenance"]
+
+_PHASES: ContextVar[dict | None] = ContextVar("repro_phases", default=None)
+
+
+@contextmanager
+def collect_phases():
+    """Activate a phase accumulator; yields the dict being filled."""
+    acc: dict[str, float] = {}
+    token = _PHASES.set(acc)
+    try:
+        yield acc
+    finally:
+        _PHASES.reset(token)
+
+
+@contextmanager
+def phase(name: str):
+    """Accumulate this block's wall-clock under ``name`` (if collecting)."""
+    acc = _PHASES.get()
+    if acc is None:
+        yield
+        return
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        acc[name] = acc.get(name, 0.0) + time.perf_counter() - start
+
+
+def record_phase_provenance(key: str, phases: dict, **attrs) -> None:
+    """Write one ``span:<phase>`` provenance row per phase for a cell.
+
+    Observer contract (same as every store write-through): a missing,
+    locked, or readonly store must never fail the training run.  Each
+    row's detail is JSON carrying the seconds spent, the trace id that
+    produced the cell (when sampled), and any extra ``attrs`` — e.g.
+    ``seeds=S`` marks a phase total shared by a whole seed batch.
+    """
+    if not phases or not key:
+        return
+    for name, seconds in phases.items():
+        registry.histogram(f"phase.{name}").observe(seconds)
+    try:
+        from repro.store import RunStore, store_enabled
+
+        if not store_enabled():
+            return
+        store = RunStore()
+        trace_id = current_trace_id()
+        for name, seconds in sorted(phases.items()):
+            detail = {"seconds": round(seconds, 6)}
+            if trace_id is not None:
+                detail["trace"] = trace_id
+            if attrs:
+                detail.update(attrs)
+            store.record_provenance(
+                key, f"span:{name}", detail=json.dumps(detail, sort_keys=True)
+            )
+    except Exception:
+        pass  # observer, never a participant

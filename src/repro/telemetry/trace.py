@@ -1,0 +1,190 @@
+"""Contextvar trace spans that propagate over the wire.
+
+A *trace* is one logical request — a predict, a submitted cell — and a
+*span* is one timed hop inside it (client call, gateway relay, replica
+execute, worker lease/train/complete, checkpoint push).  Trace context
+lives in a :class:`contextvars.ContextVar`, so it follows awaits inside
+one asyncio task and stays isolated between concurrent connections and
+worker threads.
+
+Wire format: an active context serialises to ``{"id": <16-hex>,
+"span": <8-hex>}`` and rides as a ``trace`` field *inside the request
+payload* — a JSON key in v1 line framing, a header key in v2 binary
+frames.  Both parsers ignore unknown payload keys, so old peers simply
+drop the field and mixed-version fleets interop; the gateway's predict
+relay forwards payload bytes verbatim, so the client's trace reaches
+the replica untouched.
+
+Sampling (the ≤2% overhead budget): ``REPRO_TRACE`` controls *root*
+origination only.
+
+* unset (default) — participate-only: adopt traces that arrive over
+  the wire, never start new ones.  Local work records histogram
+  timings but no span dicts.
+* ``1``/``true``/``on`` — originate a sampled root for every top-level
+  ``span()``.
+* a float in (0, 1) — originate roots for that fraction of requests.
+* ``0``/``false``/``off`` — fully off: no origination *and* incoming
+  trace fields are ignored.
+
+Whatever the sampling verdict, every ``span()`` feeds its latency into
+the metrics registry (``span.<name>`` histograms) — distribution data
+is nearly free; only the per-span dict buffer is gated on sampling.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from collections import deque
+from contextlib import contextmanager
+from contextvars import ContextVar
+
+from .metrics import registry
+
+__all__ = [
+    "span",
+    "adopt",
+    "wire_context",
+    "current_trace_id",
+    "trace_enabled",
+    "recent_spans",
+    "clear_spans",
+]
+
+_OFF = ("0", "false", "off", "no")
+_ON = ("1", "true", "on", "yes", "always")
+
+#: Finished sampled spans, newest last; bounded so a long-lived server
+#: never grows without bound.
+_SPAN_BUFFER_SIZE = 512
+_SPANS: deque = deque(maxlen=_SPAN_BUFFER_SIZE)
+
+
+class _Ctx:
+    __slots__ = ("trace_id", "span_id", "sampled")
+
+    def __init__(self, trace_id: str, span_id: str, sampled: bool):
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.sampled = sampled
+
+
+_CONTEXT: ContextVar[_Ctx | None] = ContextVar("repro_trace", default=None)
+
+
+def _new_trace_id() -> str:
+    return os.urandom(8).hex()
+
+
+def _new_span_id() -> str:
+    return os.urandom(4).hex()
+
+
+def trace_enabled() -> bool:
+    """False only under an explicit ``REPRO_TRACE=0`` (fully off)."""
+    return os.environ.get("REPRO_TRACE", "").strip().lower() not in _OFF
+
+
+def _originate() -> bool:
+    """Should a top-level span start a *sampled* root trace?"""
+    raw = os.environ.get("REPRO_TRACE", "").strip().lower()
+    if not raw or raw in _OFF:
+        return False
+    if raw in _ON:
+        return True
+    try:
+        rate = float(raw)
+    except ValueError:
+        return False
+    return 0.0 < rate and random.random() < rate
+
+
+@contextmanager
+def span(name: str, **attrs):
+    """Time a unit of work; join the active trace or originate one.
+
+    Always observes the ``span.<name>`` latency histogram.  When the
+    surrounding context is sampled (adopted from the wire, or a root
+    this call originated per ``REPRO_TRACE``), the finished span is
+    also recorded into the in-process buffer with its trace/span ids,
+    parent link, and ``attrs``.
+
+    Yields the active :class:`_Ctx` (or ``None`` when unsampled), so
+    callers can stamp ids onto payloads they persist.
+    """
+    parent = _CONTEXT.get()
+    ctx = None
+    token = None
+    if parent is not None:
+        ctx = _Ctx(parent.trace_id, _new_span_id(), parent.sampled)
+    elif _originate():
+        ctx = _Ctx(_new_trace_id(), _new_span_id(), True)
+    if ctx is not None:
+        token = _CONTEXT.set(ctx)
+    start = time.perf_counter()
+    try:
+        yield ctx
+    finally:
+        elapsed = time.perf_counter() - start
+        if token is not None:
+            _CONTEXT.reset(token)
+        registry.histogram(f"span.{name}").observe(elapsed)
+        if ctx is not None and ctx.sampled:
+            record = {
+                "name": name,
+                "trace": ctx.trace_id,
+                "span": ctx.span_id,
+                "parent": parent.span_id if parent is not None else None,
+                "elapsed": round(elapsed, 6),
+            }
+            if attrs:
+                record.update(attrs)
+            _SPANS.append(record)
+
+
+@contextmanager
+def adopt(trace: dict | None):
+    """Enter the trace context a wire peer sent (no-op for ``None``).
+
+    Servers wrap request dispatch with this so handler spans — and any
+    outbound calls the handler makes — carry the caller's trace id.  A
+    peer that sent a trace field has already made the sampling
+    decision, so adopted contexts are always sampled.  ``REPRO_TRACE=0``
+    disables adoption entirely.
+    """
+    if not isinstance(trace, dict) or not trace.get("id") or not trace_enabled():
+        yield None
+        return
+    ctx = _Ctx(str(trace["id"]), str(trace.get("span") or _new_span_id()), True)
+    token = _CONTEXT.set(ctx)
+    try:
+        yield ctx
+    finally:
+        _CONTEXT.reset(token)
+
+
+def wire_context() -> dict | None:
+    """The active context as a wire-ready ``trace`` field, or ``None``."""
+    ctx = _CONTEXT.get()
+    if ctx is None or not ctx.sampled:
+        return None
+    return {"id": ctx.trace_id, "span": ctx.span_id}
+
+
+def current_trace_id() -> str | None:
+    ctx = _CONTEXT.get()
+    return ctx.trace_id if ctx is not None else None
+
+
+def recent_spans(limit: int | None = None) -> list[dict]:
+    """Finished sampled spans, oldest first (bounded buffer)."""
+    spans = list(_SPANS)
+    if limit is not None:
+        spans = spans[-int(limit):]
+    return spans
+
+
+def clear_spans() -> None:
+    _SPANS.clear()

@@ -1,0 +1,417 @@
+"""Unit tests for :mod:`repro.telemetry` — metrics, traces, profiling.
+
+The distributed propagation story lives in
+``test_trace_propagation.py``; this file pins the local contracts:
+histogram math, registry snapshot semantics, sampling modes, phase
+collection, the store write-through, and the shared ``stats`` payload
+(including the zero-frame compression-ratio rendering the CLI shows
+as ``-``).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro import netio, telemetry
+from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+@pytest.fixture(autouse=True)
+def _clean_spans(monkeypatch):
+    monkeypatch.delenv("REPRO_TRACE", raising=False)
+    telemetry.clear_spans()
+    yield
+    telemetry.clear_spans()
+
+
+# ----------------------------------------------------------------------
+# Metrics
+# ----------------------------------------------------------------------
+class TestCounterGauge:
+    def test_counter_accumulates(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_gauge_moves_both_ways(self):
+        gauge = Gauge("g")
+        gauge.set(3.5)
+        gauge.inc()
+        gauge.dec(2)
+        assert gauge.value == 2.5
+
+    def test_counter_is_thread_safe(self):
+        counter = Counter("c")
+
+        def hammer():
+            for _ in range(10_000):
+                counter.inc()
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 40_000
+
+
+class TestHistogram:
+    def test_empty_snapshot_and_quantile(self):
+        histogram = Histogram("h")
+        assert histogram.snapshot() == {"count": 0}
+        assert histogram.quantile(0.5) is None
+
+    def test_quantiles_clamp_to_observed_range(self):
+        histogram = Histogram("h")
+        for value in (0.002, 0.002, 0.002):
+            histogram.observe(value)
+        snap = histogram.snapshot()
+        assert snap["count"] == 3
+        assert snap["min"] == snap["max"] == 0.002
+        # Interpolation inside the (0.001, 0.0025] bucket must clamp to
+        # the observed values, not report a bucket edge nobody hit.
+        assert snap["p50"] == 0.002
+        assert snap["p99"] == 0.002
+
+    def test_quantiles_order_and_overflow_bucket(self):
+        histogram = Histogram("h")
+        for i in range(100):
+            histogram.observe(0.001 * (i + 1))  # 1ms .. 100ms
+        histogram.observe(120.0)  # beyond the last bound
+        snap = histogram.snapshot()
+        assert snap["count"] == 101
+        assert snap["p50"] <= snap["p95"] <= snap["p99"] <= snap["max"] == 120.0
+        assert 0.02 < snap["p50"] < 0.08
+
+    def test_mean_and_sum(self):
+        histogram = Histogram("h")
+        histogram.observe(1.0)
+        histogram.observe(3.0)
+        snap = histogram.snapshot()
+        assert snap["sum"] == 4.0
+        assert snap["mean"] == 2.0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.gauge("y") is registry.gauge("y")
+        assert registry.histogram("z") is registry.histogram("z")
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("requests").inc(2)
+        registry.gauge("depth").set(7)
+        registry.histogram("lat").observe(0.01)
+        snap = registry.snapshot()
+        assert snap["counters"] == {"requests": 2}
+        assert snap["gauges"] == {"depth": 7}
+        assert snap["histograms"]["lat"]["count"] == 1
+        json.dumps(snap)  # JSON-ready end to end
+
+    def test_collectors_run_at_read_time_and_failures_isolate(self):
+        registry = MetricsRegistry()
+        state = {"n": 1}
+        registry.register_collector("good", lambda: dict(state))
+
+        def broken():
+            raise RuntimeError("mid-shutdown")
+
+        registry.register_collector("bad", broken)
+        state["n"] = 2  # mutate after registration: read-time wins
+        snap = registry.snapshot()
+        assert snap["collectors"]["good"] == {"n": 2}
+        assert snap["collectors"]["bad"] == {"error": "mid-shutdown"}
+
+    def test_unregister_and_reset(self):
+        registry = MetricsRegistry()
+        registry.register_collector("c", dict)
+        registry.unregister_collector("c")
+        registry.counter("x").inc()
+        registry.reset()
+        assert registry.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+# ----------------------------------------------------------------------
+# Trace spans
+# ----------------------------------------------------------------------
+class TestSpans:
+    def test_unsampled_by_default_but_histogram_fills(self):
+        before = telemetry.registry.histogram("span.unit_test_op").count
+        with telemetry.span("unit_test_op") as ctx:
+            assert ctx is None
+        assert telemetry.recent_spans() == []
+        assert telemetry.registry.histogram("span.unit_test_op").count == before + 1
+
+    def test_sampled_root_and_nesting(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        with telemetry.span("outer") as outer_ctx:
+            assert outer_ctx is not None and outer_ctx.sampled
+            with telemetry.span("inner"):
+                pass
+        inner, outer = telemetry.recent_spans()
+        assert inner["name"] == "inner" and outer["name"] == "outer"
+        assert inner["trace"] == outer["trace"]
+        assert inner["parent"] == outer["span"]
+        assert outer["parent"] is None
+
+    def test_attrs_recorded_on_sampled_spans(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        with telemetry.span("op", cells=3):
+            pass
+        [record] = telemetry.recent_spans()
+        assert record["cells"] == 3
+
+    def test_fractional_sampling_zero_never_originates(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "0.0")
+        for _ in range(20):
+            with telemetry.span("op"):
+                pass
+        assert telemetry.recent_spans() == []
+
+    def test_adopt_joins_foreign_trace(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE", raising=False)  # participate-only
+        with telemetry.adopt({"id": "a" * 16, "span": "b" * 8}) as ctx:
+            assert ctx.trace_id == "a" * 16
+            assert telemetry.current_trace_id() == "a" * 16
+            with telemetry.span("child"):
+                pass
+        [child] = telemetry.recent_spans()
+        assert child["trace"] == "a" * 16
+        assert telemetry.current_trace_id() is None
+
+    def test_adopt_disabled_under_trace_off(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "0")
+        assert not telemetry.trace_enabled()
+        with telemetry.adopt({"id": "a" * 16, "span": "b" * 8}) as ctx:
+            assert ctx is None
+            with telemetry.span("child"):
+                pass
+        assert telemetry.recent_spans() == []
+
+    def test_adopt_tolerates_malformed_fields(self):
+        for bad in (None, {}, {"span": "x"}, "not-a-dict", {"id": ""}):
+            with telemetry.adopt(bad) as ctx:
+                assert ctx is None
+
+    def test_wire_context_round_trip(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        assert telemetry.wire_context() is None
+        with telemetry.span("op"):
+            wire = telemetry.wire_context()
+            assert set(wire) == {"id", "span"}
+            assert wire["id"] == telemetry.current_trace_id()
+
+    def test_span_buffer_is_bounded(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        for index in range(600):
+            with telemetry.span("op", index=index):
+                pass
+        spans = telemetry.recent_spans()
+        assert len(spans) == 512
+        assert spans[-1]["index"] == 599
+        assert telemetry.recent_spans(limit=5)[0]["index"] == 595
+
+
+# ----------------------------------------------------------------------
+# Profiling phases
+# ----------------------------------------------------------------------
+class TestPhases:
+    def test_phase_inert_without_collector(self):
+        # No collector open: the marker must not record anything.
+        with telemetry.phase("train"):
+            pass
+        with telemetry.collect_phases() as phases:
+            pass
+        assert phases == {}
+
+    def test_phases_accumulate_and_nest(self):
+        with telemetry.collect_phases() as phases:
+            with telemetry.phase("train"):
+                with telemetry.phase("forward"):
+                    pass
+                with telemetry.phase("forward"):
+                    pass
+        assert set(phases) == {"train", "forward"}
+        assert phases["train"] >= phases["forward"] >= 0.0
+
+    def test_record_phase_provenance_writes_rows(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        from repro.store import RunStore
+
+        telemetry.record_phase_provenance(
+            "k" * 32, {"train": 1.25, "eval": 0.5}, seed=3
+        )
+        rows = RunStore().provenance("k" * 32)
+        events = {row["event"]: json.loads(row["detail"]) for row in rows}
+        assert events["span:train"] == {"seconds": 1.25, "seed": 3}
+        assert events["span:eval"] == {"seconds": 0.5, "seed": 3}
+
+    def test_record_phase_provenance_tags_active_trace(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        from repro.store import RunStore
+
+        with telemetry.span("cell"):
+            trace_id = telemetry.current_trace_id()
+            telemetry.record_phase_provenance("k" * 32, {"train": 1.0})
+        [row] = RunStore().provenance("k" * 32)
+        assert json.loads(row["detail"])["trace"] == trace_id
+
+    def test_record_phase_provenance_survives_disabled_store(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_STORE", "1")
+        telemetry.record_phase_provenance("k" * 32, {"train": 1.0})  # must not raise
+
+    def test_empty_phases_or_key_are_noops(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        from repro.store import RunStore
+
+        telemetry.record_phase_provenance("", {"train": 1.0})
+        telemetry.record_phase_provenance("k" * 32, {})
+        assert RunStore().provenance() == []
+
+
+# ----------------------------------------------------------------------
+# Shared stats payload + WireStats rendering
+# ----------------------------------------------------------------------
+class TestStatsPayload:
+    def test_assembles_gate_wire_and_telemetry(self):
+        gate = netio.InflightGate(4)
+        wire = netio.WireStats()
+        payload = netio.stats_payload(gate, wire, timeouts=2)
+        assert payload["limit"] == 4
+        assert payload["timeouts"] == 2
+        assert payload["wire"]["bytes_out"] == 0
+        assert set(payload["telemetry"]) >= {"counters", "gauges", "histograms"}
+
+    def test_zero_frames_report_null_ratio(self):
+        """Satellite: a server that never compressed a frame reports
+        ``compressed_ratio: null`` — no div-by-zero, no ``nan``."""
+        wire = netio.WireStats()
+        snap = wire.snapshot()
+        assert snap["compressed_ratio"] is None
+        json.dumps(snap)  # null survives the stats op
+
+    def test_ratio_after_compressed_traffic(self):
+        wire = netio.WireStats()
+        wire.count_out(2, 100, raw_nbytes=400)
+        assert wire.snapshot()["compressed_ratio"] == 4.0
+
+    def test_telemetry_optional(self):
+        payload = netio.stats_payload(None, None, with_telemetry=False)
+        assert "telemetry" not in payload and "wire" not in payload
+
+
+# ----------------------------------------------------------------------
+# CLI: repro-experiments telemetry {snapshot,spans}
+# ----------------------------------------------------------------------
+class TestTelemetryCLI:
+    def _main(self, argv):
+        from repro.experiments.__main__ import main
+
+        return main(argv)
+
+    def test_snapshot_renders_local_registry(self, capsys):
+        telemetry.registry.counter("unit.test_counter").inc(3)
+        telemetry.registry.histogram("unit.test_latency").observe(0.005)
+        assert self._main(["telemetry", "snapshot"]) == 0
+        out = capsys.readouterr().out
+        assert "unit.test_counter" in out and "3" in out
+        assert "unit.test_latency" in out
+
+    def test_snapshot_json_mode(self, capsys):
+        telemetry.registry.counter("unit.json_counter").inc()
+        assert self._main(["telemetry", "snapshot", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["telemetry"]["counters"]["unit.json_counter"] >= 1
+
+    def test_snapshot_renders_dash_for_null_ratio(self, capsys):
+        """Satellite: the CLI shows ``-`` when no frames were compressed."""
+        from repro.serve.net import ServeApp
+        import asyncio
+
+        class _StubService:
+            def stats(self):
+                return {"requests": 0}
+
+            async def close(self):
+                pass
+
+        async def main():
+            app = ServeApp(_StubService())
+            host, port = await app.start()
+            try:
+                return host, port, await asyncio.to_thread(
+                    self._main, ["telemetry", "snapshot", "--address", f"{host}:{port}"]
+                )
+            finally:
+                await app.close()
+
+        host, port, code = asyncio.run(main())
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "compression -" in out
+
+    def test_snapshot_unreachable_address_is_clean_error(self, capsys):
+        assert (
+            self._main(
+                ["telemetry", "snapshot", "--address", "127.0.0.1:1", "--timeout", "0.5"]
+            )
+            == 2
+        )
+        assert "failed" in capsys.readouterr().err
+
+    def test_spans_lists_sampled_spans(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        with telemetry.span("cli_test_span", cells=2):
+            pass
+        assert self._main(["telemetry", "spans"]) == 0
+        out = capsys.readouterr().out
+        assert "cli_test_span" in out and "cells=2" in out
+
+    def test_spans_json_mode(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        with telemetry.span("cli_json_span"):
+            pass
+        assert self._main(["telemetry", "spans", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert any(entry["name"] == "cli_json_span" for entry in payload)
+
+
+# ----------------------------------------------------------------------
+# v1 tail sniff (the O(1)-per-request trace read)
+# ----------------------------------------------------------------------
+class TestTraceTailSniff:
+    def _request(self, line: bytes):
+        return netio.WireRequest(proto=1, parts=[line])
+
+    def test_reads_appended_trace_without_parse(self):
+        payload = {"op": "predict", "data": "x" * 100}
+        payload["trace"] = {"id": "ab" * 8, "span": "cd" * 4}
+        line = json.dumps(payload).encode()
+        trace = netio._request_trace(self._request(line))
+        assert trace == {"id": "ab" * 8, "span": "cd" * 4}
+
+    def test_falls_back_to_parse_for_small_foreign_lines(self):
+        # A foreign client put trace first: tail sniff misses, the
+        # sub-64KB line is parsed instead.
+        line = json.dumps(
+            {"trace": {"id": "ab" * 8, "span": "cd" * 4}, "op": "predict"}
+        ).encode()
+        trace = netio._request_trace(self._request(line))
+        assert trace is not None and trace["id"] == "ab" * 8
+
+    def test_big_lines_without_tail_trace_stay_unparsed(self):
+        line = json.dumps(
+            {"trace": {"id": "ab" * 8, "span": "cd" * 4}, "blob": "x" * 100_000}
+        ).encode()
+        assert netio._request_trace(self._request(line)) is None
+
+    def test_traceless_line_yields_none(self):
+        line = json.dumps({"op": "stats"}).encode()
+        assert netio._request_trace(self._request(line)) is None

@@ -1,0 +1,308 @@
+"""End-to-end trace propagation across wire hops.
+
+The contract under test (ISSUE 10 tentpole): one logical request —
+a predict through the gateway, a cell submitted to a cluster — carries
+a **single trace id** through every hop, on both wire framings, and
+peers that predate the ``trace`` field still interoperate.
+
+Everything runs in-process (real TCP sockets, real framing), so the
+span buffer is shared and we can assert on the ids each hop recorded.
+Trace context crosses the sockets only via the wire ``trace`` field:
+an asyncio server handler task does *not* inherit the client's
+contextvars, so a shared trace id here proves wire propagation, not
+context leakage.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import numpy as np
+import pytest
+
+from repro import netio, telemetry
+from repro.api import Session
+from repro.cluster import ClusterClient, ClusterJobError, ClusterWorker, CoordinatorThread
+from repro.cluster.client import run_specs_via_cluster
+from repro.continual import Scenario
+from repro.data.synthetic import mnist_usps
+from repro.engine import cache
+from repro.engine.registry import SCENARIOS, register_scenario
+from repro.engine.runner import spec_for
+from repro.gateway import GatewayApp, GatewayClient
+from repro.gateway.replica import ReplicaApp
+from repro.serve import InferenceService
+
+TINY = dict(samples_per_class=4, test_samples_per_class=4, epochs=1, warmup_epochs=1)
+
+if "_test/trace_digits" not in SCENARIOS:
+
+    @register_scenario("_test/trace_digits", description="2-task stream (trace tests)")
+    def _trace_digits(profile, seed, **params):
+        stream = mnist_usps(
+            "mnist->usps", samples_per_class=4, test_samples_per_class=4, rng=seed
+        )
+        stream.tasks = stream.tasks[:2]
+        return stream
+
+
+@pytest.fixture(autouse=True)
+def _isolated_telemetry(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "trace-cache"))
+    cache.reset_pins()
+    telemetry.clear_spans()
+    yield
+    telemetry.clear_spans()
+    cache.reset_pins()
+
+
+@pytest.fixture()
+def session(tmp_path):
+    return Session(cache_dir=tmp_path / "trace-cache")
+
+
+def checkpointed_spec(session, seed=0):
+    handle = (
+        session.run("FineTune")
+        .on("_test/trace_digits")
+        .profile("smoke", **TINY)
+        .seed(seed)
+        .checkpoint()
+        .start()
+    )
+    spec = handle.specs[0]
+    handle.release()
+    return spec
+
+
+def sample_images(spec):
+    stream = SCENARIOS.get(spec.scenario).build(spec.resolved_profile(), spec.seed)
+    images, _labels = stream[0].target_test.arrays()
+    return images
+
+
+def spans_by_name() -> dict[str, list[dict]]:
+    grouped: dict[str, list[dict]] = {}
+    for entry in telemetry.recent_spans():
+        grouped.setdefault(entry["name"], []).append(entry)
+    return grouped
+
+
+def single_trace_id(*names: str) -> str:
+    """The one trace id every named span carries (fails on drift)."""
+    grouped = spans_by_name()
+    ids = set()
+    for name in names:
+        assert grouped.get(name), f"no '{name}' span recorded; have {sorted(grouped)}"
+        ids.update(entry["trace"] for entry in grouped[name])
+    assert len(ids) == 1, f"expected one trace id across {names}, got {ids}"
+    return next(iter(ids))
+
+
+# ----------------------------------------------------------------------
+# client -> gateway -> replica
+# ----------------------------------------------------------------------
+class _Fleet:
+    """A gateway plus one in-process replica on a private cache."""
+
+    def __init__(self, gateway_session, tmp_path):
+        self.gateway = GatewayApp(
+            gateway_session, lease_timeout=30.0, retry_base_delay=0.005
+        )
+        replica_session = Session(cache_dir=tmp_path / "trace-replica")
+        self.replica = ReplicaApp(InferenceService(replica_session, max_delay_ms=1))
+
+    async def __aenter__(self):
+        self.host, self.port = await self.gateway.start()
+        host, port = await self.replica.start()
+        await netio.request_async(
+            self.host, self.port, {"op": "hello", "name": "t0", "host": host, "port": port}
+        )
+        return self
+
+    async def __aexit__(self, *exc):
+        await self.replica.close()
+        await self.gateway.close()
+
+
+class TestGatewayTrace:
+    @pytest.mark.parametrize("wire", ["2", "1"])
+    def test_one_trace_id_spans_client_gateway_replica(
+        self, session, tmp_path, monkeypatch, wire
+    ):
+        """A sampled predict yields client.predict, gateway.relay and
+        the replica's server.predict under one trace id — on binary
+        frames and on forced JSON lines alike."""
+        monkeypatch.setenv("REPRO_WIRE", wire)
+        spec = checkpointed_spec(session)
+        images = sample_images(spec)
+        client = GatewayClient("127.0.0.1", session, attempts=8)
+
+        async def main():
+            async with _Fleet(session, tmp_path) as fleet:
+                client.port = fleet.port
+                # Warm hop (checkpoint push + replica model load)
+                # happens untraced, so the traced request is one clean
+                # client->gateway->replica round trip.
+                await client.predict_async(spec, images, task_id=0)
+                telemetry.clear_spans()
+                monkeypatch.setenv("REPRO_TRACE", "1")
+                return await client.predict_async(spec, images, task_id=0)
+
+        served = asyncio.run(main())
+        direct = session.load_model(spec).predict_multi(images, 0, [Scenario.TIL])[
+            Scenario.TIL
+        ]
+        assert np.array_equal(served, direct)
+        # On v2 the replica's dispatch span names the parsed op; on a
+        # multi-kilobyte JSON line the op stays unparsed at admission
+        # (O(header) discipline), so the hop records as server.raw —
+        # the trace id is tail-sniffed off the line either way.
+        replica_hop = "server.predict" if wire == "2" else "server.raw"
+        trace_id = single_trace_id("client.predict", "gateway.relay", replica_hop)
+        assert len(trace_id) == 16
+        # The replica's predict span must be the gateway relay's trace,
+        # not a root the replica minted itself.
+        grouped = spans_by_name()
+        assert all(entry["parent"] for entry in grouped["gateway.relay"])
+
+    def test_untraced_client_still_served_and_starts_no_trace(
+        self, session, tmp_path, monkeypatch
+    ):
+        """A peer with tracing unset sends no trace field; servers in
+        participate-only mode record no sampled spans and the answer is
+        bitwise-identical."""
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        spec = checkpointed_spec(session)
+        images = sample_images(spec)
+        client = GatewayClient("127.0.0.1", session, attempts=8)
+
+        async def main():
+            async with _Fleet(session, tmp_path) as fleet:
+                client.port = fleet.port
+                await client.predict_async(spec, images, task_id=0)
+                telemetry.clear_spans()
+                return await client.predict_async(spec, images, task_id=0)
+
+        served = asyncio.run(main())
+        direct = session.load_model(spec).predict_multi(images, 0, [Scenario.TIL])[
+            Scenario.TIL
+        ]
+        assert np.array_equal(served, direct)
+        assert telemetry.recent_spans() == []
+
+    def test_foreign_trace_field_tolerated_by_trace_off_server(
+        self, session, tmp_path, monkeypatch
+    ):
+        """The old-peer direction: a request carrying a ``trace`` field
+        reaches a server that ignores it (``REPRO_TRACE=0`` is exactly
+        the pre-telemetry dispatch path) and is served normally."""
+        monkeypatch.setenv("REPRO_TRACE", "0")
+        spec = checkpointed_spec(session)
+        images = sample_images(spec)
+        client = GatewayClient("127.0.0.1", session, attempts=8)
+
+        async def main():
+            async with _Fleet(session, tmp_path) as fleet:
+                client.port = fleet.port
+                await client.predict_async(spec, images[:1], task_id=0)
+                # Handcraft the trace field a newer client would append.
+                wire_spec = client._wire_spec(spec)
+                return await netio.request_async(
+                    fleet.host,
+                    fleet.port,
+                    {
+                        "op": "predict",
+                        "model": wire_spec,
+                        "images": images[:2].tolist(),
+                        "task_id": 0,
+                        "scenario": "til",
+                        "trace": {"id": "deadbeefdeadbeef", "span": "12345678"},
+                    },
+                )
+
+        answer = asyncio.run(main())
+        assert answer["ok"], answer
+        assert telemetry.recent_spans() == []
+
+
+# ----------------------------------------------------------------------
+# client -> coordinator -> worker
+# ----------------------------------------------------------------------
+class TestClusterTrace:
+    @pytest.mark.parametrize("wire", [None, "1"])
+    def test_one_trace_id_spans_client_coordinator_worker(
+        self, tmp_path, monkeypatch, wire
+    ):
+        """A submitted cell yields client.submit, worker.execute and
+        the worker's engine.run_one under one trace id, and the
+        coordinator links its provenance rows to the same id."""
+        if wire is not None:
+            monkeypatch.setenv("REPRO_WIRE", wire)
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        spec = spec_for(
+            "FineTune", "_test/trace_digits", "smoke", seed=0, profile_overrides=TINY
+        )
+        telemetry.clear_spans()
+
+        with CoordinatorThread(check_interval=0.05) as (host, port):
+            address = f"{host}:{port}"
+            worker = ClusterWorker(address, name="trace-worker", poll_interval=0.05)
+            thread = threading.Thread(target=worker.run, daemon=True)
+            thread.start()
+            try:
+                [result] = run_specs_via_cluster([spec], address, use_cache=False)
+            finally:
+                worker.stop()
+                try:
+                    ClusterClient(address).shutdown()
+                except (OSError, ClusterJobError):
+                    pass
+                thread.join(timeout=10)
+
+        assert result.method == "FineTune"
+        trace_id = single_trace_id("client.submit", "worker.execute", "engine.run_one")
+        # Worker-side spans are children of the adopted wire context —
+        # they must not be roots of their own.
+        grouped = spans_by_name()
+        for entry in grouped["worker.execute"] + grouped["engine.run_one"]:
+            assert entry["parent"] is not None
+        # The run store's span rows carry the same trace id, which is
+        # what lets `runs query --phases` attribute a slow cell.
+        from repro.store import RunStore
+
+        rows = RunStore().provenance(spec.cache_key())
+        span_rows = [row for row in rows if row["event"].startswith("span:")]
+        assert span_rows, f"no span provenance rows, have {[r['event'] for r in rows]}"
+        assert all(trace_id in (row["detail"] or "") for row in span_rows)
+
+    def test_traceless_submit_interops_with_new_coordinator(
+        self, tmp_path, monkeypatch
+    ):
+        """A pre-telemetry client (no trace field anywhere) drives the
+        cluster exactly as before; the lease answer's ``trace: null``
+        is ignored by the new worker's adopt()."""
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        spec = spec_for(
+            "FineTune", "_test/trace_digits", "smoke", seed=1, profile_overrides=TINY
+        )
+        telemetry.clear_spans()
+
+        with CoordinatorThread(check_interval=0.05) as (host, port):
+            address = f"{host}:{port}"
+            worker = ClusterWorker(address, name="plain-worker", poll_interval=0.05)
+            thread = threading.Thread(target=worker.run, daemon=True)
+            thread.start()
+            try:
+                [result] = run_specs_via_cluster([spec], address, use_cache=False)
+            finally:
+                worker.stop()
+                try:
+                    ClusterClient(address).shutdown()
+                except (OSError, ClusterJobError):
+                    pass
+                thread.join(timeout=10)
+
+        assert result.method == "FineTune"
+        assert telemetry.recent_spans() == []

@@ -309,6 +309,53 @@ async def check(args, session, specs, client, gateway_proc, replica_root) -> int
     print(f"   ok: fleet healed to {stats['alive']} replicas "
           f"(dead={stats['dead']}, "
           f"spawned_total={stats['autoscaler']['spawned_total']})")
+
+    print("6) telemetry snapshot over the wire (the CLI operators use) ...")
+    # The same `repro-experiments telemetry snapshot --address` an
+    # operator would run against the live gateway: the stats op must
+    # carry the process-wide metrics registry, and it must show the
+    # traffic this smoke just generated.
+    probe = subprocess.run(
+        [
+            sys.executable, "-m", "repro.experiments",
+            "telemetry", "snapshot",
+            "--address", f"{client.host}:{client.port}",
+            "--json",
+        ],
+        env=dict(
+            os.environ,
+            PYTHONPATH=str(Path(__file__).resolve().parent.parent / "src"),
+        ),
+        capture_output=True,
+        text=True,
+        timeout=30,
+    )
+    if probe.returncode != 0:
+        print(f"FAIL: telemetry snapshot exited {probe.returncode}: {probe.stderr}")
+        return 1
+    snapshot = json.loads(probe.stdout)
+    telemetry_block = snapshot["stats"]["transport"].get("telemetry") or {}
+    histograms = {
+        name: h
+        for name, h in (telemetry_block.get("histograms") or {}).items()
+        if h.get("count")
+    }
+    dispatch = [name for name in histograms if name.startswith("span.server.")]
+    if not dispatch:
+        print(f"FAIL: no span.server.* dispatch histograms in "
+              f"telemetry snapshot (have {sorted(histograms)})")
+        return 1
+    collectors = telemetry_block.get("collectors") or {}
+    if "gateway.gate" not in collectors or "gateway.wire" not in collectors:
+        print(f"FAIL: gate/wire collectors missing from telemetry "
+              f"snapshot (have {sorted(collectors)})")
+        return 1
+    ratio = collectors["gateway.wire"].get("compressed_ratio", "absent")
+    if not (ratio is None or isinstance(ratio, (int, float))):
+        print(f"FAIL: compressed_ratio must be null or a number, got {ratio!r}")
+        return 1
+    print(f"   ok: {len(histograms)} live histograms "
+          f"({', '.join(sorted(dispatch))}); gate+wire collectors present")
     print("gateway smoke: OK")
     return 0
 

@@ -1,0 +1,126 @@
+#!/usr/bin/env python
+"""Measure the telemetry layer's overhead and gate it — CI's bench job.
+
+The ISSUE 10 budget: with telemetry *enabled* (``REPRO_TRACE=1`` —
+sampled root spans, span-buffer writes, phase provenance), the training
+workload must run within ``--tolerance`` (default 2%) of the same
+workload with tracing fully off (``REPRO_TRACE=0`` — the histogram
+instrumentation stays, only the per-span dict work is gated, which is
+exactly what a production process pays by default).
+
+Method: one untimed warmup cell (imports, BLAS threads, im2col
+workspaces), then ``--repeats`` interleaved off/on pairs of the same
+cell with the cache disabled (every run really trains).  Interleaving
+cancels slow drift (thermal, page cache); the gate compares medians so
+one noisy repeat cannot fail the job.
+
+Exit codes: 0 ok, 2 overhead above tolerance.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import statistics
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: Big enough that one timing sample is seconds-scale (timer noise on
+#: a CI runner is milliseconds), small enough for interleaved repeats.
+PROFILE_OVERRIDES = dict(
+    samples_per_class=12, test_samples_per_class=24, epochs=3, warmup_epochs=1
+)
+CELLS_PER_SAMPLE = 2
+
+
+def run_cells(base_seed: int) -> float:
+    """One timing sample: train CELLS_PER_SAMPLE full cells."""
+    from repro.engine.runner import run_one, spec_for
+
+    specs = [
+        spec_for(
+            "FineTune",
+            "digits/mnist->usps",
+            "smoke",
+            seed=base_seed + index,
+            profile_overrides=PROFILE_OVERRIDES,
+        )
+        for index in range(CELLS_PER_SAMPLE)
+    ]
+    start = time.perf_counter()
+    for spec in specs:
+        run_one(spec, use_cache=False)
+    return time.perf_counter() - start
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repeats", type=int, default=5, metavar="N",
+                        help="off/on pairs to time (median wins)")
+    parser.add_argument(
+        "--tolerance", type=float, default=0.02, metavar="FRACTION",
+        help="fail when the telemetry-on median exceeds off by this fraction",
+    )
+    args = parser.parse_args(argv)
+
+    sys.path.insert(0, str(REPO / "src"))
+    os.environ.setdefault("REPRO_PROFILE", "smoke")
+    # Identical settings either side of the A/B except REPRO_TRACE:
+    # no cache (every run trains) and no store (isolate the span /
+    # sampling cost from sqlite write-through, which both modes share).
+    os.environ["REPRO_NO_CACHE"] = "1"
+    os.environ["REPRO_NO_STORE"] = "1"
+
+    from repro import telemetry
+
+    os.environ["REPRO_TRACE"] = "0"
+    warmup = run_cells(base_seed=0)
+    print(f"warmup: {warmup:.2f}s")
+
+    off: list[float] = []
+    on: list[float] = []
+    for repeat in range(args.repeats):
+        # Alternate which mode goes first so any within-pair drift
+        # (allocator state, page cache) cancels across repeats.
+        modes = ("0", "1") if repeat % 2 == 0 else ("1", "0")
+        for mode in modes:
+            os.environ["REPRO_TRACE"] = mode
+            (off if mode == "0" else on).append(
+                run_cells(base_seed=repeat * CELLS_PER_SAMPLE)
+            )
+        print(
+            f"repeat {repeat}: off {off[-1]:.3f}s on {on[-1]:.3f}s "
+            f"({on[-1] / off[-1] - 1.0:+.1%})"
+        )
+
+    # Gate on the minimum of each mode: wall-clock noise on a shared
+    # runner is strictly additive (scheduler preemption, page faults),
+    # so min() estimates the interference-free cost of each mode and
+    # their ratio isolates what telemetry itself adds.  Medians are
+    # printed for context but carry the runner's load, not the code's.
+    overhead = min(on) / min(off) - 1.0
+    spans = len(telemetry.recent_spans())
+    print(
+        f"min: off {min(off):.3f}s, on {min(on):.3f}s -> "
+        f"overhead {overhead:+.2%} (budget +{args.tolerance:.0%}); "
+        f"median off {statistics.median(off):.3f}s / "
+        f"on {statistics.median(on):.3f}s; {spans} sampled spans recorded"
+    )
+    if spans == 0:
+        print("FAIL: telemetry-on runs recorded no spans — the A/B measured nothing")
+        return 2
+    if overhead > args.tolerance:
+        print(
+            f"TELEMETRY OVERHEAD REGRESSION: {overhead:+.2%} exceeds the "
+            f"+{args.tolerance:.0%} budget"
+        )
+        return 2
+    print("telemetry overhead: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
